@@ -1,0 +1,40 @@
+//! Sampled versions of the Fig. 7 throughput points as Criterion benches:
+//! each measures the wall-clock cost of a short measured scenario window, and
+//! its printed custom metric is checked by `repro` for the full series.
+//!
+//! These exist so `cargo bench` exercises every figure-7 code path; the
+//! authoritative series come from `repro fig7a|b|c`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jarvis_core::calibration::Scale;
+use jarvis_core::experiment::{Scenario, ScenarioSpec};
+use jarvis_core::strategy::StrategyKind;
+
+fn bench_fig7_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_points");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    let panels: [(&str, fn() -> ScenarioSpec); 3] = [
+        ("s2s", || ScenarioSpec::pingmesh_s2s(Scale::X10)),
+        ("t2t", || ScenarioSpec::pingmesh_t2t(Scale::X10, 500)),
+        ("log", || ScenarioSpec::log_analytics(Scale::X10)),
+    ];
+    for (name, mk) in panels {
+        for strategy in [StrategyKind::Jarvis, StrategyKind::BestOp] {
+            let id = format!("{}_{}", name, strategy.label());
+            group.bench_with_input(BenchmarkId::new("cpu60", id), &(), |b, ()| {
+                b.iter(|| {
+                    let mut s = Scenario::single_source(mk(), strategy, 0.6);
+                    s.run_epochs(30).throughput_mbps
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7_points);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Workload-generation throughput: synthetic telemetry must be much faster
+//! than the emulated pipelines so generation never dominates experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use telemetry::loganalytics::{LogConfig, LogGenerator};
+use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+
+    group.throughput(Throughput::Elements(40_000));
+    group.bench_function("pingmesh_epoch_x10", |b| {
+        let mut gen =
+            PingmeshGenerator::new(PingmeshConfig { scale: 10.0, ..Default::default() });
+        let mut epoch = 0i64;
+        b.iter(|| {
+            epoch += 1;
+            gen.generate_epoch(epoch * 1_000_000, 1.0).len()
+        });
+    });
+
+    group.throughput(Throughput::Bytes((0.62 * 1024.0 * 1024.0 * 10.0) as u64));
+    group.bench_function("log_epoch_x10", |b| {
+        let mut gen = LogGenerator::new(LogConfig { scale: 10.0, ..Default::default() });
+        let mut epoch = 0i64;
+        b.iter(|| {
+            epoch += 1;
+            gen.generate_epoch(epoch * 1_000_000, 1.0).len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Load-factor LP solve latency — the model-based step must be cheap enough
+//! to run at every adaptation (paper: partitioning decisions within seconds;
+//! the solve itself is microseconds).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jarvis_lp::loadfactor::{solve_load_factors, LoadFactorProblem};
+
+fn problem(ops: usize) -> LoadFactorProblem {
+    LoadFactorProblem {
+        relay: (0..ops).map(|i| 0.95 - 0.1 * (i as f64 % 5.0)).collect(),
+        cost_us: (0..ops).map(|i| 0.5 + 3.0 * i as f64).collect(),
+        records: 40_000.0,
+        budget_us: 600_000.0,
+    }
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    for ops in [2usize, 3, 4, 6, 8] {
+        let p = problem(ops);
+        group.bench_with_input(BenchmarkId::new("solve", ops), &p, |b, p| {
+            b.iter(|| solve_load_factors(black_box(p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

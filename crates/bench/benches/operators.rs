@@ -1,0 +1,100 @@
+//! Micro-benchmarks of per-record operator costs (wall-clock, as opposed to
+//! the calibrated virtual costs used by the emulator).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use streamkit::agg::{AggKind, AggSpec};
+use streamkit::expr::Expr;
+use streamkit::ops::{
+    AggRole, CostModel, EmitMode, FilterOp, GroupAggregateOp, JoinMiss, JoinOp, MapFn, MapOp,
+    Operator,
+};
+use streamkit::record::Record;
+use streamkit::window::TumblingWindow;
+use telemetry::pingmesh::{pingmesh_schema, PingmeshConfig, PingmeshGenerator};
+
+fn records(n_epochs: u64) -> Vec<Record> {
+    let mut gen = PingmeshGenerator::new(PingmeshConfig { scale: 1.0, ..Default::default() });
+    let mut out = Vec::new();
+    for e in 0..n_epochs {
+        out.extend(gen.generate_epoch(e as i64 * 1_000_000, 1.0));
+    }
+    out
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let recs = records(2);
+    let schema = pingmesh_schema();
+    let mut group = c.benchmark_group("operators");
+    group.throughput(Throughput::Elements(recs.len() as u64));
+
+    group.bench_function("filter", |b| {
+        let mut op = FilterOp::new(
+            Expr::col(5).eq(Expr::lit(0u64)),
+            schema.clone(),
+            CostModel::fixed(1.0),
+        );
+        b.iter(|| {
+            let mut out = Vec::with_capacity(recs.len());
+            for r in &recs {
+                op.process(black_box(r.clone()), &mut out);
+            }
+            out.len()
+        });
+    });
+
+    group.bench_function("group_aggregate", |b| {
+        b.iter(|| {
+            let mut op = GroupAggregateOp::new(
+                vec![0, 2],
+                vec![
+                    AggSpec::new(AggKind::Avg, 4, "avg"),
+                    AggSpec::new(AggKind::Max, 4, "max"),
+                    AggSpec::new(AggKind::Min, 4, "min"),
+                ],
+                &schema,
+                TumblingWindow::new(10_000_000),
+                EmitMode::OnWindowClose,
+                AggRole::Final,
+                CostModel::fixed(1.0),
+            );
+            let mut out = Vec::new();
+            for r in &recs {
+                op.process(r.clone(), &mut out);
+            }
+            op.on_watermark(i64::MAX / 2, &mut out);
+            out.len()
+        });
+    });
+
+    group.bench_function("join", |b| {
+        let (table, _) = telemetry::queries::t2t_tables(20_000, 40, &[1]);
+        let mut op =
+            JoinOp::new(table, 2, JoinMiss::Drop, &schema, CostModel::fixed(1.0)).unwrap();
+        b.iter(|| {
+            let mut out = Vec::with_capacity(recs.len());
+            for r in &recs {
+                op.process(black_box(r.clone()), &mut out);
+            }
+            out.len()
+        });
+    });
+
+    group.bench_function("map_trim_lower", |b| {
+        let log_schema = telemetry::loganalytics::log_schema();
+        let mut gen = telemetry::loganalytics::LogGenerator::new(Default::default());
+        let lines = gen.generate_epoch(0, 0.2);
+        let mut op = MapOp::new(MapFn::TrimLower(0), log_schema, CostModel::fixed(1.0));
+        b.iter(|| {
+            let mut out = Vec::with_capacity(lines.len());
+            for r in &lines {
+                op.process(black_box(r.clone()), &mut out);
+            }
+            out.len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end epoch execution: one emulated source epoch (generation,
+//! routing, operator execution, overflow handling) for S2SProbe under
+//! several budgets and strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jarvis_core::calibration::Scale;
+use jarvis_core::experiment::{Scenario, ScenarioSpec};
+use jarvis_core::strategy::StrategyKind;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_epoch");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    // ~40k records per epoch at 10x.
+    group.throughput(Throughput::Elements(40_000));
+    for (strategy, budget) in [
+        (StrategyKind::Jarvis, 0.6),
+        (StrategyKind::Jarvis, 1.0),
+        (StrategyKind::BestOp, 0.6),
+        (StrategyKind::AllSrc, 1.0),
+    ] {
+        let id = format!("{}_{:.0}%", strategy.label(), budget * 100.0);
+        group.bench_with_input(BenchmarkId::new("s2s_x10", id), &(), |b, ()| {
+            let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
+            let mut scenario = Scenario::single_source(spec, strategy, budget);
+            // Settle adaptation before measuring steady-state epochs.
+            scenario.block.run_epochs(25);
+            b.iter(|| scenario.block.run_epoch());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Control-proxy routing overhead — the proxy sits on the per-record hot
+//! path, so routing must cost nanoseconds (the paper's "light-weight routing
+//! logic").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jarvis_core::proxy::{ControlProxy, Route};
+
+fn bench_proxy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy");
+    group.throughput(Throughput::Elements(10_000));
+    for p in [0.0, 0.5, 0.83, 1.0] {
+        group.bench_function(format!("route_p{p}"), |b| {
+            let mut proxy = ControlProxy::new(p, 0.05, 0.25);
+            b.iter(|| {
+                let mut forwarded = 0u32;
+                for _ in 0..10_000 {
+                    if proxy.route() == Route::Forward {
+                        forwarded += 1;
+                    }
+                }
+                black_box(forwarded)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proxy);
+criterion_main!(benches);

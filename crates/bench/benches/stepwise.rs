@@ -1,0 +1,61 @@
+//! StepWise-Adapt step latency, plus the priority-rule ablation called out in
+//! DESIGN.md §6 (relay-ratio vs cost-aware priority).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jarvis_core::convergence_sim::{epochs_to_converge, SimConfig};
+use jarvis_core::proxy::QueryState;
+use jarvis_core::stepwise::{PriorityRule, ProfileEstimates, StepWiseAdapt, StepWiseConfig};
+
+fn estimates() -> ProfileEstimates {
+    ProfileEstimates {
+        cost_us: vec![0.25, 3.25, 23.0],
+        relay_bytes: vec![1.0, 0.86, 0.3],
+        relay_count: vec![1.0, 0.86, 0.5],
+        records_per_epoch: 40_000.0,
+        budget_us: 600_000.0,
+    }
+}
+
+fn bench_stepwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stepwise");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("init_plan_lp", |b| {
+        let mut adapter = StepWiseAdapt::new(StepWiseConfig::default(), 3);
+        let est = estimates();
+        b.iter(|| adapter.init_plan(black_box(&est)));
+    });
+
+    group.bench_function("fine_tune_step", |b| {
+        let mut adapter = StepWiseAdapt::new(StepWiseConfig::default(), 3);
+        adapter.set_priorities(&estimates());
+        b.iter(|| {
+            let mut p = vec![1.0, 1.0, 1.0];
+            adapter.fine_tune(black_box(&mut p), QueryState::Congested)
+        });
+    });
+
+    // Ablation: convergence epochs under the two priority rules.
+    for (name, rule) in [
+        ("priority_relay", PriorityRule::RelayRatio),
+        ("priority_cost_aware", PriorityRule::CostAware),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = SimConfig {
+                cost_us: vec![0.5, 4.0, 12.0, 24.0],
+                relay: vec![1.0, 0.7, 0.5, 0.3],
+                records: 20_000.0,
+                budget_us: 400_000.0,
+                idle_tolerance: 0.15,
+            };
+            let sw = StepWiseConfig { use_lp_init: false, priority: rule, ..Default::default() };
+            b.iter(|| epochs_to_converge(black_box(&cfg), sw, 200));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stepwise);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! `jarvis-bench` — the figure/table reproduction harness.
+//!
+//! One runner per table/figure of the paper's evaluation (§VI). Each runner
+//! returns a serialisable result that the `repro` binary prints as the same
+//! rows/series the paper plots, and optionally writes as JSON for
+//! EXPERIMENTS.md.
+
+pub mod figures;
+pub mod output;
+
+pub use figures::*;

@@ -1,0 +1,126 @@
+//! Plain-text tables + JSON output for the repro harness.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Where JSON results land (`REPRO_OUT` env var, default `./results`).
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("REPRO_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes a serialisable result as pretty JSON under the output dir.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = out_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialisable"))?;
+    Ok(path)
+}
+
+/// Renders a fixed-width table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats an f64 with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Renders labelled series as a compact ASCII chart (one row per x value,
+/// one glyph column per series), so figure *shapes* are visible straight
+/// from the terminal.
+pub fn render_ascii_chart(
+    x_label: &str,
+    xs: &[String],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let glyphs = ['#', 'o', '+', 'x', '*', '@', '%', '&'];
+    let mut out = String::new();
+    for (i, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} = {}\n", glyphs[i % glyphs.len()], name));
+    }
+    let label_w = xs.iter().map(String::len).max().unwrap_or(1).max(x_label.len());
+    out.push_str(&format!("{:>label_w$} |0{:>w$.1}\n", x_label, max, w = width));
+    for (row, x) in xs.iter().enumerate() {
+        let mut line: Vec<char> = vec![' '; width + 1];
+        for (i, (_, ys)) in series.iter().enumerate() {
+            if let Some(v) = ys.get(row) {
+                let pos = ((v / max) * width as f64).round() as usize;
+                let pos = pos.min(width);
+                line[pos] = glyphs[i % glyphs.len()];
+            }
+        }
+        out.push_str(&format!("{x:>label_w$} |{}\n", line.iter().collect::<String>()));
+    }
+    out
+}
+
+/// Checks a path exists (test helper).
+pub fn exists(path: &Path) -> bool {
+    path.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_chart_scales_to_max() {
+        let chart = render_ascii_chart(
+            "cpu",
+            &["20%".into(), "100%".into()],
+            &[("Jarvis", vec![13.0, 26.0]), ("All-SP", vec![20.5, 20.5])],
+            40,
+        );
+        assert!(chart.contains("# = Jarvis"));
+        // The max value lands at the right edge.
+        let last_line = chart.lines().last().unwrap();
+        assert!(last_line.trim_end().ends_with('#'));
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["cpu", "Jarvis"],
+            &[vec!["0.2".into(), "10.00".into()], vec!["1.0".into(), "26.20".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Jarvis"));
+        assert!(lines[2].trim_start().starts_with("0.2"));
+    }
+}

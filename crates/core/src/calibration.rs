@@ -1,0 +1,234 @@
+//! Calibration constants derived from the paper's published numbers.
+//!
+//! Every constant here traces to a statement in the paper (section numbers in
+//! the doc comments). DESIGN.md §4 documents the derivations. The paper uses
+//! a binary Mbps convention (86 B × 8 × 4 000 rec/s ≡ 2.62 Mbps), so
+//! [`MBPS`] is 2²⁰ bits.
+
+use streamkit::ops::{CostModel, OpKind};
+use streamkit::physical::CostProfile;
+
+/// One "Mbps" in the paper's binary convention, in bits.
+pub const MBPS: f64 = (1u64 << 20) as f64;
+
+/// Input-rate scaling used across the evaluation (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The dataset's calculated rate (2.62 Mbps Pingmesh).
+    X1,
+    /// 5× scaling (13.1 Mbps Pingmesh).
+    X5,
+    /// 10× scaling (26.2 Mbps Pingmesh) — the default for Fig. 7.
+    X10,
+}
+
+impl Scale {
+    /// Multiplier.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::X1 => 1.0,
+            Scale::X5 => 5.0,
+            Scale::X10 => 10.0,
+        }
+    }
+}
+
+/// Epoch length (§IV-E: "setting epoch duration to one second").
+pub const EPOCH_SECS: f64 = 1.0;
+
+/// Latency bound for throughput accounting (§VI-A: "throughput in Mbps with
+/// a latency bound of 5 seconds").
+pub const LATENCY_BOUND_SECS: f64 = 5.0;
+
+/// Epochs of sustained non-stable state before adaptation triggers (§VI-C:
+/// "three epochs are required to detect that compute budget has changed,
+/// while avoiding triggering adaptation due to scheduling noise").
+pub const DETECT_EPOCHS: u32 = 3;
+
+/// DrainedThres — fraction of an epoch's records a proxy may drain as
+/// overflow without signalling congestion (§IV-C).
+pub const DRAINED_THRES: f64 = 0.05;
+
+/// IdleThres — fraction of the epoch an operator may sit idle without
+/// signalling idleness (§IV-C).
+pub const IDLE_THRES: f64 = 0.25;
+
+/// Per-epoch multiplicative CPU scheduling jitter (half-width). Drives the
+/// debounce above; small enough not to perturb steady-state throughput.
+pub const CPU_JITTER_FRAC: f64 = 0.02;
+
+/// Effective bandwidth per query per data source node (§VI-A: 10 Gbps across
+/// 250 nodes and 20 queries = 2.048 Mbps, scaled 10× with the data rates).
+pub fn per_query_per_node_bps() -> f64 {
+    20.48 * MBPS
+}
+
+/// Total stream-processor ingress available to one query across all its data
+/// sources (§VI-A/§VI-E: 10 Gbps shared by 20 queries).
+pub fn per_query_shared_bps() -> f64 {
+    512.0 * MBPS
+}
+
+/// A data source node's total uplink, shared by the queries it hosts (§VI-F
+/// multi-query experiments; EC2 t2-class burst bandwidth).
+pub fn node_uplink_bps() -> f64 {
+    40.0 * MBPS
+}
+
+/// Stream-processor core count (m5a.16xlarge, §VI-A).
+pub const SP_CORES: f64 = 64.0;
+
+/// Per-query runtime overhead on a data source, in cores (§VI-B: Jarvis'
+/// adaptation consumes < 1 % of a core; the hosting dataflow runtime adds a
+/// little more — this reproduces the 15-queries-per-core knee of Fig. 11c).
+pub const PER_QUERY_OVERHEAD_CORES: f64 = 0.015;
+
+/// Backlog-dependent cost inflation (thrashing) for queue-mode strategies on
+/// memory-constrained sources: effective cost = c·(1 + THRASH·backlog_frac).
+/// Calibrated so All-Src at 60 % CPU lands near the paper's ~10 Mbps
+/// (Fig. 7a; see DESIGN.md §1 for the substitution note).
+pub const THRASH_COEFF: f64 = 0.85;
+
+/// Soft cap on queued records per source (≈ 1 s of 10×-scaled Pingmesh
+/// input; a 1 GB t2.micro sheds before queue waits blow the latency bound).
+/// Beyond it the oldest records are dropped.
+pub const QUEUE_CAP_RECORDS: usize = 40_000;
+
+/// Stateful operators ship partial-state deltas every this many epochs.
+/// Chosen so S2SProbe's source-side G+R output rate lands near Fig. 3(b)'s
+/// 5.6 Mbps result stream.
+pub const STATE_SHIP_INTERVAL_EPOCHS: u32 = 2;
+
+/// Batch quantum for the epoch executor (records per stage pass).
+pub const EXEC_QUANTUM: usize = 512;
+
+/// Load-factor discretisation granularity for fine-tuning's binary search
+/// (§IV-D "binary search over discretized load factor values").
+pub const LOAD_FACTOR_GRANULARITY: f64 = 1.0 / 64.0;
+
+/// LB-DP's assumed stream-processor compute share per data source, in cores
+/// (M3-style balancing splits load proportional to capacity; m5a.16xlarge's
+/// 64 cores over ~16 active sources ⇒ 4). DESIGN.md §4 discusses the choice.
+pub const LBDP_SP_CORES_PER_SOURCE: f64 = 4.0;
+
+/// S2SProbe per-operator cost models at any scale (costs are per record).
+///
+/// * W ≈ 1 % of a core at 40 k rec/s ⇒ 0.25 µs;
+/// * F = 13 % ⇒ 3.25 µs (§VI-B, Fig. 3);
+/// * G+R = 80 % of a core for F's full output (34.4 k rec/s) ⇒ 23.26 µs at
+///   its steady-state ~20 k live groups; the state-dependent model makes
+///   profiling on a small sample underestimate it, as §VI-C observes.
+pub fn s2s_cost_profile() -> CostProfile {
+    CostProfile::from_models(vec![
+        CostModel::fixed(0.25),                              // W
+        CostModel::fixed(3.25),                              // F
+        // Steady-state ≈ 23.3 µs at the ~14 k live groups the random-peer
+        // probe pattern sustains under the 2-epoch ship cadence; the strong
+        // state dependency is what makes short profiling samples
+        // underestimate the cost (paper §VI-C: "profiling within a
+        // one-second epoch is not sufficient for G+R ... resulting in less
+        // accurate estimates").
+        CostModel::state_dependent(14.3, 0.30, 2_000.0),     // G+R
+    ])
+}
+
+/// T2TProbe per-operator cost models. The two joins make the query exceed
+/// one core at 10× with a 500-entry table; join cost grows with table size
+/// (Fig. 8b grows the table 10× to congest the query).
+pub fn t2t_cost_profile() -> CostProfile {
+    CostProfile::from_models(vec![
+        CostModel::fixed(0.25),                              // W
+        CostModel::fixed(3.25),                              // F
+        CostModel::state_dependent(5.2, 0.25, 500.0),        // J (srcTor)
+        CostModel::state_dependent(5.2, 0.25, 500.0),        // J (dstTor)
+        CostModel::fixed(0.4),                               // P
+        CostModel::state_dependent(14.0, 0.15, 2_000.0),     // G+R (ToR pairs)
+    ])
+}
+
+/// LogAnalytics per-operator cost models, summing to ≈ 31 % of a core at the
+/// 10×-scaled 49.6 Mbps input (§VI-B).
+pub fn log_cost_profile() -> CostProfile {
+    CostProfile::from_models(vec![
+        CostModel::fixed(0.05),                              // W
+        CostModel::fixed(0.9),                               // M trim/lower
+        CostModel::fixed(0.7),                               // F patterns
+        CostModel::fixed(1.3),                               // M parse
+        CostModel::fixed(0.2),                               // M bucket
+        CostModel::state_dependent(1.6, 0.1, 2_000.0),       // G+R histogram
+    ])
+}
+
+/// Default cost model for ad-hoc queries (tests, examples).
+pub fn default_cost_for(kind: OpKind) -> CostModel {
+    streamkit::physical::default_cost(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s2s_totals_match_the_paper() {
+        // At 10×: 40 000 rec/s input, filter keeps 86 %.
+        let rate = 40_000.0;
+        let profile = s2s_cost_profile();
+        let w = profile.for_op(0, OpKind::Window).cost_us(0) * rate;
+        let f = profile.for_op(1, OpKind::Filter).cost_us(0) * rate;
+        // Live group count under random peer probing + the 2-epoch ship
+        // cadence averages ~14 k (40 k probes/s over a 20 k peer space).
+        let g = profile.for_op(2, OpKind::GroupAggregate).cost_us(14_000) * rate * 0.86;
+        let total_frac = (w + f + g) / 1e6;
+        // The paper states both "nearly 85% CPU to execute entirely" (§VI-B)
+        // and "G+R requires 80% CPU" on top of a 13% filter (Fig. 3) — the
+        // two are mutually inconsistent by ~9 points. We calibrate to
+        // Fig. 3's operator-level numbers (which the data-level example
+        // depends on), giving a ~94% whole-query demand.
+        assert!((0.88..=0.97).contains(&total_frac), "total = {total_frac}");
+        let f_frac = f / 1e6;
+        assert!((f_frac - 0.13).abs() < 0.01, "filter = {f_frac}");
+    }
+
+    #[test]
+    fn t2t_exceeds_one_core_at_10x() {
+        let rate = 40_000.0;
+        let profile = t2t_cost_profile();
+        let mut total = profile.for_op(0, OpKind::Window).cost_us(0) * rate
+            + profile.for_op(1, OpKind::Filter).cost_us(0) * rate;
+        let after_f = rate * 0.86;
+        total += profile.for_op(2, OpKind::Join).cost_us(500) * after_f;
+        total += profile.for_op(3, OpKind::Join).cost_us(500) * after_f;
+        total += profile.for_op(4, OpKind::Project).cost_us(0) * after_f;
+        total += profile.for_op(5, OpKind::GroupAggregate).cost_us(200) * after_f;
+        assert!(total > 1e6, "T2T must exceed one core: {total}");
+        assert!(total < 1.6e6, "but not absurdly: {total}");
+    }
+
+    #[test]
+    fn log_totals_match_the_paper() {
+        // ≈ 72 k lines/s at 10×; filter keeps 75 %.
+        let rate = 72_000.0;
+        let profile = log_cost_profile();
+        let mut total = 0.0;
+        for (i, mult) in [(0usize, 1.0), (1, 1.0), (2, 1.0), (3, 0.75), (4, 0.75)] {
+            total += profile.for_op(i, OpKind::Map).cost_us(0) * rate * mult;
+        }
+        total += profile.for_op(5, OpKind::GroupAggregate).cost_us(5_000) * rate * 0.75;
+        let frac = total / 1e6;
+        assert!((0.26..=0.36).contains(&frac), "log total = {frac}");
+    }
+
+    #[test]
+    fn bandwidth_constants_match_section_6a() {
+        assert!((per_query_per_node_bps() / MBPS - 20.48).abs() < 1e-9);
+        assert!((per_query_shared_bps() / MBPS - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_cost_is_underestimated_on_small_samples() {
+        let profile = s2s_cost_profile();
+        let steady = profile.for_op(2, OpKind::GroupAggregate).cost_us(20_000);
+        let sampled = profile.for_op(2, OpKind::GroupAggregate).cost_us(4_000);
+        assert!(sampled < steady * 0.95, "sampled {sampled} vs steady {steady}");
+    }
+}

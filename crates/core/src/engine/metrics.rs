@@ -1,0 +1,150 @@
+//! Run metrics: throughput, latency, network accounting.
+
+use simnet::LatencyStats;
+use serde::{Deserialize, Serialize};
+
+use crate::proxy::QueryState;
+use crate::runtime::TraceState;
+
+/// Per-epoch observations for one source's query instance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpochMetrics {
+    /// Records ingested this epoch.
+    pub input_records: u64,
+    /// Wire bytes ingested.
+    pub input_bytes: u64,
+    /// Input-equivalent bytes whose processing completed within the latency
+    /// bound this epoch (source-side terminals only; SP-side completions are
+    /// added by the block).
+    pub on_time_bytes: f64,
+    /// Input-equivalent bytes completed late.
+    pub late_bytes: f64,
+    /// Input-equivalent bytes lost to queue-cap drops.
+    pub lost_bytes: f64,
+    /// Records drained to the SP (routing + overflow).
+    pub drained_records: u64,
+    /// Bytes enqueued to the network (records + state deltas).
+    pub net_bytes: u64,
+    /// State-delta bytes within `net_bytes`.
+    pub state_bytes: u64,
+    /// Query state observed at the epoch boundary.
+    pub query_state: Option<QueryState>,
+    /// Fig. 8 trace category for the epoch.
+    pub trace: Option<TraceState>,
+    /// Subsampled end-to-end latency samples (seconds) for source-side
+    /// completions.
+    pub latency_samples: Vec<f64>,
+}
+
+/// Accumulated metrics over a run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Epochs observed (measurement window only).
+    pub epochs: u64,
+    /// Total ingested bytes.
+    pub input_bytes: f64,
+    /// Input-equivalent bytes completed on time.
+    pub on_time_bytes: f64,
+    /// Input-equivalent bytes completed late.
+    pub late_bytes: f64,
+    /// Input-equivalent bytes lost.
+    pub lost_bytes: f64,
+    /// Bytes offered to the network.
+    pub net_bytes: f64,
+    /// State-delta bytes within `net_bytes` (the Fig. 3 result stream).
+    pub state_bytes: f64,
+    /// Records drained to the SP.
+    pub drained_records: u64,
+    /// End-to-end processing latency samples, seconds.
+    pub latency: LatencyStats,
+}
+
+impl Default for RunMetrics {
+    fn default() -> Self {
+        RunMetrics {
+            epochs: 0,
+            input_bytes: 0.0,
+            on_time_bytes: 0.0,
+            late_bytes: 0.0,
+            lost_bytes: 0.0,
+            net_bytes: 0.0,
+            state_bytes: 0.0,
+            drained_records: 0,
+            latency: LatencyStats::default(),
+        }
+    }
+}
+
+impl RunMetrics {
+    /// Folds one epoch's source-side metrics in.
+    pub fn absorb(&mut self, e: &EpochMetrics) {
+        self.epochs += 1;
+        self.input_bytes += e.input_bytes as f64;
+        self.on_time_bytes += e.on_time_bytes;
+        self.late_bytes += e.late_bytes;
+        self.lost_bytes += e.lost_bytes;
+        self.net_bytes += e.net_bytes as f64;
+        self.state_bytes += e.state_bytes as f64;
+        self.drained_records += e.drained_records;
+        for &s in &e.latency_samples {
+            self.latency.record(s);
+        }
+    }
+
+    /// State-delta share of the network rate, Mbps over `secs`.
+    pub fn state_mbps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.state_bytes * 8.0 / secs / crate::calibration::MBPS
+    }
+
+    /// On-time throughput in the paper's Mbps over `secs` of virtual time.
+    pub fn throughput_mbps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.on_time_bytes * 8.0 / secs / crate::calibration::MBPS
+    }
+
+    /// Offered network rate in Mbps over `secs`.
+    pub fn network_mbps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.net_bytes * 8.0 / secs / crate::calibration::MBPS
+    }
+
+    /// Input rate in Mbps over `secs`.
+    pub fn input_mbps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.input_bytes * 8.0 / secs / crate::calibration::MBPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_arithmetic() {
+        let mut m = RunMetrics::default();
+        m.absorb(&EpochMetrics {
+            input_records: 100,
+            input_bytes: 1 << 20, // 1 MiB
+            on_time_bytes: (1 << 20) as f64,
+            ..Default::default()
+        });
+        // 1 MiB in 1 s = 8 "Mbps" in the binary convention.
+        assert!((m.throughput_mbps(1.0) - 8.0).abs() < 1e-9);
+        assert_eq!(m.epochs, 1);
+    }
+
+    #[test]
+    fn zero_window_is_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.throughput_mbps(0.0), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Execution engines.
+//!
+//! [`source::SourceEngine`] runs the source-side query instance on an
+//! emulated node: control proxies route records, operators charge their costs
+//! against the node's CPU budget, and drained data/state flows to the network
+//! as [`NetPayload`]s. [`sp::SpEngine`] runs the replica pipelines and state
+//! merging on the stream processor. [`block::BuildingBlock`] wires N sources,
+//! a fair-shared link, and one SP into the paper's core building block
+//! (Fig. 4b) and advances them epoch by epoch.
+
+pub mod block;
+pub mod metrics;
+pub mod source;
+pub mod sp;
+pub mod tree;
+
+use streamkit::ops::StatePartial;
+use streamkit::record::Record;
+
+pub use block::{BuildingBlock, BuildingBlockConfig, NetworkModel};
+pub use metrics::{EpochMetrics, RunMetrics};
+pub use source::{SourceConfig, SourceEngine};
+pub use sp::SpEngine;
+
+/// Data shipped from a data source to its stream processor.
+#[derive(Debug, Clone)]
+pub enum NetPayload {
+    /// Records drained at the proxy of operator `stage` (0-based index into
+    /// the plan); `stage == plan length` means fully-processed records
+    /// (results of a stateless tail) headed for the SP's merge/collect.
+    Records {
+        /// Destination operator index on the SP replica.
+        stage: usize,
+        /// The records.
+        records: Vec<Record>,
+    },
+    /// Mergeable partial state from the source-side stateful operator at
+    /// `stage`.
+    StateDelta {
+        /// Source operator index.
+        stage: usize,
+        /// The state increment.
+        delta: StatePartial,
+    },
+}
+
+impl NetPayload {
+    /// Number of records carried (state deltas count group entries).
+    pub fn record_count(&self) -> usize {
+        match self {
+            NetPayload::Records { records, .. } => records.len(),
+            NetPayload::StateDelta { delta, .. } => delta.entry_count(),
+        }
+    }
+}

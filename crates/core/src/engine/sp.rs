@@ -1,0 +1,231 @@
+//! The stream-processor engine.
+//!
+//! Hosts one replica pipeline per data source (paper Fig. 5): drained records
+//! enter at the operator they were drained in front of and flow through the
+//! rest of the chain; partial-state deltas merge into the replica's stateful
+//! operator. Stateful replicas run in Final role and emit merged results. The
+//! SP's cores are shared across all replicas.
+//!
+//! Throughput accounting distinguishes the *input domain* (drained source
+//! records still being processed — their terminal events complete the input
+//! work) from the *result domain* (rows emitted by aggregations — query
+//! output, never double-counted as input completions).
+
+use std::collections::VecDeque;
+
+use simnet::{CpuBudget, Node, NodeId};
+use streamkit::ops::{AggRole, Operator};
+use streamkit::physical::{build_pipeline, CostProfile};
+use streamkit::record::Record;
+use streamkit::time::Ts;
+
+use crate::calibration;
+use crate::engine::NetPayload;
+use crate::planner::PlannedQuery;
+
+/// A queued item: the record, its network-arrival time, and whether it
+/// belongs to the result domain.
+struct Item {
+    rec: Record,
+    arrived: f64,
+    is_result: bool,
+}
+
+/// Per-source replica pipeline.
+struct Replica {
+    stages: Vec<Box<dyn Operator>>,
+    /// Arrival queues, one per stage, plus a final slot for records that
+    /// completed the whole chain.
+    queues: Vec<VecDeque<Item>>,
+}
+
+/// Cost of merging one group's partial state, µs.
+const MERGE_COST_PER_ENTRY_US: f64 = 0.5;
+
+/// An input-record completion at the SP.
+#[derive(Debug, Clone, Copy)]
+pub struct SpCompletion {
+    /// Which source the record came from.
+    pub source: usize,
+    /// The record's event timestamp.
+    pub ts: Ts,
+    /// Virtual completion time, seconds.
+    pub completed_s: f64,
+}
+
+/// The SP engine.
+pub struct SpEngine {
+    node: Node,
+    replicas: Vec<Replica>,
+    epoch_secs: f64,
+    results_emitted: u64,
+    lateness_secs: f64,
+}
+
+impl SpEngine {
+    /// Builds an SP hosting `n_sources` replicas of the planned query.
+    pub fn new(
+        planned: &PlannedQuery,
+        costs: &CostProfile,
+        n_sources: usize,
+        sp_cores: f64,
+        epoch_secs: f64,
+    ) -> SpEngine {
+        let mut replicas = Vec::with_capacity(n_sources);
+        for _ in 0..n_sources {
+            let stages =
+                build_pipeline(&planned.plan, costs, AggRole::Final).expect("validated plan");
+            let queues = (0..=stages.len()).map(|_| VecDeque::new()).collect();
+            replicas.push(Replica { stages, queues });
+        }
+        SpEngine {
+            node: Node::new(NodeId(0), CpuBudget::fraction(sp_cores), 0.0, 7),
+            replicas,
+            epoch_secs,
+            results_emitted: 0,
+            lateness_secs: calibration::LATENCY_BOUND_SECS,
+        }
+    }
+
+    /// Total result rows emitted so far.
+    pub fn results_emitted(&self) -> u64 {
+        self.results_emitted
+    }
+
+    /// The SP node (budget inspection).
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// Records still queued (delivered but unprocessed).
+    pub fn backlog_records(&self) -> usize {
+        self.replicas
+            .iter()
+            .map(|r| r.queues.iter().map(VecDeque::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Delivers a payload from `source` that finished its network transfer at
+    /// `arrival_secs`.
+    pub fn deliver(&mut self, source: usize, payload: NetPayload, arrival_secs: f64) {
+        let replica = &mut self.replicas[source];
+        match payload {
+            NetPayload::Records { stage, records } => {
+                let stage = stage.min(replica.stages.len());
+                for rec in records {
+                    replica.queues[stage].push_back(Item {
+                        rec,
+                        arrived: arrival_secs,
+                        is_result: false,
+                    });
+                }
+            }
+            NetPayload::StateDelta { stage, delta } => {
+                let cost = MERGE_COST_PER_ENTRY_US * delta.entry_count() as f64;
+                self.node.charge_upto(cost);
+                if stage < replica.stages.len() {
+                    replica.stages[stage].merge_state(delta);
+                }
+            }
+        }
+    }
+
+    /// Runs one SP epoch: processes queued arrivals through the replica
+    /// pipelines within the SP's core budget, then advances event time.
+    /// Returns input-record completions.
+    pub fn run_epoch(&mut self, epoch_start_us: Ts) -> Vec<SpCompletion> {
+        self.node.begin_epoch(self.epoch_secs);
+        let mut completions = Vec::new();
+        let epoch_start_s = epoch_start_us as f64 / 1e6;
+        let epoch_end_us = epoch_start_us + (self.epoch_secs * 1e6) as Ts;
+
+        let mut out_buf: Vec<Record> = Vec::new();
+        'outer: loop {
+            let mut progressed = false;
+            for (source, replica) in self.replicas.iter_mut().enumerate() {
+                let n_stages = replica.stages.len();
+                for stage in 0..n_stages {
+                    let take = replica.queues[stage].len().min(calibration::EXEC_QUANTUM);
+                    for _ in 0..take {
+                        let cost = replica.stages[stage].cost_us();
+                        if !self.node.try_charge(cost) {
+                            break 'outer;
+                        }
+                        let item = replica.queues[stage].pop_front().expect("non-empty");
+                        let ts = item.rec.ts;
+                        out_buf.clear();
+                        replica.stages[stage].process(item.rec, &mut out_buf);
+                        let completed_s = (epoch_start_s
+                            + self.node.epoch_utilisation() * self.epoch_secs)
+                            .max(item.arrived);
+                        if out_buf.is_empty() {
+                            // Terminal: filtered out or absorbed into state.
+                            if !item.is_result {
+                                completions.push(SpCompletion { source, ts, completed_s });
+                            }
+                        } else {
+                            for out in out_buf.drain(..) {
+                                replica.queues[stage + 1].push_back(Item {
+                                    rec: out,
+                                    arrived: completed_s,
+                                    is_result: item.is_result,
+                                });
+                            }
+                        }
+                    }
+                    if take > 0 {
+                        progressed = true;
+                    }
+                }
+                // Records that traversed the whole chain.
+                let tail = replica.stages.len();
+                while let Some(item) = replica.queues[tail].pop_front() {
+                    if item.is_result {
+                        self.results_emitted += 1;
+                    } else {
+                        // A stateless-tail input record: completing the chain
+                        // is both its completion and a query result.
+                        completions.push(SpCompletion {
+                            source,
+                            ts: item.rec.ts,
+                            completed_s: item.arrived.max(epoch_start_s),
+                        });
+                        self.results_emitted += 1;
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Advance event time with a lateness allowance so slow drained
+        // records still find their windows open (watermark replication on
+        // the drain path, §V).
+        let wm = epoch_end_us - (self.lateness_secs * 1e6) as Ts;
+        let mut wm_out: Vec<Record> = Vec::new();
+        for replica in &mut self.replicas {
+            let n_stages = replica.stages.len();
+            for stage in 0..n_stages {
+                wm_out.clear();
+                replica.stages[stage].on_watermark(wm, &mut wm_out);
+                replica.stages[stage].on_epoch(&mut wm_out);
+                for out in wm_out.drain(..) {
+                    if stage + 1 < n_stages {
+                        replica.queues[stage + 1].push_back(Item {
+                            rec: out,
+                            arrived: epoch_start_s + self.epoch_secs,
+                            is_result: true,
+                        });
+                    } else {
+                        // Final-stage emissions are query results.
+                        self.results_emitted += 1;
+                    }
+                }
+            }
+        }
+
+        completions
+    }
+}

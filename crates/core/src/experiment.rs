@@ -1,0 +1,465 @@
+//! Experiment harnesses regenerating the paper's evaluation (§VI).
+//!
+//! [`ScenarioSpec`] names a workload (query + generator + calibrated costs);
+//! [`Scenario`] wires it into a [`BuildingBlock`] under a chosen strategy and
+//! produces a [`ScenarioReport`]. The sweep functions below are the engines
+//! behind the `repro` binary's figure subcommands.
+
+use std::sync::Arc;
+
+use streamkit::logical::LogicalPlan;
+use streamkit::ops::{JoinOp, StaticTable};
+use streamkit::physical::CostProfile;
+
+use crate::calibration::{self, Scale, MBPS};
+use crate::engine::block::{
+    BuildingBlock, BuildingBlockConfig, EpochSource, NetworkModel,
+};
+use crate::engine::source::SourceConfig;
+use crate::planner::{plan_query, PlannedQuery, RuleConfig};
+use crate::runtime::EpochTrace;
+use crate::strategy::StrategyKind;
+use telemetry::loganalytics::{LogConfig, LogGenerator};
+use telemetry::pingmesh::{rate_skew_factor, PingmeshConfig, PingmeshGenerator};
+
+/// The three evaluated workloads.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// S2SProbe on Pingmesh (Listing 1).
+    PingmeshS2S {
+        /// Input-rate scale.
+        scale: Scale,
+    },
+    /// T2TProbe on Pingmesh (Listing 2).
+    PingmeshT2T {
+        /// Input-rate scale.
+        scale: Scale,
+        /// Static-table size.
+        table_size: u32,
+    },
+    /// LogAnalytics on text logs (Listing 3).
+    LogAnalytics {
+        /// Input-rate scale.
+        scale: Scale,
+    },
+}
+
+/// A workload specification: query plan + calibrated costs + generators.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// The workload.
+    pub workload: Workload,
+    /// Apply per-source rate skew (Fig. 10 multi-source realism; off for the
+    /// single-source throughput sweeps, matching §VI-B's fixed rates).
+    pub rate_skew: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// S2SProbe at the given scale.
+    pub fn pingmesh_s2s(scale: Scale) -> ScenarioSpec {
+        ScenarioSpec { workload: Workload::PingmeshS2S { scale }, rate_skew: false, seed: 17 }
+    }
+
+    /// T2TProbe at the given scale and table size.
+    pub fn pingmesh_t2t(scale: Scale, table_size: u32) -> ScenarioSpec {
+        ScenarioSpec {
+            workload: Workload::PingmeshT2T { scale, table_size },
+            rate_skew: false,
+            seed: 17,
+        }
+    }
+
+    /// LogAnalytics at the given scale.
+    pub fn log_analytics(scale: Scale) -> ScenarioSpec {
+        ScenarioSpec { workload: Workload::LogAnalytics { scale }, rate_skew: false, seed: 17 }
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &'static str {
+        match self.workload {
+            Workload::PingmeshS2S { .. } => "S2SProbe",
+            Workload::PingmeshT2T { .. } => "T2TProbe",
+            Workload::LogAnalytics { .. } => "LogAnalytics",
+        }
+    }
+
+    /// The logical plan.
+    pub fn logical_plan(&self) -> LogicalPlan {
+        match &self.workload {
+            Workload::PingmeshS2S { .. } => telemetry::queries::s2s_probe(),
+            Workload::PingmeshT2T { table_size, .. } => {
+                let (src, dst) = telemetry::queries::t2t_tables(*table_size, 40, &[1]);
+                telemetry::queries::t2t_probe(src, dst)
+            }
+            Workload::LogAnalytics { .. } => telemetry::queries::log_analytics(),
+        }
+    }
+
+    /// The planned (optimised, rule-checked) query.
+    pub fn plan(&self) -> PlannedQuery {
+        plan_query(self.logical_plan(), &RuleConfig::default()).expect("paper queries are valid")
+    }
+
+    /// Calibrated per-operator costs.
+    pub fn costs(&self) -> CostProfile {
+        match self.workload {
+            Workload::PingmeshS2S { .. } => calibration::s2s_cost_profile(),
+            Workload::PingmeshT2T { .. } => calibration::t2t_cost_profile(),
+            Workload::LogAnalytics { .. } => calibration::log_cost_profile(),
+        }
+    }
+
+    /// A generator for source `i` of `n`.
+    pub fn generator(&self, i: u32, n: u32) -> Box<dyn EpochSource> {
+        let rate_factor = if self.rate_skew { rate_skew_factor(i, n) } else { 1.0 };
+        match &self.workload {
+            Workload::PingmeshS2S { scale } => Box::new(PingmeshGenerator::new(PingmeshConfig {
+                src_ip: i + 1,
+                scale: scale.factor(),
+                rate_factor,
+                seed: self.seed,
+                ..Default::default()
+            })),
+            Workload::PingmeshT2T { scale, table_size } => {
+                Box::new(PingmeshGenerator::new(PingmeshConfig {
+                    src_ip: i + 1,
+                    scale: scale.factor(),
+                    rate_factor,
+                    peer_ip_space: *table_size,
+                    seed: self.seed,
+                    ..Default::default()
+                }))
+            }
+            Workload::LogAnalytics { scale } => Box::new(LogGenerator::new(LogConfig {
+                scale: scale.factor(),
+                seed: self.seed ^ u64::from(i),
+                ..Default::default()
+            })),
+        }
+    }
+
+    /// Nominal per-source input rate in paper-Mbps.
+    pub fn input_mbps(&self) -> f64 {
+        match &self.workload {
+            Workload::PingmeshS2S { scale } | Workload::PingmeshT2T { scale, .. } => {
+                PingmeshConfig { scale: scale.factor(), ..Default::default() }.bits_per_sec() / MBPS
+            }
+            Workload::LogAnalytics { scale } => {
+                LogConfig { scale: scale.factor(), ..Default::default() }.bits_per_sec() / MBPS
+            }
+        }
+    }
+}
+
+/// A configured, runnable scenario.
+pub struct Scenario {
+    /// The underlying building block.
+    pub block: BuildingBlock,
+    spec: ScenarioSpec,
+    warmup: u64,
+}
+
+/// Default warm-up epochs before measurement (§VI-A runs three minutes of
+/// warm-up on the testbed; adaptation here settles within ~15 epochs).
+pub const DEFAULT_WARMUP_EPOCHS: u64 = 20;
+
+impl Scenario {
+    /// One source, one SP, dedicated per-source bandwidth (the Fig. 7
+    /// setting).
+    pub fn single_source(spec: ScenarioSpec, strategy: StrategyKind, cpu_budget: f64) -> Scenario {
+        Scenario::multi_source(
+            spec,
+            strategy,
+            cpu_budget,
+            1,
+            NetworkModel::PerSource { bps: calibration::per_query_per_node_bps() },
+        )
+    }
+
+    /// N sources sharing the SP (the Fig. 10 setting when `network` is
+    /// [`NetworkModel::Shared`]).
+    pub fn multi_source(
+        spec: ScenarioSpec,
+        strategy: StrategyKind,
+        cpu_budget: f64,
+        n_sources: u32,
+        network: NetworkModel,
+    ) -> Scenario {
+        let planned = spec.plan();
+        let costs = spec.costs();
+        let cfgs: Vec<SourceConfig> = (0..n_sources)
+            .map(|i| {
+                let mut c = SourceConfig::new(i + 1, cpu_budget, strategy);
+                c.seed = spec.seed.wrapping_add(u64::from(i));
+                c
+            })
+            .collect();
+        let generators: Vec<Box<dyn EpochSource>> =
+            (0..n_sources).map(|i| spec.generator(i, n_sources)).collect();
+        let block = BuildingBlock::new(
+            &planned,
+            &costs,
+            cfgs,
+            generators,
+            BuildingBlockConfig { network, ..Default::default() },
+            DEFAULT_WARMUP_EPOCHS,
+        );
+        Scenario { block, spec, warmup: DEFAULT_WARMUP_EPOCHS }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Warm-up epochs.
+    pub fn warmup_epochs(&self) -> u64 {
+        self.warmup
+    }
+
+    /// Changes every source's CPU budget (takes effect next epoch).
+    pub fn set_cpu_budget(&mut self, fraction: f64) {
+        for i in 0..self.block.source_count() {
+            self.block.source_mut(i).set_cpu_budget(fraction);
+        }
+    }
+
+    /// Swaps the static table of every join operator on every source (the
+    /// Fig. 8b 10× table growth).
+    pub fn swap_join_tables(&mut self, table_size: u32) {
+        let (src_table, dst_table) = telemetry::queries::t2t_tables(table_size, 40, &[1]);
+        for i in 0..self.block.source_count() {
+            let engine = self.block.source_mut(i);
+            let mut join_seen = 0;
+            for stage in 0..engine.plan_ops() {
+                if let Some(any) = engine
+                    .op_mut(stage)
+                    .as_any_mut()
+                    .and_then(|a| a.downcast_mut::<JoinOp>().map(|j| j as &mut JoinOp))
+                {
+                    let table: &Arc<StaticTable> =
+                        if join_seen == 0 { &src_table } else { &dst_table };
+                    any.set_table(table.clone());
+                    join_seen += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs `n` epochs and reports.
+    pub fn run_epochs(&mut self, n: u64) -> ScenarioReport {
+        self.block.run_epochs(n);
+        self.report()
+    }
+
+    /// Builds a report from the current state.
+    pub fn report(&self) -> ScenarioReport {
+        let secs = self.block.measured_secs();
+        let metrics = self.block.metrics();
+        let mut latency_median = None;
+        let mut latency_max = None;
+        if let Some(m) = metrics.first() {
+            latency_median = m.latency.median();
+            latency_max = m.latency.max();
+        }
+        ScenarioReport {
+            throughput_mbps: self.block.aggregate_throughput_mbps(),
+            network_mbps: self.block.aggregate_network_mbps(),
+            input_mbps: metrics.iter().map(|m| m.input_mbps(secs)).sum(),
+            latency_median_s: latency_median,
+            latency_max_s: latency_max,
+            trace: self.block.source(0).runtime().trace().to_vec(),
+            episodes: self.block.source(0).runtime().episodes().to_vec(),
+            load_factors: self.block.source(0).load_factors(),
+            overhead_core_frac: {
+                let rt = self.block.source(0).runtime();
+                let epochs = rt.trace().len().max(1) as f64;
+                rt.overhead_us() / (epochs * 1e6)
+            },
+        }
+    }
+}
+
+/// Scenario results.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Aggregate on-time throughput, paper-Mbps.
+    pub throughput_mbps: f64,
+    /// Aggregate offered network rate, paper-Mbps.
+    pub network_mbps: f64,
+    /// Aggregate input rate, paper-Mbps.
+    pub input_mbps: f64,
+    /// Median processing latency, seconds (source 0).
+    pub latency_median_s: Option<f64>,
+    /// Max processing latency, seconds (source 0).
+    pub latency_max_s: Option<f64>,
+    /// Runtime trace of source 0 (Fig. 8 series).
+    pub trace: Vec<EpochTrace>,
+    /// Adaptation episodes of source 0 as (trigger, stable) epochs.
+    pub episodes: Vec<(u64, u64)>,
+    /// Final load factors of source 0.
+    pub load_factors: Vec<f64>,
+    /// Adaptation overhead as a fraction of one core.
+    pub overhead_core_frac: f64,
+}
+
+/// One row of a Fig. 7 panel: throughput per strategy at one CPU budget.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// CPU budget (fraction of one core).
+    pub cpu_budget: f64,
+    /// `(strategy, throughput Mbps)` pairs.
+    pub results: Vec<(StrategyKind, f64)>,
+}
+
+/// Fig. 7: throughput over varying CPU budgets for a set of strategies.
+pub fn throughput_sweep(
+    spec: &ScenarioSpec,
+    strategies: &[StrategyKind],
+    budgets: &[f64],
+    epochs: u64,
+) -> Vec<ThroughputRow> {
+    budgets
+        .iter()
+        .map(|&cpu| {
+            let results = strategies
+                .iter()
+                .map(|&s| {
+                    let mut scenario = Scenario::single_source(spec.clone(), s, cpu);
+                    let report = scenario.run_epochs(epochs);
+                    (s, report.throughput_mbps)
+                })
+                .collect();
+            ThroughputRow { cpu_budget: cpu, results }
+        })
+        .collect()
+}
+
+/// A scheduled resource change: at `epoch`, set the CPU budget (and/or the
+/// join-table size).
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceEvent {
+    /// Epoch at which the change applies.
+    pub epoch: u64,
+    /// New CPU budget, if changing.
+    pub cpu_budget: Option<f64>,
+    /// New join-table size, if changing (T2TProbe only).
+    pub table_size: Option<u32>,
+}
+
+/// Fig. 8: runs a strategy under a schedule of resource changes, returning
+/// the per-epoch trace and convergence episodes.
+pub fn convergence_run(
+    spec: &ScenarioSpec,
+    strategy: StrategyKind,
+    initial_cpu: f64,
+    events: &[ResourceEvent],
+    total_epochs: u64,
+) -> ScenarioReport {
+    let mut scenario = Scenario::single_source(spec.clone(), strategy, initial_cpu);
+    for epoch in 0..total_epochs {
+        for ev in events.iter().filter(|e| e.epoch == epoch) {
+            if let Some(cpu) = ev.cpu_budget {
+                scenario.set_cpu_budget(cpu);
+            }
+            if let Some(size) = ev.table_size {
+                scenario.swap_join_tables(size);
+            }
+        }
+        scenario.block.run_epoch();
+    }
+    scenario.report()
+}
+
+/// One point of a Fig. 10 panel.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Number of data sources.
+    pub sources: u32,
+    /// Aggregate throughput, Mbps.
+    pub throughput_mbps: f64,
+    /// Ideal (input) aggregate rate, Mbps.
+    pub expected_mbps: f64,
+    /// Median / max latency of source 0.
+    pub latency_median_s: Option<f64>,
+    /// Max latency.
+    pub latency_max_s: Option<f64>,
+}
+
+/// Fig. 10: aggregate throughput as sources scale, under the shared SP link.
+pub fn scale_sweep(
+    spec: &ScenarioSpec,
+    strategy: StrategyKind,
+    cpu_budget: f64,
+    source_counts: &[u32],
+    epochs: u64,
+) -> Vec<ScalePoint> {
+    source_counts
+        .iter()
+        .map(|&n| {
+            let mut scenario = Scenario::multi_source(
+                spec.clone(),
+                strategy,
+                cpu_budget,
+                n,
+                NetworkModel::Shared { total_bps: calibration::per_query_shared_bps() },
+            );
+            let report = scenario.run_epochs(epochs);
+            ScalePoint {
+                sources: n,
+                throughput_mbps: report.throughput_mbps,
+                expected_mbps: spec.input_mbps() * f64::from(n),
+                latency_median_s: report.latency_median_s,
+                latency_max_s: report.latency_max_s,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_source_jarvis_reaches_full_throughput_at_high_budget() {
+        let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
+        let mut s = Scenario::single_source(spec, StrategyKind::Jarvis, 1.0);
+        let report = s.run_epochs(60);
+        // 26.2 Mbps input; with a full core the query fits locally.
+        assert!(
+            report.throughput_mbps > 0.9 * report.input_mbps,
+            "throughput {} vs input {}",
+            report.throughput_mbps,
+            report.input_mbps
+        );
+    }
+
+    #[test]
+    fn all_sp_is_network_bound() {
+        let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
+        let mut s = Scenario::single_source(spec, StrategyKind::AllSp, 1.0);
+        let report = s.run_epochs(60);
+        // 26.2 Mbps input over a 20.48 Mbps uplink: throughput ≈ the link.
+        assert!(
+            report.throughput_mbps < 22.0,
+            "All-SP must cap near 20.48, got {}",
+            report.throughput_mbps
+        );
+        assert!(report.throughput_mbps > 15.0, "got {}", report.throughput_mbps);
+    }
+
+    #[test]
+    fn jarvis_beats_all_src_under_constrained_budget() {
+        let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
+        let mut j = Scenario::single_source(spec.clone(), StrategyKind::Jarvis, 0.6);
+        let jarvis = j.run_epochs(80).throughput_mbps;
+        let mut a = Scenario::single_source(spec, StrategyKind::AllSrc, 0.6);
+        let allsrc = a.run_epochs(80).throughput_mbps;
+        assert!(
+            jarvis > 1.5 * allsrc,
+            "Jarvis {jarvis:.1} must clearly beat All-Src {allsrc:.1} at 60% CPU"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! `jarvis-core` — the paper's contribution: adaptive data-level query
+//! partitioning for server monitoring.
+//!
+//! The crate layers the Jarvis design of §IV on the substrates:
+//!
+//! * [`proxy`] — the **control proxy**, a light-weight router between
+//!   adjacent operators that forwards a load-factor fraction of records to
+//!   the local operator and drains the rest to the stream-processor replica,
+//!   and classifies its operator as Idle / Congested / Stable each epoch.
+//! * [`runtime`] — the **Jarvis runtime** state machine
+//!   (Startup → Probe → Profile → Adapt) with the 3-epoch change debounce.
+//! * [`stepwise`] — **StepWise-Adapt**: LP-based initial load factors
+//!   (via `jarvis-lp`) plus model-agnostic fine-tuning (relay-ratio
+//!   priorities, binary search over discretised load factors).
+//! * [`planner`] — control-proxy insertion and the operator-eligibility
+//!   rules R-1..R-4 of §IV-B.
+//! * [`strategy`] — Jarvis and the five baselines of §VI-A (All-SP, All-Src,
+//!   Filter-Src, Best-OP, LB-DP) plus the two ablation variants of §VI-C
+//!   (LP-only, w/o LP-init), all expressed as load-factor policies.
+//! * [`engine`] — the per-node execution engines that charge operator costs
+//!   to `simnet` CPU budgets and route drained data over links.
+//! * [`experiment`] — scenario harnesses regenerating the paper's figures.
+//! * [`convergence_sim`] — the §VI-C exhaustive convergence-cost simulator.
+//! * [`multiquery`] — multiple queries on one data source (§VI-F).
+//! * [`checkpoint`] — intermediate-state checkpointing (§IV-E).
+//! * [`live`] — a threaded (crossbeam-channel) runtime running the same
+//!   pipelines under real concurrency.
+
+pub mod calibration;
+pub mod checkpoint;
+pub mod convergence_sim;
+pub mod engine;
+pub mod experiment;
+pub mod live;
+pub mod multiquery;
+pub mod planner;
+pub mod proxy;
+pub mod runner;
+pub mod runtime;
+pub mod stepwise;
+pub mod strategy;
+
+pub use proxy::{ControlProxy, ProxyState, QueryState};
+pub use runtime::{JarvisRuntime, Phase, RuntimeConfig};
+pub use stepwise::{PriorityRule, StepWiseAdapt, StepWiseConfig};
+pub use strategy::StrategyKind;

@@ -1,0 +1,227 @@
+//! Query-plan generation for Jarvis (paper §IV-B).
+//!
+//! Takes a user query (logical plan), applies the standard logical
+//! optimisations, then determines the *source-eligible prefix* — the chain of
+//! operators that may execute on data sources — using the paper's rules:
+//!
+//! * **R-1** — aggregations that are not incrementally updatable (e.g. exact
+//!   quantiles) cannot run near data; their approximate, mergeable versions
+//!   can.
+//! * **R-2** — operators downstream of a stateful operation that requires
+//!   aggregation across data sources are SP-only: the prefix ends at (and
+//!   includes) the first grouped aggregation, which runs in Partial role.
+//! * **R-3** — stateful stream-stream joins are SP-only (the engine's
+//!   stream-table joins are fine).
+//! * **R-4** — multiple physical operators per logical operator are not used
+//!   on data sources (no intra-operator parallelism under a constrained
+//!   budget); intermediate SPs may parallelise.
+//!
+//! The rules live in a [`RuleConfig`] and can be extended, mirroring the
+//! paper's "rules are described in a configuration file".
+
+use serde::{Deserialize, Serialize};
+use streamkit::agg::AggKind;
+use streamkit::error::Result;
+use streamkit::logical::{LogicalOp, LogicalPlan};
+use streamkit::optimizer::optimize;
+
+/// Why an operator was excluded from the source-eligible prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// R-1: non-incrementally-updatable aggregation.
+    NonIncrementalAggregate,
+    /// R-2: downstream of a cross-source stateful operator.
+    AfterStatefulBoundary,
+    /// R-3: stateful stream-stream join.
+    StreamJoin,
+    /// R-4: parallel physical operators requested.
+    ParallelOperator,
+}
+
+/// The eligibility rule configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleConfig {
+    /// R-1 enabled.
+    pub forbid_non_incremental: bool,
+    /// Treat approximate quantiles as exact (forces R-1 to fire on them;
+    /// used to demonstrate the rule, default false — the paper notes
+    /// approximate quantiles *do* benefit from Jarvis).
+    pub quantiles_are_exact: bool,
+    /// R-2 enabled.
+    pub forbid_after_stateful: bool,
+    /// Maximum physical operators per logical operator on a source (R-4).
+    pub max_source_parallelism: u32,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            forbid_non_incremental: true,
+            quantiles_are_exact: false,
+            forbid_after_stateful: true,
+            max_source_parallelism: 1,
+        }
+    }
+}
+
+impl RuleConfig {
+    fn agg_is_incremental(&self, kind: &AggKind) -> bool {
+        match kind {
+            AggKind::Count | AggKind::Sum | AggKind::Min | AggKind::Max | AggKind::Avg => true,
+            AggKind::ApproxQuantile { .. } => !self.quantiles_are_exact,
+        }
+    }
+}
+
+/// A query prepared for Jarvis deployment.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The optimised logical plan (deployed on both sides).
+    pub plan: LogicalPlan,
+    /// Number of leading operators eligible to run on data sources; each
+    /// gets a control proxy. Operators beyond the prefix run SP-only.
+    pub source_ops: usize,
+    /// Exclusion reasons, aligned to `plan.ops[source_ops..]` where known.
+    pub exclusions: Vec<(usize, Exclusion)>,
+}
+
+impl PlannedQuery {
+    /// Index of the first grouped aggregation within the source prefix, if
+    /// any (the Partial-role operator).
+    pub fn partial_agg_index(&self) -> Option<usize> {
+        self.plan.ops[..self.source_ops]
+            .iter()
+            .position(|op| matches!(op, LogicalOp::GroupAggregate { .. }))
+    }
+}
+
+/// Optimises the plan and computes the source-eligible prefix.
+pub fn plan_query(plan: LogicalPlan, rules: &RuleConfig) -> Result<PlannedQuery> {
+    plan.validate()?;
+    let plan = optimize(plan);
+    plan.validate()?;
+
+    let mut source_ops = plan.ops.len();
+    let mut exclusions = Vec::new();
+    let mut seen_stateful = false;
+    for (i, op) in plan.ops.iter().enumerate() {
+        // R-2: anything after the first cross-source stateful op is SP-only.
+        if seen_stateful && rules.forbid_after_stateful {
+            source_ops = source_ops.min(i);
+            exclusions.push((i, Exclusion::AfterStatefulBoundary));
+            continue;
+        }
+        match op {
+            LogicalOp::GroupAggregate { aggs, .. } => {
+                // R-1: every aggregate must be incrementally updatable.
+                if rules.forbid_non_incremental
+                    && aggs.iter().any(|a| !rules.agg_is_incremental(&a.kind))
+                {
+                    source_ops = source_ops.min(i);
+                    exclusions.push((i, Exclusion::NonIncrementalAggregate));
+                }
+                seen_stateful = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(PlannedQuery { plan, source_ops, exclusions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamkit::agg::AggKind;
+    use streamkit::expr::Expr;
+    use streamkit::query::Query;
+    use streamkit::schema::{DataType, Field, Schema, SchemaRef};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("k", DataType::U32),
+            Field::new("v", DataType::U32),
+            Field::new("err", DataType::U32),
+        ])
+    }
+
+    #[test]
+    fn full_chain_is_eligible_when_agg_is_last() {
+        let plan = Query::stream("q", schema())
+            .window_secs(10.0)
+            .filter_named("err", |c| c.eq(Expr::lit(0u64)))
+            .group_by(&["k"])
+            .aggregate(&[(AggKind::Avg, "v", "avg_v")])
+            .build()
+            .unwrap();
+        let planned = plan_query(plan, &RuleConfig::default()).unwrap();
+        assert_eq!(planned.source_ops, 3);
+        assert!(planned.exclusions.is_empty());
+        assert_eq!(planned.partial_agg_index(), Some(2));
+    }
+
+    #[test]
+    fn r2_excludes_ops_after_the_aggregate() {
+        // W -> G+R -> F(avg > 100): the trailing filter needs merged state.
+        let plan = Query::stream("q", schema())
+            .window_secs(10.0)
+            .group_by(&["k"])
+            .aggregate(&[(AggKind::Avg, "v", "avg_v")])
+            .filter_named("avg_v", |c| c.gt(Expr::lit(100.0)))
+            .build()
+            .unwrap();
+        let planned = plan_query(plan, &RuleConfig::default()).unwrap();
+        assert_eq!(planned.source_ops, 2, "prefix = W, G+R");
+        assert_eq!(planned.exclusions, vec![(2, Exclusion::AfterStatefulBoundary)]);
+    }
+
+    #[test]
+    fn r1_fires_when_quantiles_are_treated_exact() {
+        let plan = Query::stream("q", schema())
+            .window_secs(10.0)
+            .group_by(&["k"])
+            .aggregate(&[(
+                AggKind::ApproxQuantile { q: 0.99, lo: 0.0, hi: 1e6 },
+                "v",
+                "p99",
+            )])
+            .build()
+            .unwrap();
+        let rules_ok = RuleConfig::default();
+        let planned = plan_query(plan.clone(), &rules_ok).unwrap();
+        assert_eq!(planned.source_ops, 2, "approximate quantiles are eligible");
+
+        let rules_exact = RuleConfig { quantiles_are_exact: true, ..Default::default() };
+        let planned = plan_query(plan, &rules_exact).unwrap();
+        assert_eq!(planned.source_ops, 1, "exact quantiles stop the prefix at W");
+        assert!(planned
+            .exclusions
+            .contains(&(1, Exclusion::NonIncrementalAggregate)));
+    }
+
+    #[test]
+    fn planner_runs_the_optimizer() {
+        // A constant-true filter disappears during planning.
+        let plan = Query::stream("q", schema())
+            .window_secs(10.0)
+            .filter(Expr::lit(1i64).lt(Expr::lit(2i64)))
+            .group_by(&["k"])
+            .aggregate(&[(AggKind::Count, "v", "n")])
+            .build()
+            .unwrap();
+        let planned = plan_query(plan, &RuleConfig::default()).unwrap();
+        assert_eq!(planned.plan.display_chain(), "W -> G+R");
+    }
+
+    #[test]
+    fn paper_queries_are_fully_eligible() {
+        let planned = plan_query(telemetry::queries::s2s_probe(), &RuleConfig::default()).unwrap();
+        assert_eq!(planned.source_ops, 3);
+        let planned =
+            plan_query(telemetry::queries::log_analytics(), &RuleConfig::default()).unwrap();
+        assert_eq!(planned.source_ops, planned.plan.ops.len());
+        let (src, dst) = telemetry::queries::t2t_tables(500, 40, &[1]);
+        let planned =
+            plan_query(telemetry::queries::t2t_probe(src, dst), &RuleConfig::default()).unwrap();
+        assert_eq!(planned.source_ops, 6, "joins with static tables are eligible");
+    }
+}

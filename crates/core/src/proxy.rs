@@ -1,0 +1,282 @@
+//! Control proxies (paper §IV-A, §IV-C).
+//!
+//! A control proxy is the light-weight routing logic in front of each query
+//! operator. Per record it decides *forward locally* vs *drain to the
+//! stream-processor replica* according to its load factor `p`; per epoch it
+//! classifies its operator as Congested / Idle / Stable using the
+//! `DrainedThres` and `IdleThres` oscillation guards.
+//!
+//! Routing is deterministic (error-diffusion on the load factor) so runs are
+//! reproducible and the forwarded fraction converges to `p` exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operator state observed by the runtime (paper §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProxyState {
+    /// More than `DrainedThres` of the epoch's records were pending /
+    /// overflow-drained: the operator is oversubscribed.
+    Congested,
+    /// The operator sat starved beyond `IdleThres` while compute remained:
+    /// the node is undersubscribed.
+    Idle,
+    /// Neither congested nor idle.
+    Stable,
+}
+
+/// Whole-query classification (paper §IV-C: "non-stable if all operators are
+/// idle or at least one operator is congested").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryState {
+    /// At least one operator congested.
+    Congested,
+    /// Every operator idle.
+    Idle,
+    /// Otherwise.
+    Stable,
+}
+
+/// Combines per-proxy states into the query state.
+pub fn classify_query(states: &[ProxyState]) -> QueryState {
+    if states.iter().any(|s| *s == ProxyState::Congested) {
+        QueryState::Congested
+    } else if !states.is_empty() && states.iter().all(|s| *s == ProxyState::Idle) {
+        QueryState::Idle
+    } else {
+        QueryState::Stable
+    }
+}
+
+/// Routing decision for one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Enqueue for the local downstream operator.
+    Forward,
+    /// Ship to the replica operator on the stream processor.
+    Drain,
+}
+
+/// Per-epoch proxy counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ProxyEpoch {
+    /// Records that arrived at the proxy.
+    pub arrived: u64,
+    /// Records forwarded to the local operator.
+    pub forwarded: u64,
+    /// Records drained by the load-factor routing decision.
+    pub drained_routing: u64,
+    /// Records drained at epoch end because the operator could not keep up.
+    pub drained_overflow: u64,
+    /// Records left pending in the operator queue at epoch end.
+    pub pending_end: u64,
+    /// Whether the operator's queue was empty with node budget left over.
+    pub starved: bool,
+}
+
+/// The control proxy.
+#[derive(Debug, Clone)]
+pub struct ControlProxy {
+    load_factor: f64,
+    /// Error-diffusion accumulator for deterministic routing.
+    acc: f64,
+    drained_thres: f64,
+    idle_thres: f64,
+    epoch: ProxyEpoch,
+    total_arrived: u64,
+    total_drained: u64,
+}
+
+impl ControlProxy {
+    /// Creates a proxy with an initial load factor and the oscillation-guard
+    /// thresholds.
+    pub fn new(load_factor: f64, drained_thres: f64, idle_thres: f64) -> ControlProxy {
+        assert!((0.0..=1.0).contains(&load_factor), "load factor in [0,1]");
+        ControlProxy {
+            load_factor,
+            acc: 0.0,
+            drained_thres,
+            idle_thres,
+            epoch: ProxyEpoch::default(),
+            total_arrived: 0,
+            total_drained: 0,
+        }
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.load_factor
+    }
+
+    /// Reconfigures the load factor (runtime adaptation).
+    pub fn set_load_factor(&mut self, p: f64) {
+        self.load_factor = p.clamp(0.0, 1.0);
+        self.acc = 0.0;
+    }
+
+    /// Routes one arriving record.
+    pub fn route(&mut self) -> Route {
+        self.epoch.arrived += 1;
+        self.total_arrived += 1;
+        self.acc += self.load_factor;
+        if self.acc >= 1.0 - 1e-12 {
+            self.acc -= 1.0;
+            self.epoch.forwarded += 1;
+            Route::Forward
+        } else {
+            self.epoch.drained_routing += 1;
+            self.total_drained += 1;
+            Route::Drain
+        }
+    }
+
+    /// Records `n` overflow-drained records (end-of-epoch shedding of a
+    /// backlogged queue).
+    pub fn note_overflow(&mut self, n: u64) {
+        self.epoch.drained_overflow += n;
+        self.total_drained += n;
+    }
+
+    /// Records the queue length left pending at epoch end (queue-mode
+    /// strategies that do not shed).
+    pub fn note_pending(&mut self, n: u64) {
+        self.epoch.pending_end = n;
+    }
+
+    /// Marks whether the operator starved (empty queue, budget left).
+    pub fn note_starved(&mut self, starved: bool) {
+        self.epoch.starved = starved;
+    }
+
+    /// This epoch's counters.
+    pub fn epoch_counters(&self) -> ProxyEpoch {
+        self.epoch
+    }
+
+    /// Lifetime drained fraction.
+    pub fn drained_fraction(&self) -> f64 {
+        if self.total_arrived == 0 {
+            0.0
+        } else {
+            self.total_drained as f64 / self.total_arrived as f64
+        }
+    }
+
+    /// Classifies the operator for this epoch (paper §IV-C). `node_idle_frac`
+    /// is the fraction of the node's epoch budget left unused.
+    pub fn classify(&self, node_idle_frac: f64) -> ProxyState {
+        let backlog = self.epoch.drained_overflow + self.epoch.pending_end;
+        let denom = self.epoch.forwarded + backlog;
+        if denom > 0 {
+            let backlog_frac = backlog as f64 / denom as f64;
+            if backlog_frac > self.drained_thres {
+                return ProxyState::Congested;
+            }
+        }
+        if self.epoch.starved && node_idle_frac > self.idle_thres {
+            return ProxyState::Idle;
+        }
+        ProxyState::Stable
+    }
+
+    /// Resets the per-epoch counters (call at every epoch boundary).
+    pub fn begin_epoch(&mut self) {
+        self.epoch = ProxyEpoch::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proxy(p: f64) -> ControlProxy {
+        ControlProxy::new(p, 0.05, 0.25)
+    }
+
+    #[test]
+    fn routing_fraction_converges_to_load_factor() {
+        for &p in &[0.0, 0.17, 0.5, 0.83, 1.0] {
+            let mut cp = proxy(p);
+            let n = 10_000;
+            let forwarded = (0..n).filter(|_| cp.route() == Route::Forward).count();
+            let frac = forwarded as f64 / n as f64;
+            assert!((frac - p).abs() < 1e-3, "p={p} frac={frac}");
+        }
+    }
+
+    #[test]
+    fn routing_is_error_diffused_not_bursty() {
+        // With p = 0.5 the pattern must alternate, never two drains in a row.
+        let mut cp = proxy(0.5);
+        let routes: Vec<Route> = (0..100).map(|_| cp.route()).collect();
+        for w in routes.windows(2) {
+            assert!(
+                w[0] == Route::Forward || w[1] == Route::Forward,
+                "two consecutive drains at p=0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn conservation_forwarded_plus_drained_equals_arrived() {
+        let mut cp = proxy(0.3);
+        for _ in 0..5_000 {
+            cp.route();
+        }
+        let e = cp.epoch_counters();
+        assert_eq!(e.forwarded + e.drained_routing, e.arrived);
+    }
+
+    #[test]
+    fn congestion_requires_exceeding_drained_thres() {
+        let mut cp = proxy(1.0);
+        for _ in 0..100 {
+            cp.route();
+        }
+        // 4 of 100 pending: within the 5% guard → stable.
+        cp.note_overflow(4);
+        assert_eq!(cp.classify(0.0), ProxyState::Stable);
+        cp.note_overflow(7);
+        assert_eq!(cp.classify(0.0), ProxyState::Congested);
+    }
+
+    #[test]
+    fn idle_requires_starvation_and_spare_budget() {
+        let mut cp = proxy(0.2);
+        for _ in 0..100 {
+            cp.route();
+        }
+        cp.note_starved(true);
+        assert_eq!(cp.classify(0.5), ProxyState::Idle);
+        assert_eq!(cp.classify(0.1), ProxyState::Stable, "busy node is not idle");
+        cp.note_starved(false);
+        assert_eq!(cp.classify(0.5), ProxyState::Stable);
+    }
+
+    #[test]
+    fn query_classification_rules() {
+        use ProxyState::*;
+        assert_eq!(classify_query(&[Stable, Congested, Idle]), QueryState::Congested);
+        assert_eq!(classify_query(&[Idle, Idle, Idle]), QueryState::Idle);
+        assert_eq!(classify_query(&[Idle, Stable, Idle]), QueryState::Stable);
+        assert_eq!(classify_query(&[]), QueryState::Stable);
+    }
+
+    #[test]
+    fn epoch_reset_clears_counters() {
+        let mut cp = proxy(1.0);
+        cp.route();
+        cp.note_overflow(10);
+        cp.begin_epoch();
+        let e = cp.epoch_counters();
+        assert_eq!(e.arrived, 0);
+        assert_eq!(e.drained_overflow, 0);
+        // Lifetime counters survive.
+        assert!(cp.drained_fraction() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor in [0,1]")]
+    fn invalid_load_factor_panics() {
+        ControlProxy::new(1.5, 0.05, 0.25);
+    }
+}

@@ -1,0 +1,464 @@
+//! The Jarvis runtime state machine (paper §IV-C, Fig. 6).
+//!
+//! One runtime instance lives on each data source per query, fully
+//! decentralised: it probes the control proxies at every epoch boundary
+//! (`ProbeCP()`), debounces non-stable observations over
+//! [`RuntimeConfig::detect_epochs`] epochs, then runs a Profile epoch to
+//! estimate operator costs/relay ratios and an Adapt phase that installs
+//! initial load factors and fine-tunes until the query is stable again.
+
+use serde::{Deserialize, Serialize};
+
+use crate::proxy::QueryState;
+use crate::stepwise::{ProfileEstimates, StepWiseAdapt, StepWiseConfig};
+
+/// An adaptation policy plugged into the runtime's Adapt phase. Jarvis uses
+/// [`StepWiseAdapt`]; the Best-OP and LB-DP baselines provide their own
+/// policies (operator-level boundary solving, proportional load balancing).
+pub trait AdaptPolicy: Send {
+    /// Computes initial load factors from profile estimates.
+    fn init_plan(&mut self, est: &ProfileEstimates) -> Vec<f64>;
+    /// One fine-tuning step; returns true when a load factor changed.
+    fn fine_tune(&mut self, p: &mut [f64], state: QueryState) -> bool;
+    /// Whether this policy iteratively fine-tunes after `init_plan` (the
+    /// runtime then enters the Adapt phase even when the initial plan equals
+    /// the running one).
+    fn fine_tunes(&self) -> bool {
+        false
+    }
+    /// Policy name for traces.
+    fn name(&self) -> &'static str;
+}
+
+impl AdaptPolicy for StepWiseAdapt {
+    fn init_plan(&mut self, est: &ProfileEstimates) -> Vec<f64> {
+        StepWiseAdapt::init_plan(self, est)
+    }
+
+    fn fine_tune(&mut self, p: &mut [f64], state: QueryState) -> bool {
+        StepWiseAdapt::fine_tune(self, p, state)
+    }
+
+    fn fine_tunes(&self) -> bool {
+        self.config().use_fine_tuning
+    }
+
+    fn name(&self) -> &'static str {
+        "stepwise-adapt"
+    }
+}
+
+/// Operational phase (paper Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Initialisation: all load factors zero, everything drains to the SP.
+    Startup,
+    /// Normal operation; watching proxy states.
+    Probe,
+    /// Diagnosis epoch: measure operator costs, relay ratios, budget.
+    Profile,
+    /// Installing/fine-tuning a new data-level partitioning plan.
+    Adapt,
+}
+
+/// Category traced per epoch for the Fig. 8 convergence plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceState {
+    /// Query stable.
+    Stable,
+    /// Non-stable observed, debounce still counting.
+    Detect,
+    /// Query idle (undersubscribed).
+    Idle,
+    /// Profiling epoch.
+    Profile,
+    /// Query congested (oversubscribed).
+    Congested,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Consecutive non-stable epochs before adaptation triggers.
+    pub detect_epochs: u32,
+    /// Whether this runtime adapts at all (fixed baselines set false).
+    pub adaptive: bool,
+    /// StepWise-Adapt configuration.
+    pub stepwise: StepWiseConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            detect_epochs: crate::calibration::DETECT_EPOCHS,
+            adaptive: true,
+            stepwise: StepWiseConfig::default(),
+        }
+    }
+}
+
+/// What the engine must do next epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochDecision {
+    /// Phase the runtime will be in next epoch.
+    pub phase: Phase,
+    /// New load factors to install, if any.
+    pub set_load_factors: Option<Vec<f64>>,
+    /// Run the next epoch in profiling mode.
+    pub run_profile: bool,
+}
+
+/// One trace entry per epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochTrace {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Phase the runtime was in during the epoch.
+    pub phase: Phase,
+    /// Observed query state.
+    pub state: QueryState,
+    /// Fig. 8 category.
+    pub trace: TraceState,
+}
+
+/// Epochs of idle-signal suppression after an adaptation concluded nothing
+/// better exists (congestion always interrupts the hold-off).
+pub const IDLE_HOLDOFF_EPOCHS: u32 = 30;
+
+/// Cost charged to the node for running ProbeCP each epoch, µs. Together
+/// with profile/adapt costs this stays well under 1 % of a core (§VI-B).
+pub const PROBE_COST_US: f64 = 50.0;
+/// Cost of solving the LP + installing a plan, µs.
+pub const ADAPT_COST_US: f64 = 500.0;
+/// Extra measurement overhead during a profile epoch, µs.
+pub const PROFILE_COST_US: f64 = 2_000.0;
+
+/// The per-source, per-query Jarvis runtime.
+pub struct JarvisRuntime {
+    cfg: RuntimeConfig,
+    phase: Phase,
+    nonstable_streak: u32,
+    adapter: Box<dyn AdaptPolicy>,
+    estimates: Option<ProfileEstimates>,
+    trace: Vec<EpochTrace>,
+    epoch: u64,
+    /// Epoch at which the current adaptation episode started (for
+    /// convergence measurements).
+    episode_start: Option<u64>,
+    /// Completed adaptation episodes as (start_epoch, stable_epoch).
+    episodes: Vec<(u64, u64)>,
+    /// Total adaptation compute charged, µs.
+    overhead_us: f64,
+    /// Epochs during which *idle* observations are ignored (set after an
+    /// adaptation found nothing better, to avoid profile churn; congestion
+    /// always interrupts).
+    idle_holdoff: u32,
+}
+
+impl JarvisRuntime {
+    /// Creates a runtime for a query with `ops` source-side operators, using
+    /// StepWise-Adapt as configured.
+    pub fn new(cfg: RuntimeConfig, ops: usize) -> JarvisRuntime {
+        let adapter = Box::new(StepWiseAdapt::new(cfg.stepwise, ops));
+        JarvisRuntime::with_policy(cfg, adapter)
+    }
+
+    /// Creates a runtime with a custom adaptation policy (Best-OP, LB-DP).
+    pub fn with_policy(cfg: RuntimeConfig, adapter: Box<dyn AdaptPolicy>) -> JarvisRuntime {
+        JarvisRuntime {
+            adapter,
+            cfg,
+            phase: Phase::Startup,
+            nonstable_streak: 0,
+            estimates: None,
+            trace: Vec::new(),
+            epoch: 0,
+            episode_start: None,
+            episodes: Vec::new(),
+            overhead_us: 0.0,
+            idle_holdoff: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The per-epoch trace (Fig. 8 series).
+    pub fn trace(&self) -> &[EpochTrace] {
+        &self.trace
+    }
+
+    /// Completed adaptation episodes as `(trigger_epoch, stable_epoch)`.
+    pub fn episodes(&self) -> &[(u64, u64)] {
+        &self.episodes
+    }
+
+    /// Total adaptation compute charged so far, µs.
+    pub fn overhead_us(&self) -> f64 {
+        self.overhead_us
+    }
+
+    /// Latest profile estimates, if any.
+    pub fn estimates(&self) -> Option<&ProfileEstimates> {
+        self.estimates.as_ref()
+    }
+
+    /// The adaptation policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.adapter.name()
+    }
+
+    /// Epoch-boundary hook. `state` is the ProbeCP result for the finished
+    /// epoch; `profile` carries estimates when the finished epoch ran in
+    /// profiling mode; `current_p` are the live load factors.
+    pub fn on_epoch_end(
+        &mut self,
+        state: QueryState,
+        profile: Option<ProfileEstimates>,
+        current_p: &[f64],
+    ) -> EpochDecision {
+        let phase_during_epoch = self.phase;
+        self.overhead_us += PROBE_COST_US;
+        // Fresh estimates are stored regardless of phase: profiling can also
+        // be initiated externally (tests, manual diagnosis).
+        if let Some(est) = profile {
+            self.estimates = Some(est);
+        }
+
+        let mut decision = EpochDecision {
+            phase: self.phase,
+            set_load_factors: None,
+            run_profile: false,
+        };
+
+        match self.phase {
+            Phase::Startup => {
+                // Paper: adaptive runtimes start with everything draining to
+                // the SP, then let the Probe→Profile→Adapt loop pull work
+                // local. Fixed strategies keep their configured factors.
+                if self.cfg.adaptive {
+                    decision.set_load_factors = Some(vec![0.0; current_p.len()]);
+                }
+                self.phase = Phase::Probe;
+            }
+            Phase::Probe => {
+                if state == QueryState::Stable {
+                    // Close any adaptation episode that ended via a
+                    // no-further-moves Adapt exit.
+                    if let Some(start) = self.episode_start.take() {
+                        self.episodes.push((start, self.epoch));
+                    }
+                }
+                if !self.cfg.adaptive {
+                    // Fixed strategies never adapt.
+                } else if state == QueryState::Stable {
+                    // Decay rather than reset: workloads whose congestion
+                    // alternates with the state-ship cadence (e.g. a grown
+                    // join table) must still accumulate towards detection,
+                    // while isolated noisy epochs still wash out.
+                    self.nonstable_streak = self.nonstable_streak.saturating_sub(1);
+                } else if state == QueryState::Idle && self.idle_holdoff > 0 {
+                    // A recent adaptation concluded there is nothing better
+                    // to pull local; don't churn on the residual idleness.
+                    self.idle_holdoff -= 1;
+                    self.nonstable_streak = 0;
+                } else {
+                    self.nonstable_streak += 1;
+                    if self.nonstable_streak >= self.cfg.detect_epochs {
+                        self.nonstable_streak = 0;
+                        self.phase = Phase::Profile;
+                        self.episode_start = Some(self.epoch);
+                        decision.run_profile = true;
+                    }
+                }
+            }
+            Phase::Profile => {
+                self.overhead_us += PROFILE_COST_US;
+                if let Some(est) = &self.estimates {
+                    self.overhead_us += ADAPT_COST_US;
+                    let plan = self.adapter.init_plan(est);
+                    let unchanged = plan.len() == current_p.len()
+                        && plan
+                            .iter()
+                            .zip(current_p)
+                            .all(|(a, b)| (a - b).abs() < 1e-9);
+                    if unchanged && !self.adapter.fine_tunes() {
+                        // A one-shot policy proposes exactly the running
+                        // plan: hold off idle-triggered re-profiling.
+                        self.idle_holdoff = IDLE_HOLDOFF_EPOCHS;
+                        self.phase = Phase::Probe;
+                    } else {
+                        if !unchanged {
+                            decision.set_load_factors = Some(plan);
+                        }
+                        self.phase = Phase::Adapt;
+                    }
+                } else {
+                    // Profiling failed to produce estimates; retry.
+                    decision.run_profile = true;
+                }
+            }
+            Phase::Adapt => {
+                if state == QueryState::Stable {
+                    self.phase = Phase::Probe;
+                    if let Some(start) = self.episode_start.take() {
+                        self.episodes.push((start, self.epoch));
+                    }
+                } else {
+                    let mut p = current_p.to_vec();
+                    let changed = self.adapter.fine_tune(&mut p, state);
+                    self.overhead_us += ADAPT_COST_US;
+                    if changed {
+                        decision.set_load_factors = Some(p);
+                    } else {
+                        // Nothing movable (LP-only, or the search space is
+                        // exhausted): return to Probe. The episode stays
+                        // open and closes only when stability is observed —
+                        // so a non-converging LP-only run never records a
+                        // convergence (paper Fig. 8: "the inaccurate
+                        // profiling prevents LP only from stabilizing").
+                        if state == QueryState::Idle {
+                            self.idle_holdoff = IDLE_HOLDOFF_EPOCHS;
+                        }
+                        self.phase = Phase::Probe;
+                    }
+                }
+            }
+        }
+
+        let trace_state = match (phase_during_epoch, state) {
+            (Phase::Profile, _) => TraceState::Profile,
+            (_, QueryState::Congested) => TraceState::Congested,
+            (_, QueryState::Idle) => TraceState::Idle,
+            _ if self.nonstable_streak > 0 => TraceState::Detect,
+            _ => TraceState::Stable,
+        };
+        self.trace.push(EpochTrace {
+            epoch: self.epoch,
+            phase: phase_during_epoch,
+            state,
+            trace: trace_state,
+        });
+        self.epoch += 1;
+        decision.phase = self.phase;
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimates() -> ProfileEstimates {
+        ProfileEstimates {
+            cost_us: vec![0.25, 3.25, 23.0],
+            relay_bytes: vec![1.0, 0.86, 0.3],
+            relay_count: vec![1.0, 0.86, 0.5],
+            records_per_epoch: 40_000.0,
+            budget_us: 800_000.0,
+        }
+    }
+
+    #[test]
+    fn startup_zeroes_load_factors_then_probes() {
+        let mut rt = JarvisRuntime::new(RuntimeConfig::default(), 3);
+        let d = rt.on_epoch_end(QueryState::Stable, None, &[0.5, 0.5, 0.5]);
+        assert_eq!(d.set_load_factors, Some(vec![0.0, 0.0, 0.0]));
+        assert_eq!(rt.phase(), Phase::Probe);
+    }
+
+    #[test]
+    fn debounce_requires_three_epochs() {
+        let mut rt = JarvisRuntime::new(RuntimeConfig::default(), 3);
+        rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]); // Startup
+        for i in 0..2 {
+            let d = rt.on_epoch_end(QueryState::Idle, None, &[0.0; 3]);
+            assert!(!d.run_profile, "epoch {i} must not trigger yet");
+            assert_eq!(rt.phase(), Phase::Probe);
+        }
+        let d = rt.on_epoch_end(QueryState::Idle, None, &[0.0; 3]);
+        assert!(d.run_profile);
+        assert_eq!(rt.phase(), Phase::Profile);
+    }
+
+    #[test]
+    fn noise_resets_the_debounce() {
+        let mut rt = JarvisRuntime::new(RuntimeConfig::default(), 3);
+        rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]);
+        rt.on_epoch_end(QueryState::Idle, None, &[0.0; 3]);
+        rt.on_epoch_end(QueryState::Idle, None, &[0.0; 3]);
+        rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]); // resets
+        let d = rt.on_epoch_end(QueryState::Idle, None, &[0.0; 3]);
+        assert!(!d.run_profile, "streak must restart after a stable epoch");
+    }
+
+    #[test]
+    fn profile_installs_lp_plan_and_enters_adapt() {
+        let mut rt = JarvisRuntime::new(RuntimeConfig::default(), 3);
+        rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]);
+        for _ in 0..3 {
+            rt.on_epoch_end(QueryState::Idle, None, &[0.0; 3]);
+        }
+        assert_eq!(rt.phase(), Phase::Profile);
+        let d = rt.on_epoch_end(QueryState::Idle, Some(estimates()), &[0.0; 3]);
+        let p = d.set_load_factors.expect("plan installed");
+        assert!(p.iter().any(|&v| v > 0.0), "LP must pull work local: {p:?}");
+        assert_eq!(rt.phase(), Phase::Adapt);
+    }
+
+    #[test]
+    fn adapt_returns_to_probe_on_stable_and_records_episode() {
+        let mut rt = JarvisRuntime::new(RuntimeConfig::default(), 3);
+        rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]);
+        for _ in 0..3 {
+            rt.on_epoch_end(QueryState::Idle, None, &[0.0; 3]);
+        }
+        let d = rt.on_epoch_end(QueryState::Idle, Some(estimates()), &[0.0; 3]);
+        let p = d.set_load_factors.unwrap();
+        rt.on_epoch_end(QueryState::Stable, None, &p);
+        assert_eq!(rt.phase(), Phase::Probe);
+        assert_eq!(rt.episodes().len(), 1);
+        let (start, end) = rt.episodes()[0];
+        assert!(end > start);
+    }
+
+    #[test]
+    fn fixed_runtime_never_adapts() {
+        let cfg = RuntimeConfig { adaptive: false, ..Default::default() };
+        let mut rt = JarvisRuntime::new(cfg, 2);
+        rt.on_epoch_end(QueryState::Stable, None, &[1.0, 1.0]);
+        for _ in 0..10 {
+            let d = rt.on_epoch_end(QueryState::Congested, None, &[1.0, 1.0]);
+            assert!(d.set_load_factors.is_none());
+            assert!(!d.run_profile);
+        }
+        assert_eq!(rt.phase(), Phase::Probe);
+    }
+
+    #[test]
+    fn trace_categories_follow_fig8() {
+        let mut rt = JarvisRuntime::new(RuntimeConfig::default(), 3);
+        rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]);
+        rt.on_epoch_end(QueryState::Congested, None, &[0.0; 3]);
+        for _ in 0..2 {
+            rt.on_epoch_end(QueryState::Congested, None, &[0.0; 3]);
+        }
+        rt.on_epoch_end(QueryState::Congested, Some(estimates()), &[0.0; 3]);
+        let kinds: Vec<TraceState> = rt.trace().iter().map(|t| t.trace).collect();
+        assert!(kinds.contains(&TraceState::Congested));
+        assert!(kinds.contains(&TraceState::Profile));
+    }
+
+    #[test]
+    fn overhead_stays_under_one_percent_of_a_core() {
+        let mut rt = JarvisRuntime::new(RuntimeConfig::default(), 3);
+        rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]);
+        for _ in 0..100 {
+            rt.on_epoch_end(QueryState::Stable, None, &[0.0; 3]);
+        }
+        // 100 probe epochs: overhead per epoch ≤ 1% of 1e6 µs.
+        assert!(rt.overhead_us() / 100.0 < 10_000.0);
+    }
+}

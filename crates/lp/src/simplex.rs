@@ -1,0 +1,233 @@
+//! Dense primal simplex for small LPs.
+//!
+//! Solves `minimize c·x  subject to  A·x ≤ b, x ≥ 0` with `b ≥ 0`, which is
+//! exactly the shape of the Jarvis load-factor LP (Eq. 3): chain constraints
+//! `e_i − e_{i−1} ≤ 0`, the bound `e_1 ≤ 1`, and one knapsack row — all with
+//! non-negative right-hand sides, so the all-slack basis is feasible and no
+//! phase-1 is needed. Bland's rule guarantees termination.
+
+use serde::{Deserialize, Serialize};
+
+/// Solver outcome status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpsolveStatus {
+    /// Optimal solution found.
+    Optimal,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+/// Solver errors (malformed input).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A right-hand side was negative (phase-1 not implemented; the Jarvis
+    /// LP never needs it).
+    NegativeRhs { row: usize, value: f64 },
+    /// Constraint row width does not match the objective.
+    ShapeMismatch { row: usize, expected: usize, got: usize },
+    /// Iteration limit exceeded (defensive; should not occur with Bland).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::NegativeRhs { row, value } => {
+                write!(f, "constraint {row} has negative rhs {value}")
+            }
+            LpError::ShapeMismatch { row, expected, got } => {
+                write!(f, "constraint {row} has {got} coefficients, expected {expected}")
+            }
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An LP in the supported canonical form.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (minimised).
+    pub objective: Vec<f64>,
+    /// Constraints as `(coefficients, rhs)` meaning `coeffs · x ≤ rhs`.
+    pub constraints: Vec<(Vec<f64>, f64)>,
+}
+
+/// A solved LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Status.
+    pub status: LpsolveStatus,
+    /// Primal solution (zeros when unbounded).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+}
+
+impl LinearProgram {
+    /// Creates an LP minimising `objective`.
+    pub fn minimize(objective: Vec<f64>) -> LinearProgram {
+        LinearProgram { objective, constraints: Vec::new() }
+    }
+
+    /// Adds `coeffs · x ≤ rhs`.
+    pub fn leq(mut self, coeffs: Vec<f64>, rhs: f64) -> LinearProgram {
+        self.constraints.push((coeffs, rhs));
+        self
+    }
+
+    /// Solves the LP.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        let n = self.objective.len();
+        let m = self.constraints.len();
+        for (row, (coeffs, rhs)) in self.constraints.iter().enumerate() {
+            if coeffs.len() != n {
+                return Err(LpError::ShapeMismatch { row, expected: n, got: coeffs.len() });
+            }
+            if *rhs < 0.0 {
+                return Err(LpError::NegativeRhs { row, value: *rhs });
+            }
+        }
+
+        // Tableau: m rows × (n structural + m slack + 1 rhs), plus objective
+        // row (maximise -c·x ⇒ standard max simplex on z = -c).
+        let width = n + m + 1;
+        let mut tab = vec![vec![0.0f64; width]; m + 1];
+        for (i, (coeffs, rhs)) in self.constraints.iter().enumerate() {
+            tab[i][..n].copy_from_slice(coeffs);
+            tab[i][n + i] = 1.0;
+            tab[i][width - 1] = *rhs;
+        }
+        // Maximisation convention: maximise z = -c·x; optimal when every
+        // objective-row coefficient is ≤ 0.
+        for j in 0..n {
+            tab[m][j] = -self.objective[j];
+        }
+        let mut basis: Vec<usize> = (n..n + m).collect();
+
+        const EPS: f64 = 1e-9;
+        let max_iters = 50 * (n + m + 1);
+        for _ in 0..max_iters {
+            // Entering: lowest index with positive coefficient (Bland).
+            let Some(enter) = (0..n + m).find(|&j| tab[m][j] > EPS) else {
+                // Optimal.
+                let mut x = vec![0.0; n];
+                for (i, &b) in basis.iter().enumerate() {
+                    if b < n {
+                        x[b] = tab[i][width - 1];
+                    }
+                }
+                let objective = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+                return Ok(Solution { status: LpsolveStatus::Optimal, x, objective });
+            };
+            // Leaving: min ratio; Bland tie-break on lowest basis index.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                if tab[i][enter] > EPS {
+                    let ratio = tab[i][width - 1] / tab[i][enter];
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.map_or(true, |l| basis[i] < basis[l]));
+                    if better {
+                        best_ratio = ratio.min(best_ratio);
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Ok(Solution {
+                    status: LpsolveStatus::Unbounded,
+                    x: vec![0.0; n],
+                    objective: f64::NEG_INFINITY,
+                });
+            };
+            // Pivot.
+            let piv = tab[leave][enter];
+            for v in tab[leave].iter_mut() {
+                *v /= piv;
+            }
+            for i in 0..=m {
+                if i != leave {
+                    let factor = tab[i][enter];
+                    if factor.abs() > EPS {
+                        for j in 0..width {
+                            tab[i][j] -= factor * tab[leave][j];
+                        }
+                    }
+                }
+            }
+            basis[leave] = enter;
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximisation_as_minimisation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+        let lp = LinearProgram::minimize(vec![-3.0, -5.0])
+            .leq(vec![1.0, 0.0], 4.0)
+            .leq(vec![0.0, 2.0], 12.0)
+            .leq(vec![3.0, 2.0], 18.0);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, LpsolveStatus::Optimal);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+        assert_close(sol.objective, -36.0);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LinearProgram::minimize(vec![-1.0]); // max x, no constraints
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, LpsolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_zero_budget() {
+        // min -(e1) s.t. e1 ≤ 1, c·e1 ≤ 0 → e1 = 0.
+        let lp = LinearProgram::minimize(vec![-1.0])
+            .leq(vec![1.0], 1.0)
+            .leq(vec![5.0], 0.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.x[0], 0.0);
+    }
+
+    #[test]
+    fn negative_rhs_is_rejected() {
+        let lp = LinearProgram::minimize(vec![1.0]).leq(vec![1.0], -1.0);
+        assert!(matches!(lp.solve(), Err(LpError::NegativeRhs { .. })));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let lp = LinearProgram::minimize(vec![1.0, 2.0]).leq(vec![1.0], 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn chain_plus_knapsack_structure() {
+        // The Jarvis LP shape: maximise weighted e's under a chain + budget.
+        // min -(0.5·e1 + 1.0·e2) s.t. e1 ≤ 1, e2 − e1 ≤ 0, 2e1 + 6e2 ≤ 3.
+        // Value per unit budget: e1 gives 0.5/2 = 0.25, e2 gives 1/6 ≈ 0.17,
+        // so the optimum saturates e1 first: e1 = 1, e2 = 1/6.
+        let lp = LinearProgram::minimize(vec![-0.5, -1.0])
+            .leq(vec![1.0, 0.0], 1.0)
+            .leq(vec![-1.0, 1.0], 0.0)
+            .leq(vec![2.0, 6.0], 3.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.x[0], 1.0);
+        assert_close(sol.x[1], 1.0 / 6.0);
+        assert_close(sol.objective, -(0.5 + 1.0 / 6.0));
+    }
+}

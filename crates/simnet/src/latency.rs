@@ -1,0 +1,118 @@
+//! Latency statistics.
+//!
+//! The paper reports epoch-processing latency (median 500 ms vs 1800 ms,
+//! max 2 s vs 5 s, §VI-E) under a 5-second latency bound. Samples are kept
+//! exactly up to a cap and then uniformly thinned, which preserves quantile
+//! estimates for the smooth latency distributions the emulator produces.
+
+/// Online latency sample collector with quantile queries.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+    cap: usize,
+    /// Every `stride`-th sample is kept once thinning starts.
+    stride: usize,
+    seen: u64,
+    max: f64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::with_capacity(65_536)
+    }
+}
+
+impl LatencyStats {
+    /// Creates a collector that keeps at most `cap` samples.
+    pub fn with_capacity(cap: usize) -> LatencyStats {
+        assert!(cap > 1, "capacity must exceed 1");
+        LatencyStats { samples: Vec::new(), cap, stride: 1, seen: 0, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one latency sample (seconds).
+    pub fn record(&mut self, latency_secs: f64) {
+        self.seen += 1;
+        if latency_secs > self.max {
+            self.max = latency_secs;
+        }
+        if self.seen % self.stride as u64 != 0 {
+            return;
+        }
+        if self.samples.len() >= self.cap {
+            // Thin: drop every other retained sample, double the stride.
+            let mut keep = Vec::with_capacity(self.cap / 2 + 1);
+            for (i, v) in self.samples.iter().enumerate() {
+                if i % 2 == 0 {
+                    keep.push(*v);
+                }
+            }
+            self.samples = keep;
+            self.stride *= 2;
+        }
+        self.samples.push(latency_secs);
+    }
+
+    /// Number of samples observed (not retained).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum latency seen (exact).
+    pub fn max(&self) -> Option<f64> {
+        if self.seen == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Quantile estimate over retained samples, `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let idx = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = LatencyStats::with_capacity(100);
+        for v in 1..=9 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.median(), Some(5.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.count(), 9);
+    }
+
+    #[test]
+    fn thinning_keeps_quantiles_close() {
+        let mut s = LatencyStats::with_capacity(128);
+        for i in 0..100_000 {
+            s.record((i % 1000) as f64 / 1000.0);
+        }
+        let med = s.median().unwrap();
+        assert!((med - 0.5).abs() < 0.1, "median after thinning: {med}");
+        assert_eq!(s.max(), Some(0.999), "max stays exact");
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = LatencyStats::default();
+        assert_eq!(s.median(), None);
+        assert_eq!(s.max(), None);
+    }
+}

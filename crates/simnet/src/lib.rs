@@ -1,0 +1,19 @@
+//! `simnet` — deterministic multi-node emulation substrate.
+//!
+//! Stands in for the paper's EC2 testbed: nodes with fractional CPU budgets
+//! (t2.micro data sources), bandwidth-limited links (the 10 Gbps stream
+//! processor uplink, fairly shared), and a tree topology of data sources,
+//! intermediate stream processors, and a root (paper Fig. 4b). Time advances
+//! in epochs of virtual seconds; everything is seeded and reproducible.
+
+pub mod clock;
+pub mod latency;
+pub mod link;
+pub mod node;
+pub mod topology;
+
+pub use clock::VirtualClock;
+pub use latency::LatencyStats;
+pub use link::Link;
+pub use node::{CpuBudget, Node, NodeId};
+pub use topology::{NodeRole, Topology};

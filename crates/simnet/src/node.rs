@@ -1,0 +1,208 @@
+//! Nodes with fractional CPU budgets.
+//!
+//! A data source grants the monitoring query only its *unused* compute
+//! (paper §II-B): a fluctuating fraction of one or more cores. The budget is
+//! drawn fresh each epoch with small multiplicative scheduling jitter — the
+//! noise that forces the Jarvis runtime to debounce resource-change detection
+//! over three epochs (§VI-C).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A CPU budget in fractions of a core (0.55 = 55 % of one core; 2.0 = two
+/// full cores).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuBudget {
+    /// Cores available to the monitoring workload.
+    pub cores: f64,
+}
+
+impl CpuBudget {
+    /// Budget as a fraction of a single core.
+    pub fn fraction(frac: f64) -> CpuBudget {
+        assert!(frac >= 0.0, "budget cannot be negative");
+        CpuBudget { cores: frac }
+    }
+
+    /// Compute microseconds available in an epoch of `epoch_secs`.
+    pub fn micros_per_epoch(&self, epoch_secs: f64) -> f64 {
+        self.cores * epoch_secs * 1e6
+    }
+}
+
+/// An emulated node: identity, budget, and per-epoch compute accounting.
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    budget: CpuBudget,
+    jitter_frac: f64,
+    rng: ChaCha8Rng,
+    /// Compute µs remaining in the current epoch.
+    remaining_us: f64,
+    /// Compute µs granted this epoch (after jitter).
+    granted_us: f64,
+    /// Total compute µs consumed over the run.
+    consumed_us: f64,
+}
+
+impl Node {
+    /// Creates a node. `jitter_frac` is the half-width of the uniform
+    /// multiplicative noise on the per-epoch budget (e.g. 0.02 = ±2 %).
+    pub fn new(id: NodeId, budget: CpuBudget, jitter_frac: f64, seed: u64) -> Node {
+        Node {
+            id,
+            budget,
+            jitter_frac,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ u64::from(id.0).wrapping_mul(0x9E37_79B9)),
+            remaining_us: 0.0,
+            granted_us: 0.0,
+            consumed_us: 0.0,
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Nominal budget.
+    pub fn budget(&self) -> CpuBudget {
+        self.budget
+    }
+
+    /// Changes the nominal budget (resource-condition change experiments).
+    pub fn set_budget(&mut self, budget: CpuBudget) {
+        self.budget = budget;
+    }
+
+    /// Starts a new epoch: grants jittered budget.
+    pub fn begin_epoch(&mut self, epoch_secs: f64) {
+        let noise = if self.jitter_frac > 0.0 {
+            1.0 + self.rng.gen_range(-self.jitter_frac..=self.jitter_frac)
+        } else {
+            1.0
+        };
+        self.granted_us = self.budget.micros_per_epoch(epoch_secs) * noise;
+        self.remaining_us = self.granted_us;
+    }
+
+    /// Compute µs still available this epoch.
+    pub fn remaining_us(&self) -> f64 {
+        self.remaining_us
+    }
+
+    /// Compute µs granted this epoch.
+    pub fn granted_us(&self) -> f64 {
+        self.granted_us
+    }
+
+    /// Total consumed over the run.
+    pub fn consumed_us(&self) -> f64 {
+        self.consumed_us
+    }
+
+    /// Utilisation this epoch so far, in `[0, 1]`.
+    pub fn epoch_utilisation(&self) -> f64 {
+        if self.granted_us <= 0.0 {
+            return 1.0;
+        }
+        1.0 - self.remaining_us / self.granted_us
+    }
+
+    /// Charges `us` if fully available; returns false (charging nothing) when
+    /// the epoch budget cannot cover it.
+    pub fn try_charge(&mut self, us: f64) -> bool {
+        if us <= self.remaining_us {
+            self.remaining_us -= us;
+            self.consumed_us += us;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Charges up to `us`, returning the amount actually charged.
+    pub fn charge_upto(&mut self, us: f64) -> f64 {
+        let take = us.min(self.remaining_us).max(0.0);
+        self.remaining_us -= take;
+        self.consumed_us += take;
+        take
+    }
+
+    /// How many whole items of `unit_us` each can still be processed.
+    pub fn affordable(&self, unit_us: f64) -> usize {
+        if unit_us <= 0.0 {
+            usize::MAX
+        } else {
+            (self.remaining_us / unit_us).floor().max(0.0) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_converts_to_micros() {
+        let b = CpuBudget::fraction(0.8);
+        assert_eq!(b.micros_per_epoch(1.0), 800_000.0);
+        assert_eq!(b.micros_per_epoch(2.0), 1_600_000.0);
+    }
+
+    #[test]
+    fn charging_respects_epoch_budget() {
+        let mut n = Node::new(NodeId(1), CpuBudget::fraction(0.5), 0.0, 42);
+        n.begin_epoch(1.0);
+        assert_eq!(n.remaining_us(), 500_000.0);
+        assert!(n.try_charge(400_000.0));
+        assert!(!n.try_charge(200_000.0));
+        assert_eq!(n.charge_upto(200_000.0), 100_000.0);
+        assert_eq!(n.remaining_us(), 0.0);
+        assert!((n.epoch_utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut a = Node::new(NodeId(2), CpuBudget::fraction(1.0), 0.05, 7);
+        let mut b = Node::new(NodeId(2), CpuBudget::fraction(1.0), 0.05, 7);
+        for _ in 0..50 {
+            a.begin_epoch(1.0);
+            b.begin_epoch(1.0);
+            assert_eq!(a.granted_us(), b.granted_us(), "same seed, same draw");
+            assert!(a.granted_us() >= 950_000.0 - 1e-6);
+            assert!(a.granted_us() <= 1_050_000.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn affordable_counts_units() {
+        let mut n = Node::new(NodeId(3), CpuBudget::fraction(0.1), 0.0, 1);
+        n.begin_epoch(1.0);
+        assert_eq!(n.affordable(10.0), 10_000);
+        assert_eq!(n.affordable(0.0), usize::MAX);
+    }
+
+    #[test]
+    fn budget_change_takes_effect_next_epoch() {
+        let mut n = Node::new(NodeId(4), CpuBudget::fraction(0.1), 0.0, 1);
+        n.begin_epoch(1.0);
+        assert_eq!(n.remaining_us(), 100_000.0);
+        n.set_budget(CpuBudget::fraction(0.9));
+        assert_eq!(n.remaining_us(), 100_000.0, "current epoch unchanged");
+        n.begin_epoch(1.0);
+        assert_eq!(n.remaining_us(), 900_000.0);
+    }
+}

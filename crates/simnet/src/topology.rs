@@ -1,0 +1,175 @@
+//! Monitoring-pipeline topologies (paper Fig. 4b).
+//!
+//! Physical resources form a tree: leaves are data sources, inner nodes are
+//! intermediate stream processors, and the root aggregates final results. A
+//! set of sources plus their common parent is a *core building block*; blocks
+//! do not communicate, which is what lets Jarvis scale out (§IV-A), so most
+//! experiments instantiate exactly one block.
+
+use std::collections::BTreeMap;
+
+use crate::node::NodeId;
+
+/// Role of a node in the monitoring tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Leaf data source.
+    Source,
+    /// Intermediate stream processor.
+    IntermediateSp,
+    /// Root stream processor.
+    RootSp,
+}
+
+/// A tree of monitoring nodes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    roles: BTreeMap<NodeId, NodeRole>,
+    parents: BTreeMap<NodeId, NodeId>,
+    root: NodeId,
+}
+
+impl Topology {
+    /// A single core building block: `n_sources` leaves under one stream
+    /// processor (which is also the root).
+    pub fn building_block(n_sources: u32) -> Topology {
+        let root = NodeId(0);
+        let mut roles = BTreeMap::new();
+        let mut parents = BTreeMap::new();
+        roles.insert(root, NodeRole::RootSp);
+        for i in 0..n_sources {
+            let id = NodeId(i + 1);
+            roles.insert(id, NodeRole::Source);
+            parents.insert(id, root);
+        }
+        Topology { roles, parents, root }
+    }
+
+    /// A two-level tree: `blocks` intermediate SPs under one root, each with
+    /// `sources_per_block` leaves.
+    pub fn two_level(blocks: u32, sources_per_block: u32) -> Topology {
+        let root = NodeId(0);
+        let mut roles = BTreeMap::new();
+        let mut parents = BTreeMap::new();
+        roles.insert(root, NodeRole::RootSp);
+        let mut next = 1u32;
+        for _ in 0..blocks {
+            let sp = NodeId(next);
+            next += 1;
+            roles.insert(sp, NodeRole::IntermediateSp);
+            parents.insert(sp, root);
+            for _ in 0..sources_per_block {
+                let leaf = NodeId(next);
+                next += 1;
+                roles.insert(leaf, NodeRole::Source);
+                parents.insert(leaf, sp);
+            }
+        }
+        Topology { roles, parents, root }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Role of `id`, if present.
+    pub fn role(&self, id: NodeId) -> Option<NodeRole> {
+        self.roles.get(&id).copied()
+    }
+
+    /// Parent of `id` (None for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parents.get(&id).copied()
+    }
+
+    /// All data sources, in id order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.roles
+            .iter()
+            .filter(|(_, r)| **r == NodeRole::Source)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All children of `id`, in id order.
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        self.parents
+            .iter()
+            .filter(|(_, p)| **p == id)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// True when empty (never for constructed topologies).
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// The building block (source-set) rooted at each SP directly above the
+    /// leaves, as `(sp, sources)` pairs.
+    pub fn building_blocks(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        let mut blocks = Vec::new();
+        for (&id, &role) in &self.roles {
+            if role == NodeRole::IntermediateSp
+                || (role == NodeRole::RootSp && self.children(id).iter().any(|c| {
+                    self.role(*c) == Some(NodeRole::Source)
+                }))
+            {
+                let sources: Vec<NodeId> = self
+                    .children(id)
+                    .into_iter()
+                    .filter(|c| self.role(*c) == Some(NodeRole::Source))
+                    .collect();
+                if !sources.is_empty() {
+                    blocks.push((id, sources));
+                }
+            }
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_block_shape() {
+        let t = Topology::building_block(3);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.sources().len(), 3);
+        assert_eq!(t.role(t.root()), Some(NodeRole::RootSp));
+        for s in t.sources() {
+            assert_eq!(t.parent(s), Some(t.root()));
+        }
+        let blocks = t.building_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].1.len(), 3);
+    }
+
+    #[test]
+    fn two_level_tree_shape() {
+        let t = Topology::two_level(2, 4);
+        assert_eq!(t.sources().len(), 8);
+        assert_eq!(t.len(), 1 + 2 + 8);
+        let blocks = t.building_blocks();
+        assert_eq!(blocks.len(), 2);
+        for (sp, sources) in blocks {
+            assert_eq!(t.role(sp), Some(NodeRole::IntermediateSp));
+            assert_eq!(sources.len(), 4);
+            assert_eq!(t.parent(sp), Some(t.root()));
+        }
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        let t = Topology::building_block(1);
+        assert_eq!(t.parent(t.root()), None);
+    }
+}

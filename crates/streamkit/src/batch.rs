@@ -1,0 +1,285 @@
+//! Columnar batches.
+//!
+//! Records cross the network (and are recorded to traces) in a columnar
+//! layout: one fixed-width vector per numeric column and an offsets+bytes pair
+//! for string columns. This is the in-repo stand-in for the Arrow/Kryo layer
+//! the paper's implementation relied on.
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+use crate::record::Record;
+use crate::schema::{DataType, Schema, SchemaRef};
+use crate::time::Ts;
+use crate::value::Value;
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Signed 64-bit (also backs I32 columns).
+    I64(Vec<i64>),
+    /// Unsigned 64-bit (also backs U32 columns).
+    U64(Vec<u64>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// Strings: `offsets.len() == rows + 1`, UTF-8 bytes in `data`.
+    Str { offsets: Vec<u32>, data: Bytes },
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::U64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Str { offsets, .. } => offsets.len().saturating_sub(1),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `row`.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Bool(v) => Value::Bool(v[row]),
+            Column::I64(v) => Value::I64(v[row]),
+            Column::U64(v) => Value::U64(v[row]),
+            Column::F64(v) => Value::F64(v[row]),
+            Column::Str { offsets, data } => {
+                let lo = offsets[row] as usize;
+                let hi = offsets[row + 1] as usize;
+                let s = std::str::from_utf8(&data[lo..hi]).unwrap_or("");
+                Value::str(s)
+            }
+        }
+    }
+}
+
+/// A batch of records in columnar form: timestamps + one column per field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Schema describing `columns`.
+    pub schema: SchemaRef,
+    /// Event timestamps, one per row.
+    pub timestamps: Vec<Ts>,
+    /// Columns, positionally matching the schema.
+    pub columns: Vec<Column>,
+}
+
+impl Batch {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Builds a columnar batch from row-oriented records.
+    pub fn from_records(schema: SchemaRef, records: &[Record]) -> Result<Batch> {
+        let mut builders: Vec<ColumnBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, records.len()))
+            .collect();
+        let mut timestamps = Vec::with_capacity(records.len());
+        for rec in records {
+            if rec.values.len() != schema.width() {
+                return Err(Error::InvalidPlan(format!(
+                    "record width {} does not match schema width {}",
+                    rec.values.len(),
+                    schema.width()
+                )));
+            }
+            timestamps.push(rec.ts);
+            for (builder, value) in builders.iter_mut().zip(&rec.values) {
+                builder.push(value)?;
+            }
+        }
+        let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
+        Ok(Batch { schema, timestamps, columns })
+    }
+
+    /// Converts back to row-oriented records.
+    pub fn to_records(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.len());
+        for row in 0..self.len() {
+            let values = self.columns.iter().map(|c| c.value(row)).collect();
+            out.push(Record::new(self.timestamps[row], values));
+        }
+        out
+    }
+
+    /// Total encoded size in bytes (the same accounting as
+    /// [`Record::wire_size`] summed over rows).
+    pub fn wire_size(&self) -> usize {
+        let mut size = self.len() * (Schema::TS_WIRE_BYTES + self.schema.record_overhead());
+        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+            size += match (field.dtype, col) {
+                (DataType::Str, Column::Str { offsets, data }) => {
+                    2 * offsets.len().saturating_sub(1) + data.len()
+                }
+                (dtype, col) => dtype.fixed_width().unwrap_or(0) * col.len(),
+            };
+        }
+        size
+    }
+}
+
+/// Incremental builder for one column.
+struct ColumnBuilder {
+    dtype: DataType,
+    bools: Vec<bool>,
+    ints: Vec<i64>,
+    uints: Vec<u64>,
+    floats: Vec<f64>,
+    offsets: Vec<u32>,
+    strs: Vec<u8>,
+}
+
+impl ColumnBuilder {
+    fn new(dtype: DataType, capacity: usize) -> ColumnBuilder {
+        let mut b = ColumnBuilder {
+            dtype,
+            bools: Vec::new(),
+            ints: Vec::new(),
+            uints: Vec::new(),
+            floats: Vec::new(),
+            offsets: Vec::new(),
+            strs: Vec::new(),
+        };
+        match dtype {
+            DataType::Bool => b.bools.reserve(capacity),
+            DataType::I32 | DataType::I64 => b.ints.reserve(capacity),
+            DataType::U32 | DataType::U64 => b.uints.reserve(capacity),
+            DataType::F64 => b.floats.reserve(capacity),
+            DataType::Str => {
+                b.offsets.reserve(capacity + 1);
+                b.offsets.push(0);
+            }
+        }
+        b
+    }
+
+    fn push(&mut self, value: &Value) -> Result<()> {
+        let mismatch = || Error::TypeMismatch {
+            expected: match self.dtype {
+                DataType::Bool => "bool",
+                DataType::I32 | DataType::I64 => "i64",
+                DataType::U32 | DataType::U64 => "u64",
+                DataType::F64 => "f64",
+                DataType::Str => "str",
+            },
+            got: value.type_name(),
+        };
+        match self.dtype {
+            DataType::Bool => self.bools.push(value.as_bool().ok_or_else(mismatch)?),
+            DataType::I32 | DataType::I64 => {
+                self.ints.push(value.as_i64().ok_or_else(mismatch)?)
+            }
+            DataType::U32 | DataType::U64 => match value {
+                Value::U64(v) => self.uints.push(*v),
+                Value::I64(v) if *v >= 0 => self.uints.push(*v as u64),
+                _ => return Err(mismatch()),
+            },
+            DataType::F64 => self.floats.push(value.as_f64().ok_or_else(mismatch)?),
+            DataType::Str => {
+                let s = value.as_str().ok_or_else(mismatch)?;
+                self.strs.extend_from_slice(s.as_bytes());
+                self.offsets.push(self.strs.len() as u32);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Column {
+        match self.dtype {
+            DataType::Bool => Column::Bool(self.bools),
+            DataType::I32 | DataType::I64 => Column::I64(self.ints),
+            DataType::U32 | DataType::U64 => Column::U64(self.uints),
+            DataType::F64 => Column::F64(self.floats),
+            DataType::Str => Column::Str {
+                offsets: self.offsets,
+                data: Bytes::from(self.strs),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::wire_size_of;
+    use crate::schema::Field;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("id", DataType::U32),
+            Field::new("score", DataType::F64),
+            Field::new("tag", DataType::Str),
+        ])
+    }
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record::new(1, vec![Value::U64(7), Value::F64(0.5), Value::str("a")]),
+            Record::new(2, vec![Value::U64(8), Value::F64(1.5), Value::str("bc")]),
+            Record::new(3, vec![Value::U64(9), Value::F64(2.5), Value::str("")]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let s = schema();
+        let recs = records();
+        let batch = Batch::from_records(s.clone(), &recs).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.to_records(), recs);
+    }
+
+    #[test]
+    fn wire_size_matches_row_accounting() {
+        let s = schema();
+        let recs = records();
+        let batch = Batch::from_records(s.clone(), &recs).unwrap();
+        assert_eq!(batch.wire_size(), wire_size_of(&recs, &s));
+    }
+
+    #[test]
+    fn width_mismatch_is_an_error() {
+        let s = schema();
+        let bad = vec![Record::new(0, vec![Value::U64(1)])];
+        assert!(Batch::from_records(s, &bad).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let s = schema();
+        let bad = vec![Record::new(
+            0,
+            vec![Value::str("not-u32"), Value::F64(0.0), Value::str("x")],
+        )];
+        assert!(matches!(
+            Batch::from_records(s, &bad),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let s = schema();
+        let batch = Batch::from_records(s, &[]).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.to_records(), Vec::<Record>::new());
+        assert_eq!(batch.wire_size(), 0);
+    }
+}

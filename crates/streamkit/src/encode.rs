@@ -1,0 +1,174 @@
+//! Wire encoding for batches.
+//!
+//! A compact, length-prefixed little-endian format standing in for the Kryo
+//! serialisation the paper's implementation uses between MiNiFi and NiFi.
+//! The encoded length is what links in `simnet` charge against bandwidth.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::batch::{Batch, Column};
+use crate::error::{Error, Result};
+use crate::schema::{DataType, SchemaRef};
+
+const MAGIC: u32 = 0x4A52_5653; // "JRVS"
+
+/// Encodes a batch. The receiver must know the schema (schemas are fixed per
+/// query edge, as in the paper's deployments).
+pub fn encode_batch(batch: &Batch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + batch.wire_size());
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(batch.len() as u32);
+    for ts in &batch.timestamps {
+        buf.put_i64_le(*ts);
+    }
+    for col in &batch.columns {
+        match col {
+            Column::Bool(v) => {
+                for b in v {
+                    buf.put_u8(u8::from(*b));
+                }
+            }
+            Column::I64(v) => {
+                for x in v {
+                    buf.put_i64_le(*x);
+                }
+            }
+            Column::U64(v) => {
+                for x in v {
+                    buf.put_u64_le(*x);
+                }
+            }
+            Column::F64(v) => {
+                for x in v {
+                    buf.put_f64_le(*x);
+                }
+            }
+            Column::Str { offsets, data } => {
+                for w in offsets.windows(2) {
+                    let (lo, hi) = (w[0] as usize, w[1] as usize);
+                    buf.put_u16_le((hi - lo) as u16);
+                    buf.put_slice(&data[lo..hi]);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a batch previously produced by [`encode_batch`] for `schema`.
+pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(Error::Decode(format!(
+                "buffer underrun: need {n}, have {}",
+                buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 8)?;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(Error::Decode(format!("bad magic {magic:#x}")));
+    }
+    let rows = buf.get_u32_le() as usize;
+    need(&buf, rows * 8)?;
+    let mut timestamps = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        timestamps.push(buf.get_i64_le());
+    }
+    let mut columns = Vec::with_capacity(schema.width());
+    for field in schema.fields() {
+        let col = match field.dtype {
+            DataType::Bool => {
+                need(&buf, rows)?;
+                Column::Bool((0..rows).map(|_| buf.get_u8() != 0).collect())
+            }
+            DataType::I32 | DataType::I64 => {
+                need(&buf, rows * 8)?;
+                Column::I64((0..rows).map(|_| buf.get_i64_le()).collect())
+            }
+            DataType::U32 | DataType::U64 => {
+                need(&buf, rows * 8)?;
+                Column::U64((0..rows).map(|_| buf.get_u64_le()).collect())
+            }
+            DataType::F64 => {
+                need(&buf, rows * 8)?;
+                Column::F64((0..rows).map(|_| buf.get_f64_le()).collect())
+            }
+            DataType::Str => {
+                let mut offsets = Vec::with_capacity(rows + 1);
+                offsets.push(0u32);
+                let mut data = Vec::new();
+                for _ in 0..rows {
+                    need(&buf, 2)?;
+                    let len = buf.get_u16_le() as usize;
+                    need(&buf, len)?;
+                    data.extend_from_slice(&buf.chunk()[..len]);
+                    buf.advance(len);
+                    offsets.push(data.len() as u32);
+                }
+                Column::Str { offsets, data: Bytes::from(data) }
+            }
+        };
+        columns.push(col);
+    }
+    Ok(Batch { schema, timestamps, columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{Field, Schema};
+    use crate::value::Value;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("ip", DataType::U32),
+            Field::new("rtt", DataType::F64),
+            Field::new("tenant", DataType::Str),
+            Field::new("ok", DataType::Bool),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = schema();
+        let recs = vec![
+            Record::new(
+                100,
+                vec![Value::U64(1), Value::F64(0.2), Value::str("t0"), Value::Bool(true)],
+            ),
+            Record::new(
+                200,
+                vec![Value::U64(2), Value::F64(5.5), Value::str(""), Value::Bool(false)],
+            ),
+        ];
+        let batch = Batch::from_records(s.clone(), &recs).unwrap();
+        let bytes = encode_batch(&batch);
+        let back = decode_batch(s, bytes).unwrap();
+        assert_eq!(back.to_records(), recs);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let s = schema();
+        let err = decode_batch(s, Bytes::from_static(&[0u8; 16])).unwrap_err();
+        assert!(matches!(err, Error::Decode(_)));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let s = schema();
+        let recs = vec![Record::new(
+            1,
+            vec![Value::U64(1), Value::F64(0.0), Value::str("abc"), Value::Bool(true)],
+        )];
+        let batch = Batch::from_records(s.clone(), &recs).unwrap();
+        let bytes = encode_batch(&batch);
+        let cut = bytes.slice(0..bytes.len() - 2);
+        assert!(decode_batch(s, cut).is_err());
+    }
+}

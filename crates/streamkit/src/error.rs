@@ -1,0 +1,39 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+/// Errors surfaced by plan construction, execution, or (de)serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A column name could not be resolved against a schema.
+    UnknownColumn(String),
+    /// A column index was out of bounds for the schema.
+    ColumnIndex { index: usize, width: usize },
+    /// An expression or operator was applied to an incompatible type.
+    TypeMismatch { expected: &'static str, got: &'static str },
+    /// A logical plan violated a structural requirement.
+    InvalidPlan(String),
+    /// Wire decoding failed.
+    Decode(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            Error::ColumnIndex { index, width } => {
+                write!(f, "column index {index} out of bounds for schema of width {width}")
+            }
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            Error::Decode(msg) => write!(f, "decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,384 @@
+//! Row expressions for filters and derived columns.
+//!
+//! Queries are declarative (paper §II-A): predicates are data, which lets the
+//! logical optimiser fold constants and push filters down, and lets the
+//! planner reason about which columns an expression touches.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use crate::record::Record;
+use crate::value::Value;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An expression tree evaluated against one record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to column `i` of the input schema.
+    Col(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic on two numeric sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (short-circuiting).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (short-circuiting).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// True when the string column contains the needle.
+    Contains(Box<Expr>, String),
+    /// True when the string column contains *any* of the needles — the
+    /// LogAnalytics pattern filter from Listing 3.
+    ContainsAny(usize, Vec<String>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <> rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Evaluates against a record. Type errors and null propagation both
+    /// yield `Value::Null`; predicates treat `Null` as `false`.
+    pub fn eval(&self, rec: &Record) -> Value {
+        match self {
+            Expr::Col(i) => rec.values.get(*i).cloned().unwrap_or(Value::Null),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval(rec), b.eval(rec));
+                match va.compare(&vb) {
+                    Some(ord) => Value::Bool(op.test(ord)),
+                    None => Value::Null,
+                }
+            }
+            Expr::Arith(op, a, b) => {
+                let (va, vb) = (a.eval(rec), b.eval(rec));
+                match (va.as_f64(), vb.as_f64()) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => {
+                                if y == 0.0 {
+                                    return Value::Null;
+                                }
+                                x / y
+                            }
+                        };
+                        Value::F64(r)
+                    }
+                    _ => Value::Null,
+                }
+            }
+            Expr::And(a, b) => match a.eval(rec).as_bool() {
+                Some(false) => Value::Bool(false),
+                Some(true) => b.eval(rec),
+                None => Value::Null,
+            },
+            Expr::Or(a, b) => match a.eval(rec).as_bool() {
+                Some(true) => Value::Bool(true),
+                Some(false) => b.eval(rec),
+                None => Value::Null,
+            },
+            Expr::Not(a) => match a.eval(rec).as_bool() {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            },
+            Expr::Contains(a, needle) => match a.eval(rec) {
+                Value::Str(s) => Value::Bool(s.contains(needle.as_str())),
+                _ => Value::Null,
+            },
+            Expr::ContainsAny(col, needles) => match rec.values.get(*col) {
+                Some(Value::Str(s)) => {
+                    Value::Bool(needles.iter().any(|n| s.contains(n.as_str())))
+                }
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Evaluates as a predicate: `Null` and non-boolean results are `false`.
+    pub fn matches(&self, rec: &Record) -> bool {
+        self.eval(rec).as_bool().unwrap_or(false)
+    }
+
+    /// Collects the column indices this expression reads.
+    pub fn column_refs(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Expr::Col(i) => {
+                out.insert(*i);
+            }
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.column_refs(out);
+                b.column_refs(out);
+            }
+            Expr::Not(a) | Expr::Contains(a, _) => a.column_refs(out),
+            Expr::ContainsAny(col, _) => {
+                out.insert(*col);
+            }
+        }
+    }
+
+    /// Rewrites column references through a mapping (used when pushing a
+    /// filter past a projection). Returns `None` if a referenced column has
+    /// no pre-image.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>) -> Option<Expr> {
+        Some(match self {
+            Expr::Col(i) => Expr::Col(map(*i)?),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.remap_columns(map)?), Box::new(b.remap_columns(map)?))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(a.remap_columns(map)?), Box::new(b.remap_columns(map)?))
+            }
+            Expr::Not(a) => Expr::Not(Box::new(a.remap_columns(map)?)),
+            Expr::Contains(a, n) => Expr::Contains(Box::new(a.remap_columns(map)?), n.clone()),
+            Expr::ContainsAny(col, n) => Expr::ContainsAny(map(*col)?, n.clone()),
+        })
+    }
+
+    /// True when the expression references no columns.
+    pub fn is_const(&self) -> bool {
+        let mut refs = BTreeSet::new();
+        self.column_refs(&mut refs);
+        refs.is_empty()
+    }
+
+    /// Constant folding: evaluates constant sub-trees once. This is the
+    /// "constant folding" logical optimisation from paper §IV-B.
+    pub fn fold(self) -> Expr {
+        // Fold children first, then collapse if the whole node is constant.
+        let folded = match self {
+            Expr::Cmp(op, a, b) => Expr::Cmp(op, Box::new(a.fold()), Box::new(b.fold())),
+            Expr::Arith(op, a, b) => Expr::Arith(op, Box::new(a.fold()), Box::new(b.fold())),
+            Expr::And(a, b) => {
+                let (a, b) = (a.fold(), b.fold());
+                match (&a, &b) {
+                    (Expr::Lit(Value::Bool(false)), _) | (_, Expr::Lit(Value::Bool(false))) => {
+                        return Expr::Lit(Value::Bool(false));
+                    }
+                    (Expr::Lit(Value::Bool(true)), _) => return b,
+                    (_, Expr::Lit(Value::Bool(true))) => return a,
+                    _ => Expr::And(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Or(a, b) => {
+                let (a, b) = (a.fold(), b.fold());
+                match (&a, &b) {
+                    (Expr::Lit(Value::Bool(true)), _) | (_, Expr::Lit(Value::Bool(true))) => {
+                        return Expr::Lit(Value::Bool(true));
+                    }
+                    (Expr::Lit(Value::Bool(false)), _) => return b,
+                    (_, Expr::Lit(Value::Bool(false))) => return a,
+                    _ => Expr::Or(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Not(a) => Expr::Not(Box::new(a.fold())),
+            Expr::Contains(a, n) => Expr::Contains(Box::new(a.fold()), n),
+            other => other,
+        };
+        if folded.is_const() {
+            let dummy = Record::new(0, Vec::new());
+            Expr::Lit(folded.eval(&dummy))
+        } else {
+            folded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(values: Vec<Value>) -> Record {
+        Record::new(0, values)
+    }
+
+    #[test]
+    fn filter_predicate_from_listing_1() {
+        // Filter(e => e.errCode == 0) with errCode at column 5.
+        let p = Expr::col(5).eq(Expr::lit(0u64));
+        assert!(p.matches(&rec(vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::U64(0)
+        ])));
+        assert!(!p.matches(&rec(vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::U64(3)
+        ])));
+    }
+
+    #[test]
+    fn contains_any_matches_log_patterns() {
+        let p = Expr::ContainsAny(0, vec!["tenant name".into(), "cpu util".into()]);
+        assert!(p.matches(&rec(vec![Value::str("x cpu util=55 y")])));
+        assert!(!p.matches(&rec(vec![Value::str("heartbeat ok")])));
+    }
+
+    #[test]
+    fn null_propagates_and_predicates_reject_null() {
+        let p = Expr::col(0).gt(Expr::lit(1i64));
+        assert!(!p.matches(&rec(vec![Value::Null])));
+        assert_eq!(p.eval(&rec(vec![Value::Null])), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(0i64)),
+        );
+        assert_eq!(e.eval(&rec(vec![Value::I64(10)])), Value::Null);
+        let e2 = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(2i64)),
+        );
+        assert_eq!(e2.eval(&rec(vec![Value::I64(10)])), Value::F64(12.0));
+    }
+
+    #[test]
+    fn fold_collapses_constant_trees() {
+        let e = Expr::lit(2i64).gt(Expr::lit(1i64)).and(Expr::col(0).eq(Expr::lit(5i64)));
+        // `2 > 1` folds to true; `true AND x` folds to x.
+        assert_eq!(e.fold(), Expr::col(0).eq(Expr::lit(5i64)));
+
+        let always_false = Expr::lit(1i64).gt(Expr::lit(2i64)).and(Expr::col(0).eq(Expr::lit(5i64)));
+        assert_eq!(always_false.fold(), Expr::Lit(Value::Bool(false)));
+    }
+
+    #[test]
+    fn column_refs_are_collected() {
+        let e = Expr::col(3).gt(Expr::lit(1i64)).and(Expr::ContainsAny(7, vec!["a".into()]));
+        let mut refs = BTreeSet::new();
+        e.column_refs(&mut refs);
+        assert_eq!(refs.into_iter().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn remap_columns_applies_projection_inverse() {
+        let e = Expr::col(1).eq(Expr::lit(0i64));
+        let remapped = e.remap_columns(&|i| if i == 1 { Some(4) } else { None }).unwrap();
+        assert_eq!(remapped, Expr::col(4).eq(Expr::lit(0i64)));
+        let gone = Expr::col(2).eq(Expr::lit(0i64)).remap_columns(&|_| None);
+        assert!(gone.is_none());
+    }
+}

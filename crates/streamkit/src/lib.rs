@@ -1,0 +1,43 @@
+//! `streamkit` — a lightweight streaming-engine substrate.
+//!
+//! This crate provides the query-execution building blocks that the Jarvis
+//! paper assumes from its host engines (Apache NiFi/MiNiFi + RxJava):
+//!
+//! * a typed value/schema model with exact wire-size accounting
+//!   ([`value`], [`schema`], [`record`]),
+//! * a columnar batch + wire encoding used on the network path ([`batch`],
+//!   [`encode`]),
+//! * event time, tumbling windows and min-merged watermarks ([`time`],
+//!   [`window`], [`watermark`]),
+//! * incrementally-updatable, *mergeable* aggregates ([`agg`], [`quantile`]),
+//! * the stream operators used by the paper's three monitoring queries:
+//!   Window, Filter, Map, Project, GroupAggregate, stream-table Join
+//!   ([`ops`]),
+//! * a declarative query builder, logical plan, logical optimiser and
+//!   physical planner ([`query`], [`logical`], [`optimizer`], [`physical`]).
+//!
+//! Everything is deterministic and single-threaded by design; concurrency is
+//! layered on top by `jarvis-core`'s live runtime.
+
+pub mod agg;
+pub mod batch;
+pub mod encode;
+pub mod error;
+pub mod expr;
+pub mod logical;
+pub mod ops;
+pub mod optimizer;
+pub mod physical;
+pub mod quantile;
+pub mod query;
+pub mod record;
+pub mod schema;
+pub mod time;
+pub mod value;
+pub mod watermark;
+pub mod window;
+
+pub use error::{Error, Result};
+pub use record::Record;
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use value::Value;

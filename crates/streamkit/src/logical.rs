@@ -1,0 +1,240 @@
+//! Logical query plans.
+//!
+//! After the planner applies the paper's eligibility rules, queries deployed
+//! on data sources are *chains* of operators (paper §IV-B), so the logical
+//! plan is an ordered `Vec<LogicalOp>` over a source schema. Schema
+//! propagation is validated eagerly so malformed plans fail at build time,
+//! not mid-stream.
+
+use std::sync::Arc;
+
+use crate::agg::AggSpec;
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::ops::{EmitMode, GroupAggregateOp, JoinMiss, JoinOp, MapFn, OpKind, StaticTable};
+use crate::schema::SchemaRef;
+use crate::time::Ts;
+
+/// One logical operator in a chain.
+#[derive(Debug, Clone)]
+pub enum LogicalOp {
+    /// Declares the tumbling window for downstream stateful operators.
+    Window {
+        /// Window size in µs.
+        size: Ts,
+    },
+    /// Predicate filter.
+    Filter {
+        /// Row predicate.
+        predicate: Expr,
+    },
+    /// Record transformation.
+    Map {
+        /// The transformation.
+        f: MapFn,
+    },
+    /// Column projection.
+    Project {
+        /// Columns (into the input schema) to keep, in order.
+        cols: Vec<usize>,
+    },
+    /// Keyed windowed aggregation.
+    GroupAggregate {
+        /// Key columns.
+        keys: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+        /// Emission mode (for Final-role instances).
+        emit: EmitMode,
+    },
+    /// Stream-table join.
+    Join {
+        /// Lookup table.
+        table: Arc<StaticTable>,
+        /// Stream-side key column.
+        key_col: usize,
+        /// Miss policy.
+        miss: JoinMiss,
+    },
+}
+
+impl LogicalOp {
+    /// The operator kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            LogicalOp::Window { .. } => OpKind::Window,
+            LogicalOp::Filter { .. } => OpKind::Filter,
+            LogicalOp::Map { .. } => OpKind::Map,
+            LogicalOp::Project { .. } => OpKind::Project,
+            LogicalOp::GroupAggregate { .. } => OpKind::GroupAggregate,
+            LogicalOp::Join { .. } => OpKind::Join,
+        }
+    }
+
+    /// Output schema given the input schema.
+    pub fn output_schema(&self, input: &SchemaRef) -> Result<SchemaRef> {
+        match self {
+            LogicalOp::Window { .. } => Ok(input.clone()),
+            LogicalOp::Filter { predicate } => {
+                // Validate column references.
+                let mut refs = std::collections::BTreeSet::new();
+                predicate.column_refs(&mut refs);
+                for r in refs {
+                    input.field(r)?;
+                }
+                Ok(input.clone())
+            }
+            LogicalOp::Map { f } => f.output_schema(input),
+            LogicalOp::Project { cols } => input.project(cols),
+            LogicalOp::GroupAggregate { keys, aggs, .. } => {
+                for &k in keys {
+                    input.field(k)?;
+                }
+                for a in aggs {
+                    input.field(a.col)?;
+                }
+                Ok(GroupAggregateOp::output_schema_for(keys, aggs, input))
+            }
+            LogicalOp::Join { table, key_col, .. } => {
+                input.field(*key_col)?;
+                Ok(JoinOp::output_schema_for(table, input))
+            }
+        }
+    }
+}
+
+/// An ordered operator chain with a source schema.
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    /// Query name (for traces, plans, and experiment output).
+    pub name: String,
+    /// Schema of the raw input stream.
+    pub source_schema: SchemaRef,
+    /// The operator chain.
+    pub ops: Vec<LogicalOp>,
+}
+
+impl LogicalPlan {
+    /// Validates schema propagation and returns the schema at every edge:
+    /// `schemas[0]` is the source schema and `schemas[i+1]` is op `i`'s
+    /// output.
+    pub fn edge_schemas(&self) -> Result<Vec<SchemaRef>> {
+        let mut schemas = Vec::with_capacity(self.ops.len() + 1);
+        schemas.push(self.source_schema.clone());
+        for op in &self.ops {
+            let next = op.output_schema(schemas.last().unwrap())?;
+            schemas.push(next);
+        }
+        Ok(schemas)
+    }
+
+    /// The window size in effect for op `index` (size of the closest
+    /// preceding `Window` op).
+    pub fn window_for(&self, index: usize) -> Option<Ts> {
+        self.ops[..index]
+            .iter()
+            .rev()
+            .find_map(|op| match op {
+                LogicalOp::Window { size } => Some(*size),
+                _ => None,
+            })
+    }
+
+    /// Validates the plan: schemas propagate, and every stateful op has a
+    /// window in scope.
+    pub fn validate(&self) -> Result<()> {
+        self.edge_schemas()?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if matches!(op, LogicalOp::GroupAggregate { .. }) && self.window_for(i).is_none() {
+                return Err(Error::InvalidPlan(format!(
+                    "GroupAggregate at position {i} has no Window upstream"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the plan has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Compact plan string, e.g. `W -> F -> G+R`.
+    pub fn display_chain(&self) -> String {
+        self.ops
+            .iter()
+            .map(|op| op.kind().letter())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggKind;
+    use crate::schema::{DataType, Field, Schema};
+    use crate::time::secs;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("ip", DataType::U32),
+            Field::new("rtt", DataType::U32),
+            Field::new("err", DataType::U32),
+        ])
+    }
+
+    fn plan() -> LogicalPlan {
+        LogicalPlan {
+            name: "t".into(),
+            source_schema: schema(),
+            ops: vec![
+                LogicalOp::Window { size: secs(10.0) },
+                LogicalOp::Filter { predicate: Expr::col(2).eq(Expr::lit(0u64)) },
+                LogicalOp::GroupAggregate {
+                    keys: vec![0],
+                    aggs: vec![AggSpec::new(AggKind::Avg, 1, "avg_rtt")],
+                    emit: EmitMode::OnWindowClose,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn edge_schemas_propagate() {
+        let p = plan();
+        let schemas = p.edge_schemas().unwrap();
+        assert_eq!(schemas.len(), 4);
+        assert_eq!(schemas[3].fields()[0].name, "window_start");
+        assert_eq!(schemas[3].fields()[1].name, "ip");
+        assert_eq!(schemas[3].fields()[2].name, "avg_rtt");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn group_without_window_is_invalid() {
+        let mut p = plan();
+        p.ops.remove(0);
+        assert!(matches!(p.validate(), Err(Error::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn bad_column_reference_fails_validation() {
+        let p = LogicalPlan {
+            name: "bad".into(),
+            source_schema: schema(),
+            ops: vec![LogicalOp::Filter { predicate: Expr::col(9).eq(Expr::lit(0u64)) }],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_chain_matches_paper_notation() {
+        assert_eq!(plan().display_chain(), "W -> F -> G+R");
+    }
+}

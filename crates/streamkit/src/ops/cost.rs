@@ -1,0 +1,81 @@
+//! Per-record compute cost models.
+//!
+//! The emulator charges operators a per-record cost against the node's CPU
+//! budget. Costs are calibrated from the paper's published percentages
+//! (`jarvis-core::calibration`) and may grow with operator state: the paper
+//! notes that grouping/join cost "depends on the hash table size, which
+//! corresponds to the group count and the static table size" (§II-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of processing one record, optionally state-dependent:
+///
+/// `cost_us(s) = base_us · (1 + state_coeff · ln(1 + s / state_ref))`
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost with empty state, in µs per record.
+    pub base_us: f64,
+    /// Strength of the state-size dependency (0 = state-independent).
+    pub state_coeff: f64,
+    /// State size at which the dependency contributes `ln(2)·state_coeff`.
+    pub state_ref: f64,
+}
+
+impl CostModel {
+    /// State-independent cost.
+    pub fn fixed(base_us: f64) -> CostModel {
+        CostModel { base_us, state_coeff: 0.0, state_ref: 1.0 }
+    }
+
+    /// State-dependent cost (see the struct-level formula).
+    pub fn state_dependent(base_us: f64, state_coeff: f64, state_ref: f64) -> CostModel {
+        assert!(state_ref > 0.0, "state_ref must be positive");
+        CostModel { base_us, state_coeff, state_ref }
+    }
+
+    /// Per-record cost at the given live state size.
+    #[inline]
+    pub fn cost_us(&self, state_size: usize) -> f64 {
+        if self.state_coeff == 0.0 {
+            self.base_us
+        } else {
+            self.base_us * (1.0 + self.state_coeff * (1.0 + state_size as f64 / self.state_ref).ln())
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::fixed(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_cost_ignores_state() {
+        let c = CostModel::fixed(3.0);
+        assert_eq!(c.cost_us(0), 3.0);
+        assert_eq!(c.cost_us(1_000_000), 3.0);
+    }
+
+    #[test]
+    fn state_dependent_cost_grows_monotonically() {
+        let c = CostModel::state_dependent(2.0, 0.5, 100.0);
+        let c0 = c.cost_us(0);
+        let c1 = c.cost_us(100);
+        let c2 = c.cost_us(10_000);
+        assert!(c0 < c1 && c1 < c2);
+        assert_eq!(c0, 2.0);
+        // At state == state_ref the uplift is ln(2)·coeff.
+        assert!((c1 - 2.0 * (1.0 + 0.5 * 2.0_f64.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "state_ref must be positive")]
+    fn zero_state_ref_panics() {
+        CostModel::state_dependent(1.0, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Predicate filter operator.
+
+use crate::expr::Expr;
+use crate::ops::{CostModel, OpKind, Operator};
+use crate::record::Record;
+use crate::schema::SchemaRef;
+
+/// Drops records that fail a predicate. Typically cheap (paper: the Pingmesh
+/// filter costs ~13 % of one core at the 10×-scaled rate) and the first point
+/// of data reduction in a monitoring pipeline.
+pub struct FilterOp {
+    predicate: Expr,
+    schema: SchemaRef,
+    cost: CostModel,
+    seen: u64,
+    passed: u64,
+}
+
+impl FilterOp {
+    /// Creates a filter over `schema` (output schema is unchanged).
+    pub fn new(predicate: Expr, schema: SchemaRef, cost: CostModel) -> FilterOp {
+        FilterOp { predicate, schema, cost, seen: 0, passed: 0 }
+    }
+
+    /// Observed selectivity so far (1.0 until data arrives).
+    pub fn selectivity(&self) -> f64 {
+        if self.seen == 0 {
+            1.0
+        } else {
+            self.passed as f64 / self.seen as f64
+        }
+    }
+}
+
+impl Operator for FilterOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Filter
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
+        self.seen += 1;
+        if self.predicate.matches(&rec) {
+            self.passed += 1;
+            out.push(rec);
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(0)
+    }
+
+    fn reset(&mut self) {
+        self.seen = 0;
+        self.passed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+    use crate::value::Value;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("err", DataType::U32)])
+    }
+
+    #[test]
+    fn filters_and_tracks_selectivity() {
+        let mut f = FilterOp::new(
+            Expr::col(0).eq(Expr::lit(0u64)),
+            schema(),
+            CostModel::fixed(1.0),
+        );
+        let mut out = Vec::new();
+        for err in [0u64, 1, 0, 0, 2] {
+            f.process(Record::new(0, vec![Value::U64(err)]), &mut out);
+        }
+        assert_eq!(out.len(), 3);
+        assert!((f.selectivity() - 0.6).abs() < 1e-12);
+        f.reset();
+        assert_eq!(f.selectivity(), 1.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Keyed, windowed, incrementally-updatable aggregation (the paper's `G+R`).
+//!
+//! The operator supports two *roles*:
+//!
+//! * [`AggRole::Final`] — the authoritative instance (stream processor, or a
+//!   data source running the whole query): emits finalised results when a
+//!   window closes, and optionally per-epoch deltas for live dashboards.
+//! * [`AggRole::Partial`] — a source-side pre-aggregator under data-level
+//!   partitioning: accumulates mergeable state for the records its control
+//!   proxy forwarded locally and ships *state increments* to the replica via
+//!   [`Operator::take_state_delta`]; it never emits result records itself, so
+//!   merged results are exact regardless of how records were split.
+//!
+//! Group state is kept in insertion order (vector + hash index) so emission is
+//! deterministic — a requirement for reproducible experiments.
+
+use std::collections::HashMap;
+
+use crate::agg::{AggKind, AggSpec, AggState};
+use crate::ops::{CostModel, GroupPartialEntry, OpKind, Operator, StatePartial};
+use crate::record::Record;
+use crate::schema::{DataType, Field, Schema, SchemaRef};
+use crate::time::Ts;
+use crate::value::Value;
+use crate::window::TumblingWindow;
+
+/// When results are emitted (Final role only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitMode {
+    /// Emit each window's results once, when the watermark closes it.
+    OnWindowClose,
+    /// Additionally emit updated aggregates for changed groups every epoch
+    /// (live-dashboard mode; this is the continuous result stream whose
+    /// volume Fig. 3 accounts as G+R output).
+    PerEpochDelta,
+}
+
+/// Whether this instance is authoritative or a source-side pre-aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggRole {
+    /// Emits finalised results.
+    Final,
+    /// Accumulates mergeable partial state only.
+    Partial,
+}
+
+type GroupKey = (Ts, Vec<Value>);
+
+/// Insertion-ordered group table: deterministic iteration + O(1) lookup.
+#[derive(Default)]
+struct GroupTable {
+    index: HashMap<GroupKey, usize>,
+    entries: Vec<(GroupKey, Vec<AggState>, bool)>,
+}
+
+impl GroupTable {
+    fn upsert(&mut self, key: GroupKey, init: impl FnOnce() -> Vec<AggState>) -> &mut Vec<AggState> {
+        let idx = match self.index.get(&key) {
+            Some(&i) => {
+                self.entries[i].2 = true;
+                i
+            }
+            None => {
+                let i = self.entries.len();
+                self.entries.push((key.clone(), init(), true));
+                self.index.insert(key, i);
+                i
+            }
+        };
+        &mut self.entries[idx].1
+    }
+
+    /// Merges `incoming` into an existing entry, or adopts it as a new entry.
+    fn insert_or_merge(&mut self, key: GroupKey, incoming: Vec<AggState>) {
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.entries[i].2 = true;
+                for (s, inc) in self.entries[i].1.iter_mut().zip(&incoming) {
+                    s.merge(inc);
+                }
+            }
+            None => {
+                let i = self.entries.len();
+                self.entries.push((key.clone(), incoming, true));
+                self.index.insert(key, i);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Removes and returns entries whose window is closed by `wm`, preserving
+    /// insertion order in both partitions.
+    fn split_closed(&mut self, window: TumblingWindow, wm: Ts) -> Vec<(GroupKey, Vec<AggState>)> {
+        let mut closed = Vec::new();
+        let mut kept = Vec::with_capacity(self.entries.len());
+        for (key, states, changed) in self.entries.drain(..) {
+            if window.is_closed(key.0, wm) {
+                closed.push((key, states));
+            } else {
+                kept.push((key, states, changed));
+            }
+        }
+        self.entries = kept;
+        self.index.clear();
+        for (i, (key, _, _)) in self.entries.iter().enumerate() {
+            self.index.insert(key.clone(), i);
+        }
+        closed
+    }
+
+    fn drain_all(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
+        self.index.clear();
+        self.entries.drain(..).map(|(k, s, _)| (k, s)).collect()
+    }
+
+    fn take_changed(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
+        let mut out = Vec::new();
+        for (key, states, changed) in self.entries.iter_mut() {
+            if *changed {
+                out.push((key.clone(), states.clone()));
+                *changed = false;
+            }
+        }
+        out
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.entries.clear();
+    }
+}
+
+/// The `G+R` operator.
+pub struct GroupAggregateOp {
+    keys: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    window: TumblingWindow,
+    emit: EmitMode,
+    role: AggRole,
+    table: GroupTable,
+    out_schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl GroupAggregateOp {
+    /// Creates the operator. The output schema is
+    /// `[window_start: I64, <key fields>, <agg fields>]`.
+    pub fn new(
+        keys: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        input_schema: &SchemaRef,
+        window: TumblingWindow,
+        emit: EmitMode,
+        role: AggRole,
+        cost: CostModel,
+    ) -> GroupAggregateOp {
+        let out_schema = Self::output_schema_for(&keys, &aggs, input_schema);
+        GroupAggregateOp {
+            keys,
+            aggs,
+            window,
+            emit,
+            role,
+            table: GroupTable::default(),
+            out_schema,
+            cost,
+        }
+    }
+
+    /// Computes the output schema without constructing the operator.
+    pub fn output_schema_for(
+        keys: &[usize],
+        aggs: &[AggSpec],
+        input_schema: &SchemaRef,
+    ) -> SchemaRef {
+        let mut fields = vec![Field::new("window_start", DataType::I64)];
+        for &k in keys {
+            fields.push(
+                input_schema
+                    .field(k)
+                    .cloned()
+                    .unwrap_or_else(|_| Field::new(format!("key{k}"), DataType::I64)),
+            );
+        }
+        for spec in aggs {
+            let dtype = match spec.kind {
+                AggKind::Count => DataType::U64,
+                _ => DataType::F64,
+            };
+            fields.push(Field::new(spec.name.clone(), dtype));
+        }
+        Schema::with_overhead(fields, input_schema.record_overhead())
+    }
+
+    /// Live group count.
+    pub fn group_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// This instance's role.
+    pub fn role(&self) -> AggRole {
+        self.role
+    }
+
+    fn emit_row(&self, key: &GroupKey, states: &[AggState], out: &mut Vec<Record>) {
+        let mut values = Vec::with_capacity(1 + key.1.len() + states.len());
+        values.push(Value::I64(key.0));
+        values.extend(key.1.iter().cloned());
+        values.extend(states.iter().map(AggState::finalize));
+        // Result timestamp is the window end, the event-time point at which
+        // the result is complete.
+        out.push(Record::new(key.0 + self.window.size, values));
+    }
+}
+
+impl Operator for GroupAggregateOp {
+    fn kind(&self) -> OpKind {
+        OpKind::GroupAggregate
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.out_schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, _out: &mut Vec<Record>) {
+        let window_start = self.window.start_of(rec.ts);
+        let key: Vec<Value> = self.keys.iter().map(|&k| rec.values[k].clone()).collect();
+        let aggs = &self.aggs;
+        let states = self
+            .table
+            .upsert((window_start, key), || aggs.iter().map(AggSpec::init).collect());
+        for (state, spec) in states.iter_mut().zip(aggs) {
+            let value = rec.values.get(spec.col).unwrap_or(&Value::Null);
+            state.update(value);
+        }
+    }
+
+    fn on_watermark(&mut self, wm: Ts, out: &mut Vec<Record>) {
+        // Partial role never emits: its state (including closed windows) is
+        // shipped wholesale by take_state_delta at the ship interval.
+        if self.role != AggRole::Final {
+            return;
+        }
+        let closed = self.table.split_closed(self.window, wm);
+        for (key, states) in &closed {
+            self.emit_row(key, states, out);
+        }
+    }
+
+    fn on_epoch(&mut self, out: &mut Vec<Record>) {
+        if self.role == AggRole::Final && self.emit == EmitMode::PerEpochDelta {
+            for (key, states) in self.table.take_changed() {
+                self.emit_row(&key, &states, out);
+            }
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(self.table.len())
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn state_size(&self) -> usize {
+        self.table.len()
+    }
+
+    fn take_state_delta(&mut self) -> Option<StatePartial> {
+        if self.role != AggRole::Partial || self.table.len() == 0 {
+            return None;
+        }
+        let entries = self
+            .table
+            .drain_all()
+            .into_iter()
+            .map(|((window_start, key), states)| GroupPartialEntry { window_start, key, states })
+            .collect();
+        Some(StatePartial::Group(entries))
+    }
+
+    fn merge_state(&mut self, state: StatePartial) {
+        let StatePartial::Group(entries) = state;
+        for entry in entries {
+            self.table.insert_or_merge((entry.window_start, entry.key), entry.states);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggKind;
+    use crate::time::secs;
+
+    fn input_schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("src", DataType::U32),
+            Field::new("dst", DataType::U32),
+            Field::new("rtt", DataType::U32),
+        ])
+    }
+
+    fn rtt_aggs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::new(AggKind::Avg, 2, "avg_rtt"),
+            AggSpec::new(AggKind::Max, 2, "max_rtt"),
+            AggSpec::new(AggKind::Min, 2, "min_rtt"),
+        ]
+    }
+
+    fn op(role: AggRole, emit: EmitMode) -> GroupAggregateOp {
+        GroupAggregateOp::new(
+            vec![0, 1],
+            rtt_aggs(),
+            &input_schema(),
+            TumblingWindow::new(secs(10.0)),
+            emit,
+            role,
+            CostModel::fixed(20.0),
+        )
+    }
+
+    fn rec(ts_s: f64, src: u64, dst: u64, rtt: u64) -> Record {
+        Record::new(secs(ts_s), vec![Value::U64(src), Value::U64(dst), Value::U64(rtt)])
+    }
+
+    #[test]
+    fn final_role_emits_on_window_close() {
+        let mut g = op(AggRole::Final, EmitMode::OnWindowClose);
+        let mut out = Vec::new();
+        g.process(rec(1.0, 1, 2, 100), &mut out);
+        g.process(rec(2.0, 1, 2, 300), &mut out);
+        g.process(rec(3.0, 9, 9, 50), &mut out);
+        assert!(out.is_empty());
+        g.on_watermark(secs(9.0), &mut out);
+        assert!(out.is_empty(), "window not closed yet");
+        g.on_watermark(secs(10.0), &mut out);
+        assert_eq!(out.len(), 2);
+        // Insertion-ordered emission: group (1,2) first.
+        assert_eq!(out[0].values[1], Value::U64(1));
+        assert_eq!(out[0].values[3], Value::F64(200.0)); // avg
+        assert_eq!(out[0].values[4], Value::F64(300.0)); // max
+        assert_eq!(out[0].values[5], Value::F64(100.0)); // min
+        assert_eq!(out[0].ts, secs(10.0));
+        assert_eq!(g.group_count(), 0);
+    }
+
+    #[test]
+    fn per_epoch_delta_emits_only_changed_groups() {
+        let mut g = op(AggRole::Final, EmitMode::PerEpochDelta);
+        let mut out = Vec::new();
+        g.process(rec(1.0, 1, 2, 100), &mut out);
+        g.on_epoch(&mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        g.on_epoch(&mut out);
+        assert!(out.is_empty(), "no change since last epoch");
+        g.process(rec(2.0, 1, 2, 900), &mut out);
+        g.on_epoch(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[4], Value::F64(900.0));
+    }
+
+    #[test]
+    fn partial_role_ships_state_and_merge_is_exact() {
+        // Split a stream arbitrarily between a partial-role source op and a
+        // final-role SP op; merged results must equal unpartitioned results.
+        let records = [
+            rec(1.0, 1, 2, 100),
+            rec(2.0, 1, 2, 300),
+            rec(3.0, 1, 2, 50),
+            rec(4.0, 7, 8, 400),
+            rec(5.0, 1, 2, 250),
+        ];
+
+        // Reference: all records through one final op.
+        let mut reference = op(AggRole::Final, EmitMode::OnWindowClose);
+        let mut ref_out = Vec::new();
+        for r in &records {
+            reference.process(r.clone(), &mut ref_out);
+        }
+        reference.on_watermark(secs(10.0), &mut ref_out);
+
+        // Partitioned: records 0,2,4 locally; 1,3 drained to SP.
+        let mut local = op(AggRole::Partial, EmitMode::OnWindowClose);
+        let mut sp = op(AggRole::Final, EmitMode::OnWindowClose);
+        let mut sink = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            if i % 2 == 0 {
+                local.process(r.clone(), &mut sink);
+            } else {
+                sp.process(r.clone(), &mut sink);
+            }
+        }
+        assert!(sink.is_empty());
+        let delta = local.take_state_delta().expect("partial state");
+        assert!(delta.wire_bytes() > 0);
+        sp.merge_state(delta);
+        let mut sp_out = Vec::new();
+        sp.on_watermark(secs(10.0), &mut sp_out);
+
+        // Compare as sets (emission order differs by arrival order).
+        let key = |r: &Record| (r.values[1].clone(), r.values[2].clone());
+        ref_out.sort_by_key(|r| format!("{:?}", key(r)));
+        sp_out.sort_by_key(|r| format!("{:?}", key(r)));
+        assert_eq!(ref_out, sp_out);
+        assert!(local.take_state_delta().is_none(), "state already drained");
+    }
+
+    #[test]
+    fn partial_role_emits_nothing_on_close() {
+        let mut g = op(AggRole::Partial, EmitMode::OnWindowClose);
+        let mut out = Vec::new();
+        g.process(rec(1.0, 1, 2, 100), &mut out);
+        g.on_watermark(secs(20.0), &mut out);
+        assert!(out.is_empty());
+        // Closed state still retrievable for shipping.
+        let delta = g.take_state_delta().unwrap();
+        assert_eq!(delta.entry_count(), 1);
+    }
+
+    #[test]
+    fn cost_grows_with_group_count() {
+        let mut g = GroupAggregateOp::new(
+            vec![0, 1],
+            rtt_aggs(),
+            &input_schema(),
+            TumblingWindow::new(secs(10.0)),
+            EmitMode::OnWindowClose,
+            AggRole::Final,
+            CostModel::state_dependent(20.0, 0.2, 1000.0),
+        );
+        let c0 = g.cost_us();
+        let mut out = Vec::new();
+        for i in 0..5000 {
+            g.process(rec(1.0, i, i, 10), &mut out);
+        }
+        assert!(g.cost_us() > c0);
+    }
+
+    #[test]
+    fn count_aggregate_schema_is_u64() {
+        let schema = GroupAggregateOp::output_schema_for(
+            &[0],
+            &[AggSpec::new(AggKind::Count, 0, "n")],
+            &input_schema(),
+        );
+        assert_eq!(schema.fields()[2].dtype, DataType::U64);
+        assert_eq!(schema.fields()[0].name, "window_start");
+    }
+}

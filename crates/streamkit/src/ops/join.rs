@@ -1,0 +1,223 @@
+//! Stream-table join (the paper's `J`).
+//!
+//! Joins the input stream against a static lookup table (e.g. server IP →
+//! ToR switch id in T2TProbe). Cost is state-dependent: the paper grows the
+//! table 10× at runtime to drive the join into congestion (Fig. 8b), so the
+//! per-record cost model must respond to `table.len()`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::ops::{CostModel, OpKind, Operator};
+use crate::record::Record;
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::value::Value;
+
+/// An immutable lookup table: key → extension columns.
+#[derive(Debug, Clone)]
+pub struct StaticTable {
+    /// Fields appended to matched records.
+    ext_fields: Vec<Field>,
+    map: HashMap<Value, Vec<Value>>,
+}
+
+impl StaticTable {
+    /// Builds a table from `(key, extension values)` pairs.
+    pub fn new(
+        ext_fields: Vec<Field>,
+        rows: impl IntoIterator<Item = (Value, Vec<Value>)>,
+    ) -> StaticTable {
+        let map = rows.into_iter().collect();
+        StaticTable { ext_fields, map }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Extension fields appended on match.
+    pub fn ext_fields(&self) -> &[Field] {
+        &self.ext_fields
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &Value) -> Option<&Vec<Value>> {
+        self.map.get(key)
+    }
+}
+
+/// Behaviour on lookup miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMiss {
+    /// Drop the record (inner join).
+    Drop,
+    /// Emit with `Null` extension values (left outer join).
+    Null,
+}
+
+/// The join operator.
+pub struct JoinOp {
+    table: Arc<StaticTable>,
+    key_col: usize,
+    miss: JoinMiss,
+    out_schema: SchemaRef,
+    cost: CostModel,
+    probes: u64,
+    hits: u64,
+}
+
+impl JoinOp {
+    /// Creates a join of the input stream with `table` on `key_col`.
+    pub fn new(
+        table: Arc<StaticTable>,
+        key_col: usize,
+        miss: JoinMiss,
+        input_schema: &SchemaRef,
+        cost: CostModel,
+    ) -> Result<JoinOp> {
+        input_schema.field(key_col)?;
+        let out_schema = Self::output_schema_for(&table, input_schema);
+        Ok(JoinOp { table, key_col, miss, out_schema, cost, probes: 0, hits: 0 })
+    }
+
+    /// Output schema: input fields followed by the table's extension fields.
+    /// The per-record envelope is inherited (joined records still cross the
+    /// wire in the same framing), so a join *grows* each record's wire size —
+    /// which is why T2TProbe needs the projection before aggregation.
+    pub fn output_schema_for(table: &StaticTable, input_schema: &SchemaRef) -> SchemaRef {
+        let mut fields = input_schema.fields().to_vec();
+        fields.extend(table.ext_fields().iter().cloned());
+        Schema::with_overhead(fields, input_schema.record_overhead())
+    }
+
+    /// Fraction of probes that matched so far (1.0 before any probe).
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+
+    /// Swaps the lookup table at runtime (Fig. 8b's 10× table growth).
+    pub fn set_table(&mut self, table: Arc<StaticTable>) {
+        self.table = table;
+    }
+}
+
+impl Operator for JoinOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Join
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.out_schema.clone()
+    }
+
+    fn process(&mut self, mut rec: Record, out: &mut Vec<Record>) {
+        self.probes += 1;
+        match self.table.get(&rec.values[self.key_col]) {
+            Some(ext) => {
+                self.hits += 1;
+                rec.values.extend(ext.iter().cloned());
+                out.push(rec);
+            }
+            None => match self.miss {
+                JoinMiss::Drop => {}
+                JoinMiss::Null => {
+                    rec.values
+                        .extend(std::iter::repeat(Value::Null).take(self.table.ext_fields().len()));
+                    out.push(rec);
+                }
+            },
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(self.table.len())
+    }
+
+    fn state_size(&self) -> usize {
+        self.table.len()
+    }
+
+    fn reset(&mut self) {
+        self.probes = 0;
+        self.hits = 0;
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn ip_to_tor(n: u64) -> Arc<StaticTable> {
+        Arc::new(StaticTable::new(
+            vec![Field::new("torId", DataType::U32)],
+            (0..n).map(|ip| (Value::U64(ip), vec![Value::U64(ip / 40)])),
+        ))
+    }
+
+    fn input_schema() -> SchemaRef {
+        Schema::new(vec![Field::new("srcIp", DataType::U32)])
+    }
+
+    #[test]
+    fn inner_join_appends_and_drops() {
+        let schema = input_schema();
+        let mut j =
+            JoinOp::new(ip_to_tor(100), 0, JoinMiss::Drop, &schema, CostModel::fixed(5.0)).unwrap();
+        let mut out = Vec::new();
+        j.process(Record::new(0, vec![Value::U64(80)]), &mut out);
+        j.process(Record::new(0, vec![Value::U64(500)]), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, vec![Value::U64(80), Value::U64(2)]);
+        assert_eq!(j.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn outer_join_emits_nulls() {
+        let schema = input_schema();
+        let mut j =
+            JoinOp::new(ip_to_tor(10), 0, JoinMiss::Null, &schema, CostModel::fixed(5.0)).unwrap();
+        let mut out = Vec::new();
+        j.process(Record::new(0, vec![Value::U64(999)]), &mut out);
+        assert_eq!(out[0].values, vec![Value::U64(999), Value::Null]);
+    }
+
+    #[test]
+    fn cost_tracks_table_size() {
+        let schema = input_schema();
+        let cost = CostModel::state_dependent(5.0, 0.3, 500.0);
+        let mut j = JoinOp::new(ip_to_tor(50), 0, JoinMiss::Drop, &schema, cost).unwrap();
+        let small = j.cost_us();
+        j.set_table(ip_to_tor(5000));
+        assert!(j.cost_us() > small, "10x table must cost more per record");
+    }
+
+    #[test]
+    fn bad_key_column_is_an_error() {
+        let schema = input_schema();
+        assert!(JoinOp::new(ip_to_tor(1), 3, JoinMiss::Drop, &schema, CostModel::fixed(1.0)).is_err());
+    }
+
+    #[test]
+    fn output_schema_appends_ext_fields() {
+        let schema = input_schema();
+        let out = JoinOp::output_schema_for(&ip_to_tor(1), &schema);
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.fields()[1].name, "torId");
+    }
+}

@@ -1,0 +1,293 @@
+//! Map (user-defined transformation) operator.
+//!
+//! The paper's text query (Listing 3) uses three maps: normalise the log line,
+//! parse it into a `JobStats` object, and bucketise the statistic. Map
+//! functions are described as data (`MapFn`) so the optimiser can reason about
+//! them (schema effects, fusion, filter pushdown) — with a `Custom` escape
+//! hatch for arbitrary user logic.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::ops::{CostModel, OpKind, Operator};
+use crate::record::Record;
+use crate::schema::{DataType, Field, Schema, SchemaRef};
+use crate::value::Value;
+
+/// A describable record transformation.
+#[derive(Clone)]
+pub enum MapFn {
+    /// Trim + lowercase a string column in place (schema preserving).
+    TrimLower(usize),
+    /// Parse a `key=value`-style log line into `(tenant, stat_name, stat)`.
+    /// Lines are expected to contain `tenant name=<t>` and one
+    /// `<stat name>=<number>` pair; anything else yields no output.
+    ParseJobStats {
+        /// Column holding the raw log line.
+        col: usize,
+        /// Recognised stat names (e.g. "job running time", "cpu util").
+        stats: Vec<String>,
+    },
+    /// Replace a numeric column with its histogram bucket index:
+    /// `width_bucket(v, lo, hi, buckets)` (schema type becomes I64).
+    WidthBucket {
+        /// Column to bucketise.
+        col: usize,
+        /// Range lower bound.
+        lo: f64,
+        /// Range upper bound.
+        hi: f64,
+        /// Number of buckets.
+        buckets: u32,
+    },
+    /// Arbitrary user transformation with an explicit output schema.
+    Custom {
+        /// Name for plans/traces.
+        name: &'static str,
+        /// Output schema.
+        schema: SchemaRef,
+        /// The transformation; returning `None` drops the record.
+        f: Arc<dyn Fn(&Record) -> Option<Record> + Send + Sync>,
+    },
+}
+
+impl std::fmt::Debug for MapFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapFn::TrimLower(c) => write!(f, "TrimLower({c})"),
+            MapFn::ParseJobStats { col, .. } => write!(f, "ParseJobStats({col})"),
+            MapFn::WidthBucket { col, lo, hi, buckets } => {
+                write!(f, "WidthBucket({col}, {lo}, {hi}, {buckets})")
+            }
+            MapFn::Custom { name, .. } => write!(f, "Custom({name})"),
+        }
+    }
+}
+
+impl MapFn {
+    /// Output schema given the input schema.
+    pub fn output_schema(&self, input: &SchemaRef) -> Result<SchemaRef> {
+        match self {
+            MapFn::TrimLower(col) => {
+                let field = input.field(*col)?;
+                if field.dtype != DataType::Str {
+                    return Err(Error::TypeMismatch { expected: "str", got: "non-str" });
+                }
+                Ok(input.clone())
+            }
+            MapFn::ParseJobStats { col, .. } => {
+                input.field(*col)?;
+                Ok(Schema::with_overhead(
+                    vec![
+                        Field::new("tenant", DataType::Str),
+                        Field::new("stat_name", DataType::Str),
+                        Field::new("stat", DataType::F64),
+                    ],
+                    input.record_overhead(),
+                ))
+            }
+            MapFn::WidthBucket { col, .. } => {
+                let mut fields = input.fields().to_vec();
+                let field = fields
+                    .get_mut(*col)
+                    .ok_or(Error::ColumnIndex { index: *col, width: input.width() })?;
+                field.dtype = DataType::I64;
+                Ok(Schema::with_overhead(fields, input.record_overhead()))
+            }
+            MapFn::Custom { schema, .. } => Ok(schema.clone()),
+        }
+    }
+
+    /// True when the function preserves the input schema and only rewrites
+    /// the listed columns — the condition for pushing a filter below it.
+    pub fn schema_preserving_rewrites(&self) -> Option<Vec<usize>> {
+        match self {
+            MapFn::TrimLower(c) => Some(vec![*c]),
+            MapFn::WidthBucket { .. } => None, // changes a column's type
+            _ => None,
+        }
+    }
+
+    /// Applies the transformation.
+    pub fn apply(&self, rec: &Record) -> Option<Record> {
+        match self {
+            MapFn::TrimLower(col) => {
+                let mut rec = rec.clone();
+                if let Some(Value::Str(s)) = rec.values.get(*col) {
+                    let cleaned = s.trim().to_lowercase();
+                    rec.values[*col] = Value::str(cleaned);
+                }
+                Some(rec)
+            }
+            MapFn::ParseJobStats { col, stats } => {
+                let line = rec.values.get(*col)?.as_str()?;
+                let tenant = extract_kv(line, "tenant name")?;
+                for stat in stats {
+                    if let Some(v) = extract_kv(line, stat) {
+                        let value: f64 = v.trim().parse().ok()?;
+                        return Some(Record::new(
+                            rec.ts,
+                            vec![
+                                Value::str(tenant.trim()),
+                                Value::str(stat.as_str()),
+                                Value::F64(value),
+                            ],
+                        ));
+                    }
+                }
+                None
+            }
+            MapFn::WidthBucket { col, lo, hi, buckets } => {
+                let mut rec = rec.clone();
+                let v = rec.values.get(*col)?.as_f64()?;
+                let b = width_bucket(v, *lo, *hi, *buckets);
+                rec.values[*col] = Value::I64(b);
+                Some(rec)
+            }
+            MapFn::Custom { f, .. } => f(rec),
+        }
+    }
+}
+
+/// SQL-style `width_bucket`: 0 below range, `buckets+1` above, else 1-based
+/// bucket index.
+pub fn width_bucket(v: f64, lo: f64, hi: f64, buckets: u32) -> i64 {
+    if v < lo {
+        0
+    } else if v >= hi {
+        i64::from(buckets) + 1
+    } else {
+        ((v - lo) / (hi - lo) * f64::from(buckets)) as i64 + 1
+    }
+}
+
+/// Extracts the value following `key=` up to the next recognised delimiter.
+fn extract_kv<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = line.get(start..)?.strip_prefix('=')?;
+    let end = rest.find(|c| c == ',' || c == ';').unwrap_or(rest.len());
+    // A value runs until a delimiter; embedded spaces are allowed for tenant
+    // names but numeric stats are parsed with trim.
+    Some(&rest[..end])
+}
+
+/// The map operator.
+pub struct MapOp {
+    f: MapFn,
+    schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl MapOp {
+    /// Creates a map operator; `schema` must equal `f.output_schema(input)`.
+    pub fn new(f: MapFn, schema: SchemaRef, cost: CostModel) -> MapOp {
+        MapOp { f, schema, cost }
+    }
+
+    /// The map function.
+    pub fn map_fn(&self) -> &MapFn {
+        &self.f
+    }
+}
+
+impl Operator for MapOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Map
+    }
+
+    fn name(&self) -> String {
+        format!("M[{:?}]", self.f)
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
+        if let Some(mapped) = self.f.apply(&rec) {
+            out.push(mapped);
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_schema() -> SchemaRef {
+        Schema::new(vec![Field::new("line", DataType::Str)])
+    }
+
+    #[test]
+    fn trim_lower_normalises() {
+        let f = MapFn::TrimLower(0);
+        let rec = Record::new(0, vec![Value::str("  Tenant Name=Acme  ")]);
+        let out = f.apply(&rec).unwrap();
+        assert_eq!(out.values[0], Value::str("tenant name=acme"));
+        assert_eq!(f.output_schema(&log_schema()).unwrap(), log_schema());
+    }
+
+    #[test]
+    fn parse_job_stats_extracts_tenant_and_stat() {
+        let f = MapFn::ParseJobStats {
+            col: 0,
+            stats: vec!["job running time".into(), "cpu util".into()],
+        };
+        let rec = Record::new(7, vec![Value::str("tenant name=acme, cpu util=62.5")]);
+        let out = f.apply(&rec).unwrap();
+        assert_eq!(out.ts, 7);
+        assert_eq!(out.values[0], Value::str("acme"));
+        assert_eq!(out.values[1], Value::str("cpu util"));
+        assert_eq!(out.values[2], Value::F64(62.5));
+    }
+
+    #[test]
+    fn parse_job_stats_drops_unparseable_lines() {
+        let f = MapFn::ParseJobStats { col: 0, stats: vec!["cpu util".into()] };
+        assert!(f.apply(&Record::new(0, vec![Value::str("heartbeat ok")])).is_none());
+        assert!(f
+            .apply(&Record::new(0, vec![Value::str("tenant name=acme, cpu util=NaNopenope")]))
+            .is_none());
+    }
+
+    #[test]
+    fn width_bucket_matches_sql_semantics() {
+        assert_eq!(width_bucket(-1.0, 0.0, 100.0, 10), 0);
+        assert_eq!(width_bucket(0.0, 0.0, 100.0, 10), 1);
+        assert_eq!(width_bucket(55.0, 0.0, 100.0, 10), 6);
+        assert_eq!(width_bucket(100.0, 0.0, 100.0, 10), 11);
+    }
+
+    #[test]
+    fn width_bucket_map_changes_schema_type() {
+        let schema = Schema::new(vec![
+            Field::new("tenant", DataType::Str),
+            Field::new("stat", DataType::F64),
+        ]);
+        let f = MapFn::WidthBucket { col: 1, lo: 0.0, hi: 100.0, buckets: 10 };
+        let out_schema = f.output_schema(&schema).unwrap();
+        assert_eq!(out_schema.fields()[1].dtype, DataType::I64);
+        let rec = Record::new(0, vec![Value::str("t"), Value::F64(31.0)]);
+        assert_eq!(f.apply(&rec).unwrap().values[1], Value::I64(4));
+    }
+
+    #[test]
+    fn map_op_drops_when_fn_returns_none() {
+        let f = MapFn::ParseJobStats { col: 0, stats: vec!["cpu util".into()] };
+        let out_schema = f.output_schema(&log_schema()).unwrap();
+        let mut op = MapOp::new(f, out_schema, CostModel::fixed(1.0));
+        let mut out = Vec::new();
+        op.process(Record::new(0, vec![Value::str("noise")]), &mut out);
+        op.process(
+            Record::new(0, vec![Value::str("tenant name=a, cpu util=5")]),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+    }
+}

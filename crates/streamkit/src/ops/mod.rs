@@ -1,0 +1,192 @@
+//! Stream operators.
+//!
+//! Operators are single-input record transformers with three extra hooks the
+//! Jarvis engine relies on:
+//!
+//! * **state-dependent cost** ([`Operator::cost_us`]) — per-record compute
+//!   cost that grows with live state (hash-table size for grouping, static
+//!   table size for joins), which is what makes profiling-on-a-sample biased
+//!   exactly as the paper observes (§VI-C);
+//! * **watermark handling** ([`Operator::on_watermark`]) — closes event-time
+//!   windows;
+//! * **partial-state draining** ([`Operator::take_state_delta`] /
+//!   [`Operator::merge_state`]) — stateful operators running on a data source
+//!   in *partial* role ship mergeable pre-aggregated state to their replica on
+//!   the stream processor (paper §V, "stateful operators relay output to the
+//!   corresponding operator ... for merging the accumulated state").
+
+pub mod cost;
+pub mod filter;
+pub mod group;
+pub mod join;
+pub mod map;
+pub mod project;
+pub mod window_op;
+
+use serde::{Deserialize, Serialize};
+
+use crate::agg::AggState;
+use crate::record::Record;
+use crate::schema::{Schema, SchemaRef};
+use crate::time::Ts;
+use crate::value::Value;
+
+pub use cost::CostModel;
+pub use filter::FilterOp;
+pub use group::{AggRole, EmitMode, GroupAggregateOp};
+pub use join::{JoinMiss, JoinOp, StaticTable};
+pub use map::{MapFn, MapOp};
+pub use project::ProjectOp;
+pub use window_op::WindowAssignOp;
+
+/// Operator kinds, used by the planner's eligibility rules (R-1..R-4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Window assignment (pass-through).
+    Window,
+    /// Predicate filter.
+    Filter,
+    /// Record transformation.
+    Map,
+    /// Column projection.
+    Project,
+    /// Keyed windowed aggregation.
+    GroupAggregate,
+    /// Stream-table join.
+    Join,
+}
+
+impl OpKind {
+    /// Short display name (matches the paper's operator letters).
+    pub fn letter(self) -> &'static str {
+        match self {
+            OpKind::Window => "W",
+            OpKind::Filter => "F",
+            OpKind::Map => "M",
+            OpKind::Project => "P",
+            OpKind::GroupAggregate => "G+R",
+            OpKind::Join => "J",
+        }
+    }
+}
+
+/// One group's partial aggregate state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupPartialEntry {
+    /// Start of the window the state belongs to.
+    pub window_start: Ts,
+    /// Group key values.
+    pub key: Vec<Value>,
+    /// One state per aggregate spec.
+    pub states: Vec<AggState>,
+}
+
+impl GroupPartialEntry {
+    /// Encoded size used for network accounting: window start + key values +
+    /// aggregate states.
+    pub fn wire_bytes(&self) -> usize {
+        let key_bytes: usize = self
+            .key
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => 2 + s.len(),
+                Value::Bool(_) => 1,
+                _ => 8,
+            })
+            .sum();
+        8 + key_bytes + self.states.iter().map(AggState::state_bytes).sum::<usize>()
+    }
+}
+
+/// Mergeable state shipped from a source-side stateful operator to its
+/// stream-processor replica.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StatePartial {
+    /// Grouped aggregation partials.
+    Group(Vec<GroupPartialEntry>),
+}
+
+impl StatePartial {
+    /// Encoded size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            StatePartial::Group(entries) => {
+                4 + entries.iter().map(GroupPartialEntry::wire_bytes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of group entries carried.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            StatePartial::Group(entries) => entries.len(),
+        }
+    }
+}
+
+/// A single-input stream operator.
+pub trait Operator: Send {
+    /// Operator kind.
+    fn kind(&self) -> OpKind;
+
+    /// Human-readable name for traces and plans.
+    fn name(&self) -> String {
+        self.kind().letter().to_string()
+    }
+
+    /// Schema of emitted records.
+    fn output_schema(&self) -> SchemaRef;
+
+    /// Processes one record, appending any outputs.
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>);
+
+    /// Advances event time; windowed operators emit closed-window results.
+    fn on_watermark(&mut self, _wm: Ts, _out: &mut Vec<Record>) {}
+
+    /// Epoch boundary hook; delta-emitting aggregations flush here.
+    fn on_epoch(&mut self, _out: &mut Vec<Record>) {}
+
+    /// Current per-record compute cost in µs (may depend on live state).
+    fn cost_us(&self) -> f64;
+
+    /// Whether the operator holds mergeable state.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    /// Live state size (rows/groups), for cost models and diagnostics.
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    /// Takes accumulated partial state for shipping to the replica
+    /// (partial-role stateful operators only).
+    fn take_state_delta(&mut self) -> Option<StatePartial> {
+        None
+    }
+
+    /// Merges partial state shipped from a partial-role twin.
+    fn merge_state(&mut self, _state: StatePartial) {}
+
+    /// Clears all operator state (redeployment / tests).
+    fn reset(&mut self);
+
+    /// Downcast hook for operator-specific runtime reconfiguration (e.g.
+    /// swapping a join's static table mid-run, paper Fig. 8b).
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Convenience: wire size of one record under this operator's output schema.
+pub fn output_wire_size(op: &dyn Operator, rec: &Record) -> usize {
+    rec.wire_size(op.output_schema().as_ref())
+}
+
+/// Convenience: average output wire size over records, 0 when empty.
+pub fn avg_wire_size(records: &[Record], schema: &Schema) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    crate::record::wire_size_of(records, schema) as f64 / records.len() as f64
+}

@@ -1,0 +1,234 @@
+//! Logical optimisations (paper §IV-B: "a logical plan is constructed along
+//! with logical optimizations, such as constant folding, predicate
+//! pushdown").
+//!
+//! Implemented rewrites:
+//! 1. **Constant folding** of filter predicates; always-true filters are
+//!    removed.
+//! 2. **Predicate pushdown** past schema-preserving maps that do not rewrite
+//!    the predicate's columns, and past projections (remapping column
+//!    references). Earlier filters drop records before more expensive stages,
+//!    which directly reduces near-data compute demand.
+//! 3. **Filter fusion**: adjacent filters are AND-combined so the pipeline
+//!    stays short (each operator later gets its own control proxy).
+
+use std::collections::BTreeSet;
+
+use crate::logical::{LogicalOp, LogicalPlan};
+use crate::value::Value;
+
+/// Applies all rewrites to fixpoint (bounded) and returns the optimised plan.
+pub fn optimize(mut plan: LogicalPlan) -> LogicalPlan {
+    fold_constants(&mut plan);
+    // Pushdown/fusion interact; iterate to a small fixpoint.
+    for _ in 0..plan.ops.len() + 2 {
+        let moved = push_filters_down(&mut plan);
+        let fused = fuse_adjacent_filters(&mut plan);
+        if !moved && !fused {
+            break;
+        }
+    }
+    plan
+}
+
+/// Folds constant predicate sub-trees; removes `Filter(true)` stages.
+pub fn fold_constants(plan: &mut LogicalPlan) {
+    for op in &mut plan.ops {
+        if let LogicalOp::Filter { predicate } = op {
+            let folded = std::mem::replace(predicate, crate::expr::Expr::Lit(Value::Null)).fold();
+            *predicate = folded;
+        }
+    }
+    plan.ops.retain(|op| {
+        !matches!(
+            op,
+            LogicalOp::Filter { predicate: crate::expr::Expr::Lit(Value::Bool(true)) }
+        )
+    });
+}
+
+/// Tries to move each filter one position earlier; returns true if anything
+/// moved.
+pub fn push_filters_down(plan: &mut LogicalPlan) -> bool {
+    let mut moved = false;
+    // Scan left to right; a swap can enable further swaps on later passes.
+    let mut i = 1;
+    while i < plan.ops.len() {
+        let can_swap = match (&plan.ops[i - 1], &plan.ops[i]) {
+            (LogicalOp::Map { f }, LogicalOp::Filter { predicate }) => {
+                match f.schema_preserving_rewrites() {
+                    Some(rewritten) => {
+                        let mut refs = BTreeSet::new();
+                        predicate.column_refs(&mut refs);
+                        rewritten.iter().all(|c| !refs.contains(c)).then_some(None)
+                    }
+                    None => None,
+                }
+            }
+            (LogicalOp::Project { cols }, LogicalOp::Filter { predicate }) => {
+                // Remap filter columns through the projection: output col j
+                // reads input col cols[j].
+                let cols = cols.clone();
+                predicate.remap_columns(&|j| cols.get(j).copied()).map(Some)
+            }
+            _ => None,
+        };
+        match can_swap {
+            Some(None) => {
+                plan.ops.swap(i - 1, i);
+                moved = true;
+            }
+            Some(Some(remapped)) => {
+                let LogicalOp::Filter { .. } = plan.ops.remove(i) else { unreachable!() };
+                plan.ops.insert(i - 1, LogicalOp::Filter { predicate: remapped });
+                moved = true;
+            }
+            None => {}
+        }
+        i += 1;
+    }
+    moved
+}
+
+/// AND-combines adjacent filters; returns true if anything fused.
+pub fn fuse_adjacent_filters(plan: &mut LogicalPlan) -> bool {
+    let mut fused = false;
+    let mut i = 0;
+    while i + 1 < plan.ops.len() {
+        if matches!(plan.ops[i], LogicalOp::Filter { .. })
+            && matches!(plan.ops[i + 1], LogicalOp::Filter { .. })
+        {
+            let LogicalOp::Filter { predicate: second } = plan.ops.remove(i + 1) else {
+                unreachable!()
+            };
+            let LogicalOp::Filter { predicate: first } = &mut plan.ops[i] else {
+                unreachable!()
+            };
+            let combined = std::mem::replace(first, crate::expr::Expr::Lit(Value::Null));
+            *first = combined.and(second);
+            fused = true;
+        } else {
+            i += 1;
+        }
+    }
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ops::MapFn;
+    use crate::schema::{DataType, Field, Schema, SchemaRef};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("a", DataType::I64),
+            Field::new("b", DataType::I64),
+            Field::new("line", DataType::Str),
+        ])
+    }
+
+    fn plan(ops: Vec<LogicalOp>) -> LogicalPlan {
+        LogicalPlan { name: "t".into(), source_schema: schema(), ops }
+    }
+
+    #[test]
+    fn true_filters_are_removed() {
+        let p = plan(vec![LogicalOp::Filter {
+            predicate: Expr::lit(1i64).lt(Expr::lit(2i64)),
+        }]);
+        let p = optimize(p);
+        assert!(p.ops.is_empty());
+    }
+
+    #[test]
+    fn filter_pushes_past_trim_lower_when_independent() {
+        let p = plan(vec![
+            LogicalOp::Map { f: MapFn::TrimLower(2) },
+            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(5i64)) },
+        ]);
+        let p = optimize(p);
+        assert!(matches!(p.ops[0], LogicalOp::Filter { .. }));
+        assert!(matches!(p.ops[1], LogicalOp::Map { .. }));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn filter_on_rewritten_column_stays_put() {
+        let p = plan(vec![
+            LogicalOp::Map { f: MapFn::TrimLower(2) },
+            LogicalOp::Filter { predicate: Expr::Contains(Box::new(Expr::col(2)), "x".into()) },
+        ]);
+        let p = optimize(p);
+        assert!(matches!(p.ops[0], LogicalOp::Map { .. }), "must not reorder");
+    }
+
+    #[test]
+    fn filter_pushes_past_projection_with_remap() {
+        let p = plan(vec![
+            LogicalOp::Project { cols: vec![1] },
+            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(5i64)) },
+        ]);
+        let p = optimize(p);
+        assert!(matches!(p.ops[0], LogicalOp::Filter { .. }));
+        // The filter now references the pre-projection column index 1.
+        if let LogicalOp::Filter { predicate } = &p.ops[0] {
+            let mut refs = BTreeSet::new();
+            predicate.column_refs(&mut refs);
+            assert_eq!(refs.into_iter().collect::<Vec<_>>(), vec![1]);
+        }
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn adjacent_filters_fuse() {
+        let p = plan(vec![
+            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(1i64)) },
+            LogicalOp::Filter { predicate: Expr::col(1).lt(Expr::lit(9i64)) },
+        ]);
+        let p = optimize(p);
+        assert_eq!(p.ops.len(), 1);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn semantics_preserved_by_pushdown() {
+        use crate::record::Record;
+        use crate::value::Value;
+        // Evaluate original vs optimised pipeline by hand on sample records.
+        let original = plan(vec![
+            LogicalOp::Map { f: MapFn::TrimLower(2) },
+            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(5i64)) },
+        ]);
+        let optimised = optimize(original.clone());
+        let records = vec![
+            Record::new(0, vec![Value::I64(10), Value::I64(0), Value::str("  X ")]),
+            Record::new(0, vec![Value::I64(1), Value::I64(0), Value::str("Y")]),
+        ];
+        let run = |p: &LogicalPlan| -> Vec<Record> {
+            let mut cur = records.clone();
+            for op in &p.ops {
+                let mut next = Vec::new();
+                for r in cur {
+                    match op {
+                        LogicalOp::Filter { predicate } => {
+                            if predicate.matches(&r) {
+                                next.push(r);
+                            }
+                        }
+                        LogicalOp::Map { f } => {
+                            if let Some(m) = f.apply(&r) {
+                                next.push(m);
+                            }
+                        }
+                        _ => next.push(r),
+                    }
+                }
+                cur = next;
+            }
+            cur
+        };
+        assert_eq!(run(&original), run(&optimised));
+    }
+}

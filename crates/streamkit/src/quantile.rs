@@ -1,0 +1,146 @@
+//! A small mergeable quantile sketch.
+//!
+//! The paper's rule R-1 excludes exact quantiles from near-data execution but
+//! admits approximate, incrementally-updatable versions (citing [41], [42] —
+//! histogram-based estimation as in Prometheus). This sketch is an equi-width
+//! histogram over a configured range with linear interpolation inside a
+//! bucket: mergeable, bounded-size, and adequate for telemetry value domains
+//! whose range is known (latencies, utilisation percentages).
+
+use serde::{Deserialize, Serialize};
+
+/// Mergeable equi-width histogram sketch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Values below `lo`.
+    underflow: u64,
+    /// Values at or above `hi`.
+    overflow: u64,
+    total: u64,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch over `[lo, hi)` with `buckets` equal-width bins.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> QuantileSketch {
+        assert!(hi > lo, "sketch range must be non-empty");
+        assert!(buckets > 0, "sketch needs at least one bucket");
+        QuantileSketch { lo, hi, counts: vec![0; buckets], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Inserts one value.
+    pub fn insert(&mut self, v: f64) {
+        self.total += 1;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((v - self.lo) / width) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of inserted values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another sketch with the same configuration.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        debug_assert_eq!(self.lo.to_bits(), other.lo.to_bits());
+        debug_assert_eq!(self.hi.to_bits(), other.hi.to_bits());
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Estimates quantile `q ∈ [0, 1]` with linear interpolation within the
+    /// containing bucket. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if target <= seen {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let into = (target - seen) as f64 / *c as f64;
+                return Some(self.lo + (i as f64 + into) * width);
+            }
+            seen += c;
+        }
+        Some(self.hi)
+    }
+
+    /// Wire size of the sketch state in bytes.
+    pub fn state_bytes(&self) -> usize {
+        8 * (self.counts.len() + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_median_is_near_midpoint() {
+        let mut s = QuantileSketch::new(0.0, 1000.0, 100);
+        for v in 0..1000 {
+            s.insert(v as f64);
+        }
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 500.0).abs() <= 10.0, "p50={p50}");
+        let p99 = s.quantile(0.99).unwrap();
+        assert!((p99 - 990.0).abs() <= 10.0, "p99={p99}");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut s = QuantileSketch::new(0.0, 10.0, 10);
+        s.insert(-5.0);
+        s.insert(100.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantile() {
+        let s = QuantileSketch::new(0.0, 1.0, 4);
+        assert!(s.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_matches_combined_insertions() {
+        let mut a = QuantileSketch::new(0.0, 100.0, 50);
+        let mut b = QuantileSketch::new(0.0, 100.0, 50);
+        let mut full = QuantileSketch::new(0.0, 100.0, 50);
+        for v in 0..60 {
+            a.insert(v as f64);
+            full.insert(v as f64);
+        }
+        for v in 60..100 {
+            b.insert(v as f64);
+            full.insert(v as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a, full);
+    }
+}

@@ -1,0 +1,284 @@
+//! Declarative query builder (the paper's Listing 1 programming model).
+//!
+//! ```
+//! use streamkit::query::Query;
+//! use streamkit::expr::Expr;
+//! use streamkit::agg::AggKind;
+//! use streamkit::schema::{Schema, Field, DataType};
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("srcIp", DataType::U32),
+//!     Field::new("dstIp", DataType::U32),
+//!     Field::new("rtt", DataType::U32),
+//!     Field::new("errCode", DataType::U32),
+//! ]);
+//! let plan = Query::stream("s2s_probe", schema)
+//!     .window_secs(10.0)
+//!     .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
+//!     .group_by(&["srcIp", "dstIp"])
+//!     .aggregate(&[
+//!         (AggKind::Avg, "rtt", "avg_rtt"),
+//!         (AggKind::Max, "rtt", "max_rtt"),
+//!         (AggKind::Min, "rtt", "min_rtt"),
+//!     ])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(plan.display_chain(), "W -> F -> G+R");
+//! ```
+
+use std::sync::Arc;
+
+use crate::agg::{AggKind, AggSpec};
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::logical::{LogicalOp, LogicalPlan};
+use crate::ops::{EmitMode, JoinMiss, MapFn, StaticTable};
+use crate::schema::SchemaRef;
+use crate::time::secs;
+
+/// Entry point for building queries.
+pub struct Query;
+
+impl Query {
+    /// Starts a query over a stream with the given schema.
+    pub fn stream(name: impl Into<String>, schema: SchemaRef) -> QueryBuilder {
+        QueryBuilder {
+            name: name.into(),
+            source_schema: schema.clone(),
+            current: Ok(schema),
+            ops: Vec::new(),
+            pending_keys: None,
+        }
+    }
+}
+
+/// Fluent builder; the first error is remembered and surfaced by `build`.
+pub struct QueryBuilder {
+    name: String,
+    source_schema: SchemaRef,
+    current: Result<SchemaRef>,
+    ops: Vec<LogicalOp>,
+    pending_keys: Option<Vec<usize>>,
+}
+
+impl QueryBuilder {
+    fn push(mut self, op: LogicalOp) -> Self {
+        if let Ok(schema) = &self.current {
+            match op.output_schema(schema) {
+                Ok(next) => {
+                    self.ops.push(op);
+                    self.current = Ok(next);
+                }
+                Err(e) => self.current = Err(e),
+            }
+        }
+        self
+    }
+
+    fn resolve(&self, name: &str) -> Result<usize> {
+        self.current.as_ref().map_err(Clone::clone)?.index_of(name)
+    }
+
+    /// Declares a tumbling window of `size_s` seconds (Listing 1's
+    /// `.Window(10_SECS)`).
+    pub fn window_secs(self, size_s: f64) -> Self {
+        self.push(LogicalOp::Window { size: secs(size_s) })
+    }
+
+    /// Adds a filter with an explicit expression.
+    pub fn filter(self, predicate: Expr) -> Self {
+        self.push(LogicalOp::Filter { predicate })
+    }
+
+    /// Adds a filter whose predicate is built from a named column.
+    pub fn filter_named(mut self, column: &str, f: impl FnOnce(Expr) -> Expr) -> Self {
+        match self.resolve(column) {
+            Ok(idx) => self.filter(f(Expr::col(idx))),
+            Err(e) => {
+                self.current = Err(e);
+                self
+            }
+        }
+    }
+
+    /// Adds a filter keeping records whose string `column` contains any of
+    /// the `patterns` (Listing 3's pattern filter).
+    pub fn filter_contains_any(mut self, column: &str, patterns: &[&str]) -> Self {
+        match self.resolve(column) {
+            Ok(idx) => self.filter(Expr::ContainsAny(
+                idx,
+                patterns.iter().map(|s| s.to_string()).collect(),
+            )),
+            Err(e) => {
+                self.current = Err(e);
+                self
+            }
+        }
+    }
+
+    /// Adds a map.
+    pub fn map(self, f: MapFn) -> Self {
+        self.push(LogicalOp::Map { f })
+    }
+
+    /// Projects to the named columns.
+    pub fn project(mut self, columns: &[&str]) -> Self {
+        let cols: Result<Vec<usize>> = columns.iter().map(|c| self.resolve(c)).collect();
+        match cols {
+            Ok(cols) => self.push(LogicalOp::Project { cols }),
+            Err(e) => {
+                self.current = Err(e);
+                self
+            }
+        }
+    }
+
+    /// Joins with a static table on the named stream column (Listing 2's
+    /// `.Join(m, e => e.srcIp, ...)`).
+    pub fn join(mut self, table: Arc<StaticTable>, key_column: &str, miss: JoinMiss) -> Self {
+        match self.resolve(key_column) {
+            Ok(key_col) => self.push(LogicalOp::Join { table, key_col, miss }),
+            Err(e) => {
+                self.current = Err(e);
+                self
+            }
+        }
+    }
+
+    /// Starts a grouped aggregation (Listing 1's `.GroupApply(...)`); must be
+    /// followed by [`QueryBuilder::aggregate`].
+    pub fn group_by(mut self, key_columns: &[&str]) -> Self {
+        let keys: Result<Vec<usize>> = key_columns.iter().map(|c| self.resolve(c)).collect();
+        match keys {
+            Ok(keys) => {
+                self.pending_keys = Some(keys);
+                self
+            }
+            Err(e) => {
+                self.current = Err(e);
+                self
+            }
+        }
+    }
+
+    /// Completes a grouped aggregation with `(kind, input column, output
+    /// name)` specs (Listing 1's `.Aggregate(...)`).
+    pub fn aggregate(self, aggs: &[(AggKind, &str, &str)]) -> Self {
+        self.aggregate_emit(aggs, EmitMode::PerEpochDelta)
+    }
+
+    /// Like [`QueryBuilder::aggregate`] with an explicit emission mode.
+    pub fn aggregate_emit(mut self, aggs: &[(AggKind, &str, &str)], emit: EmitMode) -> Self {
+        let Some(keys) = self.pending_keys.take() else {
+            self.current = Err(Error::InvalidPlan("aggregate() without group_by()".into()));
+            return self;
+        };
+        let specs: Result<Vec<AggSpec>> = aggs
+            .iter()
+            .map(|(kind, col, name)| {
+                Ok(AggSpec::new(kind.clone(), self.resolve(col)?, name.to_string()))
+            })
+            .collect();
+        match specs {
+            Ok(aggs) => self.push(LogicalOp::GroupAggregate { keys, aggs, emit }),
+            Err(e) => {
+                self.current = Err(e);
+                self
+            }
+        }
+    }
+
+    /// Finishes and validates the plan.
+    pub fn build(self) -> Result<LogicalPlan> {
+        self.current?;
+        if self.pending_keys.is_some() {
+            return Err(Error::InvalidPlan("group_by() without aggregate()".into()));
+        }
+        let plan = LogicalPlan {
+            name: self.name,
+            source_schema: self.source_schema,
+            ops: self.ops,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("srcIp", DataType::U32),
+            Field::new("dstIp", DataType::U32),
+            Field::new("rtt", DataType::U32),
+            Field::new("errCode", DataType::U32),
+        ])
+    }
+
+    #[test]
+    fn builds_listing_1() {
+        let plan = Query::stream("s2s", schema())
+            .window_secs(10.0)
+            .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
+            .group_by(&["srcIp", "dstIp"])
+            .aggregate(&[
+                (AggKind::Avg, "rtt", "avg_rtt"),
+                (AggKind::Max, "rtt", "max_rtt"),
+                (AggKind::Min, "rtt", "min_rtt"),
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(plan.display_chain(), "W -> F -> G+R");
+        let schemas = plan.edge_schemas().unwrap();
+        assert_eq!(schemas.last().unwrap().width(), 6);
+    }
+
+    #[test]
+    fn unknown_column_surfaces_at_build() {
+        let err = Query::stream("bad", schema())
+            .filter_named("nope", |c| c.eq(Expr::lit(0u64)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownColumn(_)));
+    }
+
+    #[test]
+    fn group_by_without_aggregate_is_rejected() {
+        let err = Query::stream("bad", schema())
+            .window_secs(10.0)
+            .group_by(&["srcIp"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn aggregate_without_group_by_is_rejected() {
+        let err = Query::stream("bad", schema())
+            .window_secs(10.0)
+            .aggregate(&[(AggKind::Count, "rtt", "n")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn join_then_project_shrinks_schema() {
+        let table = Arc::new(StaticTable::new(
+            vec![Field::new("torId", DataType::U32)],
+            (0u64..10).map(|ip| (crate::value::Value::U64(ip), vec![crate::value::Value::U64(ip / 4)])),
+        ));
+        let plan = Query::stream("t2t-ish", schema())
+            .window_secs(10.0)
+            .join(table, "srcIp", JoinMiss::Drop)
+            .project(&["torId", "rtt"])
+            .build()
+            .unwrap();
+        let schemas = plan.edge_schemas().unwrap();
+        assert_eq!(schemas.last().unwrap().width(), 2);
+        assert_eq!(plan.display_chain(), "W -> J -> P");
+    }
+}

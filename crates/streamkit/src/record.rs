@@ -1,0 +1,64 @@
+//! Event records: a timestamp plus a row of values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::Schema;
+use crate::time::Ts;
+use crate::value::Value;
+
+/// A single stream record with its event timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Event time (µs).
+    pub ts: Ts,
+    /// Column values, positionally matching the pipeline schema.
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(ts: Ts, values: Vec<Value>) -> Record {
+        Record { ts, values }
+    }
+
+    /// Value at column `i` (panics on out-of-bounds; plans are validated
+    /// against schemas before execution).
+    #[inline]
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Encoded size in bytes under `schema`, including the 8-byte timestamp
+    /// and the schema's per-record envelope. This is the quantity all network
+    /// accounting uses.
+    pub fn wire_size(&self, schema: &Schema) -> usize {
+        let mut size = Schema::TS_WIRE_BYTES + schema.record_overhead();
+        for (field, value) in schema.fields().iter().zip(&self.values) {
+            size += field.dtype.wire_size(value);
+        }
+        size
+    }
+}
+
+/// Sums the wire size of a slice of records.
+pub fn wire_size_of(records: &[Record], schema: &Schema) -> usize {
+    records.iter().map(|r| r.wire_size(schema)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    #[test]
+    fn wire_size_mixes_fixed_and_var() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::U32),
+            Field::new("msg", DataType::Str),
+        ]);
+        let r = Record::new(10, vec![Value::U64(1), Value::str("hello")]);
+        // 8 (ts) + 4 (u32) + 2 + 5 (str)
+        assert_eq!(r.wire_size(&schema), 19);
+        assert_eq!(wire_size_of(&[r.clone(), r], &schema), 38);
+    }
+}

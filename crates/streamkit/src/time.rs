@@ -1,0 +1,43 @@
+//! Event time. All timestamps are microseconds since an arbitrary epoch.
+
+/// Event-time timestamp in microseconds.
+pub type Ts = i64;
+
+/// Microseconds per second.
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+
+/// Converts seconds (possibly fractional) to microseconds, rounding to nearest.
+#[inline]
+pub fn secs(s: f64) -> Ts {
+    (s * MICROS_PER_SEC as f64).round() as Ts
+}
+
+/// Converts microseconds to fractional seconds.
+#[inline]
+pub fn to_secs(ts: Ts) -> f64 {
+    ts as f64 / MICROS_PER_SEC as f64
+}
+
+/// Sentinel watermark meaning "no progress observed yet".
+pub const TS_MIN: Ts = i64::MIN;
+
+/// Sentinel watermark meaning "stream exhausted".
+pub const TS_MAX: Ts = i64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_round_trips() {
+        assert_eq!(secs(1.0), MICROS_PER_SEC);
+        assert_eq!(secs(0.5), 500_000);
+        assert_eq!(to_secs(secs(12.25)), 12.25);
+    }
+
+    #[test]
+    fn secs_rounds_to_nearest() {
+        assert_eq!(secs(0.000_000_4), 0);
+        assert_eq!(secs(0.000_000_6), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Watermarks and min-merging across input streams.
+//!
+//! The paper (§V, "Accurate query processing") merges watermarks at the stream
+//! processor: every operator advances its clock to the *minimum* event time
+//! across incoming streams, and control proxies replicate watermarks onto the
+//! drain path so SP-side windows still close.
+
+use crate::time::{Ts, TS_MIN};
+
+/// Tracks the merged watermark over `n` input streams.
+#[derive(Debug, Clone)]
+pub struct WatermarkMerger {
+    inputs: Vec<Ts>,
+    emitted: Ts,
+}
+
+impl WatermarkMerger {
+    /// Creates a merger over `inputs` streams, all starting at `TS_MIN`.
+    pub fn new(inputs: usize) -> WatermarkMerger {
+        WatermarkMerger { inputs: vec![TS_MIN; inputs], emitted: TS_MIN }
+    }
+
+    /// Number of input streams.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Advances stream `i`'s watermark to `wm` (ignores regressions, as the
+    /// merged output must stay monotone) and returns the new merged watermark
+    /// if it advanced.
+    pub fn observe(&mut self, i: usize, wm: Ts) -> Option<Ts> {
+        if wm > self.inputs[i] {
+            self.inputs[i] = wm;
+        }
+        let merged = self.merged();
+        if merged > self.emitted {
+            self.emitted = merged;
+            Some(merged)
+        } else {
+            None
+        }
+    }
+
+    /// Current merged (minimum) watermark across all inputs.
+    pub fn merged(&self) -> Ts {
+        self.inputs.iter().copied().min().unwrap_or(TS_MIN)
+    }
+
+    /// The last watermark actually emitted downstream.
+    pub fn emitted(&self) -> Ts {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_is_minimum() {
+        let mut m = WatermarkMerger::new(2);
+        assert_eq!(m.observe(0, 100), None); // other stream still at TS_MIN
+        assert_eq!(m.observe(1, 50), Some(50));
+        assert_eq!(m.observe(1, 150), Some(100));
+    }
+
+    #[test]
+    fn regressions_are_ignored() {
+        let mut m = WatermarkMerger::new(1);
+        assert_eq!(m.observe(0, 10), Some(10));
+        assert_eq!(m.observe(0, 5), None);
+        assert_eq!(m.merged(), 10);
+    }
+
+    #[test]
+    fn emitted_is_monotone() {
+        let mut m = WatermarkMerger::new(3);
+        let mut last = TS_MIN;
+        for (i, wm) in [(0, 5), (1, 3), (2, 9), (0, 2), (1, 10), (2, 1)] {
+            if let Some(e) = m.observe(i, wm) {
+                assert!(e > last);
+                last = e;
+            }
+        }
+    }
+}

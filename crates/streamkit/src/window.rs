@@ -1,0 +1,76 @@
+//! Tumbling (fixed-size, non-overlapping) event-time windows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Ts;
+
+/// A tumbling window assigner. Windows are `[k·size, (k+1)·size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TumblingWindow {
+    /// Window length in µs. Must be positive.
+    pub size: Ts,
+}
+
+impl TumblingWindow {
+    /// Creates a window assigner of `size` µs.
+    pub fn new(size: Ts) -> TumblingWindow {
+        assert!(size > 0, "window size must be positive");
+        TumblingWindow { size }
+    }
+
+    /// The start of the window containing `ts` (floor division, correct for
+    /// negative timestamps too).
+    #[inline]
+    pub fn start_of(&self, ts: Ts) -> Ts {
+        ts.div_euclid(self.size) * self.size
+    }
+
+    /// The exclusive end of the window containing `ts`.
+    #[inline]
+    pub fn end_of(&self, ts: Ts) -> Ts {
+        self.start_of(ts) + self.size
+    }
+
+    /// Whether a window starting at `window_start` is closed by watermark
+    /// `wm` (i.e. no more records with `ts < window end` can arrive).
+    #[inline]
+    pub fn is_closed(&self, window_start: Ts, wm: Ts) -> bool {
+        wm >= window_start + self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn assigns_half_open_windows() {
+        let w = TumblingWindow::new(secs(10.0));
+        assert_eq!(w.start_of(0), 0);
+        assert_eq!(w.start_of(secs(9.999_999)), 0);
+        assert_eq!(w.start_of(secs(10.0)), secs(10.0));
+        assert_eq!(w.end_of(secs(10.0)), secs(20.0));
+    }
+
+    #[test]
+    fn negative_timestamps_floor() {
+        let w = TumblingWindow::new(10);
+        assert_eq!(w.start_of(-1), -10);
+        assert_eq!(w.start_of(-10), -10);
+        assert_eq!(w.start_of(-11), -20);
+    }
+
+    #[test]
+    fn closure_requires_watermark_past_end() {
+        let w = TumblingWindow::new(10);
+        assert!(!w.is_closed(0, 9));
+        assert!(w.is_closed(0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_size_panics() {
+        TumblingWindow::new(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Count-min sketch — a classical data synopsis included alongside sampling
+//! (paper §II-B cites sketches among synopsis techniques traded against
+//! accuracy).
+
+use std::hash::{Hash, Hasher};
+
+/// A count-min sketch with conservative point queries.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with error ≈ e/width over the stream total and
+    /// failure probability ≈ (1/2)^depth.
+    pub fn new(width: usize, depth: usize) -> CountMinSketch {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        CountMinSketch { width, depth, counts: vec![0; width * depth], total: 0 }
+    }
+
+    fn index(&self, item: &impl Hash, row: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        row.hash(&mut h);
+        item.hash(&mut h);
+        row * self.width + (h.finish() as usize % self.width)
+    }
+
+    /// Adds `count` occurrences of `item`.
+    pub fn add(&mut self, item: &impl Hash, count: u64) {
+        self.total += count;
+        for row in 0..self.depth {
+            let idx = self.index(item, row);
+            self.counts[idx] += count;
+        }
+    }
+
+    /// Point estimate (never underestimates).
+    pub fn estimate(&self, item: &impl Hash) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counts[self.index(item, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total count added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another sketch with identical dimensions.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.depth, other.depth);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// State size in bytes (for synopsis-vs-raw transfer comparisons).
+    pub fn state_bytes(&self) -> usize {
+        self.counts.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cms = CountMinSketch::new(256, 4);
+        for i in 0..1000u64 {
+            cms.add(&(i % 50), 1);
+        }
+        for key in 0..50u64 {
+            assert!(cms.estimate(&key) >= 20);
+        }
+        assert_eq!(cms.total(), 1000);
+    }
+
+    #[test]
+    fn estimates_are_tight_when_sparse() {
+        let mut cms = CountMinSketch::new(2048, 5);
+        cms.add(&"hot", 500);
+        cms.add(&"cold", 3);
+        assert_eq!(cms.estimate(&"hot"), 500);
+        assert!(cms.estimate(&"cold") <= 10);
+        assert_eq!(cms.estimate(&"absent-ish"), cms.estimate(&"absent-ish"));
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = CountMinSketch::new(128, 3);
+        let mut b = CountMinSketch::new(128, 3);
+        let mut full = CountMinSketch::new(128, 3);
+        for i in 0..200u64 {
+            if i % 2 == 0 {
+                a.add(&i, 1);
+            } else {
+                b.add(&i, 1);
+            }
+            full.add(&i, 1);
+        }
+        a.merge(&b);
+        for i in 0..200u64 {
+            assert_eq!(a.estimate(&i), full.estimate(&i));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Empirical CDFs for estimation-error reporting (paper Fig. 9a).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over collected samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Empty CDF.
+    pub fn new() -> Cdf {
+        Cdf::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_at_most(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&v| v <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile of the samples.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((q.clamp(0.0, 1.0)) * (self.samples.len() - 1) as f64).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Evaluates the CDF at each of `xs`, returning `(x, F(x))` pairs — the
+    /// series plotted in Fig. 9a.
+    pub fn series(&mut self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter().map(|&x| (x, self.fraction_at_most(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let mut c = Cdf::new();
+        for v in [3.0, 1.0, 2.0, 2.0, 10.0] {
+            c.push(v);
+        }
+        assert_eq!(c.fraction_at_most(0.5), 0.0);
+        assert_eq!(c.fraction_at_most(2.0), 0.6);
+        assert_eq!(c.fraction_at_most(10.0), 1.0);
+        let series = c.series(&[0.0, 1.0, 2.0, 3.0, 10.0]);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut c = Cdf::new();
+        for v in 0..101 {
+            c.push(v as f64);
+        }
+        assert_eq!(c.quantile(0.5), Some(50.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+        assert_eq!(Cdf::new().quantile(0.5), None);
+    }
+}

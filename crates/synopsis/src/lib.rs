@@ -1,0 +1,14 @@
+//! `synopsis` — data-synopsis baselines (paper §VI-D).
+//!
+//! Implements the window-based sampling protocol (WSP) comparison: continuous
+//! per-window Bernoulli sampling over distributed streams, per-server-pair
+//! latency-range estimation, estimation-error CDFs, and alert-recall
+//! accounting — plus a count-min sketch as a second classical synopsis.
+
+pub mod cms;
+pub mod error_cdf;
+pub mod wsp;
+
+pub use cms::CountMinSketch;
+pub use error_cdf::Cdf;
+pub use wsp::{WspConfig, WspReport, WspSampler};

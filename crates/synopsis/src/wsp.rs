@@ -1,0 +1,216 @@
+//! Window-based sampling protocol (WSP) — the data-synopsis baseline of
+//! paper §VI-D (after Cormode et al., "Continuous sampling from distributed
+//! streams").
+//!
+//! Each data source Bernoulli-samples its probe stream at a configured rate
+//! within every window and ships only the sample. The stream processor then
+//! estimates, per server pair, the *range* of probe latencies (the quantity
+//! behind Scenario 1's alerts). We measure (a) the estimation-error CDF,
+//! (b) network bytes transferred, and (c) missed alerts versus ground truth.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use streamkit::record::Record;
+use streamkit::schema::SchemaRef;
+use streamkit::value::Value;
+
+use crate::error_cdf::Cdf;
+
+/// Sampler configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WspConfig {
+    /// Sampling rate in `(0, 1]` (paper sweeps 0.2, 0.4, 0.6, 0.8).
+    pub rate: f64,
+    /// Alert threshold on max RTT, µs (paper Scenario 1: 5 ms).
+    pub alert_threshold_us: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WspConfig {
+    fn default() -> Self {
+        WspConfig { rate: 0.2, alert_threshold_us: 5_000.0, seed: 7 }
+    }
+}
+
+/// Per-pair RTT range summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct RangeStat {
+    min: f64,
+    max: f64,
+    seen: bool,
+}
+
+impl RangeStat {
+    fn update(&mut self, v: f64) {
+        if !self.seen {
+            self.min = v;
+            self.max = v;
+            self.seen = true;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    fn range(&self) -> f64 {
+        if self.seen {
+            self.max - self.min
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One window's WSP evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WspReport {
+    /// Bytes the sample would transfer.
+    pub sampled_bytes: usize,
+    /// Bytes the raw stream would transfer.
+    pub raw_bytes: usize,
+    /// Per-pair absolute error in the estimated RTT *range*, µs.
+    pub range_errors_us: Vec<f64>,
+    /// Pairs whose true max RTT exceeded the threshold.
+    pub true_alerts: usize,
+    /// Alerting pairs missed by the sample.
+    pub missed_alerts: usize,
+}
+
+impl WspReport {
+    /// Error CDF over server pairs.
+    pub fn error_cdf(&self) -> Cdf {
+        let mut cdf = Cdf::new();
+        for &e in &self.range_errors_us {
+            cdf.push(e);
+        }
+        cdf
+    }
+
+    /// Fraction of alerts missed (0 when no alerts fired).
+    pub fn missed_alert_fraction(&self) -> f64 {
+        if self.true_alerts == 0 {
+            0.0
+        } else {
+            self.missed_alerts as f64 / self.true_alerts as f64
+        }
+    }
+}
+
+/// The sampler/evaluator.
+#[derive(Debug)]
+pub struct WspSampler {
+    cfg: WspConfig,
+    rng: ChaCha8Rng,
+}
+
+impl WspSampler {
+    /// Creates a sampler.
+    pub fn new(cfg: WspConfig) -> WspSampler {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        WspSampler { cfg, rng }
+    }
+
+    /// Evaluates one window of Pingmesh-schema records: samples at the
+    /// configured rate and compares per-pair RTT-range estimates and alerts
+    /// against ground truth. `key_cols` and `rtt_col` index the schema.
+    pub fn evaluate_window(
+        &mut self,
+        records: &[Record],
+        schema: &SchemaRef,
+        key_cols: (usize, usize),
+        rtt_col: usize,
+    ) -> WspReport {
+        let mut truth: HashMap<(Value, Value), RangeStat> = HashMap::new();
+        let mut sampled: HashMap<(Value, Value), RangeStat> = HashMap::new();
+        let mut sampled_bytes = 0usize;
+        let mut raw_bytes = 0usize;
+        for rec in records {
+            let key = (rec.values[key_cols.0].clone(), rec.values[key_cols.1].clone());
+            let Some(rtt) = rec.values[rtt_col].as_f64() else { continue };
+            raw_bytes += rec.wire_size(schema);
+            truth.entry(key.clone()).or_default().update(rtt);
+            if self.rng.gen_bool(self.cfg.rate) {
+                sampled_bytes += rec.wire_size(schema);
+                sampled.entry(key).or_default().update(rtt);
+            }
+        }
+        let mut range_errors_us = Vec::with_capacity(truth.len());
+        let mut true_alerts = 0usize;
+        let mut missed_alerts = 0usize;
+        for (key, t) in &truth {
+            let s = sampled.get(key).copied().unwrap_or_default();
+            range_errors_us.push((t.range() - s.range()).abs());
+            if t.max >= self.cfg.alert_threshold_us {
+                true_alerts += 1;
+                let sampled_alert = s.seen && s.max >= self.cfg.alert_threshold_us;
+                if !sampled_alert {
+                    missed_alerts += 1;
+                }
+            }
+        }
+        WspReport { sampled_bytes, raw_bytes, range_errors_us, true_alerts, missed_alerts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::anomaly::AnomalySchedule;
+    use telemetry::pingmesh::{col, pingmesh_schema, PingmeshConfig, PingmeshGenerator};
+
+    fn window(scale: f64) -> (Vec<Record>, SchemaRef) {
+        let cfg = PingmeshConfig {
+            scale,
+            anomalies: AnomalySchedule::single(0.0, 60.0, 0.02, 30.0),
+            ..Default::default()
+        };
+        let mut g = PingmeshGenerator::new(cfg);
+        let mut recs = Vec::new();
+        for e in 0..10 {
+            recs.extend(g.generate_epoch(e * 1_000_000, 1.0));
+        }
+        (recs, pingmesh_schema())
+    }
+
+    #[test]
+    fn full_rate_sampling_has_zero_error() {
+        let (recs, schema) = window(1.0);
+        let mut s = WspSampler::new(WspConfig { rate: 1.0, ..Default::default() });
+        let rep = s.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
+        assert_eq!(rep.sampled_bytes, rep.raw_bytes);
+        assert!(rep.range_errors_us.iter().all(|&e| e == 0.0));
+        assert_eq!(rep.missed_alerts, 0);
+        assert!(rep.true_alerts > 0, "anomaly must fire some alerts");
+    }
+
+    #[test]
+    fn lower_rates_transfer_less_but_err_more() {
+        let (recs, schema) = window(1.0);
+        let mut lo = WspSampler::new(WspConfig { rate: 0.2, ..Default::default() });
+        let mut hi = WspSampler::new(WspConfig { rate: 0.8, ..Default::default() });
+        let rep_lo = lo.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
+        let rep_hi = hi.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
+        assert!(rep_lo.sampled_bytes < rep_hi.sampled_bytes);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&rep_lo.range_errors_us) > mean(&rep_hi.range_errors_us),
+            "lower sampling rate must have larger mean error"
+        );
+    }
+
+    #[test]
+    fn low_rates_miss_alerts() {
+        let (recs, schema) = window(1.0);
+        let mut s = WspSampler::new(WspConfig { rate: 0.2, ..Default::default() });
+        let rep = s.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
+        // The paper reports 10–38% missed alerts at low rates; with one probe
+        // per pair per window at 1x, a 0.2 sample misses ~80% — any strictly
+        // positive fraction demonstrates the accuracy loss.
+        assert!(rep.missed_alert_fraction() > 0.0);
+    }
+}

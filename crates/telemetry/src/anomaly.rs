@@ -1,0 +1,136 @@
+//! Anomaly schedules.
+//!
+//! The paper motivates fast adaptation with workload anomalies: network
+//! issues cause probe-latency spikes "whose duration may range between 40 and
+//! 60 seconds" (§II-B), and service failures cause error-log bursts. A
+//! schedule is a deterministic list of windows during which a fraction of the
+//! key space is affected.
+
+use serde::{Deserialize, Serialize};
+
+/// One anomaly window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyWindow {
+    /// Start (virtual seconds).
+    pub start_s: f64,
+    /// Duration (seconds); the paper's network issues last 40–60 s.
+    pub duration_s: f64,
+    /// Fraction of keys (e.g. server pairs) affected, in `[0, 1]`.
+    pub affected_frac: f64,
+    /// Severity multiplier applied to the affected metric (e.g. RTT ×20).
+    pub severity: f64,
+}
+
+impl AnomalyWindow {
+    /// Whether the window is active at time `t_s`.
+    pub fn active_at(&self, t_s: f64) -> bool {
+        t_s >= self.start_s && t_s < self.start_s + self.duration_s
+    }
+}
+
+/// A deterministic schedule of anomaly windows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnomalySchedule {
+    /// The windows, in no particular order.
+    pub windows: Vec<AnomalyWindow>,
+}
+
+impl AnomalySchedule {
+    /// No anomalies.
+    pub fn none() -> AnomalySchedule {
+        AnomalySchedule::default()
+    }
+
+    /// A single window.
+    pub fn single(start_s: f64, duration_s: f64, affected_frac: f64, severity: f64) -> Self {
+        AnomalySchedule {
+            windows: vec![AnomalyWindow { start_s, duration_s, affected_frac, severity }],
+        }
+    }
+
+    /// Periodic windows every `period_s`, each lasting `duration_s`.
+    pub fn periodic(
+        period_s: f64,
+        duration_s: f64,
+        affected_frac: f64,
+        severity: f64,
+        horizon_s: f64,
+    ) -> Self {
+        assert!(period_s > 0.0);
+        let mut windows = Vec::new();
+        let mut start = period_s;
+        while start < horizon_s {
+            windows.push(AnomalyWindow { start_s: start, duration_s, affected_frac, severity });
+            start += period_s;
+        }
+        AnomalySchedule { windows }
+    }
+
+    /// Severity multiplier for a given `key_hash01` (a deterministic hash of
+    /// the affected key mapped to `[0, 1)`) at time `t_s`. Returns 1.0 when
+    /// not affected.
+    pub fn severity_at(&self, t_s: f64, key_hash01: f64) -> f64 {
+        for w in &self.windows {
+            if w.active_at(t_s) && key_hash01 < w.affected_frac {
+                return w.severity;
+            }
+        }
+        1.0
+    }
+
+    /// Whether any window is active at `t_s`.
+    pub fn any_active(&self, t_s: f64) -> bool {
+        self.windows.iter().any(|w| w.active_at(t_s))
+    }
+}
+
+/// Maps an arbitrary key to a deterministic point in `[0, 1)` (splitmix-style
+/// finaliser), used to decide which keys an anomaly touches.
+pub fn key_hash01(key: u64) -> f64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_activity_bounds() {
+        let w = AnomalyWindow { start_s: 10.0, duration_s: 40.0, affected_frac: 0.1, severity: 20.0 };
+        assert!(!w.active_at(9.99));
+        assert!(w.active_at(10.0));
+        assert!(w.active_at(49.99));
+        assert!(!w.active_at(50.0));
+    }
+
+    #[test]
+    fn severity_applies_only_to_affected_keys() {
+        let s = AnomalySchedule::single(0.0, 60.0, 0.25, 10.0);
+        assert_eq!(s.severity_at(30.0, 0.1), 10.0);
+        assert_eq!(s.severity_at(30.0, 0.9), 1.0);
+        assert_eq!(s.severity_at(70.0, 0.1), 1.0);
+    }
+
+    #[test]
+    fn periodic_fills_the_horizon() {
+        let s = AnomalySchedule::periodic(100.0, 50.0, 0.1, 5.0, 450.0);
+        assert_eq!(s.windows.len(), 4); // 100, 200, 300, 400
+        assert!(s.any_active(125.0));
+        assert!(!s.any_active(175.0));
+    }
+
+    #[test]
+    fn key_hash_is_uniformish() {
+        let mut below = 0;
+        for k in 0..10_000u64 {
+            if key_hash01(k) < 0.3 {
+                below += 1;
+            }
+        }
+        assert!((below as f64 - 3000.0).abs() < 300.0, "below={below}");
+    }
+}

@@ -1,0 +1,55 @@
+//! The IP → ToR static table used by T2TProbe (paper Listing 2).
+
+use std::sync::Arc;
+
+use streamkit::ops::StaticTable;
+use streamkit::schema::{DataType, Field};
+use streamkit::value::Value;
+
+/// Builds a table mapping `entries` server IPs (the generator's destination
+/// space starting at 100 000, plus the probing sources' own IPs) to ToR
+/// switch ids, `servers_per_tor` servers per ToR. `field_name` names the
+/// appended column (T2TProbe joins the same mapping twice, once as `srcTor`
+/// and once as `dstTor`).
+pub fn ip_to_tor_table(
+    entries: u32,
+    servers_per_tor: u32,
+    source_ips: &[u32],
+    field_name: &str,
+) -> Arc<StaticTable> {
+    assert!(servers_per_tor > 0, "servers_per_tor must be positive");
+    let mut rows: Vec<(Value, Vec<Value>)> = Vec::with_capacity(entries as usize + source_ips.len());
+    for i in 0..entries {
+        let ip = 100_000 + i;
+        rows.push((Value::U64(u64::from(ip)), vec![Value::U64(u64::from(ip / servers_per_tor))]));
+    }
+    for &ip in source_ips {
+        rows.push((Value::U64(u64::from(ip)), vec![Value::U64(u64::from(ip / servers_per_tor))]));
+    }
+    Arc::new(StaticTable::new(vec![Field::new(field_name, DataType::U32)], rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_peer_space_and_sources() {
+        let t = ip_to_tor_table(500, 40, &[1, 2, 3], "torId");
+        assert_eq!(t.len(), 503);
+        assert!(t.get(&Value::U64(100_000)).is_some());
+        assert!(t.get(&Value::U64(100_499)).is_some());
+        assert!(t.get(&Value::U64(2)).is_some());
+        assert!(t.get(&Value::U64(100_500)).is_none());
+    }
+
+    #[test]
+    fn groups_servers_per_tor() {
+        let t = ip_to_tor_table(100, 40, &[], "torId");
+        let tor_a = t.get(&Value::U64(100_000)).unwrap()[0].clone();
+        let tor_b = t.get(&Value::U64(100_039)).unwrap()[0].clone();
+        let tor_c = t.get(&Value::U64(100_040)).unwrap()[0].clone();
+        assert_eq!(tor_a, tor_b);
+        assert_ne!(tor_a, tor_c);
+    }
+}

@@ -1,0 +1,22 @@
+//! `telemetry` — synthetic datacenter telemetry workloads.
+//!
+//! Deterministic, seedable generators reproducing the characteristics the
+//! paper states for its two datasets:
+//!
+//! * **Pingmesh** ([`pingmesh`]): 86-byte probe records, 20 K probed peers per
+//!   5 s interval, 14 % filter-out rate, sparse latency anomalies lasting
+//!   40–60 s, and per-source rate skew (58 % of sources at ≤ 50 % of peak).
+//! * **LogAnalytics** ([`loganalytics`]): text log lines with tenant name,
+//!   job running time, CPU and memory utilisation plus noise lines, at
+//!   0.62 MB/s per node.
+//!
+//! Plus the IP→ToR static table used by T2TProbe ([`ipmap`]), anomaly
+//! schedules ([`anomaly`]), the paper's three queries as ready-made logical
+//! plans ([`queries`]), and trace record/replay ([`trace`]).
+
+pub mod anomaly;
+pub mod ipmap;
+pub mod loganalytics;
+pub mod pingmesh;
+pub mod queries;
+pub mod trace;

@@ -1,0 +1,292 @@
+//! Synthetic Pingmesh probe streams (paper §II-B, §VI-A).
+//!
+//! Every record mirrors the paper's published layout — timestamp (8 B),
+//! source IP (4 B), source cluster (4 B), destination IP (4 B), destination
+//! cluster (4 B), RTT in µs (4 B), error code (4 B) — carried in an 86-byte
+//! wire record (the difference is the serialisation envelope, modelled as
+//! schema overhead). Defaults follow the paper: each server probes 20 K peers
+//! every 5 s (4 000 records/s, ≈ 2.62 Mbps with the paper's 2²⁰ Mbps
+//! convention), 14 % of probes carry a non-zero error code, and latency
+//! anomalies affect a sparse subset of server pairs for 40–60 s.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use streamkit::record::Record;
+use streamkit::schema::{DataType, Field, Schema, SchemaRef};
+use streamkit::time::Ts;
+use streamkit::value::Value;
+
+use crate::anomaly::{key_hash01, AnomalySchedule};
+
+/// Wire size of one Pingmesh record (paper §II-B).
+pub const PINGMESH_RECORD_BYTES: usize = 86;
+
+/// Column indices in the Pingmesh schema.
+pub mod col {
+    /// Source IP.
+    pub const SRC_IP: usize = 0;
+    /// Source cluster id.
+    pub const SRC_CLUSTER: usize = 1;
+    /// Destination IP.
+    pub const DST_IP: usize = 2;
+    /// Destination cluster id.
+    pub const DST_CLUSTER: usize = 3;
+    /// Round-trip time in µs.
+    pub const RTT: usize = 4;
+    /// Error code (0 = success).
+    pub const ERR_CODE: usize = 5;
+}
+
+/// The Pingmesh record schema, with envelope overhead bringing each record to
+/// exactly [`PINGMESH_RECORD_BYTES`].
+pub fn pingmesh_schema() -> SchemaRef {
+    let fields = vec![
+        Field::new("srcIp", DataType::U32),
+        Field::new("srcCluster", DataType::U32),
+        Field::new("dstIp", DataType::U32),
+        Field::new("dstCluster", DataType::U32),
+        Field::new("rtt", DataType::U32),
+        Field::new("errCode", DataType::U32),
+    ];
+    let body: usize = 8 + fields.iter().map(|f| f.dtype.fixed_width().unwrap()).sum::<usize>();
+    Schema::with_overhead(fields, PINGMESH_RECORD_BYTES - body)
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PingmeshConfig {
+    /// This source's IP (also used to derive cluster ids).
+    pub src_ip: u32,
+    /// Number of peers probed per interval (paper: 20 000).
+    pub peers: u32,
+    /// Size of the destination-IP space. Usually equals `peers`; T2TProbe
+    /// experiments shrink it to the static-table size so joins hit.
+    pub peer_ip_space: u32,
+    /// Probe interval in seconds (paper: 5 s).
+    pub probe_interval_s: f64,
+    /// Input-rate scaling (paper evaluates 1×, 5×, 10×).
+    pub scale: f64,
+    /// Extra per-source rate skew factor in `(0, 1]` (paper: 58 % of sources
+    /// generate ≤ 50 % of the peak rate).
+    pub rate_factor: f64,
+    /// Fraction of probes with a non-zero error code (paper: the filter's
+    /// 14 % filter-out rate).
+    pub error_rate: f64,
+    /// Baseline RTT in µs (healthy probes are jittered around this).
+    pub base_rtt_us: f64,
+    /// Latency-anomaly schedule over server pairs.
+    pub anomalies: AnomalySchedule,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PingmeshConfig {
+    fn default() -> Self {
+        PingmeshConfig {
+            src_ip: 1,
+            peers: 20_000,
+            peer_ip_space: 20_000,
+            probe_interval_s: 5.0,
+            scale: 1.0,
+            rate_factor: 1.0,
+            error_rate: 0.14,
+            base_rtt_us: 300.0,
+            anomalies: AnomalySchedule::none(),
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl PingmeshConfig {
+    /// Records generated per second.
+    pub fn records_per_sec(&self) -> f64 {
+        f64::from(self.peers) / self.probe_interval_s * self.scale * self.rate_factor
+    }
+
+    /// Input data rate in bits/second.
+    pub fn bits_per_sec(&self) -> f64 {
+        self.records_per_sec() * PINGMESH_RECORD_BYTES as f64 * 8.0
+    }
+}
+
+/// Deterministic Pingmesh stream generator.
+#[derive(Debug, Clone)]
+pub struct PingmeshGenerator {
+    cfg: PingmeshConfig,
+    rng: ChaCha8Rng,
+    /// Fractional records carried across epochs so long-run rates are exact.
+    carry: f64,
+}
+
+impl PingmeshGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: PingmeshConfig) -> PingmeshGenerator {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ u64::from(cfg.src_ip));
+        PingmeshGenerator { cfg, rng, carry: 0.0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PingmeshConfig {
+        &self.cfg
+    }
+
+    /// Generates the records for one epoch beginning at `epoch_start` (µs)
+    /// and lasting `epoch_secs`. Timestamps are evenly spread in the epoch.
+    pub fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record> {
+        let exact = self.cfg.records_per_sec() * epoch_secs + self.carry;
+        let n = exact.floor() as usize;
+        self.carry = exact - n as f64;
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let stride_us = epoch_secs * 1e6 / n as f64;
+        let t_s = epoch_start as f64 / 1e6;
+        for i in 0..n {
+            let ts = epoch_start + (i as f64 * stride_us) as Ts;
+            // Peers are probed in random order (per-pair probe counts per
+            // window are therefore Poisson, as in real Pingmesh sweeps).
+            let dst_ip = 100_000 + self.rng.gen_range(0..self.cfg.peer_ip_space.max(1));
+            let pair_key = (u64::from(self.cfg.src_ip) << 32) | u64::from(dst_ip);
+            let severity = self.cfg.anomalies.severity_at(t_s, key_hash01(pair_key));
+            // Healthy RTT: exponential tail around the base (datacenter RTTs
+            // are right-skewed); anomalies multiply.
+            let u: f64 = self.rng.gen_range(0.0..1.0);
+            let healthy = self.cfg.base_rtt_us * (0.5 + -(1.0 - u).ln());
+            let rtt = (healthy * severity).round().max(1.0) as u32;
+            let err: u32 = if self.rng.gen_bool(self.cfg.error_rate) {
+                self.rng.gen_range(1..=5)
+            } else {
+                0
+            };
+            out.push(Record::new(
+                ts,
+                vec![
+                    Value::U64(u64::from(self.cfg.src_ip)),
+                    Value::U64(u64::from(self.cfg.src_ip / 1000)),
+                    Value::U64(u64::from(dst_ip)),
+                    Value::U64(u64::from(dst_ip / 1000)),
+                    Value::U64(u64::from(rtt)),
+                    Value::U64(u64::from(err)),
+                ],
+            ));
+        }
+        out
+    }
+}
+
+/// Per-source rate skew (paper §II-B: "58 % of the data source nodes generate
+/// 50 % or lower of the highest rate"). Deterministic in the node index:
+/// the first 58 % of nodes (by hashed order) get factors in `[0.2, 0.5]`, the
+/// rest in `(0.5, 1.0]`.
+pub fn rate_skew_factor(node_index: u32, total_nodes: u32) -> f64 {
+    if total_nodes <= 1 {
+        return 1.0;
+    }
+    let u = key_hash01(u64::from(node_index) * 2 + 1);
+    if u < 0.58 {
+        // Map [0, 0.58) → [0.2, 0.5].
+        0.2 + (u / 0.58) * 0.3
+    } else {
+        // Map [0.58, 1) → (0.5, 1.0].
+        0.5 + ((u - 0.58) / 0.42) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamkit::record::wire_size_of;
+
+    #[test]
+    fn record_is_exactly_86_bytes() {
+        let mut g = PingmeshGenerator::new(PingmeshConfig::default());
+        let recs = g.generate_epoch(0, 0.01);
+        assert!(!recs.is_empty());
+        let schema = pingmesh_schema();
+        for r in &recs {
+            assert_eq!(r.wire_size(&schema), PINGMESH_RECORD_BYTES);
+        }
+    }
+
+    #[test]
+    fn rate_matches_paper_arithmetic() {
+        let cfg = PingmeshConfig::default();
+        assert_eq!(cfg.records_per_sec(), 4000.0);
+        // ≈ 2.62 Mbps in the paper's 2^20 convention.
+        let mbps = cfg.bits_per_sec() / (1 << 20) as f64;
+        assert!((mbps - 2.62).abs() < 0.01, "mbps={mbps}");
+        let x10 = PingmeshConfig { scale: 10.0, ..cfg };
+        let mbps10 = x10.bits_per_sec() / (1 << 20) as f64;
+        assert!((mbps10 - 26.2).abs() < 0.1, "mbps10={mbps10}");
+    }
+
+    #[test]
+    fn long_run_record_count_is_exact() {
+        let cfg = PingmeshConfig { scale: 1.0, rate_factor: 0.3777, ..Default::default() };
+        let expected = cfg.records_per_sec();
+        let mut g = PingmeshGenerator::new(cfg);
+        let mut total = 0usize;
+        for e in 0..100 {
+            total += g.generate_epoch(e * 1_000_000, 1.0).len();
+        }
+        assert!((total as f64 - expected * 100.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn error_rate_is_close_to_configured() {
+        let mut g = PingmeshGenerator::new(PingmeshConfig { scale: 10.0, ..Default::default() });
+        let recs = g.generate_epoch(0, 1.0);
+        let errors = recs
+            .iter()
+            .filter(|r| r.values[col::ERR_CODE] != Value::U64(0))
+            .count();
+        let rate = errors as f64 / recs.len() as f64;
+        assert!((rate - 0.14).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn anomalies_raise_rtt_for_affected_pairs_only() {
+        let cfg = PingmeshConfig {
+            anomalies: AnomalySchedule::single(0.0, 60.0, 0.05, 30.0),
+            scale: 10.0,
+            ..Default::default()
+        };
+        let mut g = PingmeshGenerator::new(cfg);
+        let recs = g.generate_epoch(0, 1.0);
+        let high = recs
+            .iter()
+            .filter(|r| r.values[col::RTT].as_f64().unwrap() > 5_000.0)
+            .count();
+        let frac = high as f64 / recs.len() as f64;
+        assert!(frac > 0.01 && frac < 0.10, "high-latency fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mk = || {
+            let mut g = PingmeshGenerator::new(PingmeshConfig::default());
+            g.generate_epoch(0, 1.0)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn skew_distribution_matches_paper() {
+        let total = 1000;
+        let below_half =
+            (0..total).filter(|&i| rate_skew_factor(i, total) <= 0.5).count();
+        let frac = below_half as f64 / total as f64;
+        assert!((frac - 0.58).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn wire_accounting_composes_over_batches() {
+        let mut g = PingmeshGenerator::new(PingmeshConfig::default());
+        let recs = g.generate_epoch(0, 0.1);
+        let schema = pingmesh_schema();
+        assert_eq!(wire_size_of(&recs, &schema), recs.len() * PINGMESH_RECORD_BYTES);
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's three monitoring queries as ready-made logical plans.
+
+use std::sync::Arc;
+
+use streamkit::agg::AggKind;
+use streamkit::expr::Expr;
+use streamkit::logical::LogicalPlan;
+use streamkit::ops::{EmitMode, JoinMiss, MapFn, StaticTable};
+use streamkit::query::Query;
+
+use crate::ipmap::ip_to_tor_table;
+use crate::loganalytics::{log_schema, LOG_PATTERNS, STAT_NAMES};
+use crate::pingmesh::pingmesh_schema;
+
+/// S2SProbe (paper Listing 1): server-to-server latency aggregates per
+/// 10-second window.
+pub fn s2s_probe() -> LogicalPlan {
+    Query::stream("S2SProbe", pingmesh_schema())
+        .window_secs(10.0)
+        .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
+        .group_by(&["srcIp", "dstIp"])
+        .aggregate_emit(
+            &[
+                (AggKind::Avg, "rtt", "avg_rtt"),
+                (AggKind::Max, "rtt", "max_rtt"),
+                (AggKind::Min, "rtt", "min_rtt"),
+            ],
+            EmitMode::PerEpochDelta,
+        )
+        .build()
+        .expect("S2SProbe is well-formed")
+}
+
+/// T2TProbe (paper Listing 2): ToR-to-ToR latency aggregates, joining the
+/// stream twice with an IP→ToR mapping and projecting before aggregation
+/// (§VI-B notes the projection to `(srcToR, dstToR, rtt)`).
+pub fn t2t_probe(src_table: Arc<StaticTable>, dst_table: Arc<StaticTable>) -> LogicalPlan {
+    Query::stream("T2TProbe", pingmesh_schema())
+        .window_secs(10.0)
+        .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
+        .join(src_table, "srcIp", JoinMiss::Drop)
+        .join(dst_table, "dstIp", JoinMiss::Drop)
+        .project(&["srcTor", "dstTor", "rtt"])
+        .group_by(&["srcTor", "dstTor"])
+        .aggregate_emit(
+            &[
+                (AggKind::Avg, "rtt", "avg_rtt"),
+                (AggKind::Max, "rtt", "max_rtt"),
+                (AggKind::Min, "rtt", "min_rtt"),
+            ],
+            EmitMode::PerEpochDelta,
+        )
+        .build()
+        .expect("T2TProbe is well-formed")
+}
+
+/// Builds the pair of ToR mapping tables for [`t2t_probe`] covering
+/// `table_size` destination IPs plus the probing sources.
+pub fn t2t_tables(
+    table_size: u32,
+    servers_per_tor: u32,
+    source_ips: &[u32],
+) -> (Arc<StaticTable>, Arc<StaticTable>) {
+    (
+        ip_to_tor_table(table_size, servers_per_tor, source_ips, "srcTor"),
+        ip_to_tor_table(table_size, servers_per_tor, source_ips, "dstTor"),
+    )
+}
+
+/// LogAnalytics (paper Listing 3): per-tenant histograms of job latency and
+/// resource utilisation from unstructured text logs.
+pub fn log_analytics() -> LogicalPlan {
+    Query::stream("LogAnalytics", log_schema())
+        .window_secs(10.0)
+        .map(MapFn::TrimLower(0))
+        .filter_contains_any("line", &LOG_PATTERNS)
+        .map(MapFn::ParseJobStats {
+            col: 0,
+            stats: STAT_NAMES.iter().map(|s| s.to_string()).collect(),
+        })
+        .map(MapFn::WidthBucket { col: 2, lo: 0.0, hi: 100.0, buckets: 10 })
+        .group_by(&["tenant", "stat_name", "stat"])
+        .aggregate_emit(&[(AggKind::Count, "stat", "count")], EmitMode::PerEpochDelta)
+        .build()
+        .expect("LogAnalytics is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s2s_probe_shape() {
+        let plan = s2s_probe();
+        assert_eq!(plan.display_chain(), "W -> F -> G+R");
+        assert_eq!(plan.edge_schemas().unwrap().last().unwrap().width(), 6);
+    }
+
+    #[test]
+    fn t2t_probe_shape() {
+        let (src, dst) = t2t_tables(500, 40, &[1]);
+        let plan = t2t_probe(src, dst);
+        assert_eq!(plan.display_chain(), "W -> F -> J -> J -> P -> G+R");
+        let schemas = plan.edge_schemas().unwrap();
+        // Projection narrows to 3 columns before aggregation.
+        assert_eq!(schemas[5].width(), 3);
+    }
+
+    #[test]
+    fn log_analytics_shape() {
+        let plan = log_analytics();
+        assert_eq!(plan.display_chain(), "W -> M -> F -> M -> M -> G+R");
+        let out = plan.edge_schemas().unwrap();
+        assert_eq!(out.last().unwrap().fields()[1].name, "tenant");
+    }
+
+    #[test]
+    fn t2t_executes_on_generated_data() {
+        use crate::pingmesh::{PingmeshConfig, PingmeshGenerator};
+        use streamkit::ops::AggRole;
+        use streamkit::physical::{build_pipeline, CostProfile};
+
+        let (src, dst) = t2t_tables(500, 40, &[1]);
+        let plan = t2t_probe(src, dst);
+        let mut ops = build_pipeline(&plan, &CostProfile::default(), AggRole::Final).unwrap();
+        let mut g = PingmeshGenerator::new(PingmeshConfig {
+            peer_ip_space: 500,
+            ..Default::default()
+        });
+        let mut cur = g.generate_epoch(0, 1.0);
+        for op in ops.iter_mut() {
+            let mut next = Vec::new();
+            for r in cur {
+                op.process(r, &mut next);
+            }
+            cur = next;
+        }
+        let mut out = Vec::new();
+        for op in ops.iter_mut() {
+            op.on_watermark(streamkit::time::secs(10.0), &mut out);
+        }
+        assert!(!out.is_empty(), "ToR aggregates must be produced");
+    }
+}

@@ -1,0 +1,32 @@
+//! Multiple monitoring queries sharing one data source node (paper §VI-F):
+//! compute is split max-min fairly, the node uplink is shared, and aggregate
+//! throughput saturates when either resource runs out.
+//!
+//! ```sh
+//! cargo run --release --example multi_query
+//! ```
+
+use jarvis::core::calibration::Scale;
+use jarvis::core::experiment::ScenarioSpec;
+use jarvis::core::multiquery::{fair_share_cores, run_multi_query};
+
+fn main() {
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X5);
+    println!("S2SProbe instances at 5x input ({:.1} Mbps each), one-core node\n", spec.input_mbps());
+    println!("{:>8} {:>16} {:>18}", "queries", "per-query cores", "aggregate Mbps");
+    let mut last = 0.0;
+    for k in [1u32, 2, 3, 4, 6, 8] {
+        let point = run_multi_query(&spec, 1.0, k, 40, None);
+        println!(
+            "{:>8} {:>16.3} {:>18.2}",
+            k, point.per_query_cores, point.throughput_mbps
+        );
+        last = point.throughput_mbps;
+    }
+    println!(
+        "\nfair share at 8 queries: {:.3} cores each (after the {:.1}% per-query engine overhead)",
+        fair_share_cores(1.0, 8),
+        jarvis::core::calibration::PER_QUERY_OVERHEAD_CORES * 100.0
+    );
+    assert!(last > 0.0);
+}

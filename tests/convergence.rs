@@ -1,0 +1,81 @@
+//! Convergence behaviour (paper §VI-C): Jarvis stabilises within seconds of
+//! a resource change, faster than its ablations.
+
+use jarvis::core::calibration::Scale;
+use jarvis::core::experiment::{convergence_run, ResourceEvent, ScenarioSpec};
+use jarvis::core::strategy::StrategyKind;
+
+/// Paper: "Jarvis converges to a stable query partition within seconds" —
+/// up to seven 1-second epochs for the evaluated workloads.
+#[test]
+fn jarvis_converges_within_seven_epochs_of_a_budget_change() {
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
+    let events = [
+        ResourceEvent { epoch: 3, cpu_budget: Some(0.9), table_size: None },
+        ResourceEvent { epoch: 18, cpu_budget: Some(0.6), table_size: None },
+    ];
+    let report = convergence_run(&spec, StrategyKind::Jarvis, 0.10, &events, 32);
+    assert!(
+        report.episodes.len() >= 2,
+        "both changes must trigger adaptation: {:?}",
+        report.episodes
+    );
+    for (start, end) in &report.episodes {
+        assert!(
+            end - start <= 7,
+            "adaptation took {} epochs ({} -> {})",
+            end - start,
+            start,
+            end
+        );
+    }
+}
+
+#[test]
+fn jarvis_is_at_least_as_fast_as_the_model_agnostic_ablation() {
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
+    let events = [ResourceEvent { epoch: 3, cpu_budget: Some(0.9), table_size: None }];
+    let jarvis = convergence_run(&spec, StrategyKind::Jarvis, 0.10, &events, 40);
+    let agnostic = convergence_run(&spec, StrategyKind::JarvisNoLpInit, 0.10, &events, 40);
+    let first = |r: &jarvis::core::experiment::ScenarioReport| {
+        r.episodes.first().map(|(a, b)| b - a).unwrap_or(u64::MAX)
+    };
+    assert!(
+        first(&jarvis) <= first(&agnostic),
+        "LP init must not slow convergence: jarvis {:?} vs w/o-lp {:?}",
+        jarvis.episodes,
+        agnostic.episodes
+    );
+}
+
+#[test]
+fn join_table_growth_triggers_adaptation() {
+    let spec = ScenarioSpec::pingmesh_t2t(Scale::X10, 50);
+    let events = [
+        ResourceEvent { epoch: 3, cpu_budget: Some(1.0), table_size: None },
+        ResourceEvent { epoch: 18, cpu_budget: None, table_size: Some(500) },
+    ];
+    let report = convergence_run(&spec, StrategyKind::Jarvis, 0.10, &events, 48);
+    // The second episode is the table-growth congestion.
+    assert!(
+        report.episodes.iter().any(|(start, _)| *start >= 18),
+        "table growth must trigger an adaptation episode: {:?}",
+        report.episodes
+    );
+    // And the query must end the run stable.
+    let tail: Vec<_> = report.trace.iter().rev().take(3).map(|t| t.state).collect();
+    assert!(
+        tail.iter().any(|s| *s == jarvis::core::proxy::QueryState::Stable),
+        "query must re-stabilise after table growth: tail {:?}",
+        tail
+    );
+}
+
+#[test]
+fn fixed_strategies_never_adapt() {
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
+    let events = [ResourceEvent { epoch: 5, cpu_budget: Some(0.2), table_size: None }];
+    let report = convergence_run(&spec, StrategyKind::FilterSrc, 1.0, &events, 20);
+    assert!(report.episodes.is_empty());
+    assert_eq!(report.load_factors, vec![1.0, 1.0, 0.0]);
+}

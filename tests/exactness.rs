@@ -1,0 +1,156 @@
+//! Accuracy guarantees: data-level partitioning is lossless and exact — the
+//! property that distinguishes it from data synopses (paper §VI-D).
+
+use std::sync::Arc;
+
+use jarvis::core::calibration;
+use jarvis::core::live::run_partitioned;
+use jarvis::core::planner::{plan_query, RuleConfig};
+use jarvis::streamkit::record::Record;
+use jarvis::telemetry::anomaly::AnomalySchedule;
+use jarvis::telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+use jarvis::telemetry::queries;
+
+fn pingmesh_records(epochs: i64, anomalies: AnomalySchedule) -> Vec<Record> {
+    let mut gen = PingmeshGenerator::new(PingmeshConfig { anomalies, ..Default::default() });
+    let mut out = Vec::new();
+    for e in 0..epochs {
+        out.extend(gen.generate_epoch(e * 1_000_000, 1.0));
+    }
+    out
+}
+
+fn sorted(mut rows: Vec<Record>) -> Vec<Record> {
+    rows.sort_by_key(|r| format!("{:?}", r.values));
+    rows
+}
+
+#[test]
+fn any_load_factor_split_yields_identical_results() {
+    let planned = plan_query(queries::s2s_probe(), &RuleConfig::default()).unwrap();
+    let costs = calibration::s2s_cost_profile();
+    let records = pingmesh_records(12, AnomalySchedule::none());
+
+    let reference =
+        run_partitioned(&planned, &costs, records.clone(), &[0.0, 0.0, 0.0], 1).results;
+    for factors in [[1.0, 1.0, 1.0], [1.0, 0.5, 0.25], [0.3, 1.0, 0.9], [1.0, 1.0, 0.83]] {
+        let split = run_partitioned(&planned, &costs, records.clone(), &factors, 2).results;
+        assert_eq!(
+            sorted(reference.clone()),
+            sorted(split),
+            "partitioning with factors {factors:?} must be exact"
+        );
+    }
+}
+
+#[test]
+fn partitioning_preserves_every_alert_unlike_sampling() {
+    use jarvis::synopsis::wsp::{WspConfig, WspSampler};
+    use jarvis::telemetry::pingmesh::{col, pingmesh_schema};
+
+    // Sparse incident: 2% of pairs spike for the whole window.
+    let records = pingmesh_records(10, AnomalySchedule::single(0.0, 100.0, 0.02, 30.0));
+
+    // Ground truth + partitioned run.
+    let planned = plan_query(queries::s2s_probe(), &RuleConfig::default()).unwrap();
+    let costs = calibration::s2s_cost_profile();
+    let full = run_partitioned(&planned, &costs, records.clone(), &[0.0; 3], 1).results;
+    let split = run_partitioned(&planned, &costs, records.clone(), &[1.0, 0.7, 0.4], 3).results;
+    let alerts = |rows: &[Record]| {
+        rows.iter().filter(|r| r.values[4].as_f64().unwrap_or(0.0) > 5_000.0).count()
+    };
+    assert!(alerts(&full) > 0, "incident must produce alerts");
+    assert_eq!(alerts(&full), alerts(&split), "partitioning must not lose alerts");
+
+    // Sampling at 20% misses some of the same alerts.
+    let mut sampler = WspSampler::new(WspConfig { rate: 0.2, ..Default::default() });
+    let report = sampler.evaluate_window(
+        &records,
+        &pingmesh_schema(),
+        (col::SRC_IP, col::DST_IP),
+        col::RTT,
+    );
+    assert!(report.missed_alert_fraction() > 0.0, "sampling must demonstrate alert loss");
+}
+
+#[test]
+fn t2t_partitioned_execution_is_exact() {
+    let (src, dst) = queries::t2t_tables(500, 40, &[1]);
+    let planned = plan_query(queries::t2t_probe(src, dst), &RuleConfig::default()).unwrap();
+    let costs = calibration::t2t_cost_profile();
+    let mut gen = PingmeshGenerator::new(PingmeshConfig {
+        peer_ip_space: 500,
+        ..Default::default()
+    });
+    let mut records = Vec::new();
+    for e in 0..10i64 {
+        records.extend(gen.generate_epoch(e * 1_000_000, 1.0));
+    }
+    let m = planned.source_ops;
+    let reference = run_partitioned(&planned, &costs, records.clone(), &vec![0.0; m], 1).results;
+    let split =
+        run_partitioned(&planned, &costs, records, &[1.0, 1.0, 0.6, 1.0, 1.0, 0.5], 2).results;
+    assert_eq!(sorted(reference), sorted(split));
+}
+
+#[test]
+fn planner_excluded_suffix_still_executes_at_sp() {
+    use jarvis::streamkit::agg::AggKind;
+    use jarvis::streamkit::expr::Expr;
+    use jarvis::streamkit::query::Query;
+
+    // W -> G+R -> F(avg > threshold): the trailing filter is SP-only (R-2).
+    let schema = jarvis::telemetry::pingmesh::pingmesh_schema();
+    let plan = Query::stream("alerting", schema)
+        .window_secs(10.0)
+        .group_by(&["srcIp", "dstIp"])
+        .aggregate(&[(AggKind::Max, "rtt", "max_rtt")])
+        .filter_named("max_rtt", |c| c.gt(Expr::lit(5_000.0)))
+        .build()
+        .unwrap();
+    let planned = plan_query(plan, &RuleConfig::default()).unwrap();
+    assert_eq!(planned.source_ops, 2, "suffix excluded");
+
+    let records = pingmesh_records(10, AnomalySchedule::single(0.0, 100.0, 0.02, 30.0));
+    let costs = jarvis::streamkit::physical::CostProfile::uniform(3, 1.0);
+    let report = run_partitioned(&planned, &costs, records, &[1.0, 0.8], 2);
+    assert!(!report.results.is_empty(), "SP-side filter must emit alert rows");
+    for row in &report.results {
+        assert!(row.values[3].as_f64().unwrap() > 5_000.0, "filter applied at SP");
+    }
+}
+
+#[test]
+fn checkpoint_failover_completes_windows_at_sp() {
+    use jarvis::core::calibration::Scale;
+    use jarvis::core::checkpoint;
+    use jarvis::core::experiment::{Scenario, ScenarioSpec};
+    use jarvis::core::strategy::StrategyKind;
+
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
+    let mut s = Scenario::single_source(spec.clone(), StrategyKind::AllSrc, 1.0);
+    for _ in 0..3 {
+        s.block.run_epoch();
+    }
+    let ckpt = checkpoint::snapshot(s.block.source_mut(0));
+    assert!(ckpt.wire_bytes() > 0);
+
+    // Source dies; the SP merges the checkpoint and completes the window.
+    let planned = spec.plan();
+    let mut sp = jarvis::core::engine::sp::SpEngine::new(&planned, &spec.costs(), 1, 64.0, 1.0);
+    checkpoint::apply_at_sp(&mut sp, 0, &ckpt, 3.0);
+    sp.run_epoch(20_000_000);
+    assert!(sp.results_emitted() > 0);
+}
+
+/// `live::run_partitioned` is exercised above with 1, 2, and 3 worker
+/// threads, which also validates the crossbeam/parking_lot concurrency path.
+#[test]
+fn live_runtime_handles_many_worker_threads() {
+    let planned = plan_query(queries::s2s_probe(), &RuleConfig::default()).unwrap();
+    let costs = calibration::s2s_cost_profile();
+    let records = pingmesh_records(6, AnomalySchedule::none());
+    let reference = run_partitioned(&planned, &costs, records.clone(), &[0.0; 3], 1).results;
+    let wide = run_partitioned(&planned, &costs, records, &[1.0, 0.9, 0.6], 8).results;
+    assert_eq!(sorted(reference), sorted(wide));
+}

@@ -1,0 +1,245 @@
+//! Property-based tests over the system's core invariants (DESIGN.md §7).
+
+use proptest::prelude::*;
+
+use jarvis::core::proxy::{ControlProxy, Route};
+use jarvis::lp::loadfactor::{solve_load_factors, LoadFactorProblem};
+use jarvis::streamkit::agg::{AggKind, AggSpec, AggState};
+use jarvis::streamkit::batch::Batch;
+use jarvis::streamkit::encode::{decode_batch, encode_batch};
+use jarvis::streamkit::record::Record;
+use jarvis::streamkit::schema::{DataType, Field, Schema};
+use jarvis::streamkit::value::Value;
+use jarvis::streamkit::watermark::WatermarkMerger;
+use jarvis::streamkit::window::TumblingWindow;
+
+proptest! {
+    /// Proxy conservation: forwarded + drained == arrived, and the forwarded
+    /// fraction converges to the load factor.
+    #[test]
+    fn proxy_conserves_records(p in 0.0f64..=1.0, n in 100usize..5_000) {
+        let mut proxy = ControlProxy::new(p, 0.05, 0.25);
+        let mut forwarded = 0u64;
+        for _ in 0..n {
+            if proxy.route() == Route::Forward {
+                forwarded += 1;
+            }
+        }
+        let counters = proxy.epoch_counters();
+        prop_assert_eq!(counters.forwarded + counters.drained_routing, counters.arrived);
+        prop_assert_eq!(counters.forwarded, forwarded);
+        let frac = forwarded as f64 / n as f64;
+        prop_assert!((frac - p).abs() <= 1.0 / n as f64 + 1e-9,
+            "p={} frac={}", p, frac);
+    }
+
+    /// The LP solution always satisfies the chain and budget constraints,
+    /// and never drains more than the all-remote plan.
+    #[test]
+    fn lp_solution_is_feasible(
+        costs in proptest::collection::vec(0.01f64..50.0, 1..6),
+        relays in proptest::collection::vec(0.05f64..1.0, 1..6),
+        budget_frac in 0.0f64..1.5,
+    ) {
+        let m = costs.len().min(relays.len());
+        let problem = LoadFactorProblem {
+            relay: relays[..m].to_vec(),
+            cost_us: costs[..m].to_vec(),
+            records: 10_000.0,
+            budget_us: budget_frac * 1e6,
+        };
+        let sol = solve_load_factors(&problem).unwrap();
+        // Chain: e_i <= e_{i-1} <= 1.
+        let mut prev = 1.0f64;
+        for &e in &sol.effective {
+            prop_assert!(e <= prev + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&e));
+            prev = e;
+        }
+        // Budget: within the constraint (allowing float slack).
+        prop_assert!(sol.budget_use <= 1.0 + 1e-6, "budget use {}", sol.budget_use);
+        // Objective sane: drained fraction in [0, 1].
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&sol.drained_fraction));
+    }
+
+    /// Aggregate merging is split-invariant: merging partials equals
+    /// aggregating the whole stream. Count/Min/Max are bit-exact; Sum/Avg
+    /// are exact up to float re-association across the split boundary.
+    #[test]
+    fn aggregate_merge_is_split_invariant(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split % values.len();
+        for kind in [AggKind::Count, AggKind::Sum, AggKind::Min, AggKind::Max, AggKind::Avg] {
+            let spec = AggSpec::new(kind.clone(), 0, "x");
+            let mut left = spec.init();
+            let mut right = spec.init();
+            let mut whole = spec.init();
+            for (i, v) in values.iter().enumerate() {
+                let value = Value::F64(*v);
+                if i < split { left.update(&value); } else { right.update(&value); }
+                whole.update(&value);
+            }
+            left.merge(&right);
+            match kind {
+                AggKind::Sum | AggKind::Avg => {
+                    let (a, b) = (finalize_f64(&left), finalize_f64(&whole));
+                    let tol = 1e-9 * values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+                    prop_assert!((a - b).abs() <= tol, "kind {:?}: {} vs {}", kind, a, b);
+                }
+                _ => prop_assert_eq!(
+                    finalize_bits(&left),
+                    finalize_bits(&whole),
+                    "kind {:?}", kind
+                ),
+            }
+        }
+    }
+
+    /// Batch and wire encodings round-trip arbitrary records.
+    #[test]
+    fn batch_and_wire_round_trip(
+        rows in proptest::collection::vec(
+            (any::<i64>(), any::<u32>(), -1e9f64..1e9, "[a-z0-9 ]{0,24}"),
+            0..50,
+        )
+    ) {
+        let schema = Schema::with_overhead(vec![
+            Field::new("a", DataType::I64),
+            Field::new("b", DataType::U32),
+            Field::new("c", DataType::F64),
+            Field::new("d", DataType::Str),
+        ], 7);
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(a, b, c, d)| Record::new(
+                *a,
+                vec![Value::I64(*a), Value::U64(u64::from(*b)), Value::F64(*c), Value::str(d)],
+            ))
+            .collect();
+        let batch = Batch::from_records(schema.clone(), &records).unwrap();
+        prop_assert_eq!(batch.to_records(), records.clone());
+        let decoded = decode_batch(schema, encode_batch(&batch)).unwrap();
+        prop_assert_eq!(decoded.to_records(), records);
+    }
+
+    /// Tumbling windows tile the timeline: every timestamp belongs to
+    /// exactly one window, and closure is monotone in the watermark.
+    #[test]
+    fn windows_tile_the_timeline(ts in any::<i32>(), size_s in 1i64..3600) {
+        let w = TumblingWindow::new(size_s * 1_000_000);
+        let ts = i64::from(ts);
+        let start = w.start_of(ts);
+        prop_assert!(start <= ts);
+        prop_assert!(ts < w.end_of(ts));
+        prop_assert_eq!(w.start_of(start), start);
+        prop_assert!(w.is_closed(start, w.end_of(ts)));
+        prop_assert!(!w.is_closed(start, w.end_of(ts) - 1));
+    }
+
+    /// Watermark merging emits a strictly increasing sequence equal to the
+    /// running minimum across inputs.
+    #[test]
+    fn watermark_merge_is_min_and_monotone(
+        observations in proptest::collection::vec((0usize..4, 0i64..1_000_000), 1..100)
+    ) {
+        let mut merger = WatermarkMerger::new(4);
+        let mut inputs = [i64::MIN; 4];
+        let mut last_emitted = i64::MIN;
+        for (stream, wm) in observations {
+            if let Some(emitted) = merger.observe(stream, wm) {
+                prop_assert!(emitted > last_emitted);
+                last_emitted = emitted;
+            }
+            inputs[stream] = inputs[stream].max(wm);
+            let expected_min = inputs.iter().copied().min().unwrap();
+            prop_assert_eq!(merger.merged(), expected_min);
+        }
+    }
+}
+
+fn finalize_bits(state: &AggState) -> u64 {
+    match state.finalize() {
+        Value::F64(v) => v.to_bits(),
+        Value::U64(v) => v,
+        Value::Null => u64::MAX,
+        other => panic!("unexpected aggregate output {other:?}"),
+    }
+}
+
+fn finalize_f64(state: &AggState) -> f64 {
+    match state.finalize() {
+        Value::F64(v) => v,
+        Value::U64(v) => v as f64,
+        other => panic!("unexpected aggregate output {other:?}"),
+    }
+}
+
+/// The LP must never be beaten by brute-force grid search over quantised
+/// load-factor vectors (small instances, coarse grid).
+#[test]
+fn lp_matches_brute_force_on_small_instances() {
+    use jarvis::lp::loadfactor::LoadFactorProblem;
+    let cases = [
+        (vec![1.0, 0.86, 0.3], vec![0.25, 3.25, 23.0], 0.6),
+        (vec![0.9, 0.5], vec![2.0, 9.0], 0.4),
+        (vec![0.7, 0.7, 0.7], vec![1.0, 1.0, 1.0], 0.05),
+    ];
+    for (relay, cost, budget) in cases {
+        let problem = LoadFactorProblem {
+            relay: relay.clone(),
+            cost_us: cost.clone(),
+            records: 10_000.0,
+            budget_us: budget * 1e6,
+        };
+        let sol = solve_load_factors(&problem).unwrap();
+
+        // Brute force over a 21-point grid per effective factor.
+        let m = relay.len();
+        let steps = 21usize;
+        let mut best = f64::INFINITY;
+        let mut idx = vec![0usize; m];
+        loop {
+            let e: Vec<f64> = idx.iter().map(|&i| i as f64 / (steps - 1) as f64).collect();
+            let chain_ok = e.windows(2).all(|w| w[1] <= w[0] + 1e-12);
+            if chain_ok {
+                let mut relay_prefix = 1.0;
+                let mut usage = 0.0;
+                let mut drained = 0.0;
+                let mut prev = 1.0;
+                for i in 0..m {
+                    usage += relay_prefix * e[i] * cost[i] * 10_000.0;
+                    drained += relay_prefix * (prev - e[i]);
+                    prev = e[i];
+                    relay_prefix *= relay[i];
+                }
+                if usage <= budget * 1e6 + 1e-6 {
+                    best = best.min(drained);
+                }
+            }
+            // Advance the mixed-radix counter.
+            let mut k = 0;
+            loop {
+                idx[k] += 1;
+                if idx[k] < steps {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+                if k == m {
+                    break;
+                }
+            }
+            if k == m {
+                break;
+            }
+        }
+        assert!(
+            sol.drained_fraction <= best + 0.01,
+            "LP {} must be within grid resolution of brute force {}",
+            sol.drained_fraction,
+            best
+        );
+    }
+}
