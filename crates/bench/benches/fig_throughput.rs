@@ -9,7 +9,8 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jarvis_core::calibration::Scale;
-use jarvis_core::experiment::{Scenario, ScenarioSpec};
+use jarvis_core::deploy::{BackendKind, Deployment};
+use jarvis_core::experiment::ScenarioSpec;
 use jarvis_core::strategy::StrategyKind;
 
 fn bench_fig7_points(c: &mut Criterion) {
@@ -17,7 +18,8 @@ fn bench_fig7_points(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(8));
-    let panels: [(&str, fn() -> ScenarioSpec); 3] = [
+    type SpecFn = fn() -> ScenarioSpec;
+    let panels: [(&str, SpecFn); 3] = [
         ("s2s", || ScenarioSpec::pingmesh_s2s(Scale::X10)),
         ("t2t", || ScenarioSpec::pingmesh_t2t(Scale::X10, 500)),
         ("log", || ScenarioSpec::log_analytics(Scale::X10)),
@@ -27,8 +29,16 @@ fn bench_fig7_points(c: &mut Criterion) {
             let id = format!("{}_{}", name, strategy.label());
             group.bench_with_input(BenchmarkId::new("cpu60", id), &(), |b, ()| {
                 b.iter(|| {
-                    let mut s = Scenario::single_source(mk(), strategy, 0.6);
-                    s.run_epochs(30).throughput_mbps
+                    Deployment::builder()
+                        .workload(mk())
+                        .strategy(strategy)
+                        .cpu_budget(0.6)
+                        .backend(BackendKind::Emulated)
+                        .build()
+                        .expect("valid deployment")
+                        .run(30)
+                        .expect("emulated run")
+                        .throughput_mbps
                 });
             });
         }

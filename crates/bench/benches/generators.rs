@@ -10,8 +10,10 @@ fn bench_generators(c: &mut Criterion) {
 
     group.throughput(Throughput::Elements(40_000));
     group.bench_function("pingmesh_epoch_x10", |b| {
-        let mut gen =
-            PingmeshGenerator::new(PingmeshConfig { scale: 10.0, ..Default::default() });
+        let mut gen = PingmeshGenerator::new(PingmeshConfig {
+            scale: 10.0,
+            ..Default::default()
+        });
         let mut epoch = 0i64;
         b.iter(|| {
             epoch += 1;
@@ -21,7 +23,10 @@ fn bench_generators(c: &mut Criterion) {
 
     group.throughput(Throughput::Bytes((0.62 * 1024.0 * 1024.0 * 10.0) as u64));
     group.bench_function("log_epoch_x10", |b| {
-        let mut gen = LogGenerator::new(LogConfig { scale: 10.0, ..Default::default() });
+        let mut gen = LogGenerator::new(LogConfig {
+            scale: 10.0,
+            ..Default::default()
+        });
         let mut epoch = 0i64;
         b.iter(|| {
             epoch += 1;

@@ -13,7 +13,10 @@ use streamkit::window::TumblingWindow;
 use telemetry::pingmesh::{pingmesh_schema, PingmeshConfig, PingmeshGenerator};
 
 fn records(n_epochs: u64) -> Vec<Record> {
-    let mut gen = PingmeshGenerator::new(PingmeshConfig { scale: 1.0, ..Default::default() });
+    let mut gen = PingmeshGenerator::new(PingmeshConfig {
+        scale: 1.0,
+        ..Default::default()
+    });
     let mut out = Vec::new();
     for e in 0..n_epochs {
         out.extend(gen.generate_epoch(e as i64 * 1_000_000, 1.0));
@@ -68,8 +71,7 @@ fn bench_operators(c: &mut Criterion) {
 
     group.bench_function("join", |b| {
         let (table, _) = telemetry::queries::t2t_tables(20_000, 40, &[1]);
-        let mut op =
-            JoinOp::new(table, 2, JoinMiss::Drop, &schema, CostModel::fixed(1.0)).unwrap();
+        let mut op = JoinOp::new(table, 2, JoinMiss::Drop, &schema, CostModel::fixed(1.0)).unwrap();
         b.iter(|| {
             let mut out = Vec::with_capacity(recs.len());
             for r in &recs {

@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jarvis_core::calibration::Scale;
-use jarvis_core::experiment::{Scenario, ScenarioSpec};
+use jarvis_core::deploy::{Deployment, EmulatedBackend};
+use jarvis_core::experiment::ScenarioSpec;
 use jarvis_core::strategy::StrategyKind;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -22,11 +23,19 @@ fn bench_pipeline(c: &mut Criterion) {
     ] {
         let id = format!("{}_{:.0}%", strategy.label(), budget * 100.0);
         group.bench_with_input(BenchmarkId::new("s2s_x10", id), &(), |b, ()| {
-            let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-            let mut scenario = Scenario::single_source(spec, strategy, budget);
+            let spec = Deployment::builder()
+                .workload(ScenarioSpec::pingmesh_s2s(Scale::X10))
+                .strategy(strategy)
+                .cpu_budget(budget)
+                .spec()
+                .expect("valid deployment");
+            let mut be = EmulatedBackend::default();
+            be.prepare(&spec).expect("block builds");
             // Settle adaptation before measuring steady-state epochs.
-            scenario.block.run_epochs(25);
-            b.iter(|| scenario.block.run_epoch());
+            for _ in 0..25 {
+                be.step(&spec);
+            }
+            b.iter(|| be.step(&spec));
         });
     }
     group.finish();

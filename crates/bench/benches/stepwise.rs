@@ -49,7 +49,11 @@ fn bench_stepwise(c: &mut Criterion) {
                 budget_us: 400_000.0,
                 idle_tolerance: 0.15,
             };
-            let sw = StepWiseConfig { use_lp_init: false, priority: rule, ..Default::default() };
+            let sw = StepWiseConfig {
+                use_lp_init: false,
+                priority: rule,
+                ..Default::default()
+            };
             b.iter(|| epochs_to_converge(black_box(&cfg), sw, 200));
         });
     }

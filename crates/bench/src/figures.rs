@@ -4,9 +4,10 @@ use serde::Serialize;
 
 use jarvis_core::calibration::{self, Scale, MBPS};
 use jarvis_core::convergence_sim::{sweep_operator_counts, OpCountResult};
+use jarvis_core::deploy::{BackendKind, Deployment, RunReport};
 use jarvis_core::engine::block::NetworkModel;
 use jarvis_core::experiment::{
-    convergence_run, scale_sweep, throughput_sweep, ResourceEvent, Scenario, ScenarioSpec,
+    convergence_run, scale_sweep, throughput_sweep, ResourceEvent, ScenarioSpec,
 };
 use jarvis_core::multiquery::multi_query_sweep;
 use jarvis_core::runtime::TraceState;
@@ -42,20 +43,29 @@ pub struct Fig3Result {
     pub jarvis_load_factors: Vec<f64>,
 }
 
+/// Runs a single-source deployment on the emulated backend.
+fn emulated(spec: &ScenarioSpec, strategy: StrategyKind, cpu: f64, epochs: u64) -> RunReport {
+    Deployment::builder()
+        .workload(spec.clone())
+        .strategy(strategy)
+        .cpu_budget(cpu)
+        .backend(BackendKind::Emulated)
+        .build()
+        .expect("paper scenarios build valid deployments")
+        .run(epochs)
+        .expect("emulated runs are infallible")
+}
+
 /// Runs Fig. 3.
 pub fn fig3() -> Fig3Result {
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-    let mut best_op = Scenario::single_source(spec.clone(), StrategyKind::BestOp, 0.8);
-    let op_report = best_op.run_epochs(MEASURE_EPOCHS);
-    let mut jarvis = Scenario::single_source(spec.clone(), StrategyKind::Jarvis, 0.8);
-    let dl_report = jarvis.run_epochs(MEASURE_EPOCHS);
-    let secs = jarvis.block.measured_secs();
-    let state_mbps = jarvis.block.metrics()[0].state_mbps(secs);
+    let op_report = emulated(&spec, StrategyKind::BestOp, 0.8, MEASURE_EPOCHS);
+    let dl_report = emulated(&spec, StrategyKind::Jarvis, 0.8, MEASURE_EPOCHS);
     Fig3Result {
         input_mbps: spec.input_mbps(),
         operator_level_mbps: op_report.network_mbps,
         data_level_mbps: dl_report.network_mbps,
-        data_level_state_mbps: state_mbps,
+        data_level_state_mbps: dl_report.state_mbps,
         reduction_factor: op_report.network_mbps / dl_report.network_mbps.max(1e-9),
         jarvis_load_factors: dl_report.load_factors,
     }
@@ -81,7 +91,10 @@ fn fig7(spec: ScenarioSpec) -> Fig7Result {
     let rows = throughput_sweep(&spec, &strategies, &FIG7_BUDGETS, MEASURE_EPOCHS)
         .into_iter()
         .map(|row| {
-            (row.cpu_budget, row.results.iter().map(|(_, t)| *t).collect::<Vec<f64>>())
+            (
+                row.cpu_budget,
+                row.results.iter().map(|(_, t)| *t).collect::<Vec<f64>>(),
+            )
         })
         .collect();
     Fig7Result {
@@ -147,7 +160,13 @@ fn fig8(
     let mut episodes = Vec::new();
     for &v in &variants {
         let report = convergence_run(&spec, v, initial_cpu, events, total_epochs);
-        series.push(report.trace.iter().map(|t| trace_label(t.trace).to_string()).collect());
+        series.push(
+            report
+                .trace
+                .iter()
+                .map(|t| trace_label(t.trace).to_string())
+                .collect(),
+        );
         episodes.push(report.episodes.clone());
     }
     Fig8Result {
@@ -164,8 +183,16 @@ pub fn fig8a() -> Fig8Result {
         ScenarioSpec::pingmesh_s2s(Scale::X10),
         0.10,
         &[
-            ResourceEvent { epoch: 3, cpu_budget: Some(0.9), table_size: None },
-            ResourceEvent { epoch: 18, cpu_budget: Some(0.6), table_size: None },
+            ResourceEvent {
+                epoch: 3,
+                cpu_budget: Some(0.9),
+                table_size: None,
+            },
+            ResourceEvent {
+                epoch: 18,
+                cpu_budget: Some(0.6),
+                table_size: None,
+            },
         ],
         32,
     )
@@ -180,8 +207,16 @@ pub fn fig8b() -> Fig8Result {
         ScenarioSpec::pingmesh_t2t(Scale::X10, 50),
         0.10,
         &[
-            ResourceEvent { epoch: 3, cpu_budget: Some(1.0), table_size: None },
-            ResourceEvent { epoch: 18, cpu_budget: None, table_size: Some(500) },
+            ResourceEvent {
+                epoch: 3,
+                cpu_budget: Some(1.0),
+                table_size: None,
+            },
+            ResourceEvent {
+                epoch: 18,
+                cpu_budget: None,
+                table_size: Some(500),
+            },
         ],
         48,
     )
@@ -193,8 +228,16 @@ pub fn fig8c() -> Fig8Result {
         ScenarioSpec::log_analytics(Scale::X10),
         0.05,
         &[
-            ResourceEvent { epoch: 3, cpu_budget: Some(0.30), table_size: None },
-            ResourceEvent { epoch: 16, cpu_budget: Some(0.15), table_size: None },
+            ResourceEvent {
+                epoch: 3,
+                cpu_budget: Some(0.30),
+                table_size: None,
+            },
+            ResourceEvent {
+                epoch: 16,
+                cpu_budget: Some(0.15),
+                table_size: None,
+            },
         ],
         28,
     )
@@ -242,7 +285,10 @@ pub fn fig9() -> Fig9Result {
     let mut sampling_mbps = Vec::new();
     for &rate in &rates {
         let mut gen = PingmeshGenerator::new(cfg.clone());
-        let mut sampler = WspSampler::new(WspConfig { rate, ..Default::default() });
+        let mut sampler = WspSampler::new(WspConfig {
+            rate,
+            ..Default::default()
+        });
         let mut errors = synopsis::error_cdf::Cdf::new();
         let mut true_alerts = 0usize;
         let mut missed_alerts = 0usize;
@@ -263,7 +309,12 @@ pub fn fig9() -> Fig9Result {
             bytes += report.sampled_bytes;
             secs += 10.0;
         }
-        cdf.push(thresholds_ms.iter().map(|&t| errors.fraction_at_most(t)).collect());
+        cdf.push(
+            thresholds_ms
+                .iter()
+                .map(|&t| errors.fraction_at_most(t))
+                .collect(),
+        );
         missed.push(if true_alerts > 0 {
             missed_alerts as f64 / true_alerts as f64
         } else {
@@ -277,10 +328,10 @@ pub fn fig9() -> Fig9Result {
     // run at 10× and normalise back to the 1× axis — preserving the paper's
     // reduction band of 11.4–90 % of the input rate.
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-    let mut j100 = Scenario::single_source(spec.clone(), StrategyKind::Jarvis, 1.0);
-    let jarvis_100_mbps = j100.run_epochs(MEASURE_EPOCHS).network_mbps / 10.0;
-    let mut j20 = Scenario::single_source(spec, StrategyKind::Jarvis, 0.2);
-    let jarvis_20_mbps = j20.run_epochs(MEASURE_EPOCHS).network_mbps / 10.0;
+    let jarvis_100_mbps =
+        emulated(&spec, StrategyKind::Jarvis, 1.0, MEASURE_EPOCHS).network_mbps / 10.0;
+    let jarvis_20_mbps =
+        emulated(&spec, StrategyKind::Jarvis, 0.2, MEASURE_EPOCHS).network_mbps / 10.0;
 
     Fig9Result {
         rates,
@@ -328,8 +379,14 @@ fn fig10(scale: Scale, cpu: f64, counts: &[u32], epochs: u64) -> Fig10Result {
         jarvis_mbps: jarvis.iter().map(|p| p.throughput_mbps).collect(),
         best_op_mbps: best.iter().map(|p| p.throughput_mbps).collect(),
         expected_mbps: jarvis.iter().map(|p| p.expected_mbps).collect(),
-        jarvis_latency: jarvis.iter().map(|p| (p.latency_median_s, p.latency_max_s)).collect(),
-        best_op_latency: best.iter().map(|p| (p.latency_median_s, p.latency_max_s)).collect(),
+        jarvis_latency: jarvis
+            .iter()
+            .map(|p| (p.latency_median_s, p.latency_max_s))
+            .collect(),
+        best_op_latency: best
+            .iter()
+            .map(|p| (p.latency_median_s, p.latency_max_s))
+            .collect(),
     }
 }
 
@@ -442,7 +499,12 @@ pub struct OpCountSummary {
 
 impl From<OpCountResult> for OpCountSummary {
     fn from(r: OpCountResult) -> Self {
-        OpCountSummary { ops: r.ops, worst: r.worst_epochs, mean: r.mean_epochs, failures: r.failures }
+        OpCountSummary {
+            ops: r.ops,
+            worst: r.worst_epochs,
+            mean: r.mean_epochs,
+            failures: r.failures,
+        }
     }
 }
 
@@ -457,7 +519,10 @@ pub fn opcount(max_ops: usize) -> OpCountReport {
         search: jarvis_core::stepwise::SearchRule::Linear { step: 0.1 },
         ..StepWiseConfig::without_lp_init()
     };
-    let linear = sweep_operator_counts(max_ops, linear_cfg).into_iter().map(Into::into).collect();
+    let linear = sweep_operator_counts(max_ops, linear_cfg)
+        .into_iter()
+        .map(Into::into)
+        .collect();
     OpCountReport { binary, linear }
 }
 
@@ -471,13 +536,16 @@ pub struct OverheadResult {
 /// Runs the overhead measurement (S2SProbe, 60 % CPU, with adaptation).
 pub fn overhead() -> OverheadResult {
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-    let mut s = Scenario::single_source(spec, StrategyKind::Jarvis, 0.6);
-    let report = s.run_epochs(MEASURE_EPOCHS);
-    OverheadResult { overhead_core_frac: report.overhead_core_frac }
+    let report = emulated(&spec, StrategyKind::Jarvis, 0.6, MEASURE_EPOCHS);
+    OverheadResult {
+        overhead_core_frac: report.overhead_core_frac,
+    }
 }
 
 /// Smoke-level sanity: a Jarvis run under the Fig. 7 setting must beat the
 /// paper's headline factors directionally. Used by integration tests.
 pub fn network_model_for_fig7() -> NetworkModel {
-    NetworkModel::PerSource { bps: calibration::per_query_per_node_bps() }
+    NetworkModel::PerSource {
+        bps: calibration::per_query_per_node_bps(),
+    }
 }

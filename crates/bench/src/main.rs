@@ -15,15 +15,22 @@ use jarvis_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let which: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
     let all = [
-        "fig3", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig9", "fig10a",
-        "fig10b", "fig10c", "fig11a", "fig11b", "fig11c", "latency", "opcount", "overhead",
+        "fig3", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "fig9", "fig10a", "fig10b",
+        "fig10c", "fig11a", "fig11b", "fig11c", "latency", "opcount", "overhead",
     ];
-    let selected: Vec<&str> = if which.contains(&"all") { all.to_vec() } else { which };
+    let selected: Vec<&str> = if which.contains(&"all") {
+        all.to_vec()
+    } else {
+        which
+    };
 
     for name in selected {
         let started = std::time::Instant::now();
@@ -60,16 +67,31 @@ fn run_fig3(json: bool) {
     let r = fig3();
     println!("Fig 3: operator-level vs data-level partitioning @ 80% CPU (S2SProbe 10x)");
     println!("  input rate                : {} Mbps", f2(r.input_mbps));
-    println!("  operator-level network    : {} Mbps (paper: 22.5)", f2(r.operator_level_mbps));
-    println!("  data-level network        : {} Mbps (paper:  9.4)", f2(r.data_level_mbps));
-    println!("    of which state/results  : {} Mbps (paper:  5.6)", f2(r.data_level_state_mbps));
-    println!("  reduction                 : {}x (paper: 2.4x)", f2(r.reduction_factor));
+    println!(
+        "  operator-level network    : {} Mbps (paper: 22.5)",
+        f2(r.operator_level_mbps)
+    );
+    println!(
+        "  data-level network        : {} Mbps (paper:  9.4)",
+        f2(r.data_level_mbps)
+    );
+    println!(
+        "    of which state/results  : {} Mbps (paper:  5.6)",
+        f2(r.data_level_state_mbps)
+    );
+    println!(
+        "  reduction                 : {}x (paper: 2.4x)",
+        f2(r.reduction_factor)
+    );
     println!("  Jarvis load factors       : {:?}", r.jarvis_load_factors);
     maybe_json(json, "fig3", &r);
 }
 
 fn run_fig7(r: Fig7Result, title: &str, json: bool) {
-    println!("{title}: throughput (Mbps) over CPU budgets; input = {} Mbps", f2(r.input_mbps));
+    println!(
+        "{title}: throughput (Mbps) over CPU budgets; input = {} Mbps",
+        f2(r.input_mbps)
+    );
     let mut headers = vec!["CPU"];
     for s in &r.strategies {
         headers.push(s);
@@ -84,7 +106,11 @@ fn run_fig7(r: Fig7Result, title: &str, json: bool) {
         })
         .collect();
     print!("{}", render_table(&headers, &rows));
-    let xs: Vec<String> = r.rows.iter().map(|(cpu, _)| format!("{:.0}%", cpu * 100.0)).collect();
+    let xs: Vec<String> = r
+        .rows
+        .iter()
+        .map(|(cpu, _)| format!("{:.0}%", cpu * 100.0))
+        .collect();
     let series: Vec<(&str, Vec<f64>)> = r
         .strategies
         .iter()
@@ -103,8 +129,10 @@ fn run_fig8(r: Fig8Result, title: &str, json: bool) {
         println!("  {variant:<12} {}", compress_series(series));
     }
     for (variant, eps) in r.variants.iter().zip(&r.episodes) {
-        let spans: Vec<String> =
-            eps.iter().map(|(a, b)| format!("{}->{} ({} epochs)", a, b, b - a)).collect();
+        let spans: Vec<String> = eps
+            .iter()
+            .map(|(a, b)| format!("{}->{} ({} epochs)", a, b, b - a))
+            .collect();
         println!(
             "  {variant:<12} convergence episodes: {}",
             if spans.is_empty() {
@@ -147,7 +175,10 @@ fn run_fig9(json: bool) {
         })
         .collect();
     print!("{}", render_table(&headers_ref, &rows));
-    println!("Fig 9(b): average network transfer per source (input = {} Mbps)", f2(r.input_mbps));
+    println!(
+        "Fig 9(b): average network transfer per source (input = {} Mbps)",
+        f2(r.input_mbps)
+    );
     for (rate, mbps) in r.rates.iter().zip(&r.sampling_mbps) {
         println!("  sampling rate {rate}: {} Mbps", f2(*mbps));
     }
@@ -192,7 +223,13 @@ fn run_fig11(r: Fig11Result, title: &str, json: bool) {
         .queries
         .iter()
         .enumerate()
-        .map(|(i, k)| vec![k.to_string(), f2(r.one_core_mbps[i]), f2(r.two_core_mbps[i])])
+        .map(|(i, k)| {
+            vec![
+                k.to_string(),
+                f2(r.one_core_mbps[i]),
+                f2(r.two_core_mbps[i]),
+            ]
+        })
         .collect();
     print!("{}", render_table(&headers, &rows));
     let name = format!("fig11_{}", r.scale.to_lowercase());
@@ -202,8 +239,13 @@ fn run_fig11(r: Fig11Result, title: &str, json: bool) {
 fn run_latency(json: bool) {
     let r = latency();
     println!("Section VI-E: epoch-processing latency, 5x input, 30% CPU");
-    let headers =
-        ["sources", "Jarvis med (s)", "Jarvis max (s)", "BestOP med (s)", "BestOP max (s)"];
+    let headers = [
+        "sources",
+        "Jarvis med (s)",
+        "Jarvis max (s)",
+        "BestOP med (s)",
+        "BestOP max (s)",
+    ];
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()

@@ -17,7 +17,10 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
     let dir = out_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialisable"))?;
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialisable"),
+    )?;
     Ok(path)
 }
 
@@ -38,7 +41,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
     line(
         &mut out,
         &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
@@ -73,8 +79,18 @@ pub fn render_ascii_chart(
     for (i, (name, _)) in series.iter().enumerate() {
         out.push_str(&format!("  {} = {}\n", glyphs[i % glyphs.len()], name));
     }
-    let label_w = xs.iter().map(String::len).max().unwrap_or(1).max(x_label.len());
-    out.push_str(&format!("{:>label_w$} |0{:>w$.1}\n", x_label, max, w = width));
+    let label_w = xs
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(1)
+        .max(x_label.len());
+    out.push_str(&format!(
+        "{:>label_w$} |0{:>w$.1}\n",
+        x_label,
+        max,
+        w = width
+    ));
     for (row, x) in xs.iter().enumerate() {
         let mut line: Vec<char> = vec![' '; width + 1];
         for (i, (_, ys)) in series.iter().enumerate() {
@@ -84,7 +100,10 @@ pub fn render_ascii_chart(
                 line[pos] = glyphs[i % glyphs.len()];
             }
         }
-        out.push_str(&format!("{x:>label_w$} |{}\n", line.iter().collect::<String>()));
+        out.push_str(&format!(
+            "{x:>label_w$} |{}\n",
+            line.iter().collect::<String>()
+        ));
     }
     out
 }
@@ -116,11 +135,42 @@ mod tests {
     fn table_is_aligned() {
         let t = render_table(
             &["cpu", "Jarvis"],
-            &[vec!["0.2".into(), "10.00".into()], vec!["1.0".into(), "26.20".into()]],
+            &[
+                vec!["0.2".into(), "10.00".into()],
+                vec!["1.0".into(), "26.20".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("Jarvis"));
         assert!(lines[2].trim_start().starts_with("0.2"));
+    }
+
+    #[test]
+    fn run_reports_stay_machine_readable_on_disk() {
+        // The unified RunReport is what sweep output is built from; it must
+        // survive the same JSON path `write_json` uses, bit-for-bit enough
+        // to reload for plotting.
+        use jarvis_core::calibration::Scale;
+        use jarvis_core::deploy::{BackendKind, Deployment, RunReport};
+        use jarvis_core::experiment::ScenarioSpec;
+        use jarvis_core::strategy::StrategyKind;
+
+        let report = Deployment::builder()
+            .workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+            .strategy(StrategyKind::Jarvis)
+            .cpu_budget(0.6)
+            .backend(BackendKind::Emulated)
+            .build()
+            .unwrap()
+            .run(8)
+            .unwrap();
+        let json = serde_json::to_string_pretty(&report).expect("serialisable");
+        let back: RunReport = serde_json::from_str(&json).expect("deserialisable");
+        assert_eq!(back.backend, report.backend);
+        assert_eq!(back.epochs, report.epochs);
+        assert_eq!(back.load_factors, report.load_factors);
+        assert_eq!(back.trace.len(), report.trace.len());
+        assert_eq!(back.throughput_mbps, report.throughput_mbps);
     }
 }

@@ -120,15 +120,15 @@ pub const LBDP_SP_CORES_PER_SOURCE: f64 = 4.0;
 ///   profiling on a small sample underestimate it, as §VI-C observes.
 pub fn s2s_cost_profile() -> CostProfile {
     CostProfile::from_models(vec![
-        CostModel::fixed(0.25),                              // W
-        CostModel::fixed(3.25),                              // F
+        CostModel::fixed(0.25), // W
+        CostModel::fixed(3.25), // F
         // Steady-state ≈ 23.3 µs at the ~14 k live groups the random-peer
         // probe pattern sustains under the 2-epoch ship cadence; the strong
         // state dependency is what makes short profiling samples
         // underestimate the cost (paper §VI-C: "profiling within a
         // one-second epoch is not sufficient for G+R ... resulting in less
         // accurate estimates").
-        CostModel::state_dependent(14.3, 0.30, 2_000.0),     // G+R
+        CostModel::state_dependent(14.3, 0.30, 2_000.0), // G+R
     ])
 }
 
@@ -137,12 +137,12 @@ pub fn s2s_cost_profile() -> CostProfile {
 /// (Fig. 8b grows the table 10× to congest the query).
 pub fn t2t_cost_profile() -> CostProfile {
     CostProfile::from_models(vec![
-        CostModel::fixed(0.25),                              // W
-        CostModel::fixed(3.25),                              // F
-        CostModel::state_dependent(5.2, 0.25, 500.0),        // J (srcTor)
-        CostModel::state_dependent(5.2, 0.25, 500.0),        // J (dstTor)
-        CostModel::fixed(0.4),                               // P
-        CostModel::state_dependent(14.0, 0.15, 2_000.0),     // G+R (ToR pairs)
+        CostModel::fixed(0.25),                          // W
+        CostModel::fixed(3.25),                          // F
+        CostModel::state_dependent(5.2, 0.25, 500.0),    // J (srcTor)
+        CostModel::state_dependent(5.2, 0.25, 500.0),    // J (dstTor)
+        CostModel::fixed(0.4),                           // P
+        CostModel::state_dependent(14.0, 0.15, 2_000.0), // G+R (ToR pairs)
     ])
 }
 
@@ -150,12 +150,12 @@ pub fn t2t_cost_profile() -> CostProfile {
 /// 10×-scaled 49.6 Mbps input (§VI-B).
 pub fn log_cost_profile() -> CostProfile {
     CostProfile::from_models(vec![
-        CostModel::fixed(0.05),                              // W
-        CostModel::fixed(0.9),                               // M trim/lower
-        CostModel::fixed(0.7),                               // F patterns
-        CostModel::fixed(1.3),                               // M parse
-        CostModel::fixed(0.2),                               // M bucket
-        CostModel::state_dependent(1.6, 0.1, 2_000.0),       // G+R histogram
+        CostModel::fixed(0.05),                        // W
+        CostModel::fixed(0.9),                         // M trim/lower
+        CostModel::fixed(0.7),                         // F patterns
+        CostModel::fixed(1.3),                         // M parse
+        CostModel::fixed(0.2),                         // M bucket
+        CostModel::state_dependent(1.6, 0.1, 2_000.0), // G+R histogram
     ])
 }
 
@@ -229,6 +229,9 @@ mod tests {
         let profile = s2s_cost_profile();
         let steady = profile.for_op(2, OpKind::GroupAggregate).cost_us(20_000);
         let sampled = profile.for_op(2, OpKind::GroupAggregate).cost_us(4_000);
-        assert!(sampled < steady * 0.95, "sampled {sampled} vs steady {steady}");
+        assert!(
+            sampled < steady * 0.95,
+            "sampled {sampled} vs steady {steady}"
+        );
     }
 }

@@ -25,7 +25,10 @@ impl Checkpoint {
     /// Total checkpoint payload size in bytes (network-cost accounting —
     /// §IV-E notes checkpointing frequency trades off against traffic).
     pub fn wire_bytes(&self) -> usize {
-        self.states.iter().map(|(_, s)| s.wire_bytes()).sum::<usize>()
+        self.states
+            .iter()
+            .map(|(_, s)| s.wire_bytes())
+            .sum::<usize>()
             + self.load_factors.len() * 8
     }
 }
@@ -45,7 +48,10 @@ pub fn snapshot(engine: &mut SourceEngine) -> Checkpoint {
             states.push((stage, delta));
         }
     }
-    Checkpoint { states, load_factors }
+    Checkpoint {
+        states,
+        load_factors,
+    }
 }
 
 /// Restores a checkpoint into a (fresh) source engine: merges the state back
@@ -71,7 +77,10 @@ pub fn apply_at_sp(
         bytes += state.wire_bytes();
         sp.deliver(
             source,
-            crate::engine::NetPayload::StateDelta { stage: *stage, delta: state.clone() },
+            crate::engine::NetPayload::StateDelta {
+                stage: *stage,
+                delta: state.clone(),
+            },
             arrival_secs,
         );
     }
@@ -82,25 +91,36 @@ pub fn apply_at_sp(
 mod tests {
     use super::*;
     use crate::calibration::Scale;
-    use crate::experiment::{Scenario, ScenarioSpec};
+    use crate::engine::block::BuildingBlock;
+    use crate::experiment::ScenarioSpec;
     use crate::strategy::StrategyKind;
+
+    fn block(spec: ScenarioSpec, strategy: StrategyKind) -> BuildingBlock {
+        let dspec = crate::deploy::Deployment::builder()
+            .workload(spec)
+            .strategy(strategy)
+            .cpu_budget(1.0)
+            .spec()
+            .unwrap();
+        crate::deploy::build_block(&dspec).unwrap().1
+    }
 
     #[test]
     fn snapshot_preserves_live_state() {
         let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-        let mut s = Scenario::single_source(spec, StrategyKind::AllSrc, 1.0);
+        let mut s = block(spec, StrategyKind::AllSrc);
         // Run a few epochs so the G+R accumulates state (ship interval is 2,
         // so run one epoch past a ship to leave residue).
         for _ in 0..3 {
-            s.block.run_epoch();
+            s.run_epoch();
         }
-        let engine = s.block.source_mut(0);
+        let engine = s.source_mut(0);
         let before = engine.load_factors();
         let ckpt = snapshot(engine);
         assert_eq!(ckpt.load_factors, before);
         // Snapshotting must not clear the operator state: a second snapshot
         // sees the same entries.
-        let ckpt2 = snapshot(s.block.source_mut(0));
+        let ckpt2 = snapshot(s.source_mut(0));
         let count = |c: &Checkpoint| c.states.iter().map(|(_, s)| s.entry_count()).sum::<usize>();
         assert_eq!(count(&ckpt), count(&ckpt2));
         assert!(ckpt.wire_bytes() > 0 || count(&ckpt) == 0);
@@ -109,17 +129,17 @@ mod tests {
     #[test]
     fn restore_reinstalls_state_and_factors() {
         let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-        let mut s = Scenario::single_source(spec.clone(), StrategyKind::AllSrc, 1.0);
+        let mut s = block(spec.clone(), StrategyKind::AllSrc);
         for _ in 0..3 {
-            s.block.run_epoch();
+            s.run_epoch();
         }
-        let ckpt = snapshot(s.block.source_mut(0));
+        let ckpt = snapshot(s.source_mut(0));
 
         // "Restart": a fresh engine for the same query.
-        let mut fresh = Scenario::single_source(spec, StrategyKind::AllSp, 1.0);
-        restore(fresh.block.source_mut(0), &ckpt);
-        assert_eq!(fresh.block.source(0).load_factors(), ckpt.load_factors);
-        let again = snapshot(fresh.block.source_mut(0));
+        let mut fresh = block(spec, StrategyKind::AllSp);
+        restore(fresh.source_mut(0), &ckpt);
+        assert_eq!(fresh.source(0).load_factors(), ckpt.load_factors);
+        let again = snapshot(fresh.source_mut(0));
         let count = |c: &Checkpoint| c.states.iter().map(|(_, s)| s.entry_count()).sum::<usize>();
         assert_eq!(count(&again), count(&ckpt), "restored state round-trips");
     }
@@ -127,17 +147,26 @@ mod tests {
     #[test]
     fn failover_to_sp_merges_checkpoint() {
         let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-        let mut s = Scenario::single_source(spec.clone(), StrategyKind::AllSrc, 1.0);
+        let mut s = block(spec.clone(), StrategyKind::AllSrc);
         for _ in 0..3 {
-            s.block.run_epoch();
+            s.run_epoch();
         }
-        let ckpt = snapshot(s.block.source_mut(0));
+        let ckpt = snapshot(s.source_mut(0));
         let planned = spec.plan();
         let mut sp = crate::engine::sp::SpEngine::new(&planned, &spec.costs(), 1, 64.0, 1.0);
         let bytes = apply_at_sp(&mut sp, 0, &ckpt, 3.0);
-        assert_eq!(bytes, ckpt.states.iter().map(|(_, s)| s.wire_bytes()).sum::<usize>());
+        assert_eq!(
+            bytes,
+            ckpt.states
+                .iter()
+                .map(|(_, s)| s.wire_bytes())
+                .sum::<usize>()
+        );
         // The merged window closes and emits results at the SP.
         sp.run_epoch(20_000_000);
-        assert!(sp.results_emitted() > 0, "checkpointed window must complete at SP");
+        assert!(
+            sp.results_emitted() > 0,
+            "checkpointed window must complete at SP"
+        );
     }
 }

@@ -31,6 +31,7 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// Compute usage (µs) of a load-factor plan in this configuration.
+    #[allow(clippy::needless_range_loop)] // `i` indexes p, cost_us, and the relay prefix
     pub fn usage_us(&self, p: &[f64]) -> f64 {
         let mut usage = 0.0;
         let mut eff = 1.0;
@@ -82,7 +83,11 @@ pub fn epochs_to_converge(cfg: &SimConfig, sw: StepWiseConfig, max_epochs: u32) 
         }
         if !adapter.fine_tune(&mut p, state) {
             // Nothing to move: stable next check or stuck.
-            return if cfg.classify(&p) == QueryState::Stable { Some(epoch + 1) } else { None };
+            return if cfg.classify(&p) == QueryState::Stable {
+                Some(epoch + 1)
+            } else {
+                None
+            };
         }
     }
     None

@@ -1,0 +1,591 @@
+//! The unified deployment API (the repo's single front door).
+//!
+//! The paper's user contract is Listing 1's three lines — configure, then
+//! `run(query)`. This module is that contract for every execution mode the
+//! repro supports: one [`DeploymentBuilder`] validates a workload +
+//! strategy + resources into a typed [`DeploymentSpec`], and a pluggable
+//! [`ExecBackend`] executes it.
+//!
+//! * [`EmulatedBackend`] — the deterministic calibrated emulator
+//!   (`engine::block`), modelling CPU budgets, uplinks, and latency bounds.
+//! * [`LiveBackend`] — real threads and channels (`live::session`), driving
+//!   the Jarvis runtime state machine each epoch and proving exactness.
+//! * [`ConvergenceBackend`] — the §VI-C abstract convergence-cost simulator.
+//!
+//! All three consume the same spec and produce the same [`RunReport`], which
+//! is what lets tests assert backend parity and future PRs add sharded or
+//! distributed backends without another parallel code path.
+//!
+//! ```
+//! use jarvis_core::calibration::Scale;
+//! use jarvis_core::deploy::{BackendKind, Deployment};
+//! use jarvis_core::experiment::ScenarioSpec;
+//! use jarvis_core::strategy::StrategyKind;
+//!
+//! let report = Deployment::builder()
+//!     .workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+//!     .strategy(StrategyKind::Jarvis)
+//!     .sources(1)
+//!     .cpu_budget(0.6)
+//!     .backend(BackendKind::Emulated)
+//!     .build()
+//!     .unwrap()
+//!     .run(25)
+//!     .unwrap();
+//! assert!(report.throughput_mbps > 0.0);
+//! ```
+
+mod backend;
+mod report;
+mod workload;
+
+pub(crate) use backend::build_block;
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use backend::{ConvergenceBackend, EmulatedBackend, ExecBackend, LiveBackend};
+pub use report::{ExactnessDigest, RunReport};
+pub use workload::{CustomWorkload, SourceAdapter};
+
+use crate::calibration;
+use crate::engine::block::NetworkModel;
+use crate::experiment::ResourceEvent;
+use crate::planner::RuleConfig;
+use crate::strategy::StrategyKind;
+
+/// Which built-in backend executes the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Deterministic calibrated emulation (throughput/latency modelling).
+    Emulated,
+    /// Threaded execution over real channels (exactness under concurrency).
+    Live,
+    /// Abstract convergence-cost simulation (adaptation analysis only).
+    Convergence,
+}
+
+impl BackendKind {
+    /// Display name, matching [`RunReport::backend`].
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Emulated => "emulated",
+            BackendKind::Live => "live",
+            BackendKind::Convergence => "convergence",
+        }
+    }
+}
+
+/// Why a builder rejected its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// No workload supplied.
+    MissingWorkload,
+    /// `sources` was zero.
+    NoSources,
+    /// CPU budget not a positive finite core fraction.
+    InvalidCpuBudget {
+        /// The rejected value.
+        got: f64,
+    },
+    /// A pinned load factor outside `[0, 1]`.
+    InvalidLoadFactor {
+        /// Index in the supplied vector.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Pinned load-factor count does not match the source-eligible prefix.
+    LoadFactorArity {
+        /// Source-side operators in the planned query.
+        expected: usize,
+        /// Supplied factor count.
+        got: usize,
+    },
+    /// Pinned load factors combined with a strategy that adapts them.
+    FixedFactorsWithAdaptiveStrategy {
+        /// The adaptive strategy.
+        strategy: StrategyKind,
+    },
+    /// The strategy cannot run on the chosen backend.
+    StrategyBackendMismatch {
+        /// The strategy.
+        strategy: StrategyKind,
+        /// The backend.
+        backend: BackendKind,
+    },
+    /// Scheduled resource events on a backend that cannot apply them.
+    EventsUnsupported {
+        /// The backend.
+        backend: BackendKind,
+    },
+    /// Query planning failed (invalid plan, rule violation).
+    Plan(String),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::MissingWorkload => write!(f, "deployment needs a workload"),
+            DeployError::NoSources => write!(f, "deployment needs at least one data source"),
+            DeployError::InvalidCpuBudget { got } => {
+                write!(
+                    f,
+                    "CPU budget must be a positive finite core fraction, got {got}"
+                )
+            }
+            DeployError::InvalidLoadFactor { index, value } => {
+                write!(f, "load factor {value} at index {index} is outside [0, 1]")
+            }
+            DeployError::LoadFactorArity { expected, got } => {
+                write!(
+                    f,
+                    "{got} load factors supplied for {expected} source operators"
+                )
+            }
+            DeployError::FixedFactorsWithAdaptiveStrategy { strategy } => write!(
+                f,
+                "{} adapts load factors at runtime; pinned factors require a fixed strategy",
+                strategy.label()
+            ),
+            DeployError::StrategyBackendMismatch { strategy, backend } => write!(
+                f,
+                "strategy {} cannot run on the {} backend",
+                strategy.label(),
+                backend.label()
+            ),
+            DeployError::EventsUnsupported { backend } => write!(
+                f,
+                "the {} backend cannot apply scheduled resource events",
+                backend.label()
+            ),
+            DeployError::Plan(msg) => write!(f, "query planning failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<streamkit::error::Error> for DeployError {
+    fn from(e: streamkit::error::Error) -> DeployError {
+        DeployError::Plan(e.to_string())
+    }
+}
+
+/// A validated deployment: what to run, where, with which resources.
+#[derive(Clone)]
+pub struct DeploymentSpec {
+    /// The workload (query + generators + costs).
+    pub workload: Arc<dyn SourceAdapter>,
+    /// Partitioning strategy.
+    pub strategy: StrategyKind,
+    /// Number of data sources.
+    pub sources: u32,
+    /// CPU available to the query on each source, core fraction.
+    pub cpu_budget: f64,
+    /// Uplink topology between sources and the stream processor.
+    pub network: NetworkModel,
+    /// Operator-eligibility rules (R-1..R-4).
+    pub rules: RuleConfig,
+    /// The query planned under those rules (done once, at validation).
+    pub planned: crate::planner::PlannedQuery,
+    /// Warm-up epochs excluded from measurement.
+    pub warmup_epochs: u64,
+    /// Base RNG seed for per-source engines.
+    pub seed: u64,
+    /// Pinned per-proxy load factors (fixed-allocation deployments only).
+    pub fixed_load_factors: Option<Vec<f64>>,
+    /// Scheduled resource changes (convergence experiments).
+    pub events: Vec<ResourceEvent>,
+    /// Retain merged result rows and fingerprint them (exactness checks).
+    pub collect_results: bool,
+}
+
+impl fmt::Debug for DeploymentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeploymentSpec")
+            .field("workload", &self.workload.name())
+            .field("strategy", &self.strategy)
+            .field("sources", &self.sources)
+            .field("cpu_budget", &self.cpu_budget)
+            .field("network", &self.network)
+            .field("warmup_epochs", &self.warmup_epochs)
+            .field("fixed_load_factors", &self.fixed_load_factors)
+            .field("events", &self.events)
+            .field("collect_results", &self.collect_results)
+            .finish()
+    }
+}
+
+/// Builder for [`Deployment`] (and bare [`DeploymentSpec`]s).
+pub struct DeploymentBuilder {
+    workload: Option<Arc<dyn SourceAdapter>>,
+    strategy: StrategyKind,
+    sources: u32,
+    cpu_budget: f64,
+    network: Option<NetworkModel>,
+    rules: RuleConfig,
+    warmup_epochs: u64,
+    seed: u64,
+    fixed_load_factors: Option<Vec<f64>>,
+    events: Vec<ResourceEvent>,
+    collect_results: bool,
+    backend: BackendKind,
+}
+
+impl Default for DeploymentBuilder {
+    fn default() -> Self {
+        DeploymentBuilder {
+            workload: None,
+            strategy: StrategyKind::Jarvis,
+            sources: 1,
+            cpu_budget: 0.5,
+            network: None,
+            rules: RuleConfig::default(),
+            warmup_epochs: crate::experiment::DEFAULT_WARMUP_EPOCHS,
+            seed: 17,
+            fixed_load_factors: None,
+            events: Vec::new(),
+            collect_results: false,
+            backend: BackendKind::Emulated,
+        }
+    }
+}
+
+impl DeploymentBuilder {
+    /// Sets the workload.
+    pub fn workload(mut self, workload: impl SourceAdapter + 'static) -> Self {
+        self.workload = Some(Arc::new(workload));
+        self
+    }
+
+    /// Sets a shared workload handle (avoids re-wrapping).
+    pub fn workload_arc(mut self, workload: Arc<dyn SourceAdapter>) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the partitioning strategy (default [`StrategyKind::Jarvis`]).
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the number of data sources (default 1).
+    pub fn sources(mut self, sources: u32) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Sets the per-source CPU budget in core fractions (default 0.5).
+    pub fn cpu_budget(mut self, fraction: f64) -> Self {
+        self.cpu_budget = fraction;
+        self
+    }
+
+    /// Sets the uplink topology (default: the paper's dedicated
+    /// per-source-per-query 20.48 Mbps share).
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Sets the operator-eligibility rules.
+    pub fn rules(mut self, rules: RuleConfig) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Sets warm-up epochs excluded from measurement.
+    pub fn warmup_epochs(mut self, epochs: u64) -> Self {
+        self.warmup_epochs = epochs;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins per-proxy load factors (only valid with non-adaptive
+    /// strategies; adaptive runtimes would immediately override them).
+    pub fn load_factors(mut self, factors: Vec<f64>) -> Self {
+        self.fixed_load_factors = Some(factors);
+        self
+    }
+
+    /// Schedules resource-condition changes (Fig. 8 experiments).
+    pub fn events(mut self, events: &[ResourceEvent]) -> Self {
+        self.events = events.to_vec();
+        self
+    }
+
+    /// Retains merged result rows and fingerprints them (exactness checks).
+    pub fn collect_results(mut self, collect: bool) -> Self {
+        self.collect_results = collect;
+        self
+    }
+
+    /// Selects the execution backend (default [`BackendKind::Emulated`]).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Validates into a bare [`DeploymentSpec`] (advanced use: driving a
+    /// backend by hand, e.g. fault-injection tests stepping the emulator).
+    pub fn spec(&self) -> Result<DeploymentSpec, DeployError> {
+        let workload = self.workload.clone().ok_or(DeployError::MissingWorkload)?;
+        if self.sources == 0 {
+            return Err(DeployError::NoSources);
+        }
+        if !(self.cpu_budget.is_finite() && self.cpu_budget > 0.0) {
+            return Err(DeployError::InvalidCpuBudget {
+                got: self.cpu_budget,
+            });
+        }
+        // Planning validates the query and fixes the source-eligible prefix.
+        let planned = crate::planner::plan_query(workload.logical_plan(), &self.rules)?;
+        if let Some(factors) = &self.fixed_load_factors {
+            if self.strategy.is_adaptive() {
+                return Err(DeployError::FixedFactorsWithAdaptiveStrategy {
+                    strategy: self.strategy,
+                });
+            }
+            if factors.len() != planned.source_ops {
+                return Err(DeployError::LoadFactorArity {
+                    expected: planned.source_ops,
+                    got: factors.len(),
+                });
+            }
+            for (index, &value) in factors.iter().enumerate() {
+                if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                    return Err(DeployError::InvalidLoadFactor { index, value });
+                }
+            }
+        }
+        if self.backend == BackendKind::Convergence && !self.strategy.is_stepwise() {
+            return Err(DeployError::StrategyBackendMismatch {
+                strategy: self.strategy,
+                backend: self.backend,
+            });
+        }
+        if self.backend == BackendKind::Convergence && !self.events.is_empty() {
+            return Err(DeployError::EventsUnsupported {
+                backend: self.backend,
+            });
+        }
+        Ok(DeploymentSpec {
+            workload,
+            strategy: self.strategy,
+            sources: self.sources,
+            cpu_budget: self.cpu_budget,
+            network: self.network.unwrap_or(NetworkModel::PerSource {
+                bps: calibration::per_query_per_node_bps(),
+            }),
+            rules: self.rules.clone(),
+            planned,
+            warmup_epochs: self.warmup_epochs,
+            seed: self.seed,
+            fixed_load_factors: self.fixed_load_factors.clone(),
+            events: self.events.clone(),
+            collect_results: self.collect_results,
+        })
+    }
+
+    /// Validates and pairs the spec with its backend.
+    pub fn build(self) -> Result<Deployment, DeployError> {
+        let spec = self.spec()?;
+        let backend: Box<dyn ExecBackend> = match self.backend {
+            BackendKind::Emulated => Box::new(EmulatedBackend::default()),
+            BackendKind::Live => Box::new(LiveBackend::default()),
+            BackendKind::Convergence => Box::new(ConvergenceBackend::default()),
+        };
+        Ok(Deployment { spec, backend })
+    }
+}
+
+/// A validated deployment bound to an execution backend.
+pub struct Deployment {
+    spec: DeploymentSpec,
+    backend: Box<dyn ExecBackend>,
+}
+
+impl fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deployment")
+            .field("spec", &self.spec)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// Starts a builder.
+    pub fn builder() -> DeploymentBuilder {
+        DeploymentBuilder::default()
+    }
+
+    /// The validated spec.
+    pub fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    /// The backend (stepping, inspection).
+    pub fn backend_mut(&mut self) -> &mut dyn ExecBackend {
+        self.backend.as_mut()
+    }
+
+    /// Executes `epochs` epochs on the bound backend.
+    ///
+    /// Every call is a **fresh run** of the spec — backends rebuild their
+    /// execution state first, so repeated calls give independent runs rather
+    /// than continuations. Note that [`CustomWorkload`] generators are
+    /// one-shot: re-running a deployment whose generators were already taken
+    /// panics. Use [`EmulatedBackend::step`] directly for incremental
+    /// stepping.
+    pub fn run(&mut self, epochs: u64) -> Result<RunReport, DeployError> {
+        self.backend.run(&self.spec, epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Scale;
+    use crate::experiment::ScenarioSpec;
+
+    fn builder() -> DeploymentBuilder {
+        Deployment::builder().workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+    }
+
+    #[test]
+    fn missing_workload_is_rejected() {
+        let err = Deployment::builder().build().unwrap_err();
+        assert_eq!(err, DeployError::MissingWorkload);
+    }
+
+    #[test]
+    fn zero_sources_is_rejected() {
+        let err = builder().sources(0).build().unwrap_err();
+        assert_eq!(err, DeployError::NoSources);
+    }
+
+    #[test]
+    fn non_positive_budget_is_rejected() {
+        assert!(matches!(
+            builder().cpu_budget(0.0).build().unwrap_err(),
+            DeployError::InvalidCpuBudget { .. }
+        ));
+        assert!(matches!(
+            builder().cpu_budget(f64::NAN).build().unwrap_err(),
+            DeployError::InvalidCpuBudget { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_load_factor_is_rejected() {
+        let err = builder()
+            .strategy(StrategyKind::AllSrc)
+            .load_factors(vec![1.0, 1.5, 0.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::InvalidLoadFactor {
+                index: 1,
+                value: 1.5
+            }
+        );
+    }
+
+    #[test]
+    fn load_factor_arity_must_match_the_plan() {
+        let err = builder()
+            .strategy(StrategyKind::AllSrc)
+            .load_factors(vec![1.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::LoadFactorArity {
+                expected: 3,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn pinned_factors_with_adaptive_strategy_are_rejected() {
+        let err = builder()
+            .load_factors(vec![1.0, 1.0, 1.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::FixedFactorsWithAdaptiveStrategy {
+                strategy: StrategyKind::Jarvis
+            }
+        );
+    }
+
+    #[test]
+    fn convergence_backend_requires_a_stepwise_strategy() {
+        let err = builder()
+            .strategy(StrategyKind::BestOp)
+            .backend(BackendKind::Convergence)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::StrategyBackendMismatch {
+                strategy: StrategyKind::BestOp,
+                backend: BackendKind::Convergence,
+            }
+        );
+    }
+
+    #[test]
+    fn convergence_backend_rejects_scheduled_events() {
+        let err = builder()
+            .backend(BackendKind::Convergence)
+            .events(&[crate::experiment::ResourceEvent {
+                epoch: 3,
+                cpu_budget: Some(0.9),
+                table_size: None,
+            }])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::EventsUnsupported {
+                backend: BackendKind::Convergence
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_runs_are_independent_and_identical() {
+        let mut d = builder()
+            .cpu_budget(0.8)
+            .collect_results(true)
+            .build()
+            .unwrap();
+        let a = d.run(12).unwrap();
+        let b = d.run(12).unwrap();
+        assert_eq!(a.exactness, b.exactness, "each run() call is a fresh run");
+        assert_eq!(a.results_emitted, b.results_emitted);
+    }
+
+    #[test]
+    fn valid_spec_carries_defaults() {
+        let d = builder().cpu_budget(0.6).build().unwrap();
+        assert_eq!(d.spec().sources, 1);
+        assert_eq!(
+            d.spec().warmup_epochs,
+            crate::experiment::DEFAULT_WARMUP_EPOCHS
+        );
+        assert_eq!(d.spec().strategy, StrategyKind::Jarvis);
+    }
+}

@@ -70,9 +70,7 @@ impl Net {
     /// Enqueues; returns input-equivalent *records* evicted by buffer caps.
     fn enqueue(&mut self, flow: usize, payload: NetPayload, bytes: usize, now: f64) -> usize {
         let evicted = match self {
-            Net::PerSource(links) => {
-                links[flow].enqueue_bounded(payload, bytes, now, evictable)
-            }
+            Net::PerSource(links) => links[flow].enqueue_bounded(payload, bytes, now, evictable),
             Net::Shared(link) => link.enqueue_bounded(flow, payload, bytes, now, evictable),
         };
         evicted.iter().map(|(p, _)| p.record_count()).sum()
@@ -117,7 +115,9 @@ impl Default for BuildingBlockConfig {
         BuildingBlockConfig {
             epoch_secs: calibration::EPOCH_SECS,
             sp_cores: calibration::SP_CORES,
-            network: NetworkModel::PerSource { bps: calibration::per_query_per_node_bps() },
+            network: NetworkModel::PerSource {
+                bps: calibration::per_query_per_node_bps(),
+            },
         }
     }
 }
@@ -148,7 +148,11 @@ impl BuildingBlock {
         cfg: BuildingBlockConfig,
         warmup_epochs: u64,
     ) -> BuildingBlock {
-        assert_eq!(source_cfgs.len(), generators.len(), "one generator per source");
+        assert_eq!(
+            source_cfgs.len(),
+            generators.len(),
+            "one generator per source"
+        );
         let n = source_cfgs.len();
         let sources: Vec<SourceEngine> = source_cfgs
             .into_iter()
@@ -321,6 +325,72 @@ impl BuildingBlock {
         for _ in 0..n {
             self.run_epoch();
         }
+    }
+
+    /// Enables result-row retention at the SP for exactness fingerprinting.
+    pub fn set_collect_results(&mut self, on: bool) {
+        self.sp.set_collect_results(on);
+    }
+
+    /// Swaps the static table of every join operator on every source (the
+    /// Fig. 8b 10× table growth).
+    pub fn swap_join_tables(&mut self, table_size: u32) {
+        use std::sync::Arc;
+        use streamkit::ops::{JoinOp, StaticTable};
+        let (src_table, dst_table) = telemetry::queries::t2t_tables(table_size, 40, &[1]);
+        for i in 0..self.source_count() {
+            let engine = self.source_mut(i);
+            let mut join_seen = 0;
+            for stage in 0..engine.plan_ops() {
+                if let Some(join) = engine
+                    .op_mut(stage)
+                    .as_any_mut()
+                    .and_then(|a| a.downcast_mut::<JoinOp>())
+                {
+                    let table: &Arc<StaticTable> = if join_seen == 0 {
+                        &src_table
+                    } else {
+                        &dst_table
+                    };
+                    join.set_table(table.clone());
+                    join_seen += 1;
+                }
+            }
+        }
+    }
+
+    /// End-of-run flush for exactness fingerprinting: delivers everything
+    /// still on the wire, ships residual source state and queued records to
+    /// the SP, and closes all remaining windows there.
+    pub fn finalize_results(&mut self) {
+        let now = self.clock.now_secs();
+        // Deliver the whole network backlog.
+        for (flow, d) in self.net.transmit(now, 1e9) {
+            let arrival = d.completed_at.max(d.enqueued_at);
+            self.sp.deliver(flow, d.payload, arrival);
+        }
+        // Residual source-side state and queues.
+        for i in 0..self.sources.len() {
+            if self.failed[i] {
+                continue;
+            }
+            let (records, deltas) = self.sources[i].drain_residual();
+            for (stage, recs) in records {
+                self.sp.deliver(
+                    i,
+                    NetPayload::Records {
+                        stage,
+                        records: recs,
+                    },
+                    now,
+                );
+            }
+            for (stage, delta) in deltas {
+                self.sp
+                    .deliver(i, NetPayload::StateDelta { stage, delta }, now);
+            }
+        }
+        self.sp.finalize();
     }
 
     /// Aggregate on-time throughput across sources, paper-Mbps.

@@ -1,7 +1,7 @@
 //! Run metrics: throughput, latency, network accounting.
 
-use simnet::LatencyStats;
 use serde::{Deserialize, Serialize};
+use simnet::LatencyStats;
 
 use crate::proxy::QueryState;
 use crate::runtime::TraceState;

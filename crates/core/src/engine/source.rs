@@ -248,14 +248,20 @@ impl SourceEngine {
 
         // Epoch boundary: classify proxies, drive the runtime.
         let node_idle_frac = 1.0 - self.node.epoch_utilisation();
-        let states: Vec<ProxyState> =
-            self.stages.iter().map(|s| s.proxy.classify(node_idle_frac)).collect();
+        let states: Vec<ProxyState> = self
+            .stages
+            .iter()
+            .map(|s| s.proxy.classify(node_idle_frac))
+            .collect();
         let mut qstate = classify_query(&states);
         // An idle query whose load factors are already all 1 has nothing left
         // to pull local: treat as stable so the runtime does not churn
         // through pointless Profile/Adapt cycles.
         if qstate == QueryState::Idle
-            && self.stages.iter().all(|s| s.proxy.load_factor() >= 1.0 - 1e-12)
+            && self
+                .stages
+                .iter()
+                .all(|s| s.proxy.load_factor() >= 1.0 - 1e-12)
         {
             qstate = QueryState::Stable;
         }
@@ -275,12 +281,7 @@ impl SourceEngine {
 
     /// Routes a record at stage `i`'s proxy: forward to its queue or emit a
     /// drain destined for SP stage `i`.
-    fn route_at(
-        stages: &mut [Stage],
-        drains: &mut [Vec<Record>],
-        i: usize,
-        rec: Record,
-    ) {
+    fn route_at(stages: &mut [Stage], drains: &mut [Vec<Record>], i: usize, rec: Record) {
         match stages[i].proxy.route() {
             Route::Forward => stages[i].queue.push_back(rec),
             Route::Drain => drains[i].push(rec),
@@ -373,15 +374,15 @@ impl SourceEngine {
         // Leftovers: shed (data-level) or keep/cap (operator-level).
         match self.overflow {
             OverflowMode::Drain => {
-                for i in 0..m {
-                    let n = self.stages[i].queue.len() as u64;
+                for (stage, drain) in self.stages[..m].iter_mut().zip(drains.iter_mut()) {
+                    let n = stage.queue.len() as u64;
                     if n > 0 {
-                        self.stages[i].proxy.note_overflow(n);
-                        drains[i].extend(self.stages[i].queue.drain(..));
-                        self.stages[i].proxy.note_starved(false);
+                        stage.proxy.note_overflow(n);
+                        drain.extend(stage.queue.drain(..));
+                        stage.proxy.note_starved(false);
                     } else {
                         // Queue emptied before the epoch ran out of budget.
-                        self.stages[i].proxy.note_starved(true);
+                        stage.proxy.note_starved(true);
                     }
                 }
                 self.recount_queue();
@@ -422,7 +423,7 @@ impl SourceEngine {
         }
         // Subsample latency 1-in-64 to keep per-epoch overhead flat.
         self.completion_counter = self.completion_counter.wrapping_add(1);
-        if self.completion_counter % 64 == 0 {
+        if self.completion_counter.is_multiple_of(64) {
             metrics.latency_samples.push(latency);
         }
     }
@@ -452,12 +453,18 @@ impl SourceEngine {
             let n_chunks = records.len().div_ceil(Self::DRAIN_CHUNK_RECORDS);
             let mut iter = records.into_iter();
             for c in 0..n_chunks {
-                let chunk: Vec<Record> =
-                    iter.by_ref().take(Self::DRAIN_CHUNK_RECORDS).collect();
+                let chunk: Vec<Record> = iter.by_ref().take(Self::DRAIN_CHUNK_RECORDS).collect();
                 let bytes: usize = chunk.iter().map(|r| r.wire_size(&schema)).sum();
                 metrics.net_bytes += bytes as u64;
                 let offset = (c as f64 + 0.5) / n_chunks as f64 * self.cfg.epoch_secs;
-                payloads.push((NetPayload::Records { stage, records: chunk }, bytes, offset));
+                payloads.push((
+                    NetPayload::Records {
+                        stage,
+                        records: chunk,
+                    },
+                    bytes,
+                    offset,
+                ));
             }
         }
     }
@@ -488,6 +495,7 @@ impl SourceEngine {
     /// much data as a per-operator budget slice allows, measuring per-record
     /// cost, relay ratios and the available budget. Unprocessed records are
     /// drained losslessly.
+    #[allow(clippy::needless_range_loop)] // `i` indexes stages, schemas, and drains alike
     fn run_profile_epoch(
         &mut self,
         input: Vec<Record>,
@@ -498,7 +506,11 @@ impl SourceEngine {
         let m = self.source_ops;
         let records_per_epoch = input.len() as f64;
         self.node.charge_upto(PROFILE_COST_US);
-        let slice = if m > 0 { self.node.remaining_us() / m as f64 } else { 0.0 };
+        let slice = if m > 0 {
+            self.node.remaining_us() / m as f64
+        } else {
+            0.0
+        };
 
         let mut cost_us = Vec::with_capacity(m);
         let mut relay_bytes = Vec::with_capacity(m);
@@ -509,7 +521,7 @@ impl SourceEngine {
         for i in 0..m {
             // Any backlog from previous epochs joins the sample.
             let mut pending: Vec<Record> = self.stages[i].queue.drain(..).collect();
-            pending.extend(batch.drain(..));
+            pending.append(&mut batch);
             let in_schema = self.schemas[i].clone();
             let mut used = 0.0f64;
             let mut processed = 0usize;
@@ -568,7 +580,7 @@ impl SourceEngine {
             drains[i].extend(leftovers);
             batch = out;
         }
-        drains[m].extend(batch.drain(..));
+        drains[m].append(&mut batch);
         self.recount_queue();
         self.flush_drains(drains, metrics, payloads);
 
@@ -579,6 +591,33 @@ impl SourceEngine {
             records_per_epoch,
             budget_us: self.node.granted_us(),
         }
+    }
+
+    /// Drains everything still held on the source — queued records per stage
+    /// and unshipped partial state — for an end-of-run flush to the stream
+    /// processor (exactness fingerprinting).
+    #[allow(clippy::type_complexity)]
+    pub fn drain_residual(
+        &mut self,
+    ) -> (
+        Vec<(usize, Vec<Record>)>,
+        Vec<(usize, streamkit::ops::StatePartial)>,
+    ) {
+        let mut records = Vec::new();
+        let mut deltas = Vec::new();
+        for (stage, s) in self.stages.iter_mut().enumerate() {
+            let queued: Vec<Record> = s.queue.drain(..).collect();
+            if !queued.is_empty() {
+                records.push((stage, queued));
+            }
+            if s.op.is_stateful() {
+                if let Some(delta) = s.op.take_state_delta() {
+                    deltas.push((stage, delta));
+                }
+            }
+        }
+        self.queued_records = 0;
+        (records, deltas)
     }
 
     /// Whether the runtime is mid-adaptation (Profile or Adapt phase).
@@ -612,7 +651,10 @@ mod tests {
     }
 
     fn epoch_input(e: i64, scale: f64) -> Vec<Record> {
-        let mut gen = PingmeshGenerator::new(PingmeshConfig { scale, ..Default::default() });
+        let mut gen = PingmeshGenerator::new(PingmeshConfig {
+            scale,
+            ..Default::default()
+        });
         // Fast-forward the generator deterministically to epoch e.
         let mut out = Vec::new();
         for i in 0..=e {
@@ -639,7 +681,10 @@ mod tests {
         let n = input.len() as u64;
         let result = eng.run_epoch(input, 0);
         assert_eq!(result.metrics.drained_records, n);
-        assert_eq!(result.metrics.on_time_bytes, 0.0, "completions happen at the SP");
+        assert_eq!(
+            result.metrics.on_time_bytes, 0.0,
+            "completions happen at the SP"
+        );
     }
 
     #[test]
@@ -655,9 +700,9 @@ mod tests {
         assert!(result.metrics.drained_records > 0);
         // Conservation: local completions + drained == arrived (queues are
         // empty in drain mode). Completions are in input-equivalent bytes.
-        let completed =
-            ((result.metrics.on_time_bytes + result.metrics.late_bytes) / eng.avg_input_bytes())
-                .round() as u64;
+        let completed = ((result.metrics.on_time_bytes + result.metrics.late_bytes)
+            / eng.avg_input_bytes())
+        .round() as u64;
         assert_eq!(completed + result.metrics.drained_records, n);
     }
 

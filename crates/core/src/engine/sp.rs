@@ -23,12 +23,22 @@ use crate::calibration;
 use crate::engine::NetPayload;
 use crate::planner::PlannedQuery;
 
-/// A queued item: the record, its network-arrival time, and whether it
-/// belongs to the result domain.
+/// Which domain a queued record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemKind {
+    /// A drained source record still being processed (input domain).
+    Input,
+    /// A row emitted by a window close (query result).
+    WindowResult,
+    /// A per-epoch dashboard delta (result domain, never fingerprinted).
+    DeltaResult,
+}
+
+/// A queued item: the record, its network-arrival time, and its domain.
 struct Item {
     rec: Record,
     arrived: f64,
-    is_result: bool,
+    kind: ItemKind,
 }
 
 /// Per-source replica pipeline.
@@ -60,6 +70,9 @@ pub struct SpEngine {
     epoch_secs: f64,
     results_emitted: u64,
     lateness_secs: f64,
+    /// Retained result rows (window closes and stateless-tail completions),
+    /// when result collection is enabled for exactness fingerprinting.
+    collected: Option<Vec<Record>>,
 }
 
 impl SpEngine {
@@ -84,12 +97,29 @@ impl SpEngine {
             epoch_secs,
             results_emitted: 0,
             lateness_secs: calibration::LATENCY_BOUND_SECS,
+            collected: None,
         }
     }
 
     /// Total result rows emitted so far.
     pub fn results_emitted(&self) -> u64 {
         self.results_emitted
+    }
+
+    /// Enables retention of result rows for exactness fingerprinting.
+    pub fn set_collect_results(&mut self, on: bool) {
+        self.collected = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Retained result rows, when collection is enabled.
+    pub fn collected_results(&self) -> Option<&[Record]> {
+        self.collected.as_deref()
+    }
+
+    fn collect(collected: &mut Option<Vec<Record>>, rec: &Record) {
+        if let Some(rows) = collected {
+            rows.push(rec.clone());
+        }
     }
 
     /// The SP node (budget inspection).
@@ -116,7 +146,7 @@ impl SpEngine {
                     replica.queues[stage].push_back(Item {
                         rec,
                         arrived: arrival_secs,
-                        is_result: false,
+                        kind: ItemKind::Input,
                     });
                 }
             }
@@ -160,15 +190,19 @@ impl SpEngine {
                             .max(item.arrived);
                         if out_buf.is_empty() {
                             // Terminal: filtered out or absorbed into state.
-                            if !item.is_result {
-                                completions.push(SpCompletion { source, ts, completed_s });
+                            if item.kind == ItemKind::Input {
+                                completions.push(SpCompletion {
+                                    source,
+                                    ts,
+                                    completed_s,
+                                });
                             }
                         } else {
                             for out in out_buf.drain(..) {
                                 replica.queues[stage + 1].push_back(Item {
                                     rec: out,
                                     arrived: completed_s,
-                                    is_result: item.is_result,
+                                    kind: item.kind,
                                 });
                             }
                         }
@@ -180,17 +214,23 @@ impl SpEngine {
                 // Records that traversed the whole chain.
                 let tail = replica.stages.len();
                 while let Some(item) = replica.queues[tail].pop_front() {
-                    if item.is_result {
-                        self.results_emitted += 1;
-                    } else {
-                        // A stateless-tail input record: completing the chain
-                        // is both its completion and a query result.
-                        completions.push(SpCompletion {
-                            source,
-                            ts: item.rec.ts,
-                            completed_s: item.arrived.max(epoch_start_s),
-                        });
-                        self.results_emitted += 1;
+                    match item.kind {
+                        ItemKind::WindowResult => {
+                            Self::collect(&mut self.collected, &item.rec);
+                            self.results_emitted += 1;
+                        }
+                        ItemKind::DeltaResult => self.results_emitted += 1,
+                        ItemKind::Input => {
+                            // A stateless-tail input record: completing the
+                            // chain is both its completion and a query result.
+                            completions.push(SpCompletion {
+                                source,
+                                ts: item.rec.ts,
+                                completed_s: item.arrived.max(epoch_start_s),
+                            });
+                            Self::collect(&mut self.collected, &item.rec);
+                            self.results_emitted += 1;
+                        }
                     }
                     progressed = true;
                 }
@@ -208,18 +248,32 @@ impl SpEngine {
         for replica in &mut self.replicas {
             let n_stages = replica.stages.len();
             for stage in 0..n_stages {
+                let arrived = epoch_start_s + self.epoch_secs;
                 wm_out.clear();
                 replica.stages[stage].on_watermark(wm, &mut wm_out);
+                for out in wm_out.drain(..) {
+                    if stage + 1 < n_stages {
+                        replica.queues[stage + 1].push_back(Item {
+                            rec: out,
+                            arrived,
+                            kind: ItemKind::WindowResult,
+                        });
+                    } else {
+                        // Final-stage emissions are query results.
+                        Self::collect(&mut self.collected, &out);
+                        self.results_emitted += 1;
+                    }
+                }
+                wm_out.clear();
                 replica.stages[stage].on_epoch(&mut wm_out);
                 for out in wm_out.drain(..) {
                     if stage + 1 < n_stages {
                         replica.queues[stage + 1].push_back(Item {
                             rec: out,
-                            arrived: epoch_start_s + self.epoch_secs,
-                            is_result: true,
+                            arrived,
+                            kind: ItemKind::DeltaResult,
                         });
                     } else {
-                        // Final-stage emissions are query results.
                         self.results_emitted += 1;
                     }
                 }
@@ -227,5 +281,44 @@ impl SpEngine {
         }
 
         completions
+    }
+
+    /// End-of-run flush: processes every queued record (no budget limit) and
+    /// closes all remaining windows, so retained results cover the whole
+    /// stream. Used for exactness fingerprinting; per-epoch throughput
+    /// accounting is unaffected (the measurement window has already ended).
+    pub fn finalize(&mut self) {
+        for replica in &mut self.replicas {
+            let n = replica.stages.len();
+            // Flush queues forward (outputs only ever move downstream).
+            for stage in 0..n {
+                let mut out_buf: Vec<Record> = Vec::new();
+                while let Some(item) = replica.queues[stage].pop_front() {
+                    out_buf.clear();
+                    replica.stages[stage].process(item.rec, &mut out_buf);
+                    for out in out_buf.drain(..) {
+                        replica.queues[stage + 1].push_back(Item {
+                            rec: out,
+                            arrived: item.arrived,
+                            kind: item.kind,
+                        });
+                    }
+                }
+            }
+            while let Some(item) = replica.queues[n].pop_front() {
+                if item.kind != ItemKind::DeltaResult {
+                    Self::collect(&mut self.collected, &item.rec);
+                }
+                self.results_emitted += 1;
+            }
+            // Close every remaining window and run the emissions through the
+            // rest of the chain inline (the flush shared by all backends).
+            for rec in
+                streamkit::physical::drain_windows(&mut replica.stages, streamkit::time::TS_MAX)
+            {
+                Self::collect(&mut self.collected, &rec);
+                self.results_emitted += 1;
+            }
+        }
     }
 }

@@ -37,6 +37,7 @@ impl TreeMonitor {
     /// Builds a tree of `blocks` building blocks, each with
     /// `sources_per_block` sources running `planned` under `strategy`.
     /// `make_generator(block, source)` supplies the workload.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         planned: &PlannedQuery,
         costs: &CostProfile,
@@ -57,8 +58,9 @@ impl TreeMonitor {
                     c
                 })
                 .collect();
-            let generators: Vec<Box<dyn EpochSource>> =
-                (0..sources_per_block).map(|i| make_generator(b, i)).collect();
+            let generators: Vec<Box<dyn EpochSource>> = (0..sources_per_block)
+                .map(|i| make_generator(b, i))
+                .collect();
             built.push(BuildingBlock::new(
                 planned,
                 costs,
@@ -105,7 +107,10 @@ impl TreeMonitor {
 
     /// Aggregate on-time throughput across every block.
     pub fn aggregate_throughput_mbps(&self) -> f64 {
-        self.blocks.iter().map(BuildingBlock::aggregate_throughput_mbps).sum()
+        self.blocks
+            .iter()
+            .map(BuildingBlock::aggregate_throughput_mbps)
+            .sum()
     }
 
     /// Advances the whole tree one epoch: blocks run independently, then
@@ -173,7 +178,11 @@ mod tests {
         // each pair sees ~2 probes per window, so delta rows are nearly as
         // frequent as inputs; the bound here is a sanity cap, not a
         // reduction claim (reduction shows at higher scales).
-        assert!(tree.root_ingress_mbps() < 21.0, "{}", tree.root_ingress_mbps());
+        assert!(
+            tree.root_ingress_mbps() < 21.0,
+            "{}",
+            tree.root_ingress_mbps()
+        );
         // Both blocks keep their sources on-time at this ample budget.
         let tput = tree.aggregate_throughput_mbps();
         assert!(tput > 0.9 * 4.0 * 2.62, "aggregate {tput}");

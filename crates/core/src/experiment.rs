@@ -5,17 +5,12 @@
 //! produces a [`ScenarioReport`]. The sweep functions below are the engines
 //! behind the `repro` binary's figure subcommands.
 
-use std::sync::Arc;
-
 use streamkit::logical::LogicalPlan;
-use streamkit::ops::{JoinOp, StaticTable};
 use streamkit::physical::CostProfile;
 
 use crate::calibration::{self, Scale, MBPS};
-use crate::engine::block::{
-    BuildingBlock, BuildingBlockConfig, EpochSource, NetworkModel,
-};
-use crate::engine::source::SourceConfig;
+use crate::deploy::{BackendKind, Deployment, RunReport};
+use crate::engine::block::{BuildingBlock, EpochSource, NetworkModel};
 use crate::planner::{plan_query, PlannedQuery, RuleConfig};
 use crate::runtime::EpochTrace;
 use crate::strategy::StrategyKind;
@@ -59,7 +54,11 @@ pub struct ScenarioSpec {
 impl ScenarioSpec {
     /// S2SProbe at the given scale.
     pub fn pingmesh_s2s(scale: Scale) -> ScenarioSpec {
-        ScenarioSpec { workload: Workload::PingmeshS2S { scale }, rate_skew: false, seed: 17 }
+        ScenarioSpec {
+            workload: Workload::PingmeshS2S { scale },
+            rate_skew: false,
+            seed: 17,
+        }
     }
 
     /// T2TProbe at the given scale and table size.
@@ -73,7 +72,11 @@ impl ScenarioSpec {
 
     /// LogAnalytics at the given scale.
     pub fn log_analytics(scale: Scale) -> ScenarioSpec {
-        ScenarioSpec { workload: Workload::LogAnalytics { scale }, rate_skew: false, seed: 17 }
+        ScenarioSpec {
+            workload: Workload::LogAnalytics { scale },
+            rate_skew: false,
+            seed: 17,
+        }
     }
 
     /// Workload name.
@@ -113,7 +116,11 @@ impl ScenarioSpec {
 
     /// A generator for source `i` of `n`.
     pub fn generator(&self, i: u32, n: u32) -> Box<dyn EpochSource> {
-        let rate_factor = if self.rate_skew { rate_skew_factor(i, n) } else { 1.0 };
+        let rate_factor = if self.rate_skew {
+            rate_skew_factor(i, n)
+        } else {
+            1.0
+        };
         match &self.workload {
             Workload::PingmeshS2S { scale } => Box::new(PingmeshGenerator::new(PingmeshConfig {
                 src_ip: i + 1,
@@ -144,16 +151,32 @@ impl ScenarioSpec {
     pub fn input_mbps(&self) -> f64 {
         match &self.workload {
             Workload::PingmeshS2S { scale } | Workload::PingmeshT2T { scale, .. } => {
-                PingmeshConfig { scale: scale.factor(), ..Default::default() }.bits_per_sec() / MBPS
+                PingmeshConfig {
+                    scale: scale.factor(),
+                    ..Default::default()
+                }
+                .bits_per_sec()
+                    / MBPS
             }
             Workload::LogAnalytics { scale } => {
-                LogConfig { scale: scale.factor(), ..Default::default() }.bits_per_sec() / MBPS
+                LogConfig {
+                    scale: scale.factor(),
+                    ..Default::default()
+                }
+                .bits_per_sec()
+                    / MBPS
             }
         }
     }
 }
 
 /// A configured, runnable scenario.
+///
+/// Deprecated front door: new code goes through
+/// [`Deployment::builder`](crate::deploy::Deployment::builder) with
+/// [`BackendKind::Emulated`](crate::deploy::BackendKind::Emulated), which
+/// runs the same building block behind the unified [`ExecBackend`]
+/// interface. `Scenario` remains as a thin shim over that path.
 pub struct Scenario {
     /// The underlying building block.
     pub block: BuildingBlock,
@@ -168,18 +191,29 @@ pub const DEFAULT_WARMUP_EPOCHS: u64 = 20;
 impl Scenario {
     /// One source, one SP, dedicated per-source bandwidth (the Fig. 7
     /// setting).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use jarvis_core::deploy::Deployment::builder() with BackendKind::Emulated"
+    )]
     pub fn single_source(spec: ScenarioSpec, strategy: StrategyKind, cpu_budget: f64) -> Scenario {
+        #[allow(deprecated)]
         Scenario::multi_source(
             spec,
             strategy,
             cpu_budget,
             1,
-            NetworkModel::PerSource { bps: calibration::per_query_per_node_bps() },
+            NetworkModel::PerSource {
+                bps: calibration::per_query_per_node_bps(),
+            },
         )
     }
 
     /// N sources sharing the SP (the Fig. 10 setting when `network` is
     /// [`NetworkModel::Shared`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use jarvis_core::deploy::Deployment::builder() with BackendKind::Emulated"
+    )]
     pub fn multi_source(
         spec: ScenarioSpec,
         strategy: StrategyKind,
@@ -187,26 +221,21 @@ impl Scenario {
         n_sources: u32,
         network: NetworkModel,
     ) -> Scenario {
-        let planned = spec.plan();
-        let costs = spec.costs();
-        let cfgs: Vec<SourceConfig> = (0..n_sources)
-            .map(|i| {
-                let mut c = SourceConfig::new(i + 1, cpu_budget, strategy);
-                c.seed = spec.seed.wrapping_add(u64::from(i));
-                c
-            })
-            .collect();
-        let generators: Vec<Box<dyn EpochSource>> =
-            (0..n_sources).map(|i| spec.generator(i, n_sources)).collect();
-        let block = BuildingBlock::new(
-            &planned,
-            &costs,
-            cfgs,
-            generators,
-            BuildingBlockConfig { network, ..Default::default() },
-            DEFAULT_WARMUP_EPOCHS,
-        );
-        Scenario { block, spec, warmup: DEFAULT_WARMUP_EPOCHS }
+        let deploy_spec = crate::deploy::Deployment::builder()
+            .workload(spec.clone())
+            .strategy(strategy)
+            .cpu_budget(cpu_budget)
+            .sources(n_sources)
+            .network(network)
+            .seed(spec.seed)
+            .spec()
+            .expect("paper scenarios build valid deployments");
+        let (_, block) = crate::deploy::build_block(&deploy_spec).expect("paper scenarios deploy");
+        Scenario {
+            block,
+            spec,
+            warmup: DEFAULT_WARMUP_EPOCHS,
+        }
     }
 
     /// The spec.
@@ -229,23 +258,7 @@ impl Scenario {
     /// Swaps the static table of every join operator on every source (the
     /// Fig. 8b 10× table growth).
     pub fn swap_join_tables(&mut self, table_size: u32) {
-        let (src_table, dst_table) = telemetry::queries::t2t_tables(table_size, 40, &[1]);
-        for i in 0..self.block.source_count() {
-            let engine = self.block.source_mut(i);
-            let mut join_seen = 0;
-            for stage in 0..engine.plan_ops() {
-                if let Some(any) = engine
-                    .op_mut(stage)
-                    .as_any_mut()
-                    .and_then(|a| a.downcast_mut::<JoinOp>().map(|j| j as &mut JoinOp))
-                {
-                    let table: &Arc<StaticTable> =
-                        if join_seen == 0 { &src_table } else { &dst_table };
-                    any.set_table(table.clone());
-                    join_seen += 1;
-                }
-            }
-        }
+        self.block.swap_join_tables(table_size);
     }
 
     /// Runs `n` epochs and reports.
@@ -305,6 +318,23 @@ pub struct ScenarioReport {
     pub overhead_core_frac: f64,
 }
 
+impl ScenarioReport {
+    /// Projects the legacy report shape out of a unified [`RunReport`].
+    pub fn from_run(r: &RunReport) -> ScenarioReport {
+        ScenarioReport {
+            throughput_mbps: r.throughput_mbps,
+            network_mbps: r.network_mbps,
+            input_mbps: r.input_mbps,
+            latency_median_s: r.latency_median_s,
+            latency_max_s: r.latency_max_s,
+            trace: r.trace.clone(),
+            episodes: r.episodes.clone(),
+            load_factors: r.load_factors.clone(),
+            overhead_core_frac: r.overhead_core_frac,
+        }
+    }
+}
+
 /// One row of a Fig. 7 panel: throughput per strategy at one CPU budget.
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
@@ -327,12 +357,23 @@ pub fn throughput_sweep(
             let results = strategies
                 .iter()
                 .map(|&s| {
-                    let mut scenario = Scenario::single_source(spec.clone(), s, cpu);
-                    let report = scenario.run_epochs(epochs);
+                    let report = Deployment::builder()
+                        .workload(spec.clone())
+                        .strategy(s)
+                        .cpu_budget(cpu)
+                        .seed(spec.seed)
+                        .backend(BackendKind::Emulated)
+                        .build()
+                        .expect("paper scenarios build valid deployments")
+                        .run(epochs)
+                        .expect("emulated runs are infallible");
                     (s, report.throughput_mbps)
                 })
                 .collect();
-            ThroughputRow { cpu_budget: cpu, results }
+            ThroughputRow {
+                cpu_budget: cpu,
+                results,
+            }
         })
         .collect()
 }
@@ -357,20 +398,18 @@ pub fn convergence_run(
     initial_cpu: f64,
     events: &[ResourceEvent],
     total_epochs: u64,
-) -> ScenarioReport {
-    let mut scenario = Scenario::single_source(spec.clone(), strategy, initial_cpu);
-    for epoch in 0..total_epochs {
-        for ev in events.iter().filter(|e| e.epoch == epoch) {
-            if let Some(cpu) = ev.cpu_budget {
-                scenario.set_cpu_budget(cpu);
-            }
-            if let Some(size) = ev.table_size {
-                scenario.swap_join_tables(size);
-            }
-        }
-        scenario.block.run_epoch();
-    }
-    scenario.report()
+) -> RunReport {
+    Deployment::builder()
+        .workload(spec.clone())
+        .strategy(strategy)
+        .cpu_budget(initial_cpu)
+        .seed(spec.seed)
+        .events(events)
+        .backend(BackendKind::Emulated)
+        .build()
+        .expect("paper scenarios build valid deployments")
+        .run(total_epochs)
+        .expect("emulated runs are infallible")
 }
 
 /// One point of a Fig. 10 panel.
@@ -399,14 +438,20 @@ pub fn scale_sweep(
     source_counts
         .iter()
         .map(|&n| {
-            let mut scenario = Scenario::multi_source(
-                spec.clone(),
-                strategy,
-                cpu_budget,
-                n,
-                NetworkModel::Shared { total_bps: calibration::per_query_shared_bps() },
-            );
-            let report = scenario.run_epochs(epochs);
+            let report = Deployment::builder()
+                .workload(spec.clone())
+                .strategy(strategy)
+                .cpu_budget(cpu_budget)
+                .sources(n)
+                .seed(spec.seed)
+                .network(NetworkModel::Shared {
+                    total_bps: calibration::per_query_shared_bps(),
+                })
+                .backend(BackendKind::Emulated)
+                .build()
+                .expect("paper scenarios build valid deployments")
+                .run(epochs)
+                .expect("emulated runs are infallible");
             ScalePoint {
                 sources: n,
                 throughput_mbps: report.throughput_mbps,
@@ -422,11 +467,25 @@ pub fn scale_sweep(
 mod tests {
     use super::*;
 
+    fn run(spec: ScenarioSpec, strategy: StrategyKind, cpu: f64, epochs: u64) -> RunReport {
+        Deployment::builder()
+            .workload(spec)
+            .strategy(strategy)
+            .cpu_budget(cpu)
+            .build()
+            .unwrap()
+            .run(epochs)
+            .unwrap()
+    }
+
     #[test]
     fn single_source_jarvis_reaches_full_throughput_at_high_budget() {
-        let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-        let mut s = Scenario::single_source(spec, StrategyKind::Jarvis, 1.0);
-        let report = s.run_epochs(60);
+        let report = run(
+            ScenarioSpec::pingmesh_s2s(Scale::X10),
+            StrategyKind::Jarvis,
+            1.0,
+            60,
+        );
         // 26.2 Mbps input; with a full core the query fits locally.
         assert!(
             report.throughput_mbps > 0.9 * report.input_mbps,
@@ -438,28 +497,45 @@ mod tests {
 
     #[test]
     fn all_sp_is_network_bound() {
-        let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-        let mut s = Scenario::single_source(spec, StrategyKind::AllSp, 1.0);
-        let report = s.run_epochs(60);
+        let report = run(
+            ScenarioSpec::pingmesh_s2s(Scale::X10),
+            StrategyKind::AllSp,
+            1.0,
+            60,
+        );
         // 26.2 Mbps input over a 20.48 Mbps uplink: throughput ≈ the link.
         assert!(
             report.throughput_mbps < 22.0,
             "All-SP must cap near 20.48, got {}",
             report.throughput_mbps
         );
-        assert!(report.throughput_mbps > 15.0, "got {}", report.throughput_mbps);
+        assert!(
+            report.throughput_mbps > 15.0,
+            "got {}",
+            report.throughput_mbps
+        );
     }
 
     #[test]
     fn jarvis_beats_all_src_under_constrained_budget() {
         let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-        let mut j = Scenario::single_source(spec.clone(), StrategyKind::Jarvis, 0.6);
-        let jarvis = j.run_epochs(80).throughput_mbps;
-        let mut a = Scenario::single_source(spec, StrategyKind::AllSrc, 0.6);
-        let allsrc = a.run_epochs(80).throughput_mbps;
+        let jarvis = run(spec.clone(), StrategyKind::Jarvis, 0.6, 80).throughput_mbps;
+        let allsrc = run(spec, StrategyKind::AllSrc, 0.6, 80).throughput_mbps;
         assert!(
             jarvis > 1.5 * allsrc,
             "Jarvis {jarvis:.1} must clearly beat All-Src {allsrc:.1} at 60% CPU"
         );
+    }
+
+    #[test]
+    fn deprecated_scenario_shim_still_runs() {
+        #[allow(deprecated)]
+        let mut s = Scenario::single_source(
+            ScenarioSpec::pingmesh_s2s(Scale::X1),
+            StrategyKind::Jarvis,
+            0.6,
+        );
+        let report = s.run_epochs(25);
+        assert!(report.throughput_mbps > 0.0);
     }
 }

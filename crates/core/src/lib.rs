@@ -29,6 +29,7 @@
 pub mod calibration;
 pub mod checkpoint;
 pub mod convergence_sim;
+pub mod deploy;
 pub mod engine;
 pub mod experiment;
 pub mod live;
@@ -40,6 +41,10 @@ pub mod runtime;
 pub mod stepwise;
 pub mod strategy;
 
+pub use deploy::{
+    BackendKind, DeployError, Deployment, DeploymentBuilder, DeploymentSpec, ExecBackend,
+    RunReport, SourceAdapter,
+};
 pub use proxy::{ControlProxy, ProxyState, QueryState};
 pub use runtime::{JarvisRuntime, Phase, RuntimeConfig};
 pub use stepwise::{PriorityRule, StepWiseAdapt, StepWiseConfig};

@@ -11,6 +11,10 @@
 //! results equal an unpartitioned run — under real interleavings, and (b)
 //! host the `Runner` quickstart API from Listing 1.
 
+pub mod session;
+
+pub use session::{LiveOutcome, LiveSession};
+
 use std::thread;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -28,7 +32,10 @@ enum LiveMsg {
     /// Records drained in front of source-side operator `stage`.
     Drained { stage: usize, records: Vec<Record> },
     /// Partial state from the source-side stateful operator at `stage`.
-    State { stage: usize, delta: streamkit::ops::StatePartial },
+    State {
+        stage: usize,
+        delta: streamkit::ops::StatePartial,
+    },
     /// Source finished; final event-time watermark.
     Eof { watermark: Ts },
 }
@@ -77,11 +84,13 @@ pub fn run_partitioned(
             let tx = tx.clone();
             let lf = load_factors.to_vec();
             scope.spawn(move || {
-                let mut ops = build_pipeline(&planned.plan, costs, AggRole::Partial)
-                    .expect("validated plan");
+                let mut ops =
+                    build_pipeline(&planned.plan, costs, AggRole::Partial).expect("validated plan");
                 ops.truncate(m);
-                let mut proxies: Vec<ControlProxy> =
-                    lf.iter().map(|&p| ControlProxy::new(p, 0.05, 0.25)).collect();
+                let mut proxies: Vec<ControlProxy> = lf
+                    .iter()
+                    .map(|&p| ControlProxy::new(p, 0.05, 0.25))
+                    .collect();
                 let mut batch = part;
                 let mut drains: Vec<Vec<Record>> = vec![Vec::new(); m + 1];
                 for i in 0..m {
@@ -97,13 +106,21 @@ pub fn run_partitioned(
                     // backpressure.
                     if drains[i].len() >= 128 {
                         let chunk = std::mem::take(&mut drains[i]);
-                        tx.send(LiveMsg::Drained { stage: i, records: chunk }).unwrap();
+                        tx.send(LiveMsg::Drained {
+                            stage: i,
+                            records: chunk,
+                        })
+                        .unwrap();
                     }
                 }
                 drains[m].extend(batch);
                 for (stage, chunk) in drains.into_iter().enumerate() {
                     if !chunk.is_empty() {
-                        tx.send(LiveMsg::Drained { stage, records: chunk }).unwrap();
+                        tx.send(LiveMsg::Drained {
+                            stage,
+                            records: chunk,
+                        })
+                        .unwrap();
                     }
                 }
                 for (stage, op) in ops.iter_mut().enumerate() {
@@ -132,10 +149,10 @@ pub fn run_partitioned(
                     LiveMsg::Drained { stage, records } => {
                         *drained += records.len();
                         let mut batch = records;
-                        for i in stage..n {
+                        for op in stages.iter_mut().take(n).skip(stage) {
                             let mut next = Vec::new();
                             for rec in batch.drain(..) {
-                                stages[i].process(rec, &mut next);
+                                op.process(rec, &mut next);
                             }
                             batch = next;
                         }
@@ -152,23 +169,8 @@ pub fn run_partitioned(
                 }
             }
             let _ = eofs;
-            // All sources done: close windows.
-            let mut wm_out = Vec::new();
-            for i in 0..n {
-                let mut emitted = Vec::new();
-                stages[i].on_watermark(final_wm, &mut emitted);
-                // Route emissions through the rest of the chain.
-                let mut batch = emitted;
-                for j in i + 1..n {
-                    let mut next = Vec::new();
-                    for rec in batch.drain(..) {
-                        stages[j].process(rec, &mut next);
-                    }
-                    batch = next;
-                }
-                wm_out.extend(batch);
-            }
-            collected.extend(wm_out);
+            // All sources done: close windows (the shared backend flush).
+            collected.extend(streamkit::physical::drain_windows(&mut stages, final_wm));
             results.lock().extend(collected);
         });
     });
@@ -203,8 +205,7 @@ mod tests {
 
     #[test]
     fn partitioned_results_equal_unpartitioned() {
-        let planned =
-            plan_query(telemetry::queries::s2s_probe(), &RuleConfig::default()).unwrap();
+        let planned = plan_query(telemetry::queries::s2s_probe(), &RuleConfig::default()).unwrap();
         let costs = calibration::s2s_cost_profile();
         let records = workload(12);
 
@@ -224,8 +225,7 @@ mod tests {
 
     #[test]
     fn all_local_ships_only_state() {
-        let planned =
-            plan_query(telemetry::queries::s2s_probe(), &RuleConfig::default()).unwrap();
+        let planned = plan_query(telemetry::queries::s2s_probe(), &RuleConfig::default()).unwrap();
         let costs = calibration::s2s_cost_profile();
         let report = run_partitioned(&planned, &costs, workload(4), &[1.0, 1.0, 1.0], 1);
         assert_eq!(report.drained_records, 0);

@@ -1,0 +1,641 @@
+//! An epoch-driven live session: threaded execution under runtime control.
+//!
+//! [`run_partitioned`](crate::live::run_partitioned) runs one batch under
+//! *fixed* load factors. [`LiveSession`] lifts that limitation: it keeps one
+//! worker thread per data source and a stream-processor thread alive across
+//! epochs, and at every epoch boundary drives each source's
+//! [`JarvisRuntime`] state machine (Startup → Probe → Profile → Adapt)
+//! exactly like the emulated engine does — so adaptive strategies converge
+//! over a *really concurrent* execution while partitioned results stay
+//! exact.
+//!
+//! Worker threads execute operators for real (state, joins, sketches); the
+//! CPU *budget* is counterfactual, charged from the calibrated cost model:
+//! an epoch whose modelled usage oversubscribes the budget classifies as
+//! congested, one that undersubscribes with load factors left to raise
+//! classifies as idle (the same rules as the §VI-C simulator). Profile
+//! epochs measure per-operator costs and relay ratios on a scratch pipeline
+//! fed with the epoch's records — reproducing the paper's
+//! profile-on-a-sample bias — without disturbing live operator state.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use streamkit::ops::{AggRole, Operator, StatePartial};
+use streamkit::physical::build_pipeline;
+use streamkit::record::Record;
+use streamkit::schema::SchemaRef;
+
+use crate::calibration;
+use crate::deploy::{DeployError, DeploymentSpec};
+use crate::engine::block::EpochSource;
+use crate::planner::PlannedQuery;
+use crate::proxy::{ControlProxy, QueryState, Route};
+use crate::runtime::JarvisRuntime;
+use crate::stepwise::ProfileEstimates;
+
+/// Messages from source workers to the SP worker.
+enum Msg {
+    /// Records drained in front of source-side operator `stage`.
+    Drained {
+        /// Originating data source.
+        source: usize,
+        /// Entry stage on the SP replica.
+        stage: usize,
+        /// The records.
+        records: Vec<Record>,
+    },
+    /// Partial state from the source-side stateful operator at `stage`.
+    State {
+        /// Originating data source.
+        source: usize,
+        /// Stage to merge into.
+        stage: usize,
+        /// The state increment.
+        delta: StatePartial,
+    },
+}
+
+/// One data source: its local operator prefix, proxies, generator, runtime.
+struct Worker {
+    ops: Vec<Box<dyn Operator>>,
+    proxies: Vec<ControlProxy>,
+    generator: Box<dyn EpochSource>,
+    runtime: JarvisRuntime,
+    budget_us: f64,
+    run_profile: bool,
+    // Per-epoch measurements (reset each epoch).
+    usage_us: f64,
+    input_records: u64,
+    input_bytes: u64,
+    drained_records: u64,
+    drained_bytes: u64,
+    state_deltas: u64,
+    profile: Option<ProfileEstimates>,
+}
+
+/// Final outcome of a live session.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// Merged result rows across all sources' replicas.
+    pub results: Vec<Record>,
+    /// Records drained over the channels.
+    pub drained_records: u64,
+    /// Drained record bytes.
+    pub drained_bytes: f64,
+    /// State deltas shipped.
+    pub state_deltas: u64,
+    /// Total records generated.
+    pub input_records: u64,
+    /// Total input bytes generated.
+    pub input_bytes: f64,
+    /// Epochs executed.
+    pub epochs: u64,
+}
+
+/// A threaded deployment advanced epoch by epoch.
+pub struct LiveSession {
+    planned: PlannedQuery,
+    schemas: Vec<SchemaRef>,
+    workers: Vec<Worker>,
+    /// One Final-role replica pipeline per source (mirrors [`crate::engine::sp::SpEngine`]).
+    replicas: Vec<Vec<Box<dyn Operator>>>,
+    /// Rows that traversed a full replica chain during epochs.
+    collected: Vec<Record>,
+    costs: streamkit::physical::CostProfile,
+    /// Scheduled resource changes, applied at epoch starts.
+    events: Vec<crate::experiment::ResourceEvent>,
+    epoch: u64,
+    epoch_secs: f64,
+    input_records: u64,
+    input_bytes: u64,
+    finished: bool,
+}
+
+/// Records per channel message, to exercise backpressure.
+const CHUNK: usize = 256;
+
+impl LiveSession {
+    /// Builds a session from a validated spec.
+    pub fn new(spec: &DeploymentSpec) -> Result<LiveSession, DeployError> {
+        let planned = spec.planned.clone();
+        let costs = spec.workload.costs();
+        let schemas = planned.plan.edge_schemas()?;
+        let m = planned.source_ops;
+        let n = spec.sources;
+        let budget_us = spec.cpu_budget * calibration::EPOCH_SECS * 1e6;
+
+        let mut workers = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let mut ops = build_pipeline(&planned.plan, &costs, AggRole::Partial)?;
+            ops.truncate(m);
+            let initial = spec
+                .fixed_load_factors
+                .clone()
+                .unwrap_or_else(|| spec.strategy.initial_load_factors(&planned));
+            let proxies = initial
+                .iter()
+                .map(|&p| ControlProxy::new(p, calibration::DRAINED_THRES, calibration::IDLE_THRES))
+                .collect();
+            let runtime = JarvisRuntime::with_policy(
+                spec.strategy.runtime_config(),
+                spec.strategy.build_policy(m),
+            );
+            workers.push(Worker {
+                ops,
+                proxies,
+                generator: spec.workload.generator(i, n),
+                runtime,
+                budget_us,
+                run_profile: false,
+                usage_us: 0.0,
+                input_records: 0,
+                input_bytes: 0,
+                drained_records: 0,
+                drained_bytes: 0,
+                state_deltas: 0,
+                profile: None,
+            });
+        }
+        let replicas = (0..n)
+            .map(|_| build_pipeline(&planned.plan, &costs, AggRole::Final))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LiveSession {
+            planned,
+            schemas,
+            workers,
+            replicas,
+            collected: Vec::new(),
+            costs,
+            events: spec.events.clone(),
+            epoch: 0,
+            epoch_secs: calibration::EPOCH_SECS,
+            input_records: 0,
+            input_bytes: 0,
+            finished: false,
+        })
+    }
+
+    /// Current load factors of source `i`.
+    pub fn load_factors(&self, i: usize) -> Vec<f64> {
+        self.workers[i]
+            .proxies
+            .iter()
+            .map(ControlProxy::load_factor)
+            .collect()
+    }
+
+    /// The runtime of source `i` (trace/episode access).
+    pub fn runtime(&self, i: usize) -> &JarvisRuntime {
+        &self.workers[i].runtime
+    }
+
+    /// The planned query.
+    pub fn planned(&self) -> &PlannedQuery {
+        &self.planned
+    }
+
+    /// Total records generated so far.
+    pub fn input_records(&self) -> u64 {
+        self.input_records
+    }
+
+    /// Total input bytes generated so far.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_bytes
+    }
+
+    /// Epochs executed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Runs one epoch: generates per-source records, executes the
+    /// partitioned pipelines on real threads, then drives each source's
+    /// runtime state machine with the epoch's observations.
+    pub fn run_epoch(&mut self) {
+        assert!(!self.finished, "session already finished");
+        let now_us = (self.epoch as f64 * self.epoch_secs * 1e6) as i64;
+        let m = self.planned.source_ops;
+        self.apply_events();
+
+        // Generate deterministically on the coordinating thread.
+        let inputs: Vec<Vec<Record>> = self
+            .workers
+            .iter_mut()
+            .map(|w| w.generator.generate_epoch(now_us, 1.0))
+            .collect();
+
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(256);
+        let schemas = &self.schemas;
+        let costs = &self.costs;
+        let plan = &self.planned.plan;
+        let replicas = &mut self.replicas;
+        let collected = &mut self.collected;
+
+        std::thread::scope(|scope| {
+            for ((source, worker), input) in self.workers.iter_mut().enumerate().zip(inputs) {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    worker.begin_epoch();
+                    worker.input_records = input.len() as u64;
+                    worker.input_bytes =
+                        input.iter().map(|r| r.wire_size(&schemas[0]) as u64).sum();
+                    if worker.run_profile {
+                        worker.profile =
+                            Some(profile_on_scratch(plan, costs, m, &input, worker.budget_us));
+                        worker.run_profile = false;
+                    }
+                    worker.execute(source, m, schemas, input, &tx);
+                });
+            }
+            drop(tx);
+
+            // The SP worker: replica pipelines + state merging.
+            scope.spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Drained {
+                            source,
+                            stage,
+                            records,
+                        } => {
+                            let stages = &mut replicas[source];
+                            let n = stages.len();
+                            let mut batch = records;
+                            for op in stages.iter_mut().take(n).skip(stage) {
+                                let mut next = Vec::new();
+                                for rec in batch.drain(..) {
+                                    op.process(rec, &mut next);
+                                }
+                                batch = next;
+                            }
+                            collected.extend(batch);
+                        }
+                        Msg::State {
+                            source,
+                            stage,
+                            delta,
+                        } => {
+                            replicas[source][stage].merge_state(delta);
+                        }
+                    }
+                }
+            });
+        });
+
+        // Epoch boundary: counterfactual budget classification + runtime.
+        for worker in &mut self.workers {
+            self.input_records += worker.input_records;
+            self.input_bytes += worker.input_bytes;
+            worker.end_epoch();
+        }
+        self.epoch += 1;
+    }
+
+    /// Applies resource events scheduled for the current epoch: budget
+    /// changes update every worker's counterfactual budget; table growth
+    /// swaps the static join tables on workers and replicas alike.
+    fn apply_events(&mut self) {
+        let epoch = self.epoch;
+        let epoch_secs = self.epoch_secs;
+        for ev in self.events.clone().iter().filter(|e| e.epoch == epoch) {
+            if let Some(cpu) = ev.cpu_budget {
+                for worker in &mut self.workers {
+                    worker.budget_us = cpu * epoch_secs * 1e6;
+                }
+            }
+            if let Some(size) = ev.table_size {
+                let (src_table, dst_table) = telemetry::queries::t2t_tables(size, 40, &[1]);
+                let swap = |ops: &mut [Box<dyn Operator>]| {
+                    let mut join_seen = 0;
+                    for op in ops.iter_mut() {
+                        if let Some(join) = op
+                            .as_any_mut()
+                            .and_then(|a| a.downcast_mut::<streamkit::ops::JoinOp>())
+                        {
+                            let table = if join_seen == 0 {
+                                &src_table
+                            } else {
+                                &dst_table
+                            };
+                            join.set_table(table.clone());
+                            join_seen += 1;
+                        }
+                    }
+                };
+                for worker in &mut self.workers {
+                    swap(&mut worker.ops);
+                }
+                for replica in &mut self.replicas {
+                    swap(replica);
+                }
+            }
+        }
+    }
+
+    /// Runs `n` epochs.
+    pub fn run_epochs(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_epoch();
+        }
+    }
+
+    /// Finishes the session: ships residual partial state, closes every
+    /// window on the replicas, and returns the merged results.
+    pub fn finish(mut self) -> LiveOutcome {
+        self.finished = true;
+        let mut drained_records = 0u64;
+        let mut drained_bytes = 0u64;
+        let mut state_deltas = 0u64;
+        for (source, worker) in self.workers.iter_mut().enumerate() {
+            drained_records += worker.drained_records;
+            drained_bytes += worker.drained_bytes;
+            state_deltas += worker.state_deltas;
+            for (stage, op) in worker.ops.iter_mut().enumerate() {
+                if let Some(delta) = op.take_state_delta() {
+                    state_deltas += 1;
+                    self.replicas[source][stage].merge_state(delta);
+                }
+            }
+        }
+        // Close all windows; emissions cascade through the rest of the chain.
+        for stages in &mut self.replicas {
+            self.collected.extend(streamkit::physical::drain_windows(
+                stages,
+                streamkit::time::TS_MAX,
+            ));
+        }
+        LiveOutcome {
+            results: std::mem::take(&mut self.collected),
+            drained_records,
+            drained_bytes: drained_bytes as f64,
+            state_deltas,
+            input_records: self.input_records,
+            input_bytes: self.input_bytes as f64,
+            epochs: self.epoch,
+        }
+    }
+}
+
+impl Worker {
+    fn begin_epoch(&mut self) {
+        self.usage_us = 0.0;
+        self.input_records = 0;
+        self.input_bytes = 0;
+        for p in &mut self.proxies {
+            p.begin_epoch();
+        }
+    }
+
+    /// Routes and executes one epoch's records, draining to the SP channel.
+    fn execute(
+        &mut self,
+        source: usize,
+        m: usize,
+        schemas: &[SchemaRef],
+        input: Vec<Record>,
+        tx: &Sender<Msg>,
+    ) {
+        let mut batch = input;
+        let send_chunked = |stage: usize,
+                            records: Vec<Record>,
+                            drained_records: &mut u64,
+                            drained_bytes: &mut u64| {
+            if records.is_empty() {
+                return;
+            }
+            let schema = &schemas[stage.min(schemas.len() - 1)];
+            *drained_records += records.len() as u64;
+            *drained_bytes += records
+                .iter()
+                .map(|r| r.wire_size(schema) as u64)
+                .sum::<u64>();
+            let mut chunk = Vec::with_capacity(CHUNK.min(records.len()));
+            for rec in records {
+                chunk.push(rec);
+                if chunk.len() == CHUNK {
+                    let full = std::mem::take(&mut chunk);
+                    tx.send(Msg::Drained {
+                        source,
+                        stage,
+                        records: full,
+                    })
+                    .expect("SP worker alive");
+                }
+            }
+            if !chunk.is_empty() {
+                tx.send(Msg::Drained {
+                    source,
+                    stage,
+                    records: chunk,
+                })
+                .expect("SP worker alive");
+            }
+        };
+
+        for i in 0..m {
+            let mut forwarded = Vec::with_capacity(batch.len());
+            let mut drained = Vec::new();
+            for rec in batch.drain(..) {
+                match self.proxies[i].route() {
+                    Route::Forward => forwarded.push(rec),
+                    Route::Drain => drained.push(rec),
+                }
+            }
+            send_chunked(
+                i,
+                drained,
+                &mut self.drained_records,
+                &mut self.drained_bytes,
+            );
+            let mut next = Vec::with_capacity(forwarded.len());
+            for rec in forwarded {
+                // Counterfactual budget charge from the calibrated model.
+                self.usage_us += self.ops[i].cost_us();
+                self.ops[i].process(rec, &mut next);
+            }
+            batch = next;
+        }
+        // Records that passed the whole local prefix continue at SP stage m.
+        send_chunked(m, batch, &mut self.drained_records, &mut self.drained_bytes);
+
+        // Ship partial state every epoch (exactness does not depend on the
+        // cadence; shipping eagerly keeps replica state fresh).
+        for (stage, op) in self.ops.iter_mut().enumerate() {
+            if let Some(delta) = op.take_state_delta() {
+                self.state_deltas += 1;
+                tx.send(Msg::State {
+                    source,
+                    stage,
+                    delta,
+                })
+                .expect("SP worker alive");
+            }
+        }
+    }
+
+    /// Classifies the finished epoch against the counterfactual budget and
+    /// drives the runtime state machine.
+    fn end_epoch(&mut self) {
+        let all_local = self.proxies.iter().all(|p| p.load_factor() >= 1.0 - 1e-12);
+        let state = if self.usage_us > self.budget_us {
+            QueryState::Congested
+        } else if self.usage_us < self.budget_us * (1.0 - calibration::IDLE_THRES) && !all_local {
+            QueryState::Idle
+        } else {
+            QueryState::Stable
+        };
+        let current: Vec<f64> = self.proxies.iter().map(ControlProxy::load_factor).collect();
+        let decision = self
+            .runtime
+            .on_epoch_end(state, self.profile.take(), &current);
+        if let Some(p) = decision.set_load_factors {
+            for (proxy, &v) in self.proxies.iter_mut().zip(&p) {
+                proxy.set_load_factor(v);
+            }
+        }
+        self.run_profile = decision.run_profile;
+    }
+}
+
+/// Measures per-operator cost and relay ratios on a scratch pipeline fed
+/// with this epoch's records — the live equivalent of a Profile epoch. The
+/// scratch state starts empty, so state-dependent costs are *under*estimated
+/// exactly like the paper's one-epoch profiling (§VI-C).
+pub(crate) fn profile_on_scratch(
+    plan: &streamkit::logical::LogicalPlan,
+    costs: &streamkit::physical::CostProfile,
+    m: usize,
+    input: &[Record],
+    budget_us: f64,
+) -> ProfileEstimates {
+    let mut ops = build_pipeline(plan, costs, AggRole::Partial).expect("validated plan");
+    ops.truncate(m);
+    let schemas = plan.edge_schemas().expect("validated plan");
+    let mut cost_us = Vec::with_capacity(m);
+    let mut relay_bytes = Vec::with_capacity(m);
+    let mut relay_count = Vec::with_capacity(m);
+    let mut batch: Vec<Record> = input.to_vec();
+    for (i, op) in ops.iter_mut().enumerate() {
+        let in_count = batch.len();
+        let in_bytes: usize = batch.iter().map(|r| r.wire_size(&schemas[i])).sum();
+        let mut out = Vec::with_capacity(in_count);
+        let mut used = 0.0;
+        for rec in batch.drain(..) {
+            used += op.cost_us();
+            op.process(rec, &mut out);
+        }
+        let mut out_count = out.len();
+        let mut out_bytes: usize = out.iter().map(|r| r.wire_size(&schemas[i + 1])).sum();
+        if op.is_stateful() {
+            if let Some(delta) = op.take_state_delta() {
+                out_count += delta.entry_count();
+                out_bytes += delta.wire_bytes();
+            }
+        }
+        cost_us.push(if in_count > 0 {
+            used / in_count as f64
+        } else {
+            op.cost_us()
+        });
+        relay_count.push(if in_count > 0 {
+            out_count as f64 / in_count as f64
+        } else {
+            1.0
+        });
+        relay_bytes.push(if in_bytes > 0 {
+            out_bytes as f64 / in_bytes as f64
+        } else {
+            1.0
+        });
+        batch = out;
+    }
+    ProfileEstimates {
+        cost_us,
+        relay_bytes,
+        relay_count,
+        records_per_epoch: input.len() as f64,
+        budget_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Scale;
+    use crate::deploy::Deployment;
+    use crate::experiment::ScenarioSpec;
+    use crate::strategy::StrategyKind;
+
+    fn spec(strategy: StrategyKind, cpu: f64) -> DeploymentSpec {
+        Deployment::builder()
+            .workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+            .strategy(strategy)
+            .cpu_budget(cpu)
+            .sources(2)
+            .spec()
+            .unwrap()
+    }
+
+    #[test]
+    fn resource_events_change_the_live_budget() {
+        // A Fig.8-style budget drop must reach the workers' counterfactual
+        // budgets and re-trigger adaptation on the live backend.
+        let spec = Deployment::builder()
+            .workload(ScenarioSpec::pingmesh_s2s(Scale::X10))
+            .strategy(StrategyKind::Jarvis)
+            .cpu_budget(1.0)
+            .events(&[crate::experiment::ResourceEvent {
+                epoch: 12,
+                cpu_budget: Some(0.05),
+                table_size: None,
+            }])
+            .spec()
+            .unwrap();
+        let mut s = LiveSession::new(&spec).unwrap();
+        s.run_epochs(12);
+        let before = s.load_factors(0);
+        s.run_epochs(14);
+        let after = s.load_factors(0);
+        assert!(
+            after.iter().sum::<f64>() < before.iter().sum::<f64>(),
+            "a 20x budget cut must pull load factors down: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_session_pulls_work_local() {
+        let mut s = LiveSession::new(&spec(StrategyKind::Jarvis, 1.0)).unwrap();
+        s.run_epochs(12);
+        let p = s.load_factors(0);
+        assert!(
+            p.iter().any(|&v| v > 0.0),
+            "the runtime must install a plan over live epochs: {p:?}"
+        );
+        assert!(!s.runtime(0).trace().is_empty());
+    }
+
+    #[test]
+    fn fixed_strategy_sessions_never_move_factors() {
+        let mut s = LiveSession::new(&spec(StrategyKind::AllSrc, 0.2)).unwrap();
+        s.run_epochs(6);
+        assert_eq!(s.load_factors(0), vec![1.0, 1.0, 1.0]);
+        let out = s.finish();
+        assert_eq!(out.drained_records, 0, "All-Src drains nothing");
+        assert!(out.state_deltas > 0, "state still ships");
+        assert!(!out.results.is_empty());
+    }
+
+    #[test]
+    fn adaptive_and_all_sp_results_match() {
+        // Exactness across load-factor plans, now under runtime adaptation.
+        let mut adaptive = LiveSession::new(&spec(StrategyKind::Jarvis, 0.6)).unwrap();
+        adaptive.run_epochs(10);
+        let a = adaptive.finish();
+        let mut all_sp = LiveSession::new(&spec(StrategyKind::AllSp, 0.6)).unwrap();
+        all_sp.run_epochs(10);
+        let b = all_sp.finish();
+        let digest = |rows: &[Record]| crate::deploy::ExactnessDigest::of_rows(rows);
+        assert_eq!(digest(&a.results), digest(&b.results));
+        assert!(a.drained_records < b.drained_records);
+    }
+}

@@ -67,7 +67,9 @@ pub fn run_multi_query(
         cfgs,
         generators,
         BuildingBlockConfig {
-            network: NetworkModel::Shared { total_bps: calibration::node_uplink_bps() },
+            network: NetworkModel::Shared {
+                total_bps: calibration::node_uplink_bps(),
+            },
             ..Default::default()
         },
         crate::experiment::DEFAULT_WARMUP_EPOCHS,

@@ -111,21 +111,22 @@ pub fn plan_query(plan: LogicalPlan, rules: &RuleConfig) -> Result<PlannedQuery>
             exclusions.push((i, Exclusion::AfterStatefulBoundary));
             continue;
         }
-        match op {
-            LogicalOp::GroupAggregate { aggs, .. } => {
-                // R-1: every aggregate must be incrementally updatable.
-                if rules.forbid_non_incremental
-                    && aggs.iter().any(|a| !rules.agg_is_incremental(&a.kind))
-                {
-                    source_ops = source_ops.min(i);
-                    exclusions.push((i, Exclusion::NonIncrementalAggregate));
-                }
-                seen_stateful = true;
+        if let LogicalOp::GroupAggregate { aggs, .. } = op {
+            // R-1: every aggregate must be incrementally updatable.
+            if rules.forbid_non_incremental
+                && aggs.iter().any(|a| !rules.agg_is_incremental(&a.kind))
+            {
+                source_ops = source_ops.min(i);
+                exclusions.push((i, Exclusion::NonIncrementalAggregate));
             }
-            _ => {}
+            seen_stateful = true;
         }
     }
-    Ok(PlannedQuery { plan, source_ops, exclusions })
+    Ok(PlannedQuery {
+        plan,
+        source_ops,
+        exclusions,
+    })
 }
 
 #[cfg(test)]
@@ -171,7 +172,10 @@ mod tests {
             .unwrap();
         let planned = plan_query(plan, &RuleConfig::default()).unwrap();
         assert_eq!(planned.source_ops, 2, "prefix = W, G+R");
-        assert_eq!(planned.exclusions, vec![(2, Exclusion::AfterStatefulBoundary)]);
+        assert_eq!(
+            planned.exclusions,
+            vec![(2, Exclusion::AfterStatefulBoundary)]
+        );
     }
 
     #[test]
@@ -180,7 +184,11 @@ mod tests {
             .window_secs(10.0)
             .group_by(&["k"])
             .aggregate(&[(
-                AggKind::ApproxQuantile { q: 0.99, lo: 0.0, hi: 1e6 },
+                AggKind::ApproxQuantile {
+                    q: 0.99,
+                    lo: 0.0,
+                    hi: 1e6,
+                },
                 "v",
                 "p99",
             )])
@@ -190,9 +198,15 @@ mod tests {
         let planned = plan_query(plan.clone(), &rules_ok).unwrap();
         assert_eq!(planned.source_ops, 2, "approximate quantiles are eligible");
 
-        let rules_exact = RuleConfig { quantiles_are_exact: true, ..Default::default() };
+        let rules_exact = RuleConfig {
+            quantiles_are_exact: true,
+            ..Default::default()
+        };
         let planned = plan_query(plan, &rules_exact).unwrap();
-        assert_eq!(planned.source_ops, 1, "exact quantiles stop the prefix at W");
+        assert_eq!(
+            planned.source_ops, 1,
+            "exact quantiles stop the prefix at W"
+        );
         assert!(planned
             .exclusions
             .contains(&(1, Exclusion::NonIncrementalAggregate)));
@@ -220,8 +234,14 @@ mod tests {
             plan_query(telemetry::queries::log_analytics(), &RuleConfig::default()).unwrap();
         assert_eq!(planned.source_ops, planned.plan.ops.len());
         let (src, dst) = telemetry::queries::t2t_tables(500, 40, &[1]);
-        let planned =
-            plan_query(telemetry::queries::t2t_probe(src, dst), &RuleConfig::default()).unwrap();
-        assert_eq!(planned.source_ops, 6, "joins with static tables are eligible");
+        let planned = plan_query(
+            telemetry::queries::t2t_probe(src, dst),
+            &RuleConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            planned.source_ops, 6,
+            "joins with static tables are eligible"
+        );
     }
 }

@@ -38,7 +38,7 @@ pub enum QueryState {
 
 /// Combines per-proxy states into the query state.
 pub fn classify_query(states: &[ProxyState]) -> QueryState {
-    if states.iter().any(|s| *s == ProxyState::Congested) {
+    if states.contains(&ProxyState::Congested) {
         QueryState::Congested
     } else if !states.is_empty() && states.iter().all(|s| *s == ProxyState::Idle) {
         QueryState::Idle
@@ -247,7 +247,11 @@ mod tests {
         }
         cp.note_starved(true);
         assert_eq!(cp.classify(0.5), ProxyState::Idle);
-        assert_eq!(cp.classify(0.1), ProxyState::Stable, "busy node is not idle");
+        assert_eq!(
+            cp.classify(0.1),
+            ProxyState::Stable,
+            "busy node is not idle"
+        );
         cp.note_starved(false);
         assert_eq!(cp.classify(0.5), ProxyState::Stable);
     }
@@ -255,7 +259,10 @@ mod tests {
     #[test]
     fn query_classification_rules() {
         use ProxyState::*;
-        assert_eq!(classify_query(&[Stable, Congested, Idle]), QueryState::Congested);
+        assert_eq!(
+            classify_query(&[Stable, Congested, Idle]),
+            QueryState::Congested
+        );
         assert_eq!(classify_query(&[Idle, Idle, Idle]), QueryState::Idle);
         assert_eq!(classify_query(&[Idle, Stable, Idle]), QueryState::Stable);
         assert_eq!(classify_query(&[]), QueryState::Stable);

@@ -6,19 +6,22 @@
 //! r.run(query);
 //! ```
 //!
-//! Wraps planning (optimisation + eligibility rules + proxy insertion),
-//! deployment on an emulated building block, and execution, so a user can go
-//! from a declarative query to measured results in three lines.
+//! Deprecated front door: the unified
+//! [`Deployment::builder`](crate::deploy::Deployment::builder) is the
+//! Listing-1 contract for every backend now. `Runner` remains as a thin shim
+//! that wraps the supplied query and generators in a
+//! [`CustomWorkload`](crate::deploy::CustomWorkload) and runs it on the
+//! emulated backend.
 
 use streamkit::error::{Error, Result};
 use streamkit::logical::LogicalPlan;
 use streamkit::physical::CostProfile;
 
 use crate::calibration;
-use crate::engine::block::{BuildingBlock, BuildingBlockConfig, EpochSource, NetworkModel};
-use crate::engine::source::SourceConfig;
+use crate::deploy::{BackendKind, CustomWorkload, Deployment};
+use crate::engine::block::{EpochSource, NetworkModel};
 use crate::experiment::ScenarioReport;
-use crate::planner::{plan_query, RuleConfig};
+use crate::planner::RuleConfig;
 use crate::strategy::StrategyKind;
 
 /// Runner configuration ("config info" from Listing 1).
@@ -74,6 +77,10 @@ pub struct Runner {
 
 impl Runner {
     /// Creates a runner.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use jarvis_core::deploy::Deployment::builder() — one builder, any backend"
+    )]
     pub fn new(config: RunnerConfig) -> Runner {
         Runner { config }
     }
@@ -83,8 +90,8 @@ impl Runner {
         &self.config
     }
 
-    /// Plans `query`, deploys it on an emulated building block fed by the
-    /// given per-source generators, runs `epochs` epochs, and reports.
+    /// Plans `query`, deploys it on the emulated backend fed by the given
+    /// per-source generators, runs `epochs` epochs, and reports.
     pub fn run(
         &self,
         query: LogicalPlan,
@@ -98,50 +105,34 @@ impl Runner {
                 self.config.sources
             )));
         }
-        let planned = plan_query(query, &self.config.rules)?;
         let costs = self.config.costs.clone().unwrap_or_default();
-        let source_cfgs: Vec<SourceConfig> = (0..self.config.sources)
-            .map(|i| SourceConfig::new(i + 1, self.config.cpu_budget, self.config.strategy))
-            .collect();
-        let mut block = BuildingBlock::new(
-            &planned,
-            &costs,
-            source_cfgs,
-            generators,
-            BuildingBlockConfig {
-                network: NetworkModel::PerSource { bps: self.config.network_bps },
-                ..Default::default()
-            },
-            self.config.warmup_epochs,
-        );
-        block.run_epochs(epochs);
-
-        let secs = block.measured_secs();
-        let metrics = block.metrics();
-        let report = ScenarioReport {
-            throughput_mbps: block.aggregate_throughput_mbps(),
-            network_mbps: block.aggregate_network_mbps(),
-            input_mbps: metrics.iter().map(|m| m.input_mbps(secs)).sum(),
-            latency_median_s: metrics.first().and_then(|m| m.latency.median()),
-            latency_max_s: metrics.first().and_then(|m| m.latency.max()),
-            trace: block.source(0).runtime().trace().to_vec(),
-            episodes: block.source(0).runtime().episodes().to_vec(),
-            load_factors: block.source(0).load_factors(),
-            overhead_core_frac: {
-                let rt = block.source(0).runtime();
-                rt.overhead_us() / (rt.trace().len().max(1) as f64 * 1e6)
-            },
-        };
+        let workload = CustomWorkload::new("runner", query, costs, generators);
+        let report = Deployment::builder()
+            .workload(workload)
+            .strategy(self.config.strategy)
+            .cpu_budget(self.config.cpu_budget)
+            .sources(self.config.sources)
+            .network(NetworkModel::PerSource {
+                bps: self.config.network_bps,
+            })
+            .rules(self.config.rules.clone())
+            .warmup_epochs(self.config.warmup_epochs)
+            .backend(BackendKind::Emulated)
+            .build()
+            .map_err(|e| Error::InvalidPlan(e.to_string()))?
+            .run(epochs)
+            .map_err(|e| Error::InvalidPlan(e.to_string()))?;
         Ok(RunnerReport {
-            results_emitted: block.sp().results_emitted(),
-            deployed_chain: planned.plan.display_chain(),
-            source_ops: planned.source_ops,
-            report,
+            results_emitted: report.results_emitted,
+            deployed_chain: report.deployed_chain.clone(),
+            source_ops: report.source_ops,
+            report: ScenarioReport::from_run(&report),
         })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
@@ -165,7 +156,10 @@ mod tests {
 
     #[test]
     fn generator_count_mismatch_is_an_error() {
-        let runner = Runner::new(RunnerConfig { sources: 2, ..Default::default() });
+        let runner = Runner::new(RunnerConfig {
+            sources: 2,
+            ..Default::default()
+        });
         let out = runner.run(telemetry::queries::s2s_probe(), Vec::new(), 1);
         assert!(out.is_err());
     }

@@ -426,7 +426,10 @@ mod tests {
 
     #[test]
     fn fixed_runtime_never_adapts() {
-        let cfg = RuntimeConfig { adaptive: false, ..Default::default() };
+        let cfg = RuntimeConfig {
+            adaptive: false,
+            ..Default::default()
+        };
         let mut rt = JarvisRuntime::new(cfg, 2);
         rt.on_epoch_end(QueryState::Stable, None, &[1.0, 1.0]);
         for _ in 0..10 {

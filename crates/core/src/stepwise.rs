@@ -71,13 +71,19 @@ impl Default for StepWiseConfig {
 impl StepWiseConfig {
     /// The paper's "LP only" ablation (§VI-C).
     pub fn lp_only() -> StepWiseConfig {
-        StepWiseConfig { use_fine_tuning: false, ..Default::default() }
+        StepWiseConfig {
+            use_fine_tuning: false,
+            ..Default::default()
+        }
     }
 
     /// The paper's "w/o LP-init" ablation (§VI-C): pure model-agnostic
     /// fine-tuning from zero load factors.
     pub fn without_lp_init() -> StepWiseConfig {
-        StepWiseConfig { use_lp_init: false, ..Default::default() }
+        StepWiseConfig {
+            use_lp_init: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -175,7 +181,9 @@ impl StepWiseAdapt {
                     reduction / est.cost_us[i].max(1e-6)
                 };
                 idx.sort_by(|&a, &b| {
-                    score(b).partial_cmp(&score(a)).unwrap_or(std::cmp::Ordering::Equal)
+                    score(b)
+                        .partial_cmp(&score(a))
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
             }
         }
@@ -302,9 +310,19 @@ impl StepWiseAdapt {
     fn start_search(&mut self, p: &mut [f64], op: usize, raising: bool) -> bool {
         let g = self.cfg.granularity;
         let s = if raising {
-            Search { op, lo: p[op], hi: 1.0, raising: true }
+            Search {
+                op,
+                lo: p[op],
+                hi: 1.0,
+                raising: true,
+            }
         } else {
-            Search { op, lo: 0.0, hi: p[op], raising: false }
+            Search {
+                op,
+                lo: 0.0,
+                hi: p[op],
+                raising: false,
+            }
         };
         let target = match self.cfg.search {
             SearchRule::Binary => quantize(0.5 * (s.lo + s.hi), g),
@@ -381,7 +399,10 @@ mod tests {
         est.relay_bytes = vec![1.0, 0.3, 0.25];
         est.cost_us = vec![0.25, 0.5, 40.0];
         let mut a = StepWiseAdapt::new(
-            StepWiseConfig { priority: PriorityRule::CostAware, ..Default::default() },
+            StepWiseConfig {
+                priority: PriorityRule::CostAware,
+                ..Default::default()
+            },
             3,
         );
         a.set_priorities(&est);

@@ -95,7 +95,19 @@ impl StrategyKind {
 
     /// Whether the strategy adapts at runtime.
     pub fn is_adaptive(self) -> bool {
-        !matches!(self, StrategyKind::AllSp | StrategyKind::AllSrc | StrategyKind::FilterSrc)
+        !matches!(
+            self,
+            StrategyKind::AllSp | StrategyKind::AllSrc | StrategyKind::FilterSrc
+        )
+    }
+
+    /// Whether the strategy's adaptation policy is StepWise-Adapt (the
+    /// convergence-cost simulator models only this family).
+    pub fn is_stepwise(self) -> bool {
+        matches!(
+            self,
+            StrategyKind::Jarvis | StrategyKind::JarvisLpOnly | StrategyKind::JarvisNoLpInit
+        )
     }
 
     /// Initial load factors over the planned query's source prefix.
@@ -314,7 +326,9 @@ mod tests {
 
     #[test]
     fn lbdp_split_is_proportional_and_feasible() {
-        let mut policy = LbDpPolicy { sp_cores_per_source: 4.0 };
+        let mut policy = LbDpPolicy {
+            sp_cores_per_source: 4.0,
+        };
         let est = estimates();
         let p = policy.init_plan(&est);
         // x = 0.55 / (0.55 + 4) ≈ 0.12, well under the feasible cap.
@@ -324,7 +338,9 @@ mod tests {
 
     #[test]
     fn lbdp_caps_at_feasibility() {
-        let mut policy = LbDpPolicy { sp_cores_per_source: 0.01 };
+        let mut policy = LbDpPolicy {
+            sp_cores_per_source: 0.01,
+        };
         let mut est = estimates();
         est.budget_us = 100_000.0; // 10%: full pipeline needs ~85%
         let p = policy.init_plan(&est);
@@ -334,14 +350,23 @@ mod tests {
     #[test]
     fn initial_load_factors_per_strategy() {
         let planned = plan_query(telemetry::queries::s2s_probe(), &RuleConfig::default()).unwrap();
-        assert_eq!(StrategyKind::AllSp.initial_load_factors(&planned), vec![0.0, 0.0, 0.0]);
-        assert_eq!(StrategyKind::AllSrc.initial_load_factors(&planned), vec![1.0, 1.0, 1.0]);
+        assert_eq!(
+            StrategyKind::AllSp.initial_load_factors(&planned),
+            vec![0.0, 0.0, 0.0]
+        );
+        assert_eq!(
+            StrategyKind::AllSrc.initial_load_factors(&planned),
+            vec![1.0, 1.0, 1.0]
+        );
         assert_eq!(
             StrategyKind::FilterSrc.initial_load_factors(&planned),
             vec![1.0, 1.0, 0.0],
             "W and F local, G+R remote"
         );
-        assert_eq!(StrategyKind::Jarvis.initial_load_factors(&planned), vec![0.0, 0.0, 0.0]);
+        assert_eq!(
+            StrategyKind::Jarvis.initial_load_factors(&planned),
+            vec![0.0, 0.0, 0.0]
+        );
     }
 
     #[test]

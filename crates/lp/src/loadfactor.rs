@@ -78,7 +78,11 @@ pub fn solve_load_factors(problem: &LoadFactorProblem) -> Result<LoadFactorSolut
         let r_before = relay_prefix[i];
         let r_after = if i + 1 < m { relay_prefix[i + 1] } else { 0.0 };
         // Coefficient of e_{i+1}: (R[i+1] − R[i]) for interior, −R[m−1] for last.
-        objective[i] = if i + 1 < m { r_after - r_before } else { -r_before };
+        objective[i] = if i + 1 < m {
+            r_after - r_before
+        } else {
+            -r_before
+        };
         // Tiny tie-break favouring higher load factors: when several vertices
         // drain the same byte volume (e.g. an operator with relay ratio 1
         // makes its own e coefficient zero), prefer processing locally — the
@@ -105,13 +109,18 @@ pub fn solve_load_factors(problem: &LoadFactorProblem) -> Result<LoadFactorSolut
     }
     // Knapsack: Σ R[i]·c_i·e_i ≤ C/Nr (skip when the budget is unlimited).
     if budget_rhs.is_finite() {
-        let coeffs: Vec<f64> =
-            (0..m).map(|i| relay_prefix[i] * problem.cost_us[i].max(0.0)).collect();
+        let coeffs: Vec<f64> = (0..m)
+            .map(|i| relay_prefix[i] * problem.cost_us[i].max(0.0))
+            .collect();
         lp = lp.leq(coeffs, budget_rhs);
     }
 
     let sol = lp.solve()?;
-    debug_assert_eq!(sol.status, LpsolveStatus::Optimal, "bounded by construction");
+    debug_assert_eq!(
+        sol.status,
+        LpsolveStatus::Optimal,
+        "bounded by construction"
+    );
 
     let mut effective: Vec<f64> = sol.x.iter().map(|v| v.clamp(0.0, 1.0)).collect();
     // Enforce the chain exactly despite float noise.
@@ -124,7 +133,11 @@ pub fn solve_load_factors(problem: &LoadFactorProblem) -> Result<LoadFactorSolut
     let mut load_factors = Vec::with_capacity(m);
     let mut prev = 1.0;
     for &e in &effective {
-        let p = if prev <= 1e-12 { 1.0 } else { (e / prev).clamp(0.0, 1.0) };
+        let p = if prev <= 1e-12 {
+            1.0
+        } else {
+            (e / prev).clamp(0.0, 1.0)
+        };
         load_factors.push(p);
         prev = e;
     }
@@ -140,9 +153,18 @@ pub fn solve_load_factors(problem: &LoadFactorProblem) -> Result<LoadFactorSolut
     let used_us: f64 = (0..m)
         .map(|i| relay_prefix[i] * effective[i] * problem.cost_us[i] * problem.records)
         .sum();
-    let budget_use = if problem.budget_us > 0.0 { used_us / problem.budget_us } else { 0.0 };
+    let budget_use = if problem.budget_us > 0.0 {
+        used_us / problem.budget_us
+    } else {
+        0.0
+    };
 
-    Ok(LoadFactorSolution { effective, load_factors, drained_fraction: drained, budget_use })
+    Ok(LoadFactorSolution {
+        effective,
+        load_factors,
+        drained_fraction: drained,
+        budget_use,
+    })
 }
 
 #[cfg(test)]
@@ -162,7 +184,10 @@ mod tests {
             budget_us: 2_000_000.0, // two cores: plenty
         };
         let sol = solve_load_factors(&p).unwrap();
-        assert!(sol.load_factors.iter().all(|&lf| close(lf, 1.0, 1e-6)), "{sol:?}");
+        assert!(
+            sol.load_factors.iter().all(|&lf| close(lf, 1.0, 1e-6)),
+            "{sol:?}"
+        );
         assert!(close(sol.drained_fraction, 0.0, 1e-6));
     }
 
@@ -199,7 +224,10 @@ mod tests {
         };
         let sol = solve_load_factors(&p).unwrap();
         assert!(close(sol.drained_fraction, 0.1416, 0.003), "{sol:?}");
-        assert!(close(sol.budget_use, 1.0, 1e-6), "budget saturated: {sol:?}");
+        assert!(
+            close(sol.budget_use, 1.0, 1e-6),
+            "budget saturated: {sol:?}"
+        );
         // G+R processes the lion's share of its input locally.
         assert!(sol.effective[2] > 0.8, "{sol:?}");
     }
@@ -262,8 +290,7 @@ mod tests {
             }
         }
         let u = lo;
-        let drained_uniform =
-            (1.0 - u) + (u - u * u) + 0.86 * (u * u - u * u * u);
+        let drained_uniform = (1.0 - u) + (u - u * u) + 0.86 * (u * u - u * u * u);
         assert!(sol.drained_fraction <= drained_uniform + 1e-6);
     }
 }

@@ -24,7 +24,11 @@ pub enum LpError {
     /// LP never needs it).
     NegativeRhs { row: usize, value: f64 },
     /// Constraint row width does not match the objective.
-    ShapeMismatch { row: usize, expected: usize, got: usize },
+    ShapeMismatch {
+        row: usize,
+        expected: usize,
+        got: usize,
+    },
     /// Iteration limit exceeded (defensive; should not occur with Bland).
     IterationLimit,
 }
@@ -36,7 +40,10 @@ impl std::fmt::Display for LpError {
                 write!(f, "constraint {row} has negative rhs {value}")
             }
             LpError::ShapeMismatch { row, expected, got } => {
-                write!(f, "constraint {row} has {got} coefficients, expected {expected}")
+                write!(
+                    f,
+                    "constraint {row} has {got} coefficients, expected {expected}"
+                )
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
         }
@@ -68,7 +75,10 @@ pub struct Solution {
 impl LinearProgram {
     /// Creates an LP minimising `objective`.
     pub fn minimize(objective: Vec<f64>) -> LinearProgram {
-        LinearProgram { objective, constraints: Vec::new() }
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
     }
 
     /// Adds `coeffs · x ≤ rhs`.
@@ -83,7 +93,11 @@ impl LinearProgram {
         let m = self.constraints.len();
         for (row, (coeffs, rhs)) in self.constraints.iter().enumerate() {
             if coeffs.len() != n {
-                return Err(LpError::ShapeMismatch { row, expected: n, got: coeffs.len() });
+                return Err(LpError::ShapeMismatch {
+                    row,
+                    expected: n,
+                    got: coeffs.len(),
+                });
             }
             if *rhs < 0.0 {
                 return Err(LpError::NegativeRhs { row, value: *rhs });
@@ -101,8 +115,8 @@ impl LinearProgram {
         }
         // Maximisation convention: maximise z = -c·x; optimal when every
         // objective-row coefficient is ≤ 0.
-        for j in 0..n {
-            tab[m][j] = -self.objective[j];
+        for (cell, obj) in tab[m][..n].iter_mut().zip(&self.objective) {
+            *cell = -obj;
         }
         let mut basis: Vec<usize> = (n..n + m).collect();
 
@@ -119,7 +133,11 @@ impl LinearProgram {
                     }
                 }
                 let objective = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-                return Ok(Solution { status: LpsolveStatus::Optimal, x, objective });
+                return Ok(Solution {
+                    status: LpsolveStatus::Optimal,
+                    x,
+                    objective,
+                });
             };
             // Leaving: min ratio; Bland tie-break on lowest basis index.
             let mut leave: Option<usize> = None;
@@ -128,8 +146,7 @@ impl LinearProgram {
                 if tab[i][enter] > EPS {
                     let ratio = tab[i][width - 1] / tab[i][enter];
                     let better = ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leave.map_or(true, |l| basis[i] < basis[l]));
+                        || (ratio < best_ratio + EPS && leave.is_none_or(|l| basis[i] < basis[l]));
                     if better {
                         best_ratio = ratio.min(best_ratio);
                         leave = Some(i);
@@ -148,12 +165,16 @@ impl LinearProgram {
             for v in tab[leave].iter_mut() {
                 *v /= piv;
             }
-            for i in 0..=m {
+            // One pivot-row copy per iteration keeps the elimination loop
+            // allocation-free per row (problem sizes here are tiny, but the
+            // solver sits inside every LP-init/adapt step).
+            let pivot_row = tab[leave].clone();
+            for (i, row) in tab.iter_mut().enumerate() {
                 if i != leave {
-                    let factor = tab[i][enter];
+                    let factor = row[enter];
                     if factor.abs() > EPS {
-                        for j in 0..width {
-                            tab[i][j] -= factor * tab[leave][j];
+                        for (cell, piv_cell) in row.iter_mut().zip(&pivot_row) {
+                            *cell -= factor * piv_cell;
                         }
                     }
                 }

@@ -15,7 +15,10 @@ impl VirtualClock {
     /// Creates a clock with the given epoch length in (virtual) seconds.
     pub fn new(epoch_secs: f64) -> VirtualClock {
         assert!(epoch_secs > 0.0, "epoch length must be positive");
-        VirtualClock { epoch: 0, epoch_secs }
+        VirtualClock {
+            epoch: 0,
+            epoch_secs,
+        }
     }
 
     /// Current epoch index (starts at 0).

@@ -26,7 +26,13 @@ impl LatencyStats {
     /// Creates a collector that keeps at most `cap` samples.
     pub fn with_capacity(cap: usize) -> LatencyStats {
         assert!(cap > 1, "capacity must exceed 1");
-        LatencyStats { samples: Vec::new(), cap, stride: 1, seen: 0, max: f64::NEG_INFINITY }
+        LatencyStats {
+            samples: Vec::new(),
+            cap,
+            stride: 1,
+            seen: 0,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one latency sample (seconds).
@@ -35,7 +41,7 @@ impl LatencyStats {
         if latency_secs > self.max {
             self.max = latency_secs;
         }
-        if self.seen % self.stride as u64 != 0 {
+        if !self.seen.is_multiple_of(self.stride as u64) {
             return;
         }
         if self.samples.len() >= self.cap {

@@ -98,7 +98,12 @@ impl<P> Link<P> {
         let bytes = bytes as f64;
         self.queued_bytes += bytes;
         self.total_enqueued_bytes += bytes;
-        self.queue.push_back(Pending { payload, bytes, sent: 0.0, enqueued_at: now });
+        self.queue.push_back(Pending {
+            payload,
+            bytes,
+            sent: 0.0,
+            enqueued_at: now,
+        });
         let mut evicted = Vec::new();
         if let Some(cap) = self.backlog_cap_bytes {
             let mut scan = 0;
@@ -140,7 +145,9 @@ impl<P> Link<P> {
         let total_budget = budget;
         let mut out = Vec::new();
         while budget > 1e-12 {
-            let Some(front) = self.queue.front_mut() else { break };
+            let Some(front) = self.queue.front_mut() else {
+                break;
+            };
             let need = front.bytes - front.sent;
             if need <= budget {
                 budget -= need;
@@ -273,7 +280,10 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].payload, 1);
         assert!((done[0].completed_at - 0.6).abs() < 1e-9);
-        assert!((link.backlog_bytes() - 20.0).abs() < 1e-9, "partial progress kept");
+        assert!(
+            (link.backlog_bytes() - 20.0).abs() < 1e-9,
+            "partial progress kept"
+        );
         let done2 = link.transmit(1.0, 1.0);
         assert_eq!(done2.len(), 1);
         assert!((done2[0].completed_at - 1.2).abs() < 1e-9);

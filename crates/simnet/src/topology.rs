@@ -42,7 +42,11 @@ impl Topology {
             roles.insert(id, NodeRole::Source);
             parents.insert(id, root);
         }
-        Topology { roles, parents, root }
+        Topology {
+            roles,
+            parents,
+            root,
+        }
     }
 
     /// A two-level tree: `blocks` intermediate SPs under one root, each with
@@ -65,7 +69,11 @@ impl Topology {
                 parents.insert(leaf, sp);
             }
         }
-        Topology { roles, parents, root }
+        Topology {
+            roles,
+            parents,
+            root,
+        }
     }
 
     /// The root node.
@@ -117,9 +125,11 @@ impl Topology {
         let mut blocks = Vec::new();
         for (&id, &role) in &self.roles {
             if role == NodeRole::IntermediateSp
-                || (role == NodeRole::RootSp && self.children(id).iter().any(|c| {
-                    self.role(*c) == Some(NodeRole::Source)
-                }))
+                || (role == NodeRole::RootSp
+                    && self
+                        .children(id)
+                        .iter()
+                        .any(|c| self.role(*c) == Some(NodeRole::Source)))
             {
                 let sources: Vec<NodeId> = self
                     .children(id)

@@ -50,7 +50,11 @@ pub struct AggSpec {
 impl AggSpec {
     /// Creates a spec with a derived output name.
     pub fn new(kind: AggKind, col: usize, name: impl Into<String>) -> AggSpec {
-        AggSpec { kind, col, name: name.into() }
+        AggSpec {
+            kind,
+            col,
+            name: name.into(),
+        }
     }
 
     /// Fresh accumulator state for this aggregate.
@@ -61,9 +65,10 @@ impl AggSpec {
             AggKind::Min => AggState::Min(f64::INFINITY),
             AggKind::Max => AggState::Max(f64::NEG_INFINITY),
             AggKind::Avg => AggState::Avg { sum: 0.0, count: 0 },
-            AggKind::ApproxQuantile { q, lo, hi } => {
-                AggState::Quantile { q: *q, sketch: QuantileSketch::new(*lo, *hi, 64) }
-            }
+            AggKind::ApproxQuantile { q, lo, hi } => AggState::Quantile {
+                q: *q,
+                sketch: QuantileSketch::new(*lo, *hi, 64),
+            },
         }
     }
 }
@@ -227,9 +232,18 @@ mod tests {
 
     #[test]
     fn empty_aggregates_finalize_to_null_or_zero() {
-        assert_eq!(AggSpec::new(AggKind::Count, 0, "c").init().finalize(), Value::U64(0));
-        assert_eq!(AggSpec::new(AggKind::Min, 0, "m").init().finalize(), Value::Null);
-        assert_eq!(AggSpec::new(AggKind::Avg, 0, "a").init().finalize(), Value::Null);
+        assert_eq!(
+            AggSpec::new(AggKind::Count, 0, "c").init().finalize(),
+            Value::U64(0)
+        );
+        assert_eq!(
+            AggSpec::new(AggKind::Min, 0, "m").init().finalize(),
+            Value::Null
+        );
+        assert_eq!(
+            AggSpec::new(AggKind::Avg, 0, "a").init().finalize(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -248,7 +262,12 @@ mod tests {
             let mut a = run(spec, &left);
             let b = run(spec, &right);
             a.merge(&b);
-            assert_eq!(a.finalize(), run(spec, &all).finalize(), "kind {:?}", spec.kind);
+            assert_eq!(
+                a.finalize(),
+                run(spec, &all).finalize(),
+                "kind {:?}",
+                spec.kind
+            );
         }
     }
 
@@ -272,7 +291,15 @@ mod tests {
 
     #[test]
     fn quantile_state_is_mergeable() {
-        let spec = AggSpec::new(AggKind::ApproxQuantile { q: 0.5, lo: 0.0, hi: 100.0 }, 0, "p50");
+        let spec = AggSpec::new(
+            AggKind::ApproxQuantile {
+                q: 0.5,
+                lo: 0.0,
+                hi: 100.0,
+            },
+            0,
+            "p50",
+        );
         let mut a = spec.init();
         let mut b = spec.init();
         for v in 0..50 {
@@ -282,7 +309,12 @@ mod tests {
             b.update(&Value::F64(v as f64));
         }
         a.merge(&b);
-        let Value::F64(est) = a.finalize() else { panic!("expected f64") };
-        assert!((est - 50.0).abs() < 5.0, "p50 estimate {est} too far from 50");
+        let Value::F64(est) = a.finalize() else {
+            panic!("expected f64")
+        };
+        assert!(
+            (est - 50.0).abs() < 5.0,
+            "p50 estimate {est} too far from 50"
+        );
     }
 }

@@ -106,7 +106,11 @@ impl Batch {
             }
         }
         let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
-        Ok(Batch { schema, timestamps, columns })
+        Ok(Batch {
+            schema,
+            timestamps,
+            columns,
+        })
     }
 
     /// Converts back to row-oriented records.
@@ -183,9 +187,7 @@ impl ColumnBuilder {
         };
         match self.dtype {
             DataType::Bool => self.bools.push(value.as_bool().ok_or_else(mismatch)?),
-            DataType::I32 | DataType::I64 => {
-                self.ints.push(value.as_i64().ok_or_else(mismatch)?)
-            }
+            DataType::I32 | DataType::I64 => self.ints.push(value.as_i64().ok_or_else(mismatch)?),
             DataType::U32 | DataType::U64 => match value {
                 Value::U64(v) => self.uints.push(*v),
                 Value::I64(v) if *v >= 0 => self.uints.push(*v as u64),

@@ -109,12 +109,19 @@ pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
                     buf.advance(len);
                     offsets.push(data.len() as u32);
                 }
-                Column::Str { offsets, data: Bytes::from(data) }
+                Column::Str {
+                    offsets,
+                    data: Bytes::from(data),
+                }
             }
         };
         columns.push(col);
     }
-    Ok(Batch { schema, timestamps, columns })
+    Ok(Batch {
+        schema,
+        timestamps,
+        columns,
+    })
 }
 
 #[cfg(test)]
@@ -139,11 +146,21 @@ mod tests {
         let recs = vec![
             Record::new(
                 100,
-                vec![Value::U64(1), Value::F64(0.2), Value::str("t0"), Value::Bool(true)],
+                vec![
+                    Value::U64(1),
+                    Value::F64(0.2),
+                    Value::str("t0"),
+                    Value::Bool(true),
+                ],
             ),
             Record::new(
                 200,
-                vec![Value::U64(2), Value::F64(5.5), Value::str(""), Value::Bool(false)],
+                vec![
+                    Value::U64(2),
+                    Value::F64(5.5),
+                    Value::str(""),
+                    Value::Bool(false),
+                ],
             ),
         ];
         let batch = Batch::from_records(s.clone(), &recs).unwrap();
@@ -164,7 +181,12 @@ mod tests {
         let s = schema();
         let recs = vec![Record::new(
             1,
-            vec![Value::U64(1), Value::F64(0.0), Value::str("abc"), Value::Bool(true)],
+            vec![
+                Value::U64(1),
+                Value::F64(0.0),
+                Value::str("abc"),
+                Value::Bool(true),
+            ],
         )];
         let batch = Batch::from_records(s.clone(), &recs).unwrap();
         let bytes = encode_batch(&batch);

@@ -10,7 +10,10 @@ pub enum Error {
     /// A column index was out of bounds for the schema.
     ColumnIndex { index: usize, width: usize },
     /// An expression or operator was applied to an incompatible type.
-    TypeMismatch { expected: &'static str, got: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        got: &'static str,
+    },
     /// A logical plan violated a structural requirement.
     InvalidPlan(String),
     /// Wire decoding failed.
@@ -22,7 +25,10 @@ impl fmt::Display for Error {
         match self {
             Error::UnknownColumn(name) => write!(f, "unknown column: {name}"),
             Error::ColumnIndex { index, width } => {
-                write!(f, "column index {index} out of bounds for schema of width {width}")
+                write!(
+                    f,
+                    "column index {index} out of bounds for schema of width {width}"
+                )
             }
             Error::TypeMismatch { expected, got } => {
                 write!(f, "type mismatch: expected {expected}, got {got}")

@@ -186,9 +186,7 @@ impl Expr {
                 _ => Value::Null,
             },
             Expr::ContainsAny(col, needles) => match rec.values.get(*col) {
-                Some(Value::Str(s)) => {
-                    Value::Bool(needles.iter().any(|n| s.contains(n.as_str())))
-                }
+                Some(Value::Str(s)) => Value::Bool(needles.iter().any(|n| s.contains(n.as_str()))),
                 _ => Value::Null,
             },
         }
@@ -234,12 +232,14 @@ impl Expr {
                 Box::new(a.remap_columns(map)?),
                 Box::new(b.remap_columns(map)?),
             ),
-            Expr::And(a, b) => {
-                Expr::And(Box::new(a.remap_columns(map)?), Box::new(b.remap_columns(map)?))
-            }
-            Expr::Or(a, b) => {
-                Expr::Or(Box::new(a.remap_columns(map)?), Box::new(b.remap_columns(map)?))
-            }
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
             Expr::Not(a) => Expr::Not(Box::new(a.remap_columns(map)?)),
             Expr::Contains(a, n) => Expr::Contains(Box::new(a.remap_columns(map)?), n.clone()),
             Expr::ContainsAny(col, n) => Expr::ContainsAny(map(*col)?, n.clone()),
@@ -357,17 +357,23 @@ mod tests {
 
     #[test]
     fn fold_collapses_constant_trees() {
-        let e = Expr::lit(2i64).gt(Expr::lit(1i64)).and(Expr::col(0).eq(Expr::lit(5i64)));
+        let e = Expr::lit(2i64)
+            .gt(Expr::lit(1i64))
+            .and(Expr::col(0).eq(Expr::lit(5i64)));
         // `2 > 1` folds to true; `true AND x` folds to x.
         assert_eq!(e.fold(), Expr::col(0).eq(Expr::lit(5i64)));
 
-        let always_false = Expr::lit(1i64).gt(Expr::lit(2i64)).and(Expr::col(0).eq(Expr::lit(5i64)));
+        let always_false = Expr::lit(1i64)
+            .gt(Expr::lit(2i64))
+            .and(Expr::col(0).eq(Expr::lit(5i64)));
         assert_eq!(always_false.fold(), Expr::Lit(Value::Bool(false)));
     }
 
     #[test]
     fn column_refs_are_collected() {
-        let e = Expr::col(3).gt(Expr::lit(1i64)).and(Expr::ContainsAny(7, vec!["a".into()]));
+        let e = Expr::col(3)
+            .gt(Expr::lit(1i64))
+            .and(Expr::ContainsAny(7, vec!["a".into()]));
         let mut refs = BTreeSet::new();
         e.column_refs(&mut refs);
         assert_eq!(refs.into_iter().collect::<Vec<_>>(), vec![3, 7]);
@@ -376,7 +382,9 @@ mod tests {
     #[test]
     fn remap_columns_applies_projection_inverse() {
         let e = Expr::col(1).eq(Expr::lit(0i64));
-        let remapped = e.remap_columns(&|i| if i == 1 { Some(4) } else { None }).unwrap();
+        let remapped = e
+            .remap_columns(&|i| if i == 1 { Some(4) } else { None })
+            .unwrap();
         assert_eq!(remapped, Expr::col(4).eq(Expr::lit(0i64)));
         let gone = Expr::col(2).eq(Expr::lit(0i64)).remap_columns(&|_| None);
         assert!(gone.is_none());

@@ -131,13 +131,10 @@ impl LogicalPlan {
     /// The window size in effect for op `index` (size of the closest
     /// preceding `Window` op).
     pub fn window_for(&self, index: usize) -> Option<Ts> {
-        self.ops[..index]
-            .iter()
-            .rev()
-            .find_map(|op| match op {
-                LogicalOp::Window { size } => Some(*size),
-                _ => None,
-            })
+        self.ops[..index].iter().rev().find_map(|op| match op {
+            LogicalOp::Window { size } => Some(*size),
+            _ => None,
+        })
     }
 
     /// Validates the plan: schemas propagate, and every stateful op has a
@@ -195,7 +192,9 @@ mod tests {
             source_schema: schema(),
             ops: vec![
                 LogicalOp::Window { size: secs(10.0) },
-                LogicalOp::Filter { predicate: Expr::col(2).eq(Expr::lit(0u64)) },
+                LogicalOp::Filter {
+                    predicate: Expr::col(2).eq(Expr::lit(0u64)),
+                },
                 LogicalOp::GroupAggregate {
                     keys: vec![0],
                     aggs: vec![AggSpec::new(AggKind::Avg, 1, "avg_rtt")],
@@ -228,7 +227,9 @@ mod tests {
         let p = LogicalPlan {
             name: "bad".into(),
             source_schema: schema(),
-            ops: vec![LogicalOp::Filter { predicate: Expr::col(9).eq(Expr::lit(0u64)) }],
+            ops: vec![LogicalOp::Filter {
+                predicate: Expr::col(9).eq(Expr::lit(0u64)),
+            }],
         };
         assert!(p.validate().is_err());
     }

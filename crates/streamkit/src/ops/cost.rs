@@ -24,13 +24,21 @@ pub struct CostModel {
 impl CostModel {
     /// State-independent cost.
     pub fn fixed(base_us: f64) -> CostModel {
-        CostModel { base_us, state_coeff: 0.0, state_ref: 1.0 }
+        CostModel {
+            base_us,
+            state_coeff: 0.0,
+            state_ref: 1.0,
+        }
     }
 
     /// State-dependent cost (see the struct-level formula).
     pub fn state_dependent(base_us: f64, state_coeff: f64, state_ref: f64) -> CostModel {
         assert!(state_ref > 0.0, "state_ref must be positive");
-        CostModel { base_us, state_coeff, state_ref }
+        CostModel {
+            base_us,
+            state_coeff,
+            state_ref,
+        }
     }
 
     /// Per-record cost at the given live state size.
@@ -39,7 +47,8 @@ impl CostModel {
         if self.state_coeff == 0.0 {
             self.base_us
         } else {
-            self.base_us * (1.0 + self.state_coeff * (1.0 + state_size as f64 / self.state_ref).ln())
+            self.base_us
+                * (1.0 + self.state_coeff * (1.0 + state_size as f64 / self.state_ref).ln())
         }
     }
 }

@@ -19,7 +19,13 @@ pub struct FilterOp {
 impl FilterOp {
     /// Creates a filter over `schema` (output schema is unchanged).
     pub fn new(predicate: Expr, schema: SchemaRef, cost: CostModel) -> FilterOp {
-        FilterOp { predicate, schema, cost, seen: 0, passed: 0 }
+        FilterOp {
+            predicate,
+            schema,
+            cost,
+            seen: 0,
+            passed: 0,
+        }
     }
 
     /// Observed selectivity so far (1.0 until data arrives).

@@ -54,7 +54,11 @@ struct GroupTable {
 }
 
 impl GroupTable {
-    fn upsert(&mut self, key: GroupKey, init: impl FnOnce() -> Vec<AggState>) -> &mut Vec<AggState> {
+    fn upsert(
+        &mut self,
+        key: GroupKey,
+        init: impl FnOnce() -> Vec<AggState>,
+    ) -> &mut Vec<AggState> {
         let idx = match self.index.get(&key) {
             Some(&i) => {
                 self.entries[i].2 = true;
@@ -229,9 +233,9 @@ impl Operator for GroupAggregateOp {
         let window_start = self.window.start_of(rec.ts);
         let key: Vec<Value> = self.keys.iter().map(|&k| rec.values[k].clone()).collect();
         let aggs = &self.aggs;
-        let states = self
-            .table
-            .upsert((window_start, key), || aggs.iter().map(AggSpec::init).collect());
+        let states = self.table.upsert((window_start, key), || {
+            aggs.iter().map(AggSpec::init).collect()
+        });
         for (state, spec) in states.iter_mut().zip(aggs) {
             let value = rec.values.get(spec.col).unwrap_or(&Value::Null);
             state.update(value);
@@ -278,7 +282,11 @@ impl Operator for GroupAggregateOp {
             .table
             .drain_all()
             .into_iter()
-            .map(|((window_start, key), states)| GroupPartialEntry { window_start, key, states })
+            .map(|((window_start, key), states)| GroupPartialEntry {
+                window_start,
+                key,
+                states,
+            })
             .collect();
         Some(StatePartial::Group(entries))
     }
@@ -286,7 +294,8 @@ impl Operator for GroupAggregateOp {
     fn merge_state(&mut self, state: StatePartial) {
         let StatePartial::Group(entries) = state;
         for entry in entries {
-            self.table.insert_or_merge((entry.window_start, entry.key), entry.states);
+            self.table
+                .insert_or_merge((entry.window_start, entry.key), entry.states);
         }
     }
 
@@ -330,7 +339,10 @@ mod tests {
     }
 
     fn rec(ts_s: f64, src: u64, dst: u64, rtt: u64) -> Record {
-        Record::new(secs(ts_s), vec![Value::U64(src), Value::U64(dst), Value::U64(rtt)])
+        Record::new(
+            secs(ts_s),
+            vec![Value::U64(src), Value::U64(dst), Value::U64(rtt)],
+        )
     }
 
     #[test]

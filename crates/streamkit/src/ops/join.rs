@@ -84,7 +84,15 @@ impl JoinOp {
     ) -> Result<JoinOp> {
         input_schema.field(key_col)?;
         let out_schema = Self::output_schema_for(&table, input_schema);
-        Ok(JoinOp { table, key_col, miss, out_schema, cost, probes: 0, hits: 0 })
+        Ok(JoinOp {
+            table,
+            key_col,
+            miss,
+            out_schema,
+            cost,
+            probes: 0,
+            hits: 0,
+        })
     }
 
     /// Output schema: input fields followed by the table's extension fields.
@@ -132,8 +140,10 @@ impl Operator for JoinOp {
             None => match self.miss {
                 JoinMiss::Drop => {}
                 JoinMiss::Null => {
-                    rec.values
-                        .extend(std::iter::repeat(Value::Null).take(self.table.ext_fields().len()));
+                    rec.values.extend(std::iter::repeat_n(
+                        Value::Null,
+                        self.table.ext_fields().len(),
+                    ));
                     out.push(rec);
                 }
             },
@@ -177,8 +187,14 @@ mod tests {
     #[test]
     fn inner_join_appends_and_drops() {
         let schema = input_schema();
-        let mut j =
-            JoinOp::new(ip_to_tor(100), 0, JoinMiss::Drop, &schema, CostModel::fixed(5.0)).unwrap();
+        let mut j = JoinOp::new(
+            ip_to_tor(100),
+            0,
+            JoinMiss::Drop,
+            &schema,
+            CostModel::fixed(5.0),
+        )
+        .unwrap();
         let mut out = Vec::new();
         j.process(Record::new(0, vec![Value::U64(80)]), &mut out);
         j.process(Record::new(0, vec![Value::U64(500)]), &mut out);
@@ -190,8 +206,14 @@ mod tests {
     #[test]
     fn outer_join_emits_nulls() {
         let schema = input_schema();
-        let mut j =
-            JoinOp::new(ip_to_tor(10), 0, JoinMiss::Null, &schema, CostModel::fixed(5.0)).unwrap();
+        let mut j = JoinOp::new(
+            ip_to_tor(10),
+            0,
+            JoinMiss::Null,
+            &schema,
+            CostModel::fixed(5.0),
+        )
+        .unwrap();
         let mut out = Vec::new();
         j.process(Record::new(0, vec![Value::U64(999)]), &mut out);
         assert_eq!(out[0].values, vec![Value::U64(999), Value::Null]);
@@ -210,7 +232,14 @@ mod tests {
     #[test]
     fn bad_key_column_is_an_error() {
         let schema = input_schema();
-        assert!(JoinOp::new(ip_to_tor(1), 3, JoinMiss::Drop, &schema, CostModel::fixed(1.0)).is_err());
+        assert!(JoinOp::new(
+            ip_to_tor(1),
+            3,
+            JoinMiss::Drop,
+            &schema,
+            CostModel::fixed(1.0)
+        )
+        .is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub enum MapFn {
         /// Output schema.
         schema: SchemaRef,
         /// The transformation; returning `None` drops the record.
+        #[allow(clippy::type_complexity)]
         f: Arc<dyn Fn(&Record) -> Option<Record> + Send + Sync>,
     },
 }
@@ -56,7 +57,12 @@ impl std::fmt::Debug for MapFn {
         match self {
             MapFn::TrimLower(c) => write!(f, "TrimLower({c})"),
             MapFn::ParseJobStats { col, .. } => write!(f, "ParseJobStats({col})"),
-            MapFn::WidthBucket { col, lo, hi, buckets } => {
+            MapFn::WidthBucket {
+                col,
+                lo,
+                hi,
+                buckets,
+            } => {
                 write!(f, "WidthBucket({col}, {lo}, {hi}, {buckets})")
             }
             MapFn::Custom { name, .. } => write!(f, "Custom({name})"),
@@ -71,7 +77,10 @@ impl MapFn {
             MapFn::TrimLower(col) => {
                 let field = input.field(*col)?;
                 if field.dtype != DataType::Str {
-                    return Err(Error::TypeMismatch { expected: "str", got: "non-str" });
+                    return Err(Error::TypeMismatch {
+                        expected: "str",
+                        got: "non-str",
+                    });
                 }
                 Ok(input.clone())
             }
@@ -88,9 +97,10 @@ impl MapFn {
             }
             MapFn::WidthBucket { col, .. } => {
                 let mut fields = input.fields().to_vec();
-                let field = fields
-                    .get_mut(*col)
-                    .ok_or(Error::ColumnIndex { index: *col, width: input.width() })?;
+                let field = fields.get_mut(*col).ok_or(Error::ColumnIndex {
+                    index: *col,
+                    width: input.width(),
+                })?;
                 field.dtype = DataType::I64;
                 Ok(Schema::with_overhead(fields, input.record_overhead()))
             }
@@ -137,7 +147,12 @@ impl MapFn {
                 }
                 None
             }
-            MapFn::WidthBucket { col, lo, hi, buckets } => {
+            MapFn::WidthBucket {
+                col,
+                lo,
+                hi,
+                buckets,
+            } => {
                 let mut rec = rec.clone();
                 let v = rec.values.get(*col)?.as_f64()?;
                 let b = width_bucket(v, *lo, *hi, *buckets);
@@ -165,7 +180,7 @@ pub fn width_bucket(v: f64, lo: f64, hi: f64, buckets: u32) -> i64 {
 fn extract_kv<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let start = line.find(key)? + key.len();
     let rest = line.get(start..)?.strip_prefix('=')?;
-    let end = rest.find(|c| c == ',' || c == ';').unwrap_or(rest.len());
+    let end = rest.find([',', ';']).unwrap_or(rest.len());
     // A value runs until a delimiter; embedded spaces are allowed for tenant
     // names but numeric stats are parsed with trim.
     Some(&rest[..end])
@@ -249,10 +264,18 @@ mod tests {
 
     #[test]
     fn parse_job_stats_drops_unparseable_lines() {
-        let f = MapFn::ParseJobStats { col: 0, stats: vec!["cpu util".into()] };
-        assert!(f.apply(&Record::new(0, vec![Value::str("heartbeat ok")])).is_none());
+        let f = MapFn::ParseJobStats {
+            col: 0,
+            stats: vec!["cpu util".into()],
+        };
         assert!(f
-            .apply(&Record::new(0, vec![Value::str("tenant name=acme, cpu util=NaNopenope")]))
+            .apply(&Record::new(0, vec![Value::str("heartbeat ok")]))
+            .is_none());
+        assert!(f
+            .apply(&Record::new(
+                0,
+                vec![Value::str("tenant name=acme, cpu util=NaNopenope")]
+            ))
             .is_none());
     }
 
@@ -270,7 +293,12 @@ mod tests {
             Field::new("tenant", DataType::Str),
             Field::new("stat", DataType::F64),
         ]);
-        let f = MapFn::WidthBucket { col: 1, lo: 0.0, hi: 100.0, buckets: 10 };
+        let f = MapFn::WidthBucket {
+            col: 1,
+            lo: 0.0,
+            hi: 100.0,
+            buckets: 10,
+        };
         let out_schema = f.output_schema(&schema).unwrap();
         assert_eq!(out_schema.fields()[1].dtype, DataType::I64);
         let rec = Record::new(0, vec![Value::str("t"), Value::F64(31.0)]);
@@ -279,7 +307,10 @@ mod tests {
 
     #[test]
     fn map_op_drops_when_fn_returns_none() {
-        let f = MapFn::ParseJobStats { col: 0, stats: vec!["cpu util".into()] };
+        let f = MapFn::ParseJobStats {
+            col: 0,
+            stats: vec!["cpu util".into()],
+        };
         let out_schema = f.output_schema(&log_schema()).unwrap();
         let mut op = MapOp::new(f, out_schema, CostModel::fixed(1.0));
         let mut out = Vec::new();

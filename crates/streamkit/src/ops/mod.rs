@@ -111,7 +111,10 @@ impl StatePartial {
     pub fn wire_bytes(&self) -> usize {
         match self {
             StatePartial::Group(entries) => {
-                4 + entries.iter().map(GroupPartialEntry::wire_bytes).sum::<usize>()
+                4 + entries
+                    .iter()
+                    .map(GroupPartialEntry::wire_bytes)
+                    .sum::<usize>()
             }
         }
     }

@@ -20,7 +20,11 @@ pub struct WindowAssignOp {
 impl WindowAssignOp {
     /// Creates the window stage.
     pub fn new(window: TumblingWindow, schema: SchemaRef, cost: CostModel) -> WindowAssignOp {
-        WindowAssignOp { window, schema, cost }
+        WindowAssignOp {
+            window,
+            schema,
+            cost,
+        }
     }
 
     /// The declared window.

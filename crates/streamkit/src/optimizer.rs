@@ -42,7 +42,9 @@ pub fn fold_constants(plan: &mut LogicalPlan) {
     plan.ops.retain(|op| {
         !matches!(
             op,
-            LogicalOp::Filter { predicate: crate::expr::Expr::Lit(Value::Bool(true)) }
+            LogicalOp::Filter {
+                predicate: crate::expr::Expr::Lit(Value::Bool(true))
+            }
         )
     });
 }
@@ -79,8 +81,15 @@ pub fn push_filters_down(plan: &mut LogicalPlan) -> bool {
                 moved = true;
             }
             Some(Some(remapped)) => {
-                let LogicalOp::Filter { .. } = plan.ops.remove(i) else { unreachable!() };
-                plan.ops.insert(i - 1, LogicalOp::Filter { predicate: remapped });
+                let LogicalOp::Filter { .. } = plan.ops.remove(i) else {
+                    unreachable!()
+                };
+                plan.ops.insert(
+                    i - 1,
+                    LogicalOp::Filter {
+                        predicate: remapped,
+                    },
+                );
                 moved = true;
             }
             None => {}
@@ -130,7 +139,11 @@ mod tests {
     }
 
     fn plan(ops: Vec<LogicalOp>) -> LogicalPlan {
-        LogicalPlan { name: "t".into(), source_schema: schema(), ops }
+        LogicalPlan {
+            name: "t".into(),
+            source_schema: schema(),
+            ops,
+        }
     }
 
     #[test]
@@ -145,8 +158,12 @@ mod tests {
     #[test]
     fn filter_pushes_past_trim_lower_when_independent() {
         let p = plan(vec![
-            LogicalOp::Map { f: MapFn::TrimLower(2) },
-            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(5i64)) },
+            LogicalOp::Map {
+                f: MapFn::TrimLower(2),
+            },
+            LogicalOp::Filter {
+                predicate: Expr::col(0).gt(Expr::lit(5i64)),
+            },
         ]);
         let p = optimize(p);
         assert!(matches!(p.ops[0], LogicalOp::Filter { .. }));
@@ -157,18 +174,27 @@ mod tests {
     #[test]
     fn filter_on_rewritten_column_stays_put() {
         let p = plan(vec![
-            LogicalOp::Map { f: MapFn::TrimLower(2) },
-            LogicalOp::Filter { predicate: Expr::Contains(Box::new(Expr::col(2)), "x".into()) },
+            LogicalOp::Map {
+                f: MapFn::TrimLower(2),
+            },
+            LogicalOp::Filter {
+                predicate: Expr::Contains(Box::new(Expr::col(2)), "x".into()),
+            },
         ]);
         let p = optimize(p);
-        assert!(matches!(p.ops[0], LogicalOp::Map { .. }), "must not reorder");
+        assert!(
+            matches!(p.ops[0], LogicalOp::Map { .. }),
+            "must not reorder"
+        );
     }
 
     #[test]
     fn filter_pushes_past_projection_with_remap() {
         let p = plan(vec![
             LogicalOp::Project { cols: vec![1] },
-            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(5i64)) },
+            LogicalOp::Filter {
+                predicate: Expr::col(0).gt(Expr::lit(5i64)),
+            },
         ]);
         let p = optimize(p);
         assert!(matches!(p.ops[0], LogicalOp::Filter { .. }));
@@ -184,8 +210,12 @@ mod tests {
     #[test]
     fn adjacent_filters_fuse() {
         let p = plan(vec![
-            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(1i64)) },
-            LogicalOp::Filter { predicate: Expr::col(1).lt(Expr::lit(9i64)) },
+            LogicalOp::Filter {
+                predicate: Expr::col(0).gt(Expr::lit(1i64)),
+            },
+            LogicalOp::Filter {
+                predicate: Expr::col(1).lt(Expr::lit(9i64)),
+            },
         ]);
         let p = optimize(p);
         assert_eq!(p.ops.len(), 1);
@@ -198,8 +228,12 @@ mod tests {
         use crate::value::Value;
         // Evaluate original vs optimised pipeline by hand on sample records.
         let original = plan(vec![
-            LogicalOp::Map { f: MapFn::TrimLower(2) },
-            LogicalOp::Filter { predicate: Expr::col(0).gt(Expr::lit(5i64)) },
+            LogicalOp::Map {
+                f: MapFn::TrimLower(2),
+            },
+            LogicalOp::Filter {
+                predicate: Expr::col(0).gt(Expr::lit(5i64)),
+            },
         ]);
         let optimised = optimize(original.clone());
         let records = vec![

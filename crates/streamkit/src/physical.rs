@@ -11,6 +11,7 @@ use crate::ops::{
     AggRole, CostModel, FilterOp, GroupAggregateOp, JoinOp, MapOp, OpKind, Operator, ProjectOp,
     WindowAssignOp,
 };
+use crate::record::Record;
 use crate::window::TumblingWindow;
 
 /// Per-operator cost models, aligned with the logical plan's op indices.
@@ -22,7 +23,9 @@ pub struct CostProfile {
 impl CostProfile {
     /// A profile giving every operator the same fixed cost (tests).
     pub fn uniform(len: usize, base_us: f64) -> CostProfile {
-        CostProfile { costs: vec![CostModel::fixed(base_us); len] }
+        CostProfile {
+            costs: vec![CostModel::fixed(base_us); len],
+        }
     }
 
     /// A profile from explicit per-op models.
@@ -32,7 +35,10 @@ impl CostProfile {
 
     /// Cost model for op `i`; defaults by kind when unspecified.
     pub fn for_op(&self, i: usize, kind: OpKind) -> CostModel {
-        self.costs.get(i).copied().unwrap_or_else(|| default_cost(kind))
+        self.costs
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| default_cost(kind))
     }
 }
 
@@ -67,9 +73,11 @@ pub fn build_pipeline(
         let output = &schemas[i + 1];
         let cost = costs.for_op(i, op.kind());
         let built: Box<dyn Operator> = match op {
-            LogicalOp::Window { size } => {
-                Box::new(WindowAssignOp::new(TumblingWindow::new(*size), output.clone(), cost))
-            }
+            LogicalOp::Window { size } => Box::new(WindowAssignOp::new(
+                TumblingWindow::new(*size),
+                output.clone(),
+                cost,
+            )),
             LogicalOp::Filter { predicate } => {
                 Box::new(FilterOp::new(predicate.clone(), output.clone(), cost))
             }
@@ -91,13 +99,39 @@ pub fn build_pipeline(
                     cost,
                 ))
             }
-            LogicalOp::Join { table, key_col, miss } => {
-                Box::new(JoinOp::new(table.clone(), *key_col, *miss, input, cost)?)
-            }
+            LogicalOp::Join {
+                table,
+                key_col,
+                miss,
+            } => Box::new(JoinOp::new(table.clone(), *key_col, *miss, input, cost)?),
         };
         ops.push(built);
     }
     Ok(ops)
+}
+
+/// Closes every window open at watermark `wm` across a built pipeline and
+/// routes the emissions through the downstream stages, returning the rows
+/// that exit the chain. This is the single end-of-run flush shared by every
+/// execution backend — exact merged results depend on all of them closing
+/// windows the same way.
+pub fn drain_windows(ops: &mut [Box<dyn Operator>], wm: crate::time::Ts) -> Vec<Record> {
+    let n = ops.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let mut emitted = Vec::new();
+        ops[i].on_watermark(wm, &mut emitted);
+        let mut batch = emitted;
+        for later in ops.iter_mut().take(n).skip(i + 1) {
+            let mut next = Vec::new();
+            for rec in batch.drain(..) {
+                later.process(rec, &mut next);
+            }
+            batch = next;
+        }
+        out.extend(batch);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -145,9 +179,18 @@ mod tests {
         let mut ops = build_pipeline(&plan, &CostProfile::default(), AggRole::Final).unwrap();
         assert_eq!(ops.len(), 3);
         let recs = vec![
-            Record::new(secs(1.0), vec![Value::U64(1), Value::U64(2), Value::U64(100), Value::U64(0)]),
-            Record::new(secs(2.0), vec![Value::U64(1), Value::U64(2), Value::U64(200), Value::U64(1)]),
-            Record::new(secs(3.0), vec![Value::U64(1), Value::U64(2), Value::U64(300), Value::U64(0)]),
+            Record::new(
+                secs(1.0),
+                vec![Value::U64(1), Value::U64(2), Value::U64(100), Value::U64(0)],
+            ),
+            Record::new(
+                secs(2.0),
+                vec![Value::U64(1), Value::U64(2), Value::U64(200), Value::U64(1)],
+            ),
+            Record::new(
+                secs(3.0),
+                vec![Value::U64(1), Value::U64(2), Value::U64(300), Value::U64(0)],
+            ),
         ];
         let direct = run_chain(&mut ops, recs);
         assert!(direct.is_empty(), "aggregation holds state until close");

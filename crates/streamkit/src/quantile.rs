@@ -27,7 +27,14 @@ impl QuantileSketch {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> QuantileSketch {
         assert!(hi > lo, "sketch range must be non-empty");
         assert!(buckets > 0, "sketch needs at least one bucket");
-        QuantileSketch { lo, hi, counts: vec![0; buckets], underflow: 0, overflow: 0, total: 0 }
+        QuantileSketch {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Inserts one value.

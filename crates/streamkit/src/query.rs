@@ -137,7 +137,11 @@ impl QueryBuilder {
     /// `.Join(m, e => e.srcIp, ...)`).
     pub fn join(mut self, table: Arc<StaticTable>, key_column: &str, miss: JoinMiss) -> Self {
         match self.resolve(key_column) {
-            Ok(key_col) => self.push(LogicalOp::Join { table, key_col, miss }),
+            Ok(key_col) => self.push(LogicalOp::Join {
+                table,
+                key_col,
+                miss,
+            }),
             Err(e) => {
                 self.current = Err(e);
                 self
@@ -176,7 +180,11 @@ impl QueryBuilder {
         let specs: Result<Vec<AggSpec>> = aggs
             .iter()
             .map(|(kind, col, name)| {
-                Ok(AggSpec::new(kind.clone(), self.resolve(col)?, name.to_string()))
+                Ok(AggSpec::new(
+                    kind.clone(),
+                    self.resolve(col)?,
+                    name.to_string(),
+                ))
             })
             .collect();
         match specs {
@@ -269,7 +277,12 @@ mod tests {
     fn join_then_project_shrinks_schema() {
         let table = Arc::new(StaticTable::new(
             vec![Field::new("torId", DataType::U32)],
-            (0u64..10).map(|ip| (crate::value::Value::U64(ip), vec![crate::value::Value::U64(ip / 4)])),
+            (0u64..10).map(|ip| {
+                (
+                    crate::value::Value::U64(ip),
+                    vec![crate::value::Value::U64(ip / 4)],
+                )
+            }),
         ));
         let plan = Query::stream("t2t-ish", schema())
             .window_secs(10.0)

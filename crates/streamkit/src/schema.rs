@@ -66,7 +66,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -87,13 +90,19 @@ pub type SchemaRef = Arc<Schema>;
 impl Schema {
     /// Creates a schema from fields (no per-record envelope).
     pub fn new(fields: Vec<Field>) -> SchemaRef {
-        Arc::new(Schema { fields, record_overhead: 0 })
+        Arc::new(Schema {
+            fields,
+            record_overhead: 0,
+        })
     }
 
     /// Creates a schema whose records carry `record_overhead` extra wire
     /// bytes each (serialisation envelope).
     pub fn with_overhead(fields: Vec<Field>, record_overhead: usize) -> SchemaRef {
-        Arc::new(Schema { fields, record_overhead })
+        Arc::new(Schema {
+            fields,
+            record_overhead,
+        })
     }
 
     /// Per-record envelope bytes.
@@ -121,9 +130,10 @@ impl Schema {
 
     /// The field at `index`.
     pub fn field(&self, index: usize) -> Result<&Field> {
-        self.fields
-            .get(index)
-            .ok_or(Error::ColumnIndex { index, width: self.fields.len() })
+        self.fields.get(index).ok_or(Error::ColumnIndex {
+            index,
+            width: self.fields.len(),
+        })
     }
 
     /// Wire size of the fixed-width portion of a record, excluding the 8-byte
@@ -193,7 +203,10 @@ mod tests {
         assert!(matches!(s.index_of("nope"), Err(Error::UnknownColumn(_))));
         assert!(matches!(
             s.field(42),
-            Err(Error::ColumnIndex { index: 42, width: 6 })
+            Err(Error::ColumnIndex {
+                index: 42,
+                width: 6
+            })
         ));
     }
 

@@ -17,7 +17,10 @@ pub struct WatermarkMerger {
 impl WatermarkMerger {
     /// Creates a merger over `inputs` streams, all starting at `TS_MIN`.
     pub fn new(inputs: usize) -> WatermarkMerger {
-        WatermarkMerger { inputs: vec![TS_MIN; inputs], emitted: TS_MIN }
+        WatermarkMerger {
+            inputs: vec![TS_MIN; inputs],
+            emitted: TS_MIN,
+        }
     }
 
     /// Number of input streams.

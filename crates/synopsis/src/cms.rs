@@ -18,7 +18,12 @@ impl CountMinSketch {
     /// failure probability ≈ (1/2)^depth.
     pub fn new(width: usize, depth: usize) -> CountMinSketch {
         assert!(width > 0 && depth > 0, "width and depth must be positive");
-        CountMinSketch { width, depth, counts: vec![0; width * depth], total: 0 }
+        CountMinSketch {
+            width,
+            depth,
+            counts: vec![0; width * depth],
+            total: 0,
+        }
     }
 
     fn index(&self, item: &impl Hash, row: usize) -> usize {

@@ -33,7 +33,11 @@ pub struct WspConfig {
 
 impl Default for WspConfig {
     fn default() -> Self {
-        WspConfig { rate: 0.2, alert_threshold_us: 5_000.0, seed: 7 }
+        WspConfig {
+            rate: 0.2,
+            alert_threshold_us: 5_000.0,
+            seed: 7,
+        }
     }
 }
 
@@ -130,8 +134,13 @@ impl WspSampler {
         let mut sampled_bytes = 0usize;
         let mut raw_bytes = 0usize;
         for rec in records {
-            let key = (rec.values[key_cols.0].clone(), rec.values[key_cols.1].clone());
-            let Some(rtt) = rec.values[rtt_col].as_f64() else { continue };
+            let key = (
+                rec.values[key_cols.0].clone(),
+                rec.values[key_cols.1].clone(),
+            );
+            let Some(rtt) = rec.values[rtt_col].as_f64() else {
+                continue;
+            };
             raw_bytes += rec.wire_size(schema);
             truth.entry(key.clone()).or_default().update(rtt);
             if self.rng.gen_bool(self.cfg.rate) {
@@ -153,7 +162,13 @@ impl WspSampler {
                 }
             }
         }
-        WspReport { sampled_bytes, raw_bytes, range_errors_us, true_alerts, missed_alerts }
+        WspReport {
+            sampled_bytes,
+            raw_bytes,
+            range_errors_us,
+            true_alerts,
+            missed_alerts,
+        }
     }
 }
 
@@ -180,7 +195,10 @@ mod tests {
     #[test]
     fn full_rate_sampling_has_zero_error() {
         let (recs, schema) = window(1.0);
-        let mut s = WspSampler::new(WspConfig { rate: 1.0, ..Default::default() });
+        let mut s = WspSampler::new(WspConfig {
+            rate: 1.0,
+            ..Default::default()
+        });
         let rep = s.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
         assert_eq!(rep.sampled_bytes, rep.raw_bytes);
         assert!(rep.range_errors_us.iter().all(|&e| e == 0.0));
@@ -191,8 +209,14 @@ mod tests {
     #[test]
     fn lower_rates_transfer_less_but_err_more() {
         let (recs, schema) = window(1.0);
-        let mut lo = WspSampler::new(WspConfig { rate: 0.2, ..Default::default() });
-        let mut hi = WspSampler::new(WspConfig { rate: 0.8, ..Default::default() });
+        let mut lo = WspSampler::new(WspConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
+        let mut hi = WspSampler::new(WspConfig {
+            rate: 0.8,
+            ..Default::default()
+        });
         let rep_lo = lo.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
         let rep_hi = hi.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
         assert!(rep_lo.sampled_bytes < rep_hi.sampled_bytes);
@@ -206,7 +230,10 @@ mod tests {
     #[test]
     fn low_rates_miss_alerts() {
         let (recs, schema) = window(1.0);
-        let mut s = WspSampler::new(WspConfig { rate: 0.2, ..Default::default() });
+        let mut s = WspSampler::new(WspConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
         let rep = s.evaluate_window(&recs, &schema, (col::SRC_IP, col::DST_IP), col::RTT);
         // The paper reports 10–38% missed alerts at low rates; with one probe
         // per pair per window at 1x, a 0.2 sample misses ~80% — any strictly

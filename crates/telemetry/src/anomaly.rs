@@ -44,7 +44,12 @@ impl AnomalySchedule {
     /// A single window.
     pub fn single(start_s: f64, duration_s: f64, affected_frac: f64, severity: f64) -> Self {
         AnomalySchedule {
-            windows: vec![AnomalyWindow { start_s, duration_s, affected_frac, severity }],
+            windows: vec![AnomalyWindow {
+                start_s,
+                duration_s,
+                affected_frac,
+                severity,
+            }],
         }
     }
 
@@ -60,7 +65,12 @@ impl AnomalySchedule {
         let mut windows = Vec::new();
         let mut start = period_s;
         while start < horizon_s {
-            windows.push(AnomalyWindow { start_s: start, duration_s, affected_frac, severity });
+            windows.push(AnomalyWindow {
+                start_s: start,
+                duration_s,
+                affected_frac,
+                severity,
+            });
             start += period_s;
         }
         AnomalySchedule { windows }
@@ -100,7 +110,12 @@ mod tests {
 
     #[test]
     fn window_activity_bounds() {
-        let w = AnomalyWindow { start_s: 10.0, duration_s: 40.0, affected_frac: 0.1, severity: 20.0 };
+        let w = AnomalyWindow {
+            start_s: 10.0,
+            duration_s: 40.0,
+            affected_frac: 0.1,
+            severity: 20.0,
+        };
         assert!(!w.active_at(9.99));
         assert!(w.active_at(10.0));
         assert!(w.active_at(49.99));

@@ -18,15 +18,25 @@ pub fn ip_to_tor_table(
     field_name: &str,
 ) -> Arc<StaticTable> {
     assert!(servers_per_tor > 0, "servers_per_tor must be positive");
-    let mut rows: Vec<(Value, Vec<Value>)> = Vec::with_capacity(entries as usize + source_ips.len());
+    let mut rows: Vec<(Value, Vec<Value>)> =
+        Vec::with_capacity(entries as usize + source_ips.len());
     for i in 0..entries {
         let ip = 100_000 + i;
-        rows.push((Value::U64(u64::from(ip)), vec![Value::U64(u64::from(ip / servers_per_tor))]));
+        rows.push((
+            Value::U64(u64::from(ip)),
+            vec![Value::U64(u64::from(ip / servers_per_tor))],
+        ));
     }
     for &ip in source_ips {
-        rows.push((Value::U64(u64::from(ip)), vec![Value::U64(u64::from(ip / servers_per_tor))]));
+        rows.push((
+            Value::U64(u64::from(ip)),
+            vec![Value::U64(u64::from(ip / servers_per_tor))],
+        ));
     }
-    Arc::new(StaticTable::new(vec![Field::new(field_name, DataType::U32)], rows))
+    Arc::new(StaticTable::new(
+        vec![Field::new(field_name, DataType::U32)],
+        rows,
+    ))
 }
 
 #[cfg(test)]

@@ -18,8 +18,7 @@ use streamkit::value::Value;
 use crate::anomaly::AnomalySchedule;
 
 /// The patterns from Listing 3.
-pub const LOG_PATTERNS: [&str; 4] =
-    ["tenant name", "job running time", "cpu util", "memory util"];
+pub const LOG_PATTERNS: [&str; 4] = ["tenant name", "job running time", "cpu util", "memory util"];
 
 /// Stat names embedded in matching lines.
 pub const STAT_NAMES: [&str; 3] = ["job running time", "cpu util", "memory util"];
@@ -80,7 +79,12 @@ impl LogGenerator {
     /// Creates a generator.
     pub fn new(cfg: LogConfig) -> LogGenerator {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        LogGenerator { cfg, rng, carry_bytes: 0.0, seq: 0 }
+        LogGenerator {
+            cfg,
+            rng,
+            carry_bytes: 0.0,
+            seq: 0,
+        }
     }
 
     /// The configuration.
@@ -172,7 +176,10 @@ mod tests {
 
     #[test]
     fn epoch_bytes_track_configured_rate() {
-        let cfg = LogConfig { scale: 10.0, ..Default::default() };
+        let cfg = LogConfig {
+            scale: 10.0,
+            ..Default::default()
+        };
         let target = cfg.bytes_per_sec * cfg.scale;
         let mut g = LogGenerator::new(cfg);
         let schema = log_schema();

@@ -50,7 +50,10 @@ pub fn pingmesh_schema() -> SchemaRef {
         Field::new("rtt", DataType::U32),
         Field::new("errCode", DataType::U32),
     ];
-    let body: usize = 8 + fields.iter().map(|f| f.dtype.fixed_width().unwrap()).sum::<usize>();
+    let body: usize = 8 + fields
+        .iter()
+        .map(|f| f.dtype.fixed_width().unwrap())
+        .sum::<usize>();
     Schema::with_overhead(fields, PINGMESH_RECORD_BYTES - body)
 }
 
@@ -124,7 +127,11 @@ impl PingmeshGenerator {
     /// Creates a generator.
     pub fn new(cfg: PingmeshConfig) -> PingmeshGenerator {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ u64::from(cfg.src_ip));
-        PingmeshGenerator { cfg, rng, carry: 0.0 }
+        PingmeshGenerator {
+            cfg,
+            rng,
+            carry: 0.0,
+        }
     }
 
     /// The configuration.
@@ -225,7 +232,11 @@ mod tests {
 
     #[test]
     fn long_run_record_count_is_exact() {
-        let cfg = PingmeshConfig { scale: 1.0, rate_factor: 0.3777, ..Default::default() };
+        let cfg = PingmeshConfig {
+            scale: 1.0,
+            rate_factor: 0.3777,
+            ..Default::default()
+        };
         let expected = cfg.records_per_sec();
         let mut g = PingmeshGenerator::new(cfg);
         let mut total = 0usize;
@@ -237,7 +248,10 @@ mod tests {
 
     #[test]
     fn error_rate_is_close_to_configured() {
-        let mut g = PingmeshGenerator::new(PingmeshConfig { scale: 10.0, ..Default::default() });
+        let mut g = PingmeshGenerator::new(PingmeshConfig {
+            scale: 10.0,
+            ..Default::default()
+        });
         let recs = g.generate_epoch(0, 1.0);
         let errors = recs
             .iter()
@@ -276,8 +290,9 @@ mod tests {
     #[test]
     fn skew_distribution_matches_paper() {
         let total = 1000;
-        let below_half =
-            (0..total).filter(|&i| rate_skew_factor(i, total) <= 0.5).count();
+        let below_half = (0..total)
+            .filter(|&i| rate_skew_factor(i, total) <= 0.5)
+            .count();
         let frac = below_half as f64 / total as f64;
         assert!((frac - 0.58).abs() < 0.05, "frac={frac}");
     }
@@ -287,6 +302,9 @@ mod tests {
         let mut g = PingmeshGenerator::new(PingmeshConfig::default());
         let recs = g.generate_epoch(0, 0.1);
         let schema = pingmesh_schema();
-        assert_eq!(wire_size_of(&recs, &schema), recs.len() * PINGMESH_RECORD_BYTES);
+        assert_eq!(
+            wire_size_of(&recs, &schema),
+            recs.len() * PINGMESH_RECORD_BYTES
+        );
     }
 }

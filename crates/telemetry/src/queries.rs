@@ -78,9 +78,17 @@ pub fn log_analytics() -> LogicalPlan {
             col: 0,
             stats: STAT_NAMES.iter().map(|s| s.to_string()).collect(),
         })
-        .map(MapFn::WidthBucket { col: 2, lo: 0.0, hi: 100.0, buckets: 10 })
+        .map(MapFn::WidthBucket {
+            col: 2,
+            lo: 0.0,
+            hi: 100.0,
+            buckets: 10,
+        })
         .group_by(&["tenant", "stat_name", "stat"])
-        .aggregate_emit(&[(AggKind::Count, "stat", "count")], EmitMode::PerEpochDelta)
+        .aggregate_emit(
+            &[(AggKind::Count, "stat", "count")],
+            EmitMode::PerEpochDelta,
+        )
         .build()
         .expect("LogAnalytics is well-formed")
 }

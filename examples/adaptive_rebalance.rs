@@ -1,21 +1,28 @@
 //! Watch Jarvis adapt to resource-condition changes (the Fig. 8 experiment,
 //! live): the node's CPU budget jumps 10 % → 90 % → 60 % and the runtime
-//! re-partitions the query within a few one-second epochs.
+//! re-partitions the query within a few one-second epochs. Resource events
+//! are scheduled straight on the deployment builder.
 //!
 //! ```sh
 //! cargo run --release --example adaptive_rebalance
 //! ```
 
-use jarvis::core::calibration::Scale;
-use jarvis::core::experiment::{convergence_run, ResourceEvent, ScenarioSpec};
 use jarvis::core::runtime::TraceState;
-use jarvis::core::strategy::StrategyKind;
+use jarvis::prelude::*;
 
 fn main() {
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
     let events = [
-        ResourceEvent { epoch: 3, cpu_budget: Some(0.9), table_size: None },
-        ResourceEvent { epoch: 18, cpu_budget: Some(0.6), table_size: None },
+        ResourceEvent {
+            epoch: 3,
+            cpu_budget: Some(0.9),
+            table_size: None,
+        },
+        ResourceEvent {
+            epoch: 18,
+            cpu_budget: Some(0.6),
+            table_size: None,
+        },
     ];
 
     println!("S2SProbe at 10x; CPU budget: 10% -> 90% (epoch 3) -> 60% (epoch 18)\n");
@@ -24,7 +31,16 @@ fn main() {
         StrategyKind::JarvisNoLpInit,
         StrategyKind::Jarvis,
     ] {
-        let report = convergence_run(&spec, strategy, 0.10, &events, 32);
+        let report = Deployment::builder()
+            .workload(spec.clone())
+            .strategy(strategy)
+            .cpu_budget(0.10)
+            .events(&events)
+            .backend(BackendKind::Emulated)
+            .build()
+            .expect("valid deployment")
+            .run(32)
+            .expect("emulated run");
         let series: String = report
             .trace
             .iter()
@@ -38,7 +54,13 @@ fn main() {
             .collect();
         println!("{:<12} {}", strategy.label(), series);
         for (start, end) in &report.episodes {
-            println!("{:<12}   adapted in {} epoch(s) (epochs {}..{})", "", end - start, start, end);
+            println!(
+                "{:<12}   adapted in {} epoch(s) (epochs {}..{})",
+                "",
+                end - start,
+                start,
+                end
+            );
         }
         if report.episodes.is_empty() {
             println!("{:<12}   never stabilised", "");

@@ -5,13 +5,13 @@
 //! This example builds a p99-latency query with an approximate quantile
 //! sketch, shows the planner admitting it to the source prefix (and
 //! rejecting it when quantiles are configured as exact), and runs it
-//! partitioned to produce per-pair tail-latency estimates.
+//! partitioned through the live backend to produce per-pair tail-latency
+//! estimates.
 //!
 //! ```sh
 //! cargo run --release --example approx_quantiles
 //! ```
 
-use jarvis::core::live::run_partitioned;
 use jarvis::core::planner::{plan_query, RuleConfig};
 use jarvis::prelude::*;
 use jarvis::streamkit::physical::CostProfile;
@@ -25,7 +25,11 @@ fn main() {
         .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
         .group_by(&["srcCluster"])
         .aggregate(&[(
-            AggKind::ApproxQuantile { q: 0.99, lo: 0.0, hi: 50_000.0 },
+            AggKind::ApproxQuantile {
+                q: 0.99,
+                lo: 0.0,
+                hi: 50_000.0,
+            },
             "rtt",
             "p99_rtt",
         )])
@@ -35,37 +39,49 @@ fn main() {
     // R-1: approximate quantiles are incrementally updatable -> eligible.
     let planned = plan_query(plan.clone(), &RuleConfig::default()).unwrap();
     println!("chain: {}", planned.plan.display_chain());
-    println!("source-eligible operators: {} of {}", planned.source_ops, planned.plan.ops.len());
+    println!(
+        "source-eligible operators: {} of {}",
+        planned.source_ops,
+        planned.plan.ops.len()
+    );
     assert_eq!(planned.source_ops, 3);
 
     // Flip the rule: treat quantiles as exact -> the aggregation is SP-only.
-    let strict = RuleConfig { quantiles_are_exact: true, ..Default::default() };
-    let restricted = plan_query(plan, &strict).unwrap();
+    let strict = RuleConfig {
+        quantiles_are_exact: true,
+        ..Default::default()
+    };
+    let restricted = plan_query(plan.clone(), &strict).unwrap();
     println!(
         "with exact-quantile semantics the prefix shrinks to {} operator(s): {:?}",
         restricted.source_ops, restricted.exclusions
     );
     assert!(restricted.source_ops < 3);
 
-    // Execute partitioned: sketches merge across the split exactly like any
-    // other partial state.
-    let mut gen = PingmeshGenerator::new(PingmeshConfig {
+    // Execute partitioned through the live backend: sketches merge across
+    // the split exactly like any other partial state.
+    let generator = PingmeshGenerator::new(PingmeshConfig {
         anomalies: AnomalySchedule::single(5.0, 50.0, 0.05, 25.0),
         ..Default::default()
     });
-    let mut records = Vec::new();
-    for e in 0..20i64 {
-        records.extend(gen.generate_epoch(e * 1_000_000, 1.0));
-    }
-    let report = run_partitioned(
-        &planned,
-        &CostProfile::uniform(3, 2.0),
-        records,
-        &[1.0, 1.0, 0.6],
-        2,
+    let workload = CustomWorkload::new(
+        "tail-latency",
+        plan,
+        CostProfile::uniform(3, 2.0),
+        vec![Box::new(generator)],
     );
+    let spec = Deployment::builder()
+        .workload(workload)
+        .strategy(StrategyKind::AllSrc)
+        .load_factors(vec![1.0, 1.0, 0.6])
+        .cpu_budget(1.0)
+        .spec()
+        .expect("valid deployment");
+    let mut session = LiveSession::new(&spec).expect("live session");
+    session.run_epochs(20);
+    let outcome = session.finish();
     println!("--- merged p99 estimates ---");
-    for row in report.results.iter().take(6) {
+    for row in outcome.results.iter().take(6) {
         println!(
             "window {:>3}s cluster {:>3}: p99 rtt = {:>8.0} us",
             row.values[0].as_i64().unwrap_or(0) / 1_000_000,
@@ -73,12 +89,15 @@ fn main() {
             row.values[2].as_f64().unwrap_or(f64::NAN),
         );
     }
-    assert!(!report.results.is_empty());
-    let worst = report
+    assert!(!outcome.results.is_empty());
+    let worst = outcome
         .results
         .iter()
         .filter_map(|r| r.values[2].as_f64())
         .fold(0.0f64, f64::max);
     println!("worst cluster p99: {worst:.0} us (anomaly window drives the tail)");
-    assert!(worst > 1_000.0, "the injected anomaly must surface in the p99");
+    assert!(
+        worst > 1_000.0,
+        "the injected anomaly must surface in the p99"
+    );
 }

@@ -8,33 +8,37 @@
 //! cargo run --release --example log_analytics
 //! ```
 
-use jarvis::core::calibration::Scale;
-use jarvis::core::experiment::{Scenario, ScenarioSpec};
-use jarvis::core::live::run_partitioned;
-use jarvis::core::planner::{plan_query, RuleConfig};
-use jarvis::core::strategy::StrategyKind;
+use jarvis::core::calibration;
+use jarvis::prelude::*;
 use jarvis::telemetry::loganalytics::{LogConfig, LogGenerator};
 use jarvis::telemetry::queries;
 
 fn main() {
-    // Part 1 — exact histograms through the live runtime.
-    let mut gen = LogGenerator::new(LogConfig::default());
-    let mut lines = Vec::new();
-    for epoch in 0..12i64 {
-        lines.extend(gen.generate_epoch(epoch * 1_000_000, 1.0));
-    }
-    println!("generated {} log lines", lines.len());
-
-    let planned = plan_query(queries::log_analytics(), &RuleConfig::default()).unwrap();
-    let costs = jarvis::core::calibration::log_cost_profile();
-    let report = run_partitioned(&planned, &costs, lines, &[1.0, 1.0, 1.0, 1.0, 0.5, 0.5], 2);
-    println!("result rows (tenant × stat × bucket): {}", report.results.len());
+    // Part 1 — exact histograms through the threaded live runtime, with the
+    // last two operators split 50/50 between the source and the SP replica.
+    let workload = CustomWorkload::new(
+        "log-debug",
+        queries::log_analytics(),
+        calibration::log_cost_profile(),
+        vec![Box::new(LogGenerator::new(LogConfig::default()))],
+    );
+    let spec = Deployment::builder()
+        .workload(workload)
+        .strategy(StrategyKind::AllSrc)
+        .load_factors(vec![1.0, 1.0, 1.0, 1.0, 0.5, 0.5])
+        .cpu_budget(1.0)
+        .spec()
+        .expect("valid deployment");
+    let mut session = LiveSession::new(&spec).expect("live session");
+    session.run_epochs(12);
+    println!("streamed {} log lines", session.input_records());
+    let outcome = session.finish();
+    println!(
+        "result rows (tenant × stat × bucket): {}",
+        outcome.results.len()
+    );
     // Rows: [window_start, tenant, stat_name, bucket, count].
-    let mut shown = 0;
-    for row in &report.results {
-        if shown >= 5 {
-            break;
-        }
+    for row in outcome.results.iter().take(5) {
         println!(
             "  window {:>3}s  {:<12} {:<18} bucket {:>2}: {}",
             row.values[0].as_i64().unwrap_or(0) / 1_000_000,
@@ -43,16 +47,24 @@ fn main() {
             row.values[3],
             row.values[4]
         );
-        shown += 1;
     }
-    assert!(!report.results.is_empty());
+    assert!(!outcome.results.is_empty());
 
-    // Part 2 — adaptation on the emulated node at 30% CPU.
-    let spec = ScenarioSpec::log_analytics(Scale::X10);
-    let mut scenario = Scenario::single_source(spec, StrategyKind::Jarvis, 0.3);
-    let r = scenario.run_epochs(50);
+    // Part 2 — adaptation on the emulated node at 30% CPU, same builder.
+    let r = Deployment::builder()
+        .workload(ScenarioSpec::log_analytics(Scale::X10))
+        .strategy(StrategyKind::Jarvis)
+        .cpu_budget(0.3)
+        .backend(BackendKind::Emulated)
+        .build()
+        .expect("valid deployment")
+        .run(50)
+        .expect("emulated run");
     println!("--- emulated node, 30% CPU, 10x log rate ---");
-    println!("throughput : {:.2} of {:.2} Mbps input", r.throughput_mbps, r.input_mbps);
+    println!(
+        "throughput : {:.2} of {:.2} Mbps input",
+        r.throughput_mbps, r.input_mbps
+    );
     println!("network    : {:.2} Mbps", r.network_mbps);
     println!("factors    : {:?}", r.load_factors);
     assert!(r.throughput_mbps > 0.5 * r.input_mbps);

@@ -12,8 +12,14 @@ use jarvis::core::multiquery::{fair_share_cores, run_multi_query};
 
 fn main() {
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X5);
-    println!("S2SProbe instances at 5x input ({:.1} Mbps each), one-core node\n", spec.input_mbps());
-    println!("{:>8} {:>16} {:>18}", "queries", "per-query cores", "aggregate Mbps");
+    println!(
+        "S2SProbe instances at 5x input ({:.1} Mbps each), one-core node\n",
+        spec.input_mbps()
+    );
+    println!(
+        "{:>8} {:>16} {:>18}",
+        "queries", "per-query cores", "aggregate Mbps"
+    );
     let mut last = 0.0;
     for k in [1u32, 2, 3, 4, 6, 8] {
         let point = run_multi_query(&spec, 1.0, k, 40, None);

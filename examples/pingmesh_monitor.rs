@@ -3,17 +3,18 @@
 //! probe latencies above 5 ms.
 //!
 //! This example runs the S2SProbe query through the threaded live runtime
-//! under a data-level partitioning plan, then evaluates the alert condition
-//! on the *merged* stream-processor results — demonstrating that partitioned
-//! execution is exact (no alert is lost to partitioning, unlike sampling).
+//! under a pinned data-level partitioning plan, then evaluates the alert
+//! condition on the *merged* stream-processor results — demonstrating that
+//! partitioned execution is exact (no alert is lost to partitioning, unlike
+//! sampling). The deployment is configured through the unified builder; the
+//! custom anomaly-injecting generator plugs in as a [`CustomWorkload`].
 //!
 //! ```sh
 //! cargo run --release --example pingmesh_monitor
 //! ```
 
 use jarvis::core::calibration;
-use jarvis::core::live::run_partitioned;
-use jarvis::core::planner::{plan_query, RuleConfig};
+use jarvis::prelude::*;
 use jarvis::telemetry::anomaly::AnomalySchedule;
 use jarvis::telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
 use jarvis::telemetry::queries;
@@ -24,38 +25,54 @@ fn main() {
         anomalies: AnomalySchedule::single(10.0, 50.0, 0.03, 30.0),
         ..Default::default()
     };
-    let mut gen = PingmeshGenerator::new(cfg);
-    let mut records = Vec::new();
-    for epoch in 0..30i64 {
-        records.extend(gen.generate_epoch(epoch * 1_000_000, 1.0));
-    }
-    println!("generated {} probe records over 30 s", records.len());
+    let input_mbps = cfg.bits_per_sec() / calibration::MBPS;
+    let workload = CustomWorkload::new(
+        "pingmesh-incident",
+        queries::s2s_probe(),
+        calibration::s2s_cost_profile(),
+        vec![Box::new(PingmeshGenerator::new(cfg))],
+    )
+    .with_input_mbps(input_mbps);
 
-    let planned = plan_query(queries::s2s_probe(), &RuleConfig::default()).unwrap();
-    let costs = calibration::s2s_cost_profile();
-
-    // Deploy with a data-level plan: filter fully local, aggregation on 70 %
-    // of records local, the rest drained to the stream processor.
-    let report = run_partitioned(&planned, &costs, records, &[1.0, 1.0, 0.7], 2);
+    // Deploy with a pinned data-level plan: filter fully local, aggregation
+    // on 70 % of records local, the rest drained to the stream processor.
+    let spec = Deployment::builder()
+        .workload(workload)
+        .strategy(StrategyKind::AllSrc)
+        .load_factors(vec![1.0, 1.0, 0.7])
+        .cpu_budget(1.0)
+        .sources(1)
+        .spec()
+        .expect("valid deployment");
+    let mut session = LiveSession::new(&spec).expect("live session");
+    session.run_epochs(30);
+    println!(
+        "streamed {} probe records over 30 s",
+        session.input_records()
+    );
+    let outcome = session.finish();
     println!(
         "live run: {} drained records, {} state deltas, {} result rows",
-        report.drained_records,
-        report.state_deltas,
-        report.results.len()
+        outcome.drained_records,
+        outcome.state_deltas,
+        outcome.results.len()
     );
 
     // Alert evaluation on merged results: result rows are
     // [window_start, srcIp, dstIp, avg_rtt, max_rtt, min_rtt].
     let mut pairs = 0u64;
     let mut alerting = 0u64;
-    for row in &report.results {
+    for row in &outcome.results {
         pairs += 1;
         if row.values[4].as_f64().unwrap_or(0.0) > 5_000.0 {
             alerting += 1;
         }
     }
     let frac = alerting as f64 / pairs.max(1) as f64;
-    println!("pairs: {pairs}, above 5 ms: {alerting} ({:.2}%)", frac * 100.0);
+    println!(
+        "pairs: {pairs}, above 5 ms: {alerting} ({:.2}%)",
+        frac * 100.0
+    );
     if frac > 0.01 {
         println!("ALERT: more than 1% of server pairs exceed the 5 ms latency threshold");
     } else {

@@ -1,5 +1,6 @@
 //! Quickstart: run the paper's S2SProbe monitoring query on one emulated
-//! data source under Jarvis' adaptive data-level partitioning.
+//! data source under Jarvis' adaptive data-level partitioning — through the
+//! unified `Deployment` builder (Listing 1's three-line contract).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -15,13 +16,28 @@ fn main() {
     println!("input   : {:.2} Mbps", spec.input_mbps());
 
     // One data source with 60% of a core available to the monitoring query,
-    // attached to a stream processor over a 20.48 Mbps uplink share.
-    let mut scenario = Scenario::single_source(spec, StrategyKind::Jarvis, 0.6);
-    let report = scenario.run_epochs(60);
+    // attached to a stream processor over a 20.48 Mbps uplink share. The
+    // same builder drives the live and convergence backends too.
+    let report = Deployment::builder()
+        .workload(spec)
+        .strategy(StrategyKind::Jarvis)
+        .sources(1)
+        .cpu_budget(0.6)
+        .backend(BackendKind::Emulated)
+        .build()
+        .expect("valid deployment")
+        .run(60)
+        .expect("emulated run");
 
     println!("--- after 60 one-second epochs ---");
-    println!("throughput    : {:.2} Mbps (on-time, 5 s latency bound)", report.throughput_mbps);
-    println!("network       : {:.2} Mbps offered to the uplink", report.network_mbps);
+    println!(
+        "throughput    : {:.2} Mbps (on-time, 5 s latency bound)",
+        report.throughput_mbps
+    );
+    println!(
+        "network       : {:.2} Mbps offered to the uplink",
+        report.network_mbps
+    );
     println!("load factors  : {:?}", report.load_factors);
     println!(
         "median latency: {:.0} ms",

@@ -14,8 +14,9 @@
 //! This facade crate re-exports the workspace:
 //!
 //! * [`core`] (`jarvis-core`) — control proxies, the Jarvis runtime state
-//!   machine, StepWise-Adapt, partitioning strategies, deployments, and the
-//!   experiment harnesses.
+//!   machine, StepWise-Adapt, partitioning strategies, the unified
+//!   [`Deployment`](core::deploy::Deployment) API with its pluggable
+//!   execution backends, and the experiment harnesses.
 //! * [`streamkit`] — the streaming-engine substrate (operators, windows,
 //!   watermarks, plans).
 //! * [`simnet`] — the deterministic multi-node emulator (CPU budgets,
@@ -26,16 +27,25 @@
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs`; in short:
+//! One builder configures a deployment; pluggable backends execute it — the
+//! calibrated emulator, the threaded live runtime, or the convergence
+//! simulator. See `examples/quickstart.rs`; in short:
 //!
 //! ```
 //! use jarvis::prelude::*;
 //!
 //! // Build the paper's S2SProbe query on a synthetic Pingmesh stream and run
 //! // it on one data source (60% CPU budget) attached to a stream processor.
-//! let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-//! let mut scenario = Scenario::single_source(spec, StrategyKind::Jarvis, 0.6);
-//! let report = scenario.run_epochs(25);
+//! let report = Deployment::builder()
+//!     .workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+//!     .strategy(StrategyKind::Jarvis)
+//!     .sources(1)
+//!     .cpu_budget(0.6)
+//!     .backend(BackendKind::Emulated)
+//!     .build()
+//!     .expect("valid deployment")
+//!     .run(25)
+//!     .expect("emulated run");
 //! assert!(report.throughput_mbps > 0.0);
 //! ```
 
@@ -49,7 +59,12 @@ pub use telemetry;
 /// Commonly-used items for examples and downstream users.
 pub mod prelude {
     pub use jarvis_core::calibration::Scale;
-    pub use jarvis_core::experiment::{Scenario, ScenarioReport, ScenarioSpec};
+    pub use jarvis_core::deploy::{
+        BackendKind, CustomWorkload, DeployError, Deployment, DeploymentBuilder, DeploymentSpec,
+        ExactnessDigest, ExecBackend, RunReport, SourceAdapter,
+    };
+    pub use jarvis_core::experiment::{ResourceEvent, ScenarioSpec};
+    pub use jarvis_core::live::LiveSession;
     pub use jarvis_core::proxy::{ControlProxy, ProxyState};
     pub use jarvis_core::runtime::{JarvisRuntime, Phase, RuntimeConfig};
     pub use jarvis_core::strategy::StrategyKind;

@@ -11,8 +11,16 @@ use jarvis::core::strategy::StrategyKind;
 fn jarvis_converges_within_seven_epochs_of_a_budget_change() {
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
     let events = [
-        ResourceEvent { epoch: 3, cpu_budget: Some(0.9), table_size: None },
-        ResourceEvent { epoch: 18, cpu_budget: Some(0.6), table_size: None },
+        ResourceEvent {
+            epoch: 3,
+            cpu_budget: Some(0.9),
+            table_size: None,
+        },
+        ResourceEvent {
+            epoch: 18,
+            cpu_budget: Some(0.6),
+            table_size: None,
+        },
     ];
     let report = convergence_run(&spec, StrategyKind::Jarvis, 0.10, &events, 32);
     assert!(
@@ -34,10 +42,14 @@ fn jarvis_converges_within_seven_epochs_of_a_budget_change() {
 #[test]
 fn jarvis_is_at_least_as_fast_as_the_model_agnostic_ablation() {
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-    let events = [ResourceEvent { epoch: 3, cpu_budget: Some(0.9), table_size: None }];
+    let events = [ResourceEvent {
+        epoch: 3,
+        cpu_budget: Some(0.9),
+        table_size: None,
+    }];
     let jarvis = convergence_run(&spec, StrategyKind::Jarvis, 0.10, &events, 40);
     let agnostic = convergence_run(&spec, StrategyKind::JarvisNoLpInit, 0.10, &events, 40);
-    let first = |r: &jarvis::core::experiment::ScenarioReport| {
+    let first = |r: &jarvis::core::deploy::RunReport| {
         r.episodes.first().map(|(a, b)| b - a).unwrap_or(u64::MAX)
     };
     assert!(
@@ -52,8 +64,16 @@ fn jarvis_is_at_least_as_fast_as_the_model_agnostic_ablation() {
 fn join_table_growth_triggers_adaptation() {
     let spec = ScenarioSpec::pingmesh_t2t(Scale::X10, 50);
     let events = [
-        ResourceEvent { epoch: 3, cpu_budget: Some(1.0), table_size: None },
-        ResourceEvent { epoch: 18, cpu_budget: None, table_size: Some(500) },
+        ResourceEvent {
+            epoch: 3,
+            cpu_budget: Some(1.0),
+            table_size: None,
+        },
+        ResourceEvent {
+            epoch: 18,
+            cpu_budget: None,
+            table_size: Some(500),
+        },
     ];
     let report = convergence_run(&spec, StrategyKind::Jarvis, 0.10, &events, 48);
     // The second episode is the table-growth congestion.
@@ -65,7 +85,7 @@ fn join_table_growth_triggers_adaptation() {
     // And the query must end the run stable.
     let tail: Vec<_> = report.trace.iter().rev().take(3).map(|t| t.state).collect();
     assert!(
-        tail.iter().any(|s| *s == jarvis::core::proxy::QueryState::Stable),
+        tail.contains(&jarvis::core::proxy::QueryState::Stable),
         "query must re-stabilise after table growth: tail {:?}",
         tail
     );
@@ -74,7 +94,11 @@ fn join_table_growth_triggers_adaptation() {
 #[test]
 fn fixed_strategies_never_adapt() {
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-    let events = [ResourceEvent { epoch: 5, cpu_budget: Some(0.2), table_size: None }];
+    let events = [ResourceEvent {
+        epoch: 5,
+        cpu_budget: Some(0.2),
+        table_size: None,
+    }];
     let report = convergence_run(&spec, StrategyKind::FilterSrc, 1.0, &events, 20);
     assert!(report.episodes.is_empty());
     assert_eq!(report.load_factors, vec![1.0, 1.0, 0.0]);

@@ -1,6 +1,7 @@
-//! Cross-crate integration tests: full scenarios over every strategy, with
-//! system-level invariants.
+//! Cross-crate integration tests: full deployments over every strategy, with
+//! system-level invariants — all through the unified builder API.
 
+use jarvis::core::engine::block::NetworkModel;
 use jarvis::prelude::*;
 
 fn all_strategies() -> [StrategyKind; 8] {
@@ -16,14 +17,22 @@ fn all_strategies() -> [StrategyKind; 8] {
     ]
 }
 
+fn run(spec: ScenarioSpec, strategy: StrategyKind, cpu: f64, epochs: u64) -> RunReport {
+    Deployment::builder()
+        .workload(spec)
+        .strategy(strategy)
+        .cpu_budget(cpu)
+        .backend(BackendKind::Emulated)
+        .build()
+        .expect("valid deployment")
+        .run(epochs)
+        .expect("emulated run")
+}
+
 #[test]
 fn every_strategy_runs_and_respects_physical_bounds() {
-    let bw_mbps = jarvis::core::calibration::per_query_per_node_bps()
-        / jarvis::core::calibration::MBPS;
     for strategy in all_strategies() {
-        let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-        let mut s = Scenario::single_source(spec, strategy, 0.5);
-        let r = s.run_epochs(40);
+        let r = run(ScenarioSpec::pingmesh_s2s(Scale::X1), strategy, 0.5, 40);
         // Throughput can never exceed the input rate.
         assert!(
             r.throughput_mbps <= r.input_mbps * 1.01,
@@ -42,7 +51,6 @@ fn every_strategy_runs_and_respects_physical_bounds() {
             r.network_mbps,
             r.input_mbps
         );
-        let _ = bw_mbps;
     }
 }
 
@@ -58,8 +66,10 @@ fn jarvis_dominates_operator_level_baselines_under_constraint() {
         StrategyKind::AllSp,
         StrategyKind::LbDp,
     ] {
-        let mut s = Scenario::single_source(spec.clone(), strategy, 0.6);
-        results.insert(strategy.label(), s.run_epochs(60).throughput_mbps);
+        results.insert(
+            strategy.label(),
+            run(spec.clone(), strategy, 0.6, 60).throughput_mbps,
+        );
     }
     let jarvis = results["Jarvis"];
     assert!(jarvis >= results["Best-OP"] - 0.3, "{results:?}");
@@ -73,10 +83,8 @@ fn jarvis_network_stays_below_operator_level_at_80_percent() {
     // The Fig. 3 comparison: data-level partitioning cuts outbound traffic
     // versus operator-level at the same 80% budget.
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-    let mut jarvis = Scenario::single_source(spec.clone(), StrategyKind::Jarvis, 0.8);
-    let jr = jarvis.run_epochs(60);
-    let mut best = Scenario::single_source(spec, StrategyKind::BestOp, 0.8);
-    let br = best.run_epochs(60);
+    let jr = run(spec.clone(), StrategyKind::Jarvis, 0.8, 60);
+    let br = run(spec, StrategyKind::BestOp, 0.8, 60);
     assert!(
         jr.network_mbps < 0.65 * br.network_mbps,
         "Jarvis {} vs Best-OP {} Mbps",
@@ -87,17 +95,23 @@ fn jarvis_network_stays_below_operator_level_at_80_percent() {
 
 #[test]
 fn t2t_probe_scenario_processes_join_heavy_workload() {
-    let spec = ScenarioSpec::pingmesh_t2t(Scale::X5, 500);
-    let mut s = Scenario::single_source(spec, StrategyKind::Jarvis, 0.5);
-    let r = s.run_epochs(50);
+    let r = run(
+        ScenarioSpec::pingmesh_t2t(Scale::X5, 500),
+        StrategyKind::Jarvis,
+        0.5,
+        50,
+    );
     assert!(r.throughput_mbps > 0.8 * r.input_mbps, "{r:?}");
 }
 
 #[test]
 fn log_analytics_scenario_adapts_at_low_budget() {
-    let spec = ScenarioSpec::log_analytics(Scale::X10);
-    let mut s = Scenario::single_source(spec, StrategyKind::Jarvis, 0.2);
-    let r = s.run_epochs(60);
+    let r = run(
+        ScenarioSpec::log_analytics(Scale::X10),
+        StrategyKind::Jarvis,
+        0.2,
+        60,
+    );
     // The query needs ~31% of a core; at 20% Jarvis must still push most of
     // the stream through (partially local, partially drained).
     assert!(r.throughput_mbps > 0.6 * r.input_mbps, "{r:?}");
@@ -106,9 +120,12 @@ fn log_analytics_scenario_adapts_at_low_budget() {
 
 #[test]
 fn adaptation_overhead_is_below_one_percent() {
-    let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
-    let mut s = Scenario::single_source(spec, StrategyKind::Jarvis, 0.6);
-    let r = s.run_epochs(60);
+    let r = run(
+        ScenarioSpec::pingmesh_s2s(Scale::X10),
+        StrategyKind::Jarvis,
+        0.6,
+        60,
+    );
     assert!(
         r.overhead_core_frac < 0.01,
         "adaptation overhead {} must stay under 1% of a core",
@@ -118,18 +135,20 @@ fn adaptation_overhead_is_below_one_percent() {
 
 #[test]
 fn multi_source_shared_link_caps_aggregate_throughput() {
-    use jarvis::core::engine::block::NetworkModel;
-    let spec = ScenarioSpec::pingmesh_s2s(Scale::X10);
     // 8 sources × 26.2 Mbps input over a deliberately tiny 64 Mbps shared
     // pipe: all-SP can never exceed the pipe.
-    let mut s = Scenario::multi_source(
-        spec,
-        StrategyKind::AllSp,
-        0.5,
-        8,
-        NetworkModel::Shared { total_bps: 64.0 * jarvis::core::calibration::MBPS },
-    );
-    let r = s.run_epochs(40);
+    let r = Deployment::builder()
+        .workload(ScenarioSpec::pingmesh_s2s(Scale::X10))
+        .strategy(StrategyKind::AllSp)
+        .cpu_budget(0.5)
+        .sources(8)
+        .network(NetworkModel::Shared {
+            total_bps: 64.0 * jarvis::core::calibration::MBPS,
+        })
+        .build()
+        .expect("valid deployment")
+        .run(40)
+        .expect("emulated run");
     assert!(
         r.throughput_mbps <= 66.0,
         "aggregate {} must respect the shared link",

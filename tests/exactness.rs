@@ -1,8 +1,6 @@
 //! Accuracy guarantees: data-level partitioning is lossless and exact — the
 //! property that distinguishes it from data synopses (paper §VI-D).
 
-use std::sync::Arc;
-
 use jarvis::core::calibration;
 use jarvis::core::live::run_partitioned;
 use jarvis::core::planner::{plan_query, RuleConfig};
@@ -12,7 +10,10 @@ use jarvis::telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
 use jarvis::telemetry::queries;
 
 fn pingmesh_records(epochs: i64, anomalies: AnomalySchedule) -> Vec<Record> {
-    let mut gen = PingmeshGenerator::new(PingmeshConfig { anomalies, ..Default::default() });
+    let mut gen = PingmeshGenerator::new(PingmeshConfig {
+        anomalies,
+        ..Default::default()
+    });
     let mut out = Vec::new();
     for e in 0..epochs {
         out.extend(gen.generate_epoch(e * 1_000_000, 1.0));
@@ -31,9 +32,13 @@ fn any_load_factor_split_yields_identical_results() {
     let costs = calibration::s2s_cost_profile();
     let records = pingmesh_records(12, AnomalySchedule::none());
 
-    let reference =
-        run_partitioned(&planned, &costs, records.clone(), &[0.0, 0.0, 0.0], 1).results;
-    for factors in [[1.0, 1.0, 1.0], [1.0, 0.5, 0.25], [0.3, 1.0, 0.9], [1.0, 1.0, 0.83]] {
+    let reference = run_partitioned(&planned, &costs, records.clone(), &[0.0, 0.0, 0.0], 1).results;
+    for factors in [
+        [1.0, 1.0, 1.0],
+        [1.0, 0.5, 0.25],
+        [0.3, 1.0, 0.9],
+        [1.0, 1.0, 0.83],
+    ] {
         let split = run_partitioned(&planned, &costs, records.clone(), &factors, 2).results;
         assert_eq!(
             sorted(reference.clone()),
@@ -57,20 +62,32 @@ fn partitioning_preserves_every_alert_unlike_sampling() {
     let full = run_partitioned(&planned, &costs, records.clone(), &[0.0; 3], 1).results;
     let split = run_partitioned(&planned, &costs, records.clone(), &[1.0, 0.7, 0.4], 3).results;
     let alerts = |rows: &[Record]| {
-        rows.iter().filter(|r| r.values[4].as_f64().unwrap_or(0.0) > 5_000.0).count()
+        rows.iter()
+            .filter(|r| r.values[4].as_f64().unwrap_or(0.0) > 5_000.0)
+            .count()
     };
     assert!(alerts(&full) > 0, "incident must produce alerts");
-    assert_eq!(alerts(&full), alerts(&split), "partitioning must not lose alerts");
+    assert_eq!(
+        alerts(&full),
+        alerts(&split),
+        "partitioning must not lose alerts"
+    );
 
     // Sampling at 20% misses some of the same alerts.
-    let mut sampler = WspSampler::new(WspConfig { rate: 0.2, ..Default::default() });
+    let mut sampler = WspSampler::new(WspConfig {
+        rate: 0.2,
+        ..Default::default()
+    });
     let report = sampler.evaluate_window(
         &records,
         &pingmesh_schema(),
         (col::SRC_IP, col::DST_IP),
         col::RTT,
     );
-    assert!(report.missed_alert_fraction() > 0.0, "sampling must demonstrate alert loss");
+    assert!(
+        report.missed_alert_fraction() > 0.0,
+        "sampling must demonstrate alert loss"
+    );
 }
 
 #[test]
@@ -88,8 +105,14 @@ fn t2t_partitioned_execution_is_exact() {
     }
     let m = planned.source_ops;
     let reference = run_partitioned(&planned, &costs, records.clone(), &vec![0.0; m], 1).results;
-    let split =
-        run_partitioned(&planned, &costs, records, &[1.0, 1.0, 0.6, 1.0, 1.0, 0.5], 2).results;
+    let split = run_partitioned(
+        &planned,
+        &costs,
+        records,
+        &[1.0, 1.0, 0.6, 1.0, 1.0, 0.5],
+        2,
+    )
+    .results;
     assert_eq!(sorted(reference), sorted(split));
 }
 
@@ -114,9 +137,15 @@ fn planner_excluded_suffix_still_executes_at_sp() {
     let records = pingmesh_records(10, AnomalySchedule::single(0.0, 100.0, 0.02, 30.0));
     let costs = jarvis::streamkit::physical::CostProfile::uniform(3, 1.0);
     let report = run_partitioned(&planned, &costs, records, &[1.0, 0.8], 2);
-    assert!(!report.results.is_empty(), "SP-side filter must emit alert rows");
+    assert!(
+        !report.results.is_empty(),
+        "SP-side filter must emit alert rows"
+    );
     for row in &report.results {
-        assert!(row.values[3].as_f64().unwrap() > 5_000.0, "filter applied at SP");
+        assert!(
+            row.values[3].as_f64().unwrap() > 5_000.0,
+            "filter applied at SP"
+        );
     }
 }
 
@@ -124,15 +153,23 @@ fn planner_excluded_suffix_still_executes_at_sp() {
 fn checkpoint_failover_completes_windows_at_sp() {
     use jarvis::core::calibration::Scale;
     use jarvis::core::checkpoint;
-    use jarvis::core::experiment::{Scenario, ScenarioSpec};
+    use jarvis::core::deploy::{Deployment, EmulatedBackend};
+    use jarvis::core::experiment::ScenarioSpec;
     use jarvis::core::strategy::StrategyKind;
 
     let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-    let mut s = Scenario::single_source(spec.clone(), StrategyKind::AllSrc, 1.0);
+    let deploy_spec = Deployment::builder()
+        .workload(spec.clone())
+        .strategy(StrategyKind::AllSrc)
+        .cpu_budget(1.0)
+        .spec()
+        .expect("valid deployment");
+    let mut be = EmulatedBackend::default();
+    be.prepare(&deploy_spec).expect("block builds");
     for _ in 0..3 {
-        s.block.run_epoch();
+        be.step(&deploy_spec);
     }
-    let ckpt = checkpoint::snapshot(s.block.source_mut(0));
+    let ckpt = checkpoint::snapshot(be.block_mut().unwrap().source_mut(0));
     assert!(ckpt.wire_bytes() > 0);
 
     // Source dies; the SP merges the checkpoint and completes the window.

@@ -1,62 +1,83 @@
 //! Fault tolerance (paper §IV-E): source failure, checkpoint hand-off to the
-//! stream processor, and recovery without re-converging from scratch.
+//! stream processor, and recovery without re-converging from scratch. Blocks
+//! are built and stepped through the unified deployment API's emulated
+//! backend.
 
 use jarvis::core::calibration::Scale;
-use jarvis::core::experiment::{Scenario, ScenarioSpec};
+use jarvis::core::deploy::{Deployment, DeploymentSpec, EmulatedBackend};
+use jarvis::core::experiment::ScenarioSpec;
 use jarvis::core::strategy::StrategyKind;
+
+fn spec(strategy: StrategyKind, cpu: f64) -> DeploymentSpec {
+    Deployment::builder()
+        .workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+        .strategy(strategy)
+        .cpu_budget(cpu)
+        .spec()
+        .expect("valid deployment")
+}
+
+fn prepared(spec: &DeploymentSpec) -> EmulatedBackend {
+    let mut be = EmulatedBackend::default();
+    be.prepare(spec).expect("block builds");
+    be
+}
 
 #[test]
 fn source_failure_hands_window_state_to_sp_and_recovers() {
-    let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-    let mut s = Scenario::single_source(spec, StrategyKind::Jarvis, 1.0);
+    let spec = spec(StrategyKind::Jarvis, 1.0);
+    let mut be = prepared(&spec);
 
     // Reach steady state with adapted load factors.
     for _ in 0..30 {
-        s.block.run_epoch();
+        be.step(&spec);
     }
-    let adapted = s.block.source(0).load_factors();
-    let results_before = s.block.sp().results_emitted();
+    let block = be.block_mut().unwrap();
+    let adapted = block.source(0).load_factors();
+    let results_before = block.sp().results_emitted();
 
     // Fail the source: its accumulated partial state moves to the SP.
-    let ckpt = s.block.fail_source(0);
-    assert!(s.block.is_failed(0));
+    let ckpt = block.fail_source(0);
+    assert!(block.is_failed(0));
 
     // The system keeps running; the SP completes checkpointed windows.
     for _ in 0..12 {
-        s.block.run_epoch();
+        be.step(&spec);
     }
-    let results_during = s.block.sp().results_emitted();
+    let block = be.block_mut().unwrap();
+    let results_during = block.sp().results_emitted();
     assert!(
         results_during > results_before,
         "checkpointed windows must complete at the SP ({results_before} -> {results_during})"
     );
 
     // Recover: adapted factors are reinstalled, no cold restart.
-    s.block.recover_source(0, &ckpt);
-    assert!(!s.block.is_failed(0));
-    assert_eq!(s.block.source(0).load_factors(), adapted);
+    block.recover_source(0, &ckpt);
+    assert!(!block.is_failed(0));
+    assert_eq!(block.source(0).load_factors(), adapted);
     for _ in 0..10 {
-        s.block.run_epoch();
+        be.step(&spec);
     }
+    let block = be.block_mut().unwrap();
     assert!(
-        s.block.sp().results_emitted() > results_during,
+        block.sp().results_emitted() > results_during,
         "results must keep flowing after recovery"
     );
 }
 
 #[test]
 fn failed_source_contributes_no_input() {
-    let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-    let mut s = Scenario::single_source(spec, StrategyKind::AllSrc, 1.0);
+    let spec = spec(StrategyKind::AllSrc, 1.0);
+    let mut be = prepared(&spec);
     for _ in 0..25 {
-        s.block.run_epoch();
+        be.step(&spec);
     }
-    let input_before = s.block.metrics()[0].input_bytes;
-    let _ckpt = s.block.fail_source(0);
+    let input_before = be.block_mut().unwrap().metrics()[0].input_bytes;
+    let _ckpt = be.block_mut().unwrap().fail_source(0);
     for _ in 0..5 {
-        s.block.run_epoch();
+        be.step(&spec);
     }
-    let input_after = s.block.metrics()[0].input_bytes;
+    let input_after = be.block_mut().unwrap().metrics()[0].input_bytes;
     assert_eq!(input_before, input_after, "a dark source ingests nothing");
 }
 
@@ -64,12 +85,12 @@ fn failed_source_contributes_no_input() {
 fn checkpoint_serialises_for_durable_storage() {
     // Checkpoints must round-trip through serde so they can be written to
     // durable storage between epochs.
-    let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
-    let mut s = Scenario::single_source(spec, StrategyKind::AllSrc, 1.0);
+    let spec = spec(StrategyKind::AllSrc, 1.0);
+    let mut be = prepared(&spec);
     for _ in 0..3 {
-        s.block.run_epoch();
+        be.step(&spec);
     }
-    let ckpt = jarvis::core::checkpoint::snapshot(s.block.source_mut(0));
+    let ckpt = jarvis::core::checkpoint::snapshot(be.block_mut().unwrap().source_mut(0));
     let encoded = serde_json::to_string(&ckpt).expect("serialisable");
     let decoded: jarvis::core::checkpoint::Checkpoint =
         serde_json::from_str(&encoded).expect("deserialisable");

@@ -1,0 +1,259 @@
+//! Minimal vendored `proptest` facade.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (each property runs [`test_runner::CASES`] cases with
+//! a per-test deterministic seed), range/`any`/tuple/`vec`/string-pattern
+//! strategies, and `prop_assert*` macros. No shrinking: a failing case's
+//! inputs are reported by the assertion message itself.
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A value generator.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// `any::<T>()` marker strategy.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Full-range strategy for a primitive type.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )+};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies!(
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+        (0 A, 1 B, 2 C, 3 D, 4 E),
+    );
+
+    /// String-literal pattern strategy: supports the `[class]{lo,hi}` regex
+    /// subset (character classes of literals and `a-z` ranges with a bounded
+    /// repeat count), which is what the workspace's tests use.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            let (chars, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| chars[rng.gen_range(0..chars.len())])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                for c in a..=b {
+                    chars.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match reps.split_once(',') {
+            Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+            None => {
+                let n = reps.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if chars.is_empty() {
+            return None;
+        }
+        Some((chars, lo, hi))
+    }
+}
+
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy producing vectors of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — lengths drawn uniformly from the range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Cases per property.
+    pub const CASES: u32 = 64;
+
+    /// Deterministic per-test RNG (seeded from the test name) so failures
+    /// reproduce.
+    pub fn rng_for(test_name: &str) -> SmallRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// [`test_runner::CASES`] times over freshly drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                for __case in 0..$crate::test_runner::CASES {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Property assertion (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1u32..10, xs in collection::vec(0.0f64..1.0, 0..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(xs.len() < 5);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-c0-1 ]{2,6}") {
+            prop_assert!((2..=6).contains(&s.chars().count()), "{s:?}");
+            prop_assert!(s.chars().all(|c| "abc01 ".contains(c)), "{s:?}");
+        }
+
+        #[test]
+        fn tuples(pair in (0usize..4, 0i64..100)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 100);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Minimal vendored `serde` facade.
+//!
+//! The build container has no reachable crates registry, so the workspace
+//! vendors the small serde surface this repo actually uses: the
+//! `Serialize`/`Deserialize` traits, derive macros for plain (non-generic)
+//! structs and enums, and a JSON-compatible self-describing data model
+//! ([`Content`]) that `serde_json` renders. The derive output follows real
+//! serde's externally-tagged conventions so the JSON shape matches what the
+//! genuine crates would produce for these types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The content as a map, if it is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The content as a sequence, if it is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X while deserializing Y" error.
+    pub fn expected(what: &str, while_de: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {while_de}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into [`Content`].
+pub trait Serialize {
+    /// Converts to the self-describing data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from [`Content`].
+pub trait Deserialize: Sized {
+    /// Builds the value from the self-describing data model.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Owned-deserialization marker used by generic bounds in downstream code.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Helpers used by the generated derive code.
+pub mod content {
+    use super::{Content, DeError};
+
+    /// Shared null for lenient missing-field lookups.
+    pub static NULL: Content = Content::Null;
+
+    /// Looks up a struct field; absent fields read as `null` (so `Option`
+    /// fields tolerate omission, as with serde defaults).
+    pub fn field<'a>(map: &'a [(String, Content)], name: &str) -> &'a Content {
+        map.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)
+    }
+
+    /// An externally-tagged enum: either `"Variant"` or `{"Variant": value}`.
+    pub fn variant<'a>(c: &'a Content, enum_name: &str) -> Result<(&'a str, &'a Content), DeError> {
+        match c {
+            Content::Str(s) => Ok((s.as_str(), &NULL)),
+            Content::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), &m[0].1)),
+            other => Err(DeError::expected("variant tag", enum_name).context(other)),
+        }
+    }
+
+    impl DeError {
+        fn context(mut self, got: &Content) -> DeError {
+            self.0.push_str(&format!(" (got {})", got.kind()));
+            self
+        }
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty => $variant:ident as $as:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::$variant(*self as $as)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::expected(stringify!($t), "integer")),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::expected(stringify!($t), "integer")),
+                    other => Err(DeError::expected(stringify!($t), other.kind())),
+                }
+            }
+        }
+    )+};
+}
+
+ser_int!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(DeError::expected("f64", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        String::from_content(c).map(Arc::from)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = c.as_seq().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                Ok(($($t::from_content(
+                    items.get($n).ok_or_else(|| DeError::expected("tuple element", "tuple"))?,
+                )?,)+))
+            }
+        }
+    )+};
+}
+
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(usize, f64)>::from_content(&c).unwrap(), v);
+    }
+}

@@ -1,0 +1,410 @@
+//! Minimal vendored `serde_derive`.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` in the build
+//! container) and emits `serde::Serialize`/`serde::Deserialize` impls in the
+//! vendored facade's `Content` data model. Supports exactly the shapes this
+//! workspace uses: non-generic structs with named fields, tuple structs, and
+//! enums whose variants are unit, tuple, or struct-like. The generated
+//! encoding follows real serde's externally-tagged JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list.
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple arity.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => ser_struct(name, fields),
+        Item::Enum { name, variants } => ser_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => de_struct(name, fields),
+        Item::Enum { name, variants } => de_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip attributes (`#[...]`), doc comments, and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => Item::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("vendored serde_derive does not support generic types ({name})")
+        }
+        other => panic!("unsupported {kind} body for {name}: {other:?}"),
+    }
+}
+
+/// Field names from `{ a: T, pub b: U, ... }` (attributes tolerated).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes/docs and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = toks.next() else {
+            break;
+        };
+        fields.push(id.to_string());
+        // Expect `:`; then skip the type up to a top-level comma. `<`/`>`
+        // nesting must be tracked so `Vec<(A, B)>` commas don't split.
+        let mut depth = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Tuple-struct arity from `(T, U, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = toks.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip to the next top-level comma (tolerates `= disc`, unused here).
+        while let Some(tok) = toks.peek() {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                toks.next();
+                break;
+            }
+            toks.next();
+        }
+    }
+    variants
+}
+
+// ----------------------------------------------------------- generation
+
+fn ser_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = self; ::serde::Content::Str(\"{name}\".to_string())"),
+        Fields::Named(names) => {
+            let pushes: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_content(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!("let mut m = Vec::new(); {pushes} ::serde::Content::Map(m)")
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn de_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = c; Ok({name})"),
+        Fields::Named(names) => {
+            let inits: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::content::field(m, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let m = c.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(c)?))"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_content(s.get({i}).ok_or_else(|| \
+                         ::serde::DeError::expected(\"tuple element\", \"{name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),\n")
+                }
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Content::Map(vec![(\
+                     \"{vname}\".to_string(), ::serde::Serialize::to_content(f0))]),\n"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_content({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Content::Map(vec![(\
+                         \"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let pushes: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                         \"{vname}\".to_string(), ::serde::Content::Map(vec![{}]))]),\n",
+                        pushes.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {arms} }}")
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!("\"{vname}\" => Ok({name}::{vname}),\n"),
+                Fields::Tuple(1) => format!(
+                    "\"{vname}\" => Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content(val)?)),\n"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_content(s.get({i}).ok_or_else(|| \
+                                 ::serde::DeError::expected(\"variant element\", \"{name}\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{ let s = val.as_seq().ok_or_else(|| \
+                         ::serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                         Ok({name}::{vname}({})) }}\n",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(\
+                                 ::serde::content::field(m, \"{f}\"))?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{ let m = val.as_map().ok_or_else(|| \
+                         ::serde::DeError::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                         Ok({name}::{vname} {{ {inits} }}) }}\n",
+                        inits = inits
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "let (tag, val) = ::serde::content::variant(c, \"{name}\")?;\n\
+         match tag {{ {arms} other => Err(::serde::DeError(format!(\
+         \"unknown {name} variant {{other}}\"))) }}"
+    )
+}
