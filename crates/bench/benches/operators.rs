@@ -1,34 +1,33 @@
-//! Micro-benchmarks of per-record operator costs (wall-clock, as opposed to
+//! Micro-benchmarks of per-batch operator costs (wall-clock, as opposed to
 //! the calibrated virtual costs used by the emulator).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use streamkit::agg::{AggKind, AggSpec};
+use streamkit::batch::Batch;
 use streamkit::expr::Expr;
 use streamkit::ops::{
     AggRole, CostModel, EmitMode, FilterOp, GroupAggregateOp, JoinMiss, JoinOp, MapFn, MapOp,
     Operator,
 };
-use streamkit::record::Record;
 use streamkit::window::TumblingWindow;
 use telemetry::pingmesh::{pingmesh_schema, PingmeshConfig, PingmeshGenerator};
 
-fn records(n_epochs: u64) -> Vec<Record> {
+fn batches(n_epochs: i64) -> Vec<Batch> {
     let mut gen = PingmeshGenerator::new(PingmeshConfig {
         scale: 1.0,
         ..Default::default()
     });
-    let mut out = Vec::new();
-    for e in 0..n_epochs {
-        out.extend(gen.generate_epoch(e as i64 * 1_000_000, 1.0));
-    }
-    out
+    (0..n_epochs)
+        .map(|e| gen.generate_epoch_batch(e * 1_000_000, 1.0))
+        .collect()
 }
 
 fn bench_operators(c: &mut Criterion) {
-    let recs = records(2);
+    let input = batches(2);
+    let rows: u64 = input.iter().map(|b| b.len() as u64).sum();
     let schema = pingmesh_schema();
     let mut group = c.benchmark_group("operators");
-    group.throughput(Throughput::Elements(recs.len() as u64));
+    group.throughput(Throughput::Elements(rows));
 
     group.bench_function("filter", |b| {
         let mut op = FilterOp::new(
@@ -37,9 +36,9 @@ fn bench_operators(c: &mut Criterion) {
             CostModel::fixed(1.0),
         );
         b.iter(|| {
-            let mut out = Vec::with_capacity(recs.len());
-            for r in &recs {
-                op.process(black_box(r.clone()), &mut out);
+            let mut out = Vec::new();
+            for batch in &input {
+                op.process_batch(black_box(batch.clone()), &mut out);
             }
             out.len()
         });
@@ -61,8 +60,8 @@ fn bench_operators(c: &mut Criterion) {
                 CostModel::fixed(1.0),
             );
             let mut out = Vec::new();
-            for r in &recs {
-                op.process(r.clone(), &mut out);
+            for batch in &input {
+                op.process_batch(batch.clone(), &mut out);
             }
             op.on_watermark(i64::MAX / 2, &mut out);
             out.len()
@@ -73,9 +72,9 @@ fn bench_operators(c: &mut Criterion) {
         let (table, _) = telemetry::queries::t2t_tables(20_000, 40, &[1]);
         let mut op = JoinOp::new(table, 2, JoinMiss::Drop, &schema, CostModel::fixed(1.0)).unwrap();
         b.iter(|| {
-            let mut out = Vec::with_capacity(recs.len());
-            for r in &recs {
-                op.process(black_box(r.clone()), &mut out);
+            let mut out = Vec::new();
+            for batch in &input {
+                op.process_batch(black_box(batch.clone()), &mut out);
             }
             out.len()
         });
@@ -84,13 +83,11 @@ fn bench_operators(c: &mut Criterion) {
     group.bench_function("map_trim_lower", |b| {
         let log_schema = telemetry::loganalytics::log_schema();
         let mut gen = telemetry::loganalytics::LogGenerator::new(Default::default());
-        let lines = gen.generate_epoch(0, 0.2);
+        let lines = gen.generate_epoch_batch(0, 0.2);
         let mut op = MapOp::new(MapFn::TrimLower(0), log_schema, CostModel::fixed(1.0));
         b.iter(|| {
-            let mut out = Vec::with_capacity(lines.len());
-            for r in &lines {
-                op.process(black_box(r.clone()), &mut out);
-            }
+            let mut out = Vec::new();
+            op.process_batch(black_box(lines.clone()), &mut out);
             out.len()
         });
     });

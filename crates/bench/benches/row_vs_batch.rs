@@ -1,0 +1,85 @@
+//! Row-shim vs batch-path throughput on the paper's hot pipeline.
+//!
+//! Runs the S2SProbe operator chain (filter → group → aggregate, the
+//! `W -> F -> G+R` plan) over identical Pingmesh data through
+//!
+//! * the **row** path: the deprecated record-at-a-time shims behind
+//!   `build_row_pipeline` (the pre-redesign execution model), and
+//! * the **batch** path: the vectorized operators behind `build_pipeline`.
+//!
+//! The batch path is the acceptance target for the batch-first redesign:
+//! ≥ 2× the row path's records/second on this chain. Set `BENCH_SMOKE=1`
+//! for a reduced-sample CI run.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use streamkit::batch::Batch;
+use streamkit::ops::{AggRole, Operator};
+use streamkit::physical::{build_pipeline, drain_windows, CostProfile};
+use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+
+fn input(n_epochs: i64) -> Vec<Batch> {
+    let mut gen = PingmeshGenerator::new(PingmeshConfig {
+        scale: 1.0,
+        ..Default::default()
+    });
+    (0..n_epochs)
+        .map(|e| gen.generate_epoch_batch(e * 1_000_000, 1.0))
+        .collect()
+}
+
+fn run_chain(ops: &mut [Box<dyn Operator>], batches: &[Batch]) -> usize {
+    let mut emitted = 0;
+    for batch in batches {
+        let mut cur = vec![batch.clone()];
+        for op in ops.iter_mut() {
+            let mut next = Vec::new();
+            for b in cur {
+                op.process_batch(b, &mut next);
+            }
+            cur = next;
+        }
+        emitted += cur.iter().map(Batch::len).sum::<usize>();
+    }
+    emitted += drain_windows(ops, streamkit::time::TS_MAX)
+        .iter()
+        .map(Batch::len)
+        .sum::<usize>();
+    for op in ops.iter_mut() {
+        op.reset();
+    }
+    emitted
+}
+
+fn bench_row_vs_batch(c: &mut Criterion) {
+    let plan = telemetry::queries::s2s_probe();
+    let costs = CostProfile::default();
+    let batches = input(4);
+    let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+    let mut group = c.benchmark_group("row_vs_batch");
+    group.throughput(Throughput::Elements(rows));
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(300));
+    }
+
+    group.bench_function("filter_group_aggregate/row", |b| {
+        #[allow(deprecated)]
+        let mut ops =
+            streamkit::physical::build_row_pipeline(&plan, &costs, AggRole::Final).unwrap();
+        b.iter(|| run_chain(black_box(&mut ops), &batches));
+    });
+
+    group.bench_function("filter_group_aggregate/batch", |b| {
+        let mut ops = build_pipeline(&plan, &costs, AggRole::Final).unwrap();
+        b.iter(|| run_chain(black_box(&mut ops), &batches));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_vs_batch);
+criterion_main!(benches);

@@ -7,5 +7,7 @@
 
 pub mod figures;
 pub mod output;
+pub mod rowbatch;
 
 pub use figures::*;
+pub use rowbatch::{bench_throughput, RowBatchResult};

@@ -7,7 +7,11 @@
 //!
 //! Experiments: fig3, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, fig9,
 //! fig10a, fig10b, fig10c, fig11a, fig11b, fig11c, latency, opcount,
-//! overhead.
+//! overhead, bench.
+//!
+//! `bench` is not a paper figure: it measures the row-shim vs batch-path
+//! operator throughput and (with `--json`) writes `BENCH_throughput.json`,
+//! the perf-trajectory artifact CI uploads.
 
 use jarvis_bench::output::{f2, render_ascii_chart, render_table, write_json};
 use jarvis_bench::*;
@@ -53,9 +57,10 @@ fn main() {
             "latency" => run_latency(json),
             "opcount" => run_opcount(json),
             "overhead" => run_overhead(json),
+            "bench" => run_bench(json),
             other => {
                 eprintln!("unknown experiment: {other}");
-                eprintln!("known: {}", all.join(", "));
+                eprintln!("known: {}, bench", all.join(", "));
                 std::process::exit(2);
             }
         }
@@ -292,6 +297,17 @@ fn run_overhead(json: bool) {
         r.overhead_core_frac * 100.0
     );
     maybe_json(json, "overhead", &r);
+}
+
+fn run_bench(json: bool) {
+    let r = bench_throughput(5);
+    println!("Operator throughput: legacy row shim vs vectorized batch path");
+    println!("  pipeline : {}", r.pipeline);
+    println!("  rows/iter: {}", r.rows);
+    println!("  row path : {:.0} records/s", r.row_records_per_sec);
+    println!("  batch    : {:.0} records/s", r.batch_records_per_sec);
+    println!("  speedup  : {:.2}x (target: >= 2x)", r.speedup);
+    maybe_json(json, "BENCH_throughput", &r);
 }
 
 fn maybe_json<T: serde::Serialize>(json: bool, name: &str, value: &T) {

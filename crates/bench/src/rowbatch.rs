@@ -1,0 +1,106 @@
+//! Row-shim vs batch-path throughput measurement for the perf trajectory.
+//!
+//! The criterion group `row_vs_batch` gives interactive numbers; this runner
+//! produces the machine-readable `BENCH_throughput.json` artifact CI uploads
+//! so the repository's performance trajectory is tracked over time. Same
+//! workload as the bench: the S2SProbe filter → group → aggregate chain over
+//! deterministic Pingmesh epochs.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use streamkit::batch::Batch;
+use streamkit::ops::{AggRole, Operator};
+use streamkit::physical::{build_pipeline, drain_windows, CostProfile};
+use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+
+/// Result of one row-vs-batch throughput measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RowBatchResult {
+    /// Workload identifier.
+    pub pipeline: String,
+    /// Rows pushed through each path per iteration.
+    pub rows: u64,
+    /// Measured iterations per path.
+    pub iters: u32,
+    /// Row-shim throughput, records/second (median over iterations).
+    pub row_records_per_sec: f64,
+    /// Batch-path throughput, records/second (median over iterations).
+    pub batch_records_per_sec: f64,
+    /// batch / row speedup factor.
+    pub speedup: f64,
+}
+
+fn run_chain(ops: &mut [Box<dyn Operator>], batches: &[Batch]) -> usize {
+    let mut emitted = 0;
+    for batch in batches {
+        let mut cur = vec![batch.clone()];
+        for op in ops.iter_mut() {
+            let mut next = Vec::new();
+            for b in cur {
+                op.process_batch(b, &mut next);
+            }
+            cur = next;
+        }
+        emitted += cur.iter().map(Batch::len).sum::<usize>();
+    }
+    emitted += drain_windows(ops, streamkit::time::TS_MAX)
+        .iter()
+        .map(Batch::len)
+        .sum::<usize>();
+    for op in ops.iter_mut() {
+        op.reset();
+    }
+    emitted
+}
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Measures the S2SProbe chain through the legacy row shim and the
+/// vectorized batch path. `iters` timed iterations per path (3 is enough
+/// for a CI smoke run; the criterion bench provides finer numbers).
+pub fn bench_throughput(iters: u32) -> RowBatchResult {
+    let plan = telemetry::queries::s2s_probe();
+    let costs = CostProfile::default();
+    let mut gen = PingmeshGenerator::new(PingmeshConfig::default());
+    let batches: Vec<Batch> = (0..4)
+        .map(|e| gen.generate_epoch_batch(e * 1_000_000, 1.0))
+        .collect();
+    let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+    let time = |ops: &mut Vec<Box<dyn Operator>>| -> f64 {
+        // One warm-up, then timed iterations.
+        run_chain(ops, &batches);
+        let samples: Vec<f64> = (0..iters.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let emitted = run_chain(ops, &batches);
+                let dt = start.elapsed().as_secs_f64();
+                assert!(emitted > 0, "the chain must emit results");
+                dt
+            })
+            .collect();
+        median_secs(samples)
+    };
+
+    #[allow(deprecated)]
+    let mut row_ops =
+        streamkit::physical::build_row_pipeline(&plan, &costs, AggRole::Final).expect("valid plan");
+    let mut batch_ops = build_pipeline(&plan, &costs, AggRole::Final).expect("valid plan");
+    let row_secs = time(&mut row_ops);
+    let batch_secs = time(&mut batch_ops);
+
+    let row_rps = rows as f64 / row_secs;
+    let batch_rps = rows as f64 / batch_secs;
+    RowBatchResult {
+        pipeline: "S2SProbe filter->group->aggregate".into(),
+        rows,
+        iters: iters.max(1),
+        row_records_per_sec: row_rps,
+        batch_records_per_sec: batch_rps,
+        speedup: batch_rps / row_rps,
+    }
+}

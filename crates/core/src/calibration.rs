@@ -102,6 +102,11 @@ pub const STATE_SHIP_INTERVAL_EPOCHS: u32 = 2;
 /// Batch quantum for the epoch executor (records per stage pass).
 pub const EXEC_QUANTUM: usize = 512;
 
+/// Rows measured per cost sample during a Profile epoch (emulated and live
+/// alike). Small enough that state-dependent costs are tracked as operator
+/// state grows, large enough to keep profiling vectorized.
+pub const PROFILE_SUBBATCH_ROWS: usize = 64;
+
 /// Load-factor discretisation granularity for fine-tuning's binary search
 /// (§IV-D "binary search over discretized load factor values").
 pub const LOAD_FACTOR_GRANULARITY: f64 = 1.0 / 64.0;

@@ -219,7 +219,7 @@ impl ExecBackend for ConvergenceBackend {
         let sample = spec
             .workload
             .generator(0, spec.sources)
-            .generate_epoch(0, 1.0);
+            .generate_epoch_batch(0, 1.0);
         let budget_us = spec.cpu_budget * calibration::EPOCH_SECS * 1e6;
         let est = crate::live::session::profile_on_scratch(
             &planned.plan,

@@ -154,8 +154,8 @@ mod tests {
     #[test]
     fn adapter_generators_are_deterministic() {
         let w = ScenarioSpec::log_analytics(Scale::X1);
-        let a = SourceAdapter::generator(&w, 0, 2).generate_epoch(0, 1.0);
-        let b = SourceAdapter::generator(&w, 0, 2).generate_epoch(0, 1.0);
+        let a = SourceAdapter::generator(&w, 0, 2).generate_epoch_batch(0, 1.0);
+        let b = SourceAdapter::generator(&w, 0, 2).generate_epoch_batch(0, 1.0);
         assert_eq!(a, b, "same source index must replay the same stream");
     }
 }

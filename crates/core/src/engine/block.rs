@@ -3,8 +3,8 @@
 
 use simnet::link::{Delivered, FairLink, Link};
 use simnet::VirtualClock;
+use streamkit::batch::Batch;
 use streamkit::physical::CostProfile;
-use streamkit::record::Record;
 use streamkit::time::Ts;
 
 use crate::calibration;
@@ -14,27 +14,29 @@ use crate::engine::sp::SpEngine;
 use crate::engine::NetPayload;
 use crate::planner::PlannedQuery;
 
-/// A per-epoch record generator (one per source).
+/// A per-epoch batch generator (one per source). Sources produce columnar
+/// [`Batch`]es directly — the dataflow is batch-first end to end.
 pub trait EpochSource: Send {
-    /// Produces the records arriving in `[epoch_start, epoch_start + secs)`.
-    fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record>;
+    /// Produces the rows arriving in `[epoch_start, epoch_start + secs)` as
+    /// one columnar batch.
+    fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch;
 }
 
 impl EpochSource for telemetry::pingmesh::PingmeshGenerator {
-    fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record> {
-        telemetry::pingmesh::PingmeshGenerator::generate_epoch(self, epoch_start, epoch_secs)
+    fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        telemetry::pingmesh::PingmeshGenerator::generate_epoch_batch(self, epoch_start, epoch_secs)
     }
 }
 
 impl EpochSource for telemetry::loganalytics::LogGenerator {
-    fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record> {
-        telemetry::loganalytics::LogGenerator::generate_epoch(self, epoch_start, epoch_secs)
+    fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        telemetry::loganalytics::LogGenerator::generate_epoch_batch(self, epoch_start, epoch_secs)
     }
 }
 
 impl EpochSource for telemetry::trace::ReplayGenerator {
-    fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record> {
-        telemetry::trace::ReplayGenerator::generate_epoch(self, epoch_start, epoch_secs)
+    fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        telemetry::trace::ReplayGenerator::generate_epoch_batch(self, epoch_start, epoch_secs)
     }
 }
 
@@ -278,7 +280,7 @@ impl BuildingBlock {
                 epoch_metrics.push(crate::engine::metrics::EpochMetrics::default());
                 continue;
             }
-            let input = self.generators[i].generate_epoch(now_us, epoch_secs);
+            let input = self.generators[i].generate_epoch_batch(now_us, epoch_secs);
             let result = source.run_epoch(input, now_us);
             let mut evicted_records = 0usize;
             for (payload, bytes, offset) in result.payloads {
@@ -374,16 +376,12 @@ impl BuildingBlock {
             if self.failed[i] {
                 continue;
             }
-            let (records, deltas) = self.sources[i].drain_residual();
-            for (stage, recs) in records {
-                self.sp.deliver(
-                    i,
-                    NetPayload::Records {
-                        stage,
-                        records: recs,
-                    },
-                    now,
-                );
+            let (batches, deltas) = self.sources[i].drain_residual();
+            for (stage, stage_batches) in batches {
+                for batch in stage_batches {
+                    self.sp
+                        .deliver(i, NetPayload::Records { stage, batch }, now);
+                }
             }
             for (stage, delta) in deltas {
                 self.sp

@@ -14,25 +14,27 @@ pub mod source;
 pub mod sp;
 pub mod tree;
 
+use streamkit::batch::Batch;
 use streamkit::ops::StatePartial;
-use streamkit::record::Record;
 
 pub use block::{BuildingBlock, BuildingBlockConfig, NetworkModel};
 pub use metrics::{EpochMetrics, RunMetrics};
 pub use source::{SourceConfig, SourceEngine};
 pub use sp::SpEngine;
 
-/// Data shipped from a data source to its stream processor.
+/// Data shipped from a data source to its stream processor. Record traffic
+/// travels in the same columnar [`Batch`] layout the wire encoder uses —
+/// there is no row/batch conversion at the network boundary any more.
 #[derive(Debug, Clone)]
 pub enum NetPayload {
-    /// Records drained at the proxy of operator `stage` (0-based index into
-    /// the plan); `stage == plan length` means fully-processed records
+    /// A batch drained at the proxy of operator `stage` (0-based index into
+    /// the plan); `stage == plan length` means fully-processed rows
     /// (results of a stateless tail) headed for the SP's merge/collect.
     Records {
         /// Destination operator index on the SP replica.
         stage: usize,
-        /// The records.
-        records: Vec<Record>,
+        /// The drained rows, columnar.
+        batch: Batch,
     },
     /// Mergeable partial state from the source-side stateful operator at
     /// `stage`.
@@ -45,10 +47,10 @@ pub enum NetPayload {
 }
 
 impl NetPayload {
-    /// Number of records carried (state deltas count group entries).
+    /// Number of rows carried (state deltas count group entries).
     pub fn record_count(&self) -> usize {
         match self {
-            NetPayload::Records { records, .. } => records.len(),
+            NetPayload::Records { batch, .. } => batch.len(),
             NetPayload::StateDelta { delta, .. } => delta.entry_count(),
         }
     }

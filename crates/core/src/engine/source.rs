@@ -1,18 +1,19 @@
-//! The source-side execution engine.
+//! The source-side execution engine, batch-first.
 //!
 //! Runs one query instance on one emulated data source node: routes arriving
-//! records through control proxies, charges per-record operator costs against
-//! the node's epoch budget, sheds or queues overflow according to the
-//! strategy, ships stateful partial-state deltas at the configured interval,
-//! and drives the Jarvis runtime at every epoch boundary — including
-//! dedicated Profile epochs that measure per-operator cost and relay ratios.
+//! batches through control proxies (per-row, so error-diffusion routing stays
+//! deterministic), charges operator costs against the node's epoch budget a
+//! sub-batch at a time, sheds or queues overflow according to the strategy,
+//! ships stateful partial-state deltas at the configured interval, and drives
+//! the Jarvis runtime at every epoch boundary — including dedicated Profile
+//! epochs that measure per-operator cost and relay ratios.
 
 use std::collections::VecDeque;
 
 use simnet::{CpuBudget, Node, NodeId};
-use streamkit::ops::{AggRole, Operator};
+use streamkit::batch::Batch;
+use streamkit::ops::{absorbed_timestamps, AggRole, Operator};
 use streamkit::physical::{build_pipeline, CostProfile};
-use streamkit::record::Record;
 use streamkit::schema::SchemaRef;
 use streamkit::time::Ts;
 
@@ -20,16 +21,23 @@ use crate::calibration;
 use crate::engine::metrics::EpochMetrics;
 use crate::engine::NetPayload;
 use crate::planner::PlannedQuery;
-use crate::proxy::{classify_query, ControlProxy, ProxyState, QueryState, Route};
+use crate::proxy::{classify_query, ControlProxy, ProxyState, QueryState};
 use crate::runtime::{JarvisRuntime, Phase, PROFILE_COST_US};
 use crate::stepwise::ProfileEstimates;
 use crate::strategy::{OverflowMode, StrategyKind};
 
-/// One pipeline stage: a control proxy guarding an operator and its queue.
+/// One pipeline stage: a control proxy guarding an operator and its queue of
+/// pending batches.
 struct Stage {
     proxy: ControlProxy,
     op: Box<dyn Operator>,
-    queue: VecDeque<Record>,
+    queue: VecDeque<Batch>,
+}
+
+impl Stage {
+    fn queued_rows(&self) -> usize {
+        self.queue.iter().map(Batch::len).sum()
+    }
 }
 
 /// Source engine configuration.
@@ -74,8 +82,8 @@ impl SourceConfig {
 
 /// Result of one source epoch.
 pub struct SourceEpochResult {
-    /// Payloads to enqueue on the uplink, with their enqueue offsets within
-    /// the epoch in seconds.
+    /// Payloads to enqueue on the uplink, with their wire bytes and enqueue
+    /// offsets within the epoch in seconds.
     pub payloads: Vec<(NetPayload, usize, f64)>,
     /// Source-side metrics for the epoch.
     pub metrics: EpochMetrics,
@@ -100,7 +108,7 @@ pub struct SourceEngine {
     epochs_since_ship: u32,
     profile_next: bool,
     epoch: u64,
-    /// Records currently queued across stages (cheap running count).
+    /// Rows currently queued across stages (cheap running count).
     queued_records: usize,
     /// Completions seen, for latency subsampling.
     completion_counter: u64,
@@ -210,18 +218,19 @@ impl SourceEngine {
         self.node.epoch_utilisation().min(1.0) * self.cfg.epoch_secs
     }
 
-    /// Runs one epoch. `input` are this epoch's arrivals; `epoch_start_us`
-    /// is virtual time at the epoch start.
-    pub fn run_epoch(&mut self, input: Vec<Record>, epoch_start_us: Ts) -> SourceEpochResult {
+    /// Runs one epoch. `input` is this epoch's arrival batch;
+    /// `epoch_start_us` is virtual time at the epoch start.
+    pub fn run_epoch(&mut self, mut input: Batch, epoch_start_us: Ts) -> SourceEpochResult {
+        // Wire accounting follows the plan's input schema, not whatever
+        // schema the generator tagged the batch with (trace replay infers
+        // column types, which would otherwise inflate byte counts).
+        input.relabel(&self.schemas[0]);
         self.node.begin_epoch(self.cfg.epoch_secs);
         let mut metrics = EpochMetrics::default();
         let mut payloads: Vec<(NetPayload, usize, f64)> = Vec::new();
 
         metrics.input_records = input.len() as u64;
-        metrics.input_bytes = input
-            .iter()
-            .map(|r| r.wire_size(&self.schemas[0]) as u64)
-            .sum();
+        metrics.input_bytes = input.wire_size() as u64;
         if metrics.input_records > 0 {
             self.avg_input_bytes = metrics.input_bytes as f64 / metrics.input_records as f64;
         }
@@ -279,25 +288,38 @@ impl SourceEngine {
         SourceEpochResult { payloads, metrics }
     }
 
-    /// Routes a record at stage `i`'s proxy: forward to its queue or emit a
-    /// drain destined for SP stage `i`.
-    fn route_at(stages: &mut [Stage], drains: &mut [Vec<Record>], i: usize, rec: Record) {
-        match stages[i].proxy.route() {
-            Route::Forward => stages[i].queue.push_back(rec),
-            Route::Drain => drains[i].push(rec),
+    /// Routes a batch at stage `i`'s proxy via
+    /// [`ControlProxy::split_batch`]: the forwarded part joins the stage
+    /// queue, the drained part is destined for SP stage `i`. Returns the
+    /// number of rows forwarded.
+    fn route_batch(
+        stages: &mut [Stage],
+        drains: &mut [Vec<Batch>],
+        i: usize,
+        batch: Batch,
+    ) -> usize {
+        let (fwd, drained) = stages[i].proxy.split_batch(batch);
+        if let Some(drained) = drained {
+            drains[i].push(drained);
         }
+        let mut forwarded = 0;
+        if let Some(fwd) = fwd {
+            forwarded = fwd.len();
+            stages[i].queue.push_back(fwd);
+        }
+        forwarded
     }
 
     fn run_normal_epoch(
         &mut self,
-        input: Vec<Record>,
+        input: Batch,
         epoch_start_us: Ts,
         metrics: &mut EpochMetrics,
         payloads: &mut Vec<(NetPayload, usize, f64)>,
     ) {
         let m = self.source_ops;
-        let mut drains: Vec<Vec<Record>> = vec![Vec::new(); m + 1];
-        // `drains[m]` holds records that traversed the whole local prefix
+        let mut drains: Vec<Vec<Batch>> = vec![Vec::new(); m + 1];
+        // `drains[m]` holds rows that traversed the whole local prefix
         // (possible only when the prefix is shorter than the plan, or the
         // tail operator is stateless).
         let epoch_end_us = epoch_start_us + (self.cfg.epoch_secs * 1e6) as Ts;
@@ -305,49 +327,57 @@ impl SourceEngine {
         let thrash = self.compute_thrash_multiplier();
 
         // Route arrivals at stage 0.
-        for rec in input {
-            Self::route_at(&mut self.stages, &mut drains, 0, rec);
-        }
-        self.recount_queue();
+        self.queued_records += Self::route_batch(&mut self.stages, &mut drains, 0, input);
 
-        // Process queues in pipeline order, a quantum at a time, until the
-        // budget is exhausted or everything is drained.
-        let mut out_buf: Vec<Record> = Vec::with_capacity(calibration::EXEC_QUANTUM * 2);
+        // Process queues in pipeline order, a quantum of rows at a time,
+        // until the budget is exhausted or everything is drained.
+        let mut out_buf: Vec<Batch> = Vec::new();
         'outer: loop {
             let mut progressed = false;
             for i in 0..m {
-                let take = self.stages[i].queue.len().min(calibration::EXEC_QUANTUM);
-                if take == 0 {
-                    continue;
-                }
-                for _ in 0..take {
+                let mut quota = calibration::EXEC_QUANTUM;
+                while quota > 0 {
+                    let Some(front) = self.stages[i].queue.pop_front() else {
+                        break;
+                    };
+                    if front.is_empty() {
+                        continue;
+                    }
                     let cost = self.stages[i].op.cost_us() * thrash;
-                    if !self.node.try_charge(cost) {
+                    let take = front.len().min(quota).min(self.node.affordable(cost));
+                    if take == 0 {
+                        self.stages[i].queue.push_front(front);
                         break 'outer;
                     }
-                    let rec = self.stages[i].queue.pop_front().expect("non-empty");
-                    self.queued_records = self.queued_records.saturating_sub(1);
-                    let ts = rec.ts;
-                    out_buf.clear();
-                    self.stages[i].op.process(rec, &mut out_buf);
-                    if out_buf.is_empty() {
-                        // Terminal: filtered out or absorbed into state.
-                        self.complete_local(ts, epoch_start_us, metrics);
+                    let head = if take == front.len() {
+                        front
                     } else {
-                        for out in out_buf.drain(..) {
-                            if i + 1 < m {
-                                Self::route_at(&mut self.stages, &mut drains, i + 1, out);
-                                self.queued_records += 1; // adjusted below if drained
-                            } else {
-                                drains[m].push(out);
-                            }
+                        let rest = front.slice(take..front.len());
+                        let head = front.slice(0..take);
+                        self.stages[i].queue.push_front(rest);
+                        head
+                    };
+                    self.node.charge_upto(take as f64 * cost);
+                    quota -= take;
+                    self.queued_records -= take;
+                    progressed = true;
+                    let in_ts = head.timestamps.clone();
+                    out_buf.clear();
+                    self.stages[i].op.process_batch(head, &mut out_buf);
+                    // Rows with no output were filtered out or absorbed into
+                    // state: they complete locally.
+                    for ts in absorbed_timestamps(&in_ts, &out_buf) {
+                        self.complete_local(ts, epoch_start_us, metrics);
+                    }
+                    for out in out_buf.drain(..) {
+                        if i + 1 < m {
+                            self.queued_records +=
+                                Self::route_batch(&mut self.stages, &mut drains, i + 1, out);
+                        } else {
+                            drains[m].push(out);
                         }
-                        // route_at may have drained rather than queued;
-                        // recount cheaply every quantum.
                     }
                 }
-                self.recount_queue();
-                progressed = true;
             }
             if !progressed {
                 break;
@@ -356,26 +386,26 @@ impl SourceEngine {
 
         // Epoch-end watermark: closed-window emissions from final-role ops
         // (none in Partial role) flow downstream without extra cost.
-        let mut wm_out: Vec<Record> = Vec::new();
+        let mut wm_out: Vec<Batch> = Vec::new();
         for i in 0..m {
             wm_out.clear();
             self.stages[i].op.on_watermark(epoch_end_us, &mut wm_out);
             self.stages[i].op.on_epoch(&mut wm_out);
             for out in wm_out.drain(..) {
                 if i + 1 < m {
-                    Self::route_at(&mut self.stages, &mut drains, i + 1, out);
+                    self.queued_records +=
+                        Self::route_batch(&mut self.stages, &mut drains, i + 1, out);
                 } else {
                     drains[m].push(out);
                 }
             }
         }
-        self.recount_queue();
 
         // Leftovers: shed (data-level) or keep/cap (operator-level).
         match self.overflow {
             OverflowMode::Drain => {
                 for (stage, drain) in self.stages[..m].iter_mut().zip(drains.iter_mut()) {
-                    let n = stage.queue.len() as u64;
+                    let n = stage.queued_rows() as u64;
                     if n > 0 {
                         stage.proxy.note_overflow(n);
                         drain.extend(stage.queue.drain(..));
@@ -389,21 +419,27 @@ impl SourceEngine {
             }
             OverflowMode::Queue => {
                 for stage in &mut self.stages[..m] {
-                    let pending = stage.queue.len() as u64;
+                    let pending = stage.queued_rows() as u64;
                     stage.proxy.note_pending(pending);
                     stage.proxy.note_starved(pending == 0);
                 }
-                // Memory cap: drop oldest from the most backlogged stage.
+                // Memory cap: drop oldest rows from the most backlogged stage.
                 while self.queued_records > self.cfg.queue_cap {
                     let longest = (0..m)
-                        .max_by_key(|&i| self.stages[i].queue.len())
+                        .max_by_key(|&i| self.stages[i].queued_rows())
                         .expect("stages exist");
-                    if self.stages[longest].queue.pop_front().is_some() {
-                        self.queued_records -= 1;
-                        metrics.lost_bytes += self.avg_input_bytes;
-                    } else {
+                    let Some(front) = self.stages[longest].queue.pop_front() else {
                         break;
+                    };
+                    let excess = self.queued_records - self.cfg.queue_cap;
+                    let drop_n = front.len().min(excess);
+                    if drop_n < front.len() {
+                        self.stages[longest]
+                            .queue
+                            .push_front(front.slice(drop_n..front.len()));
                     }
+                    self.queued_records -= drop_n;
+                    metrics.lost_bytes += drop_n as f64 * self.avg_input_bytes;
                 }
             }
         }
@@ -412,7 +448,7 @@ impl SourceEngine {
         self.flush_drains(drains, metrics, payloads);
     }
 
-    /// Marks one input record's processing complete at the source.
+    /// Marks one input row's processing complete at the source.
     fn complete_local(&mut self, ts: Ts, epoch_start_us: Ts, metrics: &mut EpochMetrics) {
         let completion_s = epoch_start_us as f64 / 1e6 + self.now_frac();
         let latency = (completion_s - ts as f64 / 1e6).max(0.0);
@@ -429,42 +465,47 @@ impl SourceEngine {
     }
 
     fn recount_queue(&mut self) {
-        self.queued_records = self.stages.iter().map(|s| s.queue.len()).sum();
+        self.queued_records = self.stages.iter().map(Stage::queued_rows).sum();
     }
 
-    /// Records per network payload chunk. Small chunks give the links a fine
+    /// Rows per network payload chunk. Small chunks give the links a fine
     /// eviction/fair-sharing quantum and sub-epoch completion times.
     const DRAIN_CHUNK_RECORDS: usize = 512;
 
     fn flush_drains(
         &mut self,
-        drains: Vec<Vec<Record>>,
+        drains: Vec<Vec<Batch>>,
         metrics: &mut EpochMetrics,
         payloads: &mut Vec<(NetPayload, usize, f64)>,
     ) {
-        for (stage, records) in drains.into_iter().enumerate() {
-            if records.is_empty() {
+        for (stage, batches) in drains.into_iter().enumerate() {
+            let total_rows: usize = batches.iter().map(Batch::len).sum();
+            if total_rows == 0 {
                 continue;
             }
-            let schema = self.schemas[stage.min(self.schemas.len() - 1)].clone();
-            metrics.drained_records += records.len() as u64;
+            metrics.drained_records += total_rows as u64;
             // Chunk and spread enqueue offsets across the epoch (routing
             // drains occur throughout it).
-            let n_chunks = records.len().div_ceil(Self::DRAIN_CHUNK_RECORDS);
-            let mut iter = records.into_iter();
-            for c in 0..n_chunks {
-                let chunk: Vec<Record> = iter.by_ref().take(Self::DRAIN_CHUNK_RECORDS).collect();
-                let bytes: usize = chunk.iter().map(|r| r.wire_size(&schema)).sum();
-                metrics.net_bytes += bytes as u64;
-                let offset = (c as f64 + 0.5) / n_chunks as f64 * self.cfg.epoch_secs;
-                payloads.push((
-                    NetPayload::Records {
-                        stage,
-                        records: chunk,
-                    },
-                    bytes,
-                    offset,
-                ));
+            let n_chunks: usize = batches
+                .iter()
+                .map(|b| b.len().div_ceil(Self::DRAIN_CHUNK_RECORDS))
+                .sum();
+            let mut c = 0usize;
+            for batch in batches {
+                for chunk in batch.chunks(Self::DRAIN_CHUNK_RECORDS) {
+                    let bytes = chunk.wire_size();
+                    metrics.net_bytes += bytes as u64;
+                    let offset = (c as f64 + 0.5) / n_chunks as f64 * self.cfg.epoch_secs;
+                    c += 1;
+                    payloads.push((
+                        NetPayload::Records {
+                            stage,
+                            batch: chunk,
+                        },
+                        bytes,
+                        offset,
+                    ));
+                }
             }
         }
     }
@@ -493,12 +534,12 @@ impl SourceEngine {
 
     /// A Profile epoch (paper §IV-C): execute one operator at a time on as
     /// much data as a per-operator budget slice allows, measuring per-record
-    /// cost, relay ratios and the available budget. Unprocessed records are
-    /// drained losslessly.
-    #[allow(clippy::needless_range_loop)] // `i` indexes stages, schemas, and drains alike
+    /// cost, relay ratios and the available budget. Costs are sampled per
+    /// [`calibration::PROFILE_SUBBATCH_ROWS`]-row sub-batch so state-dependent growth is
+    /// still observed. Unprocessed rows are drained losslessly.
     fn run_profile_epoch(
         &mut self,
-        input: Vec<Record>,
+        input: Batch,
         epoch_start_us: Ts,
         metrics: &mut EpochMetrics,
         payloads: &mut Vec<(NetPayload, usize, f64)>,
@@ -515,38 +556,60 @@ impl SourceEngine {
         let mut cost_us = Vec::with_capacity(m);
         let mut relay_bytes = Vec::with_capacity(m);
         let mut relay_count = Vec::with_capacity(m);
-        let mut drains: Vec<Vec<Record>> = vec![Vec::new(); m + 1];
-        let mut batch = input;
+        let mut drains: Vec<Vec<Batch>> = vec![Vec::new(); m + 1];
+        let mut batches = vec![input];
 
+        #[allow(clippy::needless_range_loop)] // `i` indexes stages, schemas, and drains alike
         for i in 0..m {
             // Any backlog from previous epochs joins the sample.
-            let mut pending: Vec<Record> = self.stages[i].queue.drain(..).collect();
-            pending.append(&mut batch);
-            let in_schema = self.schemas[i].clone();
+            let mut pending: Vec<Batch> = self.stages[i].queue.drain(..).collect();
+            pending.append(&mut batches);
             let mut used = 0.0f64;
             let mut processed = 0usize;
             let mut in_bytes = 0usize;
-            let mut out: Vec<Record> = Vec::with_capacity(pending.len());
-            let mut leftovers: Vec<Record> = Vec::new();
-            for rec in pending {
-                let cost = self.stages[i].op.cost_us();
-                if used + cost > slice || !self.node.try_charge(cost) {
-                    leftovers.push(rec);
-                    continue;
-                }
-                used += cost;
-                processed += 1;
-                in_bytes += rec.wire_size(&in_schema);
-                let ts = rec.ts;
-                let before = out.len();
-                self.stages[i].op.process(rec, &mut out);
-                if out.len() == before {
-                    self.complete_local(ts, epoch_start_us, metrics);
+            let mut out: Vec<Batch> = Vec::new();
+            let mut leftovers: Vec<Batch> = Vec::new();
+            for batch in pending {
+                let mut rest = batch;
+                loop {
+                    if rest.is_empty() {
+                        break;
+                    }
+                    let cost = self.stages[i].op.cost_us();
+                    let slice_afford = if cost <= 0.0 {
+                        rest.len()
+                    } else {
+                        (((slice - used) / cost).max(0.0) as usize).min(self.node.affordable(cost))
+                    };
+                    let take = rest
+                        .len()
+                        .min(calibration::PROFILE_SUBBATCH_ROWS)
+                        .min(slice_afford);
+                    if take == 0 {
+                        leftovers.push(rest);
+                        break;
+                    }
+                    let head = if take == rest.len() {
+                        std::mem::replace(&mut rest, Batch::empty(self.schemas[i].clone()))
+                    } else {
+                        let head = rest.slice(0..take);
+                        rest = rest.slice(take..rest.len());
+                        head
+                    };
+                    self.node.charge_upto(take as f64 * cost);
+                    used += take as f64 * cost;
+                    processed += take;
+                    in_bytes += head.wire_size();
+                    let in_ts = head.timestamps.clone();
+                    let before = out.len();
+                    self.stages[i].op.process_batch(head, &mut out);
+                    for ts in absorbed_timestamps(&in_ts, &out[before..]) {
+                        self.complete_local(ts, epoch_start_us, metrics);
+                    }
                 }
             }
-            let out_schema = &self.schemas[i + 1];
-            let mut out_bytes: usize = out.iter().map(|r| r.wire_size(out_schema)).sum();
-            let mut out_count = out.len();
+            let mut out_bytes: usize = out.iter().map(Batch::wire_size).sum();
+            let mut out_count: usize = out.iter().map(Batch::len).sum();
             // Stateful operators produce their output as shipped state.
             if self.stages[i].op.is_stateful() {
                 if let Some(delta) = self.stages[i].op.take_state_delta() {
@@ -578,9 +641,9 @@ impl SourceEngine {
                 1.0
             });
             drains[i].extend(leftovers);
-            batch = out;
+            batches = out;
         }
-        drains[m].append(&mut batch);
+        drains[m].append(&mut batches);
         self.recount_queue();
         self.flush_drains(drains, metrics, payloads);
 
@@ -593,22 +656,22 @@ impl SourceEngine {
         }
     }
 
-    /// Drains everything still held on the source — queued records per stage
+    /// Drains everything still held on the source — queued batches per stage
     /// and unshipped partial state — for an end-of-run flush to the stream
     /// processor (exactness fingerprinting).
     #[allow(clippy::type_complexity)]
     pub fn drain_residual(
         &mut self,
     ) -> (
-        Vec<(usize, Vec<Record>)>,
+        Vec<(usize, Vec<Batch>)>,
         Vec<(usize, streamkit::ops::StatePartial)>,
     ) {
-        let mut records = Vec::new();
+        let mut batches = Vec::new();
         let mut deltas = Vec::new();
         for (stage, s) in self.stages.iter_mut().enumerate() {
-            let queued: Vec<Record> = s.queue.drain(..).collect();
+            let queued: Vec<Batch> = s.queue.drain(..).collect();
             if !queued.is_empty() {
-                records.push((stage, queued));
+                batches.push((stage, queued));
             }
             if s.op.is_stateful() {
                 if let Some(delta) = s.op.take_state_delta() {
@@ -617,7 +680,7 @@ impl SourceEngine {
             }
         }
         self.queued_records = 0;
-        (records, deltas)
+        (batches, deltas)
     }
 
     /// Whether the runtime is mid-adaptation (Profile or Adapt phase).
@@ -650,17 +713,36 @@ mod tests {
         SourceEngine::new(&planned, &s2s_cost_profile(), cfg)
     }
 
-    fn epoch_input(e: i64, scale: f64) -> Vec<Record> {
+    fn epoch_input(e: i64, scale: f64) -> Batch {
         let mut gen = PingmeshGenerator::new(PingmeshConfig {
             scale,
             ..Default::default()
         });
         // Fast-forward the generator deterministically to epoch e.
-        let mut out = Vec::new();
-        for i in 0..=e {
-            out = gen.generate_epoch(i * 1_000_000, 1.0);
+        let mut out = gen.generate_epoch_batch(0, 1.0);
+        for i in 1..=e {
+            out = gen.generate_epoch_batch(i * 1_000_000, 1.0);
         }
         out
+    }
+
+    #[test]
+    fn replayed_traces_account_under_the_plan_schema() {
+        // A trace replay infers column types (U32 fields come back as U64),
+        // but wire accounting must follow the plan's input schema: every
+        // Pingmesh record is 86 bytes regardless of how it arrived.
+        let mut gen = PingmeshGenerator::new(PingmeshConfig::default());
+        let recorded = gen.generate_epoch(0, 1.0);
+        let n = recorded.len() as u64;
+        let mut replay = telemetry::trace::ReplayGenerator::new(recorded);
+        let mut eng = engine(StrategyKind::AllSrc, 1.0);
+        let result = eng.run_epoch(replay.generate_epoch_batch(0, 1.0), 0);
+        assert_eq!(result.metrics.input_records, n);
+        assert_eq!(
+            result.metrics.input_bytes,
+            n * telemetry::pingmesh::PINGMESH_RECORD_BYTES as u64
+        );
+        assert!((eng.avg_input_bytes() - 86.0).abs() < 1e-9);
     }
 
     #[test]

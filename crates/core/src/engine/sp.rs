@@ -1,20 +1,21 @@
-//! The stream-processor engine.
+//! The stream-processor engine, batch-first.
 //!
-//! Hosts one replica pipeline per data source (paper Fig. 5): drained records
-//! enter at the operator they were drained in front of and flow through the
-//! rest of the chain; partial-state deltas merge into the replica's stateful
-//! operator. Stateful replicas run in Final role and emit merged results. The
-//! SP's cores are shared across all replicas.
+//! Hosts one replica pipeline per data source (paper Fig. 5): drained
+//! batches enter at the operator they were drained in front of and flow
+//! through the rest of the chain; partial-state deltas merge into the
+//! replica's stateful operator. Stateful replicas run in Final role and emit
+//! merged results. The SP's cores are shared across all replicas.
 //!
 //! Throughput accounting distinguishes the *input domain* (drained source
-//! records still being processed — their terminal events complete the input
+//! rows still being processed — their terminal events complete the input
 //! work) from the *result domain* (rows emitted by aggregations — query
 //! output, never double-counted as input completions).
 
 use std::collections::VecDeque;
 
 use simnet::{CpuBudget, Node, NodeId};
-use streamkit::ops::{AggRole, Operator};
+use streamkit::batch::Batch;
+use streamkit::ops::{absorbed_timestamps, AggRole, Operator};
 use streamkit::physical::{build_pipeline, CostProfile};
 use streamkit::record::Record;
 use streamkit::time::Ts;
@@ -23,20 +24,20 @@ use crate::calibration;
 use crate::engine::NetPayload;
 use crate::planner::PlannedQuery;
 
-/// Which domain a queued record belongs to.
+/// Which domain a queued batch belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ItemKind {
-    /// A drained source record still being processed (input domain).
+    /// Drained source rows still being processed (input domain).
     Input,
-    /// A row emitted by a window close (query result).
+    /// Rows emitted by a window close (query result).
     WindowResult,
-    /// A per-epoch dashboard delta (result domain, never fingerprinted).
+    /// Per-epoch dashboard deltas (result domain, never fingerprinted).
     DeltaResult,
 }
 
-/// A queued item: the record, its network-arrival time, and its domain.
+/// A queued item: the batch, its network-arrival time, and its domain.
 struct Item {
-    rec: Record,
+    batch: Batch,
     arrived: f64,
     kind: ItemKind,
 }
@@ -44,7 +45,7 @@ struct Item {
 /// Per-source replica pipeline.
 struct Replica {
     stages: Vec<Box<dyn Operator>>,
-    /// Arrival queues, one per stage, plus a final slot for records that
+    /// Arrival queues, one per stage, plus a final slot for batches that
     /// completed the whole chain.
     queues: Vec<VecDeque<Item>>,
 }
@@ -116,9 +117,9 @@ impl SpEngine {
         self.collected.as_deref()
     }
 
-    fn collect(collected: &mut Option<Vec<Record>>, rec: &Record) {
+    fn collect_batch(collected: &mut Option<Vec<Record>>, batch: &Batch) {
         if let Some(rows) = collected {
-            rows.push(rec.clone());
+            rows.extend(batch.to_records());
         }
     }
 
@@ -127,11 +128,17 @@ impl SpEngine {
         &self.node
     }
 
-    /// Records still queued (delivered but unprocessed).
+    /// Rows still queued (delivered but unprocessed).
     pub fn backlog_records(&self) -> usize {
         self.replicas
             .iter()
-            .map(|r| r.queues.iter().map(VecDeque::len).sum::<usize>())
+            .map(|r| {
+                r.queues
+                    .iter()
+                    .flat_map(|q| q.iter())
+                    .map(|i| i.batch.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -140,15 +147,16 @@ impl SpEngine {
     pub fn deliver(&mut self, source: usize, payload: NetPayload, arrival_secs: f64) {
         let replica = &mut self.replicas[source];
         match payload {
-            NetPayload::Records { stage, records } => {
-                let stage = stage.min(replica.stages.len());
-                for rec in records {
-                    replica.queues[stage].push_back(Item {
-                        rec,
-                        arrived: arrival_secs,
-                        kind: ItemKind::Input,
-                    });
+            NetPayload::Records { stage, batch } => {
+                if batch.is_empty() {
+                    return;
                 }
+                let stage = stage.min(replica.stages.len());
+                replica.queues[stage].push_back(Item {
+                    batch,
+                    arrived: arrival_secs,
+                    kind: ItemKind::Input,
+                });
             }
             NetPayload::StateDelta { stage, delta } => {
                 let cost = MERGE_COST_PER_ENTRY_US * delta.entry_count() as f64;
@@ -169,67 +177,88 @@ impl SpEngine {
         let epoch_start_s = epoch_start_us as f64 / 1e6;
         let epoch_end_us = epoch_start_us + (self.epoch_secs * 1e6) as Ts;
 
-        let mut out_buf: Vec<Record> = Vec::new();
+        let mut out_buf: Vec<Batch> = Vec::new();
         'outer: loop {
             let mut progressed = false;
             for (source, replica) in self.replicas.iter_mut().enumerate() {
                 let n_stages = replica.stages.len();
                 for stage in 0..n_stages {
-                    let take = replica.queues[stage].len().min(calibration::EXEC_QUANTUM);
-                    for _ in 0..take {
+                    let mut quota = calibration::EXEC_QUANTUM;
+                    while quota > 0 {
+                        let Some(item) = replica.queues[stage].pop_front() else {
+                            break;
+                        };
+                        if item.batch.is_empty() {
+                            continue;
+                        }
                         let cost = replica.stages[stage].cost_us();
-                        if !self.node.try_charge(cost) {
+                        let take = item.batch.len().min(quota).min(self.node.affordable(cost));
+                        if take == 0 {
+                            replica.queues[stage].push_front(item);
                             break 'outer;
                         }
-                        let item = replica.queues[stage].pop_front().expect("non-empty");
-                        let ts = item.rec.ts;
-                        out_buf.clear();
-                        replica.stages[stage].process(item.rec, &mut out_buf);
+                        let head = if take == item.batch.len() {
+                            item.batch
+                        } else {
+                            let rest = item.batch.slice(take..item.batch.len());
+                            let head = item.batch.slice(0..take);
+                            replica.queues[stage].push_front(Item {
+                                batch: rest,
+                                arrived: item.arrived,
+                                kind: item.kind,
+                            });
+                            head
+                        };
+                        self.node.charge_upto(take as f64 * cost);
+                        quota -= take;
+                        progressed = true;
                         let completed_s = (epoch_start_s
                             + self.node.epoch_utilisation() * self.epoch_secs)
                             .max(item.arrived);
-                        if out_buf.is_empty() {
-                            // Terminal: filtered out or absorbed into state.
-                            if item.kind == ItemKind::Input {
+                        let in_ts = head.timestamps.clone();
+                        out_buf.clear();
+                        replica.stages[stage].process_batch(head, &mut out_buf);
+                        if item.kind == ItemKind::Input {
+                            // Terminal rows: filtered out or absorbed into
+                            // state.
+                            for ts in absorbed_timestamps(&in_ts, &out_buf) {
                                 completions.push(SpCompletion {
                                     source,
                                     ts,
                                     completed_s,
                                 });
                             }
-                        } else {
-                            for out in out_buf.drain(..) {
-                                replica.queues[stage + 1].push_back(Item {
-                                    rec: out,
-                                    arrived: completed_s,
-                                    kind: item.kind,
-                                });
-                            }
+                        }
+                        for out in out_buf.drain(..) {
+                            replica.queues[stage + 1].push_back(Item {
+                                batch: out,
+                                arrived: completed_s,
+                                kind: item.kind,
+                            });
                         }
                     }
-                    if take > 0 {
-                        progressed = true;
-                    }
                 }
-                // Records that traversed the whole chain.
+                // Batches that traversed the whole chain.
                 let tail = replica.stages.len();
                 while let Some(item) = replica.queues[tail].pop_front() {
                     match item.kind {
                         ItemKind::WindowResult => {
-                            Self::collect(&mut self.collected, &item.rec);
-                            self.results_emitted += 1;
+                            Self::collect_batch(&mut self.collected, &item.batch);
+                            self.results_emitted += item.batch.len() as u64;
                         }
-                        ItemKind::DeltaResult => self.results_emitted += 1,
+                        ItemKind::DeltaResult => self.results_emitted += item.batch.len() as u64,
                         ItemKind::Input => {
-                            // A stateless-tail input record: completing the
-                            // chain is both its completion and a query result.
-                            completions.push(SpCompletion {
-                                source,
-                                ts: item.rec.ts,
-                                completed_s: item.arrived.max(epoch_start_s),
-                            });
-                            Self::collect(&mut self.collected, &item.rec);
-                            self.results_emitted += 1;
+                            // Stateless-tail input rows: completing the chain
+                            // is both their completion and a query result.
+                            for &ts in &item.batch.timestamps {
+                                completions.push(SpCompletion {
+                                    source,
+                                    ts,
+                                    completed_s: item.arrived.max(epoch_start_s),
+                                });
+                            }
+                            Self::collect_batch(&mut self.collected, &item.batch);
+                            self.results_emitted += item.batch.len() as u64;
                         }
                     }
                     progressed = true;
@@ -244,7 +273,7 @@ impl SpEngine {
         // records still find their windows open (watermark replication on
         // the drain path, §V).
         let wm = epoch_end_us - (self.lateness_secs * 1e6) as Ts;
-        let mut wm_out: Vec<Record> = Vec::new();
+        let mut wm_out: Vec<Batch> = Vec::new();
         for replica in &mut self.replicas {
             let n_stages = replica.stages.len();
             for stage in 0..n_stages {
@@ -254,14 +283,14 @@ impl SpEngine {
                 for out in wm_out.drain(..) {
                     if stage + 1 < n_stages {
                         replica.queues[stage + 1].push_back(Item {
-                            rec: out,
+                            batch: out,
                             arrived,
                             kind: ItemKind::WindowResult,
                         });
                     } else {
                         // Final-stage emissions are query results.
-                        Self::collect(&mut self.collected, &out);
-                        self.results_emitted += 1;
+                        Self::collect_batch(&mut self.collected, &out);
+                        self.results_emitted += out.len() as u64;
                     }
                 }
                 wm_out.clear();
@@ -269,12 +298,12 @@ impl SpEngine {
                 for out in wm_out.drain(..) {
                     if stage + 1 < n_stages {
                         replica.queues[stage + 1].push_back(Item {
-                            rec: out,
+                            batch: out,
                             arrived,
                             kind: ItemKind::DeltaResult,
                         });
                     } else {
-                        self.results_emitted += 1;
+                        self.results_emitted += out.len() as u64;
                     }
                 }
             }
@@ -283,7 +312,7 @@ impl SpEngine {
         completions
     }
 
-    /// End-of-run flush: processes every queued record (no budget limit) and
+    /// End-of-run flush: processes every queued batch (no budget limit) and
     /// closes all remaining windows, so retained results cover the whole
     /// stream. Used for exactness fingerprinting; per-epoch throughput
     /// accounting is unaffected (the measurement window has already ended).
@@ -292,13 +321,13 @@ impl SpEngine {
             let n = replica.stages.len();
             // Flush queues forward (outputs only ever move downstream).
             for stage in 0..n {
-                let mut out_buf: Vec<Record> = Vec::new();
+                let mut out_buf: Vec<Batch> = Vec::new();
                 while let Some(item) = replica.queues[stage].pop_front() {
                     out_buf.clear();
-                    replica.stages[stage].process(item.rec, &mut out_buf);
+                    replica.stages[stage].process_batch(item.batch, &mut out_buf);
                     for out in out_buf.drain(..) {
                         replica.queues[stage + 1].push_back(Item {
-                            rec: out,
+                            batch: out,
                             arrived: item.arrived,
                             kind: item.kind,
                         });
@@ -307,17 +336,17 @@ impl SpEngine {
             }
             while let Some(item) = replica.queues[n].pop_front() {
                 if item.kind != ItemKind::DeltaResult {
-                    Self::collect(&mut self.collected, &item.rec);
+                    Self::collect_batch(&mut self.collected, &item.batch);
                 }
-                self.results_emitted += 1;
+                self.results_emitted += item.batch.len() as u64;
             }
             // Close every remaining window and run the emissions through the
             // rest of the chain inline (the flush shared by all backends).
-            for rec in
+            for batch in
                 streamkit::physical::drain_windows(&mut replica.stages, streamkit::time::TS_MAX)
             {
-                Self::collect(&mut self.collected, &rec);
-                self.results_emitted += 1;
+                Self::collect_batch(&mut self.collected, &batch);
+                self.results_emitted += batch.len() as u64;
             }
         }
     }

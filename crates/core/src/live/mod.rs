@@ -1,11 +1,11 @@
-//! A threaded "live" runtime.
+//! A threaded "live" runtime, batch-first.
 //!
 //! The emulator (`engine`) gives deterministic, calibrated results; this
 //! module runs the *same* pipeline code under real concurrency, mirroring the
 //! paper's MiNiFi-agent → NiFi deployment: one thread per data source runs
 //! the source pipeline and control proxies, a stream-processor thread runs
 //! the replica pipelines and state merging, and bounded crossbeam channels
-//! carry drained records / state deltas (providing natural backpressure).
+//! carry drained batches / state deltas (providing natural backpressure).
 //!
 //! It exists to (a) validate that partitioned execution is *exact* — merged
 //! results equal an unpartitioned run — under real interleavings, and (b)
@@ -19,18 +19,19 @@ use std::thread;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use streamkit::batch::Batch;
 use streamkit::ops::AggRole;
 use streamkit::physical::{build_pipeline, CostProfile};
 use streamkit::record::Record;
 use streamkit::time::Ts;
 
 use crate::planner::PlannedQuery;
-use crate::proxy::{ControlProxy, Route};
+use crate::proxy::ControlProxy;
 
 /// Messages from a source worker to the SP worker.
 enum LiveMsg {
-    /// Records drained in front of source-side operator `stage`.
-    Drained { stage: usize, records: Vec<Record> },
+    /// A batch drained in front of source-side operator `stage`.
+    Drained { stage: usize, batch: Batch },
     /// Partial state from the source-side stateful operator at `stage`.
     State {
         stage: usize,
@@ -45,10 +46,24 @@ enum LiveMsg {
 pub struct LiveReport {
     /// Result rows emitted by the SP-side final operators.
     pub results: Vec<Record>,
-    /// Records drained over the channel.
+    /// Rows drained over the channel.
     pub drained_records: usize,
     /// State deltas shipped.
     pub state_deltas: usize,
+}
+
+/// Rows per drained channel message, to exercise backpressure.
+const DRAIN_CHUNK: usize = 128;
+
+/// Sends a drained batch in bounded chunks.
+fn send_chunked(tx: &Sender<LiveMsg>, stage: usize, batch: Batch) {
+    for chunk in batch.chunks(DRAIN_CHUNK) {
+        tx.send(LiveMsg::Drained {
+            stage,
+            batch: chunk,
+        })
+        .expect("SP worker alive");
+    }
 }
 
 /// Runs `records` through a partitioned deployment with fixed `load_factors`
@@ -64,6 +79,7 @@ pub fn run_partitioned(
     assert!(threads >= 1, "at least one source thread");
     let m = planned.source_ops;
     assert_eq!(load_factors.len(), m, "one load factor per source op");
+    let schemas = planned.plan.edge_schemas().expect("validated plan");
 
     let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = bounded(256);
     let results = Mutex::new(Vec::new());
@@ -83,6 +99,7 @@ pub fn run_partitioned(
         for part in partitions {
             let tx = tx.clone();
             let lf = load_factors.to_vec();
+            let schema0 = schemas[0].clone();
             scope.spawn(move || {
                 let mut ops =
                     build_pipeline(&planned.plan, costs, AggRole::Partial).expect("validated plan");
@@ -91,37 +108,25 @@ pub fn run_partitioned(
                     .iter()
                     .map(|&p| ControlProxy::new(p, 0.05, 0.25))
                     .collect();
-                let mut batch = part;
-                let mut drains: Vec<Vec<Record>> = vec![Vec::new(); m + 1];
+                let input = Batch::from_records(schema0, &part).expect("generator rows");
+                let mut batches = vec![input];
                 for i in 0..m {
-                    let mut next = Vec::new();
-                    for rec in batch.drain(..) {
-                        match proxies[i].route() {
-                            Route::Forward => ops[i].process(rec, &mut next),
-                            Route::Drain => drains[i].push(rec),
+                    let mut next: Vec<Batch> = Vec::new();
+                    for batch in batches.drain(..) {
+                        let (fwd, drained) = proxies[i].split_batch(batch);
+                        if let Some(drained) = drained {
+                            send_chunked(&tx, i, drained);
+                        }
+                        if let Some(fwd) = fwd {
+                            ops[i].process_batch(fwd, &mut next);
                         }
                     }
-                    batch = next;
-                    // Flush drains eagerly in chunks to exercise channel
-                    // backpressure.
-                    if drains[i].len() >= 128 {
-                        let chunk = std::mem::take(&mut drains[i]);
-                        tx.send(LiveMsg::Drained {
-                            stage: i,
-                            records: chunk,
-                        })
-                        .unwrap();
-                    }
+                    batches = next;
                 }
-                drains[m].extend(batch);
-                for (stage, chunk) in drains.into_iter().enumerate() {
-                    if !chunk.is_empty() {
-                        tx.send(LiveMsg::Drained {
-                            stage,
-                            records: chunk,
-                        })
-                        .unwrap();
-                    }
+                // Rows that passed the whole local prefix continue at SP
+                // stage m.
+                for batch in batches {
+                    send_chunked(&tx, m, batch);
                 }
                 for (stage, op) in ops.iter_mut().enumerate() {
                     if let Some(delta) = op.take_state_delta() {
@@ -146,17 +151,19 @@ pub fn run_partitioned(
             let mut collected = Vec::new();
             while let Ok(msg) = rx.recv() {
                 match msg {
-                    LiveMsg::Drained { stage, records } => {
-                        *drained += records.len();
-                        let mut batch = records;
+                    LiveMsg::Drained { stage, batch } => {
+                        *drained += batch.len();
+                        let mut batches = vec![batch];
                         for op in stages.iter_mut().take(n).skip(stage) {
                             let mut next = Vec::new();
-                            for rec in batch.drain(..) {
-                                op.process(rec, &mut next);
+                            for b in batches.drain(..) {
+                                op.process_batch(b, &mut next);
                             }
-                            batch = next;
+                            batches = next;
                         }
-                        collected.extend(batch);
+                        for b in batches {
+                            collected.extend(b.to_records());
+                        }
                     }
                     LiveMsg::State { stage, delta } => {
                         *deltas += 1;
@@ -170,7 +177,10 @@ pub fn run_partitioned(
             }
             let _ = eofs;
             // All sources done: close windows (the shared backend flush).
-            collected.extend(streamkit::physical::drain_windows(&mut stages, final_wm));
+            collected.extend(streamkit::physical::drain_windows_rows(
+                &mut stages,
+                final_wm,
+            ));
             results.lock().extend(collected);
         });
     });

@@ -1,4 +1,5 @@
-//! An epoch-driven live session: threaded execution under runtime control.
+//! An epoch-driven live session: threaded, batch-first execution under
+//! runtime control.
 //!
 //! [`run_partitioned`](crate::live::run_partitioned) runs one batch under
 //! *fixed* load factors. [`LiveSession`] lifts that limitation: it keeps one
@@ -7,7 +8,8 @@
 //! [`JarvisRuntime`] state machine (Startup → Probe → Profile → Adapt)
 //! exactly like the emulated engine does — so adaptive strategies converge
 //! over a *really concurrent* execution while partitioned results stay
-//! exact.
+//! exact. Sources generate columnar [`Batch`]es and the channels carry
+//! batches end-to-end.
 //!
 //! Worker threads execute operators for real (state, joins, sketches); the
 //! CPU *budget* is counterfactual, charged from the calibrated cost model:
@@ -15,33 +17,33 @@
 //! congested, one that undersubscribes with load factors left to raise
 //! classifies as idle (the same rules as the §VI-C simulator). Profile
 //! epochs measure per-operator costs and relay ratios on a scratch pipeline
-//! fed with the epoch's records — reproducing the paper's
+//! fed with the epoch's batch — reproducing the paper's
 //! profile-on-a-sample bias — without disturbing live operator state.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use streamkit::batch::Batch;
 use streamkit::ops::{AggRole, Operator, StatePartial};
 use streamkit::physical::build_pipeline;
 use streamkit::record::Record;
-use streamkit::schema::SchemaRef;
 
 use crate::calibration;
 use crate::deploy::{DeployError, DeploymentSpec};
 use crate::engine::block::EpochSource;
 use crate::planner::PlannedQuery;
-use crate::proxy::{ControlProxy, QueryState, Route};
+use crate::proxy::{ControlProxy, QueryState};
 use crate::runtime::JarvisRuntime;
 use crate::stepwise::ProfileEstimates;
 
 /// Messages from source workers to the SP worker.
 enum Msg {
-    /// Records drained in front of source-side operator `stage`.
+    /// A batch drained in front of source-side operator `stage`.
     Drained {
         /// Originating data source.
         source: usize,
         /// Entry stage on the SP replica.
         stage: usize,
-        /// The records.
-        records: Vec<Record>,
+        /// The drained rows.
+        batch: Batch,
     },
     /// Partial state from the source-side stateful operator at `stage`.
     State {
@@ -77,13 +79,13 @@ struct Worker {
 pub struct LiveOutcome {
     /// Merged result rows across all sources' replicas.
     pub results: Vec<Record>,
-    /// Records drained over the channels.
+    /// Rows drained over the channels.
     pub drained_records: u64,
-    /// Drained record bytes.
+    /// Drained batch bytes.
     pub drained_bytes: f64,
     /// State deltas shipped.
     pub state_deltas: u64,
-    /// Total records generated.
+    /// Total rows generated.
     pub input_records: u64,
     /// Total input bytes generated.
     pub input_bytes: f64,
@@ -94,7 +96,10 @@ pub struct LiveOutcome {
 /// A threaded deployment advanced epoch by epoch.
 pub struct LiveSession {
     planned: PlannedQuery,
-    schemas: Vec<SchemaRef>,
+    /// The plan's input schema; generated batches are relabeled to it so
+    /// wire accounting matches the emulated backend (trace replay infers
+    /// column types).
+    input_schema: streamkit::schema::SchemaRef,
     workers: Vec<Worker>,
     /// One Final-role replica pipeline per source (mirrors [`crate::engine::sp::SpEngine`]).
     replicas: Vec<Vec<Box<dyn Operator>>>,
@@ -110,7 +115,7 @@ pub struct LiveSession {
     finished: bool,
 }
 
-/// Records per channel message, to exercise backpressure.
+/// Rows per channel message, to exercise backpressure.
 const CHUNK: usize = 256;
 
 impl LiveSession {
@@ -118,7 +123,6 @@ impl LiveSession {
     pub fn new(spec: &DeploymentSpec) -> Result<LiveSession, DeployError> {
         let planned = spec.planned.clone();
         let costs = spec.workload.costs();
-        let schemas = planned.plan.edge_schemas()?;
         let m = planned.source_ops;
         let n = spec.sources;
         let budget_us = spec.cpu_budget * calibration::EPOCH_SECS * 1e6;
@@ -158,9 +162,10 @@ impl LiveSession {
         let replicas = (0..n)
             .map(|_| build_pipeline(&planned.plan, &costs, AggRole::Final))
             .collect::<Result<Vec<_>, _>>()?;
+        let input_schema = planned.plan.edge_schemas()?[0].clone();
         Ok(LiveSession {
             planned,
-            schemas,
+            input_schema,
             workers,
             replicas,
             collected: Vec::new(),
@@ -193,7 +198,7 @@ impl LiveSession {
         &self.planned
     }
 
-    /// Total records generated so far.
+    /// Total rows generated so far.
     pub fn input_records(&self) -> u64 {
         self.input_records
     }
@@ -208,7 +213,7 @@ impl LiveSession {
         self.epoch
     }
 
-    /// Runs one epoch: generates per-source records, executes the
+    /// Runs one epoch: generates per-source batches, executes the
     /// partitioned pipelines on real threads, then drives each source's
     /// runtime state machine with the epoch's observations.
     pub fn run_epoch(&mut self) {
@@ -217,15 +222,21 @@ impl LiveSession {
         let m = self.planned.source_ops;
         self.apply_events();
 
-        // Generate deterministically on the coordinating thread.
-        let inputs: Vec<Vec<Record>> = self
+        // Generate deterministically on the coordinating thread, relabeling
+        // to the plan's input schema (same accounting as the emulated
+        // engine).
+        let input_schema = &self.input_schema;
+        let inputs: Vec<Batch> = self
             .workers
             .iter_mut()
-            .map(|w| w.generator.generate_epoch(now_us, 1.0))
+            .map(|w| {
+                let mut b = w.generator.generate_epoch_batch(now_us, 1.0);
+                b.relabel(input_schema);
+                b
+            })
             .collect();
 
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(256);
-        let schemas = &self.schemas;
         let costs = &self.costs;
         let plan = &self.planned.plan;
         let replicas = &mut self.replicas;
@@ -237,14 +248,13 @@ impl LiveSession {
                 scope.spawn(move || {
                     worker.begin_epoch();
                     worker.input_records = input.len() as u64;
-                    worker.input_bytes =
-                        input.iter().map(|r| r.wire_size(&schemas[0]) as u64).sum();
+                    worker.input_bytes = input.wire_size() as u64;
                     if worker.run_profile {
                         worker.profile =
                             Some(profile_on_scratch(plan, costs, m, &input, worker.budget_us));
                         worker.run_profile = false;
                     }
-                    worker.execute(source, m, schemas, input, &tx);
+                    worker.execute(source, m, input, &tx);
                 });
             }
             drop(tx);
@@ -256,19 +266,21 @@ impl LiveSession {
                         Msg::Drained {
                             source,
                             stage,
-                            records,
+                            batch,
                         } => {
                             let stages = &mut replicas[source];
                             let n = stages.len();
-                            let mut batch = records;
+                            let mut batches = vec![batch];
                             for op in stages.iter_mut().take(n).skip(stage) {
                                 let mut next = Vec::new();
-                                for rec in batch.drain(..) {
-                                    op.process(rec, &mut next);
+                                for b in batches.drain(..) {
+                                    op.process_batch(b, &mut next);
                                 }
-                                batch = next;
+                                batches = next;
                             }
-                            collected.extend(batch);
+                            for b in batches {
+                                collected.extend(b.to_records());
+                            }
                         }
                         Msg::State {
                             source,
@@ -359,10 +371,11 @@ impl LiveSession {
         }
         // Close all windows; emissions cascade through the rest of the chain.
         for stages in &mut self.replicas {
-            self.collected.extend(streamkit::physical::drain_windows(
-                stages,
-                streamkit::time::TS_MAX,
-            ));
+            self.collected
+                .extend(streamkit::physical::drain_windows_rows(
+                    stages,
+                    streamkit::time::TS_MAX,
+                ));
         }
         LiveOutcome {
             results: std::mem::take(&mut self.collected),
@@ -386,77 +399,55 @@ impl Worker {
         }
     }
 
-    /// Routes and executes one epoch's records, draining to the SP channel.
-    fn execute(
-        &mut self,
-        source: usize,
-        m: usize,
-        schemas: &[SchemaRef],
-        input: Vec<Record>,
-        tx: &Sender<Msg>,
-    ) {
-        let mut batch = input;
-        let send_chunked = |stage: usize,
-                            records: Vec<Record>,
-                            drained_records: &mut u64,
-                            drained_bytes: &mut u64| {
-            if records.is_empty() {
-                return;
-            }
-            let schema = &schemas[stage.min(schemas.len() - 1)];
-            *drained_records += records.len() as u64;
-            *drained_bytes += records
-                .iter()
-                .map(|r| r.wire_size(schema) as u64)
-                .sum::<u64>();
-            let mut chunk = Vec::with_capacity(CHUNK.min(records.len()));
-            for rec in records {
-                chunk.push(rec);
-                if chunk.len() == CHUNK {
-                    let full = std::mem::take(&mut chunk);
+    /// Routes and executes one epoch's batch, draining to the SP channel.
+    fn execute(&mut self, source: usize, m: usize, input: Batch, tx: &Sender<Msg>) {
+        let send_chunked =
+            |stage: usize, batch: Batch, drained_records: &mut u64, drained_bytes: &mut u64| {
+                if batch.is_empty() {
+                    return;
+                }
+                *drained_records += batch.len() as u64;
+                *drained_bytes += batch.wire_size() as u64;
+                for chunk in batch.chunks(CHUNK) {
                     tx.send(Msg::Drained {
                         source,
                         stage,
-                        records: full,
+                        batch: chunk,
                     })
                     .expect("SP worker alive");
                 }
-            }
-            if !chunk.is_empty() {
-                tx.send(Msg::Drained {
-                    source,
-                    stage,
-                    records: chunk,
-                })
-                .expect("SP worker alive");
-            }
-        };
+            };
 
+        let mut batches = vec![input];
         for i in 0..m {
-            let mut forwarded = Vec::with_capacity(batch.len());
-            let mut drained = Vec::new();
-            for rec in batch.drain(..) {
-                match self.proxies[i].route() {
-                    Route::Forward => forwarded.push(rec),
-                    Route::Drain => drained.push(rec),
+            let mut next: Vec<Batch> = Vec::new();
+            for batch in batches.drain(..) {
+                let (fwd, drained) = self.proxies[i].split_batch(batch);
+                if let Some(drained) = drained {
+                    send_chunked(
+                        i,
+                        drained,
+                        &mut self.drained_records,
+                        &mut self.drained_bytes,
+                    );
+                }
+                if let Some(fwd) = fwd {
+                    // Counterfactual budget charge from the calibrated model,
+                    // resampled per quantum so state-dependent costs track
+                    // state growth within the epoch (as the emulated engine
+                    // does).
+                    for sub in fwd.chunks(calibration::EXEC_QUANTUM) {
+                        self.usage_us += self.ops[i].cost_us() * sub.len() as f64;
+                        self.ops[i].process_batch(sub, &mut next);
+                    }
                 }
             }
-            send_chunked(
-                i,
-                drained,
-                &mut self.drained_records,
-                &mut self.drained_bytes,
-            );
-            let mut next = Vec::with_capacity(forwarded.len());
-            for rec in forwarded {
-                // Counterfactual budget charge from the calibrated model.
-                self.usage_us += self.ops[i].cost_us();
-                self.ops[i].process(rec, &mut next);
-            }
-            batch = next;
+            batches = next;
         }
-        // Records that passed the whole local prefix continue at SP stage m.
-        send_chunked(m, batch, &mut self.drained_records, &mut self.drained_bytes);
+        // Rows that passed the whole local prefix continue at SP stage m.
+        for batch in batches {
+            send_chunked(m, batch, &mut self.drained_records, &mut self.drained_bytes);
+        }
 
         // Ship partial state every epoch (exactness does not depend on the
         // cadence; shipping eagerly keeps replica state fresh).
@@ -498,34 +489,35 @@ impl Worker {
 }
 
 /// Measures per-operator cost and relay ratios on a scratch pipeline fed
-/// with this epoch's records — the live equivalent of a Profile epoch. The
+/// with this epoch's batch — the live equivalent of a Profile epoch. The
 /// scratch state starts empty, so state-dependent costs are *under*estimated
 /// exactly like the paper's one-epoch profiling (§VI-C).
 pub(crate) fn profile_on_scratch(
     plan: &streamkit::logical::LogicalPlan,
     costs: &streamkit::physical::CostProfile,
     m: usize,
-    input: &[Record],
+    input: &Batch,
     budget_us: f64,
 ) -> ProfileEstimates {
     let mut ops = build_pipeline(plan, costs, AggRole::Partial).expect("validated plan");
     ops.truncate(m);
-    let schemas = plan.edge_schemas().expect("validated plan");
     let mut cost_us = Vec::with_capacity(m);
     let mut relay_bytes = Vec::with_capacity(m);
     let mut relay_count = Vec::with_capacity(m);
-    let mut batch: Vec<Record> = input.to_vec();
-    for (i, op) in ops.iter_mut().enumerate() {
-        let in_count = batch.len();
-        let in_bytes: usize = batch.iter().map(|r| r.wire_size(&schemas[i])).sum();
-        let mut out = Vec::with_capacity(in_count);
+    let mut batches: Vec<Batch> = vec![input.clone()];
+    for op in ops.iter_mut() {
+        let in_count: usize = batches.iter().map(Batch::len).sum();
+        let in_bytes: usize = batches.iter().map(Batch::wire_size).sum();
+        let mut out: Vec<Batch> = Vec::new();
         let mut used = 0.0;
-        for rec in batch.drain(..) {
-            used += op.cost_us();
-            op.process(rec, &mut out);
+        for batch in batches.drain(..) {
+            for sub in batch.chunks(calibration::PROFILE_SUBBATCH_ROWS) {
+                used += op.cost_us() * sub.len() as f64;
+                op.process_batch(sub, &mut out);
+            }
         }
-        let mut out_count = out.len();
-        let mut out_bytes: usize = out.iter().map(|r| r.wire_size(&schemas[i + 1])).sum();
+        let mut out_count: usize = out.iter().map(Batch::len).sum();
+        let mut out_bytes: usize = out.iter().map(Batch::wire_size).sum();
         if op.is_stateful() {
             if let Some(delta) = op.take_state_delta() {
                 out_count += delta.entry_count();
@@ -547,7 +539,7 @@ pub(crate) fn profile_on_scratch(
         } else {
             1.0
         });
-        batch = out;
+        batches = out;
     }
     ProfileEstimates {
         cost_us,

@@ -129,6 +129,41 @@ impl ControlProxy {
         }
     }
 
+    /// Routes a whole batch: each row is routed individually (preserving
+    /// deterministic error-diffusion and per-row counters), then the batch
+    /// is split once into `(forwarded, drained)` with [`Batch::select`].
+    /// This is the single batch-routing implementation shared by the
+    /// emulated engine and the live runtime.
+    pub fn split_batch(
+        &mut self,
+        batch: streamkit::batch::Batch,
+    ) -> (
+        Option<streamkit::batch::Batch>,
+        Option<streamkit::batch::Batch>,
+    ) {
+        let n = batch.len();
+        if n == 0 {
+            return (None, None);
+        }
+        let mut mask = Vec::with_capacity(n);
+        let mut forwarded = 0usize;
+        for _ in 0..n {
+            let fwd = self.route() == Route::Forward;
+            forwarded += usize::from(fwd);
+            mask.push(fwd);
+        }
+        if forwarded == n {
+            (Some(batch), None)
+        } else if forwarded == 0 {
+            (None, Some(batch))
+        } else {
+            let drain_mask: Vec<bool> = mask.iter().map(|b| !b).collect();
+            let drained = batch.select(&drain_mask);
+            let kept = batch.select(&mask);
+            (Some(kept), Some(drained))
+        }
+    }
+
     /// Records `n` overflow-drained records (end-of-epoch shedding of a
     /// backlogged queue).
     pub fn note_overflow(&mut self, n: u64) {

@@ -139,6 +139,31 @@ impl AggState {
         }
     }
 
+    /// Columnar fast path: folds one numeric value without boxing it in a
+    /// [`Value`]. Identical to [`AggState::update`] with a numeric value.
+    #[inline]
+    pub fn update_f64(&mut self, v: f64) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Sum(s) => *s += v,
+            AggState::Min(m) => {
+                if v < *m {
+                    *m = v;
+                }
+            }
+            AggState::Max(m) => {
+                if v > *m {
+                    *m = v;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                *sum += v;
+                *count += 1;
+            }
+            AggState::Quantile { sketch, .. } => sketch.insert(v),
+        }
+    }
+
     /// Merges another partial state of the same kind into this one.
     /// Mismatched kinds are a plan-construction bug and panic in debug builds;
     /// in release they are ignored to keep the pipeline alive.

@@ -1,9 +1,13 @@
-//! Columnar batches.
+//! Columnar batches — the unit of dataflow.
 //!
-//! Records cross the network (and are recorded to traces) in a columnar
-//! layout: one fixed-width vector per numeric column and an offsets+bytes pair
-//! for string columns. This is the in-repo stand-in for the Arrow/Kryo layer
-//! the paper's implementation relied on.
+//! Since the batch-first operator redesign, `Batch` is not just the wire
+//! format: every operator consumes and produces batches, sources generate
+//! them directly, and the engines queue them end-to-end. This module is the
+//! in-repo stand-in for the Arrow/Kryo layer the paper's implementation
+//! relied on, and [`layout`] is the single source of truth for wire-size
+//! accounting (row-oriented [`Record::wire_size`] delegates to it too).
+
+use std::ops::Range;
 
 use bytes::Bytes;
 
@@ -12,6 +16,36 @@ use crate::record::Record;
 use crate::schema::{DataType, Schema, SchemaRef};
 use crate::time::Ts;
 use crate::value::Value;
+
+/// The canonical wire layout: every byte the network accounting charges is
+/// derived from these rules, whether the caller holds a `Record` or a
+/// [`Batch`].
+pub mod layout {
+    use super::{DataType, Schema, Value};
+
+    /// Length prefix carried by every string value on the wire.
+    pub const STR_LEN_PREFIX_BYTES: usize = 2;
+
+    /// Per-row envelope: the 8-byte event timestamp plus the schema's
+    /// serialisation overhead.
+    pub fn row_envelope(schema: &Schema) -> usize {
+        Schema::TS_WIRE_BYTES + schema.record_overhead()
+    }
+
+    /// Encoded size of one string payload of `len` bytes.
+    pub fn str_bytes(len: usize) -> usize {
+        STR_LEN_PREFIX_BYTES + len
+    }
+
+    /// Encoded size of one value under a column type. `Null` occupies the
+    /// column's default footprint (an empty string / a zeroed fixed slot).
+    pub fn value_bytes(dtype: DataType, value: &Value) -> usize {
+        match dtype {
+            DataType::Str => str_bytes(value.as_str().map_or(0, str::len)),
+            other => other.fixed_width().unwrap_or(0),
+        }
+    }
+}
 
 /// A typed column of values.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +60,14 @@ pub enum Column {
     F64(Vec<f64>),
     /// Strings: `offsets.len() == rows + 1`, UTF-8 bytes in `data`.
     Str { offsets: Vec<u32>, data: Bytes },
+    /// A column with missing values: `values` stores type-default fillers at
+    /// invalid rows (outer-join misses, empty aggregates).
+    Opt {
+        /// Per-row validity; `false` reads as [`Value::Null`].
+        valid: Vec<bool>,
+        /// The dense backing column.
+        values: Box<Column>,
+    },
 }
 
 impl Column {
@@ -37,6 +79,7 @@ impl Column {
             Column::U64(v) => v.len(),
             Column::F64(v) => v.len(),
             Column::Str { offsets, .. } => offsets.len().saturating_sub(1),
+            Column::Opt { valid, .. } => valid.len(),
         }
     }
 
@@ -52,14 +95,143 @@ impl Column {
             Column::I64(v) => Value::I64(v[row]),
             Column::U64(v) => Value::U64(v[row]),
             Column::F64(v) => Value::F64(v[row]),
-            Column::Str { offsets, data } => {
-                let lo = offsets[row] as usize;
-                let hi = offsets[row + 1] as usize;
-                let s = std::str::from_utf8(&data[lo..hi]).unwrap_or("");
-                Value::str(s)
+            Column::Str { .. } => Value::str(self.str_at(row).unwrap_or("")),
+            Column::Opt { valid, values } => {
+                if valid[row] {
+                    values.value(row)
+                } else {
+                    Value::Null
+                }
             }
         }
     }
+
+    /// Numeric view of the value at `row` (`None` for strings and nulls);
+    /// the columnar fast path behind aggregate updates.
+    pub fn f64_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Bool(v) => Some(if v[row] { 1.0 } else { 0.0 }),
+            Column::I64(v) => Some(v[row] as f64),
+            Column::U64(v) => Some(v[row] as f64),
+            Column::F64(v) => Some(v[row]),
+            Column::Str { .. } => None,
+            Column::Opt { valid, values } => {
+                if valid[row] {
+                    values.f64_at(row)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Borrowed string at `row` (`None` for non-string columns and nulls).
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match self {
+            Column::Str { offsets, data } => {
+                let lo = offsets[row] as usize;
+                let hi = offsets[row + 1] as usize;
+                std::str::from_utf8(&data[lo..hi]).ok()
+            }
+            Column::Opt { valid, values } => {
+                if valid[row] {
+                    values.str_at(row)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Copies the rows in `range` into a new column.
+    pub fn slice(&self, range: Range<usize>) -> Column {
+        match self {
+            Column::Bool(v) => Column::Bool(v[range].to_vec()),
+            Column::I64(v) => Column::I64(v[range].to_vec()),
+            Column::U64(v) => Column::U64(v[range].to_vec()),
+            Column::F64(v) => Column::F64(v[range].to_vec()),
+            Column::Str { offsets, data } => {
+                let base = offsets[range.start];
+                let new_offsets: Vec<u32> = offsets[range.start..=range.end]
+                    .iter()
+                    .map(|o| o - base)
+                    .collect();
+                let lo = offsets[range.start] as usize;
+                let hi = offsets[range.end] as usize;
+                Column::Str {
+                    offsets: new_offsets,
+                    data: data.slice(lo..hi),
+                }
+            }
+            Column::Opt { valid, values } => Column::Opt {
+                valid: valid[range.clone()].to_vec(),
+                values: Box::new(values.slice(range)),
+            },
+        }
+    }
+
+    /// Gathers the rows where `mask` is true into a new column.
+    /// `mask.len()` must equal the column length.
+    pub fn select(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        let gather = |keep: &[bool]| keep.iter().filter(|&&k| k).count();
+        match self {
+            Column::Bool(v) => Column::Bool(filter_by(v, mask)),
+            Column::I64(v) => Column::I64(filter_by(v, mask)),
+            Column::U64(v) => Column::U64(filter_by(v, mask)),
+            Column::F64(v) => Column::F64(filter_by(v, mask)),
+            Column::Str { offsets, data } => {
+                let kept = gather(mask);
+                let mut new_offsets = Vec::with_capacity(kept + 1);
+                new_offsets.push(0u32);
+                let total: usize = mask
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &k)| k)
+                    .map(|(i, _)| (offsets[i + 1] - offsets[i]) as usize)
+                    .sum();
+                let mut new_data = Vec::with_capacity(total);
+                for (i, &keep) in mask.iter().enumerate() {
+                    if keep {
+                        let lo = offsets[i] as usize;
+                        let hi = offsets[i + 1] as usize;
+                        new_data.extend_from_slice(&data[lo..hi]);
+                        new_offsets.push(new_data.len() as u32);
+                    }
+                }
+                Column::Str {
+                    offsets: new_offsets,
+                    data: Bytes::from(new_data),
+                }
+            }
+            Column::Opt { valid, values } => Column::Opt {
+                valid: filter_by(valid, mask),
+                values: Box::new(values.select(mask)),
+            },
+        }
+    }
+
+    /// Wire bytes of the column payload under its schema type (excluding the
+    /// per-row envelope, which the batch accounts once per row).
+    pub fn wire_bytes(&self, dtype: DataType) -> usize {
+        match self {
+            Column::Str { offsets, data } => {
+                layout::STR_LEN_PREFIX_BYTES * offsets.len().saturating_sub(1) + data.len()
+            }
+            Column::Opt { values, .. } => values.wire_bytes(dtype),
+            col => dtype.fixed_width().unwrap_or(0) * col.len(),
+        }
+    }
+}
+
+fn filter_by<T: Copy>(values: &[T], mask: &[bool]) -> Vec<T> {
+    values
+        .iter()
+        .zip(mask)
+        .filter(|(_, &k)| k)
+        .map(|(v, _)| *v)
+        .collect()
 }
 
 /// A batch of records in columnar form: timestamps + one column per field.
@@ -74,6 +246,20 @@ pub struct Batch {
 }
 
 impl Batch {
+    /// An empty batch of `schema`.
+    pub fn empty(schema: SchemaRef) -> Batch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, 0).finish())
+            .collect();
+        Batch {
+            schema,
+            timestamps: Vec::new(),
+            columns,
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.timestamps.len()
@@ -86,31 +272,11 @@ impl Batch {
 
     /// Builds a columnar batch from row-oriented records.
     pub fn from_records(schema: SchemaRef, records: &[Record]) -> Result<Batch> {
-        let mut builders: Vec<ColumnBuilder> = schema
-            .fields()
-            .iter()
-            .map(|f| ColumnBuilder::new(f.dtype, records.len()))
-            .collect();
-        let mut timestamps = Vec::with_capacity(records.len());
+        let mut b = BatchBuilder::new(schema, records.len());
         for rec in records {
-            if rec.values.len() != schema.width() {
-                return Err(Error::InvalidPlan(format!(
-                    "record width {} does not match schema width {}",
-                    rec.values.len(),
-                    schema.width()
-                )));
-            }
-            timestamps.push(rec.ts);
-            for (builder, value) in builders.iter_mut().zip(&rec.values) {
-                builder.push(value)?;
-            }
+            b.push_record(rec)?;
         }
-        let columns = builders.into_iter().map(ColumnBuilder::finish).collect();
-        Ok(Batch {
-            schema,
-            timestamps,
-            columns,
-        })
+        Ok(b.finish())
     }
 
     /// Converts back to row-oriented records.
@@ -123,24 +289,91 @@ impl Batch {
         out
     }
 
-    /// Total encoded size in bytes (the same accounting as
-    /// [`Record::wire_size`] summed over rows).
+    /// Copies the rows in `range` into a new batch.
+    pub fn slice(&self, range: Range<usize>) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            timestamps: self.timestamps[range.clone()].to_vec(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.slice(range.clone()))
+                .collect(),
+        }
+    }
+
+    /// Gathers the rows where `mask` is true into a new batch (the
+    /// vectorized filter's gather step).
+    pub fn select(&self, mask: &[bool]) -> Batch {
+        debug_assert_eq!(mask.len(), self.len());
+        Batch {
+            schema: self.schema.clone(),
+            timestamps: filter_by(&self.timestamps, mask),
+            columns: self.columns.iter().map(|c| c.select(mask)).collect(),
+        }
+    }
+
+    /// Relabels the batch with `schema` when every column's physical storage
+    /// is compatible with the schema's declared types (engines use this so
+    /// wire accounting follows the *plan's* schema rather than whatever a
+    /// generator tagged — e.g. trace replay infers U64 for U32 fields).
+    /// Returns `false`, leaving the batch untouched, when the shapes don't
+    /// line up.
+    pub fn relabel(&mut self, schema: &SchemaRef) -> bool {
+        fn compatible(dtype: DataType, col: &Column) -> bool {
+            match col {
+                Column::Bool(_) => dtype == DataType::Bool,
+                Column::I64(_) => matches!(dtype, DataType::I32 | DataType::I64),
+                Column::U64(_) => matches!(dtype, DataType::U32 | DataType::U64),
+                Column::F64(_) => dtype == DataType::F64,
+                Column::Str { .. } => dtype == DataType::Str,
+                Column::Opt { values, .. } => compatible(dtype, values),
+            }
+        }
+        if schema.width() != self.columns.len()
+            || !schema
+                .fields()
+                .iter()
+                .zip(&self.columns)
+                .all(|(f, c)| compatible(f.dtype, c))
+        {
+            return false;
+        }
+        self.schema = schema.clone();
+        true
+    }
+
+    /// Splits the batch into row chunks of at most `rows` each (the last
+    /// chunk may be shorter). A batch that fits in one chunk is cloned
+    /// whole without re-slicing.
+    pub fn chunks(&self, rows: usize) -> impl Iterator<Item = Batch> + '_ {
+        let rows = rows.max(1);
+        let n = self.len();
+        let count = if n == 0 { 0 } else { n.div_ceil(rows) };
+        (0..count).map(move |c| {
+            let start = c * rows;
+            let end = (start + rows).min(n);
+            if start == 0 && end == n {
+                self.clone()
+            } else {
+                self.slice(start..end)
+            }
+        })
+    }
+
+    /// Total encoded size in bytes. Derived from [`layout`], so it agrees
+    /// with [`Record::wire_size`] summed over rows by construction.
     pub fn wire_size(&self) -> usize {
-        let mut size = self.len() * (Schema::TS_WIRE_BYTES + self.schema.record_overhead());
+        let mut size = self.len() * layout::row_envelope(&self.schema);
         for (field, col) in self.schema.fields().iter().zip(&self.columns) {
-            size += match (field.dtype, col) {
-                (DataType::Str, Column::Str { offsets, data }) => {
-                    2 * offsets.len().saturating_sub(1) + data.len()
-                }
-                (dtype, col) => dtype.fixed_width().unwrap_or(0) * col.len(),
-            };
+            size += col.wire_bytes(field.dtype);
         }
         size
     }
 }
 
 /// Incremental builder for one column.
-struct ColumnBuilder {
+pub struct ColumnBuilder {
     dtype: DataType,
     bools: Vec<bool>,
     ints: Vec<i64>,
@@ -148,10 +381,14 @@ struct ColumnBuilder {
     floats: Vec<f64>,
     offsets: Vec<u32>,
     strs: Vec<u8>,
+    /// Validity, allocated lazily on the first `Null`.
+    nulls: Option<Vec<bool>>,
+    rows: usize,
 }
 
 impl ColumnBuilder {
-    fn new(dtype: DataType, capacity: usize) -> ColumnBuilder {
+    /// Creates a builder for a column of `dtype`, reserving `capacity` rows.
+    pub fn new(dtype: DataType, capacity: usize) -> ColumnBuilder {
         let mut b = ColumnBuilder {
             dtype,
             bools: Vec::new(),
@@ -160,6 +397,8 @@ impl ColumnBuilder {
             floats: Vec::new(),
             offsets: Vec::new(),
             strs: Vec::new(),
+            nulls: None,
+            rows: 0,
         };
         match dtype {
             DataType::Bool => b.bools.reserve(capacity),
@@ -174,7 +413,24 @@ impl ColumnBuilder {
         b
     }
 
-    fn push(&mut self, value: &Value) -> Result<()> {
+    fn mark(&mut self, valid: bool) {
+        if let Some(nulls) = &mut self.nulls {
+            nulls.push(valid);
+        } else if !valid {
+            let mut nulls = vec![true; self.rows];
+            nulls.push(false);
+            self.nulls = Some(nulls);
+        }
+        self.rows += 1;
+    }
+
+    /// Appends one value. `Null` is recorded in the validity mask with a
+    /// type-default filler in the dense storage.
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
         let mismatch = || Error::TypeMismatch {
             expected: match self.dtype {
                 DataType::Bool => "bool",
@@ -200,11 +456,39 @@ impl ColumnBuilder {
                 self.offsets.push(self.strs.len() as u32);
             }
         }
+        self.mark(true);
         Ok(())
     }
 
-    fn finish(self) -> Column {
+    /// Appends a `Null` row.
+    pub fn push_null(&mut self) {
         match self.dtype {
+            DataType::Bool => self.bools.push(false),
+            DataType::I32 | DataType::I64 => self.ints.push(0),
+            DataType::U32 | DataType::U64 => self.uints.push(0),
+            DataType::F64 => self.floats.push(0.0),
+            DataType::Str => self.offsets.push(self.strs.len() as u32),
+        }
+        self.mark(false);
+    }
+
+    /// Appends a string without constructing a `Value` (string columns only).
+    pub fn push_str(&mut self, s: &str) -> Result<()> {
+        if self.dtype != DataType::Str {
+            return Err(Error::TypeMismatch {
+                expected: "str column",
+                got: "str",
+            });
+        }
+        self.strs.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.strs.len() as u32);
+        self.mark(true);
+        Ok(())
+    }
+
+    /// Finishes the column.
+    pub fn finish(self) -> Column {
+        let dense = match self.dtype {
             DataType::Bool => Column::Bool(self.bools),
             DataType::I32 | DataType::I64 => Column::I64(self.ints),
             DataType::U32 | DataType::U64 => Column::U64(self.uints),
@@ -213,6 +497,81 @@ impl ColumnBuilder {
                 offsets: self.offsets,
                 data: Bytes::from(self.strs),
             },
+        };
+        match self.nulls {
+            Some(valid) => Column::Opt {
+                valid,
+                values: Box::new(dense),
+            },
+            None => dense,
+        }
+    }
+}
+
+/// Incremental row-at-a-time builder for a whole batch (operator emission
+/// paths that compute output rows, e.g. closed-window aggregates).
+pub struct BatchBuilder {
+    schema: SchemaRef,
+    timestamps: Vec<Ts>,
+    builders: Vec<ColumnBuilder>,
+}
+
+impl BatchBuilder {
+    /// Creates a builder for `schema`, reserving `capacity` rows.
+    pub fn new(schema: SchemaRef, capacity: usize) -> BatchBuilder {
+        let builders = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, capacity))
+            .collect();
+        BatchBuilder {
+            schema,
+            timestamps: Vec::with_capacity(capacity),
+            builders,
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Appends one row from a timestamp and positional values.
+    pub fn push_row(&mut self, ts: Ts, values: &[Value]) -> Result<()> {
+        if values.len() != self.builders.len() {
+            return Err(Error::InvalidPlan(format!(
+                "row width {} does not match schema width {}",
+                values.len(),
+                self.builders.len()
+            )));
+        }
+        self.timestamps.push(ts);
+        for (builder, value) in self.builders.iter_mut().zip(values) {
+            builder.push(value)?;
+        }
+        Ok(())
+    }
+
+    /// Appends one record.
+    pub fn push_record(&mut self, rec: &Record) -> Result<()> {
+        self.push_row(rec.ts, &rec.values)
+    }
+
+    /// Finishes the batch.
+    pub fn finish(self) -> Batch {
+        Batch {
+            schema: self.schema,
+            timestamps: self.timestamps,
+            columns: self
+                .builders
+                .into_iter()
+                .map(ColumnBuilder::finish)
+                .collect(),
         }
     }
 }
@@ -257,6 +616,20 @@ mod tests {
     }
 
     #[test]
+    fn wire_size_matches_row_accounting_with_nulls() {
+        // The batch layout is the single source of truth: rows with Null
+        // values must account identically through both paths.
+        let s = schema();
+        let recs = vec![
+            Record::new(1, vec![Value::U64(7), Value::Null, Value::str("xy")]),
+            Record::new(2, vec![Value::U64(8), Value::F64(1.0), Value::Null]),
+        ];
+        let batch = Batch::from_records(s.clone(), &recs).unwrap();
+        assert_eq!(batch.wire_size(), wire_size_of(&recs, &s));
+        assert_eq!(batch.to_records(), recs);
+    }
+
+    #[test]
     fn width_mismatch_is_an_error() {
         let s = schema();
         let bad = vec![Record::new(0, vec![Value::U64(1)])];
@@ -283,5 +656,116 @@ mod tests {
         assert!(batch.is_empty());
         assert_eq!(batch.to_records(), Vec::<Record>::new());
         assert_eq!(batch.wire_size(), 0);
+    }
+
+    #[test]
+    fn column_is_empty_tracks_rows() {
+        let empty = ColumnBuilder::new(DataType::Str, 0).finish();
+        assert!(empty.is_empty());
+        let mut b = ColumnBuilder::new(DataType::Str, 1);
+        b.push(&Value::str("x")).unwrap();
+        let col = b.finish();
+        assert!(!col.is_empty());
+        assert_eq!(col.len(), 1);
+    }
+
+    #[test]
+    fn slice_copies_a_row_range() {
+        let s = schema();
+        let recs = records();
+        let batch = Batch::from_records(s, &recs).unwrap();
+        let mid = batch.slice(1..3);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.to_records(), recs[1..3].to_vec());
+        let empty = batch.slice(2..2);
+        assert!(empty.is_empty());
+        // Slicing must not disturb string offsets of later rows.
+        assert_eq!(mid.columns[2].str_at(0), Some("bc"));
+        assert_eq!(mid.columns[2].str_at(1), Some(""));
+    }
+
+    #[test]
+    fn select_gathers_masked_rows() {
+        let s = schema();
+        let recs = records();
+        let batch = Batch::from_records(s, &recs).unwrap();
+        let picked = batch.select(&[true, false, true]);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked.to_records(), vec![recs[0].clone(), recs[2].clone()]);
+        assert!(batch.select(&[false, false, false]).is_empty());
+    }
+
+    #[test]
+    fn slice_and_select_preserve_nulls() {
+        let s = schema();
+        let recs = vec![
+            Record::new(1, vec![Value::U64(1), Value::Null, Value::str("a")]),
+            Record::new(2, vec![Value::U64(2), Value::F64(2.0), Value::Null]),
+            Record::new(3, vec![Value::Null, Value::F64(3.0), Value::str("c")]),
+        ];
+        let batch = Batch::from_records(s, &recs).unwrap();
+        assert_eq!(batch.slice(1..3).to_records(), recs[1..3].to_vec());
+        assert_eq!(
+            batch.select(&[true, false, true]).to_records(),
+            vec![recs[0].clone(), recs[2].clone()]
+        );
+    }
+
+    #[test]
+    fn relabel_requires_physical_compatibility() {
+        let recs = records();
+        let mut batch = Batch::from_records(schema(), &recs).unwrap();
+        // Same storage classes, different declared widths: compatible.
+        let wider = Schema::with_overhead(
+            vec![
+                Field::new("id", DataType::U64),
+                Field::new("score", DataType::F64),
+                Field::new("tag", DataType::Str),
+            ],
+            50,
+        );
+        assert!(batch.relabel(&wider));
+        assert_eq!(batch.schema, wider);
+        assert_eq!(
+            batch.wire_size(),
+            3 * (8 + 50 + 8 + 8) + (2 + 1) + (2 + 2) + 2
+        );
+        // Type-incompatible relabel is refused and leaves the batch alone.
+        let wrong = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::F64),
+            Field::new("c", DataType::Str),
+        ]);
+        assert!(!batch.relabel(&wrong));
+        assert_eq!(batch.schema, wider);
+        // Width mismatch is refused too.
+        assert!(!batch.relabel(&Schema::new(vec![Field::new("x", DataType::U64)])));
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_in_order() {
+        let s = schema();
+        let recs = records();
+        let batch = Batch::from_records(s, &recs).unwrap();
+        let chunks: Vec<Batch> = batch.chunks(2).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 2);
+        assert_eq!(chunks[1].len(), 1);
+        let rows: Vec<Record> = chunks.iter().flat_map(Batch::to_records).collect();
+        assert_eq!(rows, recs);
+        // Whole batch in one chunk; empty batch yields no chunks.
+        assert_eq!(batch.chunks(10).count(), 1);
+        assert_eq!(batch.slice(0..0).chunks(4).count(), 0);
+    }
+
+    #[test]
+    fn batch_builder_matches_from_records() {
+        let s = schema();
+        let recs = records();
+        let mut b = BatchBuilder::new(s.clone(), recs.len());
+        for r in &recs {
+            b.push_record(r).unwrap();
+        }
+        assert_eq!(b.finish(), Batch::from_records(s, &recs).unwrap());
     }
 }

@@ -22,6 +22,20 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
         buf.put_i64_le(*ts);
     }
     for col in &batch.columns {
+        // Presence flag: 1 = a validity byte per row precedes the payload.
+        let (col, valid) = match col {
+            Column::Opt { valid, values } => (values.as_ref(), Some(valid)),
+            dense => (dense, None),
+        };
+        match valid {
+            Some(valid) => {
+                buf.put_u8(1);
+                for v in valid {
+                    buf.put_u8(u8::from(*v));
+                }
+            }
+            None => buf.put_u8(0),
+        }
         match col {
             Column::Bool(v) => {
                 for b in v {
@@ -50,6 +64,7 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
                     buf.put_slice(&data[lo..hi]);
                 }
             }
+            Column::Opt { .. } => unreachable!("validity unwrapped above"),
         }
     }
     buf.freeze()
@@ -80,6 +95,13 @@ pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
     }
     let mut columns = Vec::with_capacity(schema.width());
     for field in schema.fields() {
+        need(&buf, 1)?;
+        let valid = if buf.get_u8() != 0 {
+            need(&buf, rows)?;
+            Some((0..rows).map(|_| buf.get_u8() != 0).collect::<Vec<_>>())
+        } else {
+            None
+        };
         let col = match field.dtype {
             DataType::Bool => {
                 need(&buf, rows)?;
@@ -115,7 +137,13 @@ pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
                 }
             }
         };
-        columns.push(col);
+        columns.push(match valid {
+            Some(valid) => Column::Opt {
+                valid,
+                values: Box::new(col),
+            },
+            None => col,
+        });
     }
     Ok(Batch {
         schema,
@@ -166,6 +194,34 @@ mod tests {
         let batch = Batch::from_records(s.clone(), &recs).unwrap();
         let bytes = encode_batch(&batch);
         let back = decode_batch(s, bytes).unwrap();
+        assert_eq!(back.to_records(), recs);
+    }
+
+    #[test]
+    fn null_values_round_trip() {
+        let s = schema();
+        let recs = vec![
+            Record::new(
+                1,
+                vec![
+                    Value::U64(1),
+                    Value::Null,
+                    Value::str("t"),
+                    Value::Bool(true),
+                ],
+            ),
+            Record::new(
+                2,
+                vec![
+                    Value::Null,
+                    Value::F64(1.0),
+                    Value::Null,
+                    Value::Bool(false),
+                ],
+            ),
+        ];
+        let batch = Batch::from_records(s.clone(), &recs).unwrap();
+        let back = decode_batch(s, encode_batch(&batch)).unwrap();
         assert_eq!(back.to_records(), recs);
     }
 

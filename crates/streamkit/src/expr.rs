@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 
+use crate::batch::{Batch, Column};
 use crate::record::Record;
 use crate::value::Value;
 
@@ -197,6 +198,139 @@ impl Expr {
         self.eval(rec).as_bool().unwrap_or(false)
     }
 
+    /// Evaluates against one row of a batch without materializing a
+    /// [`Record`]. Semantically identical to [`Expr::eval`] on the row.
+    pub fn eval_at(&self, batch: &Batch, row: usize) -> Value {
+        match self {
+            Expr::Col(i) => batch.columns.get(*i).map_or(Value::Null, |c| c.value(row)),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval_at(batch, row), b.eval_at(batch, row));
+                match va.compare(&vb) {
+                    Some(ord) => Value::Bool(op.test(ord)),
+                    None => Value::Null,
+                }
+            }
+            Expr::Arith(op, a, b) => {
+                let (va, vb) = (a.eval_at(batch, row), b.eval_at(batch, row));
+                match (va.as_f64(), vb.as_f64()) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => {
+                                if y == 0.0 {
+                                    return Value::Null;
+                                }
+                                x / y
+                            }
+                        };
+                        Value::F64(r)
+                    }
+                    _ => Value::Null,
+                }
+            }
+            Expr::And(a, b) => match a.eval_at(batch, row).as_bool() {
+                Some(false) => Value::Bool(false),
+                Some(true) => b.eval_at(batch, row),
+                None => Value::Null,
+            },
+            Expr::Or(a, b) => match a.eval_at(batch, row).as_bool() {
+                Some(true) => Value::Bool(true),
+                Some(false) => b.eval_at(batch, row),
+                None => Value::Null,
+            },
+            Expr::Not(a) => match a.eval_at(batch, row).as_bool() {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            },
+            Expr::Contains(a, needle) => match a.eval_at(batch, row) {
+                Value::Str(s) => Value::Bool(s.contains(needle.as_str())),
+                _ => Value::Null,
+            },
+            Expr::ContainsAny(col, needles) => {
+                match batch.columns.get(*col).and_then(|c| c.str_at(row)) {
+                    Some(s) => Value::Bool(needles.iter().any(|n| s.contains(n.as_str()))),
+                    None => Value::Null,
+                }
+            }
+        }
+    }
+
+    /// Predicate form of [`Expr::eval_at`].
+    pub fn matches_at(&self, batch: &Batch, row: usize) -> bool {
+        self.eval_at(batch, row).as_bool().unwrap_or(false)
+    }
+
+    /// Evaluates the predicate over a whole batch into a selection mask.
+    ///
+    /// Common shapes — `col <op> literal` comparisons on typed columns,
+    /// substring filters on string columns, and total AND/OR/NOT
+    /// combinations of them — run as tight columnar kernels; anything else
+    /// falls back to row-wise [`Expr::matches_at`], which is still
+    /// `Record`-free. The mask is bit-identical to calling
+    /// [`Expr::matches`] per row.
+    pub fn eval_mask(&self, batch: &Batch) -> Vec<bool> {
+        match self.mask_kernel(batch) {
+            Some((mask, _)) => mask,
+            None => (0..batch.len())
+                .map(|r| self.matches_at(batch, r))
+                .collect(),
+        }
+    }
+
+    /// Columnar kernel, when one applies: `(mask, total)` where `total`
+    /// means no row could have evaluated to `Null` — the condition for
+    /// folding the mask through AND/OR/NOT without losing the row path's
+    /// three-valued logic.
+    fn mask_kernel(&self, batch: &Batch) -> Option<(Vec<bool>, bool)> {
+        let rows = batch.len();
+        match self {
+            Expr::Lit(Value::Bool(b)) => Some((vec![*b; rows], true)),
+            Expr::Cmp(op, a, b) => {
+                let (idx, lit, flip) = match (&**a, &**b) {
+                    (Expr::Col(i), Expr::Lit(v)) => (*i, v, false),
+                    (Expr::Lit(v), Expr::Col(i)) => (*i, v, true),
+                    _ => return None,
+                };
+                cmp_kernel(*op, batch.columns.get(idx)?, lit, flip)
+            }
+            Expr::Contains(a, needle) => {
+                let Expr::Col(i) = &**a else { return None };
+                let col = batch.columns.get(*i)?;
+                contains_kernel(col, std::slice::from_ref(needle))
+            }
+            Expr::ContainsAny(i, needles) => contains_kernel(batch.columns.get(*i)?, needles),
+            Expr::And(a, b) => {
+                let (ma, ta) = a.mask_kernel(batch)?;
+                let (mb, tb) = b.mask_kernel(batch)?;
+                // Without totality, Null-vs-false distinctions would change
+                // the combined result; defer to the scalar path.
+                if !(ta && tb) {
+                    return None;
+                }
+                Some((ma.iter().zip(&mb).map(|(x, y)| *x && *y).collect(), true))
+            }
+            Expr::Or(a, b) => {
+                let (ma, ta) = a.mask_kernel(batch)?;
+                let (mb, tb) = b.mask_kernel(batch)?;
+                if !(ta && tb) {
+                    return None;
+                }
+                Some((ma.iter().zip(&mb).map(|(x, y)| *x || *y).collect(), true))
+            }
+            Expr::Not(a) => {
+                let (m, total) = a.mask_kernel(batch)?;
+                if !total {
+                    return None;
+                }
+                Some((m.iter().map(|x| !x).collect(), true))
+            }
+            _ => None,
+        }
+    }
+
     /// Collects the column indices this expression reads.
     pub fn column_refs(&self, out: &mut BTreeSet<usize>) {
         match self {
@@ -295,6 +429,59 @@ impl Expr {
     }
 }
 
+/// Comparison kernel for `col <op> lit` (or flipped). Mirrors
+/// [`Value::compare`]: exact integer/string/bool comparisons for matching
+/// types, `f64` comparison across numeric types, `Null`/mismatch → `false`.
+fn cmp_kernel(op: CmpOp, col: &Column, lit: &Value, flip: bool) -> Option<(Vec<bool>, bool)> {
+    let test = |ord: Ordering| op.test(if flip { ord.reverse() } else { ord });
+    match (col, lit) {
+        (Column::U64(v), Value::U64(x)) => Some((v.iter().map(|a| test(a.cmp(x))).collect(), true)),
+        (Column::I64(v), Value::I64(x)) => Some((v.iter().map(|a| test(a.cmp(x))).collect(), true)),
+        (Column::Bool(v), Value::Bool(x)) => {
+            Some((v.iter().map(|a| test(a.cmp(x))).collect(), true))
+        }
+        (Column::Str { .. }, Value::Str(x)) => {
+            let mask = (0..col.len())
+                .map(|r| test(col.str_at(r).unwrap_or("").cmp(x.as_ref())))
+                .collect();
+            Some((mask, true))
+        }
+        (Column::I64(_) | Column::U64(_) | Column::F64(_) | Column::Bool(_), lit) => {
+            // Cross-type numeric comparison goes through f64, as the scalar
+            // path does. A NaN anywhere yields Null → false, so the mask is
+            // total only when neither side can be NaN.
+            let x = lit.as_f64()?;
+            let total = !x.is_nan() && !matches!(col, Column::F64(_));
+            let mask = (0..col.len())
+                .map(|r| {
+                    col.f64_at(r)
+                        .and_then(|a| a.partial_cmp(&x))
+                        .is_some_and(test)
+                })
+                .collect();
+            Some((mask, total))
+        }
+        _ => None,
+    }
+}
+
+/// Substring kernel for `Contains`/`ContainsAny` over a string column.
+fn contains_kernel(col: &Column, needles: &[String]) -> Option<(Vec<bool>, bool)> {
+    let total = match col {
+        Column::Str { .. } => true,
+        // Null rows evaluate to Null in the scalar path: non-total.
+        Column::Opt { values, .. } if matches!(values.as_ref(), Column::Str { .. }) => false,
+        _ => return None,
+    };
+    let mask = (0..col.len())
+        .map(|r| {
+            col.str_at(r)
+                .is_some_and(|s| needles.iter().any(|n| s.contains(n.as_str())))
+        })
+        .collect();
+    Some((mask, total))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +564,56 @@ mod tests {
         let mut refs = BTreeSet::new();
         e.column_refs(&mut refs);
         assert_eq!(refs.into_iter().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn mask_matches_scalar_evaluation() {
+        use crate::batch::Batch;
+        use crate::schema::{DataType, Field, Schema};
+
+        let schema = Schema::new(vec![
+            Field::new("err", DataType::U32),
+            Field::new("rtt", DataType::F64),
+            Field::new("line", DataType::Str),
+        ]);
+        let recs: Vec<Record> = (0..64)
+            .map(|i| {
+                Record::new(
+                    i,
+                    vec![
+                        Value::U64((i % 5) as u64),
+                        if i % 7 == 0 {
+                            Value::Null
+                        } else {
+                            Value::F64(i as f64 * 1.5)
+                        },
+                        Value::str(if i % 3 == 0 { "cpu util=5" } else { "noise" }),
+                    ],
+                )
+            })
+            .collect();
+        let batch = Batch::from_records(schema, &recs).unwrap();
+
+        let exprs = [
+            Expr::col(0).eq(Expr::lit(0u64)),
+            Expr::col(0).ne(Expr::lit(2u64)),
+            Expr::col(1).gt(Expr::lit(30.0)),
+            Expr::lit(10u64).le(Expr::col(0)),
+            Expr::ContainsAny(2, vec!["cpu util".into()]),
+            Expr::col(0)
+                .eq(Expr::lit(0u64))
+                .and(Expr::ContainsAny(2, vec!["cpu".into()])),
+            Expr::col(0)
+                .eq(Expr::lit(1u64))
+                .or(Expr::col(0).eq(Expr::lit(2u64))),
+            Expr::col(0).eq(Expr::lit(3u64)).not(),
+            Expr::col(1).gt(Expr::lit(30.0)).not(), // non-total operand
+        ];
+        for e in &exprs {
+            let mask = e.eval_mask(&batch);
+            let scalar: Vec<bool> = recs.iter().map(|r| e.matches(r)).collect();
+            assert_eq!(mask, scalar, "mask mismatch for {e:?}");
+        }
     }
 
     #[test]

@@ -4,15 +4,17 @@
 //! paper assumes from its host engines (Apache NiFi/MiNiFi + RxJava):
 //!
 //! * a typed value/schema model with exact wire-size accounting
-//!   ([`value`], [`schema`], [`record`]),
-//! * a columnar batch + wire encoding used on the network path ([`batch`],
-//!   [`encode`]),
+//!   ([`value`], [`schema`], [`record`]); the accounting rules live in
+//!   [`batch::layout`], the single source of truth for row and batch views,
+//! * columnar batches as the unit of dataflow — operators, engines, and the
+//!   wire encoding all move [`batch::Batch`]es ([`batch`], [`encode`]),
 //! * event time, tumbling windows and min-merged watermarks ([`time`],
 //!   [`window`], [`watermark`]),
 //! * incrementally-updatable, *mergeable* aggregates ([`agg`], [`quantile`]),
-//! * the stream operators used by the paper's three monitoring queries:
-//!   Window, Filter, Map, Project, GroupAggregate, stream-table Join
-//!   ([`ops`]),
+//! * the stream operators used by the paper's three monitoring queries,
+//!   implemented batch-first/vectorized: Window, Filter, Map, Project,
+//!   GroupAggregate, stream-table Join ([`ops`]; the record-at-a-time API
+//!   survives one release as the deprecated [`ops::row`] shim),
 //! * a declarative query builder, logical plan, logical optimiser and
 //!   physical planner ([`query`], [`logical`], [`optimizer`], [`physical`]).
 //!

@@ -1,11 +1,16 @@
-//! Predicate filter operator.
+//! Predicate filter operator, vectorized.
+//!
+//! The predicate is evaluated over the whole batch into a selection mask
+//! ([`Expr::eval_mask`], columnar kernels for the common `col <op> literal`
+//! and substring shapes) and surviving rows are gathered once with
+//! [`Batch::select`] — no per-record allocation on the hot path.
 
+use crate::batch::Batch;
 use crate::expr::Expr;
 use crate::ops::{CostModel, OpKind, Operator};
-use crate::record::Record;
 use crate::schema::SchemaRef;
 
-/// Drops records that fail a predicate. Typically cheap (paper: the Pingmesh
+/// Drops rows that fail a predicate. Typically cheap (paper: the Pingmesh
 /// filter costs ~13 % of one core at the 10×-scaled rate) and the first point
 /// of data reduction in a monitoring pipeline.
 pub struct FilterOp {
@@ -47,11 +52,19 @@ impl Operator for FilterOp {
         self.schema.clone()
     }
 
-    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
-        self.seen += 1;
-        if self.predicate.matches(&rec) {
-            self.passed += 1;
-            out.push(rec);
+    fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) {
+        let n = batch.len();
+        if n == 0 {
+            return;
+        }
+        let mask = self.predicate.eval_mask(&batch);
+        let passed = mask.iter().filter(|&&keep| keep).count();
+        self.seen += n as u64;
+        self.passed += passed as u64;
+        if passed == n {
+            out.push(batch);
+        } else if passed > 0 {
+            out.push(batch.select(&mask));
         }
     }
 
@@ -68,6 +81,7 @@ impl Operator for FilterOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::Record;
     use crate::schema::{DataType, Field, Schema};
     use crate::value::Value;
 
@@ -82,13 +96,47 @@ mod tests {
             schema(),
             CostModel::fixed(1.0),
         );
+        let recs: Vec<Record> = [0u64, 1, 0, 0, 2]
+            .iter()
+            .map(|&err| Record::new(0, vec![Value::U64(err)]))
+            .collect();
+        let batch = Batch::from_records(schema(), &recs).unwrap();
         let mut out = Vec::new();
-        for err in [0u64, 1, 0, 0, 2] {
-            f.process(Record::new(0, vec![Value::U64(err)]), &mut out);
-        }
-        assert_eq!(out.len(), 3);
+        f.process_batch(batch, &mut out);
+        assert_eq!(out.iter().map(Batch::len).sum::<usize>(), 3);
         assert!((f.selectivity() - 0.6).abs() < 1e-12);
         f.reset();
         assert_eq!(f.selectivity(), 1.0);
+    }
+
+    #[test]
+    fn all_pass_forwards_the_batch_unchanged() {
+        let mut f = FilterOp::new(
+            Expr::col(0).lt(Expr::lit(100u64)),
+            schema(),
+            CostModel::fixed(1.0),
+        );
+        let recs = vec![
+            Record::new(1, vec![Value::U64(1)]),
+            Record::new(2, vec![Value::U64(2)]),
+        ];
+        let batch = Batch::from_records(schema(), &recs).unwrap();
+        let mut out = Vec::new();
+        f.process_batch(batch.clone(), &mut out);
+        assert_eq!(out, vec![batch]);
+    }
+
+    #[test]
+    fn none_pass_emits_nothing() {
+        let mut f = FilterOp::new(
+            Expr::col(0).gt(Expr::lit(100u64)),
+            schema(),
+            CostModel::fixed(1.0),
+        );
+        let recs = vec![Record::new(1, vec![Value::U64(1)])];
+        let mut out = Vec::new();
+        f.process_batch(Batch::from_records(schema(), &recs).unwrap(), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(f.selectivity(), 0.0);
     }
 }

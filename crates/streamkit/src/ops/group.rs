@@ -1,24 +1,30 @@
-//! Keyed, windowed, incrementally-updatable aggregation (the paper's `G+R`).
+//! Keyed, windowed, incrementally-updatable aggregation (the paper's `G+R`),
+//! vectorized.
 //!
 //! The operator supports two *roles*:
 //!
 //! * [`AggRole::Final`] — the authoritative instance (stream processor, or a
-//!   data source running the whole query): emits finalised results when a
-//!   window closes, and optionally per-epoch deltas for live dashboards.
+//!   data source running the whole query): emits finalised result batches
+//!   when a window closes, and optionally per-epoch deltas for live
+//!   dashboards.
 //! * [`AggRole::Partial`] — a source-side pre-aggregator under data-level
 //!   partitioning: accumulates mergeable state for the records its control
 //!   proxy forwarded locally and ships *state increments* to the replica via
-//!   [`Operator::take_state_delta`]; it never emits result records itself, so
+//!   [`Operator::take_state_delta`]; it never emits result rows itself, so
 //!   merged results are exact regardless of how records were split.
 //!
-//! Group state is kept in insertion order (vector + hash index) so emission is
-//! deterministic — a requirement for reproducible experiments.
+//! Group state is kept in insertion order (vector + hash index) so emission
+//! is deterministic — a requirement for reproducible experiments. The hash
+//! index keys off a canonical *byte encoding* of `(window, key columns)`
+//! built directly from column slices, so the batch hot path materializes a
+//! `Value` key only once per distinct group, and aggregate updates read
+//! numeric columns natively ([`AggState::update_f64`]).
 
 use std::collections::HashMap;
 
 use crate::agg::{AggKind, AggSpec, AggState};
+use crate::batch::{Batch, BatchBuilder, Column};
 use crate::ops::{CostModel, GroupPartialEntry, OpKind, Operator, StatePartial};
-use crate::record::Record;
 use crate::schema::{DataType, Field, Schema, SchemaRef};
 use crate::time::Ts;
 use crate::value::Value;
@@ -44,39 +50,128 @@ pub enum AggRole {
     Partial,
 }
 
-type GroupKey = (Ts, Vec<Value>);
+pub(crate) type GroupKey = (Ts, Vec<Value>);
 
-/// Insertion-ordered group table: deterministic iteration + O(1) lookup.
+/// Appends the canonical byte encoding of one `Value` (variant tag +
+/// payload). Must stay in lockstep with [`encode_col_value`].
+fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(u8::from(*b));
+        }
+        Value::I64(x) => {
+            buf.push(2);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::U64(x) => {
+            buf.push(3);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            buf.push(4);
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(5);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Appends the canonical byte encoding of `col[row]` without materializing a
+/// `Value` (strings are borrowed straight from the column buffer).
+fn encode_col_value(buf: &mut Vec<u8>, col: &Column, row: usize) {
+    match col {
+        Column::Bool(v) => {
+            buf.push(1);
+            buf.push(u8::from(v[row]));
+        }
+        Column::I64(v) => {
+            buf.push(2);
+            buf.extend_from_slice(&v[row].to_le_bytes());
+        }
+        Column::U64(v) => {
+            buf.push(3);
+            buf.extend_from_slice(&v[row].to_le_bytes());
+        }
+        Column::F64(v) => {
+            buf.push(4);
+            buf.extend_from_slice(&v[row].to_bits().to_le_bytes());
+        }
+        Column::Str { .. } => {
+            let s = col.str_at(row).unwrap_or("");
+            buf.push(5);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Column::Opt { valid, values } => {
+            if valid[row] {
+                encode_col_value(buf, values, row);
+            } else {
+                buf.push(0);
+            }
+        }
+    }
+}
+
+fn encode_key(buf: &mut Vec<u8>, key: &GroupKey) {
+    buf.extend_from_slice(&key.0.to_le_bytes());
+    for v in &key.1 {
+        encode_value(buf, v);
+    }
+}
+
+/// Insertion-ordered group table: deterministic iteration + O(1) lookup via
+/// the canonical key encoding.
 #[derive(Default)]
-struct GroupTable {
-    index: HashMap<GroupKey, usize>,
+pub(crate) struct GroupTable {
+    index: HashMap<Box<[u8]>, usize>,
     entries: Vec<(GroupKey, Vec<AggState>, bool)>,
 }
 
 impl GroupTable {
-    fn upsert(
+    /// Looks up the group for an already-encoded key, creating it (via
+    /// `make_key` + `init`) on first sight.
+    fn upsert_encoded(
         &mut self,
-        key: GroupKey,
+        encoded: &[u8],
+        make_key: impl FnOnce() -> GroupKey,
         init: impl FnOnce() -> Vec<AggState>,
     ) -> &mut Vec<AggState> {
-        let idx = match self.index.get(&key) {
+        let idx = match self.index.get(encoded) {
             Some(&i) => {
                 self.entries[i].2 = true;
                 i
             }
             None => {
                 let i = self.entries.len();
-                self.entries.push((key.clone(), init(), true));
-                self.index.insert(key, i);
+                self.entries.push((make_key(), init(), true));
+                self.index.insert(encoded.to_vec().into_boxed_slice(), i);
                 i
             }
         };
         &mut self.entries[idx].1
     }
 
+    /// Value-keyed upsert (row shim and tests).
+    pub(crate) fn upsert(
+        &mut self,
+        key: GroupKey,
+        init: impl FnOnce() -> Vec<AggState>,
+    ) -> &mut Vec<AggState> {
+        let mut buf = Vec::with_capacity(24);
+        encode_key(&mut buf, &key);
+        self.upsert_encoded(&buf, || key, init)
+    }
+
     /// Merges `incoming` into an existing entry, or adopts it as a new entry.
-    fn insert_or_merge(&mut self, key: GroupKey, incoming: Vec<AggState>) {
-        match self.index.get(&key) {
+    pub(crate) fn insert_or_merge(&mut self, key: GroupKey, incoming: Vec<AggState>) {
+        let mut buf = Vec::with_capacity(24);
+        encode_key(&mut buf, &key);
+        match self.index.get(buf.as_slice()) {
             Some(&i) => {
                 self.entries[i].2 = true;
                 for (s, inc) in self.entries[i].1.iter_mut().zip(&incoming) {
@@ -85,19 +180,23 @@ impl GroupTable {
             }
             None => {
                 let i = self.entries.len();
-                self.entries.push((key.clone(), incoming, true));
-                self.index.insert(key, i);
+                self.entries.push((key, incoming, true));
+                self.index.insert(buf.into_boxed_slice(), i);
             }
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Removes and returns entries whose window is closed by `wm`, preserving
     /// insertion order in both partitions.
-    fn split_closed(&mut self, window: TumblingWindow, wm: Ts) -> Vec<(GroupKey, Vec<AggState>)> {
+    pub(crate) fn split_closed(
+        &mut self,
+        window: TumblingWindow,
+        wm: Ts,
+    ) -> Vec<(GroupKey, Vec<AggState>)> {
         let mut closed = Vec::new();
         let mut kept = Vec::with_capacity(self.entries.len());
         for (key, states, changed) in self.entries.drain(..) {
@@ -109,18 +208,21 @@ impl GroupTable {
         }
         self.entries = kept;
         self.index.clear();
+        let mut buf = Vec::with_capacity(24);
         for (i, (key, _, _)) in self.entries.iter().enumerate() {
-            self.index.insert(key.clone(), i);
+            buf.clear();
+            encode_key(&mut buf, key);
+            self.index.insert(buf.as_slice().into(), i);
         }
         closed
     }
 
-    fn drain_all(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
+    pub(crate) fn drain_all(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
         self.index.clear();
         self.entries.drain(..).map(|(k, s, _)| (k, s)).collect()
     }
 
-    fn take_changed(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
+    pub(crate) fn take_changed(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
         let mut out = Vec::new();
         for (key, states, changed) in self.entries.iter_mut() {
             if *changed {
@@ -131,7 +233,7 @@ impl GroupTable {
         out
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.index.clear();
         self.entries.clear();
     }
@@ -147,6 +249,8 @@ pub struct GroupAggregateOp {
     table: GroupTable,
     out_schema: SchemaRef,
     cost: CostModel,
+    /// Scratch buffer for key encoding (reused across rows).
+    scratch: Vec<u8>,
 }
 
 impl GroupAggregateOp {
@@ -171,6 +275,7 @@ impl GroupAggregateOp {
             table: GroupTable::default(),
             out_schema,
             cost,
+            scratch: Vec::with_capacity(64),
         }
     }
 
@@ -209,14 +314,38 @@ impl GroupAggregateOp {
         self.role
     }
 
-    fn emit_row(&self, key: &GroupKey, states: &[AggState], out: &mut Vec<Record>) {
-        let mut values = Vec::with_capacity(1 + key.1.len() + states.len());
-        values.push(Value::I64(key.0));
-        values.extend(key.1.iter().cloned());
-        values.extend(states.iter().map(AggState::finalize));
-        // Result timestamp is the window end, the event-time point at which
-        // the result is complete.
-        out.push(Record::new(key.0 + self.window.size, values));
+    /// Builds one result batch from finalised group rows.
+    fn emit_batch(&self, rows: &[(GroupKey, Vec<AggState>)], out: &mut Vec<Batch>) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut builder = BatchBuilder::new(self.out_schema.clone(), rows.len());
+        let mut values: Vec<Value> = Vec::with_capacity(self.out_schema.width());
+        for (key, states) in rows {
+            values.clear();
+            values.push(Value::I64(key.0));
+            values.extend(key.1.iter().cloned());
+            values.extend(states.iter().map(AggState::finalize));
+            // Result timestamp is the window end, the event-time point at
+            // which the result is complete.
+            builder
+                .push_row(key.0 + self.window.size, &values)
+                .expect("result rows match the output schema");
+        }
+        out.push(builder.finish());
+    }
+}
+
+/// Folds `col[row]` into `state` with the scalar path's semantics: `Count`
+/// counts every record, other aggregates ignore non-numeric values.
+#[inline]
+fn update_state(state: &mut AggState, col: Option<&Column>, row: usize) {
+    if let AggState::Count(c) = state {
+        *c += 1;
+        return;
+    }
+    if let Some(v) = col.and_then(|c| c.f64_at(row)) {
+        state.update_f64(v);
     }
 }
 
@@ -229,36 +358,58 @@ impl Operator for GroupAggregateOp {
         self.out_schema.clone()
     }
 
-    fn process(&mut self, rec: Record, _out: &mut Vec<Record>) {
-        let window_start = self.window.start_of(rec.ts);
-        let key: Vec<Value> = self.keys.iter().map(|&k| rec.values[k].clone()).collect();
+    fn process_batch(&mut self, batch: Batch, _out: &mut Vec<Batch>) {
+        let n = batch.len();
+        if n == 0 {
+            return;
+        }
+        // Hoist column bindings out of the row loop: keys and aggregate
+        // inputs are resolved once per batch.
+        let key_cols: Vec<&Column> = self.keys.iter().map(|&k| &batch.columns[k]).collect();
+        let agg_cols: Vec<Option<&Column>> = self
+            .aggs
+            .iter()
+            .map(|spec| batch.columns.get(spec.col))
+            .collect();
         let aggs = &self.aggs;
-        let states = self.table.upsert((window_start, key), || {
-            aggs.iter().map(AggSpec::init).collect()
-        });
-        for (state, spec) in states.iter_mut().zip(aggs) {
-            let value = rec.values.get(spec.col).unwrap_or(&Value::Null);
-            state.update(value);
+        for row in 0..n {
+            let window_start = self.window.start_of(batch.timestamps[row]);
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&window_start.to_le_bytes());
+            for col in &key_cols {
+                encode_col_value(&mut self.scratch, col, row);
+            }
+            let key_cols = &key_cols;
+            let states = self.table.upsert_encoded(
+                &self.scratch,
+                || {
+                    (
+                        window_start,
+                        key_cols.iter().map(|c| c.value(row)).collect(),
+                    )
+                },
+                || aggs.iter().map(AggSpec::init).collect(),
+            );
+            for (state, col) in states.iter_mut().zip(&agg_cols) {
+                update_state(state, *col, row);
+            }
         }
     }
 
-    fn on_watermark(&mut self, wm: Ts, out: &mut Vec<Record>) {
+    fn on_watermark(&mut self, wm: Ts, out: &mut Vec<Batch>) {
         // Partial role never emits: its state (including closed windows) is
         // shipped wholesale by take_state_delta at the ship interval.
         if self.role != AggRole::Final {
             return;
         }
         let closed = self.table.split_closed(self.window, wm);
-        for (key, states) in &closed {
-            self.emit_row(key, states, out);
-        }
+        self.emit_batch(&closed, out);
     }
 
-    fn on_epoch(&mut self, out: &mut Vec<Record>) {
+    fn on_epoch(&mut self, out: &mut Vec<Batch>) {
         if self.role == AggRole::Final && self.emit == EmitMode::PerEpochDelta {
-            for (key, states) in self.table.take_changed() {
-                self.emit_row(&key, &states, out);
-            }
+            let changed = self.table.take_changed();
+            self.emit_batch(&changed, out);
         }
     }
 
@@ -308,6 +459,7 @@ impl Operator for GroupAggregateOp {
 mod tests {
     use super::*;
     use crate::agg::AggKind;
+    use crate::record::Record;
     use crate::time::secs;
 
     fn input_schema() -> SchemaRef {
@@ -345,41 +497,54 @@ mod tests {
         )
     }
 
+    fn feed(g: &mut GroupAggregateOp, recs: &[Record]) {
+        let batch = Batch::from_records(input_schema(), recs).unwrap();
+        let mut sink = Vec::new();
+        g.process_batch(batch, &mut sink);
+        assert!(sink.is_empty(), "aggregation emits only on watermark/epoch");
+    }
+
+    fn rows(out: &[Batch]) -> Vec<Record> {
+        out.iter().flat_map(Batch::to_records).collect()
+    }
+
     #[test]
     fn final_role_emits_on_window_close() {
         let mut g = op(AggRole::Final, EmitMode::OnWindowClose);
+        feed(
+            &mut g,
+            &[rec(1.0, 1, 2, 100), rec(2.0, 1, 2, 300), rec(3.0, 9, 9, 50)],
+        );
         let mut out = Vec::new();
-        g.process(rec(1.0, 1, 2, 100), &mut out);
-        g.process(rec(2.0, 1, 2, 300), &mut out);
-        g.process(rec(3.0, 9, 9, 50), &mut out);
-        assert!(out.is_empty());
         g.on_watermark(secs(9.0), &mut out);
-        assert!(out.is_empty(), "window not closed yet");
+        assert!(rows(&out).is_empty(), "window not closed yet");
         g.on_watermark(secs(10.0), &mut out);
-        assert_eq!(out.len(), 2);
+        let emitted = rows(&out);
+        assert_eq!(emitted.len(), 2);
         // Insertion-ordered emission: group (1,2) first.
-        assert_eq!(out[0].values[1], Value::U64(1));
-        assert_eq!(out[0].values[3], Value::F64(200.0)); // avg
-        assert_eq!(out[0].values[4], Value::F64(300.0)); // max
-        assert_eq!(out[0].values[5], Value::F64(100.0)); // min
-        assert_eq!(out[0].ts, secs(10.0));
+        assert_eq!(emitted[0].values[1], Value::U64(1));
+        assert_eq!(emitted[0].values[3], Value::F64(200.0)); // avg
+        assert_eq!(emitted[0].values[4], Value::F64(300.0)); // max
+        assert_eq!(emitted[0].values[5], Value::F64(100.0)); // min
+        assert_eq!(emitted[0].ts, secs(10.0));
         assert_eq!(g.group_count(), 0);
     }
 
     #[test]
     fn per_epoch_delta_emits_only_changed_groups() {
         let mut g = op(AggRole::Final, EmitMode::PerEpochDelta);
+        feed(&mut g, &[rec(1.0, 1, 2, 100)]);
         let mut out = Vec::new();
-        g.process(rec(1.0, 1, 2, 100), &mut out);
         g.on_epoch(&mut out);
-        assert_eq!(out.len(), 1);
+        assert_eq!(rows(&out).len(), 1);
         out.clear();
         g.on_epoch(&mut out);
-        assert!(out.is_empty(), "no change since last epoch");
-        g.process(rec(2.0, 1, 2, 900), &mut out);
+        assert!(rows(&out).is_empty(), "no change since last epoch");
+        feed(&mut g, &[rec(2.0, 1, 2, 900)]);
         g.on_epoch(&mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].values[4], Value::F64(900.0));
+        let emitted = rows(&out);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].values[4], Value::F64(900.0));
     }
 
     #[test]
@@ -396,24 +561,17 @@ mod tests {
 
         // Reference: all records through one final op.
         let mut reference = op(AggRole::Final, EmitMode::OnWindowClose);
+        feed(&mut reference, &records);
         let mut ref_out = Vec::new();
-        for r in &records {
-            reference.process(r.clone(), &mut ref_out);
-        }
         reference.on_watermark(secs(10.0), &mut ref_out);
 
         // Partitioned: records 0,2,4 locally; 1,3 drained to SP.
         let mut local = op(AggRole::Partial, EmitMode::OnWindowClose);
         let mut sp = op(AggRole::Final, EmitMode::OnWindowClose);
-        let mut sink = Vec::new();
-        for (i, r) in records.iter().enumerate() {
-            if i % 2 == 0 {
-                local.process(r.clone(), &mut sink);
-            } else {
-                sp.process(r.clone(), &mut sink);
-            }
-        }
-        assert!(sink.is_empty());
+        let local_recs: Vec<Record> = records.iter().step_by(2).cloned().collect();
+        let sp_recs: Vec<Record> = records.iter().skip(1).step_by(2).cloned().collect();
+        feed(&mut local, &local_recs);
+        feed(&mut sp, &sp_recs);
         let delta = local.take_state_delta().expect("partial state");
         assert!(delta.wire_bytes() > 0);
         sp.merge_state(delta);
@@ -421,18 +579,20 @@ mod tests {
         sp.on_watermark(secs(10.0), &mut sp_out);
 
         // Compare as sets (emission order differs by arrival order).
-        let key = |r: &Record| (r.values[1].clone(), r.values[2].clone());
-        ref_out.sort_by_key(|r| format!("{:?}", key(r)));
-        sp_out.sort_by_key(|r| format!("{:?}", key(r)));
-        assert_eq!(ref_out, sp_out);
+        let mut ref_rows = rows(&ref_out);
+        let mut sp_rows = rows(&sp_out);
+        let key = |r: &Record| format!("{:?}", (r.values[1].clone(), r.values[2].clone()));
+        ref_rows.sort_by_key(key);
+        sp_rows.sort_by_key(key);
+        assert_eq!(ref_rows, sp_rows);
         assert!(local.take_state_delta().is_none(), "state already drained");
     }
 
     #[test]
     fn partial_role_emits_nothing_on_close() {
         let mut g = op(AggRole::Partial, EmitMode::OnWindowClose);
+        feed(&mut g, &[rec(1.0, 1, 2, 100)]);
         let mut out = Vec::new();
-        g.process(rec(1.0, 1, 2, 100), &mut out);
         g.on_watermark(secs(20.0), &mut out);
         assert!(out.is_empty());
         // Closed state still retrievable for shipping.
@@ -452,10 +612,8 @@ mod tests {
             CostModel::state_dependent(20.0, 0.2, 1000.0),
         );
         let c0 = g.cost_us();
-        let mut out = Vec::new();
-        for i in 0..5000 {
-            g.process(rec(1.0, i, i, 10), &mut out);
-        }
+        let recs: Vec<Record> = (0..5000).map(|i| rec(1.0, i, i, 10)).collect();
+        feed(&mut g, &recs);
         assert!(g.cost_us() > c0);
     }
 
@@ -468,5 +626,33 @@ mod tests {
         );
         assert_eq!(schema.fields()[2].dtype, DataType::U64);
         assert_eq!(schema.fields()[0].name, "window_start");
+    }
+
+    #[test]
+    fn string_keys_group_without_collisions() {
+        // The byte-encoded index must be injective: ("ab","c") != ("a","bc").
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Str),
+            Field::new("v", DataType::U32),
+        ]);
+        let mut g = GroupAggregateOp::new(
+            vec![0, 1],
+            vec![AggSpec::new(AggKind::Count, 2, "n")],
+            &schema,
+            TumblingWindow::new(secs(10.0)),
+            EmitMode::OnWindowClose,
+            AggRole::Final,
+            CostModel::fixed(1.0),
+        );
+        let recs = vec![
+            Record::new(0, vec![Value::str("ab"), Value::str("c"), Value::U64(1)]),
+            Record::new(1, vec![Value::str("a"), Value::str("bc"), Value::U64(1)]),
+            Record::new(2, vec![Value::str("ab"), Value::str("c"), Value::U64(1)]),
+        ];
+        let batch = Batch::from_records(schema, &recs).unwrap();
+        let mut sink = Vec::new();
+        g.process_batch(batch, &mut sink);
+        assert_eq!(g.group_count(), 2);
     }
 }

@@ -8,9 +8,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::batch::{Batch, Column, ColumnBuilder};
 use crate::error::Result;
 use crate::ops::{CostModel, OpKind, Operator};
-use crate::record::Record;
 use crate::schema::{Field, Schema, SchemaRef};
 use crate::value::Value;
 
@@ -129,25 +129,63 @@ impl Operator for JoinOp {
         self.out_schema.clone()
     }
 
-    fn process(&mut self, mut rec: Record, out: &mut Vec<Record>) {
-        self.probes += 1;
-        match self.table.get(&rec.values[self.key_col]) {
-            Some(ext) => {
-                self.hits += 1;
-                rec.values.extend(ext.iter().cloned());
-                out.push(rec);
-            }
-            None => match self.miss {
-                JoinMiss::Drop => {}
-                JoinMiss::Null => {
-                    rec.values.extend(std::iter::repeat_n(
-                        Value::Null,
-                        self.table.ext_fields().len(),
-                    ));
-                    out.push(rec);
-                }
-            },
+    fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) {
+        let n = batch.len();
+        if n == 0 {
+            return;
         }
+        self.probes += n as u64;
+        let key_col = &batch.columns[self.key_col];
+        let ext_fields = self.table.ext_fields();
+        let mut ext_builders: Vec<ColumnBuilder> = ext_fields
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, n))
+            .collect();
+        let mut mask = vec![false; n];
+        let mut kept = 0usize;
+        for row in 0..n {
+            // Probe without allocating for the common integer key columns.
+            let hit = match key_col {
+                Column::U64(v) => self.table.get(&Value::U64(v[row])),
+                Column::I64(v) => self.table.get(&Value::I64(v[row])),
+                col => self.table.get(&col.value(row)),
+            };
+            match hit {
+                Some(ext) => {
+                    self.hits += 1;
+                    mask[row] = true;
+                    kept += 1;
+                    for (builder, value) in ext_builders.iter_mut().zip(ext) {
+                        builder.push(value).expect("table rows match ext fields");
+                    }
+                }
+                None => match self.miss {
+                    JoinMiss::Drop => {}
+                    JoinMiss::Null => {
+                        mask[row] = true;
+                        kept += 1;
+                        for builder in &mut ext_builders {
+                            builder.push_null();
+                        }
+                    }
+                },
+            }
+        }
+        if kept == 0 {
+            return;
+        }
+        let base = if kept == n {
+            batch
+        } else {
+            batch.select(&mask)
+        };
+        let mut columns = base.columns;
+        columns.extend(ext_builders.into_iter().map(ColumnBuilder::finish));
+        out.push(Batch {
+            schema: self.out_schema.clone(),
+            timestamps: base.timestamps,
+            columns,
+        });
     }
 
     fn cost_us(&self) -> f64 {
@@ -184,6 +222,14 @@ mod tests {
         Schema::new(vec![Field::new("srcIp", DataType::U32)])
     }
 
+    fn batch(schema: &SchemaRef, ips: &[u64]) -> Batch {
+        let recs: Vec<crate::record::Record> = ips
+            .iter()
+            .map(|&ip| crate::record::Record::new(0, vec![Value::U64(ip)]))
+            .collect();
+        Batch::from_records(schema.clone(), &recs).unwrap()
+    }
+
     #[test]
     fn inner_join_appends_and_drops() {
         let schema = input_schema();
@@ -196,10 +242,10 @@ mod tests {
         )
         .unwrap();
         let mut out = Vec::new();
-        j.process(Record::new(0, vec![Value::U64(80)]), &mut out);
-        j.process(Record::new(0, vec![Value::U64(500)]), &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].values, vec![Value::U64(80), Value::U64(2)]);
+        j.process_batch(batch(&schema, &[80, 500]), &mut out);
+        let rows: Vec<_> = out.iter().flat_map(Batch::to_records).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values, vec![Value::U64(80), Value::U64(2)]);
         assert_eq!(j.hit_rate(), 0.5);
     }
 
@@ -215,8 +261,10 @@ mod tests {
         )
         .unwrap();
         let mut out = Vec::new();
-        j.process(Record::new(0, vec![Value::U64(999)]), &mut out);
-        assert_eq!(out[0].values, vec![Value::U64(999), Value::Null]);
+        j.process_batch(batch(&schema, &[999, 5]), &mut out);
+        let rows: Vec<_> = out.iter().flat_map(Batch::to_records).collect();
+        assert_eq!(rows[0].values, vec![Value::U64(999), Value::Null]);
+        assert_eq!(rows[1].values, vec![Value::U64(5), Value::U64(0)]);
     }
 
     #[test]

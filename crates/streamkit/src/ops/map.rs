@@ -8,10 +8,12 @@
 
 use std::sync::Arc;
 
+use crate::batch::{Batch, Column, ColumnBuilder};
 use crate::error::{Error, Result};
 use crate::ops::{CostModel, OpKind, Operator};
 use crate::record::Record;
 use crate::schema::{DataType, Field, Schema, SchemaRef};
+use crate::time::Ts;
 use crate::value::Value;
 
 /// A describable record transformation.
@@ -162,6 +164,117 @@ impl MapFn {
             MapFn::Custom { f, .. } => f(rec),
         }
     }
+
+    /// Applies the transformation over a whole batch, column-wise where the
+    /// function shape allows it. Row-identical to mapping [`MapFn::apply`]
+    /// over the batch's records.
+    pub fn apply_batch(&self, batch: &Batch, out_schema: &SchemaRef) -> Option<Batch> {
+        if batch.is_empty() {
+            return None;
+        }
+        match self {
+            MapFn::TrimLower(col) => {
+                let source = &batch.columns[*col];
+                let mut cleaned = ColumnBuilder::new(DataType::Str, source.len());
+                for row in 0..source.len() {
+                    match source.str_at(row) {
+                        Some(s) => cleaned
+                            .push_str(&s.trim().to_lowercase())
+                            .expect("str builder"),
+                        // Row path leaves non-string values untouched.
+                        None => cleaned.push(&source.value(row)).ok()?,
+                    }
+                }
+                let mut columns = batch.columns.clone();
+                columns[*col] = cleaned.finish();
+                Some(Batch {
+                    schema: out_schema.clone(),
+                    timestamps: batch.timestamps.clone(),
+                    columns,
+                })
+            }
+            MapFn::ParseJobStats { col, stats } => {
+                let source = &batch.columns[*col];
+                let n = source.len();
+                let mut timestamps: Vec<Ts> = Vec::with_capacity(n);
+                let mut tenants = ColumnBuilder::new(DataType::Str, n);
+                let mut names = ColumnBuilder::new(DataType::Str, n);
+                let mut values = ColumnBuilder::new(DataType::F64, n);
+                for row in 0..n {
+                    let Some(line) = source.str_at(row) else {
+                        continue;
+                    };
+                    let Some(tenant) = extract_kv(line, "tenant name") else {
+                        continue;
+                    };
+                    for stat in stats {
+                        if let Some(v) = extract_kv(line, stat) {
+                            if let Ok(value) = v.trim().parse::<f64>() {
+                                timestamps.push(batch.timestamps[row]);
+                                tenants.push_str(tenant.trim()).expect("str builder");
+                                names.push_str(stat).expect("str builder");
+                                values.push(&Value::F64(value)).expect("f64 builder");
+                            }
+                            break;
+                        }
+                    }
+                }
+                if timestamps.is_empty() {
+                    return None;
+                }
+                Some(Batch {
+                    schema: out_schema.clone(),
+                    timestamps,
+                    columns: vec![tenants.finish(), names.finish(), values.finish()],
+                })
+            }
+            MapFn::WidthBucket {
+                col,
+                lo,
+                hi,
+                buckets,
+            } => {
+                let source = &batch.columns[*col];
+                let n = source.len();
+                // Rows whose value is non-numeric are dropped, as in the row
+                // path (`apply` returns None).
+                let mask: Vec<bool> = (0..n).map(|r| source.f64_at(r).is_some()).collect();
+                let kept = mask.iter().filter(|&&k| k).count();
+                if kept == 0 {
+                    return None;
+                }
+                let mut bucketed: Vec<i64> = Vec::with_capacity(kept);
+                for row in 0..n {
+                    if let Some(v) = source.f64_at(row) {
+                        bucketed.push(width_bucket(v, *lo, *hi, *buckets));
+                    }
+                }
+                let mut out = if kept == n {
+                    batch.clone()
+                } else {
+                    batch.select(&mask)
+                };
+                out.schema = out_schema.clone();
+                out.columns[*col] = Column::I64(bucketed);
+                Some(out)
+            }
+            MapFn::Custom { f, .. } => {
+                let mut rows = Vec::with_capacity(batch.len());
+                for rec in batch.to_records() {
+                    if let Some(mapped) = f(&rec) {
+                        rows.push(mapped);
+                    }
+                }
+                if rows.is_empty() {
+                    return None;
+                }
+                Some(
+                    Batch::from_records(out_schema.clone(), &rows)
+                        .expect("custom map output must match its declared schema"),
+                )
+            }
+        }
+    }
 }
 
 /// SQL-style `width_bucket`: 0 below range, `buckets+1` above, else 1-based
@@ -218,8 +331,8 @@ impl Operator for MapOp {
         self.schema.clone()
     }
 
-    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
-        if let Some(mapped) = self.f.apply(&rec) {
+    fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) {
+        if let Some(mapped) = self.f.apply_batch(&batch, &self.schema) {
             out.push(mapped);
         }
     }
@@ -313,12 +426,70 @@ mod tests {
         };
         let out_schema = f.output_schema(&log_schema()).unwrap();
         let mut op = MapOp::new(f, out_schema, CostModel::fixed(1.0));
-        let mut out = Vec::new();
-        op.process(Record::new(0, vec![Value::str("noise")]), &mut out);
-        op.process(
+        let recs = vec![
+            Record::new(0, vec![Value::str("noise")]),
             Record::new(0, vec![Value::str("tenant name=a, cpu util=5")]),
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
+        ];
+        let batch = Batch::from_records(log_schema(), &recs).unwrap();
+        let mut out = Vec::new();
+        op.process_batch(batch, &mut out);
+        assert_eq!(out.iter().map(Batch::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn batch_apply_matches_row_apply() {
+        // Every MapFn shape must produce, row for row, what the scalar
+        // `apply` path produces.
+        let lines = [
+            "  Tenant Name=Acme, CPU Util=62.5  ",
+            "heartbeat ok",
+            "tenant name=zed, job running time=250.0, host=h7",
+            "tenant name=bad, cpu util=NaNope",
+        ];
+        let recs: Vec<Record> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Record::new(i as i64, vec![Value::str(*l)]))
+            .collect();
+        let schema = log_schema();
+        let fns = [
+            MapFn::TrimLower(0),
+            MapFn::ParseJobStats {
+                col: 0,
+                stats: vec!["job running time".into(), "cpu util".into()],
+            },
+        ];
+        for f in fns {
+            let out_schema = f.output_schema(&schema).unwrap();
+            let row_out: Vec<Record> = recs.iter().filter_map(|r| f.apply(r)).collect();
+            let batch = Batch::from_records(schema.clone(), &recs).unwrap();
+            let batch_out = f
+                .apply_batch(&batch, &out_schema)
+                .map(|b| b.to_records())
+                .unwrap_or_default();
+            assert_eq!(batch_out, row_out, "mismatch for {f:?}");
+        }
+
+        // WidthBucket over a numeric column (needs the parsed schema).
+        let parsed = Schema::new(vec![
+            Field::new("tenant", DataType::Str),
+            Field::new("stat", DataType::F64),
+        ]);
+        let f = MapFn::WidthBucket {
+            col: 1,
+            lo: 0.0,
+            hi: 100.0,
+            buckets: 10,
+        };
+        let out_schema = f.output_schema(&parsed).unwrap();
+        let precs = vec![
+            Record::new(0, vec![Value::str("a"), Value::F64(31.0)]),
+            Record::new(1, vec![Value::str("b"), Value::Null]),
+            Record::new(2, vec![Value::str("c"), Value::F64(99.0)]),
+        ];
+        let row_out: Vec<Record> = precs.iter().filter_map(|r| f.apply(r)).collect();
+        let batch = Batch::from_records(parsed, &precs).unwrap();
+        let batch_out = f.apply_batch(&batch, &out_schema).unwrap().to_records();
+        assert_eq!(batch_out, row_out);
     }
 }

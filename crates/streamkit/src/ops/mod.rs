@@ -1,19 +1,60 @@
-//! Stream operators.
+//! Stream operators — batch-first.
 //!
-//! Operators are single-input record transformers with three extra hooks the
-//! Jarvis engine relies on:
+//! Operators consume and produce columnar [`Batch`]es: `Filter` evaluates
+//! its predicate into a selection mask and gathers once, `Project`/`Map`
+//! work column-wise, `GroupAggregate` keys directly off column slices, and
+//! `Join` probes the lookup table per column. Record-at-a-time execution —
+//! the API this library shipped with originally — survives for one release
+//! as the deprecated [`row::RowOperator`] + [`row::RowAdapter`] shim.
+//!
+//! Beyond batch processing, operators expose three hooks the Jarvis engine
+//! relies on:
 //!
 //! * **state-dependent cost** ([`Operator::cost_us`]) — per-record compute
 //!   cost that grows with live state (hash-table size for grouping, static
 //!   table size for joins), which is what makes profiling-on-a-sample biased
 //!   exactly as the paper observes (§VI-C);
 //! * **watermark handling** ([`Operator::on_watermark`]) — closes event-time
-//!   windows;
+//!   windows, emitting result batches;
 //! * **partial-state draining** ([`Operator::take_state_delta`] /
 //!   [`Operator::merge_state`]) — stateful operators running on a data source
 //!   in *partial* role ship mergeable pre-aggregated state to their replica on
 //!   the stream processor (paper §V, "stateful operators relay output to the
 //!   corresponding operator ... for merging the accumulated state").
+//!
+//! # Migrating a record-at-a-time operator
+//!
+//! ```
+//! use streamkit::batch::Batch;
+//! use streamkit::ops::{OpKind, Operator};
+//! use streamkit::record::Record;
+//! use streamkit::schema::{DataType, Field, Schema, SchemaRef};
+//!
+//! // Out-of-tree operators that used to `impl Operator` with
+//! // `process(&mut self, rec, out)` implement `RowOperator` instead and
+//! // wrap themselves in `RowAdapter` when building pipelines:
+//! #[allow(deprecated)]
+//! use streamkit::ops::{RowAdapter, RowOperator};
+//!
+//! struct Passthrough(SchemaRef);
+//!
+//! #[allow(deprecated)]
+//! impl RowOperator for Passthrough {
+//!     fn kind(&self) -> OpKind { OpKind::Map }
+//!     fn output_schema(&self) -> SchemaRef { self.0.clone() }
+//!     fn process(&mut self, rec: Record, out: &mut Vec<Record>) { out.push(rec); }
+//!     fn cost_us(&self) -> f64 { 1.0 }
+//!     fn reset(&mut self) {}
+//! }
+//!
+//! let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+//! #[allow(deprecated)]
+//! let mut op: Box<dyn Operator> = Box::new(RowAdapter::new(Box::new(Passthrough(schema.clone()))));
+//! let batch = Batch::from_records(schema, &[Record::new(0, vec![1i64.into()])]).unwrap();
+//! let mut out = Vec::new();
+//! op.process_batch(batch, &mut out);
+//! assert_eq!(out[0].len(), 1);
+//! ```
 
 pub mod cost;
 pub mod filter;
@@ -21,13 +62,14 @@ pub mod group;
 pub mod join;
 pub mod map;
 pub mod project;
+pub mod row;
 pub mod window_op;
 
 use serde::{Deserialize, Serialize};
 
 use crate::agg::AggState;
-use crate::record::Record;
-use crate::schema::{Schema, SchemaRef};
+use crate::batch::{layout, Batch};
+use crate::schema::SchemaRef;
 use crate::time::Ts;
 use crate::value::Value;
 
@@ -37,6 +79,8 @@ pub use group::{AggRole, EmitMode, GroupAggregateOp};
 pub use join::{JoinMiss, JoinOp, StaticTable};
 pub use map::{MapFn, MapOp};
 pub use project::ProjectOp;
+#[allow(deprecated)]
+pub use row::{RowAdapter, RowOperator};
 pub use window_op::WindowAssignOp;
 
 /// Operator kinds, used by the planner's eligibility rules (R-1..R-4).
@@ -83,13 +127,13 @@ pub struct GroupPartialEntry {
 
 impl GroupPartialEntry {
     /// Encoded size used for network accounting: window start + key values +
-    /// aggregate states.
+    /// aggregate states (string sizing shared with the batch layout).
     pub fn wire_bytes(&self) -> usize {
         let key_bytes: usize = self
             .key
             .iter()
             .map(|v| match v {
-                Value::Str(s) => 2 + s.len(),
+                Value::Str(s) => layout::str_bytes(s.len()),
                 Value::Bool(_) => 1,
                 _ => 8,
             })
@@ -127,7 +171,7 @@ impl StatePartial {
     }
 }
 
-/// A single-input stream operator.
+/// A single-input stream operator over columnar batches.
 pub trait Operator: Send {
     /// Operator kind.
     fn kind(&self) -> OpKind;
@@ -137,17 +181,19 @@ pub trait Operator: Send {
         self.kind().letter().to_string()
     }
 
-    /// Schema of emitted records.
+    /// Schema of emitted batches.
     fn output_schema(&self) -> SchemaRef;
 
-    /// Processes one record, appending any outputs.
-    fn process(&mut self, rec: Record, out: &mut Vec<Record>);
+    /// Processes one batch, appending any output batches. Implementations
+    /// preserve input row order in their outputs (engines rely on this to
+    /// attribute absorbed rows, see [`absorbed_timestamps`]).
+    fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>);
 
     /// Advances event time; windowed operators emit closed-window results.
-    fn on_watermark(&mut self, _wm: Ts, _out: &mut Vec<Record>) {}
+    fn on_watermark(&mut self, _wm: Ts, _out: &mut Vec<Batch>) {}
 
     /// Epoch boundary hook; delta-emitting aggregations flush here.
-    fn on_epoch(&mut self, _out: &mut Vec<Record>) {}
+    fn on_epoch(&mut self, _out: &mut Vec<Batch>) {}
 
     /// Current per-record compute cost in µs (may depend on live state).
     fn cost_us(&self) -> f64;
@@ -181,15 +227,82 @@ pub trait Operator: Send {
     }
 }
 
-/// Convenience: wire size of one record under this operator's output schema.
-pub fn output_wire_size(op: &dyn Operator, rec: &Record) -> usize {
-    rec.wire_size(op.output_schema().as_ref())
+/// Timestamps of input rows an operator *absorbed* — rows with no
+/// corresponding output row (filtered out, join misses, folded into
+/// aggregate state). Engines use this to credit per-record completions.
+///
+/// Relies on operators preserving input row order (and timestamps) in their
+/// outputs; computed as an ordered two-pointer difference between the input
+/// timestamps and the concatenated output timestamps. If an operator
+/// rewrites timestamps the result degrades gracefully: the first
+/// `inputs - outputs` unmatched input timestamps are reported so row
+/// conservation still holds.
+pub fn absorbed_timestamps(input_ts: &[Ts], outputs: &[Batch]) -> Vec<Ts> {
+    let out_rows: usize = outputs.iter().map(Batch::len).sum();
+    if out_rows == 0 {
+        return input_ts.to_vec();
+    }
+    let absorbed_n = input_ts.len().saturating_sub(out_rows);
+    if absorbed_n == 0 {
+        return Vec::new();
+    }
+    let mut absorbed = Vec::with_capacity(absorbed_n);
+    let mut out_iter = outputs.iter().flat_map(|b| b.timestamps.iter().copied());
+    let mut next_out = out_iter.next();
+    for &ts in input_ts {
+        match next_out {
+            Some(o) if o == ts => next_out = out_iter.next(),
+            _ => absorbed.push(ts),
+        }
+    }
+    // Timestamp-rewriting operators defeat the order matching; conserve row
+    // counts regardless.
+    absorbed.truncate(absorbed_n);
+    while absorbed.len() < absorbed_n {
+        absorbed.push(*input_ts.last().expect("inputs exist"));
+    }
+    absorbed
 }
 
-/// Convenience: average output wire size over records, 0 when empty.
-pub fn avg_wire_size(records: &[Record], schema: &Schema) -> f64 {
-    if records.is_empty() {
-        return 0.0;
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+
+    fn batch_of(ts: &[Ts]) -> Batch {
+        let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
+        let recs: Vec<_> = ts
+            .iter()
+            .map(|&t| crate::record::Record::new(t, vec![Value::I64(t)]))
+            .collect();
+        Batch::from_records(schema, &recs).unwrap()
     }
-    crate::record::wire_size_of(records, schema) as f64 / records.len() as f64
+
+    #[test]
+    fn absorbed_is_the_ordered_difference() {
+        let input = [1, 2, 3, 4, 5];
+        let outs = [batch_of(&[2, 4])];
+        assert_eq!(absorbed_timestamps(&input, &outs), vec![1, 3, 5]);
+        assert_eq!(absorbed_timestamps(&input, &[]), vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            absorbed_timestamps(&input, &[batch_of(&input)]),
+            Vec::<Ts>::new()
+        );
+    }
+
+    #[test]
+    fn absorbed_conserves_counts_even_when_ts_rewritten() {
+        let input = [1, 2, 3];
+        // Output timestamps unrelated to inputs (a ts-rewriting map).
+        let outs = [batch_of(&[100, 200])];
+        let absorbed = absorbed_timestamps(&input, &outs);
+        assert_eq!(absorbed.len(), 1);
+    }
+
+    #[test]
+    fn absorbed_handles_duplicate_timestamps() {
+        let input = [7, 7, 7, 9];
+        let outs = [batch_of(&[7, 9])];
+        assert_eq!(absorbed_timestamps(&input, &outs), vec![7, 7]);
+    }
 }

@@ -1,11 +1,12 @@
-//! Column projection operator.
+//! Column projection operator, vectorized.
 //!
 //! Byte-level data reduction: T2TProbe's join output is projected down to
 //! `(srcToR, dstToR, rtt)` before aggregation (paper §VI-B), which is what
-//! makes the join stage net-reducing in byte terms.
+//! makes the join stage net-reducing in byte terms. Columnar batches make
+//! this a whole-column gather — no per-row work at all.
 
+use crate::batch::Batch;
 use crate::ops::{CostModel, OpKind, Operator};
-use crate::record::Record;
 use crate::schema::SchemaRef;
 
 /// Keeps a subset/reordering of input columns.
@@ -36,9 +37,20 @@ impl Operator for ProjectOp {
         self.schema.clone()
     }
 
-    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
-        let values = self.cols.iter().map(|&c| rec.values[c].clone()).collect();
-        out.push(Record::new(rec.ts, values));
+    fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) {
+        if batch.is_empty() {
+            return;
+        }
+        let columns = self
+            .cols
+            .iter()
+            .map(|&c| batch.columns[c].clone())
+            .collect();
+        out.push(Batch {
+            schema: self.schema.clone(),
+            timestamps: batch.timestamps,
+            columns,
+        });
     }
 
     fn cost_us(&self) -> f64 {
@@ -51,6 +63,7 @@ impl Operator for ProjectOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::Record;
     use crate::schema::{DataType, Field, Schema};
     use crate::value::Value;
 
@@ -63,13 +76,17 @@ mod tests {
         ]);
         let out_schema = input.project(&[2, 0]).unwrap();
         let mut p = ProjectOp::new(vec![2, 0], out_schema.clone(), CostModel::fixed(0.2));
+        let recs = vec![Record::new(
+            1,
+            vec![Value::I64(10), Value::I64(20), Value::I64(30)],
+        )];
+        let batch = Batch::from_records(input, &recs).unwrap();
         let mut out = Vec::new();
-        p.process(
-            Record::new(1, vec![Value::I64(10), Value::I64(20), Value::I64(30)]),
-            &mut out,
-        );
-        assert_eq!(out[0].values, vec![Value::I64(30), Value::I64(10)]);
+        p.process_batch(batch, &mut out);
+        let rows = out[0].to_records();
+        assert_eq!(rows[0].values, vec![Value::I64(30), Value::I64(10)]);
         // Projection shrinks the wire size.
-        assert!(out[0].wire_size(&out_schema) < 8 + 24);
+        assert!(rows[0].wire_size(&out_schema) < 8 + 24);
+        assert_eq!(out[0].wire_size(), rows[0].wire_size(&out_schema));
     }
 }

@@ -1,0 +1,551 @@
+//! Record-at-a-time operator API — **deprecated** migration shim.
+//!
+//! This module preserves, for one release, the `Operator` surface this
+//! library shipped with before the batch-first redesign: out-of-tree
+//! operators that used to `impl Operator` with
+//! `process(&mut self, rec, out)` now implement [`RowOperator`] (same
+//! methods) and wrap themselves in [`RowAdapter`], which adapts them into
+//! the batch-first [`Operator`] trait one row at a time.
+//!
+//! The module also carries scalar reference implementations of the built-in
+//! operators (`RowFilterOp`, `RowGroupAggregateOp`, …) and
+//! [`crate::physical::build_row_pipeline`] builds a full shim pipeline from
+//! them — the differential oracle `tests/batch_row_parity.rs` runs against
+//! the vectorized library.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use crate::agg::{AggSpec, AggState};
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::ops::group::GroupTable;
+use crate::ops::{
+    AggRole, CostModel, EmitMode, GroupAggregateOp, GroupPartialEntry, JoinMiss, JoinOp, MapFn,
+    OpKind, Operator, StatePartial, StaticTable,
+};
+use crate::record::Record;
+use crate::schema::SchemaRef;
+use crate::time::Ts;
+use crate::value::Value;
+use crate::window::TumblingWindow;
+
+/// The legacy record-at-a-time operator trait.
+#[deprecated(
+    note = "implement the batch-first `streamkit::ops::Operator` (process_batch); \
+            wrap remaining row implementations in `RowAdapter` for one release"
+)]
+pub trait RowOperator: Send {
+    /// Operator kind.
+    fn kind(&self) -> OpKind;
+
+    /// Human-readable name for traces and plans.
+    fn name(&self) -> String {
+        self.kind().letter().to_string()
+    }
+
+    /// Schema of emitted records.
+    fn output_schema(&self) -> SchemaRef;
+
+    /// Processes one record, appending any outputs.
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>);
+
+    /// Advances event time; windowed operators emit closed-window results.
+    fn on_watermark(&mut self, _wm: Ts, _out: &mut Vec<Record>) {}
+
+    /// Epoch boundary hook; delta-emitting aggregations flush here.
+    fn on_epoch(&mut self, _out: &mut Vec<Record>) {}
+
+    /// Current per-record compute cost in µs.
+    fn cost_us(&self) -> f64;
+
+    /// Whether the operator holds mergeable state.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    /// Live state size (rows/groups).
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    /// Takes accumulated partial state for shipping to the replica.
+    fn take_state_delta(&mut self) -> Option<StatePartial> {
+        None
+    }
+
+    /// Merges partial state shipped from a partial-role twin.
+    fn merge_state(&mut self, _state: StatePartial) {}
+
+    /// Clears all operator state.
+    fn reset(&mut self);
+
+    /// Downcast hook for operator-specific runtime reconfiguration.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// Adapts a [`RowOperator`] into the batch-first [`Operator`]: batches are
+/// exploded into records on the way in and rebuilt on the way out.
+#[deprecated(note = "port the wrapped operator to the batch-first `Operator` trait")]
+pub struct RowAdapter {
+    inner: Box<dyn RowOperator>,
+}
+
+impl RowAdapter {
+    /// Wraps a legacy row operator.
+    pub fn new(inner: Box<dyn RowOperator>) -> RowAdapter {
+        RowAdapter { inner }
+    }
+
+    fn rebatch(&self, rows: Vec<Record>, out: &mut Vec<Batch>) {
+        if rows.is_empty() {
+            return;
+        }
+        let batch = Batch::from_records(self.inner.output_schema(), &rows)
+            .expect("row operator output must match its declared schema");
+        out.push(batch);
+    }
+}
+
+impl Operator for RowAdapter {
+    fn kind(&self) -> OpKind {
+        self.inner.kind()
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.inner.output_schema()
+    }
+
+    fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) {
+        let mut rows = Vec::with_capacity(batch.len());
+        for rec in batch.to_records() {
+            self.inner.process(rec, &mut rows);
+        }
+        self.rebatch(rows, out);
+    }
+
+    fn on_watermark(&mut self, wm: Ts, out: &mut Vec<Batch>) {
+        let mut rows = Vec::new();
+        self.inner.on_watermark(wm, &mut rows);
+        self.rebatch(rows, out);
+    }
+
+    fn on_epoch(&mut self, out: &mut Vec<Batch>) {
+        let mut rows = Vec::new();
+        self.inner.on_epoch(&mut rows);
+        self.rebatch(rows, out);
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.inner.cost_us()
+    }
+
+    fn is_stateful(&self) -> bool {
+        self.inner.is_stateful()
+    }
+
+    fn state_size(&self) -> usize {
+        self.inner.state_size()
+    }
+
+    fn take_state_delta(&mut self) -> Option<StatePartial> {
+        self.inner.take_state_delta()
+    }
+
+    fn merge_state(&mut self, state: StatePartial) {
+        self.inner.merge_state(state)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset()
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        self.inner.as_any_mut()
+    }
+}
+
+/// Scalar window assignment (pass-through).
+pub struct RowWindowAssignOp {
+    schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl RowWindowAssignOp {
+    /// Creates the stage.
+    pub fn new(schema: SchemaRef, cost: CostModel) -> RowWindowAssignOp {
+        RowWindowAssignOp { schema, cost }
+    }
+}
+
+impl RowOperator for RowWindowAssignOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Window
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
+        out.push(rec);
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Scalar predicate filter.
+pub struct RowFilterOp {
+    predicate: Expr,
+    schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl RowFilterOp {
+    /// Creates the filter.
+    pub fn new(predicate: Expr, schema: SchemaRef, cost: CostModel) -> RowFilterOp {
+        RowFilterOp {
+            predicate,
+            schema,
+            cost,
+        }
+    }
+}
+
+impl RowOperator for RowFilterOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Filter
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
+        if self.predicate.matches(&rec) {
+            out.push(rec);
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Scalar map.
+pub struct RowMapOp {
+    f: MapFn,
+    schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl RowMapOp {
+    /// Creates the map; `schema` must equal `f.output_schema(input)`.
+    pub fn new(f: MapFn, schema: SchemaRef, cost: CostModel) -> RowMapOp {
+        RowMapOp { f, schema, cost }
+    }
+}
+
+impl RowOperator for RowMapOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Map
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
+        if let Some(mapped) = self.f.apply(&rec) {
+            out.push(mapped);
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Scalar projection.
+pub struct RowProjectOp {
+    cols: Vec<usize>,
+    schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl RowProjectOp {
+    /// Creates the projection.
+    pub fn new(cols: Vec<usize>, schema: SchemaRef, cost: CostModel) -> RowProjectOp {
+        RowProjectOp { cols, schema, cost }
+    }
+}
+
+impl RowOperator for RowProjectOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Project
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
+        let values = self.cols.iter().map(|&c| rec.values[c].clone()).collect();
+        out.push(Record::new(rec.ts, values));
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Scalar stream-table join.
+pub struct RowJoinOp {
+    table: Arc<StaticTable>,
+    key_col: usize,
+    miss: JoinMiss,
+    out_schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl RowJoinOp {
+    /// Creates the join.
+    pub fn new(
+        table: Arc<StaticTable>,
+        key_col: usize,
+        miss: JoinMiss,
+        input_schema: &SchemaRef,
+        cost: CostModel,
+    ) -> Result<RowJoinOp> {
+        input_schema.field(key_col)?;
+        let out_schema = JoinOp::output_schema_for(&table, input_schema);
+        Ok(RowJoinOp {
+            table,
+            key_col,
+            miss,
+            out_schema,
+            cost,
+        })
+    }
+
+    /// Swaps the lookup table at runtime.
+    pub fn set_table(&mut self, table: Arc<StaticTable>) {
+        self.table = table;
+    }
+}
+
+impl RowOperator for RowJoinOp {
+    fn kind(&self) -> OpKind {
+        OpKind::Join
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.out_schema.clone()
+    }
+
+    fn process(&mut self, mut rec: Record, out: &mut Vec<Record>) {
+        match self.table.get(&rec.values[self.key_col]) {
+            Some(ext) => {
+                rec.values.extend(ext.iter().cloned());
+                out.push(rec);
+            }
+            None => match self.miss {
+                JoinMiss::Drop => {}
+                JoinMiss::Null => {
+                    rec.values.extend(std::iter::repeat_n(
+                        Value::Null,
+                        self.table.ext_fields().len(),
+                    ));
+                    out.push(rec);
+                }
+            },
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(self.table.len())
+    }
+
+    fn state_size(&self) -> usize {
+        self.table.len()
+    }
+
+    fn reset(&mut self) {}
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Scalar keyed windowed aggregation. Shares the group table and aggregate
+/// state machinery with the vectorized operator, but performs every update
+/// through boxed [`Value`]s the way the original API did.
+pub struct RowGroupAggregateOp {
+    keys: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    window: TumblingWindow,
+    emit: EmitMode,
+    role: AggRole,
+    table: GroupTable,
+    out_schema: SchemaRef,
+    cost: CostModel,
+}
+
+impl RowGroupAggregateOp {
+    /// Creates the operator.
+    pub fn new(
+        keys: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        input_schema: &SchemaRef,
+        window: TumblingWindow,
+        emit: EmitMode,
+        role: AggRole,
+        cost: CostModel,
+    ) -> RowGroupAggregateOp {
+        let out_schema = GroupAggregateOp::output_schema_for(&keys, &aggs, input_schema);
+        RowGroupAggregateOp {
+            keys,
+            aggs,
+            window,
+            emit,
+            role,
+            table: GroupTable::default(),
+            out_schema,
+            cost,
+        }
+    }
+
+    fn emit_row(&self, key: &(Ts, Vec<Value>), states: &[AggState], out: &mut Vec<Record>) {
+        let mut values = Vec::with_capacity(1 + key.1.len() + states.len());
+        values.push(Value::I64(key.0));
+        values.extend(key.1.iter().cloned());
+        values.extend(states.iter().map(AggState::finalize));
+        out.push(Record::new(key.0 + self.window.size, values));
+    }
+}
+
+impl RowOperator for RowGroupAggregateOp {
+    fn kind(&self) -> OpKind {
+        OpKind::GroupAggregate
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.out_schema.clone()
+    }
+
+    fn process(&mut self, rec: Record, _out: &mut Vec<Record>) {
+        let window_start = self.window.start_of(rec.ts);
+        let key: Vec<Value> = self.keys.iter().map(|&k| rec.values[k].clone()).collect();
+        let aggs = &self.aggs;
+        let states = self.table.upsert((window_start, key), || {
+            aggs.iter().map(AggSpec::init).collect()
+        });
+        for (state, spec) in states.iter_mut().zip(aggs) {
+            let value = rec.values.get(spec.col).unwrap_or(&Value::Null);
+            state.update(value);
+        }
+    }
+
+    fn on_watermark(&mut self, wm: Ts, out: &mut Vec<Record>) {
+        if self.role != AggRole::Final {
+            return;
+        }
+        for (key, states) in self.table.split_closed(self.window, wm) {
+            self.emit_row(&key, &states, out);
+        }
+    }
+
+    fn on_epoch(&mut self, out: &mut Vec<Record>) {
+        if self.role == AggRole::Final && self.emit == EmitMode::PerEpochDelta {
+            for (key, states) in self.table.take_changed() {
+                self.emit_row(&key, &states, out);
+            }
+        }
+    }
+
+    fn cost_us(&self) -> f64 {
+        self.cost.cost_us(self.table.len())
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn state_size(&self) -> usize {
+        self.table.len()
+    }
+
+    fn take_state_delta(&mut self) -> Option<StatePartial> {
+        if self.role != AggRole::Partial || self.table.len() == 0 {
+            return None;
+        }
+        let entries = self
+            .table
+            .drain_all()
+            .into_iter()
+            .map(|((window_start, key), states)| GroupPartialEntry {
+                window_start,
+                key,
+                states,
+            })
+            .collect();
+        Some(StatePartial::Group(entries))
+    }
+
+    fn merge_state(&mut self, state: StatePartial) {
+        let StatePartial::Group(entries) = state;
+        for entry in entries {
+            self.table
+                .insert_or_merge((entry.window_start, entry.key), entry.states);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+
+    #[test]
+    fn adapter_round_trips_batches() {
+        let schema = Schema::new(vec![Field::new("err", DataType::U32)]);
+        let mut op = RowAdapter::new(Box::new(RowFilterOp::new(
+            Expr::col(0).eq(Expr::lit(0u64)),
+            schema.clone(),
+            CostModel::fixed(1.0),
+        )));
+        let recs = vec![
+            Record::new(1, vec![Value::U64(0)]),
+            Record::new(2, vec![Value::U64(3)]),
+            Record::new(3, vec![Value::U64(0)]),
+        ];
+        let batch = Batch::from_records(schema, &recs).unwrap();
+        let mut out = Vec::new();
+        op.process_batch(batch, &mut out);
+        let rows: Vec<Record> = out.iter().flat_map(Batch::to_records).collect();
+        assert_eq!(rows, vec![recs[0].clone(), recs[2].clone()]);
+        assert_eq!(op.kind(), OpKind::Filter);
+    }
+}

@@ -5,8 +5,8 @@
 //! downstream stateful operators), matching the paper's treatment of `W` as a
 //! negligible-cost stage.
 
+use crate::batch::Batch;
 use crate::ops::{CostModel, OpKind, Operator};
-use crate::record::Record;
 use crate::schema::SchemaRef;
 use crate::window::TumblingWindow;
 
@@ -42,8 +42,10 @@ impl Operator for WindowAssignOp {
         self.schema.clone()
     }
 
-    fn process(&mut self, rec: Record, out: &mut Vec<Record>) {
-        out.push(rec);
+    fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) {
+        if !batch.is_empty() {
+            out.push(batch);
+        }
     }
 
     fn cost_us(&self) -> f64 {
@@ -56,21 +58,23 @@ impl Operator for WindowAssignOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::Record;
     use crate::schema::{DataType, Field, Schema};
     use crate::time::secs;
     use crate::value::Value;
 
     #[test]
-    fn passes_records_through() {
+    fn passes_batches_through() {
         let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
         let mut w = WindowAssignOp::new(
             TumblingWindow::new(secs(10.0)),
-            schema,
+            schema.clone(),
             CostModel::fixed(0.1),
         );
+        let batch = Batch::from_records(schema, &[Record::new(5, vec![Value::I64(1)])]).unwrap();
         let mut out = Vec::new();
-        w.process(Record::new(5, vec![Value::I64(1)]), &mut out);
-        assert_eq!(out.len(), 1);
+        w.process_batch(batch.clone(), &mut out);
+        assert_eq!(out, vec![batch]);
         assert_eq!(w.window().size, secs(10.0));
     }
 }

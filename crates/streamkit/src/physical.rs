@@ -3,15 +3,18 @@
 //! The same logical plan is instantiated twice in a Jarvis deployment — once
 //! on the data source (stateful ops in [`AggRole::Partial`]) and once on the
 //! stream processor ([`AggRole::Final`]) — so the builder takes the role and
-//! the per-operator cost profile as parameters.
+//! the per-operator cost profile as parameters. Pipelines are batch-first:
+//! every stage implements [`Operator::process_batch`]. The deprecated
+//! [`build_row_pipeline`] builds the same chain from the scalar
+//! record-at-a-time shims instead, for migration and differential testing.
 
+use crate::batch::Batch;
 use crate::error::{Error, Result};
 use crate::logical::{LogicalOp, LogicalPlan};
 use crate::ops::{
     AggRole, CostModel, FilterOp, GroupAggregateOp, JoinOp, MapOp, OpKind, Operator, ProjectOp,
     WindowAssignOp,
 };
-use crate::record::Record;
 use crate::window::TumblingWindow;
 
 /// Per-operator cost models, aligned with the logical plan's op indices.
@@ -56,7 +59,7 @@ pub fn default_cost(kind: OpKind) -> CostModel {
     }
 }
 
-/// Builds the executable pipeline for `plan`.
+/// Builds the executable (vectorized, batch-first) pipeline for `plan`.
 ///
 /// `role` applies to stateful operators: `Partial` instances accumulate
 /// mergeable state for shipping, `Final` instances emit results.
@@ -110,28 +113,95 @@ pub fn build_pipeline(
     Ok(ops)
 }
 
+/// Builds the same chain from the deprecated record-at-a-time shims
+/// ([`crate::ops::row`]), each wrapped in a
+/// [`RowAdapter`](crate::ops::RowAdapter) so it plugs into batch pipelines.
+/// Exists for one release as the migration path and differential-test
+/// oracle.
+#[deprecated(note = "use `build_pipeline`; the row shims exist only for migration/testing")]
+#[allow(deprecated)]
+pub fn build_row_pipeline(
+    plan: &LogicalPlan,
+    costs: &CostProfile,
+    role: AggRole,
+) -> Result<Vec<Box<dyn Operator>>> {
+    use crate::ops::row::{
+        RowAdapter, RowFilterOp, RowGroupAggregateOp, RowJoinOp, RowMapOp, RowOperator,
+        RowProjectOp, RowWindowAssignOp,
+    };
+    plan.validate()?;
+    let schemas = plan.edge_schemas()?;
+    let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(plan.ops.len());
+    for (i, op) in plan.ops.iter().enumerate() {
+        let input = &schemas[i];
+        let output = &schemas[i + 1];
+        let cost = costs.for_op(i, op.kind());
+        let built: Box<dyn RowOperator> = match op {
+            LogicalOp::Window { .. } => Box::new(RowWindowAssignOp::new(output.clone(), cost)),
+            LogicalOp::Filter { predicate } => {
+                Box::new(RowFilterOp::new(predicate.clone(), output.clone(), cost))
+            }
+            LogicalOp::Map { f } => Box::new(RowMapOp::new(f.clone(), output.clone(), cost)),
+            LogicalOp::Project { cols } => {
+                Box::new(RowProjectOp::new(cols.clone(), output.clone(), cost))
+            }
+            LogicalOp::GroupAggregate { keys, aggs, emit } => {
+                let window = plan
+                    .window_for(i)
+                    .ok_or_else(|| Error::InvalidPlan("stateful op without window".into()))?;
+                Box::new(RowGroupAggregateOp::new(
+                    keys.clone(),
+                    aggs.clone(),
+                    input,
+                    TumblingWindow::new(window),
+                    *emit,
+                    role,
+                    cost,
+                ))
+            }
+            LogicalOp::Join {
+                table,
+                key_col,
+                miss,
+            } => Box::new(RowJoinOp::new(table.clone(), *key_col, *miss, input, cost)?),
+        };
+        ops.push(Box::new(RowAdapter::new(built)));
+    }
+    Ok(ops)
+}
+
 /// Closes every window open at watermark `wm` across a built pipeline and
-/// routes the emissions through the downstream stages, returning the rows
+/// routes the emissions through the downstream stages, returning the batches
 /// that exit the chain. This is the single end-of-run flush shared by every
 /// execution backend — exact merged results depend on all of them closing
 /// windows the same way.
-pub fn drain_windows(ops: &mut [Box<dyn Operator>], wm: crate::time::Ts) -> Vec<Record> {
+pub fn drain_windows(ops: &mut [Box<dyn Operator>], wm: crate::time::Ts) -> Vec<Batch> {
     let n = ops.len();
     let mut out = Vec::new();
     for i in 0..n {
-        let mut emitted = Vec::new();
-        ops[i].on_watermark(wm, &mut emitted);
-        let mut batch = emitted;
+        let mut batches: Vec<Batch> = Vec::new();
+        ops[i].on_watermark(wm, &mut batches);
         for later in ops.iter_mut().take(n).skip(i + 1) {
             let mut next = Vec::new();
-            for rec in batch.drain(..) {
-                later.process(rec, &mut next);
+            for batch in batches.drain(..) {
+                later.process_batch(batch, &mut next);
             }
-            batch = next;
+            batches = next;
         }
-        out.extend(batch);
+        out.extend(batches);
     }
     out
+}
+
+/// Row-oriented view of [`drain_windows`] (collection/fingerprinting paths).
+pub fn drain_windows_rows(
+    ops: &mut [Box<dyn Operator>],
+    wm: crate::time::Ts,
+) -> Vec<crate::record::Record> {
+    drain_windows(ops, wm)
+        .iter()
+        .flat_map(Batch::to_records)
+        .collect()
 }
 
 #[cfg(test)]
@@ -161,23 +231,19 @@ mod tests {
             .unwrap()
     }
 
-    fn run_chain(ops: &mut [Box<dyn Operator>], records: Vec<Record>) -> Vec<Record> {
-        let mut cur = records;
+    fn run_chain(ops: &mut [Box<dyn Operator>], batch: Batch) -> Vec<Batch> {
+        let mut cur = vec![batch];
         for op in ops.iter_mut() {
             let mut next = Vec::new();
-            for r in cur {
-                op.process(r, &mut next);
+            for b in cur {
+                op.process_batch(b, &mut next);
             }
             cur = next;
         }
         cur
     }
 
-    #[test]
-    fn builds_and_executes_end_to_end() {
-        let plan = s2s_plan();
-        let mut ops = build_pipeline(&plan, &CostProfile::default(), AggRole::Final).unwrap();
-        assert_eq!(ops.len(), 3);
+    fn input_batch(plan: &LogicalPlan) -> Batch {
         let recs = vec![
             Record::new(
                 secs(1.0),
@@ -192,14 +258,41 @@ mod tests {
                 vec![Value::U64(1), Value::U64(2), Value::U64(300), Value::U64(0)],
             ),
         ];
-        let direct = run_chain(&mut ops, recs);
+        Batch::from_records(plan.edge_schemas().unwrap()[0].clone(), &recs).unwrap()
+    }
+
+    #[test]
+    fn builds_and_executes_end_to_end() {
+        let plan = s2s_plan();
+        let mut ops = build_pipeline(&plan, &CostProfile::default(), AggRole::Final).unwrap();
+        assert_eq!(ops.len(), 3);
+        let direct = run_chain(&mut ops, input_batch(&plan));
         assert!(direct.is_empty(), "aggregation holds state until close");
         let mut out = Vec::new();
         for op in ops.iter_mut() {
             op.on_watermark(secs(10.0), &mut out);
         }
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].values[3], Value::F64(200.0)); // avg of 100,300
+        let rows: Vec<Record> = out.iter().flat_map(Batch::to_records).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[3], Value::F64(200.0)); // avg of 100,300
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn row_pipeline_matches_batch_pipeline() {
+        let plan = s2s_plan();
+        let costs = CostProfile::default();
+        let mut batch_ops = build_pipeline(&plan, &costs, AggRole::Final).unwrap();
+        let mut row_ops = build_row_pipeline(&plan, &costs, AggRole::Final).unwrap();
+        let residue_b = run_chain(&mut batch_ops, input_batch(&plan));
+        let residue_r = run_chain(&mut row_ops, input_batch(&plan));
+        assert!(residue_b.is_empty() && residue_r.is_empty());
+        let rows =
+            |out: Vec<Batch>| -> Vec<Record> { out.iter().flat_map(Batch::to_records).collect() };
+        assert_eq!(
+            rows(drain_windows(&mut batch_ops, secs(10.0))),
+            rows(drain_windows(&mut row_ops, secs(10.0)))
+        );
     }
 
     #[test]

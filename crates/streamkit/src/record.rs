@@ -30,11 +30,14 @@ impl Record {
 
     /// Encoded size in bytes under `schema`, including the 8-byte timestamp
     /// and the schema's per-record envelope. This is the quantity all network
-    /// accounting uses.
+    /// accounting uses; it is derived from the batch layout
+    /// ([`crate::batch::layout`]), so a record and its batched form always
+    /// account identically.
     pub fn wire_size(&self, schema: &Schema) -> usize {
-        let mut size = Schema::TS_WIRE_BYTES + schema.record_overhead();
+        use crate::batch::layout;
+        let mut size = layout::row_envelope(schema);
         for (field, value) in schema.fields().iter().zip(&self.values) {
-            size += field.dtype.wire_size(value);
+            size += layout::value_bytes(field.dtype, value);
         }
         size
     }

@@ -42,15 +42,10 @@ impl DataType {
         }
     }
 
-    /// Encoded width of a concrete value of this type.
+    /// Encoded width of a concrete value of this type (delegates to the
+    /// batch layout, the single source of wire-size truth).
     pub fn wire_size(self, value: &Value) -> usize {
-        match self {
-            DataType::Str => match value {
-                Value::Str(s) => 2 + s.len(),
-                _ => 2,
-            },
-            other => other.fixed_width().unwrap_or(0),
-        }
+        crate::batch::layout::value_bytes(self, value)
     }
 }
 

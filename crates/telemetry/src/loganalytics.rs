@@ -6,14 +6,15 @@
 //! derivation from [11]: 10s of PB/day over 200 K nodes ⇒ 0.62 MB/s
 //! (4.96 Mbps) per node, scaled 10× for experiments.
 
+use bytes::Bytes;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use streamkit::batch::{layout, Batch, Column};
 use streamkit::record::Record;
 use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 use streamkit::time::Ts;
-use streamkit::value::Value;
 
 use crate::anomaly::AnomalySchedule;
 
@@ -116,8 +117,10 @@ impl LogGenerator {
         )
     }
 
-    /// Generates one epoch of log lines starting at `epoch_start` (µs).
-    pub fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record> {
+    /// Generates one epoch of log lines starting at `epoch_start` (µs),
+    /// directly in columnar form (one string column, bytes appended in
+    /// place).
+    pub fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
         let t_s = epoch_start as f64 / 1e6;
         let burst = self
             .cfg
@@ -129,11 +132,14 @@ impl LogGenerator {
             .fold(1.0_f64, f64::max);
         let mut budget =
             self.cfg.bytes_per_sec * self.cfg.scale * burst * epoch_secs + self.carry_bytes;
-        let mut out = Vec::new();
         // Lines average ~90 B; emit until the byte budget for the epoch runs
         // out, spreading timestamps evenly by bytes emitted.
         let total_budget = budget;
         let schema = log_schema();
+        let per_row_envelope = layout::row_envelope(&schema);
+        let mut timestamps = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
+        let mut data: Vec<u8> = Vec::new();
         while budget > 0.0 {
             let line = if self.rng.gen_bool(self.cfg.match_rate) {
                 self.matching_line()
@@ -143,8 +149,7 @@ impl LogGenerator {
             self.seq += 1;
             let frac = 1.0 - budget / total_budget;
             let ts = epoch_start + (frac * epoch_secs * 1e6) as Ts;
-            let rec = Record::new(ts, vec![Value::str(&line)]);
-            let size = rec.wire_size(&schema) as f64;
+            let size = (per_row_envelope + layout::str_bytes(line.len())) as f64;
             if size > budget {
                 // Not enough budget left for this line: carry the remainder.
                 self.carry_bytes = budget;
@@ -153,12 +158,27 @@ impl LogGenerator {
                 break;
             }
             budget -= size;
-            out.push(rec);
+            timestamps.push(ts);
+            data.extend_from_slice(line.as_bytes());
+            offsets.push(data.len() as u32);
         }
         if budget <= 0.0 {
             self.carry_bytes = 0.0;
         }
-        out
+        Batch {
+            schema,
+            timestamps,
+            columns: vec![Column::Str {
+                offsets,
+                data: Bytes::from(data),
+            }],
+        }
+    }
+
+    /// Row-oriented view of [`LogGenerator::generate_epoch_batch`].
+    pub fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record> {
+        self.generate_epoch_batch(epoch_start, epoch_secs)
+            .to_records()
     }
 }
 

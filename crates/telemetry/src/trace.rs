@@ -6,8 +6,11 @@
 
 use std::io::{self, BufRead, Write};
 
+use streamkit::batch::Batch;
 use streamkit::record::Record;
+use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 use streamkit::time::Ts;
+use streamkit::value::Value;
 
 /// Writes records as JSON lines.
 pub fn write_trace<W: Write>(mut w: W, records: &[Record]) -> io::Result<()> {
@@ -35,14 +38,51 @@ pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<Record>> {
 #[derive(Debug, Clone)]
 pub struct ReplayGenerator {
     records: Vec<Record>,
+    schema: SchemaRef,
     cursor: usize,
 }
 
+/// Infers a batch schema from replayed values (traces carry no schema). The
+/// inferred types only matter for columnar layout, not wire accounting of
+/// the original stream.
+fn infer_schema(records: &[Record]) -> SchemaRef {
+    let width = records.first().map_or(0, |r| r.values.len());
+    let fields = (0..width)
+        .map(|c| {
+            let dtype = records
+                .iter()
+                .find_map(|r| match r.values.get(c) {
+                    Some(Value::Bool(_)) => Some(DataType::Bool),
+                    Some(Value::I64(_)) => Some(DataType::I64),
+                    Some(Value::U64(_)) => Some(DataType::U64),
+                    Some(Value::F64(_)) => Some(DataType::F64),
+                    Some(Value::Str(_)) => Some(DataType::Str),
+                    _ => None,
+                })
+                .unwrap_or(DataType::I64);
+            Field::new(format!("c{c}"), dtype)
+        })
+        .collect();
+    Schema::new(fields)
+}
+
 impl ReplayGenerator {
-    /// Creates a replayer; records are sorted by timestamp.
-    pub fn new(mut records: Vec<Record>) -> ReplayGenerator {
+    /// Creates a replayer; records are sorted by timestamp and the batch
+    /// schema is inferred from the values.
+    pub fn new(records: Vec<Record>) -> ReplayGenerator {
+        let schema = infer_schema(&records);
+        ReplayGenerator::with_schema(records, schema)
+    }
+
+    /// Creates a replayer with an explicit schema (preserves envelope
+    /// overhead for wire accounting).
+    pub fn with_schema(mut records: Vec<Record>, schema: SchemaRef) -> ReplayGenerator {
         records.sort_by_key(|r| r.ts);
-        ReplayGenerator { records, cursor: 0 }
+        ReplayGenerator {
+            records,
+            schema,
+            cursor: 0,
+        }
     }
 
     /// Remaining record count.
@@ -61,6 +101,13 @@ impl ReplayGenerator {
             self.cursor += 1;
         }
         out
+    }
+
+    /// Columnar view of [`ReplayGenerator::generate_epoch`].
+    pub fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        let rows = self.generate_epoch(epoch_start, epoch_secs);
+        Batch::from_records(self.schema.clone(), &rows)
+            .expect("replayed records match the trace schema")
     }
 }
 
