@@ -14,9 +14,10 @@
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jarvis_bench::measure::run_chain;
 use streamkit::batch::Batch;
-use streamkit::ops::{AggRole, Operator};
-use streamkit::physical::{build_pipeline, drain_windows, CostProfile};
+use streamkit::ops::AggRole;
+use streamkit::physical::{build_pipeline, CostProfile};
 use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
 
 fn input(n_epochs: i64) -> Vec<Batch> {
@@ -27,29 +28,6 @@ fn input(n_epochs: i64) -> Vec<Batch> {
     (0..n_epochs)
         .map(|e| gen.generate_epoch_batch(e * 1_000_000, 1.0))
         .collect()
-}
-
-fn run_chain(ops: &mut [Box<dyn Operator>], batches: &[Batch]) -> usize {
-    let mut emitted = 0;
-    for batch in batches {
-        let mut cur = vec![batch.clone()];
-        for op in ops.iter_mut() {
-            let mut next = Vec::new();
-            for b in cur {
-                op.process_batch(b, &mut next);
-            }
-            cur = next;
-        }
-        emitted += cur.iter().map(Batch::len).sum::<usize>();
-    }
-    emitted += drain_windows(ops, streamkit::time::TS_MAX)
-        .iter()
-        .map(Batch::len)
-        .sum::<usize>();
-    for op in ops.iter_mut() {
-        op.reset();
-    }
-    emitted
 }
 
 fn bench_row_vs_batch(c: &mut Criterion) {

@@ -1,0 +1,136 @@
+//! Str-keyed vs dict-keyed group-aggregate throughput for the perf
+//! trajectory.
+//!
+//! Same workload as the `group_agg` criterion group: the LogAnalytics-style
+//! windowed group-by (tenant × stat name keys, Sum/Avg/Max over the stat
+//! column) over structured telemetry epochs, keyed off plain string columns
+//! and off native dictionary columns. This runner produces the
+//! machine-readable `group_agg` series in `BENCH_throughput.json`.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use streamkit::agg::{AggKind, AggSpec};
+use streamkit::batch::Batch;
+use streamkit::ops::{AggRole, CostModel, EmitMode, GroupAggregateOp, Operator};
+use streamkit::window::TumblingWindow;
+use telemetry::loganalytics::{structured_log_schema, LogConfig, LogGenerator};
+
+use crate::measure::{best_secs, run_op};
+
+/// Which physical layout the group keys arrive in.
+#[derive(Debug, Clone, Copy)]
+pub enum GroupKeyLayout {
+    /// Plain `Column::Str` keys (the pre-dictionary batch baseline).
+    Str,
+    /// Native `Column::Dict` keys.
+    Dict,
+}
+
+/// The same structured epochs in both key layouts.
+pub struct StructuredEpochs {
+    /// Native dictionary key columns.
+    pub dict: Vec<Batch>,
+    /// The identical rows with keys materialised as plain strings.
+    pub str: Vec<Batch>,
+}
+
+/// Generates `n` structured LogAnalytics epochs (deterministic seed) in
+/// both key layouts.
+pub fn structured_epochs(n: i64) -> StructuredEpochs {
+    let mut gen = LogGenerator::new(LogConfig {
+        scale: 0.5,
+        ..Default::default()
+    });
+    let dict: Vec<Batch> = (0..n)
+        .map(|e| gen.generate_structured_epoch_batch(e * 1_000_000, 1.0))
+        .collect();
+    let str: Vec<Batch> = dict
+        .iter()
+        .map(|b| {
+            let mut plain = b.clone();
+            plain.dict_decode();
+            plain
+        })
+        .collect();
+    StructuredEpochs { dict, str }
+}
+
+/// Builds the LogAnalytics-style aggregation: group by (tenant, stat_name),
+/// fold Sum/Avg/Max over the stat column in 10-second windows.
+pub fn build_group_op(_layout: GroupKeyLayout) -> Box<dyn Operator> {
+    // The operator is layout-agnostic — the layout lives in the batches —
+    // but taking it as a parameter keeps call sites explicit about which
+    // arm they measure.
+    Box::new(GroupAggregateOp::new(
+        vec![0, 1],
+        vec![
+            AggSpec::new(AggKind::Sum, 2, "sum_stat"),
+            AggSpec::new(AggKind::Avg, 2, "avg_stat"),
+            AggSpec::new(AggKind::Max, 2, "max_stat"),
+        ],
+        &structured_log_schema(),
+        TumblingWindow::new(10_000_000),
+        EmitMode::OnWindowClose,
+        AggRole::Final,
+        CostModel::fixed(1.0),
+    ))
+}
+
+/// Result of one str-vs-dict group-aggregate measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupAggResult {
+    /// Workload identifier.
+    pub pipeline: String,
+    /// Rows pushed through each path per iteration.
+    pub rows: u64,
+    /// Measured iterations per path.
+    pub iters: u32,
+    /// Str-keyed throughput, rows/second (best over iterations).
+    pub str_rows_per_sec: f64,
+    /// Str-keyed cost, nanoseconds/row.
+    pub str_ns_per_row: f64,
+    /// Dict-keyed throughput, rows/second (best over iterations).
+    pub dict_rows_per_sec: f64,
+    /// Dict-keyed cost, nanoseconds/row.
+    pub dict_ns_per_row: f64,
+    /// dict / str speedup factor.
+    pub speedup: f64,
+}
+
+/// Measures the LogAnalytics-style group-aggregate through both key
+/// layouts. `iters` timed iterations per path.
+pub fn bench_group_agg(iters: u32) -> GroupAggResult {
+    let epochs = structured_epochs(4);
+    let rows: u64 = epochs.dict.iter().map(|b| b.len() as u64).sum();
+
+    let time = |layout: GroupKeyLayout, batches: &[Batch]| -> f64 {
+        let mut op = build_group_op(layout);
+        run_op(op.as_mut(), batches); // warm-up
+        let samples: Vec<f64> = (0..iters.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let emitted = run_op(op.as_mut(), batches);
+                let dt = start.elapsed().as_secs_f64();
+                assert!(emitted > 0, "the aggregation must emit results");
+                dt
+            })
+            .collect();
+        best_secs(samples)
+    };
+
+    let str_secs = time(GroupKeyLayout::Str, &epochs.str);
+    let dict_secs = time(GroupKeyLayout::Dict, &epochs.dict);
+    let str_rps = rows as f64 / str_secs;
+    let dict_rps = rows as f64 / dict_secs;
+    GroupAggResult {
+        pipeline: "LogAnalytics group-by (tenant, stat_name) Sum/Avg/Max".into(),
+        rows,
+        iters: iters.max(1),
+        str_rows_per_sec: str_rps,
+        str_ns_per_row: 1e9 / str_rps,
+        dict_rows_per_sec: dict_rps,
+        dict_ns_per_row: 1e9 / dict_rps,
+        speedup: dict_rps / str_rps,
+    }
+}

@@ -6,8 +6,11 @@
 //! EXPERIMENTS.md.
 
 pub mod figures;
+pub mod groupagg;
+pub mod measure;
 pub mod output;
 pub mod rowbatch;
 
 pub use figures::*;
-pub use rowbatch::{bench_throughput, RowBatchResult};
+pub use groupagg::{bench_group_agg, GroupAggResult};
+pub use rowbatch::{bench_throughput, RowBatchResult, ThroughputReport};

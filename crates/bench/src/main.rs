@@ -10,8 +10,11 @@
 //! overhead, bench.
 //!
 //! `bench` is not a paper figure: it measures the row-shim vs batch-path
-//! operator throughput and (with `--json`) writes `BENCH_throughput.json`,
-//! the perf-trajectory artifact CI uploads.
+//! operator throughput and the str-keyed vs dict-keyed group-aggregate
+//! kernels, and (with `--json`) writes `BENCH_throughput.json`, the
+//! perf-trajectory artifact CI uploads. With `--check` it additionally
+//! fails (exit 1) when a measured speedup regresses more than 20% below
+//! the committed baseline.
 
 use jarvis_bench::output::{f2, render_ascii_chart, render_table, write_json};
 use jarvis_bench::*;
@@ -19,6 +22,7 @@ use jarvis_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -57,7 +61,7 @@ fn main() {
             "latency" => run_latency(json),
             "opcount" => run_opcount(json),
             "overhead" => run_overhead(json),
-            "bench" => run_bench(json),
+            "bench" => run_bench(json, check),
             other => {
                 eprintln!("unknown experiment: {other}");
                 eprintln!("known: {}, bench", all.join(", "));
@@ -299,15 +303,65 @@ fn run_overhead(json: bool) {
     maybe_json(json, "overhead", &r);
 }
 
-fn run_bench(json: bool) {
-    let r = bench_throughput(5);
+fn run_bench(json: bool, check: bool) {
+    // Load the committed baseline before the JSON write below overwrites it.
+    let baseline: Option<ThroughputReport> = check
+        .then(|| {
+            let path = jarvis_bench::output::out_dir().join("BENCH_throughput.json");
+            let raw = std::fs::read_to_string(&path)
+                .map_err(|e| eprintln!("[no committed baseline at {}: {e}]", path.display()))
+                .ok()?;
+            serde_json::from_str(&raw)
+                .map_err(|e| eprintln!("[unreadable baseline: {e}]"))
+                .ok()
+        })
+        .flatten();
+
+    let report = ThroughputReport {
+        row_vs_batch: bench_throughput(15),
+        group_agg: bench_group_agg(15),
+    };
+    let r = &report.row_vs_batch;
     println!("Operator throughput: legacy row shim vs vectorized batch path");
     println!("  pipeline : {}", r.pipeline);
     println!("  rows/iter: {}", r.rows);
     println!("  row path : {:.0} records/s", r.row_records_per_sec);
     println!("  batch    : {:.0} records/s", r.batch_records_per_sec);
     println!("  speedup  : {:.2}x (target: >= 2x)", r.speedup);
-    maybe_json(json, "BENCH_throughput", &r);
+    let g = &report.group_agg;
+    println!("Group-aggregate kernels: str keys vs dict keys");
+    println!("  pipeline : {}", g.pipeline);
+    println!("  rows/iter: {}", g.rows);
+    println!(
+        "  str keys : {:.0} rows/s ({:.0} ns/row)",
+        g.str_rows_per_sec, g.str_ns_per_row
+    );
+    println!(
+        "  dict keys: {:.0} rows/s ({:.0} ns/row)",
+        g.dict_rows_per_sec, g.dict_ns_per_row
+    );
+    println!("  speedup  : {:.2}x (target: >= 1.5x)", g.speedup);
+    maybe_json(json, "BENCH_throughput", &report);
+
+    if check {
+        match baseline {
+            Some(baseline) => {
+                let regressions = report.regressions_vs(&baseline);
+                if regressions.is_empty() {
+                    println!("[check] all speedups within tolerance of the committed baseline");
+                } else {
+                    for r in &regressions {
+                        eprintln!("[check] REGRESSION: {r}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("[check] FAILED: no committed baseline to compare against");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn maybe_json<T: serde::Serialize>(json: bool, name: &str, value: &T) {

@@ -11,8 +11,54 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 use streamkit::batch::Batch;
 use streamkit::ops::{AggRole, Operator};
-use streamkit::physical::{build_pipeline, drain_windows, CostProfile};
+use streamkit::physical::{build_pipeline, CostProfile};
 use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+
+use crate::measure::{best_secs, run_chain};
+
+/// The perf-trajectory artifact (`BENCH_throughput.json`): one series per
+/// optimized hot path. CI re-measures and fails loudly when a series'
+/// speedup regresses more than 20% against the committed numbers (speedup
+/// ratios, not absolute rates, so the gate is machine-independent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Legacy row shim vs vectorized batch path (PR 2).
+    pub row_vs_batch: RowBatchResult,
+    /// Str-keyed vs dict-keyed group aggregation (PR 3).
+    pub group_agg: crate::groupagg::GroupAggResult,
+}
+
+/// Allowed relative speedup regression before the CI gate fails.
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+impl ThroughputReport {
+    /// Compares this (freshly measured) report against committed baseline
+    /// numbers. Returns the list of human-readable regressions — empty when
+    /// every series is within tolerance.
+    pub fn regressions_vs(&self, baseline: &ThroughputReport) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut check = |name: &str, measured: f64, committed: f64| {
+            if measured < committed * (1.0 - REGRESSION_TOLERANCE) {
+                out.push(format!(
+                    "{name}: measured speedup {measured:.2}x is more than {:.0}% below \
+                     the committed {committed:.2}x",
+                    REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        };
+        check(
+            "row_vs_batch",
+            self.row_vs_batch.speedup,
+            baseline.row_vs_batch.speedup,
+        );
+        check(
+            "group_agg",
+            self.group_agg.speedup,
+            baseline.group_agg.speedup,
+        );
+        out
+    }
+}
 
 /// Result of one row-vs-batch throughput measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,40 +69,12 @@ pub struct RowBatchResult {
     pub rows: u64,
     /// Measured iterations per path.
     pub iters: u32,
-    /// Row-shim throughput, records/second (median over iterations).
+    /// Row-shim throughput, records/second (best over iterations).
     pub row_records_per_sec: f64,
-    /// Batch-path throughput, records/second (median over iterations).
+    /// Batch-path throughput, records/second (best over iterations).
     pub batch_records_per_sec: f64,
     /// batch / row speedup factor.
     pub speedup: f64,
-}
-
-fn run_chain(ops: &mut [Box<dyn Operator>], batches: &[Batch]) -> usize {
-    let mut emitted = 0;
-    for batch in batches {
-        let mut cur = vec![batch.clone()];
-        for op in ops.iter_mut() {
-            let mut next = Vec::new();
-            for b in cur {
-                op.process_batch(b, &mut next);
-            }
-            cur = next;
-        }
-        emitted += cur.iter().map(Batch::len).sum::<usize>();
-    }
-    emitted += drain_windows(ops, streamkit::time::TS_MAX)
-        .iter()
-        .map(Batch::len)
-        .sum::<usize>();
-    for op in ops.iter_mut() {
-        op.reset();
-    }
-    emitted
-}
-
-fn median_secs(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
 }
 
 /// Measures the S2SProbe chain through the legacy row shim and the
@@ -83,7 +101,7 @@ pub fn bench_throughput(iters: u32) -> RowBatchResult {
                 dt
             })
             .collect();
-        median_secs(samples)
+        best_secs(samples)
     };
 
     #[allow(deprecated)]

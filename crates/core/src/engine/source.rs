@@ -746,6 +746,56 @@ mod tests {
     }
 
     #[test]
+    fn drained_dict_batches_ship_the_smaller_dict_layout() {
+        // LogAnalytics with the group stage pinned remote: batches drained
+        // after ParseJobStats carry dictionary-encoded tenant / stat-name
+        // columns, and the engine charges the (smaller) dict wire layout —
+        // `Batch::wire_size` is the single source of truth either way.
+        use telemetry::loganalytics::{LogConfig, LogGenerator};
+
+        let planned =
+            plan_query(telemetry::queries::log_analytics(), &RuleConfig::default()).unwrap();
+        let mut cfg = SourceConfig::new(1, 1.0, StrategyKind::Jarvis);
+        cfg.cpu_jitter = 0.0;
+        let mut eng = SourceEngine::new(&planned, &crate::calibration::log_cost_profile(), cfg);
+        let n_ops = planned.plan.ops.len();
+        // Run everything up to (and including) the parse locally, drain the
+        // rest to the SP replica.
+        let mut factors = vec![1.0; n_ops];
+        for f in factors.iter_mut().skip(4) {
+            *f = 0.0;
+        }
+        eng.set_load_factors(&factors);
+        let mut gen = LogGenerator::new(LogConfig {
+            scale: 0.2,
+            ..Default::default()
+        });
+        let result = eng.run_epoch(gen.generate_epoch_batch(0, 1.0), 0);
+        let mut saw_dict_drain = false;
+        for (payload, bytes, _) in &result.payloads {
+            if let NetPayload::Records { batch, .. } = payload {
+                assert_eq!(*bytes, batch.wire_size(), "charged = layout-derived");
+                if batch.columns.iter().any(|c| c.as_dict().is_some()) {
+                    saw_dict_drain = true;
+                    let mut plain = batch.clone();
+                    plain.dict_decode();
+                    assert!(
+                        batch.wire_size() < plain.wire_size(),
+                        "dict drain {} must undercut plain {}",
+                        batch.wire_size(),
+                        plain.wire_size()
+                    );
+                    assert_eq!(plain.to_records(), batch.to_records());
+                }
+            }
+        }
+        assert!(
+            saw_dict_drain,
+            "post-parse drains must carry dict columns (factors {factors:?})"
+        );
+    }
+
+    #[test]
     fn all_src_consumes_records_locally() {
         let mut eng = engine(StrategyKind::AllSrc, 1.0);
         let input = epoch_input(0, 1.0);

@@ -7,7 +7,9 @@
 //! relied on, and [`layout`] is the single source of truth for wire-size
 //! accounting (row-oriented [`Record::wire_size`] delegates to it too).
 
+use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -21,10 +23,35 @@ use crate::value::Value;
 /// derived from these rules, whether the caller holds a `Record` or a
 /// [`Batch`].
 pub mod layout {
-    use super::{DataType, Schema, Value};
+    use super::{DataType, Schema, StrDict, Value};
 
     /// Length prefix carried by every string value on the wire.
     pub const STR_LEN_PREFIX_BYTES: usize = 2;
+
+    /// Per-row bytes of a dictionary-encoded string column: each row ships a
+    /// fixed-width code into the column's dictionary page.
+    pub const DICT_CODE_BYTES: usize = 4;
+
+    /// Header of a dictionary page (entry count).
+    pub const DICT_PAGE_HEADER_BYTES: usize = 4;
+
+    /// Encoded size of a dictionary page: header plus every distinct entry
+    /// once, each with the usual string length prefix. The page is charged
+    /// once per encoded batch, not per row — that is what makes dictionary
+    /// columns cheaper than plain strings for low-cardinality fields.
+    pub fn dict_page_bytes(dict: &StrDict) -> usize {
+        DICT_PAGE_HEADER_BYTES + dict.iter().map(|s| str_bytes(s.len())).sum::<usize>()
+    }
+
+    /// Total wire bytes of a dictionary column carrying `rows` codes over
+    /// `dict`. An empty column ships nothing (no page either).
+    pub fn dict_bytes(dict: &StrDict, rows: usize) -> usize {
+        if rows == 0 {
+            0
+        } else {
+            dict_page_bytes(dict) + DICT_CODE_BYTES * rows
+        }
+    }
 
     /// Per-row envelope: the 8-byte event timestamp plus the schema's
     /// serialisation overhead.
@@ -47,6 +74,144 @@ pub mod layout {
     }
 }
 
+/// An ordered dictionary of distinct strings backing a [`Column::Dict`].
+///
+/// Entries are stored like a small string column (one more offset than
+/// entries, UTF-8 bytes in `data`); codes are indexes into it. The
+/// dictionary is immutable once a column is built — slicing and selecting
+/// share it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StrDict {
+    offsets: Vec<u32>,
+    data: Vec<u8>,
+}
+
+impl StrDict {
+    /// An empty dictionary.
+    pub fn new() -> StrDict {
+        StrDict {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a dictionary from entries in order (entries need not be
+    /// distinct, but codes always refer to positions).
+    pub fn from_entries<S: AsRef<str>>(entries: impl IntoIterator<Item = S>) -> StrDict {
+        let mut d = StrDict::new();
+        for e in entries {
+            d.push(e.as_ref());
+        }
+        d
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an entry, returning its code.
+    pub fn push(&mut self, s: &str) -> u32 {
+        let code = self.len() as u32;
+        self.data.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.data.len() as u32);
+        code
+    }
+
+    /// The entry for `code`.
+    pub fn get(&self, code: u32) -> &str {
+        let lo = self.offsets[code as usize] as usize;
+        let hi = self.offsets[code as usize + 1] as usize;
+        let s = std::str::from_utf8(&self.data[lo..hi]);
+        debug_assert!(s.is_ok(), "StrDict invariant violated: non-UTF-8 entry");
+        s.unwrap_or("")
+    }
+
+    /// Iterates the entries in code order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(|c| self.get(c as u32))
+    }
+}
+
+/// Incremental builder for a dictionary-encoded string column: interns each
+/// appended string, so repeated values cost one code.
+pub struct DictBuilder {
+    dict: StrDict,
+    lookup: HashMap<Box<str>, u32>,
+    codes: Vec<u32>,
+    /// Validity, allocated lazily on the first `push_null`.
+    nulls: Option<Vec<bool>>,
+}
+
+impl DictBuilder {
+    /// Creates a builder, reserving `capacity` rows.
+    pub fn new(capacity: usize) -> DictBuilder {
+        DictBuilder {
+            dict: StrDict::new(),
+            lookup: HashMap::new(),
+            codes: Vec::with_capacity(capacity),
+            nulls: None,
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Interns `s` and appends its code.
+    pub fn push(&mut self, s: &str) {
+        let code = match self.lookup.get(s) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.push(s);
+                self.lookup.insert(Box::from(s), c);
+                c
+            }
+        };
+        self.codes.push(code);
+        if let Some(nulls) = &mut self.nulls {
+            nulls.push(true);
+        }
+    }
+
+    /// Appends a `Null` row (code 0 filler behind a validity mask; the
+    /// filler points at entry 0, which exists once any row was pushed — an
+    /// all-null column keeps an empty dictionary and never reads it).
+    pub fn push_null(&mut self) {
+        if self.nulls.is_none() {
+            self.nulls = Some(vec![true; self.codes.len()]);
+        }
+        self.codes.push(0);
+        self.nulls.as_mut().expect("allocated above").push(false);
+    }
+
+    /// Finishes the column ([`Column::Opt`]-wrapped when nulls were pushed).
+    pub fn finish(self) -> Column {
+        let dense = Column::Dict {
+            codes: self.codes,
+            dict: Arc::new(self.dict),
+        };
+        match self.nulls {
+            Some(valid) => Column::Opt {
+                valid,
+                values: Box::new(dense),
+            },
+            None => dense,
+        }
+    }
+}
+
 /// A typed column of values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
@@ -59,7 +224,22 @@ pub enum Column {
     /// 64-bit floats.
     F64(Vec<f64>),
     /// Strings: `offsets.len() == rows + 1`, UTF-8 bytes in `data`.
+    ///
+    /// Invariant: `data` is valid UTF-8 and every offset lands on a char
+    /// boundary. Builder paths ([`ColumnBuilder`], wire decode) enforce this
+    /// with debug assertions; [`Column::str_at`] maps a violated invariant
+    /// to `None` (reads as null) in release builds rather than panicking.
     Str { offsets: Vec<u32>, data: Bytes },
+    /// Dictionary-encoded strings: `codes[row]` indexes into `dict`. The
+    /// physical fast path for low-cardinality string fields (tenant names,
+    /// stat names): grouping and predicate kernels work on the codes, and
+    /// the wire layout ships the dictionary page once per batch.
+    Dict {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Shared dictionary page (shared across slices/selections).
+        dict: Arc<StrDict>,
+    },
     /// A column with missing values: `values` stores type-default fillers at
     /// invalid rows (outer-join misses, empty aggregates).
     Opt {
@@ -79,6 +259,7 @@ impl Column {
             Column::U64(v) => v.len(),
             Column::F64(v) => v.len(),
             Column::Str { offsets, .. } => offsets.len().saturating_sub(1),
+            Column::Dict { codes, .. } => codes.len(),
             Column::Opt { valid, .. } => valid.len(),
         }
     }
@@ -95,7 +276,7 @@ impl Column {
             Column::I64(v) => Value::I64(v[row]),
             Column::U64(v) => Value::U64(v[row]),
             Column::F64(v) => Value::F64(v[row]),
-            Column::Str { .. } => Value::str(self.str_at(row).unwrap_or("")),
+            Column::Str { .. } | Column::Dict { .. } => Value::str(self.str_at(row).unwrap_or("")),
             Column::Opt { valid, values } => {
                 if valid[row] {
                     values.value(row)
@@ -114,7 +295,7 @@ impl Column {
             Column::I64(v) => Some(v[row] as f64),
             Column::U64(v) => Some(v[row] as f64),
             Column::F64(v) => Some(v[row]),
-            Column::Str { .. } => None,
+            Column::Str { .. } | Column::Dict { .. } => None,
             Column::Opt { valid, values } => {
                 if valid[row] {
                     values.f64_at(row)
@@ -131,8 +312,14 @@ impl Column {
             Column::Str { offsets, data } => {
                 let lo = offsets[row] as usize;
                 let hi = offsets[row + 1] as usize;
-                std::str::from_utf8(&data[lo..hi]).ok()
+                let s = std::str::from_utf8(&data[lo..hi]);
+                debug_assert!(
+                    s.is_ok(),
+                    "Column::Str invariant violated: non-UTF-8 payload"
+                );
+                s.ok()
             }
+            Column::Dict { codes, dict } => Some(dict.get(codes[row])),
             Column::Opt { valid, values } => {
                 if valid[row] {
                     values.str_at(row)
@@ -164,6 +351,10 @@ impl Column {
                     data: data.slice(lo..hi),
                 }
             }
+            Column::Dict { codes, dict } => Column::Dict {
+                codes: codes[range].to_vec(),
+                dict: dict.clone(),
+            },
             Column::Opt { valid, values } => Column::Opt {
                 valid: valid[range.clone()].to_vec(),
                 values: Box::new(values.slice(range)),
@@ -205,10 +396,167 @@ impl Column {
                     data: Bytes::from(new_data),
                 }
             }
+            Column::Dict { codes, dict } => Column::Dict {
+                codes: filter_by(codes, mask),
+                dict: dict.clone(),
+            },
             Column::Opt { valid, values } => Column::Opt {
                 valid: filter_by(valid, mask),
                 values: Box::new(values.select(mask)),
             },
+        }
+    }
+
+    /// Gathers the listed rows (in order, duplicates allowed) into a new
+    /// column — the take-kernel behind keyed sharding and index joins.
+    pub fn gather(&self, rows: &[u32]) -> Column {
+        let take = |n: usize| {
+            debug_assert!(rows.iter().all(|&r| (r as usize) < n));
+        };
+        match self {
+            Column::Bool(v) => {
+                take(v.len());
+                Column::Bool(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+            Column::I64(v) => {
+                take(v.len());
+                Column::I64(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+            Column::U64(v) => {
+                take(v.len());
+                Column::U64(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+            Column::F64(v) => {
+                take(v.len());
+                Column::F64(rows.iter().map(|&r| v[r as usize]).collect())
+            }
+            Column::Str { offsets, data } => {
+                take(offsets.len().saturating_sub(1));
+                let total: usize = rows
+                    .iter()
+                    .map(|&r| (offsets[r as usize + 1] - offsets[r as usize]) as usize)
+                    .sum();
+                let mut new_offsets = Vec::with_capacity(rows.len() + 1);
+                new_offsets.push(0u32);
+                let mut new_data = Vec::with_capacity(total);
+                for &r in rows {
+                    let lo = offsets[r as usize] as usize;
+                    let hi = offsets[r as usize + 1] as usize;
+                    new_data.extend_from_slice(&data[lo..hi]);
+                    new_offsets.push(new_data.len() as u32);
+                }
+                Column::Str {
+                    offsets: new_offsets,
+                    data: Bytes::from(new_data),
+                }
+            }
+            Column::Dict { codes, dict } => {
+                take(codes.len());
+                Column::Dict {
+                    codes: rows.iter().map(|&r| codes[r as usize]).collect(),
+                    dict: dict.clone(),
+                }
+            }
+            Column::Opt { valid, values } => {
+                take(valid.len());
+                Column::Opt {
+                    valid: rows.iter().map(|&r| valid[r as usize]).collect(),
+                    values: Box::new(values.gather(rows)),
+                }
+            }
+        }
+    }
+
+    /// Dictionary-encodes a string column when its cardinality stays within
+    /// `max_cardinality`. Returns `None` for non-string columns, for string
+    /// columns that exceed the bound (where a dictionary would not pay for
+    /// itself), for values longer than the wire format's u16 length prefix
+    /// can carry, and for columns that are already dictionary-encoded.
+    /// `Opt`-wrapped string columns keep their validity mask.
+    pub fn dict_encode(&self, max_cardinality: usize) -> Option<Column> {
+        // The wire encodes each dictionary entry behind a u16 length; an
+        // oversized value must stay in a plain column rather than truncate.
+        let fits = |s: &str| s.len() <= u16::MAX as usize;
+        match self {
+            Column::Str { .. } => {
+                let rows = self.len();
+                let mut b = DictBuilder::new(rows);
+                for row in 0..rows {
+                    let s = self.str_at(row).unwrap_or("");
+                    if !fits(s) {
+                        return None;
+                    }
+                    b.push(s);
+                    if b.dict.len() > max_cardinality {
+                        return None;
+                    }
+                }
+                Some(b.finish())
+            }
+            Column::Opt { valid, values } => {
+                if !matches!(values.as_ref(), Column::Str { .. }) {
+                    return None;
+                }
+                let mut b = DictBuilder::new(valid.len());
+                for (row, &ok) in valid.iter().enumerate() {
+                    if ok {
+                        let s = values.str_at(row).unwrap_or("");
+                        if !fits(s) {
+                            return None;
+                        }
+                        b.push(s);
+                    } else {
+                        b.push_null();
+                    }
+                    if b.dict.len() > max_cardinality {
+                        return None;
+                    }
+                }
+                Some(b.finish())
+            }
+            _ => None,
+        }
+    }
+
+    /// Materialises a dictionary column back into a plain string column
+    /// (`Opt` wrappers are preserved; null rows get the empty-string filler
+    /// without reading the dictionary — an all-null column's dictionary is
+    /// empty and its code-0 fillers point at nothing); non-dictionary
+    /// columns are cloned.
+    pub fn dict_decode(&self) -> Column {
+        fn decode(codes: &[u32], dict: &StrDict, valid: Option<&[bool]>) -> Column {
+            let mut offsets = Vec::with_capacity(codes.len() + 1);
+            offsets.push(0u32);
+            let mut data = Vec::new();
+            for (row, &c) in codes.iter().enumerate() {
+                if valid.is_none_or(|v| v[row]) {
+                    data.extend_from_slice(dict.get(c).as_bytes());
+                }
+                offsets.push(data.len() as u32);
+            }
+            Column::Str {
+                offsets,
+                data: Bytes::from(data),
+            }
+        }
+        match self {
+            Column::Dict { codes, dict } => decode(codes, dict, None),
+            Column::Opt { valid, values } => Column::Opt {
+                valid: valid.clone(),
+                values: Box::new(match values.as_ref() {
+                    Column::Dict { codes, dict } => decode(codes, dict, Some(valid)),
+                    other => other.dict_decode(),
+                }),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// The dictionary and codes when this is a dense dictionary column.
+    pub fn as_dict(&self) -> Option<(&StrDict, &[u32])> {
+        match self {
+            Column::Dict { codes, dict } => Some((dict, codes)),
+            _ => None,
         }
     }
 
@@ -219,6 +567,7 @@ impl Column {
             Column::Str { offsets, data } => {
                 layout::STR_LEN_PREFIX_BYTES * offsets.len().saturating_sub(1) + data.len()
             }
+            Column::Dict { codes, dict } => layout::dict_bytes(dict, codes.len()),
             Column::Opt { values, .. } => values.wire_bytes(dtype),
             col => dtype.fixed_width().unwrap_or(0) * col.len(),
         }
@@ -313,6 +662,45 @@ impl Batch {
         }
     }
 
+    /// Gathers the listed rows (in order, duplicates allowed) into a new
+    /// batch.
+    pub fn gather(&self, rows: &[u32]) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            timestamps: rows.iter().map(|&r| self.timestamps[r as usize]).collect(),
+            columns: self.columns.iter().map(|c| c.gather(rows)).collect(),
+        }
+    }
+
+    /// Dictionary-encodes every plain string column whose cardinality stays
+    /// within `max_cardinality`, leaving other columns untouched. Returns
+    /// whether any column was re-encoded.
+    pub fn dict_encode(&mut self, max_cardinality: usize) -> bool {
+        let mut changed = false;
+        for col in &mut self.columns {
+            if let Some(dict) = col.dict_encode(max_cardinality) {
+                *col = dict;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Materialises every dictionary column back into plain strings (the
+    /// inverse of [`Batch::dict_encode`], used by differential tests).
+    pub fn dict_decode(&mut self) {
+        for col in &mut self.columns {
+            let has_dict = match col {
+                Column::Dict { .. } => true,
+                Column::Opt { values, .. } => matches!(values.as_ref(), Column::Dict { .. }),
+                _ => false,
+            };
+            if has_dict {
+                *col = col.dict_decode();
+            }
+        }
+    }
+
     /// Relabels the batch with `schema` when every column's physical storage
     /// is compatible with the schema's declared types (engines use this so
     /// wire accounting follows the *plan's* schema rather than whatever a
@@ -326,7 +714,7 @@ impl Batch {
                 Column::I64(_) => matches!(dtype, DataType::I32 | DataType::I64),
                 Column::U64(_) => matches!(dtype, DataType::U32 | DataType::U64),
                 Column::F64(_) => dtype == DataType::F64,
-                Column::Str { .. } => dtype == DataType::Str,
+                Column::Str { .. } | Column::Dict { .. } => dtype == DataType::Str,
                 Column::Opt { values, .. } => compatible(dtype, values),
             }
         }
@@ -493,10 +881,18 @@ impl ColumnBuilder {
             DataType::I32 | DataType::I64 => Column::I64(self.ints),
             DataType::U32 | DataType::U64 => Column::U64(self.uints),
             DataType::F64 => Column::F64(self.floats),
-            DataType::Str => Column::Str {
-                offsets: self.offsets,
-                data: Bytes::from(self.strs),
-            },
+            DataType::Str => {
+                // Builder inputs are &str, so this can only fire if a raw
+                // construction path bypasses the builder API.
+                debug_assert!(
+                    std::str::from_utf8(&self.strs).is_ok(),
+                    "Column::Str invariant violated: builder holds non-UTF-8"
+                );
+                Column::Str {
+                    offsets: self.offsets,
+                    data: Bytes::from(self.strs),
+                }
+            }
         };
         match self.nulls {
             Some(valid) => Column::Opt {
@@ -756,6 +1152,221 @@ mod tests {
         // Whole batch in one chunk; empty batch yields no chunks.
         assert_eq!(batch.chunks(10).count(), 1);
         assert_eq!(batch.slice(0..0).chunks(4).count(), 0);
+    }
+
+    fn dict_col(entries: &[&str], codes: &[u32]) -> Column {
+        Column::Dict {
+            codes: codes.to_vec(),
+            dict: Arc::new(StrDict::from_entries(entries)),
+        }
+    }
+
+    #[test]
+    fn dict_column_reads_like_strings() {
+        let col = dict_col(&["cpu util", "memory util"], &[0, 1, 0, 0]);
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.str_at(2), Some("cpu util"));
+        assert_eq!(col.value(1), Value::str("memory util"));
+        assert_eq!(col.f64_at(0), None);
+    }
+
+    #[test]
+    fn dict_builder_interns_and_handles_nulls() {
+        let mut b = DictBuilder::new(4);
+        b.push("a");
+        b.push("b");
+        b.push_null();
+        b.push("a");
+        let col = b.finish();
+        let Column::Opt { valid, values } = &col else {
+            panic!("nulls must wrap in Opt");
+        };
+        assert_eq!(valid, &vec![true, true, false, true]);
+        let (dict, codes) = values.as_dict().expect("dense dict inside");
+        assert_eq!(dict.len(), 2, "repeated values are interned");
+        assert_eq!(codes, &[0, 1, 0, 0]);
+        assert_eq!(col.str_at(3), Some("a"));
+        assert_eq!(col.value(2), Value::Null);
+    }
+
+    #[test]
+    fn dict_slice_select_gather_share_the_dictionary() {
+        let col = dict_col(&["x", "y", "z"], &[0, 1, 2, 1, 0]);
+        let sliced = col.slice(1..4);
+        assert_eq!(sliced.str_at(0), Some("y"));
+        let picked = col.select(&[true, false, false, true, true]);
+        assert_eq!(picked.len(), 3);
+        assert_eq!(picked.str_at(1), Some("y"));
+        let gathered = col.gather(&[4, 4, 2]);
+        assert_eq!(gathered.str_at(0), Some("x"));
+        assert_eq!(gathered.str_at(2), Some("z"));
+        for derived in [&sliced, &picked, &gathered] {
+            let (da, _) = derived.as_dict().unwrap();
+            let (db, _) = col.as_dict().unwrap();
+            assert!(std::ptr::eq(da, db), "dictionary page must be shared");
+        }
+    }
+
+    #[test]
+    fn gather_matches_select_on_all_column_shapes() {
+        let s = schema();
+        let recs = vec![
+            Record::new(1, vec![Value::U64(1), Value::Null, Value::str("a")]),
+            Record::new(2, vec![Value::U64(2), Value::F64(2.0), Value::Null]),
+            Record::new(3, vec![Value::Null, Value::F64(3.0), Value::str("c")]),
+        ];
+        let batch = Batch::from_records(s, &recs).unwrap();
+        assert_eq!(
+            batch.gather(&[0, 2]).to_records(),
+            batch.select(&[true, false, true]).to_records()
+        );
+        // Duplicates are allowed.
+        assert_eq!(batch.gather(&[1, 1]).to_records()[0], recs[1]);
+    }
+
+    #[test]
+    fn dict_encode_round_trips_and_respects_cardinality() {
+        let s = schema();
+        let recs: Vec<Record> = (0..20)
+            .map(|i| {
+                Record::new(
+                    i,
+                    vec![
+                        Value::U64(i as u64),
+                        Value::F64(i as f64),
+                        Value::str(["t0", "t1", "t2"][i as usize % 3]),
+                    ],
+                )
+            })
+            .collect();
+        let plain = Batch::from_records(s, &recs).unwrap();
+        let mut encoded = plain.clone();
+        assert!(encoded.dict_encode(16));
+        assert!(matches!(encoded.columns[2], Column::Dict { .. }));
+        assert!(
+            matches!(encoded.columns[0], Column::U64(_)),
+            "numeric columns untouched"
+        );
+        // The logical rows are identical either way.
+        assert_eq!(encoded.to_records(), recs);
+        let mut back = encoded.clone();
+        back.dict_decode();
+        assert_eq!(back, plain);
+        // Cardinality above the bound refuses to encode.
+        assert!(plain.columns[2].dict_encode(2).is_none());
+        // Values beyond the wire's u16 length prefix refuse to encode too
+        // (they would truncate on the dictionary page).
+        let huge = "x".repeat(u16::MAX as usize + 1);
+        let long_recs = vec![Record::new(0, vec![Value::str(&huge)])];
+        let long = Batch::from_records(
+            Schema::new(vec![Field::new("t", DataType::Str)]),
+            &long_recs,
+        )
+        .unwrap();
+        assert!(long.columns[0].dict_encode(16).is_none());
+    }
+
+    #[test]
+    fn all_null_string_column_survives_dict_round_trip() {
+        // An all-null Opt string column dict-encodes to an *empty*
+        // dictionary with code-0 fillers; decoding it back must not read
+        // the dictionary.
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        let recs = vec![
+            Record::new(0, vec![Value::Null]),
+            Record::new(1, vec![Value::Null]),
+        ];
+        let plain = Batch::from_records(s, &recs).unwrap();
+        let mut enc = plain.clone();
+        assert!(enc.dict_encode(8));
+        let Column::Opt { values, .. } = &enc.columns[0] else {
+            panic!("nullable column expected");
+        };
+        assert_eq!(values.as_dict().unwrap().0.len(), 0, "empty dictionary");
+        assert_eq!(enc.to_records(), recs);
+        let mut back = enc.clone();
+        back.dict_decode();
+        assert_eq!(back, plain);
+    }
+
+    #[test]
+    fn dict_wire_accounting_agrees_between_row_and_batch_views() {
+        // The batch view charges the dictionary page once plus one code per
+        // row; the row view of the same column is per-row codes over the
+        // shared page. layout:: is the single source of truth for both.
+        let col = dict_col(&["tenant-a", "tenant-bb"], &[0, 1, 0, 1, 1]);
+        let (dict, codes) = col.as_dict().unwrap();
+        let page = layout::dict_page_bytes(dict);
+        assert_eq!(
+            page,
+            layout::DICT_PAGE_HEADER_BYTES
+                + layout::str_bytes("tenant-a".len())
+                + layout::str_bytes("tenant-bb".len())
+        );
+        let row_view: usize = codes.iter().map(|_| layout::DICT_CODE_BYTES).sum();
+        assert_eq!(col.wire_bytes(DataType::Str), page + row_view);
+        assert_eq!(
+            col.wire_bytes(DataType::Str),
+            layout::dict_bytes(dict, col.len())
+        );
+        // Empty columns ship nothing, page included.
+        assert_eq!(col.slice(0..0).wire_bytes(DataType::Str), 0);
+    }
+
+    #[test]
+    fn dict_encoding_shrinks_wire_size_for_low_cardinality() {
+        let s = Schema::new(vec![Field::new("tenant", DataType::Str)]);
+        let recs: Vec<Record> = (0..200)
+            .map(|i| Record::new(i, vec![Value::str(format!("tenant-{}", i % 4))]))
+            .collect();
+        let plain = Batch::from_records(s, &recs).unwrap();
+        let mut enc = plain.clone();
+        assert!(enc.dict_encode(64));
+        assert!(
+            enc.wire_size() < plain.wire_size(),
+            "dict {} must beat plain {}",
+            enc.wire_size(),
+            plain.wire_size()
+        );
+    }
+
+    #[test]
+    fn chunked_dict_batches_each_carry_their_page() {
+        // Engines charge wire bytes per shipped chunk; a dict chunk pays
+        // its dictionary page again, exactly as the encoder serialises it.
+        let s = Schema::new(vec![Field::new("tag", DataType::Str)]);
+        let batch = Batch {
+            schema: s,
+            timestamps: (0..10).collect(),
+            columns: vec![dict_col(&["aa", "bb"], &[0, 1, 0, 1, 0, 1, 0, 1, 0, 1])],
+        };
+        let chunks: Vec<Batch> = batch.chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        let whole = batch.wire_size();
+        let summed: usize = chunks.iter().map(Batch::wire_size).sum();
+        let (dict, _) = batch.columns[0].as_dict().unwrap();
+        // Two extra page copies for the two extra chunks.
+        assert_eq!(summed, whole + 2 * layout::dict_page_bytes(dict));
+        // And every chunk's size equals its own layout-derived accounting.
+        for c in &chunks {
+            assert_eq!(
+                c.wire_size(),
+                c.len() * layout::row_envelope(&c.schema) + layout::dict_bytes(dict, c.len())
+            );
+        }
+    }
+
+    #[test]
+    fn relabel_accepts_dict_backed_str_fields() {
+        let s = Schema::new(vec![Field::new("tag", DataType::Str)]);
+        let mut batch = Batch {
+            schema: s,
+            timestamps: vec![0, 1],
+            columns: vec![dict_col(&["a"], &[0, 0])],
+        };
+        let wider = Schema::with_overhead(vec![Field::new("tag", DataType::Str)], 10);
+        assert!(batch.relabel(&wider));
+        assert!(!batch.relabel(&Schema::new(vec![Field::new("tag", DataType::U64)])));
     }
 
     #[test]

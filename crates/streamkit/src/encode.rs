@@ -4,13 +4,20 @@
 //! serialisation the paper's implementation uses between MiNiFi and NiFi.
 //! The encoded length is what links in `simnet` charge against bandwidth.
 
+use std::sync::Arc;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::batch::{Batch, Column};
+use crate::batch::{Batch, Column, StrDict};
 use crate::error::{Error, Result};
 use crate::schema::{DataType, SchemaRef};
 
 const MAGIC: u32 = 0x4A52_5653; // "JRVS"
+
+/// Page tag for a plain string column (per-row length-prefixed payloads).
+const STR_PAGE_PLAIN: u8 = 0;
+/// Page tag for a dictionary string column (dictionary page + u32 codes).
+const STR_PAGE_DICT: u8 = 1;
 
 /// Encodes a batch. The receiver must know the schema (schemas are fixed per
 /// query edge, as in the paper's deployments).
@@ -58,10 +65,30 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
                 }
             }
             Column::Str { offsets, data } => {
+                buf.put_u8(STR_PAGE_PLAIN);
                 for w in offsets.windows(2) {
                     let (lo, hi) = (w[0] as usize, w[1] as usize);
                     buf.put_u16_le((hi - lo) as u16);
                     buf.put_slice(&data[lo..hi]);
+                }
+            }
+            Column::Dict { codes, dict } => {
+                // Dictionary page once, then one fixed-width code per row —
+                // the wire shape `layout::dict_bytes` accounts for.
+                buf.put_u8(STR_PAGE_DICT);
+                buf.put_u32_le(dict.len() as u32);
+                for entry in dict.iter() {
+                    // The u16 length prefix caps entries at 64 KiB;
+                    // Column::dict_encode refuses longer values upstream.
+                    debug_assert!(
+                        entry.len() <= u16::MAX as usize,
+                        "dict entry exceeds the u16 wire length prefix"
+                    );
+                    buf.put_u16_le(entry.len() as u16);
+                    buf.put_slice(entry.as_bytes());
+                }
+                for c in codes {
+                    buf.put_u32_le(*c);
                 }
             }
             Column::Opt { .. } => unreachable!("validity unwrapped above"),
@@ -120,20 +147,73 @@ pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
                 Column::F64((0..rows).map(|_| buf.get_f64_le()).collect())
             }
             DataType::Str => {
-                let mut offsets = Vec::with_capacity(rows + 1);
-                offsets.push(0u32);
-                let mut data = Vec::new();
-                for _ in 0..rows {
-                    need(&buf, 2)?;
-                    let len = buf.get_u16_le() as usize;
-                    need(&buf, len)?;
-                    data.extend_from_slice(&buf.chunk()[..len]);
-                    buf.advance(len);
-                    offsets.push(data.len() as u32);
-                }
-                Column::Str {
-                    offsets,
-                    data: Bytes::from(data),
+                need(&buf, 1)?;
+                match buf.get_u8() {
+                    STR_PAGE_PLAIN => {
+                        let mut offsets = Vec::with_capacity(rows + 1);
+                        offsets.push(0u32);
+                        let mut data = Vec::new();
+                        for _ in 0..rows {
+                            need(&buf, 2)?;
+                            let len = buf.get_u16_le() as usize;
+                            need(&buf, len)?;
+                            data.extend_from_slice(&buf.chunk()[..len]);
+                            buf.advance(len);
+                            offsets.push(data.len() as u32);
+                        }
+                        // Wire data is untrusted: enforce the Column::Str
+                        // invariant per row — every payload must be valid
+                        // UTF-8 on its own, not merely as a concatenation
+                        // (split multi-byte sequences must be rejected).
+                        for w in offsets.windows(2) {
+                            std::str::from_utf8(&data[w[0] as usize..w[1] as usize]).map_err(
+                                |e| Error::Decode(format!("invalid UTF-8 payload: {e}")),
+                            )?;
+                        }
+                        Column::Str {
+                            offsets,
+                            data: Bytes::from(data),
+                        }
+                    }
+                    STR_PAGE_DICT => {
+                        need(&buf, 4)?;
+                        let entries = buf.get_u32_le() as usize;
+                        let mut dict = StrDict::new();
+                        for _ in 0..entries {
+                            need(&buf, 2)?;
+                            let len = buf.get_u16_le() as usize;
+                            need(&buf, len)?;
+                            let entry = std::str::from_utf8(&buf.chunk()[..len])
+                                .map_err(|e| {
+                                    Error::Decode(format!("invalid UTF-8 dict entry: {e}"))
+                                })?
+                                .to_string();
+                            buf.advance(len);
+                            dict.push(&entry);
+                        }
+                        need(&buf, rows * 4)?;
+                        let mut codes = Vec::with_capacity(rows);
+                        for row in 0..rows {
+                            let c = buf.get_u32_le();
+                            // Null rows carry a code-0 filler that may point
+                            // at an empty dictionary; every valid row's code
+                            // must land inside it.
+                            let null_filler = c == 0 && valid.as_ref().is_some_and(|v| !v[row]);
+                            if c as usize >= entries && !null_filler {
+                                return Err(Error::Decode(format!(
+                                    "dict code {c} out of range ({entries} entries)"
+                                )));
+                            }
+                            codes.push(c);
+                        }
+                        Column::Dict {
+                            codes,
+                            dict: Arc::new(dict),
+                        }
+                    }
+                    tag => {
+                        return Err(Error::Decode(format!("unknown string page tag {tag}")));
+                    }
                 }
             }
         };
@@ -223,6 +303,139 @@ mod tests {
         let batch = Batch::from_records(s.clone(), &recs).unwrap();
         let back = decode_batch(s, encode_batch(&batch)).unwrap();
         assert_eq!(back.to_records(), recs);
+    }
+
+    #[test]
+    fn dict_column_round_trips_and_ships_fewer_bytes() {
+        let s = Schema::new(vec![Field::new("tenant", DataType::Str)]);
+        let recs: Vec<Record> = (0..100)
+            .map(|i| Record::new(i, vec![Value::str(format!("tenant-{}", i % 3))]))
+            .collect();
+        let plain = Batch::from_records(s.clone(), &recs).unwrap();
+        let mut dict = plain.clone();
+        assert!(dict.dict_encode(16));
+        let plain_bytes = encode_batch(&plain);
+        let dict_bytes = encode_batch(&dict);
+        assert!(
+            dict_bytes.len() < plain_bytes.len(),
+            "dict page {} must beat plain {}",
+            dict_bytes.len(),
+            plain_bytes.len()
+        );
+        let back = decode_batch(s, dict_bytes).unwrap();
+        assert_eq!(back, dict, "dict round-trips structurally");
+        assert_eq!(back.to_records(), recs);
+    }
+
+    #[test]
+    fn opt_wrapped_dict_round_trips() {
+        use crate::batch::DictBuilder;
+        let s = Schema::new(vec![Field::new("tag", DataType::Str)]);
+        let mut b = DictBuilder::new(4);
+        b.push("a");
+        b.push_null();
+        b.push("b");
+        b.push("a");
+        let batch = Batch {
+            schema: s.clone(),
+            timestamps: vec![0, 1, 2, 3],
+            columns: vec![b.finish()],
+        };
+        let back = decode_batch(s, encode_batch(&batch)).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(back.columns[0].value(1), Value::Null);
+    }
+
+    #[test]
+    fn invalid_utf8_payload_rejected_at_decode() {
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        let recs = vec![Record::new(0, vec![Value::str("ok")])];
+        let batch = Batch::from_records(s.clone(), &recs).unwrap();
+        let mut raw = encode_batch(&batch).to_vec();
+        // Corrupt the string payload ("ok" sits at the tail) with a lone
+        // continuation byte.
+        let n = raw.len();
+        raw[n - 1] = 0xFF;
+        assert!(matches!(
+            decode_batch(s, Bytes::from(raw)),
+            Err(Error::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn split_multibyte_sequence_rejected_per_row() {
+        // Two rows whose payloads concatenate to valid UTF-8 ("é" split
+        // across rows) must still be rejected: each row's slice has to be
+        // valid on its own.
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        let mut raw = BytesMut::with_capacity(64);
+        raw.put_u32_le(super::MAGIC);
+        raw.put_u32_le(2); // rows
+        raw.put_i64_le(0);
+        raw.put_i64_le(1);
+        raw.put_u8(0); // dense
+        raw.put_u8(super::STR_PAGE_PLAIN);
+        raw.put_u16_le(1);
+        raw.put_u8(0xC3);
+        raw.put_u16_le(1);
+        raw.put_u8(0xA9);
+        assert!(matches!(
+            decode_batch(s, raw.freeze()),
+            Err(Error::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn all_null_dict_round_trips_but_dense_empty_dict_is_rejected() {
+        use crate::batch::DictBuilder;
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        // All-null column: empty dictionary, code-0 fillers behind validity.
+        let mut b = DictBuilder::new(2);
+        b.push_null();
+        b.push_null();
+        let batch = Batch {
+            schema: s.clone(),
+            timestamps: vec![0, 1],
+            columns: vec![b.finish()],
+        };
+        let raw = encode_batch(&batch);
+        let back = decode_batch(s.clone(), raw.clone()).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(back.columns[0].value(0), Value::Null);
+        // The same bytes with the validity flag cleared describe a *dense*
+        // column whose codes point into an empty dictionary: reject, or the
+        // first read would index out of bounds.
+        let mut dense = raw.to_vec();
+        let flag_at = 4 + 4 + 2 * 8; // magic + rows + timestamps
+        assert_eq!(dense[flag_at], 1, "validity flag expected here");
+        dense[flag_at] = 0;
+        // Drop the two validity bytes that followed the flag.
+        dense.remove(flag_at + 1);
+        dense.remove(flag_at + 1);
+        assert!(matches!(
+            decode_batch(s, Bytes::from(dense)),
+            Err(Error::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_dict_code_rejected() {
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        let mut b = crate::batch::DictBuilder::new(1);
+        b.push("x");
+        let batch = Batch {
+            schema: s.clone(),
+            timestamps: vec![0],
+            columns: vec![b.finish()],
+        };
+        let mut raw = encode_batch(&batch).to_vec();
+        // The final u32 is the row's code; point it past the dictionary.
+        let n = raw.len();
+        raw[n - 4] = 9;
+        assert!(matches!(
+            decode_batch(s, Bytes::from(raw)),
+            Err(Error::Decode(_))
+        ));
     }
 
     #[test]

@@ -446,6 +446,13 @@ fn cmp_kernel(op: CmpOp, col: &Column, lit: &Value, flip: bool) -> Option<(Vec<b
                 .collect();
             Some((mask, true))
         }
+        (Column::Dict { codes, dict }, Value::Str(x)) => {
+            // Compare each dictionary entry once, then scan the codes: the
+            // per-row work collapses to a table lookup.
+            let hits: Vec<bool> = dict.iter().map(|e| test(e.cmp(x.as_ref()))).collect();
+            let mask = codes.iter().map(|&c| hits[c as usize]).collect();
+            Some((mask, true))
+        }
         (Column::I64(_) | Column::U64(_) | Column::F64(_) | Column::Bool(_), lit) => {
             // Cross-type numeric comparison goes through f64, as the scalar
             // path does. A NaN anywhere yields Null → false, so the mask is
@@ -466,11 +473,25 @@ fn cmp_kernel(op: CmpOp, col: &Column, lit: &Value, flip: bool) -> Option<(Vec<b
 }
 
 /// Substring kernel for `Contains`/`ContainsAny` over a string column.
+/// Dictionary columns resolve the needles against each distinct entry once
+/// (a code-set test), then scan the codes.
 fn contains_kernel(col: &Column, needles: &[String]) -> Option<(Vec<bool>, bool)> {
+    if let Column::Dict { codes, dict } = col {
+        let hits: Vec<bool> = dict
+            .iter()
+            .map(|e| needles.iter().any(|n| e.contains(n.as_str())))
+            .collect();
+        let mask = codes.iter().map(|&c| hits[c as usize]).collect();
+        return Some((mask, true));
+    }
     let total = match col {
         Column::Str { .. } => true,
         // Null rows evaluate to Null in the scalar path: non-total.
-        Column::Opt { values, .. } if matches!(values.as_ref(), Column::Str { .. }) => false,
+        Column::Opt { values, .. }
+            if matches!(values.as_ref(), Column::Str { .. } | Column::Dict { .. }) =>
+        {
+            false
+        }
         _ => return None,
     };
     let mask = (0..col.len())
@@ -613,6 +634,47 @@ mod tests {
             let mask = e.eval_mask(&batch);
             let scalar: Vec<bool> = recs.iter().map(|r| e.matches(r)).collect();
             assert_eq!(mask, scalar, "mask mismatch for {e:?}");
+        }
+    }
+
+    #[test]
+    fn dict_masks_match_scalar_evaluation() {
+        use crate::batch::Batch;
+        use crate::schema::{DataType, Field, Schema};
+
+        let schema = Schema::new(vec![
+            Field::new("stat", DataType::Str),
+            Field::new("v", DataType::F64),
+        ]);
+        let recs: Vec<Record> = (0..48)
+            .map(|i| {
+                Record::new(
+                    i,
+                    vec![
+                        Value::str(["cpu util", "memory util", "gc pause"][i as usize % 3]),
+                        Value::F64(i as f64),
+                    ],
+                )
+            })
+            .collect();
+        let mut batch = Batch::from_records(schema, &recs).unwrap();
+        assert!(batch.dict_encode(8), "stat column must dict-encode");
+
+        let exprs = [
+            Expr::col(0).eq(Expr::lit("cpu util")),
+            Expr::col(0).ne(Expr::lit("gc pause")),
+            Expr::lit("memory util").le(Expr::col(0)),
+            Expr::Contains(Box::new(Expr::col(0)), "util".into()),
+            Expr::ContainsAny(0, vec!["cpu".into(), "gc".into()]),
+            Expr::col(0)
+                .eq(Expr::lit("cpu util"))
+                .and(Expr::col(1).gt(Expr::lit(10.0))),
+            Expr::ContainsAny(0, vec!["util".into()]).not(),
+        ];
+        for e in &exprs {
+            let mask = e.eval_mask(&batch);
+            let scalar: Vec<bool> = recs.iter().map(|r| e.matches(r)).collect();
+            assert_eq!(mask, scalar, "dict mask mismatch for {e:?}");
         }
     }
 

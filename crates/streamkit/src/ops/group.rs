@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use crate::agg::{AggKind, AggSpec, AggState};
-use crate::batch::{Batch, BatchBuilder, Column};
+use crate::batch::{Batch, BatchBuilder, Column, StrDict};
 use crate::ops::{CostModel, GroupPartialEntry, OpKind, Operator, StatePartial};
 use crate::schema::{DataType, Field, Schema, SchemaRef};
 use crate::time::Ts;
@@ -101,7 +101,11 @@ fn encode_col_value(buf: &mut Vec<u8>, col: &Column, row: usize) {
             buf.push(4);
             buf.extend_from_slice(&v[row].to_bits().to_le_bytes());
         }
-        Column::Str { .. } => {
+        Column::Str { .. } | Column::Dict { .. } => {
+            // Dict values encode exactly like the same string in a plain
+            // column: the group table persists across batches whose
+            // dictionaries may differ, and dict-keyed results must be
+            // byte-identical to str-keyed ones.
             let s = col.str_at(row).unwrap_or("");
             buf.push(5);
             buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -130,18 +134,23 @@ fn encode_key(buf: &mut Vec<u8>, key: &GroupKey) {
 pub(crate) struct GroupTable {
     index: HashMap<Box<[u8]>, usize>,
     entries: Vec<(GroupKey, Vec<AggState>, bool)>,
+    /// Shared key-encode buffer for the value-keyed entry points, so neither
+    /// `upsert` nor `insert_or_merge` allocates per call.
+    scratch: Vec<u8>,
 }
 
 impl GroupTable {
-    /// Looks up the group for an already-encoded key, creating it (via
-    /// `make_key` + `init`) on first sight.
-    fn upsert_encoded(
+    /// Looks up the group slot for an already-encoded key, creating it (via
+    /// `make_key` + `init`) on first sight and marking it changed either
+    /// way. The key bytes are copied into an owned index entry exactly once,
+    /// on first insert.
+    fn upsert_slot(
         &mut self,
         encoded: &[u8],
         make_key: impl FnOnce() -> GroupKey,
         init: impl FnOnce() -> Vec<AggState>,
-    ) -> &mut Vec<AggState> {
-        let idx = match self.index.get(encoded) {
+    ) -> usize {
+        match self.index.get(encoded) {
             Some(&i) => {
                 self.entries[i].2 = true;
                 i
@@ -149,11 +158,10 @@ impl GroupTable {
             None => {
                 let i = self.entries.len();
                 self.entries.push((make_key(), init(), true));
-                self.index.insert(encoded.to_vec().into_boxed_slice(), i);
+                self.index.insert(Box::from(encoded), i);
                 i
             }
-        };
-        &mut self.entries[idx].1
+        }
     }
 
     /// Value-keyed upsert (row shim and tests).
@@ -162,14 +170,18 @@ impl GroupTable {
         key: GroupKey,
         init: impl FnOnce() -> Vec<AggState>,
     ) -> &mut Vec<AggState> {
-        let mut buf = Vec::with_capacity(24);
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
         encode_key(&mut buf, &key);
-        self.upsert_encoded(&buf, || key, init)
+        let slot = self.upsert_slot(&buf, || key, init);
+        self.scratch = buf;
+        &mut self.entries[slot].1
     }
 
     /// Merges `incoming` into an existing entry, or adopts it as a new entry.
     pub(crate) fn insert_or_merge(&mut self, key: GroupKey, incoming: Vec<AggState>) {
-        let mut buf = Vec::with_capacity(24);
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
         encode_key(&mut buf, &key);
         match self.index.get(buf.as_slice()) {
             Some(&i) => {
@@ -180,10 +192,16 @@ impl GroupTable {
             }
             None => {
                 let i = self.entries.len();
+                self.index.insert(Box::from(buf.as_slice()), i);
                 self.entries.push((key, incoming, true));
-                self.index.insert(buf.into_boxed_slice(), i);
             }
         }
+        self.scratch = buf;
+    }
+
+    /// The live entries, slot-indexed (vectorized aggregation kernels).
+    fn entries_mut(&mut self) -> &mut [(GroupKey, Vec<AggState>, bool)] {
+        &mut self.entries
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -251,6 +269,8 @@ pub struct GroupAggregateOp {
     cost: CostModel,
     /// Scratch buffer for key encoding (reused across rows).
     scratch: Vec<u8>,
+    /// Per-batch row → group-slot resolution (reused across batches).
+    slots: Vec<u32>,
 }
 
 impl GroupAggregateOp {
@@ -276,6 +296,7 @@ impl GroupAggregateOp {
             out_schema,
             cost,
             scratch: Vec::with_capacity(64),
+            slots: Vec::new(),
         }
     }
 
@@ -336,16 +357,204 @@ impl GroupAggregateOp {
     }
 }
 
-/// Folds `col[row]` into `state` with the scalar path's semantics: `Count`
-/// counts every record, other aggregates ignore non-numeric values.
-#[inline]
-fn update_state(state: &mut AggState, col: Option<&Column>, row: usize) {
-    if let AggState::Count(c) = state {
-        *c += 1;
-        return;
+/// Canonical key fragments for one dictionary: the byte encoding of each
+/// entry, computed once per batch so every row is a bounds-free memcpy.
+struct KeyFrags {
+    arena: Vec<u8>,
+    bounds: Vec<u32>,
+}
+
+impl KeyFrags {
+    fn for_dict(dict: &StrDict) -> KeyFrags {
+        let mut arena = Vec::with_capacity(dict.len() * 16);
+        let mut bounds = Vec::with_capacity(dict.len() + 1);
+        bounds.push(0u32);
+        for entry in dict.iter() {
+            arena.push(5);
+            arena.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            arena.extend_from_slice(entry.as_bytes());
+            bounds.push(arena.len() as u32);
+        }
+        KeyFrags { arena, bounds }
     }
-    if let Some(v) = col.and_then(|c| c.f64_at(row)) {
-        state.update_f64(v);
+
+    fn entries(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    #[inline]
+    fn append(&self, buf: &mut Vec<u8>, code: u32) {
+        let lo = self.bounds[code as usize] as usize;
+        let hi = self.bounds[code as usize + 1] as usize;
+        buf.extend_from_slice(&self.arena[lo..hi]);
+    }
+}
+
+/// Per-batch encoder for one group-key column. Dict columns key by code —
+/// the code indexes a precomputed canonical fragment, so the bytes stay
+/// identical to the same string in a plain column (the group table persists
+/// across batches whose dictionaries may differ).
+enum KeyEnc<'a> {
+    Dict { codes: &'a [u32], frags: KeyFrags },
+    Generic(&'a Column),
+}
+
+impl KeyEnc<'_> {
+    #[inline]
+    fn encode_row(&self, buf: &mut Vec<u8>, row: usize) {
+        match self {
+            KeyEnc::Dict { codes, frags } => frags.append(buf, codes[row]),
+            KeyEnc::Generic(col) => encode_col_value(buf, col, row),
+        }
+    }
+}
+
+/// When every key column is a dense dictionary and the combined key space is
+/// at most this many slots, rows resolve through a dense per-window
+/// `(combined code) → slot` cache instead of hashing byte keys.
+const MAX_COMBO_CACHE: usize = 1 << 16;
+
+/// At most this many per-window caches per batch; rows in further windows
+/// fall back to byte-keyed resolution (bounds memory and the per-row window
+/// scan for batches that span many windows).
+const MAX_WINDOW_CACHES: usize = 8;
+
+/// Borrowed numeric view of an aggregate input column, hoisted out of the
+/// row loop so fold kernels run over contiguous slices.
+enum NumView<'a> {
+    F64(&'a [f64]),
+    I64(&'a [i64]),
+    U64(&'a [u64]),
+    Bool(&'a [bool]),
+    /// String / dict / missing column: no numeric values.
+    None,
+}
+
+/// An aggregate input: dense numeric view + optional validity slice
+/// (null-aware: invalid rows are skipped, as the scalar path skips `Null`).
+struct AggInput<'a> {
+    view: NumView<'a>,
+    valid: Option<&'a [bool]>,
+}
+
+fn agg_input(col: Option<&Column>) -> AggInput<'_> {
+    match col {
+        Some(Column::F64(v)) => AggInput {
+            view: NumView::F64(v),
+            valid: None,
+        },
+        Some(Column::I64(v)) => AggInput {
+            view: NumView::I64(v),
+            valid: None,
+        },
+        Some(Column::U64(v)) => AggInput {
+            view: NumView::U64(v),
+            valid: None,
+        },
+        Some(Column::Bool(v)) => AggInput {
+            view: NumView::Bool(v),
+            valid: None,
+        },
+        Some(Column::Opt { valid, values }) => AggInput {
+            view: agg_input(Some(values)).view,
+            valid: Some(valid),
+        },
+        Some(Column::Str { .. } | Column::Dict { .. }) | None => AggInput {
+            view: NumView::None,
+            valid: None,
+        },
+    }
+}
+
+/// Runs `f(slot, value)` for every row whose input value is numeric and
+/// valid, one tight loop per storage class.
+#[inline]
+fn for_each_value(input: &AggInput, slots: &[u32], mut f: impl FnMut(usize, f64)) {
+    macro_rules! run {
+        ($v:expr, $conv:expr) => {{
+            match input.valid {
+                Some(va) => {
+                    for (i, &slot) in slots.iter().enumerate() {
+                        if va[i] {
+                            f(slot as usize, $conv($v[i]));
+                        }
+                    }
+                }
+                None => {
+                    for (i, &slot) in slots.iter().enumerate() {
+                        f(slot as usize, $conv($v[i]));
+                    }
+                }
+            }
+        }};
+    }
+    match input.view {
+        NumView::F64(v) => run!(v, |x: f64| x),
+        NumView::I64(v) => run!(v, |x: i64| x as f64),
+        NumView::U64(v) => run!(v, |x: u64| x as f64),
+        NumView::Bool(v) => run!(v, |x: bool| if x { 1.0 } else { 0.0 }),
+        NumView::None => {}
+    }
+}
+
+/// Folds one batch of resolved rows into the group states, one aggregate
+/// column at a time. Semantics match the scalar path exactly: `Count`
+/// counts every record; the other aggregates ignore non-numeric and `Null`
+/// values.
+fn fold_aggregates(
+    entries: &mut [(GroupKey, Vec<AggState>, bool)],
+    slots: &[u32],
+    aggs: &[AggSpec],
+    agg_cols: &[Option<&Column>],
+) {
+    for (j, spec) in aggs.iter().enumerate() {
+        match spec.kind {
+            AggKind::Count => {
+                for &slot in slots {
+                    if let AggState::Count(c) = &mut entries[slot as usize].1[j] {
+                        *c += 1;
+                    }
+                }
+            }
+            AggKind::Sum => {
+                for_each_value(&agg_input(agg_cols[j]), slots, |slot, v| {
+                    if let AggState::Sum(s) = &mut entries[slot].1[j] {
+                        *s += v;
+                    }
+                });
+            }
+            AggKind::Min => {
+                for_each_value(&agg_input(agg_cols[j]), slots, |slot, v| {
+                    if let AggState::Min(m) = &mut entries[slot].1[j] {
+                        if v < *m {
+                            *m = v;
+                        }
+                    }
+                });
+            }
+            AggKind::Max => {
+                for_each_value(&agg_input(agg_cols[j]), slots, |slot, v| {
+                    if let AggState::Max(m) = &mut entries[slot].1[j] {
+                        if v > *m {
+                            *m = v;
+                        }
+                    }
+                });
+            }
+            AggKind::Avg => {
+                for_each_value(&agg_input(agg_cols[j]), slots, |slot, v| {
+                    if let AggState::Avg { sum, count } = &mut entries[slot].1[j] {
+                        *sum += v;
+                        *count += 1;
+                    }
+                });
+            }
+            AggKind::ApproxQuantile { .. } => {
+                for_each_value(&agg_input(agg_cols[j]), slots, |slot, v| {
+                    entries[slot].1[j].update_f64(v);
+                });
+            }
+        }
     }
 }
 
@@ -363,37 +572,116 @@ impl Operator for GroupAggregateOp {
         if n == 0 {
             return;
         }
-        // Hoist column bindings out of the row loop: keys and aggregate
-        // inputs are resolved once per batch.
-        let key_cols: Vec<&Column> = self.keys.iter().map(|&k| &batch.columns[k]).collect();
-        let agg_cols: Vec<Option<&Column>> = self
-            .aggs
+        let GroupAggregateOp {
+            keys,
+            aggs,
+            window,
+            table,
+            scratch,
+            slots,
+            ..
+        } = self;
+        // Hoist key/aggregate column bindings out of the row loop; dict key
+        // columns additionally precompute their per-code canonical
+        // fragments.
+        let key_cols: Vec<&Column> = keys.iter().map(|&k| &batch.columns[k]).collect();
+        let encs: Vec<KeyEnc> = key_cols
+            .iter()
+            .map(|c| match c {
+                Column::Dict { codes, dict } => KeyEnc::Dict {
+                    codes,
+                    frags: KeyFrags::for_dict(dict),
+                },
+                other => KeyEnc::Generic(other),
+            })
+            .collect();
+        slots.clear();
+        slots.reserve(n);
+
+        // Pass 1 — resolve every row to its group slot.
+        let combo_card = encs
+            .iter()
+            .try_fold(1usize, |acc, e| match e {
+                KeyEnc::Dict { frags, .. } => acc.checked_mul(frags.entries().max(1)),
+                KeyEnc::Generic(_) => None,
+            })
+            .filter(|&card| !encs.is_empty() && card <= MAX_COMBO_CACHE);
+        if let Some(card) = combo_card {
+            // All keys are dense dictionaries with a small combined key
+            // space: resolve through a per-window dense cache, hashing each
+            // distinct (window, key) combination only once per batch.
+            let mut caches: Vec<(Ts, Vec<u32>)> = Vec::with_capacity(2);
+            for row in 0..n {
+                let ws = window.start_of(batch.timestamps[row]);
+                let mut combo = 0usize;
+                let mut mul = 1usize;
+                for e in &encs {
+                    let KeyEnc::Dict { codes, frags } = e else {
+                        unreachable!("combo path requires dict keys");
+                    };
+                    combo += codes[row] as usize * mul;
+                    mul *= frags.entries().max(1);
+                }
+                // Batches normally span one or two windows; a pathological
+                // batch covering many (e.g. an unsorted replay) must not
+                // allocate a card-sized cache per window or scan a long
+                // cache list per row, so later windows bypass the cache.
+                let cache = match caches.iter().position(|(w, _)| *w == ws) {
+                    Some(i) => Some(&mut caches[i].1),
+                    None if caches.len() < MAX_WINDOW_CACHES => {
+                        caches.push((ws, vec![u32::MAX; card]));
+                        Some(&mut caches.last_mut().expect("just pushed").1)
+                    }
+                    None => None,
+                };
+                let cached = cache.as_ref().map(|c| c[combo]);
+                let slot = match cached {
+                    Some(slot) if slot != u32::MAX => {
+                        table.entries[slot as usize].2 = true;
+                        slot
+                    }
+                    _ => {
+                        scratch.clear();
+                        scratch.extend_from_slice(&ws.to_le_bytes());
+                        for e in &encs {
+                            e.encode_row(scratch, row);
+                        }
+                        let slot = table.upsert_slot(
+                            scratch,
+                            || (ws, key_cols.iter().map(|c| c.value(row)).collect()),
+                            || aggs.iter().map(AggSpec::init).collect(),
+                        ) as u32;
+                        if let Some(cache) = cache {
+                            cache[combo] = slot;
+                        }
+                        slot
+                    }
+                };
+                slots.push(slot);
+            }
+        } else {
+            for row in 0..n {
+                let ws = window.start_of(batch.timestamps[row]);
+                scratch.clear();
+                scratch.extend_from_slice(&ws.to_le_bytes());
+                for e in &encs {
+                    e.encode_row(scratch, row);
+                }
+                let slot = table.upsert_slot(
+                    scratch,
+                    || (ws, key_cols.iter().map(|c| c.value(row)).collect()),
+                    || aggs.iter().map(AggSpec::init).collect(),
+                ) as u32;
+                slots.push(slot);
+            }
+        }
+
+        // Pass 2 — fold each aggregate column with a contiguous kernel.
+        let agg_cols: Vec<Option<&Column>> = aggs
             .iter()
             .map(|spec| batch.columns.get(spec.col))
             .collect();
-        let aggs = &self.aggs;
-        for row in 0..n {
-            let window_start = self.window.start_of(batch.timestamps[row]);
-            self.scratch.clear();
-            self.scratch.extend_from_slice(&window_start.to_le_bytes());
-            for col in &key_cols {
-                encode_col_value(&mut self.scratch, col, row);
-            }
-            let key_cols = &key_cols;
-            let states = self.table.upsert_encoded(
-                &self.scratch,
-                || {
-                    (
-                        window_start,
-                        key_cols.iter().map(|c| c.value(row)).collect(),
-                    )
-                },
-                || aggs.iter().map(AggSpec::init).collect(),
-            );
-            for (state, col) in states.iter_mut().zip(&agg_cols) {
-                update_state(state, *col, row);
-            }
-        }
+        fold_aggregates(table.entries_mut(), slots, aggs, &agg_cols);
     }
 
     fn on_watermark(&mut self, wm: Ts, out: &mut Vec<Batch>) {
@@ -598,6 +886,63 @@ mod tests {
         // Closed state still retrievable for shipping.
         let delta = g.take_state_delta().unwrap();
         assert_eq!(delta.entry_count(), 1);
+    }
+
+    #[test]
+    fn dict_keys_group_correctly_across_many_windows() {
+        // A batch spanning more windows than the combo cache will track:
+        // rows beyond MAX_WINDOW_CACHES windows resolve through the
+        // byte-keyed fallback and must land in the same groups.
+        use crate::batch::{Batch, StrDict};
+        use std::sync::Arc;
+
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::U32),
+        ]);
+        let windows = 20usize;
+        let per_window = 3usize;
+        let n = windows * per_window;
+        let timestamps: Vec<Ts> = (0..n)
+            .map(|i| (i / per_window) as Ts * secs(10.0) + 1)
+            .collect();
+        let codes: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let batch = Batch {
+            schema: schema.clone(),
+            timestamps,
+            columns: vec![
+                Column::Dict {
+                    codes,
+                    dict: Arc::new(StrDict::from_entries(["a", "b"])),
+                },
+                Column::U64(vec![1; n]),
+            ],
+        };
+        let mut g = GroupAggregateOp::new(
+            vec![0],
+            vec![AggSpec::new(AggKind::Count, 1, "n")],
+            &schema,
+            TumblingWindow::new(secs(10.0)),
+            EmitMode::OnWindowClose,
+            AggRole::Final,
+            CostModel::fixed(1.0),
+        );
+        let mut sink = Vec::new();
+        g.process_batch(batch, &mut sink);
+        // Two keys per window, every window distinct.
+        assert_eq!(g.group_count(), windows * 2);
+        let mut out = Vec::new();
+        g.on_watermark(Ts::MAX, &mut out);
+        let rows = rows(&out);
+        assert_eq!(rows.len(), windows * 2);
+        let total: u64 = rows
+            .iter()
+            .map(|r| match r.values[2] {
+                Value::U64(c) => c,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total as usize, n, "every row must be counted exactly once");
     }
 
     #[test]

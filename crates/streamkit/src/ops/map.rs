@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use crate::batch::{Batch, Column, ColumnBuilder};
+use crate::batch::{Batch, Column, ColumnBuilder, DictBuilder};
 use crate::error::{Error, Result};
 use crate::ops::{CostModel, OpKind, Operator};
 use crate::record::Record;
@@ -197,8 +197,11 @@ impl MapFn {
                 let source = &batch.columns[*col];
                 let n = source.len();
                 let mut timestamps: Vec<Ts> = Vec::with_capacity(n);
-                let mut tenants = ColumnBuilder::new(DataType::Str, n);
-                let mut names = ColumnBuilder::new(DataType::Str, n);
+                // Tenant and stat names are low-cardinality: emit them as
+                // native dictionary columns so downstream grouping and
+                // predicate kernels run on codes.
+                let mut tenants = DictBuilder::new(n);
+                let mut names = DictBuilder::new(n);
                 let mut values = ColumnBuilder::new(DataType::F64, n);
                 for row in 0..n {
                     let Some(line) = source.str_at(row) else {
@@ -211,8 +214,8 @@ impl MapFn {
                         if let Some(v) = extract_kv(line, stat) {
                             if let Ok(value) = v.trim().parse::<f64>() {
                                 timestamps.push(batch.timestamps[row]);
-                                tenants.push_str(tenant.trim()).expect("str builder");
-                                names.push_str(stat).expect("str builder");
+                                tenants.push(tenant.trim());
+                                names.push(stat);
                                 values.push(&Value::F64(value)).expect("f64 builder");
                             }
                             break;

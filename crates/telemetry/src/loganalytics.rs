@@ -6,12 +6,14 @@
 //! derivation from [11]: 10s of PB/day over 200 K nodes ⇒ 0.62 MB/s
 //! (4.96 Mbps) per node, scaled 10× for experiments.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use streamkit::batch::{layout, Batch, Column};
+use streamkit::batch::{layout, Batch, Column, StrDict};
 use streamkit::record::Record;
 use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 use streamkit::time::Ts;
@@ -27,6 +29,16 @@ pub const STAT_NAMES: [&str; 3] = ["job running time", "cpu util", "memory util"
 /// Single-column schema holding the raw line.
 pub fn log_schema() -> SchemaRef {
     Schema::new(vec![Field::new("line", DataType::Str)])
+}
+
+/// Post-parse schema of the LogAnalytics stream — what `ParseJobStats`
+/// produces from the raw lines: `(tenant, stat_name, stat)`.
+pub fn structured_log_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("tenant", DataType::Str),
+        Field::new("stat_name", DataType::Str),
+        Field::new("stat", DataType::F64),
+    ])
 }
 
 /// Generator configuration.
@@ -93,18 +105,26 @@ impl LogGenerator {
         &self.cfg
     }
 
-    fn matching_line(&mut self) -> String {
+    /// Draws one matching line plus its parsed parts `(tenant id, stat
+    /// index, stat value)`. The value is the one a downstream parse of the
+    /// line recovers (one decimal place), so structured epochs correspond
+    /// exactly to parsing the raw stream.
+    fn matching_parts(&mut self) -> (String, u32, usize, f64) {
         let tenant = self.rng.gen_range(0..self.cfg.tenants);
-        let stat = STAT_NAMES[(self.seq % STAT_NAMES.len() as u64) as usize];
+        let stat_idx = (self.seq % STAT_NAMES.len() as u64) as usize;
+        let stat = STAT_NAMES[stat_idx];
         let value: f64 = match stat {
             "job running time" => self.rng.gen_range(20.0..30_000.0),
             _ => self.rng.gen_range(0.0..100.0),
         };
-        format!(
-            "level=INFO job={} tenant name=tenant-{tenant}, {stat}={value:.1}, host=h{}",
+        let shown = format!("{value:.1}");
+        let parsed: f64 = shown.parse().expect("formatted float parses");
+        let line = format!(
+            "level=INFO job={} tenant name=tenant-{tenant}, {stat}={shown}, host=h{}",
             self.seq,
             self.seq % 97
-        )
+        );
+        (line, tenant, stat_idx, parsed)
     }
 
     fn noise_line(&mut self) -> String {
@@ -117,10 +137,18 @@ impl LogGenerator {
         )
     }
 
-    /// Generates one epoch of log lines starting at `epoch_start` (µs),
-    /// directly in columnar form (one string column, bytes appended in
-    /// place).
-    pub fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+    /// Drives one epoch's byte budget, calling `emit` for every line that
+    /// fits: `(timestamp, raw line, parsed parts for matching lines)`. The
+    /// single source of the rate model (burst fold, byte budget, carry,
+    /// even timestamp spread) behind both the raw and the structured epoch
+    /// generators — they must stay in lockstep or the structured stream
+    /// stops corresponding to parsing the raw one.
+    fn drive_epoch(
+        &mut self,
+        epoch_start: Ts,
+        epoch_secs: f64,
+        mut emit: impl FnMut(Ts, &str, Option<(u32, usize, f64)>),
+    ) {
         let t_s = epoch_start as f64 / 1e6;
         let burst = self
             .cfg
@@ -135,16 +163,13 @@ impl LogGenerator {
         // Lines average ~90 B; emit until the byte budget for the epoch runs
         // out, spreading timestamps evenly by bytes emitted.
         let total_budget = budget;
-        let schema = log_schema();
-        let per_row_envelope = layout::row_envelope(&schema);
-        let mut timestamps = Vec::new();
-        let mut offsets: Vec<u32> = vec![0];
-        let mut data: Vec<u8> = Vec::new();
+        let per_row_envelope = layout::row_envelope(&log_schema());
         while budget > 0.0 {
-            let line = if self.rng.gen_bool(self.cfg.match_rate) {
-                self.matching_line()
+            let (line, parts) = if self.rng.gen_bool(self.cfg.match_rate) {
+                let (line, tenant, stat_idx, value) = self.matching_parts();
+                (line, Some((tenant, stat_idx, value)))
             } else {
-                self.noise_line()
+                (self.noise_line(), None)
             };
             self.seq += 1;
             let frac = 1.0 - budget / total_budget;
@@ -158,15 +183,27 @@ impl LogGenerator {
                 break;
             }
             budget -= size;
-            timestamps.push(ts);
-            data.extend_from_slice(line.as_bytes());
-            offsets.push(data.len() as u32);
+            emit(ts, &line, parts);
         }
         if budget <= 0.0 {
             self.carry_bytes = 0.0;
         }
+    }
+
+    /// Generates one epoch of log lines starting at `epoch_start` (µs),
+    /// directly in columnar form (one string column, bytes appended in
+    /// place).
+    pub fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        let mut timestamps = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
+        let mut data: Vec<u8> = Vec::new();
+        self.drive_epoch(epoch_start, epoch_secs, |ts, line, _| {
+            timestamps.push(ts);
+            data.extend_from_slice(line.as_bytes());
+            offsets.push(data.len() as u32);
+        });
         Batch {
-            schema,
+            schema: log_schema(),
             timestamps,
             columns: vec![Column::Str {
                 offsets,
@@ -179,6 +216,55 @@ impl LogGenerator {
     pub fn generate_epoch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Vec<Record> {
         self.generate_epoch_batch(epoch_start, epoch_secs)
             .to_records()
+    }
+
+    /// Generates one epoch directly in the post-parse shape
+    /// ([`structured_log_schema`]): the matching lines of the same raw
+    /// stream (identical RNG draws and byte budget — noise lines consume
+    /// budget but emit nothing), with the low-cardinality string fields
+    /// emitted as native dictionary columns. No strings are parsed and no
+    /// per-row tenant strings are allocated; this is the workload for the
+    /// group-aggregate fast path.
+    pub fn generate_structured_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        let mut timestamps = Vec::new();
+        let mut tenant_dict = StrDict::new();
+        let mut tenant_code: Vec<u32> = vec![u32::MAX; self.cfg.tenants as usize];
+        let mut tenant_codes: Vec<u32> = Vec::new();
+        let mut stat_codes: Vec<u32> = Vec::new();
+        let mut stats: Vec<f64> = Vec::new();
+        self.drive_epoch(epoch_start, epoch_secs, |ts, _, parts| {
+            // Noise lines consume budget but emit nothing post-parse.
+            let Some((tenant, stat_idx, value)) = parts else {
+                return;
+            };
+            let code = tenant_code[tenant as usize];
+            let code = if code == u32::MAX {
+                let c = tenant_dict.push(&format!("tenant-{tenant}"));
+                tenant_code[tenant as usize] = c;
+                c
+            } else {
+                code
+            };
+            timestamps.push(ts);
+            tenant_codes.push(code);
+            stat_codes.push(stat_idx as u32);
+            stats.push(value);
+        });
+        Batch {
+            schema: structured_log_schema(),
+            timestamps,
+            columns: vec![
+                Column::Dict {
+                    codes: tenant_codes,
+                    dict: Arc::new(tenant_dict),
+                },
+                Column::Dict {
+                    codes: stat_codes,
+                    dict: Arc::new(StrDict::from_entries(STAT_NAMES)),
+                },
+                Column::F64(stats),
+            ],
+        }
     }
 }
 
@@ -249,6 +335,38 @@ mod tests {
             }
         }
         assert!(parsed > 0, "at least some lines must parse");
+    }
+
+    #[test]
+    fn structured_epoch_matches_parsing_the_raw_stream() {
+        use streamkit::batch::Column;
+        use streamkit::ops::MapFn;
+        use streamkit::value::Value;
+
+        // Same config and seed: the structured generator must produce
+        // exactly the rows ParseJobStats recovers from the raw lines.
+        let mut raw_gen = LogGenerator::new(LogConfig::default());
+        let mut structured_gen = LogGenerator::new(LogConfig::default());
+        let parse = MapFn::ParseJobStats {
+            col: 0,
+            stats: STAT_NAMES.iter().map(|s| s.to_string()).collect(),
+        };
+        for epoch in 0..3 {
+            let start = epoch * 1_000_000;
+            let raw = raw_gen.generate_epoch(start, 1.0);
+            let parsed: Vec<Record> = raw.iter().filter_map(|r| parse.apply(r)).collect();
+            let structured = structured_gen.generate_structured_epoch_batch(start, 1.0);
+            assert!(
+                matches!(structured.columns[0], Column::Dict { .. })
+                    && matches!(structured.columns[1], Column::Dict { .. }),
+                "string key fields must be native dict columns"
+            );
+            assert_eq!(structured.to_records(), parsed, "epoch {epoch}");
+            assert!(structured
+                .to_records()
+                .iter()
+                .all(|r| matches!(r.values[2], Value::F64(_))));
+        }
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! convention), 14 % of probes carry a non-zero error code, and latency
 //! anomalies affect a sparse subset of server pairs for 40–60 s.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use streamkit::batch::{Batch, Column};
+use streamkit::batch::{Batch, Column, StrDict};
 use streamkit::record::Record;
 use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 use streamkit::time::Ts;
@@ -205,6 +207,57 @@ impl PingmeshGenerator {
     }
 }
 
+/// Schema of the named-cluster Pingmesh view: cluster ids carried as
+/// operator-readable names. The names are low-cardinality strings, so the
+/// columnar layout keeps them dictionary-encoded.
+pub fn pingmesh_named_schema() -> SchemaRef {
+    let fields = vec![
+        Field::new("srcIp", DataType::U32),
+        Field::new("srcCluster", DataType::Str),
+        Field::new("dstIp", DataType::U32),
+        Field::new("dstCluster", DataType::Str),
+        Field::new("rtt", DataType::U32),
+        Field::new("errCode", DataType::U32),
+    ];
+    Schema::with_overhead(fields, pingmesh_schema().record_overhead())
+}
+
+/// Rewrites a generated Pingmesh batch into the named-cluster view:
+/// `srcCluster`/`dstCluster` ids become native dictionary columns of
+/// `cluster-<id>` names (cluster-level queries then group on dict keys).
+pub fn to_named_clusters(batch: &Batch) -> Batch {
+    let name_col = |col: &Column| -> Column {
+        let Column::U64(ids) = col else {
+            return col.clone();
+        };
+        let mut dict = StrDict::new();
+        let mut lookup: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let codes = ids
+            .iter()
+            .map(|&id| match lookup.get(&id) {
+                Some(&c) => c,
+                None => {
+                    let c = dict.push(&format!("cluster-{id}"));
+                    lookup.insert(id, c);
+                    c
+                }
+            })
+            .collect();
+        Column::Dict {
+            codes,
+            dict: Arc::new(dict),
+        }
+    };
+    let mut columns = batch.columns.clone();
+    columns[col::SRC_CLUSTER] = name_col(&columns[col::SRC_CLUSTER]);
+    columns[col::DST_CLUSTER] = name_col(&columns[col::DST_CLUSTER]);
+    Batch {
+        schema: pingmesh_named_schema(),
+        timestamps: batch.timestamps.clone(),
+        columns,
+    }
+}
+
 /// Per-source rate skew (paper §II-B: "58 % of the data source nodes generate
 /// 50 % or lower of the highest rate"). Deterministic in the node index:
 /// the first 58 % of nodes (by hashed order) get factors in `[0.2, 0.5]`, the
@@ -317,6 +370,34 @@ mod tests {
             .count();
         let frac = below_half as f64 / total as f64;
         assert!((frac - 0.58).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn named_cluster_view_dict_encodes_cluster_names() {
+        let mut g = PingmeshGenerator::new(PingmeshConfig {
+            src_ip: 2_500,
+            ..Default::default()
+        });
+        let batch = g.generate_epoch_batch(0, 0.05);
+        let named = to_named_clusters(&batch);
+        assert_eq!(named.len(), batch.len());
+        assert!(matches!(
+            named.columns[col::SRC_CLUSTER],
+            Column::Dict { .. }
+        ));
+        assert_eq!(named.columns[col::SRC_CLUSTER].str_at(0), Some("cluster-2"));
+        // Destination clusters span a small id space: the dictionary stays
+        // far below the row count.
+        let (dict, codes) = named.columns[col::DST_CLUSTER].as_dict().unwrap();
+        assert!(dict.len() < codes.len());
+        assert!(named.columns[col::DST_CLUSTER]
+            .str_at(0)
+            .unwrap()
+            .starts_with("cluster-"));
+        // Other columns and timestamps are untouched; the schema follows.
+        assert_eq!(named.columns[col::RTT], batch.columns[col::RTT]);
+        assert_eq!(named.schema, pingmesh_named_schema());
+        assert!(named.wire_size() > 0);
     }
 
     #[test]

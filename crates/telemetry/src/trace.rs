@@ -34,12 +34,18 @@ pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<Record>> {
     Ok(out)
 }
 
+/// Replayed string columns with at most this many distinct values per epoch
+/// batch are dictionary-encoded, so replay feeds the same columnar fast
+/// paths native generators do.
+pub const REPLAY_DICT_MAX_CARDINALITY: usize = 256;
+
 /// Replays a recorded trace epoch by epoch.
 #[derive(Debug, Clone)]
 pub struct ReplayGenerator {
     records: Vec<Record>,
     schema: SchemaRef,
     cursor: usize,
+    dict_bound: usize,
 }
 
 /// Infers a batch schema from replayed values (traces carry no schema). The
@@ -82,7 +88,15 @@ impl ReplayGenerator {
             records,
             schema,
             cursor: 0,
+            dict_bound: REPLAY_DICT_MAX_CARDINALITY,
         }
+    }
+
+    /// Overrides the per-batch cardinality bound under which replayed string
+    /// columns are dictionary-encoded (0 disables dictionary encoding).
+    pub fn with_dict_bound(mut self, bound: usize) -> ReplayGenerator {
+        self.dict_bound = bound;
+        self
     }
 
     /// Remaining record count.
@@ -103,11 +117,17 @@ impl ReplayGenerator {
         out
     }
 
-    /// Columnar view of [`ReplayGenerator::generate_epoch`].
+    /// Columnar view of [`ReplayGenerator::generate_epoch`]. Low-cardinality
+    /// string columns come back dictionary-encoded (see
+    /// [`REPLAY_DICT_MAX_CARDINALITY`]); rows read identically either way.
     pub fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
         let rows = self.generate_epoch(epoch_start, epoch_secs);
-        Batch::from_records(self.schema.clone(), &rows)
-            .expect("replayed records match the trace schema")
+        let mut batch = Batch::from_records(self.schema.clone(), &rows)
+            .expect("replayed records match the trace schema");
+        if self.dict_bound > 0 {
+            batch.dict_encode(self.dict_bound);
+        }
+        batch
     }
 }
 
@@ -145,5 +165,32 @@ mod tests {
     fn malformed_lines_error() {
         let bad = b"not json\n";
         assert!(read_trace(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn replay_dict_encodes_low_cardinality_strings() {
+        use streamkit::batch::Column;
+        use streamkit::value::Value;
+
+        let records: Vec<Record> = (0..50)
+            .map(|i| {
+                Record::new(
+                    i,
+                    vec![
+                        Value::str(["web", "db", "cache"][i as usize % 3]),
+                        Value::U64(i as u64),
+                    ],
+                )
+            })
+            .collect();
+        let mut replay = ReplayGenerator::new(records.clone());
+        let batch = replay.generate_epoch_batch(0, 1.0);
+        assert!(matches!(batch.columns[0], Column::Dict { .. }));
+        assert_eq!(batch.to_records(), records, "rows read identically");
+
+        // A bound of 0 disables the encoding.
+        let mut plain = ReplayGenerator::new(records).with_dict_bound(0);
+        let batch = plain.generate_epoch_batch(0, 1.0);
+        assert!(matches!(batch.columns[0], Column::Str { .. }));
     }
 }

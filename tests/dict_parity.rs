@@ -1,0 +1,209 @@
+//! Dict-keyed vs str-keyed group-by parity on the three paper queries.
+//!
+//! Dictionary-encoded string columns are a physical layout, not a logical
+//! type: every query must produce bit-identical results whether its
+//! `GroupAggregate` keys arrive as `Column::Dict` or `Column::Str`. This
+//! suite runs S2SProbe, T2TProbe, and LogAnalytics through the same batch
+//! pipeline twice — once with dictionary columns flowing as produced
+//! (ParseJobStats emits them natively), once with every intermediate batch
+//! forcibly materialised back to plain strings — and compares exactness
+//! fingerprints. The partitioned flow is covered too, since a Partial-role
+//! operator fed dict keys ships state that must merge exactly into a
+//! Final-role replica fed plain strings.
+
+use jarvis::core::deploy::ExactnessDigest;
+use jarvis::streamkit::batch::Batch;
+use jarvis::streamkit::logical::LogicalPlan;
+use jarvis::streamkit::ops::AggRole;
+use jarvis::streamkit::physical::{self, CostProfile};
+use jarvis::streamkit::record::Record;
+use jarvis::telemetry;
+use telemetry::loganalytics::{LogConfig, LogGenerator};
+use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+
+const EPOCHS: i64 = 5;
+
+/// Key-column layout reaching each `GroupAggregate` under test.
+#[derive(Clone, Copy)]
+enum Keys {
+    /// Dictionary columns flow as produced by generators and maps.
+    Dict,
+    /// Every batch is materialised back to plain string columns between
+    /// stages, so grouping keys off raw bytes.
+    Str,
+}
+
+fn normalise(batch: &mut Batch, keys: Keys) {
+    match keys {
+        Keys::Dict => {
+            // Encode whatever plain string columns remain, so the dict
+            // arm exercises dict keys even where a generator emitted Str.
+            batch.dict_encode(1 << 12);
+        }
+        Keys::Str => batch.dict_decode(),
+    }
+}
+
+fn run_full(plan: &LogicalPlan, inputs: &[Batch], keys: Keys) -> Vec<Record> {
+    let mut ops =
+        physical::build_pipeline(plan, &CostProfile::default(), AggRole::Final).expect("valid");
+    let n = ops.len();
+    let mut results = Vec::new();
+    for (e, input) in inputs.iter().enumerate() {
+        let mut cur = vec![input.clone()];
+        for op in ops.iter_mut() {
+            let mut next = Vec::new();
+            for mut b in cur {
+                normalise(&mut b, keys);
+                op.process_batch(b, &mut next);
+            }
+            cur = next;
+        }
+        results.extend(cur.iter().flat_map(Batch::to_records));
+        let wm = (e as i64 + 1) * 1_000_000;
+        for i in 0..n {
+            let mut emitted = Vec::new();
+            ops[i].on_watermark(wm, &mut emitted);
+            ops[i].on_epoch(&mut emitted);
+            for later in ops.iter_mut().take(n).skip(i + 1) {
+                let mut next = Vec::new();
+                for mut b in emitted.drain(..) {
+                    normalise(&mut b, keys);
+                    later.process_batch(b, &mut next);
+                }
+                emitted = next;
+            }
+            results.extend(emitted.iter().flat_map(Batch::to_records));
+        }
+    }
+    results.extend(
+        physical::drain_windows(&mut ops, jarvis::streamkit::time::TS_MAX)
+            .iter()
+            .flat_map(Batch::to_records),
+    );
+    results
+}
+
+/// Partitioned flow with configurable layouts: the Partial-role local
+/// prefix sees `local_keys` while the Final-role replica sees
+/// `replica_keys`. Shipped group state must merge exactly regardless.
+fn run_partitioned(
+    plan: &LogicalPlan,
+    inputs: &[Batch],
+    local_keys: Keys,
+    replica_keys: Keys,
+) -> Vec<Record> {
+    let costs = CostProfile::default();
+    let mut local = physical::build_pipeline(plan, &costs, AggRole::Partial).expect("valid");
+    let mut replica = physical::build_pipeline(plan, &costs, AggRole::Final).expect("valid");
+    let mut results = Vec::new();
+    for input in inputs {
+        let mask: Vec<bool> = (0..input.len()).map(|r| r % 2 == 1).collect();
+        let drained_mask: Vec<bool> = mask.iter().map(|b| !b).collect();
+        let mut cur = vec![input.select(&mask)];
+        for op in local.iter_mut() {
+            let mut next = Vec::new();
+            for mut b in cur {
+                normalise(&mut b, local_keys);
+                op.process_batch(b, &mut next);
+            }
+            cur = next;
+        }
+        for (stage, op) in local.iter_mut().enumerate() {
+            if let Some(delta) = op.take_state_delta() {
+                replica[stage].merge_state(delta);
+            }
+        }
+        let mut cur = vec![input.select(&drained_mask)];
+        for op in replica.iter_mut() {
+            let mut next = Vec::new();
+            for mut b in cur {
+                normalise(&mut b, replica_keys);
+                op.process_batch(b, &mut next);
+            }
+            cur = next;
+        }
+        results.extend(cur.iter().flat_map(Batch::to_records));
+    }
+    for (stage, op) in local.iter_mut().enumerate() {
+        if let Some(delta) = op.take_state_delta() {
+            replica[stage].merge_state(delta);
+        }
+    }
+    results.extend(
+        physical::drain_windows(&mut replica, jarvis::streamkit::time::TS_MAX)
+            .iter()
+            .flat_map(Batch::to_records),
+    );
+    results
+}
+
+fn digest(rows: &[Record]) -> ExactnessDigest {
+    ExactnessDigest::of_rows(rows)
+}
+
+fn pingmesh_epochs(peer_ip_space: u32) -> Vec<Batch> {
+    let mut gen = PingmeshGenerator::new(PingmeshConfig {
+        peer_ip_space,
+        ..Default::default()
+    });
+    (0..EPOCHS)
+        .map(|e| gen.generate_epoch_batch(e * 1_000_000, 1.0))
+        .collect()
+}
+
+fn log_epochs() -> Vec<Batch> {
+    let mut gen = LogGenerator::new(LogConfig {
+        scale: 0.05,
+        ..Default::default()
+    });
+    (0..EPOCHS)
+        .map(|e| gen.generate_epoch_batch(e * 1_000_000, 1.0))
+        .collect()
+}
+
+fn assert_dict_str_parity(name: &str, plan: &LogicalPlan, inputs: &[Batch]) {
+    let dict = run_full(plan, inputs, Keys::Dict);
+    let with_str = run_full(plan, inputs, Keys::Str);
+    assert!(!dict.is_empty(), "{name}: queries must emit results");
+    assert_eq!(
+        digest(&dict),
+        digest(&with_str),
+        "{name}: dict-keyed and str-keyed grouping diverged"
+    );
+}
+
+#[test]
+fn s2s_probe_dict_equals_str() {
+    let plan = telemetry::queries::s2s_probe();
+    assert_dict_str_parity("S2SProbe", &plan, &pingmesh_epochs(20_000));
+}
+
+#[test]
+fn t2t_probe_dict_equals_str() {
+    let (src, dst) = telemetry::queries::t2t_tables(500, 40, &[1]);
+    let plan = telemetry::queries::t2t_probe(src, dst);
+    assert_dict_str_parity("T2TProbe", &plan, &pingmesh_epochs(500));
+}
+
+#[test]
+fn log_analytics_dict_equals_str() {
+    let plan = telemetry::queries::log_analytics();
+    assert_dict_str_parity("LogAnalytics", &plan, &log_epochs());
+}
+
+#[test]
+fn log_analytics_partitioned_mixed_layouts_merge_exactly() {
+    let plan = telemetry::queries::log_analytics();
+    let inputs = log_epochs();
+    let all_str = run_partitioned(&plan, &inputs, Keys::Str, Keys::Str);
+    let mixed = run_partitioned(&plan, &inputs, Keys::Dict, Keys::Str);
+    let all_dict = run_partitioned(&plan, &inputs, Keys::Dict, Keys::Dict);
+    assert!(!all_str.is_empty());
+    assert_eq!(
+        digest(&all_str),
+        digest(&mixed),
+        "dict-fed partial state must merge exactly into a str-fed replica"
+    );
+    assert_eq!(digest(&all_str), digest(&all_dict));
+}

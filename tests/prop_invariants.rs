@@ -124,6 +124,114 @@ proptest! {
         prop_assert_eq!(decoded.to_records(), records);
     }
 
+    /// Dictionary string columns round-trip the wire for arbitrary entry
+    /// sets — including the empty dictionary, dictionaries beyond 255
+    /// entries (codes wider than one byte), and `Opt`-wrapped (nullable)
+    /// dict columns.
+    #[test]
+    fn dict_columns_round_trip_the_wire(
+        entries in proptest::collection::vec("[a-z0-9]{0,12}", 0..300),
+        picks in proptest::collection::vec((any::<u32>(), any::<bool>()), 0..120),
+    ) {
+        use jarvis::streamkit::batch::DictBuilder;
+
+        let schema = Schema::new(vec![
+            Field::new("dense", DataType::Str),
+            Field::new("nullable", DataType::Str),
+        ]);
+        let mut dense = DictBuilder::new(picks.len());
+        let mut nullable = DictBuilder::new(picks.len());
+        for (pick, valid) in &picks {
+            let entry = if entries.is_empty() {
+                ""
+            } else {
+                entries[*pick as usize % entries.len()].as_str()
+            };
+            dense.push(entry);
+            if *valid && !entries.is_empty() {
+                nullable.push(entry);
+            } else {
+                nullable.push_null();
+            }
+        }
+        let batch = Batch {
+            schema: schema.clone(),
+            timestamps: (0..picks.len() as i64).collect(),
+            columns: vec![dense.finish(), nullable.finish()],
+        };
+        let decoded = decode_batch(schema, encode_batch(&batch)).unwrap();
+        prop_assert_eq!(decoded.to_records(), batch.to_records());
+        prop_assert_eq!(decoded.wire_size(), batch.wire_size());
+    }
+
+    /// Grouping on dictionary keys is indistinguishable from grouping on
+    /// the same strings in plain columns, for arbitrary key/value streams
+    /// split arbitrarily into batches.
+    #[test]
+    fn dict_and_str_group_keys_agree(
+        rows in proptest::collection::vec(
+            (0u32..12, 0u32..4, -1e6f64..1e6, 0i64..40_000_000),
+            1..200,
+        ),
+        cut in 0usize..200,
+    ) {
+        use jarvis::streamkit::ops::{AggRole, CostModel, EmitMode, GroupAggregateOp, Operator};
+
+        let schema = Schema::new(vec![
+            Field::new("tenant", DataType::Str),
+            Field::new("stat", DataType::Str),
+            Field::new("v", DataType::F64),
+        ]);
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(t, s, v, ts)| Record::new(
+                *ts,
+                vec![
+                    Value::str(format!("tenant-{t}")),
+                    Value::str(["a", "bb", "ccc", ""][*s as usize]),
+                    Value::F64(*v),
+                ],
+            ))
+            .collect();
+        let mk_op = || GroupAggregateOp::new(
+            vec![0, 1],
+            vec![
+                AggSpec::new(AggKind::Sum, 2, "sum"),
+                AggSpec::new(AggKind::Avg, 2, "avg"),
+                AggSpec::new(AggKind::Max, 2, "max"),
+                AggSpec::new(AggKind::Count, 2, "n"),
+            ],
+            &schema,
+            TumblingWindow::new(10_000_000),
+            EmitMode::OnWindowClose,
+            AggRole::Final,
+            CostModel::fixed(1.0),
+        );
+        let mut str_op = mk_op();
+        let mut dict_op = mk_op();
+        // Split into two batches at an arbitrary cut: the two batches build
+        // *different* dictionaries for the same strings, which must not
+        // affect grouping.
+        let cut = cut.min(records.len());
+        for part in [&records[..cut], &records[cut..]] {
+            let plain = Batch::from_records(schema.clone(), part).unwrap();
+            let mut dict = plain.clone();
+            dict.dict_encode(64);
+            let mut sink = Vec::new();
+            str_op.process_batch(plain, &mut sink);
+            dict_op.process_batch(dict, &mut sink);
+            prop_assert!(sink.is_empty());
+        }
+        let mut str_out = Vec::new();
+        let mut dict_out = Vec::new();
+        str_op.on_watermark(i64::MAX, &mut str_out);
+        dict_op.on_watermark(i64::MAX, &mut dict_out);
+        let flat = |out: &[Batch]| -> Vec<Record> {
+            out.iter().flat_map(Batch::to_records).collect()
+        };
+        prop_assert_eq!(flat(&str_out), flat(&dict_out));
+    }
+
     /// Tumbling windows tile the timeline: every timestamp belongs to
     /// exactly one window, and closure is monotone in the watermark.
     #[test]
