@@ -1,0 +1,38 @@
+//! Sharded SP runtime scaling on the group-aggregate-heavy pipeline.
+//!
+//! Runs the S2SProbe chain (`W -> F -> G+R`) over a high-cardinality
+//! Pingmesh stream through the keyed shard partitioner at 1, 2, and 4
+//! shards, timing the critical path (serial router + slowest shard
+//! pipeline) exactly as `repro bench`'s `shard_scaling` series does. The
+//! acceptance target for the sharded runtime is ≥ 1.5× the unsharded
+//! throughput at 4 shards. Set `BENCH_SMOKE=1` for a reduced-sample CI run.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jarvis_bench::shardscale::{build_sharded_chain, run_sharded_iter, shard_scaling_epochs};
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let batches = shard_scaling_epochs(4);
+    let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+    let mut group = c.benchmark_group("shard_scaling");
+    group.throughput(Throughput::Elements(rows));
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(300));
+    }
+
+    for n in [1usize, 2, 4] {
+        group.bench_function(format!("s2s_group_heavy/{n}_shards"), |b| {
+            let mut chain = build_sharded_chain(n);
+            b.iter(|| run_sharded_iter(black_box(&mut chain), &batches));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

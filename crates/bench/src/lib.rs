@@ -9,8 +9,8 @@ pub mod figures;
 pub mod groupagg;
 pub mod measure;
 pub mod output;
-pub mod rowbatch;
+pub mod shardscale;
 
 pub use figures::*;
 pub use groupagg::{bench_group_agg, GroupAggResult};
-pub use rowbatch::{bench_throughput, RowBatchResult, ThroughputReport};
+pub use shardscale::{bench_shard_scaling, ShardScalingResult, ThroughputReport};

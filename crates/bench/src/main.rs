@@ -9,9 +9,9 @@
 //! fig10a, fig10b, fig10c, fig11a, fig11b, fig11c, latency, opcount,
 //! overhead, bench.
 //!
-//! `bench` is not a paper figure: it measures the row-shim vs batch-path
-//! operator throughput and the str-keyed vs dict-keyed group-aggregate
-//! kernels, and (with `--json`) writes `BENCH_throughput.json`, the
+//! `bench` is not a paper figure: it measures the str-keyed vs dict-keyed
+//! group-aggregate kernels and the sharded SP runtime's 1/2/4-shard
+//! scaling, and (with `--json`) writes `BENCH_throughput.json`, the
 //! perf-trajectory artifact CI uploads. With `--check` it additionally
 //! fails (exit 1) when a measured speedup regresses more than 20% below
 //! the committed baseline.
@@ -318,16 +318,9 @@ fn run_bench(json: bool, check: bool) {
         .flatten();
 
     let report = ThroughputReport {
-        row_vs_batch: bench_throughput(15),
         group_agg: bench_group_agg(15),
+        shard_scaling: bench_shard_scaling(15),
     };
-    let r = &report.row_vs_batch;
-    println!("Operator throughput: legacy row shim vs vectorized batch path");
-    println!("  pipeline : {}", r.pipeline);
-    println!("  rows/iter: {}", r.rows);
-    println!("  row path : {:.0} records/s", r.row_records_per_sec);
-    println!("  batch    : {:.0} records/s", r.batch_records_per_sec);
-    println!("  speedup  : {:.2}x (target: >= 2x)", r.speedup);
     let g = &report.group_agg;
     println!("Group-aggregate kernels: str keys vs dict keys");
     println!("  pipeline : {}", g.pipeline);
@@ -341,6 +334,23 @@ fn run_bench(json: bool, check: bool) {
         g.dict_rows_per_sec, g.dict_ns_per_row
     );
     println!("  speedup  : {:.2}x (target: >= 1.5x)", g.speedup);
+    let s = &report.shard_scaling;
+    println!("Sharded SP runtime: keyed shard pipelines, critical-path throughput");
+    println!("  pipeline : {}", s.pipeline);
+    println!("  rows/iter: {}", s.rows);
+    for (i, n) in s.shards.iter().enumerate() {
+        println!(
+            "  {n} shard{} : {:.0} rows/s ({:.2}x)",
+            if *n == 1 { " " } else { "s" },
+            s.rows_per_sec[i],
+            s.speedup[i]
+        );
+    }
+    println!(
+        "  speedup  : {:.2}x at {} shards (target: >= 1.5x)",
+        s.speedup_at_max(),
+        s.shards.last().unwrap_or(&1)
+    );
     maybe_json(json, "BENCH_throughput", &report);
 
     if check {

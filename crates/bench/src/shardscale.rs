@@ -1,0 +1,233 @@
+//! Shard-scaling throughput for the perf trajectory.
+//!
+//! Measures the sharded SP runtime's group-aggregate-heavy hot path — the
+//! S2SProbe chain over a high-cardinality Pingmesh stream, where the keyed
+//! `G+R` dominates — at 1, 2, and 4 shards. The router phase (stateless
+//! prefix + [`Batch::shard_by_key`] partitioning) is serial, exactly as the
+//! sharded runtime's router thread is; each shard's pipeline is then timed
+//! independently and the reported wall-clock is the **critical path**,
+//! `router + slowest shard`, i.e. the throughput a machine with at least
+//! `n` worker cores sustains. (This container may have a single core, so
+//! end-to-end thread-pool wall-clock would measure the scheduler, not the
+//! runtime; shard exactness under real threads is covered by
+//! `tests/shard_parity.rs`.)
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use streamkit::batch::Batch;
+use streamkit::ops::{AggRole, Operator};
+use streamkit::physical::{build_pipeline, CostProfile};
+use streamkit::time::TS_MAX;
+use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+
+use crate::measure::best_secs;
+
+/// The perf-trajectory artifact (`BENCH_throughput.json`): one series per
+/// optimized hot path. CI re-measures and fails loudly when a series'
+/// speedup regresses more than 20% against the committed numbers (speedup
+/// ratios, not absolute rates, so the gate is machine-independent). The
+/// PR-2 `row_vs_batch` series retired together with the row shim it
+/// measured; `tests/golden_fingerprints.rs` now pins those semantics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Str-keyed vs dict-keyed group aggregation (PR 3).
+    pub group_agg: crate::groupagg::GroupAggResult,
+    /// Sharded SP runtime: 1/2/4 keyed shard pipelines (PR 4).
+    pub shard_scaling: ShardScalingResult,
+}
+
+/// Allowed relative speedup regression before the CI gate fails.
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+impl ThroughputReport {
+    /// Compares this (freshly measured) report against committed baseline
+    /// numbers. Returns the list of human-readable regressions — empty when
+    /// every series is within tolerance.
+    pub fn regressions_vs(&self, baseline: &ThroughputReport) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut check = |name: &str, measured: f64, committed: f64| {
+            if measured < committed * (1.0 - REGRESSION_TOLERANCE) {
+                out.push(format!(
+                    "{name}: measured speedup {measured:.2}x is more than {:.0}% below \
+                     the committed {committed:.2}x",
+                    REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        };
+        check(
+            "group_agg",
+            self.group_agg.speedup,
+            baseline.group_agg.speedup,
+        );
+        check(
+            "shard_scaling@4",
+            self.shard_scaling.speedup_at_max(),
+            baseline.shard_scaling.speedup_at_max(),
+        );
+        out
+    }
+}
+
+/// Result of one shard-scaling measurement: parallel series over shard
+/// counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardScalingResult {
+    /// Workload identifier.
+    pub pipeline: String,
+    /// Rows pushed through the chain per iteration.
+    pub rows: u64,
+    /// Measured iterations per shard count.
+    pub iters: u32,
+    /// Shard counts measured (ascending; first is the unsharded baseline).
+    pub shards: Vec<u32>,
+    /// Critical-path throughput per shard count, rows/second.
+    pub rows_per_sec: Vec<f64>,
+    /// Speedup vs the unsharded baseline, per shard count.
+    pub speedup: Vec<f64>,
+}
+
+impl ShardScalingResult {
+    /// Speedup at the largest measured shard count (the CI-gated number).
+    pub fn speedup_at_max(&self) -> f64 {
+        self.speedup.last().copied().unwrap_or(1.0)
+    }
+}
+
+/// The group-aggregate-heavy workload: S2SProbe over a wide peer space, so
+/// nearly every row opens or probes a distinct `(srcIp, dstIp)` group and
+/// the keyed `G+R` dominates the chain.
+pub fn shard_scaling_epochs(n_epochs: i64) -> Vec<Batch> {
+    let mut gen = PingmeshGenerator::new(PingmeshConfig {
+        scale: 2.0,
+        peer_ip_space: 20_000,
+        ..Default::default()
+    });
+    (0..n_epochs)
+        .map(|e| gen.generate_epoch_batch(e * 1_000_000, 1.0))
+        .collect()
+}
+
+/// The measured chain split at its keyed boundary: the stateless prefix
+/// (router side) and `n` independent keyed pipelines (one per shard).
+pub struct ShardedChain {
+    /// Group-key columns at the boundary edge.
+    pub keys: Vec<usize>,
+    /// Stateless prefix stages (router side).
+    pub prefix: Vec<Box<dyn Operator>>,
+    /// One keyed pipeline per shard.
+    pub shards: Vec<Vec<Box<dyn Operator>>>,
+}
+
+/// Builds the S2SProbe chain split for `n` shards.
+pub fn build_sharded_chain(n: usize) -> ShardedChain {
+    let plan = telemetry::queries::s2s_probe();
+    let costs = CostProfile::default();
+    let (boundary, keys) = plan.shard_boundary().expect("S2SProbe has a G+R");
+    let mut prefix = build_pipeline(&plan, &costs, AggRole::Final).expect("valid plan");
+    prefix.truncate(boundary);
+    let shards = (0..n.max(1))
+        .map(|_| {
+            let mut ops = build_pipeline(&plan, &costs, AggRole::Final).expect("valid plan");
+            ops.split_off(boundary)
+        })
+        .collect();
+    ShardedChain {
+        keys,
+        prefix,
+        shards,
+    }
+}
+
+/// One iteration of the critical-path measurement. Returns
+/// `(router_secs, max_shard_secs, emitted_rows)`.
+pub fn run_sharded_iter(chain: &mut ShardedChain, batches: &[Batch]) -> (f64, f64, usize) {
+    let n = chain.shards.len();
+    // Router phase: stateless prefix, then key-hash partitioning.
+    let start = Instant::now();
+    let mut buckets: Vec<Vec<Batch>> = (0..n).map(|_| Vec::new()).collect();
+    for batch in batches {
+        let mut cur = vec![batch.clone()];
+        for op in chain.prefix.iter_mut() {
+            let mut next = Vec::new();
+            for b in cur {
+                op.process_batch(b, &mut next);
+            }
+            cur = next;
+        }
+        for out in cur {
+            if n == 1 {
+                buckets[0].push(out);
+            } else {
+                for (k, sub) in out.shard_by_key(&chain.keys, n).into_iter().enumerate() {
+                    if !sub.is_empty() {
+                        buckets[k].push(sub);
+                    }
+                }
+            }
+        }
+    }
+    for op in chain.prefix.iter_mut() {
+        op.reset();
+    }
+    let router_secs = start.elapsed().as_secs_f64();
+
+    // Shard phase: each keyed pipeline timed independently; the critical
+    // path is the slowest one.
+    let mut max_shard_secs = 0.0f64;
+    let mut emitted = 0usize;
+    for (ops, bucket) in chain.shards.iter_mut().zip(buckets) {
+        let start = Instant::now();
+        let mut sink = Vec::new();
+        for b in bucket {
+            ops[0].process_batch(b, &mut sink);
+        }
+        let mut cur = std::mem::take(&mut sink);
+        ops[0].on_watermark(TS_MAX, &mut cur);
+        for op in ops.iter_mut().skip(1) {
+            let mut next = Vec::new();
+            for b in cur {
+                op.process_batch(b, &mut next);
+            }
+            op.on_watermark(TS_MAX, &mut next);
+            cur = next;
+        }
+        emitted += cur.iter().map(Batch::len).sum::<usize>();
+        for op in ops.iter_mut() {
+            op.reset();
+        }
+        max_shard_secs = max_shard_secs.max(start.elapsed().as_secs_f64());
+    }
+    (router_secs, max_shard_secs, emitted)
+}
+
+/// Measures the shard-scaling series. `iters` timed iterations per shard
+/// count (best-of, like every trajectory series).
+pub fn bench_shard_scaling(iters: u32) -> ShardScalingResult {
+    let batches = shard_scaling_epochs(4);
+    let rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let shard_counts = [1u32, 2, 4];
+
+    let mut rows_per_sec = Vec::with_capacity(shard_counts.len());
+    for &n in &shard_counts {
+        let mut chain = build_sharded_chain(n as usize);
+        run_sharded_iter(&mut chain, &batches); // warm-up
+        let samples: Vec<f64> = (0..iters.max(1))
+            .map(|_| {
+                let (router, max_shard, emitted) = run_sharded_iter(&mut chain, &batches);
+                assert!(emitted > 0, "the chain must emit results");
+                router + max_shard
+            })
+            .collect();
+        rows_per_sec.push(rows as f64 / best_secs(samples));
+    }
+    let base = rows_per_sec[0];
+    ShardScalingResult {
+        pipeline: "S2SProbe sharded G+R (20k peer space), critical path".into(),
+        rows,
+        iters: iters.max(1),
+        shards: shard_counts.to_vec(),
+        rows_per_sec: rows_per_sec.clone(),
+        speedup: rows_per_sec.iter().map(|r| r / base).collect(),
+    }
+}

@@ -42,6 +42,7 @@ pub(crate) fn build_block(
         generators,
         BuildingBlockConfig {
             network: spec.network,
+            sp_shards: spec.sp_shards as usize,
             ..Default::default()
         },
         spec.warmup_epochs,
@@ -125,6 +126,16 @@ impl EmulatedBackend {
         };
         report.deployed_chain = planned.plan.display_chain();
         report.source_ops = planned.source_ops;
+        report.sp_shards = block.sp().n_shards() as u64;
+        report.shard_stats = block
+            .sp()
+            .shard_stats()
+            .iter()
+            .map(|s| crate::deploy::report::ShardStat {
+                drained_records: s.drained_records,
+                usage_us: s.usage_us,
+            })
+            .collect();
         report
     }
 }
@@ -165,6 +176,7 @@ impl ExecBackend for LiveBackend {
         report.epochs = session.epoch();
         report.deployed_chain = session.planned().plan.display_chain();
         report.source_ops = session.planned().source_ops;
+        report.sp_shards = session.n_shards() as u64;
         report.trace = session.runtime(0).trace().to_vec();
         report.episodes = session.runtime(0).episodes().to_vec();
         report.load_factors = session.load_factors(0);
@@ -182,6 +194,17 @@ impl ExecBackend for LiveBackend {
         report.drained_bytes = outcome.drained_bytes;
         report.state_deltas = outcome.state_deltas;
         report.results_emitted = outcome.results.len() as u64;
+        report.shard_stats = outcome
+            .shard_drained_records
+            .iter()
+            .zip(&outcome.shard_usage_us)
+            .map(
+                |(&drained_records, &usage_us)| crate::deploy::report::ShardStat {
+                    drained_records,
+                    usage_us,
+                },
+            )
+            .collect();
         if spec.collect_results {
             report.exactness = Some(ExactnessDigest::of_rows(&outcome.results));
         }

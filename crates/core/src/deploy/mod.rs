@@ -45,7 +45,7 @@ use std::fmt;
 use std::sync::Arc;
 
 pub use backend::{ConvergenceBackend, EmulatedBackend, ExecBackend, LiveBackend};
-pub use report::{ExactnessDigest, RunReport};
+pub use report::{ExactnessDigest, RunReport, ShardStat};
 pub use workload::{CustomWorkload, SourceAdapter};
 
 use crate::calibration;
@@ -53,6 +53,10 @@ use crate::engine::block::NetworkModel;
 use crate::experiment::ResourceEvent;
 use crate::planner::RuleConfig;
 use crate::strategy::StrategyKind;
+
+/// Largest supported `sp_shards` value: beyond this, per-shard channel and
+/// pipeline overhead dwarfs any realistic SP parallelism.
+pub const MAX_SP_SHARDS: u32 = 64;
 
 /// Which built-in backend executes the deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +91,20 @@ pub enum DeployError {
     InvalidCpuBudget {
         /// The rejected value.
         got: f64,
+    },
+    /// `sp_shards` outside the supported range.
+    InvalidShardCount {
+        /// The rejected value.
+        got: u32,
+        /// Largest supported shard count.
+        max: u32,
+    },
+    /// `sp_shards > 1` on a plan the key partitioner cannot shard exactly:
+    /// a second keyed operator past the shard boundary would see its key
+    /// space split by the *first* operator's keys, duplicating groups.
+    ShardingUnsupportedPlan {
+        /// The offending operator chain.
+        chain: String,
     },
     /// A pinned load factor outside `[0, 1]`.
     InvalidLoadFactor {
@@ -132,6 +150,16 @@ impl fmt::Display for DeployError {
                 write!(
                     f,
                     "CPU budget must be a positive finite core fraction, got {got}"
+                )
+            }
+            DeployError::InvalidShardCount { got, max } => {
+                write!(f, "sp_shards must be in 1..={max}, got {got}")
+            }
+            DeployError::ShardingUnsupportedPlan { chain } => {
+                write!(
+                    f,
+                    "sp_shards > 1 requires at most one keyed operator in the chain \
+                     (re-sharding at a second keyed boundary is not implemented): {chain}"
                 )
             }
             DeployError::InvalidLoadFactor { index, value } => {
@@ -183,6 +211,8 @@ pub struct DeploymentSpec {
     pub sources: u32,
     /// CPU available to the query on each source, core fraction.
     pub cpu_budget: f64,
+    /// Keyed shard pipelines per SP replica (1 = the unsharded chain).
+    pub sp_shards: u32,
     /// Uplink topology between sources and the stream processor.
     pub network: NetworkModel,
     /// Operator-eligibility rules (R-1..R-4).
@@ -208,6 +238,7 @@ impl fmt::Debug for DeploymentSpec {
             .field("strategy", &self.strategy)
             .field("sources", &self.sources)
             .field("cpu_budget", &self.cpu_budget)
+            .field("sp_shards", &self.sp_shards)
             .field("network", &self.network)
             .field("warmup_epochs", &self.warmup_epochs)
             .field("fixed_load_factors", &self.fixed_load_factors)
@@ -223,6 +254,7 @@ pub struct DeploymentBuilder {
     strategy: StrategyKind,
     sources: u32,
     cpu_budget: f64,
+    sp_shards: u32,
     network: Option<NetworkModel>,
     rules: RuleConfig,
     warmup_epochs: u64,
@@ -240,6 +272,7 @@ impl Default for DeploymentBuilder {
             strategy: StrategyKind::Jarvis,
             sources: 1,
             cpu_budget: 0.5,
+            sp_shards: 1,
             network: None,
             rules: RuleConfig::default(),
             warmup_epochs: crate::experiment::DEFAULT_WARMUP_EPOCHS,
@@ -280,6 +313,15 @@ impl DeploymentBuilder {
     /// Sets the per-source CPU budget in core fractions (default 0.5).
     pub fn cpu_budget(mut self, fraction: f64) -> Self {
         self.cpu_budget = fraction;
+        self
+    }
+
+    /// Sets the number of keyed shard pipelines per SP replica (default 1 =
+    /// the unsharded chain). Sharded runs partition every batch by the
+    /// plan's group keys at its stateful boundary and stay exact; see
+    /// `tests/shard_parity.rs`.
+    pub fn sp_shards(mut self, shards: u32) -> Self {
+        self.sp_shards = shards;
         self
     }
 
@@ -345,8 +387,28 @@ impl DeploymentBuilder {
                 got: self.cpu_budget,
             });
         }
+        if !(1..=MAX_SP_SHARDS).contains(&self.sp_shards) {
+            return Err(DeployError::InvalidShardCount {
+                got: self.sp_shards,
+                max: MAX_SP_SHARDS,
+            });
+        }
         // Planning validates the query and fixes the source-eligible prefix.
         let planned = crate::planner::plan_query(workload.logical_plan(), &self.rules)?;
+        // The shard partitioner splits once, at the first keyed boundary; a
+        // second stateful op downstream would receive rows partitioned by
+        // the wrong keys and duplicate its groups across shards.
+        let stateful_ops = planned
+            .plan
+            .ops
+            .iter()
+            .filter(|op| matches!(op, streamkit::logical::LogicalOp::GroupAggregate { .. }))
+            .count();
+        if self.sp_shards > 1 && stateful_ops > 1 {
+            return Err(DeployError::ShardingUnsupportedPlan {
+                chain: planned.plan.display_chain(),
+            });
+        }
         if let Some(factors) = &self.fixed_load_factors {
             if self.strategy.is_adaptive() {
                 return Err(DeployError::FixedFactorsWithAdaptiveStrategy {
@@ -381,6 +443,7 @@ impl DeploymentBuilder {
             strategy: self.strategy,
             sources: self.sources,
             cpu_budget: self.cpu_budget,
+            sp_shards: self.sp_shards,
             network: self.network.unwrap_or(NetworkModel::PerSource {
                 bps: calibration::per_query_per_node_bps(),
             }),
@@ -485,6 +548,60 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_is_range_checked() {
+        assert_eq!(
+            builder().sp_shards(0).build().unwrap_err(),
+            DeployError::InvalidShardCount {
+                got: 0,
+                max: MAX_SP_SHARDS
+            }
+        );
+        assert_eq!(
+            builder().sp_shards(MAX_SP_SHARDS + 1).build().unwrap_err(),
+            DeployError::InvalidShardCount {
+                got: MAX_SP_SHARDS + 1,
+                max: MAX_SP_SHARDS
+            }
+        );
+        let d = builder().sp_shards(4).build().unwrap();
+        assert_eq!(d.spec().sp_shards, 4);
+    }
+
+    #[test]
+    fn sharding_rejects_plans_with_a_second_keyed_operator() {
+        // A second GroupAggregate past the shard boundary would see its key
+        // space partitioned by the *first* operator's keys — the builder
+        // must refuse rather than silently duplicate groups.
+        use streamkit::agg::{AggKind, AggSpec};
+        use streamkit::logical::LogicalOp;
+        use streamkit::ops::EmitMode;
+
+        let mut plan = telemetry::queries::s2s_probe();
+        plan.ops.push(LogicalOp::GroupAggregate {
+            keys: vec![1],
+            aggs: vec![AggSpec::new(AggKind::Avg, 3, "avg_of_avg")],
+            emit: EmitMode::OnWindowClose,
+        });
+        plan.validate()
+            .expect("two-stage aggregation is a valid plan");
+        let workload = crate::deploy::CustomWorkload::new(
+            "double-agg",
+            plan,
+            streamkit::physical::CostProfile::default(),
+            vec![],
+        );
+        let err = Deployment::builder()
+            .workload(workload)
+            .sp_shards(2)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, DeployError::ShardingUnsupportedPlan { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
     fn out_of_range_load_factor_is_rejected() {
         let err = builder()
             .strategy(StrategyKind::AllSrc)
@@ -582,6 +699,7 @@ mod tests {
     fn valid_spec_carries_defaults() {
         let d = builder().cpu_budget(0.6).build().unwrap();
         assert_eq!(d.spec().sources, 1);
+        assert_eq!(d.spec().sp_shards, 1, "unsharded by default");
         assert_eq!(
             d.spec().warmup_epochs,
             crate::experiment::DEFAULT_WARMUP_EPOCHS

@@ -65,6 +65,16 @@ fn canonical_row(rec: &Record) -> String {
     s
 }
 
+/// Per-shard drain/usage counters of a sharded SP runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStat {
+    /// Input rows routed into the shard by the key-hash partitioner.
+    pub drained_records: u64,
+    /// Compute charged to the shard's pipeline, µs (modelled on the
+    /// emulated backend, counterfactual on the live backend).
+    pub usage_us: f64,
+}
+
 /// Result of executing a [`crate::deploy::DeploymentSpec`] on a backend.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -113,6 +123,11 @@ pub struct RunReport {
     pub deployed_chain: String,
     /// Operators eligible to run on the data sources.
     pub source_ops: usize,
+    /// Keyed shard pipelines per SP replica (1 = unsharded).
+    pub sp_shards: u64,
+    /// Per-shard drain/usage stats of the sharded SP runtime (emulated and
+    /// live backends).
+    pub shard_stats: Vec<ShardStat>,
     /// Epochs StepWise-Adapt needed to stabilise (convergence backend).
     pub converged_epochs: Option<u32>,
 }
@@ -142,6 +157,8 @@ impl RunReport {
             overhead_core_frac: 0.0,
             deployed_chain: String::new(),
             source_ops: 0,
+            sp_shards: 1,
+            shard_stats: Vec::new(),
             converged_epochs: None,
         }
     }

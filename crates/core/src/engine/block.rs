@@ -110,6 +110,8 @@ pub struct BuildingBlockConfig {
     pub sp_cores: f64,
     /// Uplink model.
     pub network: NetworkModel,
+    /// Keyed shard pipelines per SP replica (1 = unsharded).
+    pub sp_shards: usize,
 }
 
 impl Default for BuildingBlockConfig {
@@ -120,6 +122,7 @@ impl Default for BuildingBlockConfig {
             network: NetworkModel::PerSource {
                 bps: calibration::per_query_per_node_bps(),
             },
+            sp_shards: 1,
         }
     }
 }
@@ -186,7 +189,14 @@ impl BuildingBlock {
                 Net::Shared(link)
             }
         };
-        let sp = SpEngine::new(planned, costs, n, cfg.sp_cores, cfg.epoch_secs);
+        let sp = SpEngine::new(
+            planned,
+            costs,
+            n,
+            cfg.sp_cores,
+            cfg.epoch_secs,
+            cfg.sp_shards,
+        );
         BuildingBlock {
             clock: VirtualClock::new(cfg.epoch_secs),
             sources,

@@ -1,10 +1,23 @@
-//! The stream-processor engine, batch-first.
+//! The stream-processor engine — batch-first and key-sharded.
 //!
-//! Hosts one replica pipeline per data source (paper Fig. 5): drained
-//! batches enter at the operator they were drained in front of and flow
-//! through the rest of the chain; partial-state deltas merge into the
-//! replica's stateful operator. Stateful replicas run in Final role and emit
-//! merged results. The SP's cores are shared across all replicas.
+//! Each data source has a replica of the planned query at the SP (paper
+//! Fig. 5), structured around the plan's *keyed boundary* (the first
+//! stateful operator):
+//!
+//! * the stateless **prefix** runs as one chain per replica — drained
+//!   batches enter at the operator they were drained in front of;
+//! * at the boundary, a key-hash partitioner ([`Batch::shard_by_key`])
+//!   splits every batch into `n_shards` disjoint sub-batches, each feeding
+//!   an independent **shard pipeline** (the stateful operator plus the rest
+//!   of the chain). Rows with equal group keys always land on the same
+//!   shard, and shipped [`StatePartial`] entries are routed to the shard
+//!   owning their key ([`shard_of_values`]) — so window results stay exact:
+//!   a group's whole lifetime (updates, merged partials, close) happens on
+//!   one shard, and the union over shards equals the unsharded run.
+//!
+//! `n_shards = 1` reproduces the unsharded replica chains exactly. The SP's
+//! cores are shared across all replicas and shards; per-shard usage and
+//! drain counters feed [`SpEngine::shard_stats`].
 //!
 //! Throughput accounting distinguishes the *input domain* (drained source
 //! rows still being processed — their terminal events complete the input
@@ -15,9 +28,10 @@ use std::collections::VecDeque;
 
 use simnet::{CpuBudget, Node, NodeId};
 use streamkit::batch::Batch;
-use streamkit::ops::{absorbed_timestamps, AggRole, Operator};
+use streamkit::ops::{absorbed_timestamps, AggRole, Operator, StatePartial};
 use streamkit::physical::{build_pipeline, CostProfile};
 use streamkit::record::Record;
+use streamkit::shard::shard_of_values;
 use streamkit::time::Ts;
 
 use crate::calibration;
@@ -42,12 +56,93 @@ struct Item {
     kind: ItemKind,
 }
 
-/// Per-source replica pipeline.
-struct Replica {
+/// One keyed shard pipeline: the stateful boundary operator and the rest of
+/// the chain, owning a disjoint slice of the replica's key space.
+struct ShardPipeline {
     stages: Vec<Box<dyn Operator>>,
     /// Arrival queues, one per stage, plus a final slot for batches that
     /// completed the whole chain.
     queues: Vec<VecDeque<Item>>,
+    /// Input rows routed into this shard (drain share).
+    drained_records: u64,
+    /// Modelled compute charged to this shard, µs.
+    usage_us: f64,
+}
+
+/// Per-source replica: stateless prefix + keyed shard pipelines.
+struct Replica {
+    prefix: Vec<Box<dyn Operator>>,
+    /// Arrival queues, one per prefix stage.
+    prefix_queues: Vec<VecDeque<Item>>,
+    /// Group-key columns at the boundary edge (empty when the plan has no
+    /// keyed operator; everything then routes to shard 0).
+    shard_keys: Vec<usize>,
+    shards: Vec<ShardPipeline>,
+}
+
+impl Replica {
+    fn suffix_len(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.stages.len())
+    }
+
+    /// Routes a batch entering at suffix stage `rel` to its shard(s): the
+    /// boundary partitions by key hash; later stages (and keyless plans)
+    /// are stateless, so shard 0 hosts them.
+    fn route_to_shards(&mut self, batch: Batch, rel: usize, arrived: f64, kind: ItemKind) {
+        if batch.is_empty() {
+            return;
+        }
+        if rel == 0 && self.shards.len() > 1 && !self.shard_keys.is_empty() {
+            let parts = batch.shard_by_key(&self.shard_keys, self.shards.len());
+            for (shard, part) in self.shards.iter_mut().zip(parts) {
+                if part.is_empty() {
+                    continue;
+                }
+                if kind == ItemKind::Input {
+                    shard.drained_records += part.len() as u64;
+                }
+                shard.queues[0].push_back(Item {
+                    batch: part,
+                    arrived,
+                    kind,
+                });
+            }
+        } else {
+            let shard = &mut self.shards[0];
+            if kind == ItemKind::Input {
+                shard.drained_records += batch.len() as u64;
+            }
+            shard.queues[rel].push_back(Item {
+                batch,
+                arrived,
+                kind,
+            });
+        }
+    }
+
+    /// Merges a shipped state delta into the owning shard(s) at suffix
+    /// stage `rel`: entries are split by the hash of their group key, the
+    /// same mapping the row partitioner uses.
+    fn merge_sharded(&mut self, rel: usize, delta: StatePartial) {
+        if rel >= self.suffix_len() {
+            return;
+        }
+        if self.shards.len() == 1 {
+            self.shards[0].stages[rel].merge_state(delta);
+            return;
+        }
+        let StatePartial::Group(entries) = delta;
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<_>> = (0..n).map(|_| Vec::new()).collect();
+        for entry in entries {
+            per_shard[shard_of_values(&entry.key, n)].push(entry);
+        }
+        for (shard, part) in self.shards.iter_mut().zip(per_shard) {
+            if !part.is_empty() {
+                shard.stages[rel].merge_state(StatePartial::Group(part));
+            }
+        }
+    }
 }
 
 /// Cost of merging one group's partial state, µs.
@@ -64,10 +159,20 @@ pub struct SpCompletion {
     pub completed_s: f64,
 }
 
+/// Per-shard drain/usage counters, aggregated across replicas.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpShardStat {
+    /// Input rows routed into the shard.
+    pub drained_records: u64,
+    /// Modelled compute charged to the shard's stages, µs.
+    pub usage_us: f64,
+}
+
 /// The SP engine.
 pub struct SpEngine {
     node: Node,
     replicas: Vec<Replica>,
+    n_shards: usize,
     epoch_secs: f64,
     results_emitted: u64,
     lateness_secs: f64,
@@ -76,25 +181,142 @@ pub struct SpEngine {
     collected: Option<Vec<Record>>,
 }
 
+/// Processes one stage queue under the execution quantum, charging `node`
+/// and crediting completions. Output items are appended to `routed` for the
+/// caller to place downstream. Returns `false` when the CPU budget ran out
+/// (the caller stops the epoch's processing sweep).
+#[allow(clippy::too_many_arguments)]
+fn process_stage(
+    node: &mut Node,
+    stage_op: &mut dyn Operator,
+    queue: &mut VecDeque<Item>,
+    source: usize,
+    epoch_start_s: f64,
+    epoch_secs: f64,
+    completions: &mut Vec<SpCompletion>,
+    routed: &mut Vec<Item>,
+    progressed: &mut bool,
+    usage_us: Option<&mut f64>,
+) -> bool {
+    let mut quota = calibration::EXEC_QUANTUM;
+    let mut stage_usage = 0.0;
+    let mut out_buf: Vec<Batch> = Vec::new();
+    let fits = loop {
+        if quota == 0 {
+            break true;
+        }
+        let Some(item) = queue.pop_front() else {
+            break true;
+        };
+        if item.batch.is_empty() {
+            continue;
+        }
+        let cost = stage_op.cost_us();
+        let take = item.batch.len().min(quota).min(node.affordable(cost));
+        if take == 0 {
+            queue.push_front(item);
+            break false;
+        }
+        let head = if take == item.batch.len() {
+            item.batch
+        } else {
+            let rest = item.batch.slice(take..item.batch.len());
+            let head = item.batch.slice(0..take);
+            queue.push_front(Item {
+                batch: rest,
+                arrived: item.arrived,
+                kind: item.kind,
+            });
+            head
+        };
+        let charged = take as f64 * cost;
+        node.charge_upto(charged);
+        stage_usage += charged;
+        quota -= take;
+        *progressed = true;
+        let completed_s = (epoch_start_s + node.epoch_utilisation() * epoch_secs).max(item.arrived);
+        let in_ts = head.timestamps.clone();
+        out_buf.clear();
+        stage_op.process_batch(head, &mut out_buf);
+        if item.kind == ItemKind::Input {
+            // Terminal rows: filtered out or absorbed into state.
+            for ts in absorbed_timestamps(&in_ts, &out_buf) {
+                completions.push(SpCompletion {
+                    source,
+                    ts,
+                    completed_s,
+                });
+            }
+        }
+        for out in out_buf.drain(..) {
+            routed.push(Item {
+                batch: out,
+                arrived: completed_s,
+                kind: item.kind,
+            });
+        }
+    };
+    if let Some(usage) = usage_us {
+        *usage += stage_usage;
+    }
+    fits
+}
+
 impl SpEngine {
-    /// Builds an SP hosting `n_sources` replicas of the planned query.
+    /// Builds an SP hosting `n_sources` replicas of the planned query, each
+    /// split into `n_shards` keyed shard pipelines at the plan's stateful
+    /// boundary (`n_shards = 1` is the unsharded chain).
     pub fn new(
         planned: &PlannedQuery,
         costs: &CostProfile,
         n_sources: usize,
         sp_cores: f64,
         epoch_secs: f64,
+        n_shards: usize,
     ) -> SpEngine {
+        let boundary = planned.plan.shard_boundary();
+        // Without a keyed operator there is nothing to partition by; the
+        // whole (stateless) chain runs as the prefix of a single shard.
+        let n_shards = if boundary.is_some() {
+            n_shards.max(1)
+        } else {
+            1
+        };
+        let (g, shard_keys) = match &boundary {
+            Some((g, keys)) => (*g, keys.clone()),
+            None => (planned.plan.len(), Vec::new()),
+        };
         let mut replicas = Vec::with_capacity(n_sources);
         for _ in 0..n_sources {
-            let stages =
+            let mut prefix =
                 build_pipeline(&planned.plan, costs, AggRole::Final).expect("validated plan");
-            let queues = (0..=stages.len()).map(|_| VecDeque::new()).collect();
-            replicas.push(Replica { stages, queues });
+            let _ = prefix.split_off(g);
+            let prefix_queues = (0..prefix.len()).map(|_| VecDeque::new()).collect();
+            let shards = (0..n_shards)
+                .map(|_| {
+                    let mut ops = build_pipeline(&planned.plan, costs, AggRole::Final)
+                        .expect("validated plan");
+                    let stages = ops.split_off(g);
+                    let queues = (0..=stages.len()).map(|_| VecDeque::new()).collect();
+                    ShardPipeline {
+                        stages,
+                        queues,
+                        drained_records: 0,
+                        usage_us: 0.0,
+                    }
+                })
+                .collect();
+            replicas.push(Replica {
+                prefix,
+                prefix_queues,
+                shard_keys: shard_keys.clone(),
+                shards,
+            });
         }
         SpEngine {
             node: Node::new(NodeId(0), CpuBudget::fraction(sp_cores), 0.0, 7),
             replicas,
+            n_shards,
             epoch_secs,
             results_emitted: 0,
             lateness_secs: calibration::LATENCY_BOUND_SECS,
@@ -105,6 +327,23 @@ impl SpEngine {
     /// Total result rows emitted so far.
     pub fn results_emitted(&self) -> u64 {
         self.results_emitted
+    }
+
+    /// Shard pipelines per replica.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Per-shard drain/usage counters, aggregated across replicas.
+    pub fn shard_stats(&self) -> Vec<SpShardStat> {
+        let mut stats = vec![SpShardStat::default(); self.n_shards];
+        for replica in &self.replicas {
+            for (stat, shard) in stats.iter_mut().zip(&replica.shards) {
+                stat.drained_records += shard.drained_records;
+                stat.usage_us += shard.usage_us;
+            }
+        }
+        stats
     }
 
     /// Enables retention of result rows for exactness fingerprinting.
@@ -133,11 +372,20 @@ impl SpEngine {
         self.replicas
             .iter()
             .map(|r| {
-                r.queues
+                let prefix: usize = r
+                    .prefix_queues
                     .iter()
                     .flat_map(|q| q.iter())
                     .map(|i| i.batch.len())
-                    .sum::<usize>()
+                    .sum();
+                let shards: usize = r
+                    .shards
+                    .iter()
+                    .flat_map(|s| s.queues.iter())
+                    .flat_map(|q| q.iter())
+                    .map(|i| i.batch.len())
+                    .sum();
+                prefix + shards
             })
             .sum()
     }
@@ -146,122 +394,128 @@ impl SpEngine {
     /// `arrival_secs`.
     pub fn deliver(&mut self, source: usize, payload: NetPayload, arrival_secs: f64) {
         let replica = &mut self.replicas[source];
+        let g = replica.prefix.len();
         match payload {
             NetPayload::Records { stage, batch } => {
                 if batch.is_empty() {
                     return;
                 }
-                let stage = stage.min(replica.stages.len());
-                replica.queues[stage].push_back(Item {
-                    batch,
-                    arrived: arrival_secs,
-                    kind: ItemKind::Input,
-                });
+                let stage = stage.min(g + replica.suffix_len());
+                if stage < g {
+                    replica.prefix_queues[stage].push_back(Item {
+                        batch,
+                        arrived: arrival_secs,
+                        kind: ItemKind::Input,
+                    });
+                } else {
+                    replica.route_to_shards(batch, stage - g, arrival_secs, ItemKind::Input);
+                }
             }
             NetPayload::StateDelta { stage, delta } => {
                 let cost = MERGE_COST_PER_ENTRY_US * delta.entry_count() as f64;
                 self.node.charge_upto(cost);
-                if stage < replica.stages.len() {
-                    replica.stages[stage].merge_state(delta);
+                if stage < g {
+                    // A stateless prefix op cannot own mergeable state; the
+                    // default merge hook ignores it.
+                    replica.prefix[stage].merge_state(delta);
+                } else {
+                    replica.merge_sharded(stage - g, delta);
                 }
             }
         }
     }
 
     /// Runs one SP epoch: processes queued arrivals through the replica
-    /// pipelines within the SP's core budget, then advances event time.
-    /// Returns input-record completions.
+    /// prefixes and shard pipelines within the SP's core budget, then
+    /// advances event time. Returns input-record completions.
     pub fn run_epoch(&mut self, epoch_start_us: Ts) -> Vec<SpCompletion> {
         self.node.begin_epoch(self.epoch_secs);
         let mut completions = Vec::new();
         let epoch_start_s = epoch_start_us as f64 / 1e6;
         let epoch_end_us = epoch_start_us + (self.epoch_secs * 1e6) as Ts;
 
-        let mut out_buf: Vec<Batch> = Vec::new();
+        let mut routed: Vec<Item> = Vec::new();
         'outer: loop {
             let mut progressed = false;
             for (source, replica) in self.replicas.iter_mut().enumerate() {
-                let n_stages = replica.stages.len();
-                for stage in 0..n_stages {
-                    let mut quota = calibration::EXEC_QUANTUM;
-                    while quota > 0 {
-                        let Some(item) = replica.queues[stage].pop_front() else {
-                            break;
-                        };
-                        if item.batch.is_empty() {
-                            continue;
-                        }
-                        let cost = replica.stages[stage].cost_us();
-                        let take = item.batch.len().min(quota).min(self.node.affordable(cost));
-                        if take == 0 {
-                            replica.queues[stage].push_front(item);
-                            break 'outer;
-                        }
-                        let head = if take == item.batch.len() {
-                            item.batch
+                // Stateless prefix.
+                let g = replica.prefix.len();
+                for stage in 0..g {
+                    routed.clear();
+                    let fits = process_stage(
+                        &mut self.node,
+                        replica.prefix[stage].as_mut(),
+                        &mut replica.prefix_queues[stage],
+                        source,
+                        epoch_start_s,
+                        self.epoch_secs,
+                        &mut completions,
+                        &mut routed,
+                        &mut progressed,
+                        None,
+                    );
+                    for item in routed.drain(..) {
+                        if stage + 1 < g {
+                            replica.prefix_queues[stage + 1].push_back(item);
                         } else {
-                            let rest = item.batch.slice(take..item.batch.len());
-                            let head = item.batch.slice(0..take);
-                            replica.queues[stage].push_front(Item {
-                                batch: rest,
-                                arrived: item.arrived,
-                                kind: item.kind,
-                            });
-                            head
-                        };
-                        self.node.charge_upto(take as f64 * cost);
-                        quota -= take;
-                        progressed = true;
-                        let completed_s = (epoch_start_s
-                            + self.node.epoch_utilisation() * self.epoch_secs)
-                            .max(item.arrived);
-                        let in_ts = head.timestamps.clone();
-                        out_buf.clear();
-                        replica.stages[stage].process_batch(head, &mut out_buf);
-                        if item.kind == ItemKind::Input {
-                            // Terminal rows: filtered out or absorbed into
-                            // state.
-                            for ts in absorbed_timestamps(&in_ts, &out_buf) {
-                                completions.push(SpCompletion {
-                                    source,
-                                    ts,
-                                    completed_s,
-                                });
-                            }
+                            replica.route_to_shards(item.batch, 0, item.arrived, item.kind);
                         }
-                        for out in out_buf.drain(..) {
-                            replica.queues[stage + 1].push_back(Item {
-                                batch: out,
-                                arrived: completed_s,
-                                kind: item.kind,
-                            });
-                        }
+                    }
+                    if !fits {
+                        break 'outer;
                     }
                 }
-                // Batches that traversed the whole chain.
-                let tail = replica.stages.len();
-                while let Some(item) = replica.queues[tail].pop_front() {
-                    match item.kind {
-                        ItemKind::WindowResult => {
-                            Self::collect_batch(&mut self.collected, &item.batch);
-                            self.results_emitted += item.batch.len() as u64;
+                // Keyed shard pipelines.
+                let n_stages = replica.suffix_len();
+                for shard in replica.shards.iter_mut() {
+                    for stage in 0..n_stages {
+                        routed.clear();
+                        let fits = process_stage(
+                            &mut self.node,
+                            shard.stages[stage].as_mut(),
+                            &mut shard.queues[stage],
+                            source,
+                            epoch_start_s,
+                            self.epoch_secs,
+                            &mut completions,
+                            &mut routed,
+                            &mut progressed,
+                            Some(&mut shard.usage_us),
+                        );
+                        for item in routed.drain(..) {
+                            shard.queues[stage + 1].push_back(item);
                         }
-                        ItemKind::DeltaResult => self.results_emitted += item.batch.len() as u64,
-                        ItemKind::Input => {
-                            // Stateless-tail input rows: completing the chain
-                            // is both their completion and a query result.
-                            for &ts in &item.batch.timestamps {
-                                completions.push(SpCompletion {
-                                    source,
-                                    ts,
-                                    completed_s: item.arrived.max(epoch_start_s),
-                                });
-                            }
-                            Self::collect_batch(&mut self.collected, &item.batch);
-                            self.results_emitted += item.batch.len() as u64;
+                        if !fits {
+                            break 'outer;
                         }
                     }
-                    progressed = true;
+                    // Batches that traversed the whole chain.
+                    while let Some(item) = shard.queues[n_stages].pop_front() {
+                        match item.kind {
+                            ItemKind::WindowResult => {
+                                Self::collect_batch(&mut self.collected, &item.batch);
+                                self.results_emitted += item.batch.len() as u64;
+                            }
+                            ItemKind::DeltaResult => {
+                                self.results_emitted += item.batch.len() as u64
+                            }
+                            ItemKind::Input => {
+                                // Stateless-tail input rows: completing the
+                                // chain is both their completion and a query
+                                // result.
+                                for &ts in &item.batch.timestamps {
+                                    completions.push(SpCompletion {
+                                        source,
+                                        ts,
+                                        completed_s: item.arrived.max(epoch_start_s),
+                                    });
+                                }
+                                Self::collect_batch(&mut self.collected, &item.batch);
+                                self.results_emitted += item.batch.len() as u64;
+                            }
+                        }
+                        progressed = true;
+                    }
                 }
             }
             if !progressed {
@@ -271,39 +525,60 @@ impl SpEngine {
 
         // Advance event time with a lateness allowance so slow drained
         // records still find their windows open (watermark replication on
-        // the drain path, §V).
+        // the drain path, §V). Window results emitted at the boundary stay
+        // on the shard that owns their keys — they cascade down that
+        // shard's own suffix, never crossing shards.
         let wm = epoch_end_us - (self.lateness_secs * 1e6) as Ts;
+        let arrived = epoch_start_s + self.epoch_secs;
         let mut wm_out: Vec<Batch> = Vec::new();
         for replica in &mut self.replicas {
-            let n_stages = replica.stages.len();
-            for stage in 0..n_stages {
-                let arrived = epoch_start_s + self.epoch_secs;
-                wm_out.clear();
-                replica.stages[stage].on_watermark(wm, &mut wm_out);
-                for out in wm_out.drain(..) {
-                    if stage + 1 < n_stages {
-                        replica.queues[stage + 1].push_back(Item {
-                            batch: out,
-                            arrived,
-                            kind: ItemKind::WindowResult,
-                        });
+            let g = replica.prefix.len();
+            for stage in 0..g {
+                for (hook, kind) in [(0, ItemKind::WindowResult), (1, ItemKind::DeltaResult)] {
+                    wm_out.clear();
+                    if hook == 0 {
+                        replica.prefix[stage].on_watermark(wm, &mut wm_out);
                     } else {
-                        // Final-stage emissions are query results.
-                        Self::collect_batch(&mut self.collected, &out);
-                        self.results_emitted += out.len() as u64;
+                        replica.prefix[stage].on_epoch(&mut wm_out);
+                    }
+                    for out in wm_out.drain(..) {
+                        if stage + 1 < g {
+                            replica.prefix_queues[stage + 1].push_back(Item {
+                                batch: out,
+                                arrived,
+                                kind,
+                            });
+                        } else {
+                            replica.route_to_shards(out, 0, arrived, kind);
+                        }
                     }
                 }
-                wm_out.clear();
-                replica.stages[stage].on_epoch(&mut wm_out);
-                for out in wm_out.drain(..) {
-                    if stage + 1 < n_stages {
-                        replica.queues[stage + 1].push_back(Item {
-                            batch: out,
-                            arrived,
-                            kind: ItemKind::DeltaResult,
-                        });
-                    } else {
-                        self.results_emitted += out.len() as u64;
+            }
+            let n_stages = replica.suffix_len();
+            for shard in replica.shards.iter_mut() {
+                for stage in 0..n_stages {
+                    for (hook, kind) in [(0, ItemKind::WindowResult), (1, ItemKind::DeltaResult)] {
+                        wm_out.clear();
+                        if hook == 0 {
+                            shard.stages[stage].on_watermark(wm, &mut wm_out);
+                        } else {
+                            shard.stages[stage].on_epoch(&mut wm_out);
+                        }
+                        for out in wm_out.drain(..) {
+                            if stage + 1 < n_stages {
+                                shard.queues[stage + 1].push_back(Item {
+                                    batch: out,
+                                    arrived,
+                                    kind,
+                                });
+                            } else {
+                                // Final-stage emissions are query results.
+                                if kind == ItemKind::WindowResult {
+                                    Self::collect_batch(&mut self.collected, &out);
+                                }
+                                self.results_emitted += out.len() as u64;
+                            }
+                        }
                     }
                 }
             }
@@ -318,35 +593,58 @@ impl SpEngine {
     /// accounting is unaffected (the measurement window has already ended).
     pub fn finalize(&mut self) {
         for replica in &mut self.replicas {
-            let n = replica.stages.len();
-            // Flush queues forward (outputs only ever move downstream).
-            for stage in 0..n {
+            // Flush the prefix forward into the shard partitioner.
+            let g = replica.prefix.len();
+            for stage in 0..g {
                 let mut out_buf: Vec<Batch> = Vec::new();
-                while let Some(item) = replica.queues[stage].pop_front() {
+                while let Some(item) = replica.prefix_queues[stage].pop_front() {
                     out_buf.clear();
-                    replica.stages[stage].process_batch(item.batch, &mut out_buf);
+                    replica.prefix[stage].process_batch(item.batch, &mut out_buf);
                     for out in out_buf.drain(..) {
-                        replica.queues[stage + 1].push_back(Item {
-                            batch: out,
-                            arrived: item.arrived,
-                            kind: item.kind,
-                        });
+                        if stage + 1 < g {
+                            replica.prefix_queues[stage + 1].push_back(Item {
+                                batch: out,
+                                arrived: item.arrived,
+                                kind: item.kind,
+                            });
+                        } else {
+                            replica.route_to_shards(out, 0, item.arrived, item.kind);
+                        }
                     }
                 }
             }
-            while let Some(item) = replica.queues[n].pop_front() {
-                if item.kind != ItemKind::DeltaResult {
-                    Self::collect_batch(&mut self.collected, &item.batch);
+            // Flush each shard pipeline and close its windows.
+            for shard in replica.shards.iter_mut() {
+                let n = shard.stages.len();
+                for stage in 0..n {
+                    let mut out_buf: Vec<Batch> = Vec::new();
+                    while let Some(item) = shard.queues[stage].pop_front() {
+                        out_buf.clear();
+                        shard.stages[stage].process_batch(item.batch, &mut out_buf);
+                        for out in out_buf.drain(..) {
+                            shard.queues[stage + 1].push_back(Item {
+                                batch: out,
+                                arrived: item.arrived,
+                                kind: item.kind,
+                            });
+                        }
+                    }
                 }
-                self.results_emitted += item.batch.len() as u64;
-            }
-            // Close every remaining window and run the emissions through the
-            // rest of the chain inline (the flush shared by all backends).
-            for batch in
-                streamkit::physical::drain_windows(&mut replica.stages, streamkit::time::TS_MAX)
-            {
-                Self::collect_batch(&mut self.collected, &batch);
-                self.results_emitted += batch.len() as u64;
+                while let Some(item) = shard.queues[n].pop_front() {
+                    if item.kind != ItemKind::DeltaResult {
+                        Self::collect_batch(&mut self.collected, &item.batch);
+                    }
+                    self.results_emitted += item.batch.len() as u64;
+                }
+                // Close every remaining window and run the emissions through
+                // the rest of the chain inline (the flush shared by all
+                // backends).
+                for batch in
+                    streamkit::physical::drain_windows(&mut shard.stages, streamkit::time::TS_MAX)
+                {
+                    Self::collect_batch(&mut self.collected, &batch);
+                    self.results_emitted += batch.len() as u64;
+                }
             }
         }
     }

@@ -1,30 +1,45 @@
-//! An epoch-driven live session: threaded, batch-first execution under
-//! runtime control.
+//! An epoch-driven live session: threaded, batch-first, key-sharded
+//! execution under runtime control.
 //!
 //! [`run_partitioned`](crate::live::run_partitioned) runs one batch under
 //! *fixed* load factors. [`LiveSession`] lifts that limitation: it keeps one
-//! worker thread per data source and a stream-processor thread alive across
-//! epochs, and at every epoch boundary drives each source's
-//! [`JarvisRuntime`] state machine (Startup → Probe → Profile → Adapt)
-//! exactly like the emulated engine does — so adaptive strategies converge
-//! over a *really concurrent* execution while partitioned results stay
-//! exact. Sources generate columnar [`Batch`]es and the channels carry
-//! batches end-to-end.
+//! worker thread per data source alive across epochs, and at every epoch
+//! boundary drives each source's [`JarvisRuntime`] state machine (Startup →
+//! Probe → Profile → Adapt) exactly like the emulated engine does — so
+//! adaptive strategies converge over a *really concurrent* execution while
+//! partitioned results stay exact. Sources generate columnar [`Batch`]es
+//! and the channels carry batches end-to-end.
+//!
+//! The SP side is a **router + shard-worker pool** instead of a single SP
+//! thread: the router runs each replica's stateless prefix and partitions
+//! every boundary batch by the plan's group keys
+//! ([`Batch::shard_by_key`]); `sp_shards` worker threads each own one
+//! keyed pipeline per source (the stateful operator plus the rest of the
+//! chain) behind a bounded crossbeam channel. Shipped [`StatePartial`]
+//! entries are routed to the shard owning their key
+//! ([`shard_of_values`]), so a group's whole lifetime happens on one shard
+//! and merged results stay exact at any shard count
+//! (`tests/shard_parity.rs`).
 //!
 //! Worker threads execute operators for real (state, joins, sketches); the
 //! CPU *budget* is counterfactual, charged from the calibrated cost model:
 //! an epoch whose modelled usage oversubscribes the budget classifies as
 //! congested, one that undersubscribes with load factors left to raise
-//! classifies as idle (the same rules as the §VI-C simulator). Profile
-//! epochs measure per-operator costs and relay ratios on a scratch pipeline
-//! fed with the epoch's batch — reproducing the paper's
+//! classifies as idle (the same rules as the §VI-C simulator). The same
+//! counterfactual charging is recorded per shard on the SP side and
+//! reported via [`LiveOutcome::shard_usage_us`] — classification itself
+//! stays source-side today; feeding the slowest shard's budget back into
+//! adaptation is a ROADMAP follow-on.
+//! Profile epochs measure per-operator costs and relay ratios on a scratch
+//! pipeline fed with the epoch's batch — reproducing the paper's
 //! profile-on-a-sample bias — without disturbing live operator state.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use streamkit::batch::Batch;
-use streamkit::ops::{AggRole, Operator, StatePartial};
+use streamkit::ops::{AggRole, GroupPartialEntry, Operator, StatePartial};
 use streamkit::physical::build_pipeline;
 use streamkit::record::Record;
+use streamkit::shard::shard_of_values;
 
 use crate::calibration;
 use crate::deploy::{DeployError, DeploymentSpec};
@@ -34,7 +49,7 @@ use crate::proxy::{ControlProxy, QueryState};
 use crate::runtime::JarvisRuntime;
 use crate::stepwise::ProfileEstimates;
 
-/// Messages from source workers to the SP worker.
+/// Messages from source workers to the SP router.
 enum Msg {
     /// A batch drained in front of source-side operator `stage`.
     Drained {
@@ -56,6 +71,23 @@ enum Msg {
     },
 }
 
+/// Messages from the router to one shard worker. Stage indices are relative
+/// to the keyed boundary (0 = the stateful operator).
+enum ShardMsg {
+    /// A keyed sub-batch entering the shard pipeline at `rel`.
+    Batch {
+        source: usize,
+        rel: usize,
+        batch: Batch,
+    },
+    /// State entries owned by this shard, merging at `rel`.
+    State {
+        source: usize,
+        rel: usize,
+        entries: Vec<GroupPartialEntry>,
+    },
+}
+
 /// One data source: its local operator prefix, proxies, generator, runtime.
 struct Worker {
     ops: Vec<Box<dyn Operator>>,
@@ -72,6 +104,46 @@ struct Worker {
     drained_bytes: u64,
     state_deltas: u64,
     profile: Option<ProfileEstimates>,
+}
+
+/// One shard of the SP pool: a keyed pipeline per source plus the shard's
+/// accumulated results and counters. Owned by exactly one worker thread per
+/// epoch.
+struct ShardSet {
+    /// `pipelines[source]` = the chain from the stateful boundary down.
+    pipelines: Vec<Vec<Box<dyn Operator>>>,
+    /// Rows that traversed a full chain on this shard.
+    collected: Vec<Record>,
+    /// Input rows routed into this shard.
+    drained_records: u64,
+    /// Counterfactual compute charged to this shard, µs.
+    usage_us: f64,
+}
+
+impl ShardSet {
+    /// Runs a batch through the pipeline suffix starting at `rel`, charging
+    /// the shard's counterfactual budget from the calibrated cost model.
+    fn process(&mut self, source: usize, rel: usize, batch: Batch) {
+        let ops = &mut self.pipelines[source];
+        if rel >= ops.len() {
+            self.collected.extend(batch.to_records());
+            return;
+        }
+        self.drained_records += batch.len() as u64;
+        let mut batches = vec![batch];
+        let n = ops.len();
+        for op in ops.iter_mut().take(n).skip(rel) {
+            let mut next = Vec::new();
+            for b in batches.drain(..) {
+                self.usage_us += op.cost_us() * b.len() as f64;
+                op.process_batch(b, &mut next);
+            }
+            batches = next;
+        }
+        for b in batches {
+            self.collected.extend(b.to_records());
+        }
+    }
 }
 
 /// Final outcome of a live session.
@@ -91,6 +163,10 @@ pub struct LiveOutcome {
     pub input_bytes: f64,
     /// Epochs executed.
     pub epochs: u64,
+    /// Input rows routed into each SP shard (key-hash drain share).
+    pub shard_drained_records: Vec<u64>,
+    /// Counterfactual compute charged to each SP shard, µs.
+    pub shard_usage_us: Vec<f64>,
 }
 
 /// A threaded deployment advanced epoch by epoch.
@@ -101,10 +177,14 @@ pub struct LiveSession {
     /// column types).
     input_schema: streamkit::schema::SchemaRef,
     workers: Vec<Worker>,
-    /// One Final-role replica pipeline per source (mirrors [`crate::engine::sp::SpEngine`]).
-    replicas: Vec<Vec<Box<dyn Operator>>>,
-    /// Rows that traversed a full replica chain during epochs.
-    collected: Vec<Record>,
+    /// Per-source stateless prefix of the SP replica (router side).
+    sp_prefix: Vec<Vec<Box<dyn Operator>>>,
+    /// Keyed shard pool; each shard owns one pipeline suffix per source.
+    shards: Vec<ShardSet>,
+    /// Index of the stateful boundary in the full chain.
+    boundary: usize,
+    /// Group-key columns at the boundary edge.
+    shard_keys: Vec<usize>,
     costs: streamkit::physical::CostProfile,
     /// Scheduled resource changes, applied at epoch starts.
     events: Vec<crate::experiment::ResourceEvent>,
@@ -159,16 +239,51 @@ impl LiveSession {
                 profile: None,
             });
         }
-        let replicas = (0..n)
-            .map(|_| build_pipeline(&planned.plan, &costs, AggRole::Final))
+        // Split the replica chain at its keyed boundary: stateless prefix on
+        // the router, keyed pipelines on the shard pool. Keyless plans keep
+        // the whole chain on the router with a single pass-through shard.
+        let (boundary, shard_keys) = match planned.plan.shard_boundary() {
+            Some((g, keys)) => (g, keys),
+            None => (planned.plan.len(), Vec::new()),
+        };
+        let n_shards = if shard_keys.is_empty() {
+            1
+        } else {
+            spec.sp_shards.max(1) as usize
+        };
+        let sp_prefix = (0..n)
+            .map(|_| {
+                build_pipeline(&planned.plan, &costs, AggRole::Final).map(|mut ops| {
+                    let _ = ops.split_off(boundary);
+                    ops
+                })
+            })
             .collect::<Result<Vec<_>, _>>()?;
+        let shards = (0..n_shards)
+            .map(|_| {
+                let pipelines = (0..n)
+                    .map(|_| {
+                        build_pipeline(&planned.plan, &costs, AggRole::Final)
+                            .map(|mut ops| ops.split_off(boundary))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ShardSet {
+                    pipelines,
+                    collected: Vec::new(),
+                    drained_records: 0,
+                    usage_us: 0.0,
+                })
+            })
+            .collect::<Result<Vec<_>, DeployError>>()?;
         let input_schema = planned.plan.edge_schemas()?[0].clone();
         Ok(LiveSession {
             planned,
             input_schema,
             workers,
-            replicas,
-            collected: Vec::new(),
+            sp_prefix,
+            shards,
+            boundary,
+            shard_keys,
             costs,
             events: spec.events.clone(),
             epoch: 0,
@@ -198,6 +313,11 @@ impl LiveSession {
         &self.planned
     }
 
+    /// Shard workers in the SP pool.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Total rows generated so far.
     pub fn input_records(&self) -> u64 {
         self.input_records
@@ -214,8 +334,9 @@ impl LiveSession {
     }
 
     /// Runs one epoch: generates per-source batches, executes the
-    /// partitioned pipelines on real threads, then drives each source's
-    /// runtime state machine with the epoch's observations.
+    /// partitioned pipelines on real threads (source workers → router →
+    /// shard workers), then drives each source's runtime state machine with
+    /// the epoch's observations.
     pub fn run_epoch(&mut self) {
         assert!(!self.finished, "session already finished");
         let now_us = (self.epoch as f64 * self.epoch_secs * 1e6) as i64;
@@ -237,10 +358,19 @@ impl LiveSession {
             .collect();
 
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(256);
+        let n_shards = self.shards.len();
+        let mut shard_txs = Vec::with_capacity(n_shards);
+        let mut shard_rxs = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (stx, srx): (Sender<ShardMsg>, Receiver<ShardMsg>) = bounded(256);
+            shard_txs.push(stx);
+            shard_rxs.push(srx);
+        }
         let costs = &self.costs;
         let plan = &self.planned.plan;
-        let replicas = &mut self.replicas;
-        let collected = &mut self.collected;
+        let boundary = self.boundary;
+        let shard_keys = &self.shard_keys;
+        let sp_prefix = &mut self.sp_prefix;
 
         std::thread::scope(|scope| {
             for ((source, worker), input) in self.workers.iter_mut().enumerate().zip(inputs) {
@@ -259,7 +389,8 @@ impl LiveSession {
             }
             drop(tx);
 
-            // The SP worker: replica pipelines + state merging.
+            // The router: per-source stateless prefixes + the key-hash
+            // partitioner feeding the shard pool.
             scope.spawn(move || {
                 while let Ok(msg) = rx.recv() {
                     match msg {
@@ -268,10 +399,21 @@ impl LiveSession {
                             stage,
                             batch,
                         } => {
-                            let stages = &mut replicas[source];
-                            let n = stages.len();
+                            if stage >= boundary {
+                                route_batch(
+                                    &shard_txs,
+                                    shard_keys,
+                                    source,
+                                    stage - boundary,
+                                    batch,
+                                );
+                                continue;
+                            }
+                            // Stateless prefix from the entry stage to the
+                            // boundary, then partition.
+                            let prefix = &mut sp_prefix[source];
                             let mut batches = vec![batch];
-                            for op in stages.iter_mut().take(n).skip(stage) {
+                            for op in prefix.iter_mut().skip(stage) {
                                 let mut next = Vec::new();
                                 for b in batches.drain(..) {
                                     op.process_batch(b, &mut next);
@@ -279,7 +421,7 @@ impl LiveSession {
                                 batches = next;
                             }
                             for b in batches {
-                                collected.extend(b.to_records());
+                                route_batch(&shard_txs, shard_keys, source, 0, b);
                             }
                         }
                         Msg::State {
@@ -287,11 +429,41 @@ impl LiveSession {
                             stage,
                             delta,
                         } => {
-                            replicas[source][stage].merge_state(delta);
+                            if stage < boundary {
+                                // A stateless prefix op cannot own mergeable
+                                // state; the default merge hook ignores it.
+                                sp_prefix[source][stage].merge_state(delta);
+                                continue;
+                            }
+                            route_state(&shard_txs, source, stage - boundary, delta);
                         }
                     }
                 }
+                // Router done: closing the shard channels stops the pool.
+                drop(shard_txs);
             });
+
+            // The shard workers: keyed pipelines + state merging, one
+            // thread per shard.
+            for (set, srx) in self.shards.iter_mut().zip(shard_rxs) {
+                scope.spawn(move || {
+                    while let Ok(msg) = srx.recv() {
+                        match msg {
+                            ShardMsg::Batch { source, rel, batch } => {
+                                set.process(source, rel, batch);
+                            }
+                            ShardMsg::State {
+                                source,
+                                rel,
+                                entries,
+                            } => {
+                                set.pipelines[source][rel]
+                                    .merge_state(StatePartial::Group(entries));
+                            }
+                        }
+                    }
+                });
+            }
         });
 
         // Epoch boundary: counterfactual budget classification + runtime.
@@ -305,7 +477,8 @@ impl LiveSession {
 
     /// Applies resource events scheduled for the current epoch: budget
     /// changes update every worker's counterfactual budget; table growth
-    /// swaps the static join tables on workers and replicas alike.
+    /// swaps the static join tables on workers, router prefixes, and shard
+    /// pipelines alike.
     fn apply_events(&mut self) {
         let epoch = self.epoch;
         let epoch_secs = self.epoch_secs;
@@ -337,8 +510,13 @@ impl LiveSession {
                 for worker in &mut self.workers {
                     swap(&mut worker.ops);
                 }
-                for replica in &mut self.replicas {
-                    swap(replica);
+                for prefix in &mut self.sp_prefix {
+                    swap(prefix);
+                }
+                for set in &mut self.shards {
+                    for pipeline in &mut set.pipelines {
+                        swap(pipeline);
+                    }
                 }
             }
         }
@@ -351,40 +529,135 @@ impl LiveSession {
         }
     }
 
-    /// Finishes the session: ships residual partial state, closes every
-    /// window on the replicas, and returns the merged results.
+    /// Finishes the session: ships residual partial state (routed by key
+    /// ownership, like the live path), closes every window on every shard
+    /// pipeline, and returns the merged results.
     pub fn finish(mut self) -> LiveOutcome {
         self.finished = true;
         let mut drained_records = 0u64;
         let mut drained_bytes = 0u64;
         let mut state_deltas = 0u64;
+        let boundary = self.boundary;
+        let n_shards = self.shards.len();
         for (source, worker) in self.workers.iter_mut().enumerate() {
             drained_records += worker.drained_records;
             drained_bytes += worker.drained_bytes;
             state_deltas += worker.state_deltas;
             for (stage, op) in worker.ops.iter_mut().enumerate() {
-                if let Some(delta) = op.take_state_delta() {
-                    state_deltas += 1;
-                    self.replicas[source][stage].merge_state(delta);
+                let Some(delta) = op.take_state_delta() else {
+                    continue;
+                };
+                state_deltas += 1;
+                if stage < boundary {
+                    self.sp_prefix[source][stage].merge_state(delta);
+                    continue;
+                }
+                let rel = stage - boundary;
+                let StatePartial::Group(entries) = delta;
+                let mut per_shard: Vec<Vec<GroupPartialEntry>> =
+                    (0..n_shards).map(|_| Vec::new()).collect();
+                for entry in entries {
+                    per_shard[shard_of_values(&entry.key, n_shards)].push(entry);
+                }
+                for (set, part) in self.shards.iter_mut().zip(per_shard) {
+                    if !part.is_empty() {
+                        set.pipelines[source][rel].merge_state(StatePartial::Group(part));
+                    }
                 }
             }
         }
-        // Close all windows; emissions cascade through the rest of the chain.
-        for stages in &mut self.replicas {
-            self.collected
-                .extend(streamkit::physical::drain_windows_rows(
-                    stages,
-                    streamkit::time::TS_MAX,
-                ));
+        // Close all windows on every shard; emissions cascade through the
+        // rest of that shard's chain.
+        let mut results = Vec::new();
+        let mut shard_drained_records = Vec::with_capacity(n_shards);
+        let mut shard_usage_us = Vec::with_capacity(n_shards);
+        for set in &mut self.shards {
+            for pipeline in &mut set.pipelines {
+                set.collected
+                    .extend(streamkit::physical::drain_windows_rows(
+                        pipeline,
+                        streamkit::time::TS_MAX,
+                    ));
+            }
+            results.append(&mut set.collected);
+            shard_drained_records.push(set.drained_records);
+            shard_usage_us.push(set.usage_us);
         }
         LiveOutcome {
-            results: std::mem::take(&mut self.collected),
+            results,
             drained_records,
             drained_bytes: drained_bytes as f64,
             state_deltas,
             input_records: self.input_records,
             input_bytes: self.input_bytes as f64,
             epochs: self.epoch,
+            shard_drained_records,
+            shard_usage_us,
+        }
+    }
+}
+
+/// Partitions a boundary batch by key hash and sends each non-empty part to
+/// its shard. Batches entering past the boundary (stateless suffix) and
+/// keyless plans go to shard 0.
+fn route_batch(
+    shard_txs: &[Sender<ShardMsg>],
+    shard_keys: &[usize],
+    source: usize,
+    rel: usize,
+    batch: Batch,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let n = shard_txs.len();
+    if rel == 0 && n > 1 && !shard_keys.is_empty() {
+        for (k, part) in batch.shard_by_key(shard_keys, n).into_iter().enumerate() {
+            if !part.is_empty() {
+                shard_txs[k]
+                    .send(ShardMsg::Batch {
+                        source,
+                        rel,
+                        batch: part,
+                    })
+                    .expect("shard worker alive");
+            }
+        }
+    } else {
+        shard_txs[0]
+            .send(ShardMsg::Batch { source, rel, batch })
+            .expect("shard worker alive");
+    }
+}
+
+/// Splits a state delta's group entries by key ownership and sends each
+/// shard its share.
+fn route_state(shard_txs: &[Sender<ShardMsg>], source: usize, rel: usize, delta: StatePartial) {
+    let n = shard_txs.len();
+    let StatePartial::Group(entries) = delta;
+    if n == 1 {
+        shard_txs[0]
+            .send(ShardMsg::State {
+                source,
+                rel,
+                entries,
+            })
+            .expect("shard worker alive");
+        return;
+    }
+    let mut per_shard: Vec<Vec<GroupPartialEntry>> = (0..n).map(|_| Vec::new()).collect();
+    for entry in entries {
+        per_shard[shard_of_values(&entry.key, n)].push(entry);
+    }
+    for (k, part) in per_shard.into_iter().enumerate() {
+        if !part.is_empty() {
+            shard_txs[k]
+                .send(ShardMsg::State {
+                    source,
+                    rel,
+                    entries: part,
+                })
+                .expect("shard worker alive");
         }
     }
 }
@@ -414,7 +687,7 @@ impl Worker {
                         stage,
                         batch: chunk,
                     })
-                    .expect("SP worker alive");
+                    .expect("SP router alive");
                 }
             };
 
@@ -459,7 +732,7 @@ impl Worker {
                     stage,
                     delta,
                 })
-                .expect("SP worker alive");
+                .expect("SP router alive");
             }
         }
     }
@@ -629,5 +902,36 @@ mod tests {
         let digest = |rows: &[Record]| crate::deploy::ExactnessDigest::of_rows(rows);
         assert_eq!(digest(&a.results), digest(&b.results));
         assert!(a.drained_records < b.drained_records);
+    }
+
+    #[test]
+    fn shard_pool_splits_the_drain_share() {
+        // With 4 shards and everything drained to the SP, the key-hash
+        // partitioner must spread rows across more than one shard worker
+        // and account the split.
+        let spec = Deployment::builder()
+            .workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+            .strategy(StrategyKind::AllSp)
+            .cpu_budget(0.6)
+            .sources(2)
+            .sp_shards(4)
+            .spec()
+            .unwrap();
+        let mut s = LiveSession::new(&spec).unwrap();
+        assert_eq!(s.n_shards(), 4);
+        s.run_epochs(4);
+        let out = s.finish();
+        assert_eq!(out.shard_drained_records.len(), 4);
+        let busy = out.shard_drained_records.iter().filter(|&&r| r > 0).count();
+        assert!(
+            busy > 1,
+            "keys must spread: {:?}",
+            out.shard_drained_records
+        );
+        assert!(
+            out.shard_usage_us.iter().sum::<f64>() > 0.0,
+            "per-shard budgets must be charged"
+        );
+        assert!(!out.results.is_empty());
     }
 }

@@ -14,7 +14,10 @@
 //! * the stream operators used by the paper's three monitoring queries,
 //!   implemented batch-first/vectorized: Window, Filter, Map, Project,
 //!   GroupAggregate, stream-table Join ([`ops`]; the record-at-a-time API
-//!   survives one release as the deprecated [`ops::row`] shim),
+//!   this library shipped with was removed after its one-release
+//!   deprecation window),
+//! * a key-hash partition kernel for sharded runtimes ([`shard`],
+//!   [`batch::Batch::shard_by_key`]),
 //! * a declarative query builder, logical plan, logical optimiser and
 //!   physical planner ([`query`], [`logical`], [`optimizer`], [`physical`]).
 //!
@@ -34,6 +37,7 @@ pub mod quantile;
 pub mod query;
 pub mod record;
 pub mod schema;
+pub mod shard;
 pub mod time;
 pub mod value;
 pub mod watermark;

@@ -161,6 +161,19 @@ impl LogicalPlan {
         self.ops.is_empty()
     }
 
+    /// The keyed shard boundary: index of the first stateful (keyed)
+    /// operator and its group-key columns, given as indices into that
+    /// operator's *input* edge schema. Sharded runtimes run the stateless
+    /// prefix anywhere, then partition by these columns so each key's whole
+    /// lifetime stays on one shard. `None` when the chain has no keyed
+    /// operator (sharding degenerates to a single pipeline).
+    pub fn shard_boundary(&self) -> Option<(usize, Vec<usize>)> {
+        self.ops.iter().enumerate().find_map(|(i, op)| match op {
+            LogicalOp::GroupAggregate { keys, .. } => Some((i, keys.clone())),
+            _ => None,
+        })
+    }
+
     /// Compact plan string, e.g. `W -> F -> G+R`.
     pub fn display_chain(&self) -> String {
         self.ops

@@ -52,74 +52,11 @@ pub enum AggRole {
 
 pub(crate) type GroupKey = (Ts, Vec<Value>);
 
-/// Appends the canonical byte encoding of one `Value` (variant tag +
-/// payload). Must stay in lockstep with [`encode_col_value`].
-fn encode_value(buf: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Null => buf.push(0),
-        Value::Bool(b) => {
-            buf.push(1);
-            buf.push(u8::from(*b));
-        }
-        Value::I64(x) => {
-            buf.push(2);
-            buf.extend_from_slice(&x.to_le_bytes());
-        }
-        Value::U64(x) => {
-            buf.push(3);
-            buf.extend_from_slice(&x.to_le_bytes());
-        }
-        Value::F64(x) => {
-            buf.push(4);
-            buf.extend_from_slice(&x.to_bits().to_le_bytes());
-        }
-        Value::Str(s) => {
-            buf.push(5);
-            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-            buf.extend_from_slice(s.as_bytes());
-        }
-    }
-}
-
-/// Appends the canonical byte encoding of `col[row]` without materializing a
-/// `Value` (strings are borrowed straight from the column buffer).
-fn encode_col_value(buf: &mut Vec<u8>, col: &Column, row: usize) {
-    match col {
-        Column::Bool(v) => {
-            buf.push(1);
-            buf.push(u8::from(v[row]));
-        }
-        Column::I64(v) => {
-            buf.push(2);
-            buf.extend_from_slice(&v[row].to_le_bytes());
-        }
-        Column::U64(v) => {
-            buf.push(3);
-            buf.extend_from_slice(&v[row].to_le_bytes());
-        }
-        Column::F64(v) => {
-            buf.push(4);
-            buf.extend_from_slice(&v[row].to_bits().to_le_bytes());
-        }
-        Column::Str { .. } | Column::Dict { .. } => {
-            // Dict values encode exactly like the same string in a plain
-            // column: the group table persists across batches whose
-            // dictionaries may differ, and dict-keyed results must be
-            // byte-identical to str-keyed ones.
-            let s = col.str_at(row).unwrap_or("");
-            buf.push(5);
-            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-            buf.extend_from_slice(s.as_bytes());
-        }
-        Column::Opt { valid, values } => {
-            if valid[row] {
-                encode_col_value(buf, values, row);
-            } else {
-                buf.push(0);
-            }
-        }
-    }
-}
+// The canonical key encoding lives in `crate::shard`: the shard router and
+// the group-table index hash the same bytes, which is what lets a sharded
+// runtime route rows and shipped `StatePartial` entries to the shard owning
+// their group key.
+use crate::shard::{encode_col_value, encode_value};
 
 fn encode_key(buf: &mut Vec<u8>, key: &GroupKey) {
     buf.extend_from_slice(&key.0.to_le_bytes());
@@ -162,20 +99,6 @@ impl GroupTable {
                 i
             }
         }
-    }
-
-    /// Value-keyed upsert (row shim and tests).
-    pub(crate) fn upsert(
-        &mut self,
-        key: GroupKey,
-        init: impl FnOnce() -> Vec<AggState>,
-    ) -> &mut Vec<AggState> {
-        let mut buf = std::mem::take(&mut self.scratch);
-        buf.clear();
-        encode_key(&mut buf, &key);
-        let slot = self.upsert_slot(&buf, || key, init);
-        self.scratch = buf;
-        &mut self.entries[slot].1
     }
 
     /// Merges `incoming` into an existing entry, or adopts it as a new entry.

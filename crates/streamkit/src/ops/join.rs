@@ -14,32 +14,81 @@ use crate::ops::{CostModel, OpKind, Operator};
 use crate::schema::{Field, Schema, SchemaRef};
 use crate::value::Value;
 
+/// Cardinality bound for dictionary-encoding a string extension column: a
+/// static table whose string values exceed this many distinct entries would
+/// ship a dictionary page that no longer pays for itself.
+const EXT_DICT_BOUND: usize = 1 << 12;
+
 /// An immutable lookup table: key → extension columns.
+///
+/// Extension values are stored *columnar* (one dense [`Column`] per field,
+/// string fields dictionary-encoded) so the join can build its output by
+/// [`Column::gather`] over matched row indices — dictionary-typed tables
+/// (ToR names, cluster names) then flow as `Column::Dict` straight into
+/// downstream group keys, keeping the whole query on the code fast path.
 #[derive(Debug, Clone)]
 pub struct StaticTable {
     /// Fields appended to matched records.
     ext_fields: Vec<Field>,
-    map: HashMap<Value, Vec<Value>>,
+    /// Key → dense row index (last occurrence of a duplicate key wins).
+    index: HashMap<Value, u32>,
+    /// Dense extension columns, positionally matching `ext_fields`.
+    ext_columns: Vec<Column>,
 }
 
 impl StaticTable {
-    /// Builds a table from `(key, extension values)` pairs.
+    /// Builds a table from `(key, extension values)` pairs (last occurrence
+    /// of a duplicate key wins, like the map the table used to be).
     pub fn new(
         ext_fields: Vec<Field>,
         rows: impl IntoIterator<Item = (Value, Vec<Value>)>,
     ) -> StaticTable {
-        let map = rows.into_iter().collect();
-        StaticTable { ext_fields, map }
+        // Dedup before building the dense columns: a duplicate key replaces
+        // its earlier row in place, so the columnar storage holds exactly
+        // one row per key (no dead rows inflating memory or the dictionary
+        // cardinality check below).
+        let mut index: HashMap<Value, u32> = HashMap::new();
+        let mut dense: Vec<Vec<Value>> = Vec::new();
+        for (key, values) in rows {
+            match index.get(&key) {
+                Some(&row) => dense[row as usize] = values,
+                None => {
+                    index.insert(key, dense.len() as u32);
+                    dense.push(values);
+                }
+            }
+        }
+        let mut builders: Vec<ColumnBuilder> = ext_fields
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, dense.len()))
+            .collect();
+        for values in &dense {
+            for (builder, value) in builders.iter_mut().zip(values) {
+                builder.push(value).expect("table rows match ext fields");
+            }
+        }
+        let ext_columns = builders
+            .into_iter()
+            .map(|b| {
+                let col = b.finish();
+                col.dict_encode(EXT_DICT_BOUND).unwrap_or(col)
+            })
+            .collect();
+        StaticTable {
+            ext_fields,
+            index,
+            ext_columns,
+        }
     }
 
     /// Number of keys.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.index.is_empty()
     }
 
     /// Extension fields appended on match.
@@ -47,9 +96,45 @@ impl StaticTable {
         &self.ext_fields
     }
 
-    /// Looks up a key.
-    pub fn get(&self, key: &Value) -> Option<&Vec<Value>> {
-        self.map.get(key)
+    /// The dense extension columns (positionally matching
+    /// [`StaticTable::ext_fields`]); probe with [`StaticTable::row_of`] and
+    /// gather.
+    pub fn ext_columns(&self) -> &[Column] {
+        &self.ext_columns
+    }
+
+    /// Dense row index of a key.
+    pub fn row_of(&self, key: &Value) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// Looks up a key, materialising its extension values.
+    pub fn get(&self, key: &Value) -> Option<Vec<Value>> {
+        self.row_of(key).map(|row| {
+            self.ext_columns
+                .iter()
+                .map(|c| c.value(row as usize))
+                .collect()
+        })
+    }
+}
+
+/// Wraps a gathered column in an outer-join validity mask, intersecting
+/// with any validity the table column already carried (a table row may
+/// itself hold `Null` extension values).
+fn with_validity(col: Column, valid: &[bool]) -> Column {
+    match col {
+        Column::Opt {
+            valid: inner,
+            values,
+        } => Column::Opt {
+            valid: inner.iter().zip(valid).map(|(&a, &b)| a && b).collect(),
+            values,
+        },
+        dense => Column::Opt {
+            valid: valid.to_vec(),
+            values: Box::new(dense),
+        },
     }
 }
 
@@ -136,41 +221,42 @@ impl Operator for JoinOp {
         }
         self.probes += n as u64;
         let key_col = &batch.columns[self.key_col];
-        let ext_fields = self.table.ext_fields();
-        let mut ext_builders: Vec<ColumnBuilder> = ext_fields
-            .iter()
-            .map(|f| ColumnBuilder::new(f.dtype, n))
-            .collect();
+        // Probe to table-row indices; ext columns are then whole-column
+        // gathers over the table's dense storage (dictionary pages shared),
+        // not row-wise builders.
         let mut mask = vec![false; n];
-        let mut kept = 0usize;
+        let mut take: Vec<u32> = Vec::with_capacity(n);
+        let mut valid: Vec<bool> = Vec::with_capacity(n);
+        let mut misses_kept = false;
         for row in 0..n {
             // Probe without allocating for the common integer key columns.
             let hit = match key_col {
-                Column::U64(v) => self.table.get(&Value::U64(v[row])),
-                Column::I64(v) => self.table.get(&Value::I64(v[row])),
-                col => self.table.get(&col.value(row)),
+                Column::U64(v) => self.table.row_of(&Value::U64(v[row])),
+                Column::I64(v) => self.table.row_of(&Value::I64(v[row])),
+                col => self.table.row_of(&col.value(row)),
             };
             match hit {
-                Some(ext) => {
+                Some(idx) => {
                     self.hits += 1;
                     mask[row] = true;
-                    kept += 1;
-                    for (builder, value) in ext_builders.iter_mut().zip(ext) {
-                        builder.push(value).expect("table rows match ext fields");
-                    }
+                    take.push(idx);
+                    valid.push(true);
                 }
                 None => match self.miss {
                     JoinMiss::Drop => {}
                     JoinMiss::Null => {
                         mask[row] = true;
-                        kept += 1;
-                        for builder in &mut ext_builders {
-                            builder.push_null();
-                        }
+                        // Row 0 as a filler behind the validity mask (an
+                        // empty table takes the all-null path below and
+                        // never gathers).
+                        take.push(0);
+                        valid.push(false);
+                        misses_kept = true;
                     }
                 },
             }
         }
+        let kept = take.len();
         if kept == 0 {
             return;
         }
@@ -180,7 +266,25 @@ impl Operator for JoinOp {
             batch.select(&mask)
         };
         let mut columns = base.columns;
-        columns.extend(ext_builders.into_iter().map(ColumnBuilder::finish));
+        if self.table.is_empty() {
+            // Every kept row is an outer-join miss: all-null ext columns.
+            columns.extend(self.table.ext_fields().iter().map(|f| {
+                let mut b = ColumnBuilder::new(f.dtype, kept);
+                for _ in 0..kept {
+                    b.push_null();
+                }
+                b.finish()
+            }));
+        } else {
+            columns.extend(self.table.ext_columns().iter().map(|col| {
+                let gathered = col.gather(&take);
+                if misses_kept {
+                    with_validity(gathered, &valid)
+                } else {
+                    gathered
+                }
+            }));
+        }
         out.push(Batch {
             schema: self.out_schema.clone(),
             timestamps: base.timestamps,
@@ -288,6 +392,58 @@ mod tests {
             CostModel::fixed(1.0)
         )
         .is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_overwrite_in_place() {
+        // Last occurrence wins and the dense storage holds one row per key
+        // (no dead rows behind the index).
+        let t = StaticTable::new(
+            vec![Field::new("v", DataType::U32)],
+            [
+                (Value::U64(1), vec![Value::U64(10)]),
+                (Value::U64(2), vec![Value::U64(20)]),
+                (Value::U64(1), vec![Value::U64(99)]),
+            ],
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.ext_columns()[0].len(), 2, "one dense row per key");
+        assert_eq!(t.get(&Value::U64(1)), Some(vec![Value::U64(99)]));
+        assert_eq!(t.get(&Value::U64(2)), Some(vec![Value::U64(20)]));
+    }
+
+    #[test]
+    fn string_tables_emit_dict_ext_columns() {
+        // A dictionary-typed static table (ToR/cluster names) must extend
+        // matched batches with `Column::Dict` via gather — the layout that
+        // keeps downstream group keys on the code fast path — sharing one
+        // page across output batches.
+        let schema = input_schema();
+        let table = Arc::new(StaticTable::new(
+            vec![Field::new("torName", DataType::Str)],
+            (0..100u64).map(|ip| (Value::U64(ip), vec![Value::str(format!("tor-{}", ip / 40))])),
+        ));
+        let mut j = JoinOp::new(table, 0, JoinMiss::Drop, &schema, CostModel::fixed(5.0)).unwrap();
+        let mut out = Vec::new();
+        j.process_batch(batch(&schema, &[0, 45, 99]), &mut out);
+        j.process_batch(batch(&schema, &[80]), &mut out);
+        let (da, codes) = out[0].columns[1].as_dict().expect("dict ext column");
+        assert_eq!(codes.len(), 3);
+        assert_eq!(out[0].columns[1].str_at(1), Some("tor-1"));
+        let (db, _) = out[1].columns[1].as_dict().expect("dict ext column");
+        assert!(std::ptr::eq(da, db), "page shared across output batches");
+
+        // Outer-join misses wrap the gathered dict in a validity mask.
+        let table = Arc::new(StaticTable::new(
+            vec![Field::new("torName", DataType::Str)],
+            (0..10u64).map(|ip| (Value::U64(ip), vec![Value::str("tor-0")])),
+        ));
+        let mut j = JoinOp::new(table, 0, JoinMiss::Null, &schema, CostModel::fixed(5.0)).unwrap();
+        let mut out = Vec::new();
+        j.process_batch(batch(&schema, &[999, 5]), &mut out);
+        let rows: Vec<_> = out.iter().flat_map(Batch::to_records).collect();
+        assert_eq!(rows[0].values[1], Value::Null);
+        assert_eq!(rows[1].values[1], Value::str("tor-0"));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! Operators consume and produce columnar [`Batch`]es: `Filter` evaluates
 //! its predicate into a selection mask and gathers once, `Project`/`Map`
 //! work column-wise, `GroupAggregate` keys directly off column slices, and
-//! `Join` probes the lookup table per column. Record-at-a-time execution —
-//! the API this library shipped with originally — survives for one release
-//! as the deprecated [`row::RowOperator`] + [`row::RowAdapter`] shim.
+//! `Join` probes the lookup table per column. The record-at-a-time API this
+//! library shipped with originally (the `ops::row` shim) was removed after
+//! its one-release deprecation window; `tests/golden_fingerprints.rs`
+//! pins the query results the differential oracle used to guard.
 //!
 //! Beyond batch processing, operators expose three hooks the Jarvis engine
 //! relies on:
@@ -22,7 +23,7 @@
 //!   the stream processor (paper §V, "stateful operators relay output to the
 //!   corresponding operator ... for merging the accumulated state").
 //!
-//! # Migrating a record-at-a-time operator
+//! # Implementing an operator
 //!
 //! ```
 //! use streamkit::batch::Batch;
@@ -30,26 +31,18 @@
 //! use streamkit::record::Record;
 //! use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 //!
-//! // Out-of-tree operators that used to `impl Operator` with
-//! // `process(&mut self, rec, out)` implement `RowOperator` instead and
-//! // wrap themselves in `RowAdapter` when building pipelines:
-//! #[allow(deprecated)]
-//! use streamkit::ops::{RowAdapter, RowOperator};
-//!
 //! struct Passthrough(SchemaRef);
 //!
-//! #[allow(deprecated)]
-//! impl RowOperator for Passthrough {
+//! impl Operator for Passthrough {
 //!     fn kind(&self) -> OpKind { OpKind::Map }
 //!     fn output_schema(&self) -> SchemaRef { self.0.clone() }
-//!     fn process(&mut self, rec: Record, out: &mut Vec<Record>) { out.push(rec); }
+//!     fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) { out.push(batch); }
 //!     fn cost_us(&self) -> f64 { 1.0 }
 //!     fn reset(&mut self) {}
 //! }
 //!
 //! let schema = Schema::new(vec![Field::new("x", DataType::I64)]);
-//! #[allow(deprecated)]
-//! let mut op: Box<dyn Operator> = Box::new(RowAdapter::new(Box::new(Passthrough(schema.clone()))));
+//! let mut op: Box<dyn Operator> = Box::new(Passthrough(schema.clone()));
 //! let batch = Batch::from_records(schema, &[Record::new(0, vec![1i64.into()])]).unwrap();
 //! let mut out = Vec::new();
 //! op.process_batch(batch, &mut out);
@@ -62,7 +55,6 @@ pub mod group;
 pub mod join;
 pub mod map;
 pub mod project;
-pub mod row;
 pub mod window_op;
 
 use serde::{Deserialize, Serialize};
@@ -79,8 +71,6 @@ pub use group::{AggRole, EmitMode, GroupAggregateOp};
 pub use join::{JoinMiss, JoinOp, StaticTable};
 pub use map::{MapFn, MapOp};
 pub use project::ProjectOp;
-#[allow(deprecated)]
-pub use row::{RowAdapter, RowOperator};
 pub use window_op::WindowAssignOp;
 
 /// Operator kinds, used by the planner's eligibility rules (R-1..R-4).

@@ -4,9 +4,7 @@
 //! on the data source (stateful ops in [`AggRole::Partial`]) and once on the
 //! stream processor ([`AggRole::Final`]) — so the builder takes the role and
 //! the per-operator cost profile as parameters. Pipelines are batch-first:
-//! every stage implements [`Operator::process_batch`]. The deprecated
-//! [`build_row_pipeline`] builds the same chain from the scalar
-//! record-at-a-time shims instead, for migration and differential testing.
+//! every stage implements [`Operator::process_batch`].
 
 use crate::batch::Batch;
 use crate::error::{Error, Result};
@@ -109,63 +107,6 @@ pub fn build_pipeline(
             } => Box::new(JoinOp::new(table.clone(), *key_col, *miss, input, cost)?),
         };
         ops.push(built);
-    }
-    Ok(ops)
-}
-
-/// Builds the same chain from the deprecated record-at-a-time shims
-/// ([`crate::ops::row`]), each wrapped in a
-/// [`RowAdapter`](crate::ops::RowAdapter) so it plugs into batch pipelines.
-/// Exists for one release as the migration path and differential-test
-/// oracle.
-#[deprecated(note = "use `build_pipeline`; the row shims exist only for migration/testing")]
-#[allow(deprecated)]
-pub fn build_row_pipeline(
-    plan: &LogicalPlan,
-    costs: &CostProfile,
-    role: AggRole,
-) -> Result<Vec<Box<dyn Operator>>> {
-    use crate::ops::row::{
-        RowAdapter, RowFilterOp, RowGroupAggregateOp, RowJoinOp, RowMapOp, RowOperator,
-        RowProjectOp, RowWindowAssignOp,
-    };
-    plan.validate()?;
-    let schemas = plan.edge_schemas()?;
-    let mut ops: Vec<Box<dyn Operator>> = Vec::with_capacity(plan.ops.len());
-    for (i, op) in plan.ops.iter().enumerate() {
-        let input = &schemas[i];
-        let output = &schemas[i + 1];
-        let cost = costs.for_op(i, op.kind());
-        let built: Box<dyn RowOperator> = match op {
-            LogicalOp::Window { .. } => Box::new(RowWindowAssignOp::new(output.clone(), cost)),
-            LogicalOp::Filter { predicate } => {
-                Box::new(RowFilterOp::new(predicate.clone(), output.clone(), cost))
-            }
-            LogicalOp::Map { f } => Box::new(RowMapOp::new(f.clone(), output.clone(), cost)),
-            LogicalOp::Project { cols } => {
-                Box::new(RowProjectOp::new(cols.clone(), output.clone(), cost))
-            }
-            LogicalOp::GroupAggregate { keys, aggs, emit } => {
-                let window = plan
-                    .window_for(i)
-                    .ok_or_else(|| Error::InvalidPlan("stateful op without window".into()))?;
-                Box::new(RowGroupAggregateOp::new(
-                    keys.clone(),
-                    aggs.clone(),
-                    input,
-                    TumblingWindow::new(window),
-                    *emit,
-                    role,
-                    cost,
-                ))
-            }
-            LogicalOp::Join {
-                table,
-                key_col,
-                miss,
-            } => Box::new(RowJoinOp::new(table.clone(), *key_col, *miss, input, cost)?),
-        };
-        ops.push(Box::new(RowAdapter::new(built)));
     }
     Ok(ops)
 }
@@ -275,24 +216,6 @@ mod tests {
         let rows: Vec<Record> = out.iter().flat_map(Batch::to_records).collect();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].values[3], Value::F64(200.0)); // avg of 100,300
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn row_pipeline_matches_batch_pipeline() {
-        let plan = s2s_plan();
-        let costs = CostProfile::default();
-        let mut batch_ops = build_pipeline(&plan, &costs, AggRole::Final).unwrap();
-        let mut row_ops = build_row_pipeline(&plan, &costs, AggRole::Final).unwrap();
-        let residue_b = run_chain(&mut batch_ops, input_batch(&plan));
-        let residue_r = run_chain(&mut row_ops, input_batch(&plan));
-        assert!(residue_b.is_empty() && residue_r.is_empty());
-        let rows =
-            |out: Vec<Batch>| -> Vec<Record> { out.iter().flat_map(Batch::to_records).collect() };
-        assert_eq!(
-            rows(drain_windows(&mut batch_ops, secs(10.0))),
-            rows(drain_windows(&mut row_ops, secs(10.0)))
-        );
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Key-hash partitioning — the kernel behind the sharded SP runtime.
+//!
+//! A keyed shard operator splits one [`Batch`] into `n` disjoint sub-batches
+//! by hashing the group-key columns, so independent shard pipelines can
+//! process disjoint key ranges in parallel while partitioned aggregation
+//! stays exact. Three call sites must agree on the key → shard mapping:
+//!
+//! * [`Batch::shard_by_key`] — rows, hashed straight off column storage;
+//! * [`shard_of_values`] — [`StatePartial`](crate::ops::StatePartial) group
+//!   entries, whose keys are already materialised `Value`s;
+//! * window results — never re-sharded: a group's whole lifetime (updates,
+//!   merged partials, close) happens on the shard that owns its key.
+//!
+//! Agreement is by construction: both paths hash the *canonical key
+//! encoding* defined here (variant tag + payload per value), which is also
+//! the byte encoding the group table indexes by — a dictionary-encoded
+//! string hashes identically to the same string in a plain column. Dict
+//! columns take a fast path: the canonical fragment of every dictionary
+//! entry is hashed once per page, and rows then combine precomputed code
+//! hashes instead of re-hashing string bytes per row.
+
+use crate::batch::{Batch, Column, StrDict};
+use crate::value::Value;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Appends the canonical byte encoding of one `Value` (variant tag +
+/// payload). Must stay in lockstep with [`encode_col_value`]: the group
+/// table's byte index and the shard router both rely on the two producing
+/// identical bytes for logically equal values.
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(u8::from(*b));
+        }
+        Value::I64(x) => {
+            buf.push(2);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::U64(x) => {
+            buf.push(3);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            buf.push(4);
+            buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(5);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Appends the canonical byte encoding of `col[row]` without materializing a
+/// `Value` (strings are borrowed straight from the column buffer).
+pub fn encode_col_value(buf: &mut Vec<u8>, col: &Column, row: usize) {
+    match col {
+        Column::Bool(v) => {
+            buf.push(1);
+            buf.push(u8::from(v[row]));
+        }
+        Column::I64(v) => {
+            buf.push(2);
+            buf.extend_from_slice(&v[row].to_le_bytes());
+        }
+        Column::U64(v) => {
+            buf.push(3);
+            buf.extend_from_slice(&v[row].to_le_bytes());
+        }
+        Column::F64(v) => {
+            buf.push(4);
+            buf.extend_from_slice(&v[row].to_bits().to_le_bytes());
+        }
+        Column::Str { .. } | Column::Dict { .. } => {
+            // Dict values encode exactly like the same string in a plain
+            // column: group tables and shard routing persist across batches
+            // whose dictionaries may differ.
+            let s = col.str_at(row).unwrap_or("");
+            buf.push(5);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Column::Opt { valid, values } => {
+            if valid[row] {
+                encode_col_value(buf, values, row);
+            } else {
+                buf.push(0);
+            }
+        }
+    }
+}
+
+/// FNV-1a over a canonical encoding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Combines per-column value hashes into one row hash (order-sensitive).
+#[inline]
+fn combine(h: u64, col_hash: u64) -> u64 {
+    (h ^ col_hash).wrapping_mul(FNV_PRIME)
+}
+
+/// Hashes the canonical fragment of every dictionary entry once — the
+/// per-page hash table the dict fast path indexes by code.
+fn dict_code_hashes(dict: &StrDict) -> Vec<u64> {
+    let mut buf = Vec::with_capacity(32);
+    dict.iter()
+        .map(|entry| {
+            buf.clear();
+            buf.push(5);
+            buf.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            buf.extend_from_slice(entry.as_bytes());
+            fnv1a(&buf)
+        })
+        .collect()
+}
+
+/// Per-batch hasher for one key column.
+enum ColHasher<'a> {
+    /// Dense dictionary column: per-code hashes precomputed from the page.
+    Dict { codes: &'a [u32], hashes: Vec<u64> },
+    /// Any other storage: canonical-encode the value and hash it.
+    Generic(&'a Column),
+}
+
+impl<'a> ColHasher<'a> {
+    fn new(col: &'a Column) -> ColHasher<'a> {
+        match col {
+            Column::Dict { codes, dict } => ColHasher::Dict {
+                codes,
+                hashes: dict_code_hashes(dict),
+            },
+            other => ColHasher::Generic(other),
+        }
+    }
+
+    #[inline]
+    fn hash_row(&self, scratch: &mut Vec<u8>, row: usize) -> u64 {
+        match self {
+            ColHasher::Dict { codes, hashes } => hashes[codes[row] as usize],
+            ColHasher::Generic(col) => {
+                scratch.clear();
+                encode_col_value(scratch, col, row);
+                fnv1a(scratch)
+            }
+        }
+    }
+}
+
+/// Shard owning a group key given as materialised values — the routing used
+/// for [`StatePartial`](crate::ops::StatePartial) entries and window-result
+/// ownership checks. Matches [`Batch::shard_by_key`] row assignment for the
+/// same key values by construction.
+pub fn shard_of_values(key: &[Value], n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let mut buf = Vec::with_capacity(32);
+    let mut h = FNV_OFFSET;
+    for v in key {
+        buf.clear();
+        encode_value(&mut buf, v);
+        h = combine(h, fnv1a(&buf));
+    }
+    (h % n as u64) as usize
+}
+
+/// Shard assignment of every row, without materialising the sub-batches
+/// (proptests and routers that only need the mapping).
+pub fn shard_assignment(batch: &Batch, keys: &[usize], n: usize) -> Vec<usize> {
+    let rows = batch.len();
+    if n <= 1 {
+        return vec![0; rows];
+    }
+    let hashers: Vec<ColHasher> = keys
+        .iter()
+        .map(|&k| ColHasher::new(&batch.columns[k]))
+        .collect();
+    let mut scratch = Vec::with_capacity(32);
+    (0..rows)
+        .map(|row| {
+            let mut h = FNV_OFFSET;
+            for hasher in &hashers {
+                h = combine(h, hasher.hash_row(&mut scratch, row));
+            }
+            (h % n as u64) as usize
+        })
+        .collect()
+}
+
+impl Batch {
+    /// Partitions the batch into `n` sub-batches by hashing the `keys`
+    /// columns, preserving input row order within each shard. Every row
+    /// lands in exactly one shard; rows with equal key values always land
+    /// in the same shard (across batches, and matching
+    /// [`shard_of_values`] on the same values). Built on [`Batch::gather`];
+    /// dictionary key columns hash via a per-page precomputed code→hash
+    /// table instead of re-hashing strings per row.
+    pub fn shard_by_key(&self, keys: &[usize], n: usize) -> Vec<Batch> {
+        if n <= 1 {
+            return vec![self.clone()];
+        }
+        let assignment = shard_assignment(self, keys, n);
+        let mut rows_per_shard = vec![0usize; n];
+        for &s in &assignment {
+            rows_per_shard[s] += 1;
+        }
+        let mut picks: Vec<Vec<u32>> = rows_per_shard
+            .iter()
+            .map(|&c| Vec::with_capacity(c))
+            .collect();
+        for (row, &s) in assignment.iter().enumerate() {
+            picks[s].push(row as u32);
+        }
+        picks
+            .iter()
+            .map(|rows| {
+                if rows.len() == self.len() {
+                    // Degenerate split (single-key batch): skip the gather.
+                    self.clone()
+                } else {
+                    self.gather(rows)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{DataType, Field, Schema, SchemaRef};
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::U64),
+        ])
+    }
+
+    fn batch(rows: &[(&str, u64)]) -> Batch {
+        let recs: Vec<Record> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (k, v))| Record::new(i as i64, vec![Value::str(*k), Value::U64(*v)]))
+            .collect();
+        Batch::from_records(schema(), &recs).unwrap()
+    }
+
+    #[test]
+    fn every_row_lands_in_exactly_one_shard() {
+        let b = batch(&[("a", 1), ("b", 2), ("c", 3), ("a", 4), ("b", 5)]);
+        for n in [1, 2, 3, 4, 7] {
+            let shards = b.shard_by_key(&[0], n);
+            assert_eq!(shards.len(), n);
+            let total: usize = shards.iter().map(Batch::len).sum();
+            assert_eq!(total, b.len());
+            let mut rows: Vec<Record> = shards.iter().flat_map(Batch::to_records).collect();
+            let mut expected = b.to_records();
+            let key = |r: &Record| format!("{:?}", r);
+            rows.sort_by_key(key);
+            expected.sort_by_key(key);
+            assert_eq!(rows, expected);
+        }
+    }
+
+    #[test]
+    fn equal_keys_share_a_shard_across_batches() {
+        let a = batch(&[("x", 1), ("y", 2), ("z", 3)]);
+        let b = batch(&[("z", 9), ("x", 8)]);
+        let n = 4;
+        let sa = shard_assignment(&a, &[0], n);
+        let sb = shard_assignment(&b, &[0], n);
+        assert_eq!(sa[0], sb[1], "key x");
+        assert_eq!(sa[2], sb[0], "key z");
+    }
+
+    #[test]
+    fn shard_of_values_matches_row_assignment() {
+        let b = batch(&[("a", 7), ("bb", 7), ("", 9), ("a", 1)]);
+        let n = 5;
+        let assign = shard_assignment(&b, &[0, 1], n);
+        for (row, &shard) in assign.iter().enumerate() {
+            let key = vec![b.columns[0].value(row), b.columns[1].value(row)];
+            assert_eq!(shard_of_values(&key, n), shard);
+        }
+    }
+
+    #[test]
+    fn dict_and_str_keys_hash_identically() {
+        let plain = batch(&[("cpu", 1), ("mem", 2), ("cpu", 3), ("io", 4)]);
+        let mut dict = plain.clone();
+        assert!(dict.dict_encode(16));
+        for n in [2, 3, 8] {
+            assert_eq!(
+                shard_assignment(&plain, &[0], n),
+                shard_assignment(&dict, &[0], n)
+            );
+        }
+    }
+
+    #[test]
+    fn opt_and_null_keys_shard_consistently() {
+        let s = Schema::new(vec![Field::new("k", DataType::Str)]);
+        let recs = vec![
+            Record::new(0, vec![Value::str("a")]),
+            Record::new(1, vec![Value::Null]),
+            Record::new(2, vec![Value::str("a")]),
+        ];
+        let b = Batch::from_records(s, &recs).unwrap();
+        let n = 3;
+        let assign = shard_assignment(&b, &[0], n);
+        assert_eq!(assign[0], assign[2]);
+        assert_eq!(shard_of_values(&[Value::Null], n), assign[1]);
+        assert_eq!(shard_of_values(&[Value::str("a")], n), assign[0]);
+    }
+
+    #[test]
+    fn single_shard_is_a_clone() {
+        let b = batch(&[("a", 1), ("b", 2)]);
+        let shards = b.shard_by_key(&[0], 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0], b);
+    }
+
+    #[test]
+    fn empty_key_set_routes_everything_to_one_shard() {
+        // No keyed operator: every row hashes to the same (empty) key.
+        let b = batch(&[("a", 1), ("b", 2), ("c", 3)]);
+        let shards = b.shard_by_key(&[], 4);
+        let non_empty: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(non_empty.len(), 1);
+        assert_eq!(shards[non_empty[0]].len(), 3);
+    }
+
+    #[test]
+    fn shared_dict_pages_survive_sharding() {
+        let dict = Arc::new(StrDict::from_entries(["a", "b", "c"]));
+        let b = Batch {
+            schema: Schema::new(vec![Field::new("k", DataType::Str)]),
+            timestamps: (0..6).collect(),
+            columns: vec![Column::Dict {
+                codes: vec![0, 1, 2, 0, 1, 2],
+                dict: dict.clone(),
+            }],
+        };
+        let shards = b.shard_by_key(&[0], 3);
+        for s in &shards {
+            if let Some((d, _)) = s.columns[0].as_dict() {
+                assert!(std::ptr::eq(d, dict.as_ref()), "page must be shared");
+            }
+        }
+    }
+}

@@ -1,20 +1,22 @@
-//! Batch/row differential parity: the vectorized batch-first operator
-//! library must produce **bit-identical** results to the legacy
-//! record-at-a-time execution model on all three paper queries.
+//! Golden result fingerprints for the three paper queries.
 //!
-//! The legacy model survives one release as the deprecated row shim
-//! (`streamkit::ops::row` behind `build_row_pipeline`); this suite runs
-//! S2SProbe, T2TProbe, and LogAnalytics through both paths over identical
-//! generated workloads and compares exactness fingerprints — extending the
-//! PR 1 `backend_parity` pattern from backends to execution models. It also
-//! covers the partitioned flow (Partial-role prefix shipping state deltas to
-//! a Final-role replica), since state shipped by one model must merge
-//! exactly into the other.
+//! The record-at-a-time row shim served one release as the differential
+//! oracle for the batch-first operator library (`tests/batch_row_parity.rs`
+//! proved bit-identical digests). With the shim removed, this suite pins the
+//! semantics the oracle guarded: every query's result multiset over the
+//! deterministic generators is fingerprinted and compared against digests
+//! committed at the moment the two execution models agreed. Any operator
+//! change that alters results — reordering-insensitive, float-canonicalised
+//! — trips these constants and must justify a golden update in review.
+//!
+//! Full (Final-role chain with per-epoch watermark/epoch hooks) and
+//! partitioned (Partial-role prefix shipping state deltas into a Final-role
+//! replica) flows are pinned separately, matching the retired suite.
 
 use jarvis::core::deploy::ExactnessDigest;
 use jarvis::streamkit::batch::Batch;
 use jarvis::streamkit::logical::LogicalPlan;
-use jarvis::streamkit::ops::{AggRole, Operator};
+use jarvis::streamkit::ops::AggRole;
 use jarvis::streamkit::physical::{self, CostProfile};
 use jarvis::streamkit::record::Record;
 use jarvis::telemetry;
@@ -23,26 +25,11 @@ use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
 
 const EPOCHS: i64 = 6;
 
-/// Pipeline construction model under test.
-#[derive(Clone, Copy)]
-enum Exec {
-    Batch,
-    RowShim,
-}
-
-fn build(plan: &LogicalPlan, role: AggRole, exec: Exec) -> Vec<Box<dyn Operator>> {
-    let costs = CostProfile::default();
-    match exec {
-        Exec::Batch => physical::build_pipeline(plan, &costs, role).expect("valid plan"),
-        #[allow(deprecated)]
-        Exec::RowShim => physical::build_row_pipeline(plan, &costs, role).expect("valid plan"),
-    }
-}
-
 /// Runs epoch batches through a full Final-role chain (with per-epoch
 /// watermarks/epoch hooks, like the engines) and returns every emitted row.
-fn run_full(plan: &LogicalPlan, inputs: &[Batch], exec: Exec) -> Vec<Record> {
-    let mut ops = build(plan, AggRole::Final, exec);
+fn run_full(plan: &LogicalPlan, inputs: &[Batch]) -> Vec<Record> {
+    let mut ops =
+        physical::build_pipeline(plan, &CostProfile::default(), AggRole::Final).expect("valid");
     let n = ops.len();
     let mut results: Vec<Record> = Vec::new();
     for (e, input) in inputs.iter().enumerate() {
@@ -81,19 +68,16 @@ fn run_full(plan: &LogicalPlan, inputs: &[Batch], exec: Exec) -> Vec<Record> {
 
 /// Runs the partitioned flow: every odd row goes through a Partial-role
 /// local prefix whose state deltas merge into the Final-role replica; even
-/// rows drain straight to the replica. Merged results must equal an
-/// unpartitioned run regardless of execution model.
-fn run_partitioned(plan: &LogicalPlan, inputs: &[Batch], exec: Exec) -> Vec<Record> {
-    let mut local = build(plan, AggRole::Partial, exec);
-    let mut replica = build(plan, AggRole::Final, exec);
+/// rows drain straight to the replica.
+fn run_partitioned(plan: &LogicalPlan, inputs: &[Batch]) -> Vec<Record> {
+    let costs = CostProfile::default();
+    let mut local = physical::build_pipeline(plan, &costs, AggRole::Partial).expect("valid");
+    let mut replica = physical::build_pipeline(plan, &costs, AggRole::Final).expect("valid");
     let mut results: Vec<Record> = Vec::new();
     for input in inputs {
         let mask: Vec<bool> = (0..input.len()).map(|r| r % 2 == 1).collect();
         let drained_mask: Vec<bool> = mask.iter().map(|b| !b).collect();
-        let local_part = input.select(&mask);
-        let drained = input.select(&drained_mask);
-        // Local prefix processes its share and ships state.
-        let mut cur = vec![local_part];
+        let mut cur = vec![input.select(&mask)];
         for op in local.iter_mut() {
             let mut next = Vec::new();
             for b in cur {
@@ -106,8 +90,7 @@ fn run_partitioned(plan: &LogicalPlan, inputs: &[Batch], exec: Exec) -> Vec<Reco
                 replica[stage].merge_state(delta);
             }
         }
-        // Drained rows enter the replica at stage 0.
-        let mut cur = vec![drained];
+        let mut cur = vec![input.select(&drained_mask)];
         for op in replica.iter_mut() {
             let mut next = Vec::new();
             for b in cur {
@@ -117,7 +100,6 @@ fn run_partitioned(plan: &LogicalPlan, inputs: &[Batch], exec: Exec) -> Vec<Reco
         }
         results.extend(cur.iter().flat_map(Batch::to_records));
     }
-    // Residual local state, then close every window at the replica.
     for (stage, op) in local.iter_mut().enumerate() {
         if let Some(delta) = op.take_state_delta() {
             replica[stage].merge_state(delta);
@@ -129,10 +111,6 @@ fn run_partitioned(plan: &LogicalPlan, inputs: &[Batch], exec: Exec) -> Vec<Reco
             .flat_map(Batch::to_records),
     );
     results
-}
-
-fn digest(rows: &[Record]) -> ExactnessDigest {
-    ExactnessDigest::of_rows(rows)
 }
 
 fn pingmesh_epochs(peer_ip_space: u32) -> Vec<Batch> {
@@ -152,55 +130,78 @@ fn log_epochs() -> Vec<Batch> {
         .collect()
 }
 
-fn assert_parity(name: &str, plan: &LogicalPlan, inputs: &[Batch]) {
-    let batch = run_full(plan, inputs, Exec::Batch);
-    let row = run_full(plan, inputs, Exec::RowShim);
-    let db = digest(&batch);
-    assert!(db.rows > 0, "{name}: the run must produce results");
+fn assert_golden(name: &str, rows: &[Record], golden_rows: u64, golden_digest: &str) {
+    let d = ExactnessDigest::of_rows(rows);
+    assert!(d.rows > 0, "{name}: the run must produce results");
     assert_eq!(
-        db,
-        digest(&row),
-        "{name}: batch path and legacy row shim must be bit-identical"
-    );
-
-    let part_batch = run_partitioned(plan, inputs, Exec::Batch);
-    let part_row = run_partitioned(plan, inputs, Exec::RowShim);
-    assert_eq!(
-        digest(&part_batch),
-        digest(&part_row),
-        "{name}: partitioned batch and row paths must be bit-identical"
+        (d.rows, d.digest.as_str()),
+        (golden_rows, golden_digest),
+        "{name}: results diverged from the golden fingerprint committed when \
+         the batch path was differentially verified against the row oracle"
     );
 }
 
 #[test]
-fn s2s_probe_batch_equals_row_shim() {
-    let plan = telemetry::queries::s2s_probe();
-    assert_parity("S2SProbe", &plan, &pingmesh_epochs(20_000));
-}
-
-#[test]
-fn t2t_probe_batch_equals_row_shim() {
-    let (src, dst) = telemetry::queries::t2t_tables(500, 40, &[1]);
-    let plan = telemetry::queries::t2t_probe(src, dst);
-    assert_parity("T2TProbe", &plan, &pingmesh_epochs(500));
-}
-
-#[test]
-fn log_analytics_batch_equals_row_shim() {
-    let plan = telemetry::queries::log_analytics();
-    assert_parity("LogAnalytics", &plan, &log_epochs());
-}
-
-#[test]
-fn partitioned_equals_unpartitioned_on_the_batch_path() {
-    // Exactness of data-level partitioning (paper §VI-D) holds on the new
-    // batch path itself, not just relative to the row shim.
+fn s2s_probe_matches_golden() {
     let plan = telemetry::queries::s2s_probe();
     let inputs = pingmesh_epochs(20_000);
-    // Strip per-epoch deltas by comparing only the closed-window output:
-    // run without epoch hooks via the partitioned runner on both splits.
-    let all = run_partitioned(&plan, &inputs, Exec::Batch);
-    let row = run_partitioned(&plan, &inputs, Exec::RowShim);
-    assert_eq!(digest(&all), digest(&row));
-    assert!(!all.is_empty());
+    assert_golden(
+        "S2SProbe/full",
+        &run_full(&plan, &inputs),
+        GOLDEN_S2S_FULL.0,
+        GOLDEN_S2S_FULL.1,
+    );
+    assert_golden(
+        "S2SProbe/partitioned",
+        &run_partitioned(&plan, &inputs),
+        GOLDEN_S2S_PART.0,
+        GOLDEN_S2S_PART.1,
+    );
 }
+
+#[test]
+fn t2t_probe_matches_golden() {
+    let (src, dst) = telemetry::queries::t2t_tables(500, 40, &[1]);
+    let plan = telemetry::queries::t2t_probe(src, dst);
+    let inputs = pingmesh_epochs(500);
+    assert_golden(
+        "T2TProbe/full",
+        &run_full(&plan, &inputs),
+        GOLDEN_T2T_FULL.0,
+        GOLDEN_T2T_FULL.1,
+    );
+    assert_golden(
+        "T2TProbe/partitioned",
+        &run_partitioned(&plan, &inputs),
+        GOLDEN_T2T_PART.0,
+        GOLDEN_T2T_PART.1,
+    );
+}
+
+#[test]
+fn log_analytics_matches_golden() {
+    let plan = telemetry::queries::log_analytics();
+    let inputs = log_epochs();
+    assert_golden(
+        "LogAnalytics/full",
+        &run_full(&plan, &inputs),
+        GOLDEN_LOG_FULL.0,
+        GOLDEN_LOG_FULL.1,
+    );
+    assert_golden(
+        "LogAnalytics/partitioned",
+        &run_partitioned(&plan, &inputs),
+        GOLDEN_LOG_PART.0,
+        GOLDEN_LOG_PART.1,
+    );
+}
+
+// Golden (rows, FNV-1a digest) pairs, captured from the batch path at the
+// point `tests/batch_row_parity.rs` last proved it bit-identical to the
+// record-at-a-time execution model.
+const GOLDEN_S2S_FULL: (u64, &str) = (31661, "10a8b217ab9d756b");
+const GOLDEN_S2S_PART: (u64, &str) = (12837, "ce59bff75094a8c6");
+const GOLDEN_T2T_FULL: (u64, &str) = (91, "17ff0fa2046aef8b");
+const GOLDEN_T2T_PART: (u64, &str) = (13, "552116446b88a642");
+const GOLDEN_LOG_FULL: (u64, &str) = (21405, "00a4f4c90bd38076");
+const GOLDEN_LOG_PART: (u64, &str) = (4247, "ec0b687434a7a9d4");

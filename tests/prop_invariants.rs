@@ -232,6 +232,142 @@ proptest! {
         prop_assert_eq!(flat(&str_out), flat(&dict_out));
     }
 
+    /// Key-hash sharding is a partition: every row lands in exactly one
+    /// shard, rows keep their content and relative order within a shard,
+    /// and equal keys always share a shard (checked against the
+    /// value-keyed routing used for shipped state).
+    #[test]
+    fn shard_by_key_partitions_rows(
+        rows in proptest::collection::vec(
+            (0u32..10, 0u32..6, any::<u32>(), 0i64..1_000_000),
+            1..150,
+        ),
+        n in 1usize..9,
+    ) {
+        use jarvis::streamkit::shard::shard_of_values;
+
+        let schema = Schema::new(vec![
+            Field::new("tenant", DataType::Str),
+            Field::new("stat", DataType::U32),
+            Field::new("v", DataType::U32),
+        ]);
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(t, s, v, ts)| Record::new(
+                *ts,
+                vec![
+                    Value::str(format!("tenant-{t}")),
+                    Value::U64(u64::from(*s)),
+                    Value::U64(u64::from(*v)),
+                ],
+            ))
+            .collect();
+        let batch = Batch::from_records(schema, &records).unwrap();
+        let shards = batch.shard_by_key(&[0, 1], n);
+        prop_assert_eq!(shards.len(), n);
+        // Every row in exactly one shard: counts add up and the multiset of
+        // rows round-trips.
+        let total: usize = shards.iter().map(Batch::len).sum();
+        prop_assert_eq!(total, batch.len());
+        let mut sharded: Vec<Record> = shards.iter().flat_map(Batch::to_records).collect();
+        let mut expected = records.clone();
+        let sort_key = |r: &Record| format!("{:?}|{:?}", r.ts, r.values);
+        sharded.sort_by_key(sort_key);
+        expected.sort_by_key(sort_key);
+        prop_assert_eq!(sharded, expected);
+        // Row routing agrees with value routing (state-delta ownership),
+        // and rows preserve input order within their shard.
+        for (k, shard) in shards.iter().enumerate() {
+            let mut last_pos = 0usize;
+            for row in 0..shard.len() {
+                let key = vec![shard.columns[0].value(row), shard.columns[1].value(row)];
+                prop_assert_eq!(shard_of_values(&key, n), k);
+                let rec = Record::new(
+                    shard.timestamps[row],
+                    (0..shard.columns.len()).map(|c| shard.columns[c].value(row)).collect(),
+                );
+                let pos = records[last_pos..]
+                    .iter()
+                    .position(|r| *r == rec)
+                    .map(|p| last_pos + p);
+                prop_assert!(pos.is_some(), "shard rows keep input order");
+                last_pos = pos.unwrap() + 1;
+            }
+        }
+    }
+
+    /// Dictionary-encoding the key columns must not change shard
+    /// assignment: the per-page code-hash fast path hashes exactly the
+    /// canonical bytes the plain-string path hashes.
+    #[test]
+    fn shard_by_dict_equals_shard_by_str(
+        rows in proptest::collection::vec((0u32..12, 0i64..1_000_000), 1..120),
+        n in 2usize..8,
+    ) {
+        use jarvis::streamkit::shard::shard_assignment;
+
+        let schema = Schema::new(vec![Field::new("k", DataType::Str)]);
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(k, ts)| Record::new(*ts, vec![Value::str(["", "a", "bb", "ccc", "dddd",
+                "tenant-0", "tenant-1", "tenant-2", "x", "yy", "zzz", "w"][*k as usize])]))
+            .collect();
+        let plain = Batch::from_records(schema, &records).unwrap();
+        let mut dict = plain.clone();
+        dict.dict_encode(64);
+        prop_assert_eq!(
+            shard_assignment(&plain, &[0], n),
+            shard_assignment(&dict, &[0], n)
+        );
+    }
+
+    /// Sharding commutes with batch splitting: shard every chunk of a
+    /// random split and the per-shard concatenation equals sharding the
+    /// whole batch (the router chunks batches arbitrarily over the
+    /// channels, which must not affect shard content or order).
+    #[test]
+    fn shard_by_key_is_stable_under_batch_splits(
+        rows in proptest::collection::vec((0u32..8, any::<u32>(), 0i64..1_000_000), 1..150),
+        cuts in proptest::collection::vec(1usize..149, 0..5),
+        n in 2usize..6,
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::U32),
+            Field::new("v", DataType::U32),
+        ]);
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(k, v, ts)| Record::new(
+                *ts,
+                vec![Value::U64(u64::from(*k)), Value::U64(u64::from(*v))],
+            ))
+            .collect();
+        let batch = Batch::from_records(schema, &records).unwrap();
+        let whole: Vec<Vec<Record>> = batch
+            .shard_by_key(&[0], n)
+            .iter()
+            .map(Batch::to_records)
+            .collect();
+        // Split at sorted, deduplicated cut points.
+        let mut cuts: Vec<usize> = cuts.into_iter().filter(|&c| c < batch.len()).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut pieces = Vec::new();
+        let mut start = 0;
+        for &c in &cuts {
+            pieces.push(batch.slice(start..c));
+            start = c;
+        }
+        pieces.push(batch.slice(start..batch.len()));
+        let mut stitched: Vec<Vec<Record>> = vec![Vec::new(); n];
+        for piece in &pieces {
+            for (k, part) in piece.shard_by_key(&[0], n).iter().enumerate() {
+                stitched[k].extend(part.to_records());
+            }
+        }
+        prop_assert_eq!(stitched, whole);
+    }
+
     /// Tumbling windows tile the timeline: every timestamp belongs to
     /// exactly one window, and closure is monotone in the watermark.
     #[test]
