@@ -10,11 +10,11 @@
 //! overhead, bench.
 //!
 //! `bench` is not a paper figure: it measures the str-keyed vs dict-keyed
-//! group-aggregate kernels and the sharded SP runtime's 1/2/4-shard
-//! scaling, and (with `--json`) writes `BENCH_throughput.json`, the
-//! perf-trajectory artifact CI uploads. With `--check` it additionally
-//! fails (exit 1) when a measured speedup regresses more than 20% below
-//! the committed baseline.
+//! group-aggregate kernels, the sharded SP runtime's 1/2/4-shard scaling,
+//! and the multi-node SP tier's 1/2/4-node scaling, and (with `--json`)
+//! writes `BENCH_throughput.json`, the perf-trajectory artifact CI
+//! uploads. With `--check` it additionally fails (exit 1) when a measured
+//! speedup regresses more than 20% below the committed baseline.
 
 use jarvis_bench::output::{f2, render_ascii_chart, render_table, write_json};
 use jarvis_bench::*;
@@ -320,6 +320,7 @@ fn run_bench(json: bool, check: bool) {
     let report = ThroughputReport {
         group_agg: bench_group_agg(15),
         shard_scaling: bench_shard_scaling(15),
+        node_scaling: bench_node_scaling(15),
     };
     let g = &report.group_agg;
     println!("Group-aggregate kernels: str keys vs dict keys");
@@ -350,6 +351,23 @@ fn run_bench(json: bool, check: bool) {
         "  speedup  : {:.2}x at {} shards (target: >= 1.5x)",
         s.speedup_at_max(),
         s.shards.last().unwrap_or(&1)
+    );
+    let nd = &report.node_scaling;
+    println!("Multi-node SP tier: consistent-hash dispatch, critical-path throughput");
+    println!("  pipeline : {}", nd.pipeline);
+    println!("  rows/iter: {}", nd.rows);
+    for (i, n) in nd.nodes.iter().enumerate() {
+        println!(
+            "  {n} node{}  : {:.0} rows/s ({:.2}x)",
+            if *n == 1 { " " } else { "s" },
+            nd.rows_per_sec[i],
+            nd.speedup[i]
+        );
+    }
+    println!(
+        "  speedup  : {:.2}x at {} nodes (target: >= 1.5x)",
+        nd.speedup_at_max(),
+        nd.nodes.last().unwrap_or(&1)
     );
     maybe_json(json, "BENCH_throughput", &report);
 

@@ -35,6 +35,8 @@ pub struct ThroughputReport {
     pub group_agg: crate::groupagg::GroupAggResult,
     /// Sharded SP runtime: 1/2/4 keyed shard pipelines (PR 4).
     pub shard_scaling: ShardScalingResult,
+    /// Multi-node SP tier: 1/2/4 nodes over a fixed 4-shard ring (PR 5).
+    pub node_scaling: crate::nodescale::NodeScalingResult,
 }
 
 /// Allowed relative speedup regression before the CI gate fails.
@@ -64,6 +66,11 @@ impl ThroughputReport {
             "shard_scaling@4",
             self.shard_scaling.speedup_at_max(),
             baseline.shard_scaling.speedup_at_max(),
+        );
+        check(
+            "node_scaling@4",
+            self.node_scaling.speedup_at_max(),
+            baseline.node_scaling.speedup_at_max(),
         );
         out
     }

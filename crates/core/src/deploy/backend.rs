@@ -43,6 +43,7 @@ pub(crate) fn build_block(
         BuildingBlockConfig {
             network: spec.network,
             sp_shards: spec.sp_shards as usize,
+            sp_nodes: spec.sp_nodes as usize,
             ..Default::default()
         },
         spec.warmup_epochs,
@@ -116,7 +117,10 @@ impl EmulatedBackend {
             .map(|m| (m.net_bytes - m.state_bytes).max(0.0))
             .sum();
         report.results_emitted = block.sp().results_emitted();
-        report.exactness = block.sp().collected_results().map(ExactnessDigest::of_rows);
+        report.exactness = block
+            .sp()
+            .collected_results()
+            .map(|rows| ExactnessDigest::of_rows(&rows));
         report.trace = block.source(0).runtime().trace().to_vec();
         report.episodes = block.source(0).runtime().episodes().to_vec();
         report.load_factors = block.source(0).load_factors();
@@ -127,6 +131,7 @@ impl EmulatedBackend {
         report.deployed_chain = planned.plan.display_chain();
         report.source_ops = planned.source_ops;
         report.sp_shards = block.sp().n_shards() as u64;
+        report.sp_nodes = block.sp().n_nodes() as u64;
         report.shard_stats = block
             .sp()
             .shard_stats()
@@ -134,6 +139,17 @@ impl EmulatedBackend {
             .map(|s| crate::deploy::report::ShardStat {
                 drained_records: s.drained_records,
                 usage_us: s.usage_us,
+                wire_bytes_out: s.wire_bytes_out,
+            })
+            .collect();
+        report.node_stats = block
+            .sp()
+            .node_stats()
+            .iter()
+            .map(|n| crate::deploy::report::NodeStat {
+                drained_records: n.drained_records,
+                usage_us: n.usage_us,
+                wire_bytes_out: n.wire_bytes_out,
             })
             .collect();
         report
@@ -177,6 +193,7 @@ impl ExecBackend for LiveBackend {
         report.deployed_chain = session.planned().plan.display_chain();
         report.source_ops = session.planned().source_ops;
         report.sp_shards = session.n_shards() as u64;
+        report.sp_nodes = session.n_nodes() as u64;
         report.trace = session.runtime(0).trace().to_vec();
         report.episodes = session.runtime(0).episodes().to_vec();
         report.load_factors = session.load_factors(0);
@@ -198,12 +215,27 @@ impl ExecBackend for LiveBackend {
             .shard_drained_records
             .iter()
             .zip(&outcome.shard_usage_us)
-            .map(
-                |(&drained_records, &usage_us)| crate::deploy::report::ShardStat {
+            .zip(&outcome.shard_wire_bytes)
+            .map(|((&drained_records, &usage_us), &wire_bytes_out)| {
+                crate::deploy::report::ShardStat {
                     drained_records,
                     usage_us,
-                },
-            )
+                    wire_bytes_out,
+                }
+            })
+            .collect();
+        report.node_stats = outcome
+            .node_drained_records
+            .iter()
+            .zip(&outcome.node_usage_us)
+            .zip(&outcome.node_wire_bytes)
+            .map(|((&drained_records, &usage_us), &wire_bytes_out)| {
+                crate::deploy::report::NodeStat {
+                    drained_records,
+                    usage_us,
+                    wire_bytes_out,
+                }
+            })
             .collect();
         if spec.collect_results {
             report.exactness = Some(ExactnessDigest::of_rows(&outcome.results));

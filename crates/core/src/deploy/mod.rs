@@ -39,13 +39,15 @@ mod backend;
 mod report;
 mod workload;
 
+// Used by crate-internal tests (checkpoint fault-injection blocks).
+#[cfg_attr(not(test), allow(unused_imports))]
 pub(crate) use backend::build_block;
 
 use std::fmt;
 use std::sync::Arc;
 
 pub use backend::{ConvergenceBackend, EmulatedBackend, ExecBackend, LiveBackend};
-pub use report::{ExactnessDigest, RunReport, ShardStat};
+pub use report::{ExactnessDigest, NodeStat, RunReport, ShardStat};
 pub use workload::{CustomWorkload, SourceAdapter};
 
 use crate::calibration;
@@ -98,6 +100,15 @@ pub enum DeployError {
         got: u32,
         /// Largest supported shard count.
         max: u32,
+    },
+    /// `sp_nodes` outside `1..=sp_shards`: nodes own contiguous slices of
+    /// the fixed shard ring, so a cluster wider than the ring has idle
+    /// nodes by construction.
+    InvalidNodeCount {
+        /// The rejected value.
+        got: u32,
+        /// The ring width it must divide into non-empty slices.
+        shards: u32,
     },
     /// `sp_shards > 1` on a plan the key partitioner cannot shard exactly:
     /// a second keyed operator past the shard boundary would see its key
@@ -155,6 +166,12 @@ impl fmt::Display for DeployError {
             DeployError::InvalidShardCount { got, max } => {
                 write!(f, "sp_shards must be in 1..={max}, got {got}")
             }
+            DeployError::InvalidNodeCount { got, shards } => {
+                write!(
+                    f,
+                    "sp_nodes must be in 1..=sp_shards (= {shards}), got {got}"
+                )
+            }
             DeployError::ShardingUnsupportedPlan { chain } => {
                 write!(
                     f,
@@ -211,8 +228,11 @@ pub struct DeploymentSpec {
     pub sources: u32,
     /// CPU available to the query on each source, core fraction.
     pub cpu_budget: f64,
-    /// Keyed shard pipelines per SP replica (1 = the unsharded chain).
+    /// Virtual shards on the SP tier's fixed hash ring (1 = the unsharded
+    /// chain).
     pub sp_shards: u32,
+    /// SP nodes dividing the ring into contiguous slices (1 = single node).
+    pub sp_nodes: u32,
     /// Uplink topology between sources and the stream processor.
     pub network: NetworkModel,
     /// Operator-eligibility rules (R-1..R-4).
@@ -239,6 +259,7 @@ impl fmt::Debug for DeploymentSpec {
             .field("sources", &self.sources)
             .field("cpu_budget", &self.cpu_budget)
             .field("sp_shards", &self.sp_shards)
+            .field("sp_nodes", &self.sp_nodes)
             .field("network", &self.network)
             .field("warmup_epochs", &self.warmup_epochs)
             .field("fixed_load_factors", &self.fixed_load_factors)
@@ -255,6 +276,7 @@ pub struct DeploymentBuilder {
     sources: u32,
     cpu_budget: f64,
     sp_shards: u32,
+    sp_nodes: u32,
     network: Option<NetworkModel>,
     rules: RuleConfig,
     warmup_epochs: u64,
@@ -273,6 +295,7 @@ impl Default for DeploymentBuilder {
             sources: 1,
             cpu_budget: 0.5,
             sp_shards: 1,
+            sp_nodes: 1,
             network: None,
             rules: RuleConfig::default(),
             warmup_epochs: crate::experiment::DEFAULT_WARMUP_EPOCHS,
@@ -316,12 +339,23 @@ impl DeploymentBuilder {
         self
     }
 
-    /// Sets the number of keyed shard pipelines per SP replica (default 1 =
-    /// the unsharded chain). Sharded runs partition every batch by the
-    /// plan's group keys at its stateful boundary and stay exact; see
-    /// `tests/shard_parity.rs`.
+    /// Sets the number of virtual shards on the SP tier's fixed hash ring
+    /// (default 1 = the unsharded chain). Sharded runs partition every
+    /// batch by the plan's group keys at its stateful boundary and stay
+    /// exact; see `tests/shard_parity.rs`.
     pub fn sp_shards(mut self, shards: u32) -> Self {
         self.sp_shards = shards;
+        self
+    }
+
+    /// Sets the number of SP nodes the hash ring is divided over (default
+    /// 1 = a single-node SP). Each node owns a contiguous slice of the
+    /// `sp_shards` ring; remote-shard traffic crosses nodes as
+    /// `NetPayload::ShardBatch` / `ShardState` payloads. The key → shard
+    /// mapping is node-count-independent, so results are bit-identical at
+    /// any node count; see `tests/node_parity.rs`.
+    pub fn sp_nodes(mut self, nodes: u32) -> Self {
+        self.sp_nodes = nodes;
         self
     }
 
@@ -393,6 +427,12 @@ impl DeploymentBuilder {
                 max: MAX_SP_SHARDS,
             });
         }
+        if !(1..=self.sp_shards).contains(&self.sp_nodes) {
+            return Err(DeployError::InvalidNodeCount {
+                got: self.sp_nodes,
+                shards: self.sp_shards,
+            });
+        }
         // Planning validates the query and fixes the source-eligible prefix.
         let planned = crate::planner::plan_query(workload.logical_plan(), &self.rules)?;
         // The shard partitioner splits once, at the first keyed boundary; a
@@ -444,6 +484,7 @@ impl DeploymentBuilder {
             sources: self.sources,
             cpu_budget: self.cpu_budget,
             sp_shards: self.sp_shards,
+            sp_nodes: self.sp_nodes,
             network: self.network.unwrap_or(NetworkModel::PerSource {
                 bps: calibration::per_query_per_node_bps(),
             }),
@@ -565,6 +606,21 @@ mod tests {
         );
         let d = builder().sp_shards(4).build().unwrap();
         assert_eq!(d.spec().sp_shards, 4);
+    }
+
+    #[test]
+    fn node_count_is_validated_against_the_ring() {
+        assert_eq!(
+            builder().sp_shards(4).sp_nodes(0).build().unwrap_err(),
+            DeployError::InvalidNodeCount { got: 0, shards: 4 }
+        );
+        assert_eq!(
+            builder().sp_shards(4).sp_nodes(5).build().unwrap_err(),
+            DeployError::InvalidNodeCount { got: 5, shards: 4 }
+        );
+        // One node per shard is the widest meaningful cluster.
+        let d = builder().sp_shards(4).sp_nodes(4).build().unwrap();
+        assert_eq!(d.spec().sp_nodes, 4);
     }
 
     #[test]
@@ -700,6 +756,7 @@ mod tests {
         let d = builder().cpu_budget(0.6).build().unwrap();
         assert_eq!(d.spec().sources, 1);
         assert_eq!(d.spec().sp_shards, 1, "unsharded by default");
+        assert_eq!(d.spec().sp_nodes, 1, "single-node SP by default");
         assert_eq!(
             d.spec().warmup_epochs,
             crate::experiment::DEFAULT_WARMUP_EPOCHS

@@ -1,7 +1,8 @@
 //! The unified run report.
 //!
-//! [`RunReport`] subsumes the three per-front-door report types the repo
-//! accumulated (`ScenarioReport`, `RunnerReport`, `LiveReport`): every
+//! [`RunReport`] subsumes the per-front-door report types the repo once
+//! accumulated (`ScenarioReport` and `RunnerReport` are gone with their
+//! shims; `LiveReport` remains on the low-level fixed-factor path): every
 //! [`crate::deploy::ExecBackend`] fills the fields it can measure and leaves
 //! the rest at their empty defaults. Reports serialize to JSON so the bench
 //! harness's output stays machine-readable.
@@ -65,7 +66,7 @@ fn canonical_row(rec: &Record) -> String {
     s
 }
 
-/// Per-shard drain/usage counters of a sharded SP runtime.
+/// Per-shard drain/usage/wire counters of a sharded SP runtime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardStat {
     /// Input rows routed into the shard by the key-hash partitioner.
@@ -73,6 +74,21 @@ pub struct ShardStat {
     /// Compute charged to the shard's pipeline, µs (modelled on the
     /// emulated backend, counterfactual on the live backend).
     pub usage_us: f64,
+    /// Wire bytes shipped across SP nodes toward this shard (zero on a
+    /// single-node SP — local shard traffic never touches a link).
+    pub wire_bytes_out: u64,
+}
+
+/// Per-node drain/usage/wire counters of a multi-node SP tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeStat {
+    /// Input rows routed into the node's owned shards.
+    pub drained_records: u64,
+    /// Compute charged to the node's keyed pipelines, µs.
+    pub usage_us: f64,
+    /// Wire bytes the node shipped to other nodes (remote-shard traffic,
+    /// from the `batch::layout` accounting).
+    pub wire_bytes_out: u64,
 }
 
 /// Result of executing a [`crate::deploy::DeploymentSpec`] on a backend.
@@ -123,11 +139,16 @@ pub struct RunReport {
     pub deployed_chain: String,
     /// Operators eligible to run on the data sources.
     pub source_ops: usize,
-    /// Keyed shard pipelines per SP replica (1 = unsharded).
+    /// Virtual shards on the SP tier's fixed hash ring (1 = unsharded).
     pub sp_shards: u64,
-    /// Per-shard drain/usage stats of the sharded SP runtime (emulated and
-    /// live backends).
+    /// SP nodes the ring was divided over (1 = single-node SP).
+    pub sp_nodes: u64,
+    /// Per-shard drain/usage/wire stats of the sharded SP runtime (emulated
+    /// and live backends).
     pub shard_stats: Vec<ShardStat>,
+    /// Per-node drain/usage/wire stats of the SP tier (emulated and live
+    /// backends).
+    pub node_stats: Vec<NodeStat>,
     /// Epochs StepWise-Adapt needed to stabilise (convergence backend).
     pub converged_epochs: Option<u32>,
 }
@@ -158,7 +179,9 @@ impl RunReport {
             deployed_chain: String::new(),
             source_ops: 0,
             sp_shards: 1,
+            sp_nodes: 1,
             shard_stats: Vec::new(),
+            node_stats: Vec::new(),
             converged_epochs: None,
         }
     }

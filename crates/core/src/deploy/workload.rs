@@ -59,7 +59,8 @@ impl SourceAdapter for ScenarioSpec {
 
 /// An ad-hoc workload: any query plan with caller-supplied generators.
 ///
-/// This is the migration path for code that used to hand `Runner` a
+/// This is the migration path for code that used to hand the (removed)
+/// `Runner` shim a
 /// `LogicalPlan` plus a vector of boxed generators, and the plug-in point
 /// for scenarios outside the paper's three (custom queries, injected
 /// anomalies, trace replay). Generators are taken once per source, so one

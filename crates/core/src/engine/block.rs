@@ -8,9 +8,9 @@ use streamkit::physical::CostProfile;
 use streamkit::time::Ts;
 
 use crate::calibration;
+use crate::engine::cluster::SpCluster;
 use crate::engine::metrics::RunMetrics;
 use crate::engine::source::{SourceConfig, SourceEngine};
-use crate::engine::sp::SpEngine;
 use crate::engine::NetPayload;
 use crate::planner::PlannedQuery;
 
@@ -110,8 +110,10 @@ pub struct BuildingBlockConfig {
     pub sp_cores: f64,
     /// Uplink model.
     pub network: NetworkModel,
-    /// Keyed shard pipelines per SP replica (1 = unsharded).
+    /// Virtual shards on the SP tier's fixed hash ring (1 = unsharded).
     pub sp_shards: usize,
+    /// SP nodes dividing the ring into contiguous slices (1 = single node).
+    pub sp_nodes: usize,
 }
 
 impl Default for BuildingBlockConfig {
@@ -123,17 +125,18 @@ impl Default for BuildingBlockConfig {
                 bps: calibration::per_query_per_node_bps(),
             },
             sp_shards: 1,
+            sp_nodes: 1,
         }
     }
 }
 
-/// N sources + network + SP, advanced epoch by epoch.
+/// N sources + network + SP cluster, advanced epoch by epoch.
 pub struct BuildingBlock {
     clock: VirtualClock,
     sources: Vec<SourceEngine>,
     generators: Vec<Box<dyn EpochSource>>,
     net: Net,
-    sp: SpEngine,
+    sp: SpCluster,
     /// Per-source metrics (measurement window).
     metrics: Vec<RunMetrics>,
     /// Epochs excluded from metrics (system warm-up, §VI-A).
@@ -189,13 +192,14 @@ impl BuildingBlock {
                 Net::Shared(link)
             }
         };
-        let sp = SpEngine::new(
+        let sp = SpCluster::new(
             planned,
             costs,
             n,
             cfg.sp_cores,
             cfg.epoch_secs,
             cfg.sp_shards,
+            cfg.sp_nodes,
         );
         BuildingBlock {
             clock: VirtualClock::new(cfg.epoch_secs),
@@ -251,8 +255,8 @@ impl BuildingBlock {
         &self.sources[i]
     }
 
-    /// The SP engine.
-    pub fn sp(&self) -> &SpEngine {
+    /// The SP cluster.
+    pub fn sp(&self) -> &SpCluster {
         &self.sp
     }
 

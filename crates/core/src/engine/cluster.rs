@@ -1,0 +1,298 @@
+//! The multi-node stream-processor tier: `n_nodes` [`SpEngine`]s over one
+//! fixed hash ring of virtual shards (the DiG-style out-of-band scale-out).
+//!
+//! The ring of `sp_shards` virtual shards is the exactness anchor: the
+//! key → shard mapping ([`shard_of_values`](streamkit::shard::shard_of_values))
+//! never depends on the node count, so 1-, 2-, and 4-node clusters produce
+//! bit-identical result digests (`tests/node_parity.rs`). Nodes own
+//! contiguous ring slices ([`node_of_shard`]); each source's uplink
+//! terminates at its *ingress node* (`source % n_nodes`), which runs the
+//! replica's stateless prefix and partitions at the keyed boundary.
+//! Sub-batches and [`StatePartial`] splits whose owning shard lives on
+//! another node cross the cluster as [`NetPayload::ShardBatch`] /
+//! [`NetPayload::ShardState`] payloads, with wire cost charged per target
+//! shard from the `batch::layout` accounting.
+//!
+//! Within an epoch the cluster alternates processing passes with payload
+//! transfers until the outboxes run dry, so remote shard traffic is
+//! processed in the same epoch it was produced (budget permitting) and
+//! multi-node timing matches the single-node engine in uncongested runs.
+
+use streamkit::physical::CostProfile;
+use streamkit::record::Record;
+use streamkit::shard::node_of_shard;
+use streamkit::time::Ts;
+
+use crate::engine::sp::{SpCompletion, SpEngine, SpShardStat};
+use crate::engine::NetPayload;
+use crate::planner::PlannedQuery;
+
+/// Per-node drain/usage/wire counters of a multi-node SP tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpNodeStat {
+    /// Input rows routed into the node's owned shards.
+    pub drained_records: u64,
+    /// Modelled compute charged to the node's keyed pipelines, µs.
+    pub usage_us: f64,
+    /// Wire bytes the node shipped to other nodes (remote-shard traffic).
+    pub wire_bytes_out: u64,
+}
+
+/// `n_nodes` SP engines sharing one virtual-shard ring.
+pub struct SpCluster {
+    nodes: Vec<SpEngine>,
+    n_shards: usize,
+}
+
+impl SpCluster {
+    /// Builds a cluster of `n_nodes` engines, each owning a contiguous
+    /// slice of the `n_shards` ring and hosting `n_sources` replicas.
+    /// Keyless plans degenerate to one shard on one node (nothing to
+    /// partition by), exactly like the single-node engine.
+    pub fn new(
+        planned: &PlannedQuery,
+        costs: &CostProfile,
+        n_sources: usize,
+        sp_cores: f64,
+        epoch_secs: f64,
+        n_shards: usize,
+        n_nodes: usize,
+    ) -> SpCluster {
+        let (n_shards, n_nodes) = if planned.plan.shard_boundary().is_some() {
+            let shards = n_shards.max(1);
+            (shards, n_nodes.clamp(1, shards))
+        } else {
+            (1, 1)
+        };
+        let nodes = (0..n_nodes)
+            .map(|id| {
+                SpEngine::for_node(
+                    planned, costs, n_sources, sp_cores, epoch_secs, n_shards, id, n_nodes,
+                )
+            })
+            .collect();
+        SpCluster { nodes, n_shards }
+    }
+
+    /// Nodes in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Width of the fixed virtual-shard ring.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// One node's engine (budget inspection, tests).
+    pub fn node(&self, i: usize) -> &SpEngine {
+        &self.nodes[i]
+    }
+
+    /// The ingress node terminating `source`'s uplink.
+    pub fn ingress(&self, source: usize) -> usize {
+        source % self.nodes.len()
+    }
+
+    /// Delivers an uplink payload from `source` that finished its transfer
+    /// at `arrival_secs` to the source's ingress node, then transfers any
+    /// remote-shard splits it produced to their owners.
+    pub fn deliver(&mut self, source: usize, payload: NetPayload, arrival_secs: f64) {
+        let ingress = self.ingress(source);
+        self.nodes[ingress].deliver(source, payload, arrival_secs);
+        self.transfer();
+    }
+
+    /// Moves every outbox payload to the node owning its shard. Returns
+    /// whether anything moved.
+    fn transfer(&mut self) -> bool {
+        let mut moved = false;
+        for i in 0..self.nodes.len() {
+            let out = self.nodes[i].take_outbound();
+            for (payload, when) in out {
+                let (shard, source) = match &payload {
+                    NetPayload::ShardBatch { shard, source, .. }
+                    | NetPayload::ShardState { shard, source, .. } => {
+                        (*shard as usize, *source as usize)
+                    }
+                    _ => unreachable!("outboxes carry shard payloads only"),
+                };
+                let target = node_of_shard(shard, self.n_shards, self.nodes.len());
+                debug_assert_ne!(target, i, "local shard traffic must not leave the node");
+                self.nodes[target].deliver(source, payload, when);
+                moved = true;
+            }
+        }
+        moved
+    }
+
+    /// Runs one cluster epoch: every node processes its arrivals, remote
+    /// shard traffic transfers and is processed in the same epoch while
+    /// budgets allow, then every node advances event time. Returns
+    /// input-record completions across nodes.
+    pub fn run_epoch(&mut self, epoch_start_us: Ts) -> Vec<SpCompletion> {
+        for n in &mut self.nodes {
+            n.begin_epoch();
+        }
+        let mut completions = Vec::new();
+        for n in &mut self.nodes {
+            completions.extend(n.process_queued(epoch_start_us));
+        }
+        while self.transfer() {
+            for n in &mut self.nodes {
+                completions.extend(n.process_queued(epoch_start_us));
+            }
+        }
+        for n in &mut self.nodes {
+            n.advance_time(epoch_start_us);
+        }
+        // Watermark emissions routed to remote shards (none for today's
+        // stateless prefixes) transfer now and process next epoch.
+        self.transfer();
+        completions
+    }
+
+    /// End-of-run flush for exactness fingerprinting: alternates no-budget
+    /// queue flushes with payload transfers until the outboxes run dry, then
+    /// closes every window on every node.
+    pub fn finalize(&mut self) {
+        loop {
+            for n in &mut self.nodes {
+                n.flush_queues();
+            }
+            if !self.transfer() {
+                break;
+            }
+        }
+        for n in &mut self.nodes {
+            n.close_windows();
+        }
+    }
+
+    /// Total result rows emitted across nodes.
+    pub fn results_emitted(&self) -> u64 {
+        self.nodes.iter().map(SpEngine::results_emitted).sum()
+    }
+
+    /// Rows still queued (delivered but unprocessed) across nodes.
+    pub fn backlog_records(&self) -> usize {
+        self.nodes.iter().map(SpEngine::backlog_records).sum()
+    }
+
+    /// Enables result-row retention on every node.
+    pub fn set_collect_results(&mut self, on: bool) {
+        for n in &mut self.nodes {
+            n.set_collect_results(on);
+        }
+    }
+
+    /// Retained result rows across nodes, when collection is enabled. Row
+    /// order follows node order; exactness digests are order-independent.
+    pub fn collected_results(&self) -> Option<Vec<Record>> {
+        let mut rows = Vec::new();
+        let mut any = false;
+        for n in &self.nodes {
+            if let Some(r) = n.collected_results() {
+                any = true;
+                rows.extend(r.iter().cloned());
+            }
+        }
+        any.then_some(rows)
+    }
+
+    /// Ring-wide per-shard stats: drain/usage filled by each shard's owning
+    /// node, wire bytes summed over every sender that shipped toward the
+    /// shard.
+    pub fn shard_stats(&self) -> Vec<SpShardStat> {
+        let mut stats = vec![SpShardStat::default(); self.n_shards];
+        for node in &self.nodes {
+            for (s, stat) in node.owned_shards().zip(node.shard_stats()) {
+                stats[s].drained_records += stat.drained_records;
+                stats[s].usage_us += stat.usage_us;
+            }
+            for (s, &bytes) in node.shard_wire_out().iter().enumerate() {
+                stats[s].wire_bytes_out += bytes;
+            }
+        }
+        stats
+    }
+
+    /// Per-node drain/usage/wire stats.
+    pub fn node_stats(&self) -> Vec<SpNodeStat> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let shards = node.shard_stats();
+                SpNodeStat {
+                    drained_records: shards.iter().map(|s| s.drained_records).sum(),
+                    usage_us: shards.iter().map(|s| s.usage_us).sum(),
+                    wire_bytes_out: node.shard_wire_out().iter().sum(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Scale;
+    use crate::experiment::ScenarioSpec;
+
+    fn cluster(n_shards: usize, n_nodes: usize) -> (SpCluster, ScenarioSpec) {
+        let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
+        let planned = spec.plan();
+        let c = SpCluster::new(&planned, &spec.costs(), 2, 64.0, 1.0, n_shards, n_nodes);
+        (c, spec)
+    }
+
+    #[test]
+    fn nodes_own_disjoint_contiguous_slices() {
+        let (c, _) = cluster(4, 3);
+        assert_eq!(c.n_nodes(), 3);
+        let mut seen = [false; 4];
+        for i in 0..3 {
+            for s in c.node(i).owned_shards() {
+                assert!(!seen[s]);
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn node_count_clamps_to_the_ring() {
+        let (c, _) = cluster(2, 6);
+        assert_eq!(c.n_nodes(), 2, "more nodes than shards is meaningless");
+    }
+
+    #[test]
+    fn remote_shard_traffic_crosses_as_payloads_and_is_charged() {
+        let (mut c, spec) = cluster(4, 2);
+        c.set_collect_results(true);
+        let mut gen = spec.generator(0, 1);
+        // Everything drained raw to the SP: the ingress (node 0) must ship
+        // the sub-batches owned by node 1 across, charging wire bytes.
+        for e in 0..4i64 {
+            let batch = gen.generate_epoch_batch(e * 1_000_000, 1.0);
+            c.deliver(0, NetPayload::Records { stage: 0, batch }, e as f64);
+            c.run_epoch(e * 1_000_000);
+        }
+        c.finalize();
+        let stats = c.shard_stats();
+        assert_eq!(stats.len(), 4);
+        let busy = stats.iter().filter(|s| s.drained_records > 0).count();
+        assert!(busy > 1, "keys must spread: {stats:?}");
+        let remote_bytes: u64 = stats.iter().map(|s| s.wire_bytes_out).sum();
+        assert!(remote_bytes > 0, "cross-node shipping must be charged");
+        // Node 0 is the only ingress for source 0, so only it ships.
+        let nodes = c.node_stats();
+        assert!(nodes[0].wire_bytes_out > 0);
+        assert_eq!(nodes[1].wire_bytes_out, 0);
+        // Shards owned by node 0 never cross a link.
+        for s in c.node(0).owned_shards() {
+            assert_eq!(stats[s].wire_bytes_out, 0);
+        }
+        assert!(c.results_emitted() > 0);
+    }
+}

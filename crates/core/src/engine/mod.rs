@@ -4,12 +4,17 @@
 //! emulated node: control proxies route records, operators charge their costs
 //! against the node's CPU budget, and drained data/state flows to the network
 //! as [`NetPayload`]s. [`sp::SpEngine`] runs the replica pipelines and state
-//! merging on the stream processor. [`block::BuildingBlock`] wires N sources,
-//! a fair-shared link, and one SP into the paper's core building block
-//! (Fig. 4b) and advances them epoch by epoch.
+//! merging on one stream-processor node; [`cluster::SpCluster`] scales the
+//! SP tier out to `n_nodes` such engines over a fixed hash ring of virtual
+//! shards, shipping remote-shard traffic as the [`NetPayload`] shard
+//! variants. [`block::BuildingBlock`] wires N sources, a fair-shared link,
+//! and the SP cluster into the paper's core building block (Fig. 4b) and
+//! advances them epoch by epoch.
 
 pub mod block;
+pub mod cluster;
 pub mod metrics;
+pub mod netwire;
 pub mod source;
 pub mod sp;
 pub mod tree;
@@ -18,14 +23,17 @@ use streamkit::batch::Batch;
 use streamkit::ops::StatePartial;
 
 pub use block::{BuildingBlock, BuildingBlockConfig, NetworkModel};
+pub use cluster::SpCluster;
 pub use metrics::{EpochMetrics, RunMetrics};
 pub use source::{SourceConfig, SourceEngine};
 pub use sp::SpEngine;
 
-/// Data shipped from a data source to its stream processor. Record traffic
-/// travels in the same columnar [`Batch`] layout the wire encoder uses —
-/// there is no row/batch conversion at the network boundary any more.
-#[derive(Debug, Clone)]
+/// Data shipped between nodes: source → SP uplink traffic, and — on a
+/// multi-node SP — shard traffic between SP nodes. Record traffic travels in
+/// the same columnar [`Batch`] layout the wire encoder uses; the shard
+/// variants additionally have a binary wire codec ([`netwire`]) so a remote
+/// shard is reachable through bytes alone (location transparency).
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetPayload {
     /// A batch drained at the proxy of operator `stage` (0-based index into
     /// the plan); `stage == plan length` means fully-processed rows
@@ -44,14 +52,58 @@ pub enum NetPayload {
         /// The state increment.
         delta: StatePartial,
     },
+    /// A keyed sub-batch crossing SP nodes: every row hashes to virtual
+    /// shard `shard` of the fixed ring, entering that shard's pipeline at
+    /// suffix stage `rel` (0 = the stateful boundary operator).
+    ShardBatch {
+        /// Owning virtual shard on the hash ring.
+        shard: u32,
+        /// Epoch the sender dispatched in (transport ordering/diagnostics).
+        epoch: u64,
+        /// Originating data source (selects the replica).
+        source: u32,
+        /// Entry stage relative to the keyed boundary.
+        rel: u32,
+        /// The keyed rows, columnar.
+        batch: Batch,
+    },
+    /// Partial state owned by virtual shard `shard`, crossing SP nodes to
+    /// merge into that shard's stateful operator at suffix stage `rel`.
+    ShardState {
+        /// Owning virtual shard on the hash ring.
+        shard: u32,
+        /// Epoch the sender dispatched in.
+        epoch: u64,
+        /// Originating data source (selects the replica).
+        source: u32,
+        /// Merge stage relative to the keyed boundary.
+        rel: u32,
+        /// The state increment (already split by key ownership).
+        delta: StatePartial,
+    },
 }
 
 impl NetPayload {
-    /// Number of rows carried (state deltas count group entries).
+    /// Number of rows carried (state payloads count group entries).
     pub fn record_count(&self) -> usize {
         match self {
-            NetPayload::Records { batch, .. } => batch.len(),
-            NetPayload::StateDelta { delta, .. } => delta.entry_count(),
+            NetPayload::Records { batch, .. } | NetPayload::ShardBatch { batch, .. } => batch.len(),
+            NetPayload::StateDelta { delta, .. } | NetPayload::ShardState { delta, .. } => {
+                delta.entry_count()
+            }
+        }
+    }
+
+    /// Encoded size charged against links and wire accounting, from the
+    /// `batch::layout` single source of truth.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            NetPayload::Records { batch, .. } | NetPayload::ShardBatch { batch, .. } => {
+                batch.wire_size()
+            }
+            NetPayload::StateDelta { delta, .. } | NetPayload::ShardState { delta, .. } => {
+                delta.wire_bytes()
+            }
         }
     }
 }

@@ -1,0 +1,266 @@
+//! Binary wire codec for the [`NetPayload`] shard variants.
+//!
+//! A multi-node SP ships remote-shard traffic between nodes as bytes, not
+//! in-process values: a length-prefixed little-endian envelope around the
+//! existing batch wire format ([`streamkit::encode`]) for row payloads and
+//! the bit-exact group-state format ([`encode_group_state`] — floats travel
+//! as raw bits, so non-finite accumulators like an untouched `Min` at
+//! `+inf` survive the hop) for [`StatePartial`] splits. Decoding needs the
+//! suffix edge schemas (schemas are fixed per query edge, as everywhere else
+//! on the wire) — `schemas[rel]` is the input schema of suffix stage `rel`,
+//! with one extra entry for fully-processed result rows (`rel ==
+//! schemas.len() - 1`).
+//!
+//! Note the codec is a *transport*; bandwidth accounting stays on
+//! [`NetPayload::wire_bytes`] (the `batch::layout` single source of truth),
+//! exactly as the source → SP uplink charges `Batch::wire_size` rather than
+//! its own envelope.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use streamkit::encode::{decode_batch, decode_group_state, encode_batch, encode_group_state};
+use streamkit::error::Error;
+use streamkit::ops::StatePartial;
+use streamkit::schema::SchemaRef;
+
+use crate::engine::NetPayload;
+
+/// Envelope tag for [`NetPayload::ShardBatch`].
+const TAG_SHARD_BATCH: u8 = 2;
+/// Envelope tag for [`NetPayload::ShardState`].
+const TAG_SHARD_STATE: u8 = 3;
+
+/// Encodes a shard payload ([`NetPayload::ShardBatch`] /
+/// [`NetPayload::ShardState`]) into its inter-node wire form.
+///
+/// # Panics
+///
+/// On the point-to-point uplink variants (`Records` / `StateDelta`), which
+/// never cross SP nodes and have no shard envelope.
+pub fn encode_shard_payload(payload: &NetPayload) -> Bytes {
+    let (tag, shard, epoch, source, rel, body) = match payload {
+        NetPayload::ShardBatch {
+            shard,
+            epoch,
+            source,
+            rel,
+            batch,
+        } => (
+            TAG_SHARD_BATCH,
+            *shard,
+            *epoch,
+            *source,
+            *rel,
+            encode_batch(batch),
+        ),
+        NetPayload::ShardState {
+            shard,
+            epoch,
+            source,
+            rel,
+            delta,
+        } => {
+            let StatePartial::Group(entries) = delta;
+            (
+                TAG_SHARD_STATE,
+                *shard,
+                *epoch,
+                *source,
+                *rel,
+                encode_group_state(entries),
+            )
+        }
+        NetPayload::Records { .. } | NetPayload::StateDelta { .. } => {
+            panic!("only shard variants cross SP nodes")
+        }
+    };
+    let mut buf = BytesMut::with_capacity(25 + body.len());
+    buf.put_u8(tag);
+    buf.put_u32_le(shard);
+    buf.put_u64_le(epoch);
+    buf.put_u32_le(source);
+    buf.put_u32_le(rel);
+    buf.put_u32_le(body.len() as u32);
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
+/// Decodes an inter-node payload produced by [`encode_shard_payload`].
+/// `schemas[rel]` supplies the batch schema at each suffix entry stage.
+pub fn decode_shard_payload(mut buf: Bytes, schemas: &[SchemaRef]) -> Result<NetPayload, Error> {
+    if buf.remaining() < 25 {
+        return Err(Error::Decode(format!(
+            "shard payload underrun: {} bytes",
+            buf.remaining()
+        )));
+    }
+    let tag = buf.get_u8();
+    let shard = buf.get_u32_le();
+    let epoch = buf.get_u64_le();
+    let source = buf.get_u32_le();
+    let rel = buf.get_u32_le();
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() != len {
+        return Err(Error::Decode(format!(
+            "shard payload length {len} != remaining {}",
+            buf.remaining()
+        )));
+    }
+    match tag {
+        TAG_SHARD_BATCH => {
+            let schema = schemas
+                .get(rel as usize)
+                .ok_or_else(|| Error::Decode(format!("no schema for suffix stage {rel}")))?
+                .clone();
+            let batch = decode_batch(schema, buf)?;
+            Ok(NetPayload::ShardBatch {
+                shard,
+                epoch,
+                source,
+                rel,
+                batch,
+            })
+        }
+        TAG_SHARD_STATE => {
+            let entries = decode_group_state(buf)?;
+            Ok(NetPayload::ShardState {
+                shard,
+                epoch,
+                source,
+                rel,
+                delta: StatePartial::Group(entries),
+            })
+        }
+        other => Err(Error::Decode(format!("unknown shard payload tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamkit::agg::AggState;
+    use streamkit::batch::Batch;
+    use streamkit::ops::GroupPartialEntry;
+    use streamkit::record::Record;
+    use streamkit::schema::{DataType, Field, Schema};
+    use streamkit::value::Value;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::U64),
+        ])
+    }
+
+    fn batch() -> Batch {
+        let recs = vec![
+            Record::new(1, vec![Value::str("a"), Value::U64(7)]),
+            Record::new(2, vec![Value::Null, Value::U64(9)]),
+        ];
+        Batch::from_records(schema(), &recs).unwrap()
+    }
+
+    #[test]
+    fn shard_batch_round_trips() {
+        let p = NetPayload::ShardBatch {
+            shard: 3,
+            epoch: 12,
+            source: 1,
+            rel: 0,
+            batch: batch(),
+        };
+        let wire = encode_shard_payload(&p);
+        let back = decode_shard_payload(wire, &[schema()]).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn shard_state_round_trips() {
+        let p = NetPayload::ShardState {
+            shard: 0,
+            epoch: 4,
+            source: 0,
+            rel: 0,
+            delta: StatePartial::Group(vec![GroupPartialEntry {
+                window_start: 10_000_000,
+                key: vec![Value::str("t0"), Value::I64(-3)],
+                states: vec![AggState::Count(5), AggState::Sum(1.25)],
+            }]),
+        };
+        let wire = encode_shard_payload(&p);
+        let back = decode_shard_payload(wire, &[schema()]).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn non_finite_state_round_trips_exactly() {
+        // A Min that never folded a numeric value is +inf; NaN can reach a
+        // Sum through the data. Both must survive the inter-node hop
+        // bit-exactly.
+        let p = NetPayload::ShardState {
+            shard: 1,
+            epoch: 2,
+            source: 0,
+            rel: 0,
+            delta: StatePartial::Group(vec![GroupPartialEntry {
+                window_start: 0,
+                key: vec![Value::F64(f64::NAN)],
+                states: vec![
+                    AggState::Min(f64::INFINITY),
+                    AggState::Max(f64::NEG_INFINITY),
+                    AggState::Sum(f64::NAN),
+                ],
+            }]),
+        };
+        let wire = encode_shard_payload(&p);
+        let back = decode_shard_payload(wire, &[schema()]).unwrap();
+        let NetPayload::ShardState {
+            delta: StatePartial::Group(entries),
+            ..
+        } = back
+        else {
+            panic!("state payload expected");
+        };
+        let Value::F64(k) = entries[0].key[0] else {
+            panic!("f64 key expected");
+        };
+        assert!(k.is_nan());
+        assert_eq!(
+            entries[0].states[..2],
+            [
+                AggState::Min(f64::INFINITY),
+                AggState::Max(f64::NEG_INFINITY)
+            ]
+        );
+        let AggState::Sum(s) = entries[0].states[2] else {
+            panic!("sum expected");
+        };
+        assert!(s.is_nan());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let p = NetPayload::ShardBatch {
+            shard: 1,
+            epoch: 1,
+            source: 0,
+            rel: 0,
+            batch: batch(),
+        };
+        let wire = encode_shard_payload(&p);
+        let cut = wire.slice(0..wire.len() - 1);
+        assert!(decode_shard_payload(cut, &[schema()]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rel_rejected() {
+        let p = NetPayload::ShardBatch {
+            shard: 1,
+            epoch: 1,
+            source: 0,
+            rel: 9,
+            batch: batch(),
+        };
+        let wire = encode_shard_payload(&p);
+        assert!(decode_shard_payload(wire, &[schema()]).is_err());
+    }
+}

@@ -1,37 +1,51 @@
-//! The stream-processor engine — batch-first and key-sharded.
+//! The stream-processor engine — batch-first, key-sharded, and (since the
+//! multi-node scale-out) one *node* of an [`SpCluster`].
 //!
 //! Each data source has a replica of the planned query at the SP (paper
 //! Fig. 5), structured around the plan's *keyed boundary* (the first
 //! stateful operator):
 //!
 //! * the stateless **prefix** runs as one chain per replica — drained
-//!   batches enter at the operator they were drained in front of;
+//!   batches enter at the operator they were drained in front of, on the
+//!   source's *ingress node*;
 //! * at the boundary, a key-hash partitioner ([`Batch::shard_by_key`])
-//!   splits every batch into `n_shards` disjoint sub-batches, each feeding
-//!   an independent **shard pipeline** (the stateful operator plus the rest
-//!   of the chain). Rows with equal group keys always land on the same
-//!   shard, and shipped [`StatePartial`] entries are routed to the shard
-//!   owning their key ([`shard_of_values`]) — so window results stay exact:
-//!   a group's whole lifetime (updates, merged partials, close) happens on
-//!   one shard, and the union over shards equals the unsharded run.
+//!   splits every batch over the fixed ring of `n_shards` virtual shards.
+//!   Each engine instance owns a contiguous ring slice
+//!   ([`shards_of_node`](streamkit::shard::shards_of_node)) and hosts one
+//!   **shard pipeline** per owned shard per replica; sub-batches, shipped
+//!   [`StatePartial`] splits, and (in principle) window results whose owning
+//!   shard is remote leave through the engine's **outbox** as
+//!   [`NetPayload::ShardBatch`] / [`NetPayload::ShardState`] payloads for
+//!   the cluster to transfer — never through in-process channels.
 //!
-//! `n_shards = 1` reproduces the unsharded replica chains exactly. The SP's
-//! cores are shared across all replicas and shards; per-shard usage and
-//! drain counters feed [`SpEngine::shard_stats`].
+//! Rows with equal group keys always land on the same shard regardless of
+//! the node count (the key → shard mapping is node-count-independent), and
+//! shipped state entries route to the shard owning their key
+//! ([`shard_of_values`]) — so window results stay exact: a group's whole
+//! lifetime (updates, merged partials, close) happens on one shard, and the
+//! union over shards ≡ the unsharded run at any node count.
+//!
+//! `n_shards = 1` on a single node reproduces the unsharded replica chains
+//! exactly. Each node's cores are its own [`CpuBudget`]; per-shard drain,
+//! usage, and outbound wire bytes feed [`SpEngine::shard_stats`] /
+//! [`SpEngine::shard_wire_out`].
 //!
 //! Throughput accounting distinguishes the *input domain* (drained source
 //! rows still being processed — their terminal events complete the input
 //! work) from the *result domain* (rows emitted by aggregations — query
 //! output, never double-counted as input completions).
+//!
+//! [`SpCluster`]: crate::engine::cluster::SpCluster
 
 use std::collections::VecDeque;
+use std::ops::Range;
 
 use simnet::{CpuBudget, Node, NodeId};
 use streamkit::batch::Batch;
 use streamkit::ops::{absorbed_timestamps, AggRole, Operator, StatePartial};
 use streamkit::physical::{build_pipeline, CostProfile};
 use streamkit::record::Record;
-use streamkit::shard::shard_of_values;
+use streamkit::shard::{shard_of_values, shards_of_node};
 use streamkit::time::Ts;
 
 use crate::calibration;
@@ -69,7 +83,8 @@ struct ShardPipeline {
     usage_us: f64,
 }
 
-/// Per-source replica: stateless prefix + keyed shard pipelines.
+/// Per-source replica: stateless prefix + keyed shard pipelines for the
+/// shards this node owns.
 struct Replica {
     prefix: Vec<Box<dyn Operator>>,
     /// Arrival queues, one per prefix stage.
@@ -77,6 +92,7 @@ struct Replica {
     /// Group-key columns at the boundary edge (empty when the plan has no
     /// keyed operator; everything then routes to shard 0).
     shard_keys: Vec<usize>,
+    /// Pipelines for the owned ring slice, indexed by `shard - owned.start`.
     shards: Vec<ShardPipeline>,
 }
 
@@ -84,63 +100,135 @@ impl Replica {
     fn suffix_len(&self) -> usize {
         self.shards.first().map_or(0, |s| s.stages.len())
     }
+}
 
-    /// Routes a batch entering at suffix stage `rel` to its shard(s): the
-    /// boundary partitions by key hash; later stages (and keyless plans)
-    /// are stateless, so shard 0 hosts them.
-    fn route_to_shards(&mut self, batch: Batch, rel: usize, arrived: f64, kind: ItemKind) {
-        if batch.is_empty() {
-            return;
-        }
-        if rel == 0 && self.shards.len() > 1 && !self.shard_keys.is_empty() {
-            let parts = batch.shard_by_key(&self.shard_keys, self.shards.len());
-            for (shard, part) in self.shards.iter_mut().zip(parts) {
-                if part.is_empty() {
-                    continue;
-                }
-                if kind == ItemKind::Input {
-                    shard.drained_records += part.len() as u64;
-                }
-                shard.queues[0].push_back(Item {
-                    batch: part,
-                    arrived,
-                    kind,
-                });
-            }
-        } else {
-            let shard = &mut self.shards[0];
-            if kind == ItemKind::Input {
-                shard.drained_records += batch.len() as u64;
-            }
-            shard.queues[rel].push_back(Item {
-                batch,
-                arrived,
-                kind,
-            });
-        }
+/// Ring context threaded through the routing helpers: where this node sits
+/// on the fixed shard ring and where outbound payloads accumulate.
+struct RingCtx<'a> {
+    owned: Range<usize>,
+    n_shards: usize,
+    epoch: u64,
+    outbox: &'a mut Vec<(NetPayload, f64)>,
+    /// Wire bytes shipped toward each (remote) shard, `n_shards` wide.
+    shard_wire_out: &'a mut [u64],
+}
+
+/// Routes a batch entering at suffix stage `rel` to its shard(s): the
+/// boundary partitions by key hash over the whole ring; later stages (and
+/// keyless plans) are stateless, so global shard 0 hosts them. Sub-batches
+/// owned by a remote node leave through the outbox as
+/// [`NetPayload::ShardBatch`], charging wire accounting per target shard.
+fn route_to_shards(
+    replica: &mut Replica,
+    source: usize,
+    batch: Batch,
+    rel: usize,
+    arrived: f64,
+    kind: ItemKind,
+    ring: &mut RingCtx<'_>,
+) {
+    if batch.is_empty() {
+        return;
     }
-
-    /// Merges a shipped state delta into the owning shard(s) at suffix
-    /// stage `rel`: entries are split by the hash of their group key, the
-    /// same mapping the row partitioner uses.
-    fn merge_sharded(&mut self, rel: usize, delta: StatePartial) {
-        if rel >= self.suffix_len() {
-            return;
+    let enqueue = |replica: &mut Replica, local: usize, rel: usize, batch: Batch| {
+        let shard = &mut replica.shards[local];
+        if kind == ItemKind::Input {
+            shard.drained_records += batch.len() as u64;
         }
-        if self.shards.len() == 1 {
-            self.shards[0].stages[rel].merge_state(delta);
-            return;
-        }
-        let StatePartial::Group(entries) = delta;
-        let n = self.shards.len();
-        let mut per_shard: Vec<Vec<_>> = (0..n).map(|_| Vec::new()).collect();
-        for entry in entries {
-            per_shard[shard_of_values(&entry.key, n)].push(entry);
-        }
-        for (shard, part) in self.shards.iter_mut().zip(per_shard) {
-            if !part.is_empty() {
-                shard.stages[rel].merge_state(StatePartial::Group(part));
+        shard.queues[rel].push_back(Item {
+            batch,
+            arrived,
+            kind,
+        });
+    };
+    let ship = |ring: &mut RingCtx<'_>, shard: usize, rel: usize, batch: Batch| {
+        // Only input-domain batches cross nodes today: the prefix is
+        // stateless (its watermark/epoch hooks emit nothing), and window
+        // results cascade within their owning shard. `ShardBatch` carries no
+        // item kind, so the receiver re-labels everything `Input` — a result
+        // batch crossing here would silently corrupt the input/result
+        // domain split, which is why this is a hard assert.
+        assert_eq!(kind, ItemKind::Input, "result batch crossing nodes");
+        ring.shard_wire_out[shard] += batch.wire_size() as u64;
+        ring.outbox.push((
+            NetPayload::ShardBatch {
+                shard: shard as u32,
+                epoch: ring.epoch,
+                source: source as u32,
+                rel: rel as u32,
+                batch,
+            },
+            arrived,
+        ));
+    };
+    if rel == 0 && ring.n_shards > 1 && !replica.shard_keys.is_empty() {
+        let keys = replica.shard_keys.clone();
+        for (s, part) in batch
+            .shard_by_key(&keys, ring.n_shards)
+            .into_iter()
+            .enumerate()
+        {
+            if part.is_empty() {
+                continue;
             }
+            if ring.owned.contains(&s) {
+                enqueue(replica, s - ring.owned.start, 0, part);
+            } else {
+                ship(ring, s, 0, part);
+            }
+        }
+    } else if ring.owned.start == 0 {
+        // Contiguous slices always place global shard 0 on node 0.
+        enqueue(replica, 0, rel, batch);
+    } else {
+        ship(ring, 0, rel, batch);
+    }
+}
+
+/// Merges a shipped state delta into the owning shard(s) at suffix stage
+/// `rel`: entries are split by the hash of their group key — the same
+/// mapping the row partitioner uses — and remote splits leave through the
+/// outbox as [`NetPayload::ShardState`].
+fn merge_sharded(
+    replica: &mut Replica,
+    source: usize,
+    rel: usize,
+    delta: StatePartial,
+    ring: &mut RingCtx<'_>,
+) {
+    if rel >= replica.suffix_len() {
+        return;
+    }
+    if ring.n_shards == 1 {
+        replica.shards[0].stages[rel].merge_state(delta);
+        return;
+    }
+    let StatePartial::Group(entries) = delta;
+    let mut per_shard: Vec<Vec<_>> = (0..ring.n_shards).map(|_| Vec::new()).collect();
+    for entry in entries {
+        per_shard[shard_of_values(&entry.key, ring.n_shards)].push(entry);
+    }
+    for (s, part) in per_shard.into_iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if ring.owned.contains(&s) {
+            replica.shards[s - ring.owned.start].stages[rel].merge_state(StatePartial::Group(part));
+        } else {
+            let split = StatePartial::Group(part);
+            ring.shard_wire_out[s] += split.wire_bytes() as u64;
+            ring.outbox.push((
+                NetPayload::ShardState {
+                    shard: s as u32,
+                    epoch: ring.epoch,
+                    source: source as u32,
+                    rel: rel as u32,
+                    delta: split,
+                },
+                // State merges have no processing timestamp of their own;
+                // they apply on arrival.
+                0.0,
+            ));
         }
     }
 }
@@ -159,23 +247,39 @@ pub struct SpCompletion {
     pub completed_s: f64,
 }
 
-/// Per-shard drain/usage counters, aggregated across replicas.
+/// Per-shard drain/usage/wire counters, aggregated across replicas.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SpShardStat {
     /// Input rows routed into the shard.
     pub drained_records: u64,
     /// Modelled compute charged to the shard's stages, µs.
     pub usage_us: f64,
+    /// Wire bytes shipped across nodes toward this shard (charged at the
+    /// sending node, from the `batch::layout` accounting).
+    pub wire_bytes_out: u64,
 }
 
-/// The SP engine.
+/// One SP node: replicas of the planned query restricted to the node's ring
+/// slice, plus the outbox carrying remote-shard payloads.
 pub struct SpEngine {
     node: Node,
-    replicas: Vec<Replica>,
+    node_id: usize,
+    n_nodes: usize,
+    /// Width of the fixed virtual-shard ring (cluster-global).
     n_shards: usize,
+    /// The contiguous ring slice this node owns.
+    owned: Range<usize>,
+    replicas: Vec<Replica>,
     epoch_secs: f64,
+    epoch_index: u64,
     results_emitted: u64,
     lateness_secs: f64,
+    /// Payloads bound for shards on other nodes, with the virtual time they
+    /// were produced.
+    outbox: Vec<(NetPayload, f64)>,
+    /// Wire bytes shipped toward each shard of the ring (remote targets
+    /// only), `n_shards` wide.
+    shard_wire_out: Vec<u64>,
     /// Retained result rows (window closes and stateless-tail completions),
     /// when result collection is enabled for exactness fingerprinting.
     collected: Option<Vec<Record>>,
@@ -263,9 +367,10 @@ fn process_stage(
 }
 
 impl SpEngine {
-    /// Builds an SP hosting `n_sources` replicas of the planned query, each
-    /// split into `n_shards` keyed shard pipelines at the plan's stateful
-    /// boundary (`n_shards = 1` is the unsharded chain).
+    /// Builds a single-node SP hosting `n_sources` replicas of the planned
+    /// query, each split into `n_shards` keyed shard pipelines at the plan's
+    /// stateful boundary (`n_shards = 1` is the unsharded chain). The node
+    /// owns the whole ring.
     pub fn new(
         planned: &PlannedQuery,
         costs: &CostProfile,
@@ -274,14 +379,39 @@ impl SpEngine {
         epoch_secs: f64,
         n_shards: usize,
     ) -> SpEngine {
+        SpEngine::for_node(
+            planned, costs, n_sources, sp_cores, epoch_secs, n_shards, 0, 1,
+        )
+    }
+
+    /// Builds one node of an SP cluster: the engine hosts pipelines only for
+    /// the ring slice `shards_of_node(node_id, n_shards, n_nodes)` and ships
+    /// remote-shard traffic through its outbox. Keyless plans degenerate to
+    /// a single shard on a single node (there is nothing to partition by).
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_node(
+        planned: &PlannedQuery,
+        costs: &CostProfile,
+        n_sources: usize,
+        sp_cores: f64,
+        epoch_secs: f64,
+        n_shards: usize,
+        node_id: usize,
+        n_nodes: usize,
+    ) -> SpEngine {
         let boundary = planned.plan.shard_boundary();
         // Without a keyed operator there is nothing to partition by; the
         // whole (stateless) chain runs as the prefix of a single shard.
-        let n_shards = if boundary.is_some() {
-            n_shards.max(1)
+        let (n_shards, n_nodes, node_id) = if boundary.is_some() {
+            (n_shards.max(1), n_nodes.max(1), node_id)
         } else {
-            1
+            (1, 1, 0)
         };
+        assert!(
+            n_nodes <= n_shards,
+            "{n_nodes} nodes cannot split a {n_shards}-shard ring"
+        );
+        let owned = shards_of_node(node_id, n_shards, n_nodes);
         let (g, shard_keys) = match &boundary {
             Some((g, keys)) => (*g, keys.clone()),
             None => (planned.plan.len(), Vec::new()),
@@ -292,7 +422,8 @@ impl SpEngine {
                 build_pipeline(&planned.plan, costs, AggRole::Final).expect("validated plan");
             let _ = prefix.split_off(g);
             let prefix_queues = (0..prefix.len()).map(|_| VecDeque::new()).collect();
-            let shards = (0..n_shards)
+            let shards = owned
+                .clone()
                 .map(|_| {
                     let mut ops = build_pipeline(&planned.plan, costs, AggRole::Final)
                         .expect("validated plan");
@@ -314,13 +445,40 @@ impl SpEngine {
             });
         }
         SpEngine {
-            node: Node::new(NodeId(0), CpuBudget::fraction(sp_cores), 0.0, 7),
-            replicas,
+            node: Node::new(
+                NodeId(node_id as u32),
+                CpuBudget::fraction(sp_cores),
+                0.0,
+                7,
+            ),
+            node_id,
+            n_nodes,
             n_shards,
+            owned,
+            replicas,
             epoch_secs,
+            epoch_index: 0,
             results_emitted: 0,
             lateness_secs: calibration::LATENCY_BOUND_SECS,
+            outbox: Vec::new(),
+            shard_wire_out: vec![0; n_shards],
             collected: None,
+        }
+    }
+
+    fn ring_ctx<'a>(
+        owned: &Range<usize>,
+        n_shards: usize,
+        epoch: u64,
+        outbox: &'a mut Vec<(NetPayload, f64)>,
+        shard_wire_out: &'a mut [u64],
+    ) -> RingCtx<'a> {
+        RingCtx {
+            owned: owned.clone(),
+            n_shards,
+            epoch,
+            outbox,
+            shard_wire_out,
         }
     }
 
@@ -329,14 +487,32 @@ impl SpEngine {
         self.results_emitted
     }
 
-    /// Shard pipelines per replica.
+    /// Width of the fixed virtual-shard ring (cluster-global).
     pub fn n_shards(&self) -> usize {
         self.n_shards
     }
 
-    /// Per-shard drain/usage counters, aggregated across replicas.
+    /// This node's id within its cluster.
+    pub fn node_id(&self) -> usize {
+        self.node_id
+    }
+
+    /// Nodes in the cluster this engine belongs to.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The contiguous ring slice this node owns.
+    pub fn owned_shards(&self) -> Range<usize> {
+        self.owned.clone()
+    }
+
+    /// Drain/usage counters for the *owned* shards (in ring order),
+    /// aggregated across replicas. Wire bytes stay zero here — shipping is
+    /// charged at the sender per target shard; see
+    /// [`SpEngine::shard_wire_out`].
     pub fn shard_stats(&self) -> Vec<SpShardStat> {
-        let mut stats = vec![SpShardStat::default(); self.n_shards];
+        let mut stats = vec![SpShardStat::default(); self.owned.len()];
         for replica in &self.replicas {
             for (stat, shard) in stats.iter_mut().zip(&replica.shards) {
                 stat.drained_records += shard.drained_records;
@@ -344,6 +520,12 @@ impl SpEngine {
             }
         }
         stats
+    }
+
+    /// Wire bytes this node shipped toward each shard of the ring (remote
+    /// targets only), `n_shards` wide.
+    pub fn shard_wire_out(&self) -> &[u64] {
+        &self.shard_wire_out
     }
 
     /// Enables retention of result rows for exactness fingerprinting.
@@ -390,16 +572,34 @@ impl SpEngine {
             .sum()
     }
 
-    /// Delivers a payload from `source` that finished its network transfer at
-    /// `arrival_secs`.
+    /// Payloads bound for other nodes, produced since the last take. Each is
+    /// paired with the virtual time it was produced.
+    pub fn take_outbound(&mut self) -> Vec<(NetPayload, f64)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Delivers a payload that finished its transfer at `arrival_secs`:
+    /// uplink traffic from `source`, or inter-node shard traffic (whose
+    /// source is carried in the payload).
     pub fn deliver(&mut self, source: usize, payload: NetPayload, arrival_secs: f64) {
-        let replica = &mut self.replicas[source];
-        let g = replica.prefix.len();
+        let SpEngine {
+            node,
+            node_id,
+            replicas,
+            owned,
+            n_shards,
+            epoch_index,
+            outbox,
+            shard_wire_out,
+            ..
+        } = self;
         match payload {
             NetPayload::Records { stage, batch } => {
                 if batch.is_empty() {
                     return;
                 }
+                let replica = &mut replicas[source];
+                let g = replica.prefix.len();
                 let stage = stage.min(g + replica.suffix_len());
                 if stage < g {
                     replica.prefix_queues[stage].push_back(Item {
@@ -408,47 +608,137 @@ impl SpEngine {
                         kind: ItemKind::Input,
                     });
                 } else {
-                    replica.route_to_shards(batch, stage - g, arrival_secs, ItemKind::Input);
+                    let mut ring =
+                        Self::ring_ctx(owned, *n_shards, *epoch_index, outbox, shard_wire_out);
+                    route_to_shards(
+                        replica,
+                        source,
+                        batch,
+                        stage - g,
+                        arrival_secs,
+                        ItemKind::Input,
+                        &mut ring,
+                    );
                 }
             }
             NetPayload::StateDelta { stage, delta } => {
                 let cost = MERGE_COST_PER_ENTRY_US * delta.entry_count() as f64;
-                self.node.charge_upto(cost);
+                node.charge_upto(cost);
+                let replica = &mut replicas[source];
+                let g = replica.prefix.len();
                 if stage < g {
                     // A stateless prefix op cannot own mergeable state; the
                     // default merge hook ignores it.
                     replica.prefix[stage].merge_state(delta);
                 } else {
-                    replica.merge_sharded(stage - g, delta);
+                    let mut ring =
+                        Self::ring_ctx(owned, *n_shards, *epoch_index, outbox, shard_wire_out);
+                    merge_sharded(replica, source, stage - g, delta, &mut ring);
+                }
+            }
+            NetPayload::ShardBatch {
+                shard,
+                source,
+                rel,
+                batch,
+                ..
+            } => {
+                if batch.is_empty() {
+                    return;
+                }
+                let shard = shard as usize;
+                assert!(
+                    owned.contains(&shard),
+                    "shard {shard} delivered to node {node_id} owning {owned:?}"
+                );
+                let replica = &mut replicas[source as usize];
+                let local = &mut replica.shards[shard - owned.start];
+                // `rel == stages.len()` is the terminal queue (fully
+                // source-processed rows); anything past it never came from
+                // a routing helper or the wire codec (which bounds `rel` by
+                // its schema table), so don't clamp it into the results.
+                let rel = rel as usize;
+                assert!(
+                    rel <= local.stages.len(),
+                    "ShardBatch rel {rel} past suffix length {}",
+                    local.stages.len()
+                );
+                local.drained_records += batch.len() as u64;
+                local.queues[rel].push_back(Item {
+                    batch,
+                    arrived: arrival_secs,
+                    kind: ItemKind::Input,
+                });
+            }
+            NetPayload::ShardState {
+                shard,
+                source,
+                rel,
+                delta,
+                ..
+            } => {
+                let cost = MERGE_COST_PER_ENTRY_US * delta.entry_count() as f64;
+                node.charge_upto(cost);
+                let shard = shard as usize;
+                assert!(
+                    owned.contains(&shard),
+                    "shard {shard} delivered to node {node_id} owning {owned:?}"
+                );
+                let replica = &mut replicas[source as usize];
+                let local = &mut replica.shards[shard - owned.start];
+                let rel = rel as usize;
+                if rel < local.stages.len() {
+                    local.stages[rel].merge_state(delta);
                 }
             }
         }
     }
 
-    /// Runs one SP epoch: processes queued arrivals through the replica
-    /// prefixes and shard pipelines within the SP's core budget, then
-    /// advances event time. Returns input-record completions.
-    pub fn run_epoch(&mut self, epoch_start_us: Ts) -> Vec<SpCompletion> {
+    /// Opens a new epoch on this node's CPU budget. The cluster calls this
+    /// once per epoch before any processing pass.
+    pub fn begin_epoch(&mut self) {
         self.node.begin_epoch(self.epoch_secs);
+        self.epoch_index += 1;
+    }
+
+    /// Processes queued arrivals through the replica prefixes and owned
+    /// shard pipelines within the node's remaining epoch budget. Callable
+    /// multiple times per epoch — the cluster re-enters after transferring
+    /// inter-node payloads so remote shard traffic is processed in the same
+    /// epoch it was produced (budget permitting), matching single-node
+    /// timing. Returns input-record completions.
+    pub fn process_queued(&mut self, epoch_start_us: Ts) -> Vec<SpCompletion> {
         let mut completions = Vec::new();
         let epoch_start_s = epoch_start_us as f64 / 1e6;
-        let epoch_end_us = epoch_start_us + (self.epoch_secs * 1e6) as Ts;
+        let SpEngine {
+            node,
+            replicas,
+            owned,
+            n_shards,
+            epoch_index,
+            outbox,
+            shard_wire_out,
+            collected,
+            results_emitted,
+            epoch_secs,
+            ..
+        } = self;
 
         let mut routed: Vec<Item> = Vec::new();
         'outer: loop {
             let mut progressed = false;
-            for (source, replica) in self.replicas.iter_mut().enumerate() {
+            for (source, replica) in replicas.iter_mut().enumerate() {
                 // Stateless prefix.
                 let g = replica.prefix.len();
                 for stage in 0..g {
                     routed.clear();
                     let fits = process_stage(
-                        &mut self.node,
+                        node,
                         replica.prefix[stage].as_mut(),
                         &mut replica.prefix_queues[stage],
                         source,
                         epoch_start_s,
-                        self.epoch_secs,
+                        *epoch_secs,
                         &mut completions,
                         &mut routed,
                         &mut progressed,
@@ -458,25 +748,40 @@ impl SpEngine {
                         if stage + 1 < g {
                             replica.prefix_queues[stage + 1].push_back(item);
                         } else {
-                            replica.route_to_shards(item.batch, 0, item.arrived, item.kind);
+                            let mut ring = Self::ring_ctx(
+                                owned,
+                                *n_shards,
+                                *epoch_index,
+                                outbox,
+                                shard_wire_out,
+                            );
+                            route_to_shards(
+                                replica,
+                                source,
+                                item.batch,
+                                0,
+                                item.arrived,
+                                item.kind,
+                                &mut ring,
+                            );
                         }
                     }
                     if !fits {
                         break 'outer;
                     }
                 }
-                // Keyed shard pipelines.
+                // Keyed shard pipelines (owned ring slice).
                 let n_stages = replica.suffix_len();
                 for shard in replica.shards.iter_mut() {
                     for stage in 0..n_stages {
                         routed.clear();
                         let fits = process_stage(
-                            &mut self.node,
+                            node,
                             shard.stages[stage].as_mut(),
                             &mut shard.queues[stage],
                             source,
                             epoch_start_s,
-                            self.epoch_secs,
+                            *epoch_secs,
                             &mut completions,
                             &mut routed,
                             &mut progressed,
@@ -493,11 +798,11 @@ impl SpEngine {
                     while let Some(item) = shard.queues[n_stages].pop_front() {
                         match item.kind {
                             ItemKind::WindowResult => {
-                                Self::collect_batch(&mut self.collected, &item.batch);
-                                self.results_emitted += item.batch.len() as u64;
+                                Self::collect_batch(collected, &item.batch);
+                                *results_emitted += item.batch.len() as u64;
                             }
                             ItemKind::DeltaResult => {
-                                self.results_emitted += item.batch.len() as u64
+                                *results_emitted += item.batch.len() as u64;
                             }
                             ItemKind::Input => {
                                 // Stateless-tail input rows: completing the
@@ -510,8 +815,8 @@ impl SpEngine {
                                         completed_s: item.arrived.max(epoch_start_s),
                                     });
                                 }
-                                Self::collect_batch(&mut self.collected, &item.batch);
-                                self.results_emitted += item.batch.len() as u64;
+                                Self::collect_batch(collected, &item.batch);
+                                *results_emitted += item.batch.len() as u64;
                             }
                         }
                         progressed = true;
@@ -522,16 +827,32 @@ impl SpEngine {
                 break;
             }
         }
+        completions
+    }
 
-        // Advance event time with a lateness allowance so slow drained
-        // records still find their windows open (watermark replication on
-        // the drain path, §V). Window results emitted at the boundary stay
-        // on the shard that owns their keys — they cascade down that
-        // shard's own suffix, never crossing shards.
+    /// Advances event time with a lateness allowance so slow drained records
+    /// still find their windows open (watermark replication on the drain
+    /// path, §V). Window results emitted at the boundary stay on the shard
+    /// that owns their keys — they cascade down that shard's own suffix,
+    /// never crossing shards (or nodes).
+    pub fn advance_time(&mut self, epoch_start_us: Ts) {
+        let epoch_end_us = epoch_start_us + (self.epoch_secs * 1e6) as Ts;
         let wm = epoch_end_us - (self.lateness_secs * 1e6) as Ts;
+        let epoch_start_s = epoch_start_us as f64 / 1e6;
         let arrived = epoch_start_s + self.epoch_secs;
+        let SpEngine {
+            replicas,
+            owned,
+            n_shards,
+            epoch_index,
+            outbox,
+            shard_wire_out,
+            collected,
+            results_emitted,
+            ..
+        } = self;
         let mut wm_out: Vec<Batch> = Vec::new();
-        for replica in &mut self.replicas {
+        for (source, replica) in replicas.iter_mut().enumerate() {
             let g = replica.prefix.len();
             for stage in 0..g {
                 for (hook, kind) in [(0, ItemKind::WindowResult), (1, ItemKind::DeltaResult)] {
@@ -549,7 +870,14 @@ impl SpEngine {
                                 kind,
                             });
                         } else {
-                            replica.route_to_shards(out, 0, arrived, kind);
+                            let mut ring = Self::ring_ctx(
+                                owned,
+                                *n_shards,
+                                *epoch_index,
+                                outbox,
+                                shard_wire_out,
+                            );
+                            route_to_shards(replica, source, out, 0, arrived, kind, &mut ring);
                         }
                     }
                 }
@@ -574,25 +902,45 @@ impl SpEngine {
                             } else {
                                 // Final-stage emissions are query results.
                                 if kind == ItemKind::WindowResult {
-                                    Self::collect_batch(&mut self.collected, &out);
+                                    Self::collect_batch(collected, &out);
                                 }
-                                self.results_emitted += out.len() as u64;
+                                *results_emitted += out.len() as u64;
                             }
                         }
                     }
                 }
             }
         }
+    }
 
+    /// Runs one SP epoch on a *single-node* deployment: processes queued
+    /// arrivals within the core budget, then advances event time. Clusters
+    /// drive the three phases separately so inter-node payloads can transfer
+    /// between processing passes. Returns input-record completions.
+    pub fn run_epoch(&mut self, epoch_start_us: Ts) -> Vec<SpCompletion> {
+        self.begin_epoch();
+        let completions = self.process_queued(epoch_start_us);
+        self.advance_time(epoch_start_us);
         completions
     }
 
-    /// End-of-run flush: processes every queued batch (no budget limit) and
-    /// closes all remaining windows, so retained results cover the whole
-    /// stream. Used for exactness fingerprinting; per-epoch throughput
-    /// accounting is unaffected (the measurement window has already ended).
-    pub fn finalize(&mut self) {
-        for replica in &mut self.replicas {
+    /// End-of-run flush, pass 1: processes every queued batch (no budget
+    /// limit) through prefixes and owned shard pipelines. Remote-shard
+    /// traffic produced while flushing lands in the outbox — the cluster
+    /// alternates flush passes with transfers until the outboxes run dry.
+    pub fn flush_queues(&mut self) {
+        let SpEngine {
+            replicas,
+            owned,
+            n_shards,
+            epoch_index,
+            outbox,
+            shard_wire_out,
+            collected,
+            results_emitted,
+            ..
+        } = self;
+        for (source, replica) in replicas.iter_mut().enumerate() {
             // Flush the prefix forward into the shard partitioner.
             let g = replica.prefix.len();
             for stage in 0..g {
@@ -608,12 +956,27 @@ impl SpEngine {
                                 kind: item.kind,
                             });
                         } else {
-                            replica.route_to_shards(out, 0, item.arrived, item.kind);
+                            let mut ring = Self::ring_ctx(
+                                owned,
+                                *n_shards,
+                                *epoch_index,
+                                outbox,
+                                shard_wire_out,
+                            );
+                            route_to_shards(
+                                replica,
+                                source,
+                                out,
+                                0,
+                                item.arrived,
+                                item.kind,
+                                &mut ring,
+                            );
                         }
                     }
                 }
             }
-            // Flush each shard pipeline and close its windows.
+            // Flush each owned shard pipeline.
             for shard in replica.shards.iter_mut() {
                 let n = shard.stages.len();
                 for stage in 0..n {
@@ -632,13 +995,20 @@ impl SpEngine {
                 }
                 while let Some(item) = shard.queues[n].pop_front() {
                     if item.kind != ItemKind::DeltaResult {
-                        Self::collect_batch(&mut self.collected, &item.batch);
+                        Self::collect_batch(collected, &item.batch);
                     }
-                    self.results_emitted += item.batch.len() as u64;
+                    *results_emitted += item.batch.len() as u64;
                 }
-                // Close every remaining window and run the emissions through
-                // the rest of the chain inline (the flush shared by all
-                // backends).
+            }
+        }
+    }
+
+    /// End-of-run flush, pass 2: closes every remaining window on every
+    /// owned shard and runs the emissions through the rest of the chain
+    /// inline (the flush shared by all backends).
+    pub fn close_windows(&mut self) {
+        for replica in &mut self.replicas {
+            for shard in replica.shards.iter_mut() {
                 for batch in
                     streamkit::physical::drain_windows(&mut shard.stages, streamkit::time::TS_MAX)
                 {
@@ -647,5 +1017,18 @@ impl SpEngine {
                 }
             }
         }
+    }
+
+    /// End-of-run flush on a single-node deployment: queue flush + window
+    /// close, so retained results cover the whole stream. Used for exactness
+    /// fingerprinting; per-epoch throughput accounting is unaffected (the
+    /// measurement window has already ended).
+    pub fn finalize(&mut self) {
+        self.flush_queues();
+        debug_assert!(
+            self.outbox.is_empty(),
+            "single-node flush produced outbound"
+        );
+        self.close_windows();
     }
 }

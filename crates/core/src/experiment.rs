@@ -1,18 +1,20 @@
 //! Experiment harnesses regenerating the paper's evaluation (§VI).
 //!
-//! [`ScenarioSpec`] names a workload (query + generator + calibrated costs);
-//! [`Scenario`] wires it into a [`BuildingBlock`] under a chosen strategy and
-//! produces a [`ScenarioReport`]. The sweep functions below are the engines
-//! behind the `repro` binary's figure subcommands.
+//! [`ScenarioSpec`] names a workload (query + generator + calibrated
+//! costs) and implements [`SourceAdapter`](crate::deploy::SourceAdapter),
+//! so it plugs straight into [`Deployment::builder`]. The sweep functions
+//! below are the engines behind the `repro` binary's figure subcommands.
+//! (The `Scenario`/`Runner` front doors this module once carried were
+//! removed after their one-release deprecation window; every entry point is
+//! the unified builder now.)
 
 use streamkit::logical::LogicalPlan;
 use streamkit::physical::CostProfile;
 
 use crate::calibration::{self, Scale, MBPS};
 use crate::deploy::{BackendKind, Deployment, RunReport};
-use crate::engine::block::{BuildingBlock, EpochSource, NetworkModel};
+use crate::engine::block::{EpochSource, NetworkModel};
 use crate::planner::{plan_query, PlannedQuery, RuleConfig};
-use crate::runtime::EpochTrace;
 use crate::strategy::StrategyKind;
 use telemetry::loganalytics::{LogConfig, LogGenerator};
 use telemetry::pingmesh::{rate_skew_factor, PingmeshConfig, PingmeshGenerator};
@@ -170,170 +172,9 @@ impl ScenarioSpec {
     }
 }
 
-/// A configured, runnable scenario.
-///
-/// Deprecated front door: new code goes through
-/// [`Deployment::builder`](crate::deploy::Deployment::builder) with
-/// [`BackendKind::Emulated`](crate::deploy::BackendKind::Emulated), which
-/// runs the same building block behind the unified [`ExecBackend`]
-/// interface. `Scenario` remains as a thin shim over that path.
-pub struct Scenario {
-    /// The underlying building block.
-    pub block: BuildingBlock,
-    spec: ScenarioSpec,
-    warmup: u64,
-}
-
 /// Default warm-up epochs before measurement (§VI-A runs three minutes of
 /// warm-up on the testbed; adaptation here settles within ~15 epochs).
 pub const DEFAULT_WARMUP_EPOCHS: u64 = 20;
-
-impl Scenario {
-    /// One source, one SP, dedicated per-source bandwidth (the Fig. 7
-    /// setting).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use jarvis_core::deploy::Deployment::builder() with BackendKind::Emulated"
-    )]
-    pub fn single_source(spec: ScenarioSpec, strategy: StrategyKind, cpu_budget: f64) -> Scenario {
-        #[allow(deprecated)]
-        Scenario::multi_source(
-            spec,
-            strategy,
-            cpu_budget,
-            1,
-            NetworkModel::PerSource {
-                bps: calibration::per_query_per_node_bps(),
-            },
-        )
-    }
-
-    /// N sources sharing the SP (the Fig. 10 setting when `network` is
-    /// [`NetworkModel::Shared`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use jarvis_core::deploy::Deployment::builder() with BackendKind::Emulated"
-    )]
-    pub fn multi_source(
-        spec: ScenarioSpec,
-        strategy: StrategyKind,
-        cpu_budget: f64,
-        n_sources: u32,
-        network: NetworkModel,
-    ) -> Scenario {
-        let deploy_spec = crate::deploy::Deployment::builder()
-            .workload(spec.clone())
-            .strategy(strategy)
-            .cpu_budget(cpu_budget)
-            .sources(n_sources)
-            .network(network)
-            .seed(spec.seed)
-            .spec()
-            .expect("paper scenarios build valid deployments");
-        let (_, block) = crate::deploy::build_block(&deploy_spec).expect("paper scenarios deploy");
-        Scenario {
-            block,
-            spec,
-            warmup: DEFAULT_WARMUP_EPOCHS,
-        }
-    }
-
-    /// The spec.
-    pub fn spec(&self) -> &ScenarioSpec {
-        &self.spec
-    }
-
-    /// Warm-up epochs.
-    pub fn warmup_epochs(&self) -> u64 {
-        self.warmup
-    }
-
-    /// Changes every source's CPU budget (takes effect next epoch).
-    pub fn set_cpu_budget(&mut self, fraction: f64) {
-        for i in 0..self.block.source_count() {
-            self.block.source_mut(i).set_cpu_budget(fraction);
-        }
-    }
-
-    /// Swaps the static table of every join operator on every source (the
-    /// Fig. 8b 10× table growth).
-    pub fn swap_join_tables(&mut self, table_size: u32) {
-        self.block.swap_join_tables(table_size);
-    }
-
-    /// Runs `n` epochs and reports.
-    pub fn run_epochs(&mut self, n: u64) -> ScenarioReport {
-        self.block.run_epochs(n);
-        self.report()
-    }
-
-    /// Builds a report from the current state.
-    pub fn report(&self) -> ScenarioReport {
-        let secs = self.block.measured_secs();
-        let metrics = self.block.metrics();
-        let mut latency_median = None;
-        let mut latency_max = None;
-        if let Some(m) = metrics.first() {
-            latency_median = m.latency.median();
-            latency_max = m.latency.max();
-        }
-        ScenarioReport {
-            throughput_mbps: self.block.aggregate_throughput_mbps(),
-            network_mbps: self.block.aggregate_network_mbps(),
-            input_mbps: metrics.iter().map(|m| m.input_mbps(secs)).sum(),
-            latency_median_s: latency_median,
-            latency_max_s: latency_max,
-            trace: self.block.source(0).runtime().trace().to_vec(),
-            episodes: self.block.source(0).runtime().episodes().to_vec(),
-            load_factors: self.block.source(0).load_factors(),
-            overhead_core_frac: {
-                let rt = self.block.source(0).runtime();
-                let epochs = rt.trace().len().max(1) as f64;
-                rt.overhead_us() / (epochs * 1e6)
-            },
-        }
-    }
-}
-
-/// Scenario results.
-#[derive(Debug, Clone)]
-pub struct ScenarioReport {
-    /// Aggregate on-time throughput, paper-Mbps.
-    pub throughput_mbps: f64,
-    /// Aggregate offered network rate, paper-Mbps.
-    pub network_mbps: f64,
-    /// Aggregate input rate, paper-Mbps.
-    pub input_mbps: f64,
-    /// Median processing latency, seconds (source 0).
-    pub latency_median_s: Option<f64>,
-    /// Max processing latency, seconds (source 0).
-    pub latency_max_s: Option<f64>,
-    /// Runtime trace of source 0 (Fig. 8 series).
-    pub trace: Vec<EpochTrace>,
-    /// Adaptation episodes of source 0 as (trigger, stable) epochs.
-    pub episodes: Vec<(u64, u64)>,
-    /// Final load factors of source 0.
-    pub load_factors: Vec<f64>,
-    /// Adaptation overhead as a fraction of one core.
-    pub overhead_core_frac: f64,
-}
-
-impl ScenarioReport {
-    /// Projects the legacy report shape out of a unified [`RunReport`].
-    pub fn from_run(r: &RunReport) -> ScenarioReport {
-        ScenarioReport {
-            throughput_mbps: r.throughput_mbps,
-            network_mbps: r.network_mbps,
-            input_mbps: r.input_mbps,
-            latency_median_s: r.latency_median_s,
-            latency_max_s: r.latency_max_s,
-            trace: r.trace.clone(),
-            episodes: r.episodes.clone(),
-            load_factors: r.load_factors.clone(),
-            overhead_core_frac: r.overhead_core_frac,
-        }
-    }
-}
 
 /// One row of a Fig. 7 panel: throughput per strategy at one CPU budget.
 #[derive(Debug, Clone)]
@@ -525,17 +366,5 @@ mod tests {
             jarvis > 1.5 * allsrc,
             "Jarvis {jarvis:.1} must clearly beat All-Src {allsrc:.1} at 60% CPU"
         );
-    }
-
-    #[test]
-    fn deprecated_scenario_shim_still_runs() {
-        #[allow(deprecated)]
-        let mut s = Scenario::single_source(
-            ScenarioSpec::pingmesh_s2s(Scale::X1),
-            StrategyKind::Jarvis,
-            0.6,
-        );
-        let report = s.run_epochs(25);
-        assert!(report.throughput_mbps > 0.0);
     }
 }

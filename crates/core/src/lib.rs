@@ -18,7 +18,8 @@
 //!   Filter-Src, Best-OP, LB-DP) plus the two ablation variants of §VI-C
 //!   (LP-only, w/o LP-init), all expressed as load-factor policies.
 //! * [`engine`] — the per-node execution engines that charge operator costs
-//!   to `simnet` CPU budgets and route drained data over links.
+//!   to `simnet` CPU budgets and route drained data over links, including
+//!   the multi-node SP cluster dispatching shard traffic over `NetPayload`.
 //! * [`experiment`] — scenario harnesses regenerating the paper's figures.
 //! * [`convergence_sim`] — the §VI-C exhaustive convergence-cost simulator.
 //! * [`multiquery`] — multiple queries on one data source (§VI-F).
@@ -36,7 +37,6 @@ pub mod live;
 pub mod multiquery;
 pub mod planner;
 pub mod proxy;
-pub mod runner;
 pub mod runtime;
 pub mod stepwise;
 pub mod strategy;

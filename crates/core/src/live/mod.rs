@@ -7,9 +7,10 @@
 //! the replica pipelines and state merging, and bounded crossbeam channels
 //! carry drained batches / state deltas (providing natural backpressure).
 //!
-//! It exists to (a) validate that partitioned execution is *exact* — merged
-//! results equal an unpartitioned run — under real interleavings, and (b)
-//! host the `Runner` quickstart API from Listing 1.
+//! It exists to validate that partitioned execution is *exact* — merged
+//! results equal an unpartitioned run — under real interleavings; the
+//! epoch-driven, multi-node variant behind `BackendKind::Live` lives in
+//! [`session::LiveSession`].
 
 pub mod session;
 

@@ -1,5 +1,5 @@
-//! An epoch-driven live session: threaded, batch-first, key-sharded
-//! execution under runtime control.
+//! An epoch-driven live session: threaded, batch-first, key-sharded,
+//! multi-node execution under runtime control.
 //!
 //! [`run_partitioned`](crate::live::run_partitioned) runs one batch under
 //! *fixed* load factors. [`LiveSession`] lifts that limitation: it keeps one
@@ -10,46 +10,60 @@
 //! partitioned results stay exact. Sources generate columnar [`Batch`]es
 //! and the channels carry batches end-to-end.
 //!
-//! The SP side is a **router + shard-worker pool** instead of a single SP
-//! thread: the router runs each replica's stateless prefix and partitions
-//! every boundary batch by the plan's group keys
-//! ([`Batch::shard_by_key`]); `sp_shards` worker threads each own one
-//! keyed pipeline per source (the stateful operator plus the rest of the
-//! chain) behind a bounded crossbeam channel. Shipped [`StatePartial`]
-//! entries are routed to the shard owning their key
-//! ([`shard_of_values`]), so a group's whole lifetime happens on one shard
-//! and merged results stay exact at any shard count
-//! (`tests/shard_parity.rs`).
+//! The SP side is a **dispatcher + node pool**: the router thread runs each
+//! replica's stateless prefix, partitions every boundary batch over the
+//! fixed ring of `sp_shards` virtual shards
+//! ([`Batch::shard_by_key`]), and dispatches each sub-batch to the SP node
+//! owning its shard ([`node_of_shard`]) over that node's bounded channel —
+//! a channel that emulates a network link: payloads whose owner is not the
+//! source's ingress node cross it as **serialized**
+//! [`NetPayload::ShardBatch`] / [`NetPayload::ShardState`] bytes
+//! ([`netwire`](crate::engine::netwire)), decoded on the node's worker
+//! thread, so a remote shard pipeline is reachable through its wire form
+//! alone (location transparency); ingress-local traffic skips the codec,
+//! exactly like PR 4's single-node path. Shipped [`StatePartial`] entries split by the
+//! shard owning their key ([`shard_of_values`]) the same way, so a group's
+//! whole lifetime happens on one shard and merged results are bit-identical
+//! at any shard *and node* count (`tests/shard_parity.rs`,
+//! `tests/node_parity.rs`).
 //!
 //! Worker threads execute operators for real (state, joins, sketches); the
 //! CPU *budget* is counterfactual, charged from the calibrated cost model:
 //! an epoch whose modelled usage oversubscribes the budget classifies as
 //! congested, one that undersubscribes with load factors left to raise
 //! classifies as idle (the same rules as the §VI-C simulator). The same
-//! counterfactual charging is recorded per shard on the SP side and
-//! reported via [`LiveOutcome::shard_usage_us`] — classification itself
-//! stays source-side today; feeding the slowest shard's budget back into
+//! counterfactual charging is recorded per shard (and rolled up per node)
+//! on the SP side; cross-node shipping is charged per target shard from the
+//! `batch::layout` wire accounting, with each source's traffic entering at
+//! its ingress node (`source % sp_nodes`). Classification itself stays
+//! source-side today; feeding the slowest shard's budget back into
 //! adaptation is a ROADMAP follow-on.
 //! Profile epochs measure per-operator costs and relay ratios on a scratch
 //! pipeline fed with the epoch's batch — reproducing the paper's
 //! profile-on-a-sample bias — without disturbing live operator state.
 
+use std::ops::Range;
+
+use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use streamkit::batch::Batch;
 use streamkit::ops::{AggRole, GroupPartialEntry, Operator, StatePartial};
 use streamkit::physical::build_pipeline;
 use streamkit::record::Record;
-use streamkit::shard::shard_of_values;
+use streamkit::schema::SchemaRef;
+use streamkit::shard::{node_of_shard, shard_of_values, shards_of_node};
 
 use crate::calibration;
 use crate::deploy::{DeployError, DeploymentSpec};
 use crate::engine::block::EpochSource;
+use crate::engine::netwire::{decode_shard_payload, encode_shard_payload};
+use crate::engine::NetPayload;
 use crate::planner::PlannedQuery;
 use crate::proxy::{ControlProxy, QueryState};
 use crate::runtime::JarvisRuntime;
 use crate::stepwise::ProfileEstimates;
 
-/// Messages from source workers to the SP router.
+/// Messages from source workers to the SP dispatcher.
 enum Msg {
     /// A batch drained in front of source-side operator `stage`.
     Drained {
@@ -71,23 +85,6 @@ enum Msg {
     },
 }
 
-/// Messages from the router to one shard worker. Stage indices are relative
-/// to the keyed boundary (0 = the stateful operator).
-enum ShardMsg {
-    /// A keyed sub-batch entering the shard pipeline at `rel`.
-    Batch {
-        source: usize,
-        rel: usize,
-        batch: Batch,
-    },
-    /// State entries owned by this shard, merging at `rel`.
-    State {
-        source: usize,
-        rel: usize,
-        entries: Vec<GroupPartialEntry>,
-    },
-}
-
 /// One data source: its local operator prefix, proxies, generator, runtime.
 struct Worker {
     ops: Vec<Box<dyn Operator>>,
@@ -106,9 +103,8 @@ struct Worker {
     profile: Option<ProfileEstimates>,
 }
 
-/// One shard of the SP pool: a keyed pipeline per source plus the shard's
-/// accumulated results and counters. Owned by exactly one worker thread per
-/// epoch.
+/// One virtual shard's pipelines: a keyed chain per source plus the shard's
+/// accumulated results and counters.
 struct ShardSet {
     /// `pipelines[source]` = the chain from the stateful boundary down.
     pipelines: Vec<Vec<Box<dyn Operator>>>,
@@ -146,6 +142,15 @@ impl ShardSet {
     }
 }
 
+/// One SP node of the pool: a contiguous ring slice of shard sets, owned by
+/// exactly one worker thread per epoch.
+struct NodeSet {
+    /// The contiguous ring slice this node owns.
+    owned: Range<usize>,
+    /// One [`ShardSet`] per owned shard, indexed by `shard - owned.start`.
+    sets: Vec<ShardSet>,
+}
+
 /// Final outcome of a live session.
 #[derive(Debug)]
 pub struct LiveOutcome {
@@ -167,6 +172,14 @@ pub struct LiveOutcome {
     pub shard_drained_records: Vec<u64>,
     /// Counterfactual compute charged to each SP shard, µs.
     pub shard_usage_us: Vec<f64>,
+    /// Wire bytes shipped across SP nodes toward each shard.
+    pub shard_wire_bytes: Vec<u64>,
+    /// Input rows routed into each SP node's owned shards.
+    pub node_drained_records: Vec<u64>,
+    /// Counterfactual compute charged to each SP node, µs.
+    pub node_usage_us: Vec<f64>,
+    /// Wire bytes each SP node (as ingress) shipped to other nodes.
+    pub node_wire_bytes: Vec<u64>,
 }
 
 /// A threaded deployment advanced epoch by epoch.
@@ -177,14 +190,23 @@ pub struct LiveSession {
     /// column types).
     input_schema: streamkit::schema::SchemaRef,
     workers: Vec<Worker>,
-    /// Per-source stateless prefix of the SP replica (router side).
+    /// Per-source stateless prefix of the SP replica (dispatcher side).
     sp_prefix: Vec<Vec<Box<dyn Operator>>>,
-    /// Keyed shard pool; each shard owns one pipeline suffix per source.
-    shards: Vec<ShardSet>,
+    /// The SP node pool; each node owns a contiguous slice of the ring.
+    nodes: Vec<NodeSet>,
+    /// Width of the fixed virtual-shard ring.
+    n_shards: usize,
     /// Index of the stateful boundary in the full chain.
     boundary: usize,
     /// Group-key columns at the boundary edge.
     shard_keys: Vec<usize>,
+    /// Input schema of every suffix stage (`suffix_schemas[rel]`), plus the
+    /// final output schema — the decode side of the inter-node wire.
+    suffix_schemas: Vec<SchemaRef>,
+    /// Wire bytes shipped cross-node toward each shard (ring-wide).
+    shard_wire_bytes: Vec<u64>,
+    /// Wire bytes each node (as ingress) shipped to other nodes.
+    node_wire_bytes: Vec<u64>,
     costs: streamkit::physical::CostProfile,
     /// Scheduled resource changes, applied at epoch starts.
     events: Vec<crate::experiment::ResourceEvent>,
@@ -240,16 +262,18 @@ impl LiveSession {
             });
         }
         // Split the replica chain at its keyed boundary: stateless prefix on
-        // the router, keyed pipelines on the shard pool. Keyless plans keep
-        // the whole chain on the router with a single pass-through shard.
+        // the dispatcher, keyed pipelines on the node pool. Keyless plans
+        // keep the whole chain on the dispatcher with a single pass-through
+        // shard on a single node.
         let (boundary, shard_keys) = match planned.plan.shard_boundary() {
             Some((g, keys)) => (g, keys),
             None => (planned.plan.len(), Vec::new()),
         };
-        let n_shards = if shard_keys.is_empty() {
-            1
+        let (n_shards, n_nodes) = if shard_keys.is_empty() {
+            (1, 1)
         } else {
-            spec.sp_shards.max(1) as usize
+            let shards = spec.sp_shards.max(1) as usize;
+            (shards, (spec.sp_nodes.max(1) as usize).min(shards))
         };
         let sp_prefix = (0..n)
             .map(|_| {
@@ -259,31 +283,44 @@ impl LiveSession {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let shards = (0..n_shards)
-            .map(|_| {
-                let pipelines = (0..n)
+        let nodes = (0..n_nodes)
+            .map(|id| {
+                let owned = shards_of_node(id, n_shards, n_nodes);
+                let sets = owned
+                    .clone()
                     .map(|_| {
-                        build_pipeline(&planned.plan, &costs, AggRole::Final)
-                            .map(|mut ops| ops.split_off(boundary))
+                        let pipelines = (0..n)
+                            .map(|_| {
+                                build_pipeline(&planned.plan, &costs, AggRole::Final)
+                                    .map(|mut ops| ops.split_off(boundary))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Ok(ShardSet {
+                            pipelines,
+                            collected: Vec::new(),
+                            drained_records: 0,
+                            usage_us: 0.0,
+                        })
                     })
-                    .collect::<Result<Vec<_>, _>>()?;
-                Ok(ShardSet {
-                    pipelines,
-                    collected: Vec::new(),
-                    drained_records: 0,
-                    usage_us: 0.0,
-                })
+                    .collect::<Result<Vec<_>, DeployError>>()?;
+                Ok(NodeSet { owned, sets })
             })
             .collect::<Result<Vec<_>, DeployError>>()?;
-        let input_schema = planned.plan.edge_schemas()?[0].clone();
+        let edge_schemas = planned.plan.edge_schemas()?;
+        let input_schema = edge_schemas[0].clone();
+        let suffix_schemas: Vec<SchemaRef> = edge_schemas[boundary..].to_vec();
         Ok(LiveSession {
             planned,
             input_schema,
             workers,
             sp_prefix,
-            shards,
+            nodes,
+            n_shards,
             boundary,
             shard_keys,
+            suffix_schemas,
+            shard_wire_bytes: vec![0; n_shards],
+            node_wire_bytes: vec![0; n_nodes],
             costs,
             events: spec.events.clone(),
             epoch: 0,
@@ -313,9 +350,14 @@ impl LiveSession {
         &self.planned
     }
 
-    /// Shard workers in the SP pool.
+    /// Virtual shards on the SP tier's fixed hash ring.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.n_shards
+    }
+
+    /// SP nodes in the pool.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Total rows generated so far.
@@ -334,9 +376,9 @@ impl LiveSession {
     }
 
     /// Runs one epoch: generates per-source batches, executes the
-    /// partitioned pipelines on real threads (source workers → router →
-    /// shard workers), then drives each source's runtime state machine with
-    /// the epoch's observations.
+    /// partitioned pipelines on real threads (source workers → dispatcher →
+    /// SP node workers), then drives each source's runtime state machine
+    /// with the epoch's observations.
     pub fn run_epoch(&mut self) {
         assert!(!self.finished, "session already finished");
         let now_us = (self.epoch as f64 * self.epoch_secs * 1e6) as i64;
@@ -358,19 +400,27 @@ impl LiveSession {
             .collect();
 
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(256);
-        let n_shards = self.shards.len();
-        let mut shard_txs = Vec::with_capacity(n_shards);
-        let mut shard_rxs = Vec::with_capacity(n_shards);
-        for _ in 0..n_shards {
-            let (stx, srx): (Sender<ShardMsg>, Receiver<ShardMsg>) = bounded(256);
-            shard_txs.push(stx);
-            shard_rxs.push(srx);
+        let n_nodes = self.nodes.len();
+        // Per-node bounded channels emulating network links: cross-node
+        // payloads travel as encoded wire frames, ingress-local ones as
+        // in-process values (no link is crossed, so no codec is paid).
+        let mut node_txs = Vec::with_capacity(n_nodes);
+        let mut node_rxs = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (ntx, nrx): (Sender<NodeMsg>, Receiver<NodeMsg>) = bounded(256);
+            node_txs.push(ntx);
+            node_rxs.push(nrx);
         }
         let costs = &self.costs;
         let plan = &self.planned.plan;
         let boundary = self.boundary;
+        let n_shards = self.n_shards;
+        let epoch = self.epoch;
         let shard_keys = &self.shard_keys;
+        let suffix_schemas = &self.suffix_schemas;
         let sp_prefix = &mut self.sp_prefix;
+        let shard_wire = &mut self.shard_wire_bytes;
+        let node_wire = &mut self.node_wire_bytes;
 
         std::thread::scope(|scope| {
             for ((source, worker), input) in self.workers.iter_mut().enumerate().zip(inputs) {
@@ -389,9 +439,17 @@ impl LiveSession {
             }
             drop(tx);
 
-            // The router: per-source stateless prefixes + the key-hash
-            // partitioner feeding the shard pool.
+            // The dispatcher: per-source stateless prefixes + the ring
+            // partitioner feeding the node pool (cross-node hops encoded).
             scope.spawn(move || {
+                let mut links = Links {
+                    node_txs,
+                    shard_keys,
+                    n_shards,
+                    epoch,
+                    shard_wire,
+                    node_wire,
+                };
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         Msg::Drained {
@@ -400,13 +458,7 @@ impl LiveSession {
                             batch,
                         } => {
                             if stage >= boundary {
-                                route_batch(
-                                    &shard_txs,
-                                    shard_keys,
-                                    source,
-                                    stage - boundary,
-                                    batch,
-                                );
+                                links.dispatch_batch(source, stage - boundary, batch);
                                 continue;
                             }
                             // Stateless prefix from the entry stage to the
@@ -421,7 +473,7 @@ impl LiveSession {
                                 batches = next;
                             }
                             for b in batches {
-                                route_batch(&shard_txs, shard_keys, source, 0, b);
+                                links.dispatch_batch(source, 0, b);
                             }
                         }
                         Msg::State {
@@ -435,31 +487,46 @@ impl LiveSession {
                                 sp_prefix[source][stage].merge_state(delta);
                                 continue;
                             }
-                            route_state(&shard_txs, source, stage - boundary, delta);
+                            links.dispatch_state(source, stage - boundary, delta);
                         }
                     }
                 }
-                // Router done: closing the shard channels stops the pool.
-                drop(shard_txs);
+                // Dispatcher done: closing the node channels stops the pool.
+                drop(links);
             });
 
-            // The shard workers: keyed pipelines + state merging, one
-            // thread per shard.
-            for (set, srx) in self.shards.iter_mut().zip(shard_rxs) {
+            // The node workers: each decodes its link's cross-node frames
+            // and runs the owned shard pipelines, one thread per SP node.
+            for (node, nrx) in self.nodes.iter_mut().zip(node_rxs) {
                 scope.spawn(move || {
-                    while let Ok(msg) = srx.recv() {
-                        match msg {
-                            ShardMsg::Batch { source, rel, batch } => {
-                                set.process(source, rel, batch);
-                            }
-                            ShardMsg::State {
+                    while let Ok(msg) = nrx.recv() {
+                        let payload = match msg {
+                            NodeMsg::Local(payload) => payload,
+                            NodeMsg::Wire(raw) => decode_shard_payload(raw, suffix_schemas)
+                                .expect("dispatcher sends valid payloads"),
+                        };
+                        match payload {
+                            NetPayload::ShardBatch {
+                                shard,
                                 source,
                                 rel,
-                                entries,
+                                batch,
+                                ..
                             } => {
-                                set.pipelines[source][rel]
-                                    .merge_state(StatePartial::Group(entries));
+                                let set = &mut node.sets[shard as usize - node.owned.start];
+                                set.process(source as usize, rel as usize, batch);
                             }
+                            NetPayload::ShardState {
+                                shard,
+                                source,
+                                rel,
+                                delta,
+                                ..
+                            } => {
+                                let set = &mut node.sets[shard as usize - node.owned.start];
+                                set.pipelines[source as usize][rel as usize].merge_state(delta);
+                            }
+                            _ => unreachable!("node links carry shard payloads only"),
                         }
                     }
                 });
@@ -477,8 +544,8 @@ impl LiveSession {
 
     /// Applies resource events scheduled for the current epoch: budget
     /// changes update every worker's counterfactual budget; table growth
-    /// swaps the static join tables on workers, router prefixes, and shard
-    /// pipelines alike.
+    /// swaps the static join tables on workers, dispatcher prefixes, and
+    /// shard pipelines alike.
     fn apply_events(&mut self) {
         let epoch = self.epoch;
         let epoch_secs = self.epoch_secs;
@@ -513,9 +580,11 @@ impl LiveSession {
                 for prefix in &mut self.sp_prefix {
                     swap(prefix);
                 }
-                for set in &mut self.shards {
-                    for pipeline in &mut set.pipelines {
-                        swap(pipeline);
+                for node in &mut self.nodes {
+                    for set in &mut node.sets {
+                        for pipeline in &mut set.pipelines {
+                            swap(pipeline);
+                        }
                     }
                 }
             }
@@ -530,15 +599,15 @@ impl LiveSession {
     }
 
     /// Finishes the session: ships residual partial state (routed by key
-    /// ownership, like the live path), closes every window on every shard
-    /// pipeline, and returns the merged results.
+    /// ownership to the owning shard and node, like the live path), closes
+    /// every window on every shard pipeline, and returns the merged results.
     pub fn finish(mut self) -> LiveOutcome {
         self.finished = true;
         let mut drained_records = 0u64;
         let mut drained_bytes = 0u64;
         let mut state_deltas = 0u64;
         let boundary = self.boundary;
-        let n_shards = self.shards.len();
+        let n_shards = self.n_shards;
         for (source, worker) in self.workers.iter_mut().enumerate() {
             drained_records += worker.drained_records;
             drained_bytes += worker.drained_bytes;
@@ -559,29 +628,43 @@ impl LiveSession {
                 for entry in entries {
                     per_shard[shard_of_values(&entry.key, n_shards)].push(entry);
                 }
-                for (set, part) in self.shards.iter_mut().zip(per_shard) {
-                    if !part.is_empty() {
-                        set.pipelines[source][rel].merge_state(StatePartial::Group(part));
+                let n_nodes = self.nodes.len();
+                for (s, part) in per_shard.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
                     }
+                    let node = &mut self.nodes[node_of_shard(s, n_shards, n_nodes)];
+                    node.sets[s - node.owned.start].pipelines[source][rel]
+                        .merge_state(StatePartial::Group(part));
                 }
             }
         }
         // Close all windows on every shard; emissions cascade through the
         // rest of that shard's chain.
         let mut results = Vec::new();
-        let mut shard_drained_records = Vec::with_capacity(n_shards);
-        let mut shard_usage_us = Vec::with_capacity(n_shards);
-        for set in &mut self.shards {
-            for pipeline in &mut set.pipelines {
-                set.collected
-                    .extend(streamkit::physical::drain_windows_rows(
-                        pipeline,
-                        streamkit::time::TS_MAX,
-                    ));
+        let mut shard_drained_records = vec![0u64; n_shards];
+        let mut shard_usage_us = vec![0f64; n_shards];
+        let mut node_drained_records = Vec::with_capacity(self.nodes.len());
+        let mut node_usage_us = Vec::with_capacity(self.nodes.len());
+        for node in &mut self.nodes {
+            let mut drained = 0u64;
+            let mut usage = 0f64;
+            for (s, set) in node.owned.clone().zip(node.sets.iter_mut()) {
+                for pipeline in &mut set.pipelines {
+                    set.collected
+                        .extend(streamkit::physical::drain_windows_rows(
+                            pipeline,
+                            streamkit::time::TS_MAX,
+                        ));
+                }
+                results.append(&mut set.collected);
+                shard_drained_records[s] = set.drained_records;
+                shard_usage_us[s] = set.usage_us;
+                drained += set.drained_records;
+                usage += set.usage_us;
             }
-            results.append(&mut set.collected);
-            shard_drained_records.push(set.drained_records);
-            shard_usage_us.push(set.usage_us);
+            node_drained_records.push(drained);
+            node_usage_us.push(usage);
         }
         LiveOutcome {
             results,
@@ -593,71 +676,142 @@ impl LiveSession {
             epochs: self.epoch,
             shard_drained_records,
             shard_usage_us,
+            shard_wire_bytes: self.shard_wire_bytes,
+            node_drained_records,
+            node_usage_us,
+            node_wire_bytes: self.node_wire_bytes,
         }
     }
 }
 
-/// Partitions a boundary batch by key hash and sends each non-empty part to
-/// its shard. Batches entering past the boundary (stateless suffix) and
-/// keyless plans go to shard 0.
-fn route_batch(
-    shard_txs: &[Sender<ShardMsg>],
-    shard_keys: &[usize],
-    source: usize,
-    rel: usize,
-    batch: Batch,
-) {
-    if batch.is_empty() {
-        return;
-    }
-    let n = shard_txs.len();
-    if rel == 0 && n > 1 && !shard_keys.is_empty() {
-        for (k, part) in batch.shard_by_key(shard_keys, n).into_iter().enumerate() {
-            if !part.is_empty() {
-                shard_txs[k]
-                    .send(ShardMsg::Batch {
-                        source,
-                        rel,
-                        batch: part,
-                    })
-                    .expect("shard worker alive");
-            }
-        }
-    } else {
-        shard_txs[0]
-            .send(ShardMsg::Batch { source, rel, batch })
-            .expect("shard worker alive");
-    }
+/// One message on a node link: shard traffic whose owner is the sending
+/// source's ingress node stays an in-process value (the PR-4 single-node
+/// fast path — no link crossed, no codec paid), while genuine cross-node
+/// hops travel as encoded wire frames.
+enum NodeMsg {
+    /// Ingress-local shard payload.
+    Local(NetPayload),
+    /// Cross-node shard payload in its inter-node wire form.
+    Wire(Bytes),
 }
 
-/// Splits a state delta's group entries by key ownership and sends each
-/// shard its share.
-fn route_state(shard_txs: &[Sender<ShardMsg>], source: usize, rel: usize, delta: StatePartial) {
-    let n = shard_txs.len();
-    let StatePartial::Group(entries) = delta;
-    if n == 1 {
-        shard_txs[0]
-            .send(ShardMsg::State {
-                source,
-                rel,
-                entries,
-            })
-            .expect("shard worker alive");
-        return;
+/// The dispatcher's view of the per-node links: ring geometry, the encoded
+/// channels, and the wire accounting charged when a payload's owning node
+/// differs from its source's ingress node.
+struct Links<'a> {
+    node_txs: Vec<Sender<NodeMsg>>,
+    shard_keys: &'a [usize],
+    n_shards: usize,
+    epoch: u64,
+    /// Cross-node wire bytes per target shard.
+    shard_wire: &'a mut [u64],
+    /// Cross-node wire bytes per sending (ingress) node.
+    node_wire: &'a mut [u64],
+}
+
+impl Links<'_> {
+    /// The node terminating `source`'s uplink (same placement the emulated
+    /// cluster uses).
+    fn ingress(&self, source: usize) -> usize {
+        source % self.node_txs.len()
     }
-    let mut per_shard: Vec<Vec<GroupPartialEntry>> = (0..n).map(|_| Vec::new()).collect();
-    for entry in entries {
-        per_shard[shard_of_values(&entry.key, n)].push(entry);
+
+    /// Sends one payload over the owning node's link: ingress-local traffic
+    /// as an in-process value, cross-node traffic encoded and charged wire
+    /// accounting.
+    fn ship(&mut self, source: usize, shard: usize, payload: NetPayload) {
+        let owner = node_of_shard(shard, self.n_shards, self.node_txs.len());
+        let msg = if owner == self.ingress(source) {
+            NodeMsg::Local(payload)
+        } else {
+            let bytes = payload.wire_bytes() as u64;
+            self.shard_wire[shard] += bytes;
+            self.node_wire[self.ingress(source)] += bytes;
+            NodeMsg::Wire(encode_shard_payload(&payload))
+        };
+        self.node_txs[owner].send(msg).expect("node worker alive");
     }
-    for (k, part) in per_shard.into_iter().enumerate() {
-        if !part.is_empty() {
-            shard_txs[k]
-                .send(ShardMsg::State {
+
+    /// Partitions a boundary batch over the ring and ships each non-empty
+    /// part to the node owning its shard. Batches entering past the
+    /// boundary (stateless suffix) and keyless plans go to shard 0.
+    fn dispatch_batch(&mut self, source: usize, rel: usize, batch: Batch) {
+        if batch.is_empty() {
+            return;
+        }
+        if rel == 0 && self.n_shards > 1 && !self.shard_keys.is_empty() {
+            for (s, part) in batch
+                .shard_by_key(self.shard_keys, self.n_shards)
+                .into_iter()
+                .enumerate()
+            {
+                if part.is_empty() {
+                    continue;
+                }
+                self.ship(
                     source,
-                    rel,
-                    entries: part,
-                })
-                .expect("shard worker alive");
+                    s,
+                    NetPayload::ShardBatch {
+                        shard: s as u32,
+                        epoch: self.epoch,
+                        source: source as u32,
+                        rel: 0,
+                        batch: part,
+                    },
+                );
+            }
+        } else {
+            self.ship(
+                source,
+                0,
+                NetPayload::ShardBatch {
+                    shard: 0,
+                    epoch: self.epoch,
+                    source: source as u32,
+                    rel: rel as u32,
+                    batch,
+                },
+            );
+        }
+    }
+
+    /// Splits a state delta's group entries by key ownership and ships each
+    /// shard its share.
+    fn dispatch_state(&mut self, source: usize, rel: usize, delta: StatePartial) {
+        let StatePartial::Group(entries) = delta;
+        if self.n_shards == 1 {
+            self.ship(
+                source,
+                0,
+                NetPayload::ShardState {
+                    shard: 0,
+                    epoch: self.epoch,
+                    source: source as u32,
+                    rel: rel as u32,
+                    delta: StatePartial::Group(entries),
+                },
+            );
+            return;
+        }
+        let mut per_shard: Vec<Vec<GroupPartialEntry>> =
+            (0..self.n_shards).map(|_| Vec::new()).collect();
+        for entry in entries {
+            per_shard[shard_of_values(&entry.key, self.n_shards)].push(entry);
+        }
+        for (s, part) in per_shard.into_iter().enumerate() {
+            if !part.is_empty() {
+                self.ship(
+                    source,
+                    s,
+                    NetPayload::ShardState {
+                        shard: s as u32,
+                        epoch: self.epoch,
+                        source: source as u32,
+                        rel: rel as u32,
+                        delta: StatePartial::Group(part),
+                    },
+                );
+            }
         }
     }
 }
@@ -687,7 +841,7 @@ impl Worker {
                         stage,
                         batch: chunk,
                     })
-                    .expect("SP router alive");
+                    .expect("SP dispatcher alive");
                 }
             };
 
@@ -732,7 +886,7 @@ impl Worker {
                     stage,
                     delta,
                 })
-                .expect("SP router alive");
+                .expect("SP dispatcher alive");
             }
         }
     }
@@ -919,6 +1073,7 @@ mod tests {
             .unwrap();
         let mut s = LiveSession::new(&spec).unwrap();
         assert_eq!(s.n_shards(), 4);
+        assert_eq!(s.n_nodes(), 1);
         s.run_epochs(4);
         let out = s.finish();
         assert_eq!(out.shard_drained_records.len(), 4);
@@ -931,6 +1086,48 @@ mod tests {
         assert!(
             out.shard_usage_us.iter().sum::<f64>() > 0.0,
             "per-shard budgets must be charged"
+        );
+        assert_eq!(
+            out.shard_wire_bytes.iter().sum::<u64>(),
+            0,
+            "a single-node pool never crosses a link"
+        );
+        assert!(!out.results.is_empty());
+    }
+
+    #[test]
+    fn node_pool_splits_the_ring_and_charges_the_links() {
+        // 4 shards over 2 nodes with 2 sources: source 0 ingresses at node
+        // 0, source 1 at node 1, and every sub-batch owned by the other
+        // node's slice must cross a link as encoded bytes.
+        let spec = Deployment::builder()
+            .workload(ScenarioSpec::pingmesh_s2s(Scale::X1))
+            .strategy(StrategyKind::AllSp)
+            .cpu_budget(0.6)
+            .sources(2)
+            .sp_shards(4)
+            .sp_nodes(2)
+            .spec()
+            .unwrap();
+        let mut s = LiveSession::new(&spec).unwrap();
+        assert_eq!(s.n_shards(), 4);
+        assert_eq!(s.n_nodes(), 2);
+        s.run_epochs(4);
+        let out = s.finish();
+        assert_eq!(out.node_drained_records.len(), 2);
+        assert_eq!(
+            out.node_drained_records.iter().sum::<u64>(),
+            out.shard_drained_records.iter().sum::<u64>(),
+            "node drains roll up the shard drains"
+        );
+        assert!(
+            out.shard_wire_bytes.iter().sum::<u64>() > 0,
+            "remote-shard traffic must charge the links"
+        );
+        assert!(
+            out.node_wire_bytes.iter().all(|&b| b > 0),
+            "both ingress nodes ship toward the other's slice: {:?}",
+            out.node_wire_bytes
         );
         assert!(!out.results.is_empty());
     }

@@ -8,9 +8,13 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::agg::AggState;
 use crate::batch::{Batch, Column, StrDict};
 use crate::error::{Error, Result};
+use crate::ops::GroupPartialEntry;
+use crate::quantile::QuantileSketch;
 use crate::schema::{DataType, SchemaRef};
+use crate::value::Value;
 
 const MAGIC: u32 = 0x4A52_5653; // "JRVS"
 
@@ -230,6 +234,229 @@ pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
         timestamps,
         columns,
     })
+}
+
+/// Value tags for the group-state wire format.
+const VAL_NULL: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_I64: u8 = 2;
+const VAL_U64: u8 = 3;
+const VAL_F64: u8 = 4;
+const VAL_STR: u8 = 5;
+
+/// Aggregate-state tags for the group-state wire format.
+const AGG_COUNT: u8 = 0;
+const AGG_SUM: u8 = 1;
+const AGG_MIN: u8 = 2;
+const AGG_MAX: u8 = 3;
+const AGG_AVG: u8 = 4;
+const AGG_QUANTILE: u8 = 5;
+
+/// Encodes shipped group-aggregation state. Floats travel as raw bit
+/// patterns, so non-finite accumulators — a `Min` that never saw a numeric
+/// value is `+inf` — round-trip exactly (JSON-style encodings turn them
+/// into `null` and lose the state).
+pub fn encode_group_state(entries: &[GroupPartialEntry]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 * entries.len());
+    buf.put_u32_le(entries.len() as u32);
+    for entry in entries {
+        buf.put_i64_le(entry.window_start);
+        buf.put_u16_le(entry.key.len() as u16);
+        for v in &entry.key {
+            match v {
+                Value::Null => buf.put_u8(VAL_NULL),
+                Value::Bool(b) => {
+                    buf.put_u8(VAL_BOOL);
+                    buf.put_u8(*b as u8);
+                }
+                Value::I64(x) => {
+                    buf.put_u8(VAL_I64);
+                    buf.put_i64_le(*x);
+                }
+                Value::U64(x) => {
+                    buf.put_u8(VAL_U64);
+                    buf.put_u64_le(*x);
+                }
+                Value::F64(x) => {
+                    buf.put_u8(VAL_F64);
+                    buf.put_u64_le(x.to_bits());
+                }
+                Value::Str(s) => {
+                    buf.put_u8(VAL_STR);
+                    buf.put_u16_le(s.len() as u16);
+                    buf.put_slice(s.as_bytes());
+                }
+            }
+        }
+        buf.put_u16_le(entry.states.len() as u16);
+        for state in &entry.states {
+            match state {
+                AggState::Count(c) => {
+                    buf.put_u8(AGG_COUNT);
+                    buf.put_u64_le(*c);
+                }
+                AggState::Sum(s) => {
+                    buf.put_u8(AGG_SUM);
+                    buf.put_u64_le(s.to_bits());
+                }
+                AggState::Min(m) => {
+                    buf.put_u8(AGG_MIN);
+                    buf.put_u64_le(m.to_bits());
+                }
+                AggState::Max(m) => {
+                    buf.put_u8(AGG_MAX);
+                    buf.put_u64_le(m.to_bits());
+                }
+                AggState::Avg { sum, count } => {
+                    buf.put_u8(AGG_AVG);
+                    buf.put_u64_le(sum.to_bits());
+                    buf.put_u64_le(*count);
+                }
+                AggState::Quantile { q, sketch } => {
+                    let (lo, hi, counts, underflow, overflow, total) = sketch.to_parts();
+                    buf.put_u8(AGG_QUANTILE);
+                    buf.put_u64_le(q.to_bits());
+                    buf.put_u64_le(lo.to_bits());
+                    buf.put_u64_le(hi.to_bits());
+                    buf.put_u32_le(counts.len() as u32);
+                    for c in counts {
+                        buf.put_u64_le(*c);
+                    }
+                    buf.put_u64_le(underflow);
+                    buf.put_u64_le(overflow);
+                    buf.put_u64_le(total);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes group-aggregation state produced by [`encode_group_state`].
+pub fn decode_group_state(mut buf: Bytes) -> Result<Vec<GroupPartialEntry>> {
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(Error::Decode(format!(
+                "state underrun: need {n}, have {}",
+                buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 4)?;
+    let n_entries = buf.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(n_entries.min(1024));
+    for _ in 0..n_entries {
+        need(&buf, 10)?;
+        let window_start = buf.get_i64_le();
+        let key_len = buf.get_u16_le() as usize;
+        let mut key = Vec::with_capacity(key_len);
+        for _ in 0..key_len {
+            need(&buf, 1)?;
+            key.push(match buf.get_u8() {
+                VAL_NULL => Value::Null,
+                VAL_BOOL => {
+                    need(&buf, 1)?;
+                    Value::Bool(buf.get_u8() != 0)
+                }
+                VAL_I64 => {
+                    need(&buf, 8)?;
+                    Value::I64(buf.get_i64_le())
+                }
+                VAL_U64 => {
+                    need(&buf, 8)?;
+                    Value::U64(buf.get_u64_le())
+                }
+                VAL_F64 => {
+                    need(&buf, 8)?;
+                    Value::F64(f64::from_bits(buf.get_u64_le()))
+                }
+                VAL_STR => {
+                    need(&buf, 2)?;
+                    let len = buf.get_u16_le() as usize;
+                    need(&buf, len)?;
+                    let s = std::str::from_utf8(&buf.chunk()[..len])
+                        .map_err(|e| Error::Decode(format!("invalid UTF-8 key: {e}")))?
+                        .into();
+                    buf.advance(len);
+                    Value::Str(s)
+                }
+                tag => return Err(Error::Decode(format!("unknown value tag {tag}"))),
+            });
+        }
+        need(&buf, 2)?;
+        let n_states = buf.get_u16_le() as usize;
+        let mut states = Vec::with_capacity(n_states);
+        for _ in 0..n_states {
+            need(&buf, 1)?;
+            states.push(match buf.get_u8() {
+                AGG_COUNT => {
+                    need(&buf, 8)?;
+                    AggState::Count(buf.get_u64_le())
+                }
+                AGG_SUM => {
+                    need(&buf, 8)?;
+                    AggState::Sum(f64::from_bits(buf.get_u64_le()))
+                }
+                AGG_MIN => {
+                    need(&buf, 8)?;
+                    AggState::Min(f64::from_bits(buf.get_u64_le()))
+                }
+                AGG_MAX => {
+                    need(&buf, 8)?;
+                    AggState::Max(f64::from_bits(buf.get_u64_le()))
+                }
+                AGG_AVG => {
+                    need(&buf, 16)?;
+                    AggState::Avg {
+                        sum: f64::from_bits(buf.get_u64_le()),
+                        count: buf.get_u64_le(),
+                    }
+                }
+                AGG_QUANTILE => {
+                    need(&buf, 28)?;
+                    let q = f64::from_bits(buf.get_u64_le());
+                    let lo = f64::from_bits(buf.get_u64_le());
+                    let hi = f64::from_bits(buf.get_u64_le());
+                    let buckets = buf.get_u32_le() as usize;
+                    // NaN bounds compare as incomparable and must be
+                    // rejected along with an empty or inverted range.
+                    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) || buckets == 0 {
+                        return Err(Error::Decode(format!(
+                            "bad sketch geometry: lo {lo}, hi {hi}, {buckets} buckets"
+                        )));
+                    }
+                    need(&buf, 8 * (buckets + 3))?;
+                    let counts = (0..buckets).map(|_| buf.get_u64_le()).collect();
+                    AggState::Quantile {
+                        q,
+                        sketch: QuantileSketch::from_parts(
+                            lo,
+                            hi,
+                            counts,
+                            buf.get_u64_le(),
+                            buf.get_u64_le(),
+                            buf.get_u64_le(),
+                        ),
+                    }
+                }
+                tag => return Err(Error::Decode(format!("unknown agg-state tag {tag}"))),
+            });
+        }
+        entries.push(GroupPartialEntry {
+            window_start,
+            key,
+            states,
+        });
+    }
+    if buf.remaining() > 0 {
+        return Err(Error::Decode(format!(
+            "{} trailing bytes after group state",
+            buf.remaining()
+        )));
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]

@@ -301,10 +301,6 @@ impl KeyFrags {
         KeyFrags { arena, bounds }
     }
 
-    fn entries(&self) -> usize {
-        self.bounds.len() - 1
-    }
-
     #[inline]
     fn append(&self, buf: &mut Vec<u8>, code: u32) {
         let lo = self.bounds[code as usize] as usize;
@@ -332,10 +328,115 @@ impl KeyEnc<'_> {
     }
 }
 
-/// When every key column is a dense dictionary and the combined key space is
-/// at most this many slots, rows resolve through a dense per-window
-/// `(combined code) → slot` cache instead of hashing byte keys.
+/// When every key column is dense and *code-able* — a dictionary (codes are
+/// page indexes) or an integer column whose batch-local value range is
+/// bounded (codes are offsets from the batch minimum) — and the combined
+/// key space is at most this many slots, rows resolve through a dense
+/// per-window `(combined code) → slot` cache instead of hashing byte keys.
 const MAX_COMBO_CACHE: usize = 1 << 16;
+
+/// One dimension of the dense combined code: yields a per-row code in
+/// `0..card`. The code is a cache key only — on a cache miss the canonical
+/// byte encoding (via [`KeyEnc`]) still decides group identity, so the
+/// cache can never conflate distinct keys.
+enum ComboDim<'a> {
+    /// Dictionary column: the code is the page index.
+    Dict {
+        /// Per-row dictionary codes.
+        codes: &'a [u32],
+        /// Page entry count (≥ 1 so empty pages keep the product sane).
+        card: usize,
+    },
+    /// Bounded-range signed integers: the code is `value - lo`.
+    I64 {
+        /// Per-row values.
+        vals: &'a [i64],
+        /// Batch-local minimum.
+        lo: i64,
+        /// `hi - lo + 1`.
+        card: usize,
+    },
+    /// Bounded-range unsigned integers: the code is `value - lo`.
+    U64 {
+        /// Per-row values.
+        vals: &'a [u64],
+        /// Batch-local minimum.
+        lo: u64,
+        /// `hi - lo + 1`.
+        card: usize,
+    },
+}
+
+impl ComboDim<'_> {
+    fn card(&self) -> usize {
+        match self {
+            ComboDim::Dict { card, .. }
+            | ComboDim::I64 { card, .. }
+            | ComboDim::U64 { card, .. } => *card,
+        }
+    }
+
+    #[inline]
+    fn code(&self, row: usize) -> usize {
+        match self {
+            ComboDim::Dict { codes, .. } => codes[row] as usize,
+            ComboDim::I64 { vals, lo, .. } => (vals[row] - lo) as usize,
+            ComboDim::U64 { vals, lo, .. } => (vals[row] - lo) as usize,
+        }
+    }
+}
+
+/// Builds the combined-code dimensions when every key column qualifies and
+/// the combined cardinality stays within [`MAX_COMBO_CACHE`]. Integer
+/// columns qualify by a bounded batch-local value range (the LogAnalytics
+/// `stat` bucket is a handful of small integers); anything else — floats,
+/// plain strings, nullable columns — falls back to byte hashing.
+fn combo_dims<'a>(key_cols: &[&'a Column]) -> Option<Vec<ComboDim<'a>>> {
+    if key_cols.is_empty() {
+        return None;
+    }
+    let mut dims = Vec::with_capacity(key_cols.len());
+    let mut product = 1usize;
+    for col in key_cols {
+        let dim = match col {
+            Column::Dict { codes, dict } => ComboDim::Dict {
+                codes,
+                card: dict.len().max(1),
+            },
+            Column::I64(vals) => {
+                let (lo, hi) = (vals.iter().min()?, vals.iter().max()?);
+                let span = (*hi as i128 - *lo as i128) as u128;
+                if span >= MAX_COMBO_CACHE as u128 {
+                    return None;
+                }
+                ComboDim::I64 {
+                    vals,
+                    lo: *lo,
+                    card: span as usize + 1,
+                }
+            }
+            Column::U64(vals) => {
+                let (lo, hi) = (vals.iter().min()?, vals.iter().max()?);
+                let span = (hi - lo) as u128;
+                if span >= MAX_COMBO_CACHE as u128 {
+                    return None;
+                }
+                ComboDim::U64 {
+                    vals,
+                    lo: *lo,
+                    card: (hi - lo) as usize + 1,
+                }
+            }
+            _ => return None,
+        };
+        product = product.checked_mul(dim.card())?;
+        if product > MAX_COMBO_CACHE {
+            return None;
+        }
+        dims.push(dim);
+    }
+    Some(dims)
+}
 
 /// At most this many per-window caches per batch; rows in further windows
 /// fall back to byte-keyed resolution (bounds memory and the per-row window
@@ -522,28 +623,20 @@ impl Operator for GroupAggregateOp {
         slots.reserve(n);
 
         // Pass 1 — resolve every row to its group slot.
-        let combo_card = encs
-            .iter()
-            .try_fold(1usize, |acc, e| match e {
-                KeyEnc::Dict { frags, .. } => acc.checked_mul(frags.entries().max(1)),
-                KeyEnc::Generic(_) => None,
-            })
-            .filter(|&card| !encs.is_empty() && card <= MAX_COMBO_CACHE);
-        if let Some(card) = combo_card {
-            // All keys are dense dictionaries with a small combined key
-            // space: resolve through a per-window dense cache, hashing each
+        if let Some(dims) = combo_dims(&key_cols) {
+            let card: usize = dims.iter().map(ComboDim::card).product();
+            // All keys are dense code-able columns (dictionaries or
+            // bounded-range integers) with a small combined key space:
+            // resolve through a per-window dense cache, hashing each
             // distinct (window, key) combination only once per batch.
             let mut caches: Vec<(Ts, Vec<u32>)> = Vec::with_capacity(2);
             for row in 0..n {
                 let ws = window.start_of(batch.timestamps[row]);
                 let mut combo = 0usize;
                 let mut mul = 1usize;
-                for e in &encs {
-                    let KeyEnc::Dict { codes, frags } = e else {
-                        unreachable!("combo path requires dict keys");
-                    };
-                    combo += codes[row] as usize * mul;
-                    mul *= frags.entries().max(1);
+                for d in &dims {
+                    combo += d.code(row) * mul;
+                    mul *= d.card();
                 }
                 // Batches normally span one or two windows; a pathological
                 // batch covering many (e.g. an unsorted replay) must not
@@ -866,6 +959,98 @@ mod tests {
             })
             .sum();
         assert_eq!(total as usize, n, "every row must be counted exactly once");
+    }
+
+    #[test]
+    fn small_int_keys_take_the_combo_cache_and_stay_exact() {
+        // A (dict, small-int) key pair — the LogAnalytics (tenant, stat
+        // bucket) shape — must resolve through the dense combined-code
+        // cache and produce exactly the groups the byte-hash path would.
+        use crate::batch::{Batch, StrDict};
+        use std::sync::Arc;
+
+        let schema = Schema::new(vec![
+            Field::new("tenant", DataType::Str),
+            Field::new("bucket", DataType::I64),
+            Field::new("v", DataType::U32),
+        ]);
+        let n = 600usize;
+        let codes: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let buckets: Vec<i64> = (0..n).map(|i| 100 + (i % 5) as i64).collect();
+        let dict_batch = Batch {
+            schema: schema.clone(),
+            timestamps: vec![1; n],
+            columns: vec![
+                Column::Dict {
+                    codes,
+                    dict: Arc::new(StrDict::from_entries(["t0", "t1", "t2"])),
+                },
+                Column::I64(buckets.clone()),
+                Column::U64(vec![1; n]),
+            ],
+        };
+        let mk = || {
+            GroupAggregateOp::new(
+                vec![0, 1],
+                vec![AggSpec::new(AggKind::Count, 2, "n")],
+                &schema,
+                TumblingWindow::new(secs(10.0)),
+                EmitMode::OnWindowClose,
+                AggRole::Final,
+                CostModel::fixed(1.0),
+            )
+        };
+        // Combo path (dict + bounded int).
+        let mut fast = mk();
+        let mut sink = Vec::new();
+        fast.process_batch(dict_batch.clone(), &mut sink);
+        // Byte-hash fallback: same rows with the dict decoded to plain
+        // strings (plain Str never enters the combo cache).
+        let mut plain_batch = dict_batch;
+        plain_batch.dict_decode();
+        let mut slow = mk();
+        slow.process_batch(plain_batch, &mut sink);
+        assert_eq!(fast.group_count(), 15);
+        assert_eq!(slow.group_count(), 15);
+        let mut a = Vec::new();
+        fast.on_watermark(Ts::MAX, &mut a);
+        let mut b = Vec::new();
+        slow.on_watermark(Ts::MAX, &mut b);
+        let sort = |out: &[Batch]| {
+            let mut r = rows(out);
+            r.sort_by_key(|rec| format!("{rec:?}"));
+            r
+        };
+        assert_eq!(sort(&a), sort(&b));
+    }
+
+    #[test]
+    fn wide_int_ranges_fall_back_to_byte_hashing() {
+        // A batch whose integer key range exceeds the cache cap must still
+        // group correctly (through the fallback) — and not allocate a
+        // range-sized cache.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::I64),
+            Field::new("v", DataType::U32),
+        ]);
+        let recs: Vec<Record> = [i64::MIN, -1, 0, 1, i64::MAX, 0]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Record::new(i as i64, vec![Value::I64(k), Value::U64(1)]))
+            .collect();
+        let batch = Batch::from_records(schema.clone(), &recs).unwrap();
+        let mut g = GroupAggregateOp::new(
+            vec![0],
+            vec![AggSpec::new(AggKind::Count, 1, "n")],
+            &schema,
+            TumblingWindow::new(secs(10.0)),
+            EmitMode::OnWindowClose,
+            AggRole::Final,
+            CostModel::fixed(1.0),
+        );
+        let mut sink = Vec::new();
+        g.process_batch(batch, &mut sink);
+        assert_eq!(g.group_count(), 5);
     }
 
     #[test]

@@ -100,6 +100,43 @@ impl QuantileSketch {
     pub fn state_bytes(&self) -> usize {
         8 * (self.counts.len() + 4)
     }
+
+    /// The sketch's raw state `(lo, hi, counts, underflow, overflow,
+    /// total)`, for wire codecs.
+    pub fn to_parts(&self) -> (f64, f64, &[u64], u64, u64, u64) {
+        (
+            self.lo,
+            self.hi,
+            &self.counts,
+            self.underflow,
+            self.overflow,
+            self.total,
+        )
+    }
+
+    /// Rebuilds a sketch from [`QuantileSketch::to_parts`] state. The range
+    /// and bucket invariants are the constructor's; callers decoding
+    /// untrusted bytes must validate `hi > lo` and `!counts.is_empty()`
+    /// first.
+    pub fn from_parts(
+        lo: f64,
+        hi: f64,
+        counts: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+        total: u64,
+    ) -> QuantileSketch {
+        assert!(hi > lo, "sketch range must be non-empty");
+        assert!(!counts.is_empty(), "sketch needs at least one bucket");
+        QuantileSketch {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+            total,
+        }
+    }
 }
 
 #[cfg(test)]

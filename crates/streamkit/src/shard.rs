@@ -18,6 +18,16 @@
 //! columns take a fast path: the canonical fragment of every dictionary
 //! entry is hashed once per page, and rows then combine precomputed code
 //! hashes instead of re-hashing string bytes per row.
+//!
+//! # The hash ring: shards vs nodes
+//!
+//! Multi-node SP deployments keep the ring of `n_shards` *virtual shards*
+//! fixed and divide it into contiguous slices, one per SP node
+//! ([`shards_of_node`] / [`node_of_shard`]). The key → shard mapping never
+//! depends on the node count, so changing `n_nodes` only moves whole shards
+//! (with their state) between nodes — partitioned aggregation stays exact by
+//! construction at any node count, and a future join/leave rebalance ships
+//! shard state without rehashing a single key.
 
 use crate::batch::{Batch, Column, StrDict};
 use crate::value::Value;
@@ -174,6 +184,41 @@ pub fn shard_of_values(key: &[Value], n: usize) -> usize {
         h = combine(h, fnv1a(&buf));
     }
     (h % n as u64) as usize
+}
+
+/// The contiguous slice of the `n_shards`-wide hash ring owned by `node`
+/// out of `n_nodes`. Slices partition the ring: remainders go to the first
+/// `n_shards % n_nodes` nodes, so every shard is owned by exactly one node
+/// and slice sizes differ by at most one.
+pub fn shards_of_node(node: usize, n_shards: usize, n_nodes: usize) -> std::ops::Range<usize> {
+    assert!(n_nodes >= 1, "a cluster has at least one node");
+    assert!(node < n_nodes, "node {node} out of {n_nodes}");
+    let q = n_shards / n_nodes;
+    let r = n_shards % n_nodes;
+    let start = node * q + node.min(r);
+    start..start + q + usize::from(node < r)
+}
+
+/// The node owning virtual shard `shard` — the inverse of
+/// [`shards_of_node`]. Total (every shard has exactly one owner for any
+/// `n_nodes >= 1`) and stable in the sense that matters for exactness: the
+/// key → shard mapping ([`shard_of_values`]) never changes with the node
+/// count, only the shard → node placement does.
+pub fn node_of_shard(shard: usize, n_shards: usize, n_nodes: usize) -> usize {
+    assert!(n_nodes >= 1, "a cluster has at least one node");
+    assert!(
+        shard < n_shards,
+        "shard {shard} outside the {n_shards}-ring"
+    );
+    let q = n_shards / n_nodes;
+    let r = n_shards % n_nodes;
+    // The first `r` nodes own `q + 1` shards each (the "fat" prefix).
+    let fat = (q + 1) * r;
+    if q == 0 || shard < fat {
+        shard / (q + 1)
+    } else {
+        r + (shard - fat) / q
+    }
 }
 
 /// Shard assignment of every row, without materialising the sub-batches
@@ -349,6 +394,55 @@ mod tests {
             .collect();
         assert_eq!(non_empty.len(), 1);
         assert_eq!(shards[non_empty[0]].len(), 3);
+    }
+
+    #[test]
+    fn ring_slices_partition_the_shards() {
+        for n_shards in 1..=66usize {
+            for n_nodes in 1..=9usize {
+                let mut owner = vec![usize::MAX; n_shards];
+                for node in 0..n_nodes {
+                    for s in shards_of_node(node, n_shards, n_nodes) {
+                        assert_eq!(owner[s], usize::MAX, "shard {s} owned twice");
+                        owner[s] = node;
+                    }
+                }
+                for (s, &node) in owner.iter().enumerate() {
+                    assert_ne!(node, usize::MAX, "shard {s} unowned");
+                    assert_eq!(
+                        node_of_shard(s, n_shards, n_nodes),
+                        node,
+                        "inverse mismatch at shard {s} ({n_shards} shards, {n_nodes} nodes)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_slices_are_contiguous_and_balanced() {
+        let n_shards = 10;
+        let n_nodes = 4;
+        let sizes: Vec<usize> = (0..n_nodes)
+            .map(|n| shards_of_node(n, n_shards, n_nodes).len())
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(shards_of_node(0, n_shards, n_nodes), 0..3);
+        assert_eq!(shards_of_node(3, n_shards, n_nodes), 8..10);
+    }
+
+    #[test]
+    fn key_to_shard_mapping_ignores_node_count() {
+        // The exactness anchor: node counts repartition shards, never keys.
+        let b = batch(&[("a", 1), ("b", 2), ("c", 3)]);
+        let assign = shard_assignment(&b, &[0], 8);
+        for n_nodes in 1..=8 {
+            let again = shard_assignment(&b, &[0], 8);
+            assert_eq!(assign, again);
+            for &s in &again {
+                let _ = node_of_shard(s, 8, n_nodes);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property tests for the multi-node SP transport: the `NetPayload` shard
+//! variants' wire codec (encode ∘ decode = id, including dictionary pages
+//! and `Opt` validity), and the hash ring's shard → node assignment (total,
+//! contiguous, and node-count-independent for keys).
+
+use proptest::prelude::*;
+
+use jarvis::core::engine::netwire::{decode_shard_payload, encode_shard_payload};
+use jarvis::core::engine::NetPayload;
+use jarvis::streamkit::agg::AggState;
+use jarvis::streamkit::batch::Batch;
+use jarvis::streamkit::ops::{GroupPartialEntry, StatePartial};
+use jarvis::streamkit::record::Record;
+use jarvis::streamkit::schema::{DataType, Field, Schema, SchemaRef};
+use jarvis::streamkit::shard::{node_of_shard, shards_of_node};
+use jarvis::streamkit::value::Value;
+
+fn schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("tenant", DataType::Str),
+        Field::new("bucket", DataType::I64),
+        Field::new("load", DataType::F64),
+    ])
+}
+
+/// Rows over a deliberately small tenant pool so `dict_encode` has dense
+/// pages to build, with nulls (tenant code 5 / `load_null`) to exercise
+/// `Opt` validity.
+fn row_strategy() -> impl Strategy<Value = (i64, u8, i64, f64, bool)> {
+    (
+        0i64..10_000,
+        0u8..6,
+        -50i64..50,
+        -1e6f64..1e6,
+        any::<bool>(),
+    )
+}
+
+proptest! {
+    /// ShardBatch payloads survive the wire byte-identically — plain string
+    /// columns, dictionary pages, and null validity alike.
+    #[test]
+    fn shard_batch_wire_round_trips(
+        rows in proptest::collection::vec(row_strategy(), 0..80),
+        dict in any::<bool>(),
+        shard in 0u32..64,
+        epoch in 0u64..1000,
+        source in 0u32..8,
+    ) {
+        let recs: Vec<Record> = rows
+            .iter()
+            .map(|(ts, tenant, bucket, load, load_null)| {
+                Record::new(*ts, vec![
+                    if *tenant == 5 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("tenant-{tenant}"))
+                    },
+                    Value::I64(*bucket),
+                    if *load_null { Value::Null } else { Value::F64(*load) },
+                ])
+            })
+            .collect();
+        let mut batch = Batch::from_records(schema(), &recs).unwrap();
+        if dict {
+            let _ = batch.dict_encode(16);
+        }
+        let payload = NetPayload::ShardBatch { shard, epoch, source, rel: 0, batch };
+        let wire = encode_shard_payload(&payload);
+        let back = decode_shard_payload(wire, &[schema()]).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    /// ShardState payloads (split `StatePartial`s) survive the wire.
+    #[test]
+    fn shard_state_wire_round_trips(
+        entries in proptest::collection::vec(
+            (0i64..100, 0u64..50, -1e3f64..1e3, 1u64..1000), 0..40),
+        shard in 0u32..64,
+        epoch in 0u64..1000,
+    ) {
+        let entries: Vec<GroupPartialEntry> = entries
+            .iter()
+            .map(|(win, key, sum, count)| GroupPartialEntry {
+                window_start: win * 10_000_000,
+                key: vec![Value::str(format!("k{key}")), Value::U64(*key)],
+                states: vec![
+                    AggState::Count(*count),
+                    AggState::Sum(*sum),
+                    AggState::Avg { sum: *sum, count: *count },
+                ],
+            })
+            .collect();
+        let payload = NetPayload::ShardState {
+            shard,
+            epoch,
+            source: 0,
+            rel: 0,
+            delta: StatePartial::Group(entries),
+        };
+        let wire = encode_shard_payload(&payload);
+        let back = decode_shard_payload(wire, &[schema()]).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    /// The ring assignment is total: for every node count, every shard is
+    /// owned by exactly one node, `node_of_shard` inverts `shards_of_node`,
+    /// and slices are contiguous with sizes differing by at most one.
+    #[test]
+    fn node_assignment_is_total_and_stable(n_shards in 1usize..=64) {
+        for n_nodes in 1usize..=8 {
+            let n_nodes = n_nodes.min(n_shards);
+            let mut owner = vec![usize::MAX; n_shards];
+            let mut prev_end = 0usize;
+            for node in 0..n_nodes {
+                let slice = shards_of_node(node, n_shards, n_nodes);
+                prop_assert_eq!(slice.start, prev_end, "slices must be contiguous");
+                prev_end = slice.end;
+                for s in slice {
+                    prop_assert_eq!(owner[s], usize::MAX, "shard owned twice");
+                    owner[s] = node;
+                }
+            }
+            prop_assert_eq!(prev_end, n_shards, "slices must cover the ring");
+            for (s, &node) in owner.iter().enumerate() {
+                prop_assert_eq!(node_of_shard(s, n_shards, n_nodes), node);
+            }
+            let sizes: Vec<usize> = (0..n_nodes)
+                .map(|n| shards_of_node(n, n_shards, n_nodes).len())
+                .collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            prop_assert!(max - min <= 1, "slices must be balanced: {:?}", sizes);
+            prop_assert!(*min >= 1, "no node may own an empty slice");
+        }
+    }
+}

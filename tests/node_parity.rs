@@ -1,0 +1,341 @@
+//! Node parity: the multi-node SP tier is exact at any node count.
+//!
+//! The fixed hash ring of `sp_shards` virtual shards is the exactness
+//! anchor: the key → shard mapping never depends on the node count, nodes
+//! own contiguous ring slices, and remote-shard traffic (keyed sub-batches
+//! and split `StatePartial`s) crosses nodes as `NetPayload::ShardBatch` /
+//! `ShardState` payloads — serialized bytes on the live backend. The union
+//! of results over nodes must therefore be **bit-identical** to the
+//! single-node run. This suite proves 1 ≡ 2 ≡ 4 nodes on a 4-shard ring,
+//! on all three paper queries, on both executing backends, under:
+//!
+//! * **All-SP** (everything drained: the full flow, where the dispatcher
+//!   partitions raw row traffic over the ring);
+//! * **All-Src** (everything pre-aggregated at the sources: partitioned
+//!   state shipping, where every `StatePartial` entry must reach the node
+//!   owning its key's shard);
+//! * **Jarvis** (adaptive mixed flow: drained rows and shipped state
+//!   interleave while the runtime moves load factors).
+//!
+//! Cross-node shipping cost is visible and sane: `shard_stats` /
+//! `node_stats` wire bytes are zero on one node, positive on many, and a
+//! shard's drain share never depends on where it lives.
+
+use jarvis::core::calibration::Scale;
+use jarvis::core::deploy::{BackendKind, Deployment, ExactnessDigest, RunReport};
+use jarvis::core::experiment::ScenarioSpec;
+use jarvis::core::strategy::StrategyKind;
+
+/// Virtual shards on the ring for every run — fixed, so node counts only
+/// move shard placement.
+const RING: u32 = 4;
+
+fn run(
+    spec: &ScenarioSpec,
+    strategy: StrategyKind,
+    backend: BackendKind,
+    nodes: u32,
+    epochs: u64,
+) -> RunReport {
+    Deployment::builder()
+        .workload(spec.clone())
+        .strategy(strategy)
+        .cpu_budget(1.0)
+        .sources(2)
+        .sp_shards(RING)
+        .sp_nodes(nodes)
+        .backend(backend)
+        .collect_results(true)
+        .build()
+        .expect("valid spec")
+        .run(epochs)
+        .expect("run succeeds")
+}
+
+fn assert_node_parity(
+    spec: ScenarioSpec,
+    strategy: StrategyKind,
+    backend: BackendKind,
+    epochs: u64,
+) -> RunReport {
+    let base = run(&spec, strategy, backend, 1, epochs);
+    let digest = base.exactness.clone().expect("digest collected");
+    assert!(digest.rows > 0, "the run must produce results");
+    assert_eq!(base.sp_nodes, 1);
+    assert_eq!(base.node_stats.len(), 1, "one node, one stat row");
+    assert_eq!(
+        base.shard_stats
+            .iter()
+            .map(|s| s.wire_bytes_out)
+            .sum::<u64>(),
+        0,
+        "a single-node SP never ships shard traffic over a link"
+    );
+    let mut four: Option<RunReport> = None;
+    for nodes in [2u32, 4] {
+        let report = run(&spec, strategy, backend, nodes, epochs);
+        assert_eq!(report.sp_nodes, u64::from(nodes));
+        assert_eq!(report.node_stats.len(), nodes as usize);
+        assert_eq!(
+            report.exactness.as_ref().expect("digest collected"),
+            &digest,
+            "{} / {} / {}: {nodes}-node results must be bit-identical to single-node",
+            spec.name(),
+            strategy.label(),
+            backend.label(),
+        );
+        // The ring is fixed: a shard's drain share is placement-independent.
+        assert_eq!(
+            report
+                .shard_stats
+                .iter()
+                .map(|s| s.drained_records)
+                .collect::<Vec<_>>(),
+            base.shard_stats
+                .iter()
+                .map(|s| s.drained_records)
+                .collect::<Vec<_>>(),
+            "shard drain shares must not depend on node count"
+        );
+        // Node rows roll the owned shards up.
+        assert_eq!(
+            report
+                .node_stats
+                .iter()
+                .map(|n| n.drained_records)
+                .sum::<u64>(),
+            report
+                .shard_stats
+                .iter()
+                .map(|s| s.drained_records)
+                .sum::<u64>(),
+        );
+        if nodes == 4 {
+            four = Some(report);
+        }
+    }
+    four.expect("4-node run executed")
+}
+
+fn digest_of(r: &RunReport) -> &ExactnessDigest {
+    r.exactness.as_ref().expect("digest collected")
+}
+
+// ---- live backend: full flow (everything drained to the SP) ----
+
+#[test]
+fn s2s_live_full_nodes_equal_single() {
+    let r = assert_node_parity(
+        ScenarioSpec::pingmesh_s2s(Scale::X1),
+        StrategyKind::AllSp,
+        BackendKind::Live,
+        8,
+    );
+    // With everything drained and two ingress nodes, remote slices must be
+    // fed over the links and the shipping charged.
+    assert!(
+        r.shard_stats.iter().map(|s| s.wire_bytes_out).sum::<u64>() > 0,
+        "cross-node shipping must be visible: {:?}",
+        r.shard_stats
+    );
+    assert!(
+        r.node_stats.iter().any(|n| n.wire_bytes_out > 0),
+        "some ingress must ship remotely: {:?}",
+        r.node_stats
+    );
+}
+
+#[test]
+fn t2t_live_full_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_t2t(Scale::X1, 500),
+        StrategyKind::AllSp,
+        BackendKind::Live,
+        8,
+    );
+}
+
+#[test]
+fn log_live_full_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::log_analytics(Scale::X1),
+        StrategyKind::AllSp,
+        BackendKind::Live,
+        8,
+    );
+}
+
+// ---- live backend: partitioned state shipping (sources pre-aggregate and
+// ship StatePartial entries, which must merge on the node owning each
+// entry's shard) ----
+
+#[test]
+fn s2s_live_partitioned_state_nodes_equal_single() {
+    let r = assert_node_parity(
+        ScenarioSpec::pingmesh_s2s(Scale::X1),
+        StrategyKind::AllSrc,
+        BackendKind::Live,
+        8,
+    );
+    assert_eq!(r.drained_records, 0, "All-Src drains no rows");
+    assert!(r.state_deltas > 0, "state must ship");
+}
+
+#[test]
+fn t2t_live_partitioned_state_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_t2t(Scale::X1, 500),
+        StrategyKind::AllSrc,
+        BackendKind::Live,
+        8,
+    );
+}
+
+#[test]
+fn log_live_partitioned_state_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::log_analytics(Scale::X1),
+        StrategyKind::AllSrc,
+        BackendKind::Live,
+        8,
+    );
+}
+
+// ---- live backend: adaptive mixed flow ----
+
+#[test]
+fn s2s_live_adaptive_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_s2s(Scale::X1),
+        StrategyKind::Jarvis,
+        BackendKind::Live,
+        10,
+    );
+}
+
+#[test]
+fn t2t_live_adaptive_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_t2t(Scale::X1, 500),
+        StrategyKind::Jarvis,
+        BackendKind::Live,
+        10,
+    );
+}
+
+#[test]
+fn log_live_adaptive_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::log_analytics(Scale::X1),
+        StrategyKind::Jarvis,
+        BackendKind::Live,
+        10,
+    );
+}
+
+// ---- emulated backend: SpCluster of budgeted per-node engines ----
+
+#[test]
+fn s2s_emulated_full_nodes_equal_single() {
+    let r = assert_node_parity(
+        ScenarioSpec::pingmesh_s2s(Scale::X1),
+        StrategyKind::AllSp,
+        BackendKind::Emulated,
+        16,
+    );
+    assert!(
+        r.shard_stats.iter().map(|s| s.wire_bytes_out).sum::<u64>() > 0,
+        "the emulated cluster charges cross-node shipping too"
+    );
+}
+
+#[test]
+fn t2t_emulated_full_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_t2t(Scale::X1, 500),
+        StrategyKind::AllSp,
+        BackendKind::Emulated,
+        16,
+    );
+}
+
+#[test]
+fn log_emulated_full_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::log_analytics(Scale::X1),
+        StrategyKind::AllSp,
+        BackendKind::Emulated,
+        16,
+    );
+}
+
+#[test]
+fn s2s_emulated_partitioned_state_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_s2s(Scale::X1),
+        StrategyKind::AllSrc,
+        BackendKind::Emulated,
+        16,
+    );
+}
+
+#[test]
+fn t2t_emulated_partitioned_state_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_t2t(Scale::X1, 500),
+        StrategyKind::AllSrc,
+        BackendKind::Emulated,
+        16,
+    );
+}
+
+#[test]
+fn log_emulated_partitioned_state_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::log_analytics(Scale::X1),
+        StrategyKind::AllSrc,
+        BackendKind::Emulated,
+        16,
+    );
+}
+
+#[test]
+fn s2s_emulated_adaptive_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_s2s(Scale::X1),
+        StrategyKind::Jarvis,
+        BackendKind::Emulated,
+        20,
+    );
+}
+
+#[test]
+fn t2t_emulated_adaptive_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::pingmesh_t2t(Scale::X1, 500),
+        StrategyKind::Jarvis,
+        BackendKind::Emulated,
+        20,
+    );
+}
+
+#[test]
+fn log_emulated_adaptive_nodes_equal_single() {
+    assert_node_parity(
+        ScenarioSpec::log_analytics(Scale::X1),
+        StrategyKind::Jarvis,
+        BackendKind::Emulated,
+        20,
+    );
+}
+
+// ---- cross-backend, scaled out ----
+
+#[test]
+fn scale_out_does_not_change_cross_backend_parity() {
+    // The PR-1 invariant (emulated ≡ live) must hold on a 4-node cluster.
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
+    let em = run(&spec, StrategyKind::AllSrc, BackendKind::Emulated, 4, 12);
+    let lv = run(&spec, StrategyKind::AllSrc, BackendKind::Live, 4, 12);
+    assert_eq!(digest_of(&em), digest_of(&lv));
+}
