@@ -1,0 +1,38 @@
+//! Framed-TCP socket transport vs the in-process channel baseline.
+//!
+//! Moves identical pre-encoded `FrameKind::Shard` frames over a loopback
+//! `TcpStream` pair (production `Link` writer thread + `FrameReader`
+//! decode loop) and over a bounded in-process channel, exactly as `repro
+//! bench`'s `net_transport` series does. The CI-gated number is the ratio
+//! of the two throughputs. Set `BENCH_SMOKE=1` for a reduced-sample CI
+//! run.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jarvis_bench::nettransport::{run_channel_iter, run_tcp_iter, transport_frames};
+
+fn bench_net_transport(c: &mut Criterion) {
+    let frames = transport_frames();
+    let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+
+    let mut group = c.benchmark_group("net_transport");
+    group.throughput(Throughput::Bytes(bytes));
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(300));
+    }
+
+    group.bench_function("shard_frames/channel", |b| {
+        b.iter(|| run_channel_iter(black_box(&frames)));
+    });
+    group.bench_function("shard_frames/tcp_loopback", |b| {
+        b.iter(|| run_tcp_iter(black_box(&frames)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_transport);
+criterion_main!(benches);

@@ -8,11 +8,13 @@
 pub mod figures;
 pub mod groupagg;
 pub mod measure;
+pub mod nettransport;
 pub mod nodescale;
 pub mod output;
 pub mod shardscale;
 
 pub use figures::*;
 pub use groupagg::{bench_group_agg, GroupAggResult};
+pub use nettransport::{bench_net_transport, NetTransportResult};
 pub use nodescale::{bench_node_scaling, NodeScalingResult};
 pub use shardscale::{bench_shard_scaling, ShardScalingResult, ThroughputReport};

@@ -321,6 +321,7 @@ fn run_bench(json: bool, check: bool) {
         group_agg: bench_group_agg(15),
         shard_scaling: bench_shard_scaling(15),
         node_scaling: bench_node_scaling(15),
+        net_transport: bench_net_transport(15),
     };
     let g = &report.group_agg;
     println!("Group-aggregate kernels: str keys vs dict keys");
@@ -368,6 +369,18 @@ fn run_bench(json: bool, check: bool) {
         "  speedup  : {:.2}x at {} nodes (target: >= 1.5x)",
         nd.speedup_at_max(),
         nd.nodes.last().unwrap_or(&1)
+    );
+    let t = &report.net_transport;
+    println!("Framed-TCP transport: loopback sockets vs in-process channel");
+    println!("  pipeline : {}", t.pipeline);
+    println!("  channel  : {:.0} frames/s", t.channel_frames_per_sec);
+    println!(
+        "  tcp      : {:.0} frames/s ({:.0} MB/s)",
+        t.tcp_frames_per_sec, t.tcp_mbytes_per_sec
+    );
+    println!(
+        "  relative : {:.2}x of the in-process channel",
+        t.relative_throughput
     );
     maybe_json(json, "BENCH_throughput", &report);
 

@@ -37,6 +37,8 @@ pub struct ThroughputReport {
     pub shard_scaling: ShardScalingResult,
     /// Multi-node SP tier: 1/2/4 nodes over a fixed 4-shard ring (PR 5).
     pub node_scaling: crate::nodescale::NodeScalingResult,
+    /// Framed-TCP socket transport vs in-process channel (PR 6).
+    pub net_transport: crate::nettransport::NetTransportResult,
 }
 
 /// Allowed relative speedup regression before the CI gate fails.
@@ -71,6 +73,11 @@ impl ThroughputReport {
             "node_scaling@4",
             self.node_scaling.speedup_at_max(),
             baseline.node_scaling.speedup_at_max(),
+        );
+        check(
+            "net_transport",
+            self.net_transport.relative_throughput,
+            baseline.net_transport.relative_throughput,
         );
         out
     }

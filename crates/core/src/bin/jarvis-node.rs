@@ -1,0 +1,90 @@
+//! `jarvis-node` — a remote stream-processor executor.
+//!
+//! Dials a coordinator (a `Deployment` running the Live backend with
+//! `TransportKind::Tcp`), authenticates with the shared token, executes the
+//! shard slice it is assigned, and streams results back. Exits 0 once the
+//! run completes, non-zero on any failure.
+//!
+//! ```text
+//! jarvis-node --coordinator 127.0.0.1:47531 --token secret [--node-id 1]
+//!             [--connect-timeout-secs 10]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use jarvis_core::node::{run_node, NodeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jarvis-node --coordinator <host:port> --token <token> \
+         [--node-id <n>] [--connect-timeout-secs <s>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> NodeConfig {
+    let mut coordinator = None;
+    let mut token = None;
+    let mut node_id = None;
+    let mut connect_timeout = Duration::from_secs(10);
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--coordinator" => coordinator = Some(value("--coordinator")),
+            "--token" => token = Some(value("--token")),
+            "--node-id" => match value("--node-id").parse::<u32>() {
+                Ok(id) => node_id = Some(id),
+                Err(e) => {
+                    eprintln!("--node-id: {e}");
+                    usage();
+                }
+            },
+            "--connect-timeout-secs" => match value("--connect-timeout-secs").parse::<u64>() {
+                Ok(s) => connect_timeout = Duration::from_secs(s),
+                Err(e) => {
+                    eprintln!("--connect-timeout-secs: {e}");
+                    usage();
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(coordinator) = coordinator else {
+        usage()
+    };
+    let Some(token) = token else { usage() };
+    NodeConfig {
+        coordinator,
+        token,
+        node_id,
+        connect_timeout,
+    }
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    match run_node(&config) {
+        Ok(summary) => {
+            println!(
+                "jarvis-node {}: {} epochs, {} shard frames, {} result rows",
+                summary.node_id, summary.epochs, summary.shard_frames, summary.result_rows
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jarvis-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

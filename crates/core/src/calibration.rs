@@ -5,6 +5,7 @@
 //! a binary Mbps convention (86 B × 8 × 4 000 rec/s ≡ 2.62 Mbps), so
 //! [`MBPS`] is 2²⁰ bits.
 
+use serde::{Deserialize, Serialize};
 use streamkit::ops::{CostModel, OpKind};
 use streamkit::physical::CostProfile;
 
@@ -12,7 +13,7 @@ use streamkit::physical::CostProfile;
 pub const MBPS: f64 = (1u64 << 20) as f64;
 
 /// Input-rate scaling used across the evaluation (§VI-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Scale {
     /// The dataset's calculated rate (2.62 Mbps Pingmesh).
     X1,

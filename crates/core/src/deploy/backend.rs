@@ -201,7 +201,7 @@ impl ExecBackend for LiveBackend {
             let rt = session.runtime(0);
             rt.overhead_us() / (rt.trace().len().max(1) as f64 * 1e6)
         };
-        let outcome = session.finish();
+        let outcome = session.try_finish()?;
         let secs = (outcome.epochs as f64 * calibration::EPOCH_SECS).max(f64::MIN_POSITIVE);
         report.input_mbps = outcome.input_bytes * 8.0 / secs / calibration::MBPS;
         // Live execution is lossless: every input record completes.

@@ -36,6 +36,7 @@
 //! ```
 
 mod backend;
+pub mod remote;
 mod report;
 mod workload;
 
@@ -44,7 +45,9 @@ mod workload;
 pub(crate) use backend::build_block;
 
 use std::fmt;
+use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 pub use backend::{ConvergenceBackend, EmulatedBackend, ExecBackend, LiveBackend};
 pub use report::{ExactnessDigest, NodeStat, RunReport, ShardStat};
@@ -81,6 +84,33 @@ impl BackendKind {
         }
     }
 }
+
+/// How the live backend's SP tier is wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Bounded in-process channels emulating the node links (the PR-5
+    /// runtime; single process).
+    #[default]
+    InProcess,
+    /// Real framed TCP sockets to remote `jarvis-node` executors that
+    /// registered against [`DeploymentBuilder::listen_addr`].
+    Tcp,
+}
+
+impl TransportKind {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "in-process",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// Handshake/read-timeout default for TCP deployments.
+const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Registration/collection deadline default for TCP deployments.
+const DEFAULT_NODE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Why a builder rejected its inputs.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,6 +180,40 @@ pub enum DeployError {
     },
     /// Query planning failed (invalid plan, rule violation).
     Plan(String),
+    /// A TCP deployment without a parseable `listen_addr`.
+    InvalidEndpoint {
+        /// The rejected endpoint (or `"(none)"`).
+        got: String,
+    },
+    /// A peer connected but failed the versioned handshake (wrong protocol
+    /// version, bad auth token, or a malformed registration).
+    HandshakeFailed {
+        /// The peer's address.
+        peer: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Too few nodes registered (or reported back) before the deadline.
+    NodeTimeout {
+        /// How long the coordinator waited.
+        waited_ms: u64,
+        /// Nodes that made it.
+        registered: u32,
+        /// Nodes the spec requires.
+        expected: u32,
+    },
+    /// A spec feature that cannot cross the wire to remote executors.
+    RemoteUnsupported {
+        /// The offending feature.
+        what: String,
+    },
+    /// A registered node died or misbehaved mid-run.
+    NodeFailed {
+        /// The node id.
+        node: u32,
+        /// What happened.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -205,6 +269,26 @@ impl fmt::Display for DeployError {
                 backend.label()
             ),
             DeployError::Plan(msg) => write!(f, "query planning failed: {msg}"),
+            DeployError::InvalidEndpoint { got } => {
+                write!(f, "TCP transport needs a bindable listen_addr, got {got}")
+            }
+            DeployError::HandshakeFailed { peer, reason } => {
+                write!(f, "handshake with {peer} failed: {reason}")
+            }
+            DeployError::NodeTimeout {
+                waited_ms,
+                registered,
+                expected,
+            } => write!(
+                f,
+                "{registered}/{expected} nodes checked in within {waited_ms} ms"
+            ),
+            DeployError::RemoteUnsupported { what } => {
+                write!(f, "TCP deployments do not support {what}")
+            }
+            DeployError::NodeFailed { node, reason } => {
+                write!(f, "node {node} failed: {reason}")
+            }
         }
     }
 }
@@ -249,6 +333,16 @@ pub struct DeploymentSpec {
     pub events: Vec<ResourceEvent>,
     /// Retain merged result rows and fingerprint them (exactness checks).
     pub collect_results: bool,
+    /// How the live SP tier is wired (in-process channels or real TCP).
+    pub transport: TransportKind,
+    /// Coordinator listen endpoint (TCP transport only; validated).
+    pub listen_addr: Option<SocketAddr>,
+    /// Shared-secret token nodes must present (empty disables auth).
+    pub auth_token: String,
+    /// Per-connection handshake/read deadline (TCP transport only).
+    pub handshake_timeout: Duration,
+    /// Registration and result-collection deadline (TCP transport only).
+    pub node_timeout: Duration,
 }
 
 impl fmt::Debug for DeploymentSpec {
@@ -265,6 +359,8 @@ impl fmt::Debug for DeploymentSpec {
             .field("fixed_load_factors", &self.fixed_load_factors)
             .field("events", &self.events)
             .field("collect_results", &self.collect_results)
+            .field("transport", &self.transport)
+            .field("listen_addr", &self.listen_addr)
             .finish()
     }
 }
@@ -285,6 +381,11 @@ pub struct DeploymentBuilder {
     events: Vec<ResourceEvent>,
     collect_results: bool,
     backend: BackendKind,
+    transport: TransportKind,
+    listen_addr: Option<String>,
+    auth_token: String,
+    handshake_timeout: Duration,
+    node_timeout: Duration,
 }
 
 impl Default for DeploymentBuilder {
@@ -304,6 +405,11 @@ impl Default for DeploymentBuilder {
             events: Vec::new(),
             collect_results: false,
             backend: BackendKind::Emulated,
+            transport: TransportKind::InProcess,
+            listen_addr: None,
+            auth_token: String::new(),
+            handshake_timeout: DEFAULT_HANDSHAKE_TIMEOUT,
+            node_timeout: DEFAULT_NODE_TIMEOUT,
         }
     }
 }
@@ -409,6 +515,44 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Selects the live SP transport (default
+    /// [`TransportKind::InProcess`]). [`TransportKind::Tcp`] makes the live
+    /// backend listen on [`DeploymentBuilder::listen_addr`] and dispatch
+    /// shard traffic to registered remote `jarvis-node` executors instead
+    /// of in-process node threads.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the coordinator's listen endpoint for TCP deployments, e.g.
+    /// `"127.0.0.1:7441"`. Required when the transport is
+    /// [`TransportKind::Tcp`].
+    pub fn listen_addr(mut self, addr: impl Into<String>) -> Self {
+        self.listen_addr = Some(addr.into());
+        self
+    }
+
+    /// Sets the shared-secret token remote nodes must present at
+    /// registration (default empty = auth disabled).
+    pub fn auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = token.into();
+        self
+    }
+
+    /// Sets the per-connection handshake/read deadline (default 10 s).
+    pub fn handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Sets the deadline for all `sp_nodes` registrations (and later for
+    /// final result collection; default 60 s).
+    pub fn node_timeout(mut self, timeout: Duration) -> Self {
+        self.node_timeout = timeout;
+        self
+    }
+
     /// Validates into a bare [`DeploymentSpec`] (advanced use: driving a
     /// backend by hand, e.g. fault-injection tests stepping the emulator).
     pub fn spec(&self) -> Result<DeploymentSpec, DeployError> {
@@ -478,6 +622,43 @@ impl DeploymentBuilder {
                 backend: self.backend,
             });
         }
+        let mut listen_addr = None;
+        if self.transport == TransportKind::Tcp {
+            if self.backend != BackendKind::Live {
+                return Err(DeployError::RemoteUnsupported {
+                    what: format!(
+                        "the {} backend (real sockets need the live backend)",
+                        self.backend.label()
+                    ),
+                });
+            }
+            if !self.events.is_empty() {
+                return Err(DeployError::RemoteUnsupported {
+                    what: "scheduled resource events (join-table swaps cannot reach remote \
+                           executors)"
+                        .to_string(),
+                });
+            }
+            if workload.remote_workload().is_none() {
+                return Err(DeployError::RemoteUnsupported {
+                    what: format!(
+                        "workload '{}' (no wire-serializable descriptor; only the built-in \
+                         scenarios can be replanned on a remote node)",
+                        workload.name()
+                    ),
+                });
+            }
+            let raw = self
+                .listen_addr
+                .clone()
+                .ok_or(DeployError::InvalidEndpoint {
+                    got: "(none)".to_string(),
+                })?;
+            listen_addr = Some(
+                raw.parse::<SocketAddr>()
+                    .map_err(|_| DeployError::InvalidEndpoint { got: raw.clone() })?,
+            );
+        }
         Ok(DeploymentSpec {
             workload,
             strategy: self.strategy,
@@ -495,6 +676,11 @@ impl DeploymentBuilder {
             fixed_load_factors: self.fixed_load_factors.clone(),
             events: self.events.clone(),
             collect_results: self.collect_results,
+            transport: self.transport,
+            listen_addr,
+            auth_token: self.auth_token.clone(),
+            handshake_timeout: self.handshake_timeout,
+            node_timeout: self.node_timeout,
         })
     }
 
@@ -749,6 +935,103 @@ mod tests {
         let b = d.run(12).unwrap();
         assert_eq!(a.exactness, b.exactness, "each run() call is a fresh run");
         assert_eq!(a.results_emitted, b.results_emitted);
+    }
+
+    #[test]
+    fn tcp_transport_requires_an_endpoint() {
+        let err = builder()
+            .backend(BackendKind::Live)
+            .transport(TransportKind::Tcp)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::InvalidEndpoint {
+                got: "(none)".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn tcp_transport_rejects_an_unparseable_endpoint() {
+        let err = builder()
+            .backend(BackendKind::Live)
+            .transport(TransportKind::Tcp)
+            .listen_addr("not-a-socket-addr")
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeployError::InvalidEndpoint {
+                got: "not-a-socket-addr".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn tcp_transport_requires_the_live_backend() {
+        let err = builder()
+            .transport(TransportKind::Tcp)
+            .listen_addr("127.0.0.1:0")
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, DeployError::RemoteUnsupported { what } if what.contains("emulated")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tcp_transport_rejects_scheduled_events() {
+        let err = builder()
+            .backend(BackendKind::Live)
+            .transport(TransportKind::Tcp)
+            .listen_addr("127.0.0.1:0")
+            .events(&[crate::experiment::ResourceEvent {
+                epoch: 3,
+                cpu_budget: Some(0.9),
+                table_size: None,
+            }])
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, DeployError::RemoteUnsupported { what } if what.contains("events")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tcp_transport_rejects_undescribable_workloads() {
+        // CustomWorkloads carry closures; they cannot be replanned remotely.
+        let workload = CustomWorkload::new(
+            "ad-hoc",
+            telemetry::queries::s2s_probe(),
+            streamkit::physical::CostProfile::default(),
+            vec![],
+        );
+        let err = Deployment::builder()
+            .workload(workload)
+            .backend(BackendKind::Live)
+            .transport(TransportKind::Tcp)
+            .listen_addr("127.0.0.1:0")
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, DeployError::RemoteUnsupported { what } if what.contains("ad-hoc")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn in_process_specs_ignore_remote_knobs() {
+        // listen_addr/auth on the default transport is inert, not an error.
+        let d = builder()
+            .listen_addr("not-a-socket-addr")
+            .auth_token("secret")
+            .build()
+            .unwrap();
+        assert_eq!(d.spec().transport, TransportKind::InProcess);
+        assert_eq!(d.spec().listen_addr, None);
     }
 
     #[test]

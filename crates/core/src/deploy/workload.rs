@@ -33,6 +33,14 @@ pub trait SourceAdapter: Send + Sync {
 
     /// Nominal per-source input rate, paper-Mbps.
     fn input_mbps(&self) -> f64;
+
+    /// A wire-serializable descriptor a remote `jarvis-node` can rebuild
+    /// this workload's plan and costs from, or `None` when the workload
+    /// cannot be described (closures, ad-hoc generators). TCP deployments
+    /// require `Some`.
+    fn remote_workload(&self) -> Option<crate::deploy::remote::RemoteWorkload> {
+        None
+    }
 }
 
 impl SourceAdapter for ScenarioSpec {
@@ -54,6 +62,10 @@ impl SourceAdapter for ScenarioSpec {
 
     fn input_mbps(&self) -> f64 {
         ScenarioSpec::input_mbps(self)
+    }
+
+    fn remote_workload(&self) -> Option<crate::deploy::remote::RemoteWorkload> {
+        Some(crate::deploy::remote::RemoteWorkload::of_scenario(self))
     }
 }
 

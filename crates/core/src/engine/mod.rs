@@ -17,6 +17,7 @@ pub mod metrics;
 pub mod netwire;
 pub mod source;
 pub mod sp;
+pub mod transport;
 pub mod tree;
 
 use streamkit::batch::Batch;

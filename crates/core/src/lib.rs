@@ -26,6 +26,8 @@
 //! * [`checkpoint`] — intermediate-state checkpointing (§IV-E).
 //! * [`live`] — a threaded (crossbeam-channel) runtime running the same
 //!   pipelines under real concurrency.
+//! * [`node`] — the remote stream-processor executor behind the
+//!   `jarvis-node` binary (TCP transport).
 
 pub mod calibration;
 pub mod checkpoint;
@@ -35,6 +37,7 @@ pub mod engine;
 pub mod experiment;
 pub mod live;
 pub mod multiquery;
+pub mod node;
 pub mod planner;
 pub mod proxy;
 pub mod runtime;
@@ -43,7 +46,7 @@ pub mod strategy;
 
 pub use deploy::{
     BackendKind, DeployError, Deployment, DeploymentBuilder, DeploymentSpec, ExecBackend,
-    RunReport, SourceAdapter,
+    RunReport, SourceAdapter, TransportKind,
 };
 pub use proxy::{ControlProxy, ProxyState, QueryState};
 pub use runtime::{JarvisRuntime, Phase, RuntimeConfig};

@@ -12,6 +12,7 @@
 //! epoch-driven, multi-node variant behind `BackendKind::Live` lives in
 //! [`session::LiveSession`].
 
+pub(crate) mod remote;
 pub mod session;
 
 pub use session::{LiveOutcome, LiveSession};

@@ -1,0 +1,548 @@
+//! Coordinator side of the TCP stream-processor tier.
+//!
+//! [`RemoteCluster`] replaces the in-process SP node threads of
+//! [`super::session::LiveSession`] when a deployment selects
+//! [`TransportKind::Tcp`](crate::deploy::TransportKind): it listens on the
+//! configured endpoint, admits `jarvis-node` registrations (shared-token
+//! auth, versioned handshake), pushes each node its [`NodeSpec`] slice, and
+//! then carries the exact same [`NetPayload`] shard traffic the channel
+//! transport carries — untouched `netwire` envelopes inside
+//! [`FrameKind::Shard`] frames — so digests are bit-identical to the
+//! in-process run. Per-link socket byte counters (TX from the writer
+//! thread, RX from the frame reader) feed `RunReport.node_stats` with
+//! *actual* wire traffic rather than modelled sizes.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::TryRecvError;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver};
+use streamkit::record::Record;
+use streamkit::schema::SchemaRef;
+
+use crate::deploy::remote::{
+    from_body, to_body, Admit, NodeSpec, NodeStatsMsg, Progress, Register, Reject,
+};
+use crate::deploy::{DeployError, DeploymentSpec};
+use crate::engine::netwire::encode_shard_payload;
+use crate::engine::transport::{encode_frame, FrameKind, FrameReader, Link, TransportError};
+use crate::engine::NetPayload;
+
+/// Poll interval while waiting on the nonblocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Poll interval while draining node events against a deadline.
+const EVENT_POLL: Duration = Duration::from_millis(2);
+
+/// Events-channel depth (progress frames are tiny; results frames are
+/// chunked node-side).
+const EVENT_QUEUE: usize = 4096;
+
+/// One admitted node's connection state between handshake and link spawn.
+struct AdmittedNode {
+    stream: TcpStream,
+    reader: FrameReader<TcpStream>,
+    /// Handshake bytes written before the writer thread took over.
+    handshake_tx: u64,
+}
+
+/// A frame (or failure) surfaced by a per-node reader thread.
+enum NodeEvent {
+    Frame {
+        node: u32,
+        kind: FrameKind,
+        body: Bytes,
+    },
+    Broken {
+        node: u32,
+        error: String,
+    },
+}
+
+/// Everything the session needs from the remote tier after `finish`.
+pub(crate) struct RemoteFinish {
+    /// Merged result rows from every node (order-independent digest).
+    pub results: Vec<Record>,
+    /// Final per-shard accounting, one message per node, node order.
+    pub stats: Vec<NodeStatsMsg>,
+    /// Actual socket traffic per node link, TX + RX bytes.
+    pub node_wire_bytes: Vec<u64>,
+}
+
+/// The coordinator's handle on a fleet of admitted `jarvis-node` executors.
+pub(crate) struct RemoteCluster {
+    links: Vec<Link>,
+    readers: Vec<JoinHandle<()>>,
+    rx_counters: Vec<Arc<AtomicU64>>,
+    handshake_tx: Vec<u64>,
+    events: Receiver<NodeEvent>,
+    /// Epochs announced via `epoch_end` (each node must ack every one).
+    epochs_sent: u64,
+    /// Per-node count of `Progress` acks seen so far.
+    progress_seen: Vec<u64>,
+    /// First transport failure observed per node, if any.
+    broken: Vec<Option<String>>,
+    node_timeout: Duration,
+    final_schema: SchemaRef,
+}
+
+impl RemoteCluster {
+    /// Binds the listen endpoint, admits `n_nodes` registrations, pushes
+    /// each node its spec slice, and waits for every `Ready`.
+    ///
+    /// Connections that never speak the protocol (port scanners, garbage)
+    /// are dropped and admission continues; protocol-level failures — wrong
+    /// token, version mismatch, unusable node id — abort the deployment
+    /// with a typed error.
+    pub(crate) fn listen(
+        spec: &DeploymentSpec,
+        n_shards: usize,
+        n_nodes: usize,
+        final_schema: SchemaRef,
+    ) -> Result<RemoteCluster, DeployError> {
+        let addr = spec
+            .listen_addr
+            .expect("validated TCP spec carries a listen endpoint");
+        let workload = spec
+            .workload
+            .remote_workload()
+            .expect("validated TCP spec carries a remotable workload");
+        let listener = TcpListener::bind(addr).map_err(|e| DeployError::InvalidEndpoint {
+            got: format!("{addr}: bind failed: {e}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| DeployError::InvalidEndpoint {
+                got: format!("{addr}: {e}"),
+            })?;
+
+        let deadline = Instant::now() + spec.node_timeout;
+        let mut admitted: Vec<Option<AdmittedNode>> = (0..n_nodes).map(|_| None).collect();
+        let mut registered = 0u32;
+        while (registered as usize) < n_nodes {
+            if Instant::now() >= deadline {
+                return Err(DeployError::NodeTimeout {
+                    waited_ms: spec.node_timeout.as_millis() as u64,
+                    registered,
+                    expected: n_nodes as u32,
+                });
+            }
+            let (stream, peer) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                Err(e) => {
+                    return Err(DeployError::HandshakeFailed {
+                        peer: addr.to_string(),
+                        reason: format!("accept failed: {e}"),
+                    })
+                }
+            };
+            let peer = peer.to_string();
+            if admit(
+                stream,
+                &peer,
+                spec,
+                &workload,
+                n_shards,
+                n_nodes,
+                &mut admitted,
+            )? {
+                registered += 1;
+            }
+        }
+
+        // Every slot is filled: spawn the writer links and reader threads.
+        let (ev_tx, events) = bounded::<NodeEvent>(EVENT_QUEUE);
+        let mut links = Vec::with_capacity(n_nodes);
+        let mut readers = Vec::with_capacity(n_nodes);
+        let mut rx_counters = Vec::with_capacity(n_nodes);
+        let mut handshake_tx = Vec::with_capacity(n_nodes);
+        for (id, slot) in admitted.into_iter().enumerate() {
+            let node = slot.expect("all slots admitted");
+            rx_counters.push(node.reader.counter());
+            handshake_tx.push(node.handshake_tx);
+            links.push(Link::spawn(node.stream));
+            let tx = ev_tx.clone();
+            let mut reader = node.reader;
+            readers.push(thread::spawn(move || loop {
+                match reader.read_frame() {
+                    Ok((kind, body)) => {
+                        let done = kind == FrameKind::Done;
+                        if tx
+                            .send(NodeEvent::Frame {
+                                node: id as u32,
+                                kind,
+                                body,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                        if done {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(NodeEvent::Broken {
+                            node: id as u32,
+                            error: e.to_string(),
+                        });
+                        return;
+                    }
+                }
+            }));
+        }
+        drop(ev_tx);
+
+        Ok(RemoteCluster {
+            links,
+            readers,
+            rx_counters,
+            handshake_tx,
+            events,
+            epochs_sent: 0,
+            progress_seen: vec![0; n_nodes],
+            broken: vec![None; n_nodes],
+            node_timeout: spec.node_timeout,
+            final_schema,
+        })
+    }
+
+    /// The per-node writer links, node order (the dispatcher thread frames
+    /// shard traffic onto these directly).
+    pub(crate) fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Ships one shard payload to its owner node. Returns the framed wire
+    /// size (what actually enters the socket, header included).
+    pub(crate) fn send_shard(&self, owner: usize, payload: &NetPayload) -> u64 {
+        let body = encode_shard_payload(payload);
+        self.links[owner].send(FrameKind::Shard, &body)
+    }
+
+    /// Announces an epoch boundary to every node and drains any progress
+    /// acks that have arrived so far (non-blocking; full reconciliation
+    /// happens in [`RemoteCluster::finish`]).
+    pub(crate) fn epoch_end(&mut self, epoch: u64) {
+        for link in &self.links {
+            link.send(FrameKind::EpochEnd, &epoch.to_le_bytes());
+        }
+        self.epochs_sent += 1;
+        while let Ok(ev) = self.events.try_recv() {
+            self.note_epoch_event(ev);
+        }
+    }
+
+    /// Records an event observed between epochs. Only `Progress` frames are
+    /// legal here; anything else marks the node broken.
+    fn note_epoch_event(&mut self, ev: NodeEvent) {
+        match ev {
+            NodeEvent::Frame {
+                node,
+                kind: FrameKind::Progress,
+                body,
+            } => match from_body::<Progress>(&body) {
+                Ok(p) if p.node_id == node => self.progress_seen[node as usize] += 1,
+                Ok(p) => {
+                    self.mark_broken(node, format!("progress claims node {}", p.node_id));
+                }
+                Err(e) => self.mark_broken(node, e),
+            },
+            NodeEvent::Frame { node, kind, .. } => {
+                self.mark_broken(node, format!("unexpected {kind:?} frame mid-run"));
+            }
+            NodeEvent::Broken { node, error } => self.mark_broken(node, error),
+        }
+    }
+
+    fn mark_broken(&mut self, node: u32, reason: String) {
+        let slot = &mut self.broken[node as usize];
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+    }
+
+    /// Sends `Finish` to every node, collects results / stats / `Done` from
+    /// all of them (bounded by the node timeout), reconciles progress acks,
+    /// and returns the merged rows plus per-link socket byte totals.
+    pub(crate) fn finish(mut self) -> Result<RemoteFinish, DeployError> {
+        for link in &self.links {
+            link.send(FrameKind::Finish, &[]);
+        }
+        let n = self.links.len();
+        let mut done = vec![false; n];
+        let mut stats: Vec<Option<NodeStatsMsg>> = vec![None; n];
+        let mut results = Vec::new();
+        let deadline = Instant::now() + self.node_timeout;
+        while done.iter().any(|d| !d) {
+            if let Some((node, reason)) = self
+                .broken
+                .iter()
+                .enumerate()
+                .find_map(|(i, b)| b.as_ref().map(|r| (i, r.clone())))
+            {
+                return Err(DeployError::NodeFailed {
+                    node: node as u32,
+                    reason,
+                });
+            }
+            if Instant::now() >= deadline {
+                return Err(DeployError::NodeTimeout {
+                    waited_ms: self.node_timeout.as_millis() as u64,
+                    registered: done.iter().filter(|d| **d).count() as u32,
+                    expected: n as u32,
+                });
+            }
+            let ev = match self.events.try_recv() {
+                Ok(ev) => ev,
+                Err(TryRecvError::Empty) => {
+                    thread::sleep(EVENT_POLL);
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => {
+                    let node = done.iter().position(|d| !d).unwrap_or(0) as u32;
+                    return Err(DeployError::NodeFailed {
+                        node,
+                        reason: "link closed before Done".to_string(),
+                    });
+                }
+            };
+            match ev {
+                NodeEvent::Frame {
+                    node,
+                    kind: FrameKind::Progress,
+                    ..
+                } => {
+                    // Epoch acks still in flight when Finish went out.
+                    self.progress_seen[node as usize] += 1;
+                }
+                NodeEvent::Frame {
+                    node,
+                    kind: FrameKind::Results,
+                    body,
+                } => {
+                    let batch = streamkit::encode::decode_batch(self.final_schema.clone(), body)
+                        .map_err(|e| DeployError::NodeFailed {
+                            node,
+                            reason: format!("results frame undecodable: {e}"),
+                        })?;
+                    results.extend(batch.to_records());
+                }
+                NodeEvent::Frame {
+                    node,
+                    kind: FrameKind::NodeStats,
+                    body,
+                } => {
+                    let msg: NodeStatsMsg = from_body(&body)
+                        .map_err(|e| DeployError::NodeFailed { node, reason: e })?;
+                    if msg.node_id != node {
+                        return Err(DeployError::NodeFailed {
+                            node,
+                            reason: format!("stats claim node {}", msg.node_id),
+                        });
+                    }
+                    stats[node as usize] = Some(msg);
+                }
+                NodeEvent::Frame {
+                    node,
+                    kind: FrameKind::Done,
+                    ..
+                } => {
+                    if stats[node as usize].is_none() {
+                        return Err(DeployError::NodeFailed {
+                            node,
+                            reason: "Done before NodeStats".to_string(),
+                        });
+                    }
+                    done[node as usize] = true;
+                }
+                NodeEvent::Frame { node, kind, .. } => {
+                    return Err(DeployError::NodeFailed {
+                        node,
+                        reason: format!("unexpected {kind:?} frame during finish"),
+                    });
+                }
+                NodeEvent::Broken { node, error } => {
+                    return Err(DeployError::NodeFailed {
+                        node,
+                        reason: error,
+                    });
+                }
+            }
+        }
+
+        // Every node must have acked every announced epoch boundary.
+        for (node, seen) in self.progress_seen.iter().enumerate() {
+            if *seen != self.epochs_sent {
+                return Err(DeployError::NodeFailed {
+                    node: node as u32,
+                    reason: format!("acked {seen} of {} epoch boundaries", self.epochs_sent),
+                });
+            }
+        }
+
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
+        }
+        let mut node_wire_bytes = Vec::with_capacity(n);
+        for (i, link) in self.links.iter_mut().enumerate() {
+            link.close();
+            node_wire_bytes.push(
+                link.bytes_sent()
+                    + self.handshake_tx[i]
+                    + self.rx_counters[i].load(Ordering::Relaxed),
+            );
+        }
+        Ok(RemoteFinish {
+            results,
+            stats: stats
+                .into_iter()
+                .map(|s| s.expect("done implies stats"))
+                .collect(),
+            node_wire_bytes,
+        })
+    }
+}
+
+impl Drop for RemoteCluster {
+    fn drop(&mut self) {
+        for link in &mut self.links {
+            link.close();
+        }
+        // Reader threads exit on their own once the peer sockets close;
+        // detach rather than block an error path on a hung node.
+        self.readers.drain(..).for_each(drop);
+    }
+}
+
+/// Runs the handshake on one accepted connection.
+///
+/// Returns `Ok(true)` when a node was admitted into a free slot,
+/// `Ok(false)` when the connection was not speaking the protocol and was
+/// dropped, and `Err` on protocol-level failures that abort the deployment.
+fn admit(
+    stream: TcpStream,
+    peer: &str,
+    spec: &DeploymentSpec,
+    workload: &crate::deploy::remote::RemoteWorkload,
+    n_shards: usize,
+    n_nodes: usize,
+    admitted: &mut [Option<AdmittedNode>],
+) -> Result<bool, DeployError> {
+    let fail = |reason: String| DeployError::HandshakeFailed {
+        peer: peer.to_string(),
+        reason,
+    };
+    let io_fail = |what: &str| {
+        let what = what.to_string();
+        move |e: std::io::Error| DeployError::HandshakeFailed {
+            peer: peer.to_string(),
+            reason: format!("{what}: {e}"),
+        }
+    };
+    stream
+        .set_nonblocking(false)
+        .map_err(io_fail("set_nonblocking"))?;
+    stream
+        .set_read_timeout(Some(spec.handshake_timeout))
+        .map_err(io_fail("set_read_timeout"))?;
+    let _ = stream.set_nodelay(true);
+    let clone = stream.try_clone().map_err(io_fail("clone stream"))?;
+    let mut reader = FrameReader::new(clone);
+
+    let (kind, body) = match reader.read_frame() {
+        Ok(frame) => frame,
+        Err(TransportError::VersionMismatch { got, want }) => {
+            return Err(fail(format!(
+                "protocol version mismatch: peer speaks v{got}, coordinator wants v{want}"
+            )));
+        }
+        // Not our protocol (garbage, scanners, half-open probes): drop the
+        // connection and keep admitting.
+        Err(_) => return Ok(false),
+    };
+    if kind != FrameKind::Register {
+        return Ok(false);
+    }
+    let reg: Register = from_body(&body).map_err(fail)?;
+    let mut handshake_tx = 0u64;
+    if reg.token != spec.auth_token {
+        let _ = write_frame(
+            &stream,
+            FrameKind::Reject,
+            &to_body(&Reject {
+                reason: "authentication failed".to_string(),
+            }),
+        );
+        return Err(fail("authentication failed (bad token)".to_string()));
+    }
+    let node_id = match reg.node_id {
+        Some(id) if (id as usize) < n_nodes && admitted[id as usize].is_none() => id,
+        Some(id) => {
+            let reason = if (id as usize) >= n_nodes {
+                format!("node id {id} out of range (cluster has {n_nodes} slots)")
+            } else {
+                format!("node id {id} already registered")
+            };
+            let _ = write_frame(
+                &stream,
+                FrameKind::Reject,
+                &to_body(&Reject {
+                    reason: reason.clone(),
+                }),
+            );
+            return Err(fail(reason));
+        }
+        None => admitted
+            .iter()
+            .position(|slot| slot.is_none())
+            .expect("admission loop only runs with free slots") as u32,
+    };
+
+    handshake_tx += write_frame(&stream, FrameKind::Admit, &to_body(&Admit { node_id }))
+        .map_err(io_fail("send Admit"))?;
+    let node_spec = NodeSpec {
+        node_id,
+        n_nodes: n_nodes as u32,
+        n_shards: n_shards as u32,
+        sources: spec.sources,
+        workload: workload.clone(),
+        rules: spec.rules.clone(),
+    };
+    handshake_tx += write_frame(&stream, FrameKind::Spec, &to_body(&node_spec))
+        .map_err(io_fail("send Spec"))?;
+
+    // A registered node failing to come Ready is fatal: its shard slice
+    // has nowhere else to go.
+    match reader.read_frame() {
+        Ok((FrameKind::Ready, _)) => {}
+        Ok((other, _)) => return Err(fail(format!("expected Ready, got {other:?}"))),
+        Err(e) => return Err(fail(format!("node {node_id} never came Ready: {e}"))),
+    }
+    stream
+        .set_read_timeout(None)
+        .map_err(io_fail("clear read timeout"))?;
+    admitted[node_id as usize] = Some(AdmittedNode {
+        stream,
+        reader,
+        handshake_tx,
+    });
+    Ok(true)
+}
+
+/// Writes one frame synchronously (handshake only — the run-time path goes
+/// through [`Link`]'s writer thread). Returns the framed size.
+fn write_frame(mut stream: &TcpStream, kind: FrameKind, body: &[u8]) -> std::io::Result<u64> {
+    let frame = encode_frame(kind, body);
+    stream.write_all(&frame)?;
+    Ok(frame.len() as u64)
+}

@@ -54,10 +54,12 @@ use streamkit::schema::SchemaRef;
 use streamkit::shard::{node_of_shard, shard_of_values, shards_of_node};
 
 use crate::calibration;
-use crate::deploy::{DeployError, DeploymentSpec};
+use crate::deploy::{DeployError, DeploymentSpec, TransportKind};
 use crate::engine::block::EpochSource;
 use crate::engine::netwire::{decode_shard_payload, encode_shard_payload};
+use crate::engine::transport::{FrameKind, Link};
 use crate::engine::NetPayload;
+use crate::live::remote::RemoteCluster;
 use crate::planner::PlannedQuery;
 use crate::proxy::{ControlProxy, QueryState};
 use crate::runtime::JarvisRuntime;
@@ -104,22 +106,23 @@ struct Worker {
 }
 
 /// One virtual shard's pipelines: a keyed chain per source plus the shard's
-/// accumulated results and counters.
-struct ShardSet {
+/// accumulated results and counters. Shared with the remote executor
+/// ([`crate::node`]), which hosts the same sets behind a TCP link.
+pub(crate) struct ShardSet {
     /// `pipelines[source]` = the chain from the stateful boundary down.
-    pipelines: Vec<Vec<Box<dyn Operator>>>,
+    pub(crate) pipelines: Vec<Vec<Box<dyn Operator>>>,
     /// Rows that traversed a full chain on this shard.
-    collected: Vec<Record>,
+    pub(crate) collected: Vec<Record>,
     /// Input rows routed into this shard.
-    drained_records: u64,
+    pub(crate) drained_records: u64,
     /// Counterfactual compute charged to this shard, µs.
-    usage_us: f64,
+    pub(crate) usage_us: f64,
 }
 
 impl ShardSet {
     /// Runs a batch through the pipeline suffix starting at `rel`, charging
     /// the shard's counterfactual budget from the calibrated cost model.
-    fn process(&mut self, source: usize, rel: usize, batch: Batch) {
+    pub(crate) fn process(&mut self, source: usize, rel: usize, batch: Batch) {
         let ops = &mut self.pipelines[source];
         if rel >= ops.len() {
             self.collected.extend(batch.to_records());
@@ -149,6 +152,17 @@ struct NodeSet {
     owned: Range<usize>,
     /// One [`ShardSet`] per owned shard, indexed by `shard - owned.start`.
     sets: Vec<ShardSet>,
+}
+
+/// Where the SP node pool lives: in-process worker threads behind bounded
+/// channels (the default), or remote `jarvis-node` executors behind real
+/// TCP links. Both carry identical shard payloads, so results are
+/// bit-identical across tiers.
+enum SpTier {
+    /// One [`NodeSet`] per node, executed by scoped worker threads.
+    InProcess(Vec<NodeSet>),
+    /// Admitted remote executors (TCP transport).
+    Remote(RemoteCluster),
 }
 
 /// Final outcome of a live session.
@@ -193,7 +207,9 @@ pub struct LiveSession {
     /// Per-source stateless prefix of the SP replica (dispatcher side).
     sp_prefix: Vec<Vec<Box<dyn Operator>>>,
     /// The SP node pool; each node owns a contiguous slice of the ring.
-    nodes: Vec<NodeSet>,
+    tier: SpTier,
+    /// SP nodes dividing the ring.
+    n_nodes: usize,
     /// Width of the fixed virtual-shard ring.
     n_shards: usize,
     /// Index of the stateful boundary in the full chain.
@@ -283,38 +299,56 @@ impl LiveSession {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let nodes = (0..n_nodes)
-            .map(|id| {
-                let owned = shards_of_node(id, n_shards, n_nodes);
-                let sets = owned
-                    .clone()
-                    .map(|_| {
-                        let pipelines = (0..n)
-                            .map(|_| {
-                                build_pipeline(&planned.plan, &costs, AggRole::Final)
-                                    .map(|mut ops| ops.split_off(boundary))
-                            })
-                            .collect::<Result<Vec<_>, _>>()?;
-                        Ok(ShardSet {
-                            pipelines,
-                            collected: Vec::new(),
-                            drained_records: 0,
-                            usage_us: 0.0,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, DeployError>>()?;
-                Ok(NodeSet { owned, sets })
-            })
-            .collect::<Result<Vec<_>, DeployError>>()?;
         let edge_schemas = planned.plan.edge_schemas()?;
         let input_schema = edge_schemas[0].clone();
         let suffix_schemas: Vec<SchemaRef> = edge_schemas[boundary..].to_vec();
+        let tier = match spec.transport {
+            TransportKind::InProcess => {
+                let nodes = (0..n_nodes)
+                    .map(|id| {
+                        let owned = shards_of_node(id, n_shards, n_nodes);
+                        let sets = owned
+                            .clone()
+                            .map(|_| {
+                                let pipelines = (0..n)
+                                    .map(|_| {
+                                        build_pipeline(&planned.plan, &costs, AggRole::Final)
+                                            .map(|mut ops| ops.split_off(boundary))
+                                    })
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                Ok(ShardSet {
+                                    pipelines,
+                                    collected: Vec::new(),
+                                    drained_records: 0,
+                                    usage_us: 0.0,
+                                })
+                            })
+                            .collect::<Result<Vec<_>, DeployError>>()?;
+                        Ok(NodeSet { owned, sets })
+                    })
+                    .collect::<Result<Vec<_>, DeployError>>()?;
+                SpTier::InProcess(nodes)
+            }
+            TransportKind::Tcp => {
+                let final_schema = suffix_schemas
+                    .last()
+                    .expect("edge schemas cover the output edge")
+                    .clone();
+                SpTier::Remote(RemoteCluster::listen(
+                    spec,
+                    n_shards,
+                    n_nodes,
+                    final_schema,
+                )?)
+            }
+        };
         Ok(LiveSession {
             planned,
             input_schema,
             workers,
             sp_prefix,
-            nodes,
+            tier,
+            n_nodes,
             n_shards,
             boundary,
             shard_keys,
@@ -357,7 +391,7 @@ impl LiveSession {
 
     /// SP nodes in the pool.
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.n_nodes
     }
 
     /// Total rows generated so far.
@@ -400,17 +434,27 @@ impl LiveSession {
             .collect();
 
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(256);
-        let n_nodes = self.nodes.len();
-        // Per-node bounded channels emulating network links: cross-node
-        // payloads travel as encoded wire frames, ingress-local ones as
-        // in-process values (no link is crossed, so no codec is paid).
-        let mut node_txs = Vec::with_capacity(n_nodes);
-        let mut node_rxs = Vec::with_capacity(n_nodes);
-        for _ in 0..n_nodes {
-            let (ntx, nrx): (Sender<NodeMsg>, Receiver<NodeMsg>) = bounded(256);
-            node_txs.push(ntx);
-            node_rxs.push(nrx);
-        }
+        let n_nodes = self.n_nodes;
+        // Wire the dispatcher to the node pool. In-process: per-node bounded
+        // channels emulating network links (cross-node payloads travel as
+        // encoded wire frames, ingress-local ones as in-process values — no
+        // link crossed, no codec paid). Remote: every payload is framed onto
+        // the owner's real TCP link.
+        let mut node_rxs = Vec::new();
+        let mut local_nodes: Option<&mut Vec<NodeSet>> = None;
+        let sink = match &mut self.tier {
+            SpTier::InProcess(nodes) => {
+                let mut node_txs = Vec::with_capacity(n_nodes);
+                for _ in 0..n_nodes {
+                    let (ntx, nrx): (Sender<NodeMsg>, Receiver<NodeMsg>) = bounded(256);
+                    node_txs.push(ntx);
+                    node_rxs.push(nrx);
+                }
+                local_nodes = Some(nodes);
+                LinkSink::Channels(node_txs)
+            }
+            SpTier::Remote(cluster) => LinkSink::Remote(cluster.links()),
+        };
         let costs = &self.costs;
         let plan = &self.planned.plan;
         let boundary = self.boundary;
@@ -443,7 +487,8 @@ impl LiveSession {
             // partitioner feeding the node pool (cross-node hops encoded).
             scope.spawn(move || {
                 let mut links = Links {
-                    node_txs,
+                    sink,
+                    n_nodes,
                     shard_keys,
                     n_shards,
                     epoch,
@@ -495,9 +540,12 @@ impl LiveSession {
                 drop(links);
             });
 
-            // The node workers: each decodes its link's cross-node frames
-            // and runs the owned shard pipelines, one thread per SP node.
-            for (node, nrx) in self.nodes.iter_mut().zip(node_rxs) {
+            // The node workers (in-process tier only): each decodes its
+            // link's cross-node frames and runs the owned shard pipelines,
+            // one thread per SP node. Remote tiers have no local workers —
+            // the frames land in `jarvis-node` processes.
+            let local_nodes = local_nodes.map_or(&mut [][..], |nodes| nodes.as_mut_slice());
+            for (node, nrx) in local_nodes.iter_mut().zip(node_rxs) {
                 scope.spawn(move || {
                     while let Ok(msg) = nrx.recv() {
                         let payload = match msg {
@@ -533,7 +581,12 @@ impl LiveSession {
             }
         });
 
-        // Epoch boundary: counterfactual budget classification + runtime.
+        // Epoch boundary: announce it to remote executors (their progress
+        // acks reconcile at finish), then run counterfactual budget
+        // classification + the runtime state machine per source.
+        if let SpTier::Remote(cluster) = &mut self.tier {
+            cluster.epoch_end(self.epoch);
+        }
         for worker in &mut self.workers {
             self.input_records += worker.input_records;
             self.input_bytes += worker.input_bytes;
@@ -580,10 +633,14 @@ impl LiveSession {
                 for prefix in &mut self.sp_prefix {
                     swap(prefix);
                 }
-                for node in &mut self.nodes {
-                    for set in &mut node.sets {
-                        for pipeline in &mut set.pipelines {
-                            swap(pipeline);
+                // TCP deployments reject scheduled events at validation, so
+                // table swaps never need to reach a remote executor.
+                if let SpTier::InProcess(nodes) = &mut self.tier {
+                    for node in nodes {
+                        for set in &mut node.sets {
+                            for pipeline in &mut set.pipelines {
+                                swap(pipeline);
+                            }
                         }
                     }
                 }
@@ -601,13 +658,28 @@ impl LiveSession {
     /// Finishes the session: ships residual partial state (routed by key
     /// ownership to the owning shard and node, like the live path), closes
     /// every window on every shard pipeline, and returns the merged results.
-    pub fn finish(mut self) -> LiveOutcome {
+    ///
+    /// Infallible convenience for in-process sessions; TCP-backed sessions
+    /// should prefer [`LiveSession::try_finish`], whose transport errors
+    /// this unwraps.
+    pub fn finish(self) -> LiveOutcome {
+        self.try_finish().expect("live session finish failed")
+    }
+
+    /// [`LiveSession::finish`] with transport failures surfaced as typed
+    /// errors: a remote node dying mid-run, missing epoch acks, undecodable
+    /// results, or the collection deadline expiring.
+    pub fn try_finish(mut self) -> Result<LiveOutcome, DeployError> {
         self.finished = true;
         let mut drained_records = 0u64;
         let mut drained_bytes = 0u64;
         let mut state_deltas = 0u64;
         let boundary = self.boundary;
         let n_shards = self.n_shards;
+        let n_nodes = self.n_nodes;
+        // Residual per-shard state still held by source-side operators:
+        // `(shard, source, rel, entries)` routed by key ownership.
+        let mut residuals: Vec<(usize, usize, usize, Vec<GroupPartialEntry>)> = Vec::new();
         for (source, worker) in self.workers.iter_mut().enumerate() {
             drained_records += worker.drained_records;
             drained_bytes += worker.drained_bytes;
@@ -628,45 +700,88 @@ impl LiveSession {
                 for entry in entries {
                     per_shard[shard_of_values(&entry.key, n_shards)].push(entry);
                 }
-                let n_nodes = self.nodes.len();
                 for (s, part) in per_shard.into_iter().enumerate() {
-                    if part.is_empty() {
-                        continue;
+                    if !part.is_empty() {
+                        residuals.push((s, source, rel, part));
                     }
-                    let node = &mut self.nodes[node_of_shard(s, n_shards, n_nodes)];
+                }
+            }
+        }
+        match &mut self.tier {
+            SpTier::InProcess(nodes) => {
+                for (s, source, rel, part) in residuals {
+                    let node = &mut nodes[node_of_shard(s, n_shards, n_nodes)];
                     node.sets[s - node.owned.start].pipelines[source][rel]
                         .merge_state(StatePartial::Group(part));
                 }
             }
+            SpTier::Remote(cluster) => {
+                for (s, source, rel, part) in residuals {
+                    let payload = NetPayload::ShardState {
+                        shard: s as u32,
+                        epoch: self.epoch,
+                        source: source as u32,
+                        rel: rel as u32,
+                        delta: StatePartial::Group(part),
+                    };
+                    let bytes = cluster.send_shard(node_of_shard(s, n_shards, n_nodes), &payload);
+                    self.shard_wire_bytes[s] += bytes;
+                }
+            }
         }
         // Close all windows on every shard; emissions cascade through the
-        // rest of that shard's chain.
+        // rest of that shard's chain. In-process sets drain locally; remote
+        // executors drain on their side and stream the rows back.
         let mut results = Vec::new();
         let mut shard_drained_records = vec![0u64; n_shards];
         let mut shard_usage_us = vec![0f64; n_shards];
-        let mut node_drained_records = Vec::with_capacity(self.nodes.len());
-        let mut node_usage_us = Vec::with_capacity(self.nodes.len());
-        for node in &mut self.nodes {
-            let mut drained = 0u64;
-            let mut usage = 0f64;
-            for (s, set) in node.owned.clone().zip(node.sets.iter_mut()) {
-                for pipeline in &mut set.pipelines {
-                    set.collected
-                        .extend(streamkit::physical::drain_windows_rows(
-                            pipeline,
-                            streamkit::time::TS_MAX,
-                        ));
+        let mut node_drained_records = Vec::with_capacity(n_nodes);
+        let mut node_usage_us = Vec::with_capacity(n_nodes);
+        let mut node_wire_bytes = self.node_wire_bytes;
+        match self.tier {
+            SpTier::InProcess(mut nodes) => {
+                for node in &mut nodes {
+                    let mut drained = 0u64;
+                    let mut usage = 0f64;
+                    for (s, set) in node.owned.clone().zip(node.sets.iter_mut()) {
+                        for pipeline in &mut set.pipelines {
+                            set.collected
+                                .extend(streamkit::physical::drain_windows_rows(
+                                    pipeline,
+                                    streamkit::time::TS_MAX,
+                                ));
+                        }
+                        results.append(&mut set.collected);
+                        shard_drained_records[s] = set.drained_records;
+                        shard_usage_us[s] = set.usage_us;
+                        drained += set.drained_records;
+                        usage += set.usage_us;
+                    }
+                    node_drained_records.push(drained);
+                    node_usage_us.push(usage);
                 }
-                results.append(&mut set.collected);
-                shard_drained_records[s] = set.drained_records;
-                shard_usage_us[s] = set.usage_us;
-                drained += set.drained_records;
-                usage += set.usage_us;
             }
-            node_drained_records.push(drained);
-            node_usage_us.push(usage);
+            SpTier::Remote(cluster) => {
+                let fin = cluster.finish()?;
+                results = fin.results;
+                for msg in &fin.stats {
+                    let mut drained = 0u64;
+                    let mut usage = 0f64;
+                    for sc in &msg.shards {
+                        shard_drained_records[sc.shard as usize] = sc.drained_records;
+                        shard_usage_us[sc.shard as usize] = sc.usage_us;
+                        drained += sc.drained_records;
+                        usage += sc.usage_us;
+                    }
+                    node_drained_records.push(drained);
+                    node_usage_us.push(usage);
+                }
+                // Actual socket traffic (TX + RX) per node link, replacing
+                // the modelled per-ingress accounting.
+                node_wire_bytes = fin.node_wire_bytes;
+            }
         }
-        LiveOutcome {
+        Ok(LiveOutcome {
             results,
             drained_records,
             drained_bytes: drained_bytes as f64,
@@ -679,8 +794,8 @@ impl LiveSession {
             shard_wire_bytes: self.shard_wire_bytes,
             node_drained_records,
             node_usage_us,
-            node_wire_bytes: self.node_wire_bytes,
-        }
+            node_wire_bytes,
+        })
     }
 }
 
@@ -695,11 +810,21 @@ enum NodeMsg {
     Wire(Bytes),
 }
 
-/// The dispatcher's view of the per-node links: ring geometry, the encoded
-/// channels, and the wire accounting charged when a payload's owning node
-/// differs from its source's ingress node.
+/// Where the dispatcher's shard payloads land: in-process node channels or
+/// the remote executors' TCP links.
+enum LinkSink<'a> {
+    /// Bounded channels into the scoped node worker threads.
+    Channels(Vec<Sender<NodeMsg>>),
+    /// The admitted `jarvis-node` links (every payload is framed).
+    Remote(&'a [Link]),
+}
+
+/// The dispatcher's view of the per-node links: ring geometry, the sink,
+/// and the wire accounting charged when a payload's owning node differs
+/// from its source's ingress node.
 struct Links<'a> {
-    node_txs: Vec<Sender<NodeMsg>>,
+    sink: LinkSink<'a>,
+    n_nodes: usize,
     shard_keys: &'a [usize],
     n_shards: usize,
     epoch: u64,
@@ -713,23 +838,34 @@ impl Links<'_> {
     /// The node terminating `source`'s uplink (same placement the emulated
     /// cluster uses).
     fn ingress(&self, source: usize) -> usize {
-        source % self.node_txs.len()
+        source % self.n_nodes
     }
 
-    /// Sends one payload over the owning node's link: ingress-local traffic
-    /// as an in-process value, cross-node traffic encoded and charged wire
-    /// accounting.
+    /// Sends one payload over the owning node's link. In-process:
+    /// ingress-local traffic as an in-process value, cross-node traffic
+    /// encoded and charged wire accounting. Remote: everything is framed
+    /// onto the owner's socket and charged its actual framed size.
     fn ship(&mut self, source: usize, shard: usize, payload: NetPayload) {
-        let owner = node_of_shard(shard, self.n_shards, self.node_txs.len());
-        let msg = if owner == self.ingress(source) {
-            NodeMsg::Local(payload)
-        } else {
-            let bytes = payload.wire_bytes() as u64;
-            self.shard_wire[shard] += bytes;
-            self.node_wire[self.ingress(source)] += bytes;
-            NodeMsg::Wire(encode_shard_payload(&payload))
-        };
-        self.node_txs[owner].send(msg).expect("node worker alive");
+        let owner = node_of_shard(shard, self.n_shards, self.n_nodes);
+        match &self.sink {
+            LinkSink::Channels(node_txs) => {
+                let msg = if owner == self.ingress(source) {
+                    NodeMsg::Local(payload)
+                } else {
+                    let bytes = payload.wire_bytes() as u64;
+                    self.shard_wire[shard] += bytes;
+                    self.node_wire[self.ingress(source)] += bytes;
+                    NodeMsg::Wire(encode_shard_payload(&payload))
+                };
+                node_txs[owner].send(msg).expect("node worker alive");
+            }
+            LinkSink::Remote(links) => {
+                let body = encode_shard_payload(&payload);
+                let bytes = links[owner].send(FrameKind::Shard, &body);
+                self.shard_wire[shard] += bytes;
+                self.node_wire[self.ingress(source)] += bytes;
+            }
+        }
     }
 
     /// Partitions a boundary batch over the ring and ships each non-empty

@@ -1,0 +1,488 @@
+//! The remote stream-processor executor behind the `jarvis-node` binary.
+//!
+//! [`run_node`] dials a coordinator, authenticates with the shared token,
+//! receives its [`NodeSpec`] slice, replans the workload locally (planning
+//! is deterministic, so coordinator and node agree on the chain, the shard
+//! boundary, and every edge schema), instantiates the
+//! [`ShardSet`](crate::live::session::ShardSet)s for its owned ring slice,
+//! and serves shard traffic until the coordinator finishes the run — at
+//! which point it drains every window, streams the result rows and final
+//! per-shard counters back, and exits. The serve loop is single-threaded:
+//! the coordinator's per-link FIFO ordering guarantees `EpochEnd` and
+//! `Finish` arrive after every data frame they follow.
+
+use std::fmt;
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use streamkit::batch::Batch;
+use streamkit::ops::AggRole;
+use streamkit::physical::build_pipeline;
+use streamkit::shard::shards_of_node;
+
+use crate::deploy::remote::{
+    from_body, to_body, Admit, NodeSpec, NodeStatsMsg, Progress, Register, Reject, ShardCounters,
+};
+use crate::engine::netwire::decode_shard_payload;
+use crate::engine::transport::{encode_frame, FrameKind, FrameReader, Link, TransportError};
+use crate::engine::NetPayload;
+use crate::live::session::ShardSet;
+use crate::planner::plan_query;
+
+/// Rows per `Results` frame when streaming collected rows back.
+const RESULTS_CHUNK: usize = 2048;
+
+/// Reconnect poll interval while the coordinator is not yet listening.
+const CONNECT_POLL: Duration = Duration::from_millis(50);
+
+/// How a node run is configured (mirrors the `jarvis-node` CLI flags).
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Coordinator endpoint, `host:port`.
+    pub coordinator: String,
+    /// Shared-secret token presented at registration.
+    pub token: String,
+    /// Requested node id; `None` lets the coordinator assign one.
+    pub node_id: Option<u32>,
+    /// How long to keep retrying the initial connect (the coordinator may
+    /// not be listening yet).
+    pub connect_timeout: Duration,
+}
+
+impl NodeConfig {
+    /// A config with the default connect timeout.
+    pub fn new(coordinator: impl Into<String>, token: impl Into<String>) -> NodeConfig {
+        NodeConfig {
+            coordinator: coordinator.into(),
+            token: token.into(),
+            node_id: None,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a node run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The coordinator endpoint never accepted a connection.
+    Connect {
+        /// The endpoint dialled.
+        endpoint: String,
+        /// The last connection error observed.
+        last_error: String,
+    },
+    /// The coordinator refused the registration.
+    Rejected {
+        /// The coordinator's refusal reason.
+        reason: String,
+    },
+    /// The link failed at the transport layer.
+    Transport(TransportError),
+    /// The peer sent something outside the protocol's state machine.
+    Protocol {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The received spec could not be turned into a runnable engine.
+    Build {
+        /// The planner/pipeline error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Connect {
+                endpoint,
+                last_error,
+            } => write!(f, "cannot connect to coordinator {endpoint}: {last_error}"),
+            NodeError::Rejected { reason } => write!(f, "registration rejected: {reason}"),
+            NodeError::Transport(e) => write!(f, "transport failure: {e}"),
+            NodeError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            NodeError::Build { reason } => write!(f, "cannot build engine from spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<TransportError> for NodeError {
+    fn from(e: TransportError) -> NodeError {
+        NodeError::Transport(e)
+    }
+}
+
+/// What a completed node run did, for operator logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// The node id the coordinator assigned.
+    pub node_id: u32,
+    /// Epoch boundaries observed.
+    pub epochs: u64,
+    /// Shard data frames processed.
+    pub shard_frames: u64,
+    /// Result rows streamed back.
+    pub result_rows: u64,
+}
+
+/// Dials the coordinator, executes the assigned shard slice, and streams
+/// results back. Returns once the coordinator's `Finish` is fully answered.
+pub fn run_node(config: &NodeConfig) -> Result<NodeSummary, NodeError> {
+    let stream = connect(config)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new(stream.try_clone().map_err(|e| NodeError::Connect {
+        endpoint: config.coordinator.clone(),
+        last_error: e.to_string(),
+    })?);
+
+    // Register → Admit/Reject → Spec.
+    write_frame(
+        &stream,
+        FrameKind::Register,
+        &to_body(&Register {
+            token: config.token.clone(),
+            node_id: config.node_id,
+        }),
+    )?;
+    let node_id = match reader.read_frame()? {
+        (FrameKind::Admit, body) => {
+            let admit: Admit = from_body(&body).map_err(|reason| NodeError::Protocol { reason })?;
+            admit.node_id
+        }
+        (FrameKind::Reject, body) => {
+            let reject: Reject =
+                from_body(&body).map_err(|reason| NodeError::Protocol { reason })?;
+            return Err(NodeError::Rejected {
+                reason: reject.reason,
+            });
+        }
+        (other, _) => {
+            return Err(NodeError::Protocol {
+                reason: format!("expected Admit or Reject, got {other:?}"),
+            })
+        }
+    };
+    let spec: NodeSpec = match reader.read_frame()? {
+        (FrameKind::Spec, body) => {
+            from_body(&body).map_err(|reason| NodeError::Protocol { reason })?
+        }
+        (other, _) => {
+            return Err(NodeError::Protocol {
+                reason: format!("expected Spec, got {other:?}"),
+            })
+        }
+    };
+    let mut engine = NodeEngine::build(node_id, &spec)?;
+
+    // Ready, then serve until Finish.
+    let mut link = Link::spawn(stream);
+    link.send(FrameKind::Ready, &[]);
+    let mut epochs = 0u64;
+    let mut shard_frames = 0u64;
+    let result_rows;
+    loop {
+        let (kind, body) = reader.read_frame()?;
+        match kind {
+            FrameKind::Shard => {
+                engine.ingest(body)?;
+                shard_frames += 1;
+            }
+            FrameKind::EpochEnd => {
+                let epoch = parse_epoch(&body)?;
+                epochs += 1;
+                let (drained_records, usage_us) = engine.totals();
+                link.send(
+                    FrameKind::Progress,
+                    &to_body(&Progress {
+                        node_id,
+                        epoch,
+                        drained_records,
+                        usage_us,
+                    }),
+                );
+            }
+            FrameKind::Finish => {
+                let rows = engine.drain()?;
+                result_rows = rows.len() as u64;
+                for chunk in rows.chunks(RESULTS_CHUNK) {
+                    let batch =
+                        Batch::from_records(engine.final_schema.clone(), chunk).map_err(|e| {
+                            NodeError::Build {
+                                reason: format!("result rows do not fit the output schema: {e}"),
+                            }
+                        })?;
+                    link.send(FrameKind::Results, &streamkit::encode::encode_batch(&batch));
+                }
+                link.send(FrameKind::NodeStats, &to_body(&engine.stats(node_id)));
+                link.send(FrameKind::Done, &[]);
+                break;
+            }
+            other => {
+                return Err(NodeError::Protocol {
+                    reason: format!("unexpected {other:?} frame while serving"),
+                })
+            }
+        }
+    }
+    link.close();
+    if link.is_broken() {
+        return Err(NodeError::Transport(TransportError::Closed));
+    }
+    Ok(NodeSummary {
+        node_id,
+        epochs,
+        shard_frames,
+        result_rows,
+    })
+}
+
+/// Dials the coordinator, retrying until the connect timeout expires.
+fn connect(config: &NodeConfig) -> Result<TcpStream, NodeError> {
+    let deadline = Instant::now() + config.connect_timeout;
+    loop {
+        let last_error = match TcpStream::connect(&config.coordinator) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => e.to_string(),
+        };
+        if Instant::now() >= deadline {
+            return Err(NodeError::Connect {
+                endpoint: config.coordinator.clone(),
+                last_error,
+            });
+        }
+        thread::sleep(CONNECT_POLL);
+    }
+}
+
+/// Writes one frame synchronously (handshake only — the serve loop replies
+/// through a [`Link`] writer thread).
+fn write_frame(mut stream: &TcpStream, kind: FrameKind, body: &[u8]) -> Result<(), NodeError> {
+    stream
+        .write_all(&encode_frame(kind, body))
+        .map_err(|e| NodeError::Transport(TransportError::from(e)))
+}
+
+/// Parses an `EpochEnd` body (the epoch index, u64 LE).
+fn parse_epoch(body: &[u8]) -> Result<u64, NodeError> {
+    let bytes: [u8; 8] = body.try_into().map_err(|_| NodeError::Protocol {
+        reason: format!("EpochEnd body must be 8 bytes, got {}", body.len()),
+    })?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// The node's owned slice of the engine: shard sets plus the decode-side
+/// schemas, rebuilt locally from the [`NodeSpec`].
+struct NodeEngine {
+    /// Owned ring slice (`shards_of_node`).
+    owned: std::ops::Range<usize>,
+    /// One set per owned shard, indexed by `shard - owned.start`.
+    sets: Vec<ShardSet>,
+    /// Input schema of every suffix stage plus the output edge.
+    suffix_schemas: Vec<streamkit::schema::SchemaRef>,
+    /// The plan's output schema (what `Results` frames encode).
+    final_schema: streamkit::schema::SchemaRef,
+}
+
+impl NodeEngine {
+    /// Replans the workload and instantiates the owned shard pipelines —
+    /// the same construction [`LiveSession`](crate::live::LiveSession) uses
+    /// for its in-process node pool.
+    fn build(node_id: u32, spec: &NodeSpec) -> Result<NodeEngine, NodeError> {
+        let build_err = |e: &dyn fmt::Display| NodeError::Build {
+            reason: e.to_string(),
+        };
+        if node_id >= spec.n_nodes || spec.n_nodes > spec.n_shards || spec.n_shards == 0 {
+            return Err(NodeError::Build {
+                reason: format!(
+                    "inconsistent geometry: node {node_id} of {} over {} shards",
+                    spec.n_nodes, spec.n_shards
+                ),
+            });
+        }
+        let scenario = spec.workload.to_scenario();
+        let planned =
+            plan_query(scenario.logical_plan(), &spec.rules).map_err(|e| build_err(&e))?;
+        let costs = scenario.costs();
+        let boundary = match planned.plan.shard_boundary() {
+            Some((g, _)) => g,
+            None => planned.plan.len(),
+        };
+        let edge_schemas = planned.plan.edge_schemas().map_err(|e| build_err(&e))?;
+        let suffix_schemas = edge_schemas[boundary..].to_vec();
+        let final_schema = suffix_schemas
+            .last()
+            .expect("edge schemas cover the output edge")
+            .clone();
+        let owned = shards_of_node(
+            node_id as usize,
+            spec.n_shards as usize,
+            spec.n_nodes as usize,
+        );
+        let sets = owned
+            .clone()
+            .map(|_| {
+                let pipelines = (0..spec.sources)
+                    .map(|_| {
+                        build_pipeline(&planned.plan, &costs, AggRole::Final)
+                            .map(|mut ops| ops.split_off(boundary))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| build_err(&e))?;
+                Ok(ShardSet {
+                    pipelines,
+                    collected: Vec::new(),
+                    drained_records: 0,
+                    usage_us: 0.0,
+                })
+            })
+            .collect::<Result<Vec<_>, NodeError>>()?;
+        Ok(NodeEngine {
+            owned,
+            sets,
+            suffix_schemas,
+            final_schema,
+        })
+    }
+
+    /// Applies one shard data frame (an untouched `netwire` envelope).
+    fn ingest(&mut self, body: bytes::Bytes) -> Result<(), NodeError> {
+        let payload =
+            decode_shard_payload(body, &self.suffix_schemas).map_err(|e| NodeError::Protocol {
+                reason: format!("undecodable shard payload: {e}"),
+            })?;
+        match payload {
+            NetPayload::ShardBatch {
+                shard,
+                source,
+                rel,
+                batch,
+                ..
+            } => {
+                let set = self.set(shard)?;
+                set.process(source as usize, rel as usize, batch);
+            }
+            NetPayload::ShardState {
+                shard,
+                source,
+                rel,
+                delta,
+                ..
+            } => {
+                let set = self.set(shard)?;
+                set.pipelines[source as usize][rel as usize].merge_state(delta);
+            }
+            _ => {
+                return Err(NodeError::Protocol {
+                    reason: "shard frames carry shard payloads only".to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// The set owning ring-absolute `shard`, or a protocol error if the
+    /// coordinator routed outside this node's slice.
+    fn set(&mut self, shard: u32) -> Result<&mut ShardSet, NodeError> {
+        let shard = shard as usize;
+        if !self.owned.contains(&shard) {
+            return Err(NodeError::Protocol {
+                reason: format!("shard {shard} outside owned slice {:?}", self.owned),
+            });
+        }
+        let start = self.owned.start;
+        Ok(&mut self.sets[shard - start])
+    }
+
+    /// Cumulative `(drained_records, usage_us)` across owned shards.
+    fn totals(&self) -> (u64, f64) {
+        self.sets.iter().fold((0, 0.0), |(d, u), set| {
+            (d + set.drained_records, u + set.usage_us)
+        })
+    }
+
+    /// Closes every window and returns all collected result rows.
+    fn drain(&mut self) -> Result<Vec<streamkit::record::Record>, NodeError> {
+        let mut rows = Vec::new();
+        for set in &mut self.sets {
+            for pipeline in &mut set.pipelines {
+                set.collected
+                    .extend(streamkit::physical::drain_windows_rows(
+                        pipeline,
+                        streamkit::time::TS_MAX,
+                    ));
+            }
+            rows.append(&mut set.collected);
+        }
+        Ok(rows)
+    }
+
+    /// Final per-shard accounting, ring order.
+    fn stats(&self, node_id: u32) -> NodeStatsMsg {
+        NodeStatsMsg {
+            node_id,
+            shards: self
+                .owned
+                .clone()
+                .zip(&self.sets)
+                .map(|(s, set)| ShardCounters {
+                    shard: s as u32,
+                    drained_records: set.drained_records,
+                    usage_us: set.usage_us,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Scale;
+    use crate::deploy::remote::RemoteWorkload;
+    use crate::planner::RuleConfig;
+
+    fn spec(n_shards: u32, n_nodes: u32) -> NodeSpec {
+        NodeSpec {
+            node_id: 0,
+            n_nodes,
+            n_shards,
+            sources: 2,
+            workload: RemoteWorkload::PingmeshS2S { scale: Scale::X1 },
+            rules: RuleConfig::default(),
+        }
+    }
+
+    #[test]
+    fn engines_rebuild_the_owned_slice() {
+        let engine = NodeEngine::build(1, &spec(4, 2)).unwrap();
+        assert_eq!(engine.owned, 2..4);
+        assert_eq!(engine.sets.len(), 2);
+        assert_eq!(engine.sets[0].pipelines.len(), 2, "one chain per source");
+        assert!(
+            !engine.suffix_schemas.is_empty(),
+            "decode schemas must cover the suffix"
+        );
+    }
+
+    #[test]
+    fn engines_reject_inconsistent_geometry() {
+        assert!(matches!(
+            NodeEngine::build(2, &spec(4, 2)),
+            Err(NodeError::Build { .. })
+        ));
+        assert!(matches!(
+            NodeEngine::build(0, &spec(2, 4)),
+            Err(NodeError::Build { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_routing_outside_the_slice_is_a_protocol_error() {
+        let mut engine = NodeEngine::build(0, &spec(4, 2)).unwrap();
+        assert!(engine.set(0).is_ok());
+        assert!(matches!(engine.set(3), Err(NodeError::Protocol { .. })));
+    }
+}

@@ -39,7 +39,7 @@ pub enum Exclusion {
 }
 
 /// The eligibility rule configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuleConfig {
     /// R-1 enabled.
     pub forbid_non_incremental: bool,

@@ -1,0 +1,107 @@
+//! Distributed smoke test: a real multi-process deployment on loopback.
+//!
+//! The coordinator side of `jarvis-node`: listens on a TCP endpoint,
+//! admits two remote executors, runs the S2SProbe query under the Jarvis
+//! strategy over real sockets, and asserts the result digest is
+//! bit-identical to a fully in-process run — the check CI performs against
+//! two `jarvis-node` processes launched out of band.
+//!
+//! ```sh
+//! # terminal 1 and 2 (or backgrounded):
+//! cargo run --release --bin jarvis-node -- --coordinator 127.0.0.1:47531 --token ci-smoke
+//! # terminal 3:
+//! cargo run --release --example distributed_smoke
+//! ```
+//!
+//! Args: `[listen_addr] [token]` (defaults `127.0.0.1:47531`, `ci-smoke`).
+//! Exits non-zero on any mismatch.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use jarvis::core::calibration::Scale;
+use jarvis::core::deploy::{BackendKind, Deployment, RunReport, TransportKind};
+use jarvis::core::experiment::ScenarioSpec;
+use jarvis::core::strategy::StrategyKind;
+
+const EPOCHS: u64 = 10;
+const RING: u32 = 4;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:47531".to_string());
+    let token = args.next().unwrap_or_else(|| "ci-smoke".to_string());
+
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
+    println!("query  : {}", spec.plan().plan.display_chain());
+    println!("listen : {addr} (token {token:?}, 2 nodes, {RING}-shard ring)");
+
+    let remote = Deployment::builder()
+        .workload(spec.clone())
+        .strategy(StrategyKind::Jarvis)
+        .cpu_budget(1.0)
+        .sources(2)
+        .sp_shards(RING)
+        .sp_nodes(2)
+        .backend(BackendKind::Live)
+        .transport(TransportKind::Tcp)
+        .listen_addr(&addr)
+        .auth_token(&token)
+        .node_timeout(Duration::from_secs(60))
+        .collect_results(true)
+        .build()
+        .expect("valid TCP deployment")
+        .run(EPOCHS);
+    let remote = match remote {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("distributed run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let local = Deployment::builder()
+        .workload(spec)
+        .strategy(StrategyKind::Jarvis)
+        .cpu_budget(1.0)
+        .sources(2)
+        .sp_shards(RING)
+        .sp_nodes(4)
+        .backend(BackendKind::Live)
+        .collect_results(true)
+        .build()
+        .expect("valid in-process deployment")
+        .run(EPOCHS)
+        .expect("in-process run");
+
+    report_line("tcp (2 nodes)", &remote);
+    report_line("in-process (4 nodes)", &local);
+    for (i, n) in remote.node_stats.iter().enumerate() {
+        println!(
+            "node {i} : {} wire bytes out, {} records drained",
+            n.wire_bytes_out, n.drained_records
+        );
+    }
+
+    if remote.exactness != local.exactness {
+        eprintln!("DIGEST MISMATCH: the TCP run diverged from the in-process run");
+        return ExitCode::FAILURE;
+    }
+    if remote.node_stats.iter().any(|n| n.wire_bytes_out == 0) {
+        eprintln!("ACCOUNTING MISSING: a node moved zero socket bytes");
+        return ExitCode::FAILURE;
+    }
+    println!("ok: distributed digest is bit-identical to the in-process run");
+    ExitCode::SUCCESS
+}
+
+fn report_line(label: &str, r: &RunReport) {
+    println!(
+        "{label:<22}: {} results, digest {}",
+        r.results_emitted,
+        r.exactness
+            .as_ref()
+            .map(|d| format!("{} over {} rows", d.digest, d.rows))
+            .unwrap_or_else(|| "-".into()),
+    );
+}

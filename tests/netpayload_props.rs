@@ -134,3 +134,154 @@ proptest! {
         }
     }
 }
+
+// ---- transport frame hardening (PR 6) ----
+//
+// The TCP transport wraps these same `netwire` envelopes in a framed
+// header (magic, protocol version, length, CRC32 of the body). Corruption
+// anywhere must surface as a typed error — or, where a bit-flip happens to
+// produce another *valid* frame (e.g. the kind byte flipping to a
+// different legal tag), at least never as the original frame.
+
+use jarvis::core::engine::transport::{
+    decode_frame, encode_frame, FrameKind, FrameReader, TransportError, HEADER_LEN,
+};
+
+/// All twelve legal wire tags (the `kind_tag in 1u8..=12` draws below).
+fn kind_of(tag: u8) -> FrameKind {
+    FrameKind::from_u8(tag).expect("legal tag range")
+}
+
+proptest! {
+    /// encode ∘ decode = id for every kind and body, and the consumed count
+    /// is exact.
+    #[test]
+    fn frames_round_trip(
+        kind_tag in 1u8..=12,
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let kind = kind_of(kind_tag);
+        let frame = encode_frame(kind, &body);
+        prop_assert_eq!(frame.len(), HEADER_LEN + body.len());
+        let (k, b, consumed) = decode_frame(&frame).unwrap();
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(&b[..], &body[..]);
+        prop_assert_eq!(consumed, frame.len());
+    }
+
+    /// A single bit-flip in the header never yields the original frame:
+    /// magic, version, kind, and length corruption each produce a typed
+    /// error (or a detectably different frame, when the flip lands on a
+    /// field value that is still legal).
+    #[test]
+    fn corrupt_headers_never_pass_as_the_original(
+        kind_tag in 1u8..=12,
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        byte in 0usize..HEADER_LEN,
+        bit in 0u8..8,
+    ) {
+        let kind = kind_of(kind_tag);
+        let frame = encode_frame(kind, &body);
+        let mut corrupt = frame.to_vec();
+        corrupt[byte] ^= 1 << bit;
+        match decode_frame(&corrupt) {
+            // Every header field is covered by a typed error...
+            Err(
+                TransportError::BadMagic { .. }
+                | TransportError::VersionMismatch { .. }
+                | TransportError::BadKind { .. }
+                | TransportError::CrcMismatch { .. }
+                | TransportError::Truncated { .. }
+                | TransportError::Oversized { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            // ...except a kind-byte flip onto another legal tag (the CRC
+            // covers the body only): then the decoded frame must differ.
+            Ok((k, b, _)) => {
+                prop_assert!(
+                    k != kind || b[..] != body[..],
+                    "corrupted header decoded as the original frame"
+                );
+            }
+        }
+    }
+
+    /// Any single bit-flip in the body is caught by the CRC.
+    #[test]
+    fn corrupt_bodies_fail_the_crc(
+        kind_tag in 1u8..=12,
+        body in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let kind = kind_of(kind_tag);
+        let frame = encode_frame(kind, &body);
+        let mut corrupt = frame.to_vec();
+        let at = HEADER_LEN + flip % body.len();
+        corrupt[at] ^= 1 << bit;
+        prop_assert!(matches!(
+            decode_frame(&corrupt),
+            Err(TransportError::CrcMismatch { .. })
+        ));
+    }
+
+    /// A stream cut mid-frame is a `Truncated` error, never a short frame;
+    /// a stream cut exactly on a frame boundary is a clean close. Frames
+    /// before the cut still decode.
+    #[test]
+    fn truncated_streams_are_detected(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for body in &bodies {
+            stream.extend_from_slice(&encode_frame(FrameKind::Shard, body));
+            boundaries.push(stream.len());
+        }
+        let cut = (stream.len() as f64 * cut_frac) as usize;
+        let mut reader = FrameReader::new(&stream[..cut]);
+        let mut frames = Vec::new();
+        let err = loop {
+            match reader.read_frame() {
+                Ok(frame) => frames.push(frame),
+                Err(e) => break e,
+            }
+        };
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(frames.len(), whole, "whole frames before the cut decode");
+        for (i, (kind, body)) in frames.iter().enumerate() {
+            prop_assert_eq!(*kind, FrameKind::Shard);
+            prop_assert_eq!(&body[..], &bodies[i][..]);
+        }
+        if boundaries.contains(&cut) {
+            prop_assert!(
+                matches!(err, TransportError::Closed),
+                "a cut on a frame boundary is a clean close, got {:?}", err
+            );
+        } else {
+            prop_assert!(
+                matches!(err, TransportError::Truncated { .. }),
+                "a mid-frame cut must be Truncated, got {:?}", err
+            );
+        }
+    }
+
+    /// A frame from a future protocol version is a `VersionMismatch`.
+    #[test]
+    fn future_versions_are_rejected(
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        bump in 1u16..100,
+    ) {
+        let frame = encode_frame(FrameKind::Shard, &body);
+        let mut next = frame.to_vec();
+        let v = (u16::from_le_bytes([next[4], next[5]]) + bump).to_le_bytes();
+        next[4] = v[0];
+        next[5] = v[1];
+        prop_assert!(matches!(
+            decode_frame(&next),
+            Err(TransportError::VersionMismatch { .. })
+        ));
+    }
+}
