@@ -11,6 +11,7 @@ pub mod measure;
 pub mod nettransport;
 pub mod nodescale;
 pub mod output;
+pub mod plancheck_cli;
 pub mod shardscale;
 
 pub use figures::*;

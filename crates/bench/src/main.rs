@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment> [--json]
 //! repro all [--json]
+//! repro plancheck [workload..] [--all] [--json] [--deny-warnings]
 //! ```
 //!
 //! Experiments: fig3, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, fig9,
@@ -21,12 +22,15 @@ use jarvis_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("plancheck") {
+        std::process::exit(jarvis_bench::plancheck_cli::run_cli(&args[1..]));
+    }
     let json = args.iter().any(|a| a == "--json");
     let check = args.iter().any(|a| a == "--check");
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        .map(std::string::String::as_str)
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 

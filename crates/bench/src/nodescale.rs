@@ -75,7 +75,7 @@ pub fn run_node_iter(
     let mut remote: Vec<Vec<bytes::Bytes>> = (0..n_nodes).map(|_| Vec::new()).collect();
     for batch in batches {
         let mut cur = vec![batch.clone()];
-        for op in chain.prefix.iter_mut() {
+        for op in &mut chain.prefix {
             let mut next = Vec::new();
             for b in cur {
                 op.process_batch(b, &mut next);
@@ -110,7 +110,7 @@ pub fn run_node_iter(
             }
         }
     }
-    for op in chain.prefix.iter_mut() {
+    for op in &mut chain.prefix {
         op.reset();
     }
     let dispatcher_secs = start.elapsed().as_secs_f64();

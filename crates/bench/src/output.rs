@@ -7,9 +7,7 @@ use serde::Serialize;
 
 /// Where JSON results land (`REPRO_OUT` env var, default `./results`).
 pub fn out_dir() -> PathBuf {
-    std::env::var_os("REPRO_OUT")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    std::env::var_os("REPRO_OUT").map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }
 
 /// Writes a serialisable result as pretty JSON under the output dir.
@@ -43,7 +41,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     line(
         &mut out,
-        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &headers
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
     );
     line(
         &mut out,
@@ -85,12 +86,7 @@ pub fn render_ascii_chart(
         .max()
         .unwrap_or(1)
         .max(x_label.len());
-    out.push_str(&format!(
-        "{:>label_w$} |0{:>w$.1}\n",
-        x_label,
-        max,
-        w = width
-    ));
+    out.push_str(&format!("{x_label:>label_w$} |0{max:>width$.1}\n"));
     for (row, x) in xs.iter().enumerate() {
         let mut line: Vec<char> = vec![' '; width + 1];
         for (i, (_, ys)) in series.iter().enumerate() {

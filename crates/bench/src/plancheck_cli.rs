@@ -1,0 +1,258 @@
+//! `repro plancheck` — lint built-in workload plans with the static
+//! analyzer before (or instead of) running them.
+//!
+//! ```text
+//! repro plancheck                 # lint every built-in workload
+//! repro plancheck s2s t2t         # lint a subset
+//! repro plancheck --all --json    # machine-readable diagnostics
+//! repro plancheck --deny-warnings # exit non-zero on warnings too
+//! ```
+//!
+//! Each workload is checked under a small deployment matrix (unsharded, and
+//! sharded across two SP nodes) with the adaptive Jarvis strategy, i.e. the
+//! exact configurations the parity suites execute dynamically.
+
+use jarvis_core::plancheck::{self, CheckContext, Diagnostic, Severity};
+use jarvis_core::planner::{plan_query, RuleConfig};
+use jarvis_core::strategy::StrategyKind;
+use serde::Serialize;
+use streamkit::agg::AggKind;
+use streamkit::expr::Expr;
+use streamkit::logical::LogicalPlan;
+use streamkit::query::Query;
+
+use crate::output::write_json;
+
+/// Names of every lintable built-in workload.
+pub const BUILTIN_WORKLOADS: [&str; 5] =
+    ["s2s", "t2t", "loganalytics", "tail-latency", "rebalance"];
+
+/// Resolves a workload name to its logical plan.
+pub fn builtin_plan(name: &str) -> Option<LogicalPlan> {
+    match name {
+        // The three paper queries (§II).
+        "s2s" => Some(telemetry::queries::s2s_probe()),
+        "t2t" => {
+            let (src, dst) = telemetry::queries::t2t_tables(500, 40, &[1]);
+            Some(telemetry::queries::t2t_probe(src, dst))
+        }
+        "loganalytics" => Some(telemetry::queries::log_analytics()),
+        // The tail-latency example workload (examples/approx_quantiles.rs):
+        // a mergeable approximate p99 per source cluster.
+        "tail-latency" => Some(
+            Query::stream("tail_latency", telemetry::pingmesh::pingmesh_schema())
+                .window_secs(10.0)
+                .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
+                .group_by(&["srcCluster"])
+                .aggregate(&[(
+                    AggKind::ApproxQuantile {
+                        q: 0.99,
+                        lo: 0.0,
+                        hi: 50_000.0,
+                    },
+                    "rtt",
+                    "p99_rtt",
+                )])
+                .build()
+                .ok()?,
+        ),
+        // The rebalance example workload (examples/adaptive_rebalance.rs)
+        // runs the S2S probe under anomaly-driven load shifts.
+        "rebalance" => Some(telemetry::queries::s2s_probe()),
+        _ => None,
+    }
+}
+
+/// Diagnostics of one workload under one deployment configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ContextReport {
+    /// Strategy label.
+    pub strategy: String,
+    /// Shard-ring width.
+    pub sp_shards: u32,
+    /// SP node count.
+    pub sp_nodes: u32,
+    /// Everything the analyzer found.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Full lint result of one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct TargetReport {
+    /// Workload name.
+    pub workload: String,
+    /// The optimised operator chain.
+    pub chain: String,
+    /// Source-eligible prefix length.
+    pub source_ops: usize,
+    /// One entry per deployment configuration checked.
+    pub contexts: Vec<ContextReport>,
+}
+
+/// The `repro plancheck` output (also the `--json` payload).
+#[derive(Debug, Clone, Serialize)]
+pub struct PlancheckReport {
+    /// One entry per linted workload.
+    pub targets: Vec<TargetReport>,
+    /// Total error-severity diagnostics.
+    pub errors: usize,
+    /// Total warning-severity diagnostics.
+    pub warnings: usize,
+}
+
+/// Lints `plan` under the standard deployment matrix.
+pub fn lint_workload(name: &str, plan: LogicalPlan, shards: &[u32]) -> TargetReport {
+    let rules = RuleConfig::default();
+    let planned = match plan_query(plan, &rules) {
+        Ok(planned) => planned,
+        Err(e) => {
+            return TargetReport {
+                workload: name.to_string(),
+                chain: String::new(),
+                source_ops: 0,
+                contexts: vec![ContextReport {
+                    strategy: StrategyKind::Jarvis.label().to_string(),
+                    sp_shards: 1,
+                    sp_nodes: 1,
+                    diagnostics: vec![Diagnostic {
+                        code: "JP000".to_string(),
+                        severity: Severity::Error,
+                        op_index: None,
+                        message: format!("plan does not validate: {e}"),
+                        help: None,
+                    }],
+                }],
+            }
+        }
+    };
+    let mut contexts = Vec::new();
+    for &sp_shards in shards {
+        let sp_nodes = sp_shards.min(2);
+        let mut ctx = CheckContext::local(sp_shards, sp_nodes, StrategyKind::Jarvis);
+        ctx.workload = name.to_string();
+        contexts.push(ContextReport {
+            strategy: ctx.strategy.label().to_string(),
+            sp_shards,
+            sp_nodes,
+            diagnostics: plancheck::check(&planned, &rules, &ctx),
+        });
+    }
+    TargetReport {
+        workload: name.to_string(),
+        chain: planned.plan.display_chain(),
+        source_ops: planned.source_ops,
+        contexts,
+    }
+}
+
+fn count(report: &PlancheckReport, severity: Severity) -> usize {
+    report
+        .targets
+        .iter()
+        .flat_map(|t| &t.contexts)
+        .flat_map(|c| &c.diagnostics)
+        .filter(|d| d.severity == severity)
+        .count()
+}
+
+/// Runs the subcommand; returns the process exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let all = args.iter().any(|a| a == "--all");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let names: Vec<&str> = if all || names.is_empty() {
+        BUILTIN_WORKLOADS.to_vec()
+    } else {
+        names
+    };
+
+    let shards = [1u32, 4];
+    let mut report = PlancheckReport {
+        targets: Vec::new(),
+        errors: 0,
+        warnings: 0,
+    };
+    for name in names {
+        let Some(plan) = builtin_plan(name) else {
+            eprintln!("unknown workload: {name}");
+            eprintln!("known: {}", BUILTIN_WORKLOADS.join(", "));
+            return 2;
+        };
+        report.targets.push(lint_workload(name, plan, &shards));
+    }
+    report.errors = count(&report, Severity::Error);
+    report.warnings = count(&report, Severity::Warning);
+
+    for t in &report.targets {
+        println!(
+            "{:<14} {:<28} source-eligible {} of {}",
+            t.workload,
+            t.chain,
+            t.source_ops,
+            t.chain.split("->").count()
+        );
+        for c in &t.contexts {
+            let verdict = if c.diagnostics.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} diagnostic(s)", c.diagnostics.len())
+            };
+            println!(
+                "  [{} shards={} nodes={}] {verdict}",
+                c.strategy, c.sp_shards, c.sp_nodes
+            );
+            for d in &c.diagnostics {
+                for line in d.to_string().lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    println!(
+        "plancheck: {} workload(s), {} error(s), {} warning(s)",
+        report.targets.len(),
+        report.errors,
+        report.warnings
+    );
+    if json {
+        match write_json("plancheck", &report) {
+            Ok(path) => println!("[json -> {}]", path.display()),
+            Err(e) => eprintln!("[json write failed: {e}]"),
+        }
+    }
+    if report.errors > 0 || (deny_warnings && report.warnings > 0) {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_workload_lints_clean() {
+        for name in BUILTIN_WORKLOADS {
+            let t = lint_workload(name, builtin_plan(name).unwrap(), &[1, 4]);
+            for c in &t.contexts {
+                assert!(
+                    c.diagnostics.is_empty(),
+                    "{name} shards={} got {:?}",
+                    c.sp_shards,
+                    c.diagnostics
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_workloads_resolve_to_none() {
+        assert!(builtin_plan("nope").is_none());
+    }
+}

@@ -162,7 +162,7 @@ pub fn run_sharded_iter(chain: &mut ShardedChain, batches: &[Batch]) -> (f64, f6
     let mut buckets: Vec<Vec<Batch>> = (0..n).map(|_| Vec::new()).collect();
     for batch in batches {
         let mut cur = vec![batch.clone()];
-        for op in chain.prefix.iter_mut() {
+        for op in &mut chain.prefix {
             let mut next = Vec::new();
             for b in cur {
                 op.process_batch(b, &mut next);
@@ -181,7 +181,7 @@ pub fn run_sharded_iter(chain: &mut ShardedChain, batches: &[Batch]) -> (f64, f6
             }
         }
     }
-    for op in chain.prefix.iter_mut() {
+    for op in &mut chain.prefix {
         op.reset();
     }
     let router_secs = start.elapsed().as_secs_f64();

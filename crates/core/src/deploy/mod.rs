@@ -140,13 +140,13 @@ pub enum DeployError {
         /// The ring width it must divide into non-empty slices.
         shards: u32,
     },
-    /// `sp_shards > 1` on a plan the key partitioner cannot shard exactly:
-    /// a second keyed operator past the shard boundary would see its key
-    /// space split by the *first* operator's keys, duplicating groups.
-    ShardingUnsupportedPlan {
-        /// The offending operator chain.
-        chain: String,
-    },
+    /// The static plan analyzer found error-severity diagnostics: the
+    /// deployment would be incorrect (key-provenance or mergeability
+    /// violations) or cannot run (infeasible shard/node/transport knobs).
+    PlanCheck(
+        /// The error diagnostics, sorted by operator index.
+        Vec<crate::plancheck::Diagnostic>,
+    ),
     /// A pinned load factor outside `[0, 1]`.
     InvalidLoadFactor {
         /// Index in the supplied vector.
@@ -202,11 +202,6 @@ pub enum DeployError {
         /// Nodes the spec requires.
         expected: u32,
     },
-    /// A spec feature that cannot cross the wire to remote executors.
-    RemoteUnsupported {
-        /// The offending feature.
-        what: String,
-    },
     /// A registered node died or misbehaved mid-run.
     NodeFailed {
         /// The node id.
@@ -236,11 +231,12 @@ impl fmt::Display for DeployError {
                     "sp_nodes must be in 1..=sp_shards (= {shards}), got {got}"
                 )
             }
-            DeployError::ShardingUnsupportedPlan { chain } => {
+            DeployError::PlanCheck(diags) => {
                 write!(
                     f,
-                    "sp_shards > 1 requires at most one keyed operator in the chain \
-                     (re-sharding at a second keyed boundary is not implemented): {chain}"
+                    "plan check failed with {} error(s):\n{}",
+                    diags.len(),
+                    crate::plancheck::render(diags)
                 )
             }
             DeployError::InvalidLoadFactor { index, value } => {
@@ -283,9 +279,6 @@ impl fmt::Display for DeployError {
                 f,
                 "{registered}/{expected} nodes checked in within {waited_ms} ms"
             ),
-            DeployError::RemoteUnsupported { what } => {
-                write!(f, "TCP deployments do not support {what}")
-            }
             DeployError::NodeFailed { node, reason } => {
                 write!(f, "node {node} failed: {reason}")
             }
@@ -323,6 +316,9 @@ pub struct DeploymentSpec {
     pub rules: RuleConfig,
     /// The query planned under those rules (done once, at validation).
     pub planned: crate::planner::PlannedQuery,
+    /// Warning-severity plancheck diagnostics (errors refuse the build);
+    /// copied into [`RunReport::plan_warnings`] by [`Deployment::run`].
+    pub plan_warnings: Vec<crate::plancheck::Diagnostic>,
     /// Warm-up epochs excluded from measurement.
     pub warmup_epochs: u64,
     /// Base RNG seed for per-source engines.
@@ -579,20 +575,33 @@ impl DeploymentBuilder {
         }
         // Planning validates the query and fixes the source-eligible prefix.
         let planned = crate::planner::plan_query(workload.logical_plan(), &self.rules)?;
-        // The shard partitioner splits once, at the first keyed boundary; a
-        // second stateful op downstream would receive rows partitioned by
-        // the wrong keys and duplicate its groups across shards.
-        let stateful_ops = planned
-            .plan
-            .ops
-            .iter()
-            .filter(|op| matches!(op, streamkit::logical::LogicalOp::GroupAggregate { .. }))
-            .count();
-        if self.sp_shards > 1 && stateful_ops > 1 {
-            return Err(DeployError::ShardingUnsupportedPlan {
-                chain: planned.plan.display_chain(),
-            });
+        // Static plan analysis: key provenance across the shard boundary,
+        // state mergeability under the chosen strategy, and shard/node/
+        // transport feasibility. Errors refuse the build; warnings ride
+        // along into the run report.
+        let ctx = crate::plancheck::CheckContext {
+            sp_shards: self.sp_shards,
+            sp_nodes: self.sp_nodes,
+            strategy: self.strategy,
+            backend: self.backend,
+            tcp: self.transport == TransportKind::Tcp,
+            has_events: !self.events.is_empty(),
+            remote_describable: workload.remote_workload().is_some(),
+            workload: workload.name().to_string(),
+        };
+        let diagnostics = crate::plancheck::check(&planned, &self.rules, &ctx);
+        if crate::plancheck::has_errors(&diagnostics) {
+            return Err(DeployError::PlanCheck(
+                diagnostics
+                    .into_iter()
+                    .filter(|d| d.severity == crate::plancheck::Severity::Error)
+                    .collect(),
+            ));
         }
+        let plan_warnings: Vec<crate::plancheck::Diagnostic> = diagnostics
+            .into_iter()
+            .filter(|d| d.severity == crate::plancheck::Severity::Warning)
+            .collect();
         if let Some(factors) = &self.fixed_load_factors {
             if self.strategy.is_adaptive() {
                 return Err(DeployError::FixedFactorsWithAdaptiveStrategy {
@@ -624,30 +633,9 @@ impl DeploymentBuilder {
         }
         let mut listen_addr = None;
         if self.transport == TransportKind::Tcp {
-            if self.backend != BackendKind::Live {
-                return Err(DeployError::RemoteUnsupported {
-                    what: format!(
-                        "the {} backend (real sockets need the live backend)",
-                        self.backend.label()
-                    ),
-                });
-            }
-            if !self.events.is_empty() {
-                return Err(DeployError::RemoteUnsupported {
-                    what: "scheduled resource events (join-table swaps cannot reach remote \
-                           executors)"
-                        .to_string(),
-                });
-            }
-            if workload.remote_workload().is_none() {
-                return Err(DeployError::RemoteUnsupported {
-                    what: format!(
-                        "workload '{}' (no wire-serializable descriptor; only the built-in \
-                         scenarios can be replanned on a remote node)",
-                        workload.name()
-                    ),
-                });
-            }
+            // Feature feasibility (live backend, no events, describable
+            // workload) was checked by plancheck above; what remains is the
+            // endpoint itself.
             let raw = self
                 .listen_addr
                 .clone()
@@ -671,6 +659,7 @@ impl DeploymentBuilder {
             }),
             rules: self.rules.clone(),
             planned,
+            plan_warnings,
             warmup_epochs: self.warmup_epochs,
             seed: self.seed,
             fixed_load_factors: self.fixed_load_factors.clone(),
@@ -736,7 +725,9 @@ impl Deployment {
     /// panics. Use [`EmulatedBackend::step`] directly for incremental
     /// stepping.
     pub fn run(&mut self, epochs: u64) -> Result<RunReport, DeployError> {
-        self.backend.run(&self.spec, epochs)
+        let mut report = self.backend.run(&self.spec, epochs)?;
+        report.plan_warnings = self.spec.plan_warnings.clone();
+        Ok(report)
     }
 }
 
@@ -824,6 +815,7 @@ mod tests {
             aggs: vec![AggSpec::new(AggKind::Avg, 3, "avg_of_avg")],
             emit: EmitMode::OnWindowClose,
         });
+        plan.parallel.push(1);
         plan.validate()
             .expect("two-stage aggregation is a valid plan");
         let workload = crate::deploy::CustomWorkload::new(
@@ -837,9 +829,14 @@ mod tests {
             .sp_shards(2)
             .build()
             .unwrap_err();
+        let DeployError::PlanCheck(diags) = err else {
+            panic!("expected PlanCheck, got {err:?}");
+        };
         assert!(
-            matches!(err, DeployError::ShardingUnsupportedPlan { .. }),
-            "got {err:?}"
+            diags
+                .iter()
+                .any(|d| d.code == crate::plancheck::code::RESHARD_UNSUPPORTED),
+            "got {diags:?}"
         );
     }
 
@@ -975,10 +972,15 @@ mod tests {
             .listen_addr("127.0.0.1:0")
             .build()
             .unwrap_err();
-        assert!(
-            matches!(&err, DeployError::RemoteUnsupported { what } if what.contains("emulated")),
-            "got {err:?}"
-        );
+        assert_plancheck_code(&err, crate::plancheck::code::TCP_NEEDS_LIVE);
+    }
+
+    /// Asserts `err` is a `PlanCheck` carrying the given lint code.
+    fn assert_plancheck_code(err: &DeployError, code: &str) {
+        let DeployError::PlanCheck(diags) = err else {
+            panic!("expected PlanCheck({code}), got {err:?}");
+        };
+        assert!(diags.iter().any(|d| d.code == code), "got {diags:?}");
     }
 
     #[test]
@@ -994,10 +996,7 @@ mod tests {
             }])
             .build()
             .unwrap_err();
-        assert!(
-            matches!(&err, DeployError::RemoteUnsupported { what } if what.contains("events")),
-            "got {err:?}"
-        );
+        assert_plancheck_code(&err, crate::plancheck::code::TCP_WITH_EVENTS);
     }
 
     #[test]
@@ -1016,10 +1015,7 @@ mod tests {
             .listen_addr("127.0.0.1:0")
             .build()
             .unwrap_err();
-        assert!(
-            matches!(&err, DeployError::RemoteUnsupported { what } if what.contains("ad-hoc")),
-            "got {err:?}"
-        );
+        assert_plancheck_code(&err, crate::plancheck::code::TCP_UNDESCRIBABLE);
     }
 
     #[test]

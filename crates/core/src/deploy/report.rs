@@ -56,7 +56,7 @@ fn canonical_row(rec: &Record) -> String {
     for v in &rec.values {
         match v {
             streamkit::value::Value::F64(f) => {
-                let _ = write!(s, "f{:.6e};", f);
+                let _ = write!(s, "f{f:.6e};");
             }
             other => {
                 let _ = write!(s, "{other:?};");
@@ -151,6 +151,9 @@ pub struct RunReport {
     pub node_stats: Vec<NodeStat>,
     /// Epochs StepWise-Adapt needed to stabilise (convergence backend).
     pub converged_epochs: Option<u32>,
+    /// Warning-severity diagnostics from the static plan analysis that ran
+    /// at build time (errors refuse the build; see [`crate::plancheck`]).
+    pub plan_warnings: Vec<crate::plancheck::Diagnostic>,
 }
 
 impl RunReport {
@@ -183,6 +186,7 @@ impl RunReport {
             shard_stats: Vec::new(),
             node_stats: Vec::new(),
             converged_epochs: None,
+            plan_warnings: Vec::new(),
         }
     }
 }

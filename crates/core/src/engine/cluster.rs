@@ -8,7 +8,7 @@
 //! contiguous ring slices ([`node_of_shard`]); each source's uplink
 //! terminates at its *ingress node* (`source % n_nodes`), which runs the
 //! replica's stateless prefix and partitions at the keyed boundary.
-//! Sub-batches and [`StatePartial`] splits whose owning shard lives on
+//! Sub-batches and [`streamkit::ops::StatePartial`] splits whose owning shard lives on
 //! another node cross the cluster as [`NetPayload::ShardBatch`] /
 //! [`NetPayload::ShardState`] payloads, with wire cost charged per target
 //! shard from the `batch::layout` accounting.

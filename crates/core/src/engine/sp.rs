@@ -11,7 +11,7 @@
 //! * at the boundary, a key-hash partitioner ([`Batch::shard_by_key`])
 //!   splits every batch over the fixed ring of `n_shards` virtual shards.
 //!   Each engine instance owns a contiguous ring slice
-//!   ([`shards_of_node`](streamkit::shard::shards_of_node)) and hosts one
+//!   ([`shards_of_node`]) and hosts one
 //!   **shard pipeline** per owned shard per replica; sub-batches, shipped
 //!   [`StatePartial`] splits, and (in principle) window results whose owning
 //!   shard is remote leave through the engine's **outbox** as
@@ -772,7 +772,7 @@ impl SpEngine {
                 }
                 // Keyed shard pipelines (owned ring slice).
                 let n_stages = replica.suffix_len();
-                for shard in replica.shards.iter_mut() {
+                for shard in &mut replica.shards {
                     for stage in 0..n_stages {
                         routed.clear();
                         let fits = process_stage(
@@ -883,7 +883,7 @@ impl SpEngine {
                 }
             }
             let n_stages = replica.suffix_len();
-            for shard in replica.shards.iter_mut() {
+            for shard in &mut replica.shards {
                 for stage in 0..n_stages {
                     for (hook, kind) in [(0, ItemKind::WindowResult), (1, ItemKind::DeltaResult)] {
                         wm_out.clear();
@@ -977,7 +977,7 @@ impl SpEngine {
                 }
             }
             // Flush each owned shard pipeline.
-            for shard in replica.shards.iter_mut() {
+            for shard in &mut replica.shards {
                 let n = shard.stages.len();
                 for stage in 0..n {
                     let mut out_buf: Vec<Batch> = Vec::new();
@@ -1008,7 +1008,7 @@ impl SpEngine {
     /// inline (the flush shared by all backends).
     pub fn close_windows(&mut self) {
         for replica in &mut self.replicas {
-            for shard in replica.shards.iter_mut() {
+            for shard in &mut replica.shards {
                 for batch in
                     streamkit::physical::drain_windows(&mut shard.stages, streamkit::time::TS_MAX)
                 {

@@ -14,6 +14,10 @@
 //!   priorities, binary search over discretised load factors).
 //! * [`planner`] — control-proxy insertion and the operator-eligibility
 //!   rules R-1..R-4 of §IV-B.
+//! * [`plancheck`] — static plan analysis: the R-1..R-4 rule engine plus
+//!   key-provenance, state-mergeability, and deployment cross-checks as
+//!   structured `JPxxx` diagnostics, run by the deployment builder before
+//!   anything executes.
 //! * [`strategy`] — Jarvis and the five baselines of §VI-A (All-SP, All-Src,
 //!   Filter-Src, Best-OP, LB-DP) plus the two ablation variants of §VI-C
 //!   (LP-only, w/o LP-init), all expressed as load-factor policies.
@@ -38,6 +42,7 @@ pub mod experiment;
 pub mod live;
 pub mod multiquery;
 pub mod node;
+pub mod plancheck;
 pub mod planner;
 pub mod proxy;
 pub mod runtime;
@@ -48,6 +53,7 @@ pub use deploy::{
     BackendKind, DeployError, Deployment, DeploymentBuilder, DeploymentSpec, ExecBackend,
     RunReport, SourceAdapter, TransportKind,
 };
+pub use plancheck::{CheckContext, Diagnostic, Severity};
 pub use proxy::{ControlProxy, ProxyState, QueryState};
 pub use runtime::{JarvisRuntime, Phase, RuntimeConfig};
 pub use stepwise::{PriorityRule, StepWiseAdapt, StepWiseConfig};

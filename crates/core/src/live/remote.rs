@@ -504,7 +504,7 @@ fn admit(
         }
         None => admitted
             .iter()
-            .position(|slot| slot.is_none())
+            .position(std::option::Option::is_none)
             .expect("admission loop only runs with free slots") as u32,
     };
 

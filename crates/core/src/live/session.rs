@@ -1068,7 +1068,7 @@ pub(crate) fn profile_on_scratch(
     let mut relay_bytes = Vec::with_capacity(m);
     let mut relay_count = Vec::with_capacity(m);
     let mut batches: Vec<Batch> = vec![input.clone()];
-    for op in ops.iter_mut() {
+    for op in &mut ops {
         let in_count: usize = batches.iter().map(Batch::len).sum();
         let in_bytes: usize = batches.iter().map(Batch::wire_size).sum();
         let mut out: Vec<Batch> = Vec::new();

@@ -1,7 +1,7 @@
 //! Multiple queries on one data source node (paper §VI-F, Fig. 11).
 //!
 //! Each query gets a dedicated Jarvis runtime; the node's compute is split
-//! with a max-min fair allocation (§IV-E cites [46]) minus a fixed per-query
+//! with a max-min fair allocation (§IV-E cites \[46\]) minus a fixed per-query
 //! engine overhead, and the node's uplink is shared fairly across queries.
 //! Since the fair share is an equal static split for identical queries, the
 //! experiment reuses [`BuildingBlock`] with one engine per query instance.
@@ -121,7 +121,7 @@ mod tests {
         let p3 = run_multi_query(&spec, 1.0, 3, 50, None);
         // One query at 10x fits in a core; three cannot triple throughput on
         // one core.
-        assert!(p1.throughput_mbps > 20.0, "p1 = {:?}", p1);
+        assert!(p1.throughput_mbps > 20.0, "p1 = {p1:?}");
         assert!(
             p3.throughput_mbps < 2.5 * p1.throughput_mbps,
             "p1 = {p1:?}, p3 = {p3:?}"

@@ -4,7 +4,7 @@
 //! receives its [`NodeSpec`] slice, replans the workload locally (planning
 //! is deterministic, so coordinator and node agree on the chain, the shard
 //! boundary, and every edge schema), instantiates the
-//! [`ShardSet`](crate::live::session::ShardSet)s for its owned ring slice,
+//! `ShardSet`s for its owned ring slice,
 //! and serves shard traffic until the coordinator finishes the run — at
 //! which point it drains every window, streams the result rows and final
 //! per-shard counters back, and exits. The serve loop is single-threaded:

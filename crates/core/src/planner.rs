@@ -65,7 +65,9 @@ impl Default for RuleConfig {
 }
 
 impl RuleConfig {
-    fn agg_is_incremental(&self, kind: &AggKind) -> bool {
+    /// Whether an aggregate kind is incrementally updatable (and hence a
+    /// commutative mergeable partial) under these rules.
+    pub fn agg_is_incremental(&self, kind: &AggKind) -> bool {
         match kind {
             AggKind::Count | AggKind::Sum | AggKind::Min | AggKind::Max | AggKind::Avg => true,
             AggKind::ApproxQuantile { .. } => !self.quantiles_are_exact,
@@ -96,36 +98,19 @@ impl PlannedQuery {
 }
 
 /// Optimises the plan and computes the source-eligible prefix.
+///
+/// Rule evaluation lives in [`crate::plancheck::source_eligibility`] — the
+/// same engine the static analyzer surfaces as `JP001`–`JP004` diagnostics —
+/// so planner exclusions and lint output can never disagree.
 pub fn plan_query(plan: LogicalPlan, rules: &RuleConfig) -> Result<PlannedQuery> {
     plan.validate()?;
     let plan = optimize(plan);
     plan.validate()?;
-
-    let mut source_ops = plan.ops.len();
-    let mut exclusions = Vec::new();
-    let mut seen_stateful = false;
-    for (i, op) in plan.ops.iter().enumerate() {
-        // R-2: anything after the first cross-source stateful op is SP-only.
-        if seen_stateful && rules.forbid_after_stateful {
-            source_ops = source_ops.min(i);
-            exclusions.push((i, Exclusion::AfterStatefulBoundary));
-            continue;
-        }
-        if let LogicalOp::GroupAggregate { aggs, .. } = op {
-            // R-1: every aggregate must be incrementally updatable.
-            if rules.forbid_non_incremental
-                && aggs.iter().any(|a| !rules.agg_is_incremental(&a.kind))
-            {
-                source_ops = source_ops.min(i);
-                exclusions.push((i, Exclusion::NonIncrementalAggregate));
-            }
-            seen_stateful = true;
-        }
-    }
+    let eligibility = crate::plancheck::source_eligibility(&plan, rules);
     Ok(PlannedQuery {
         plan,
-        source_ops,
-        exclusions,
+        source_ops: eligibility.source_ops,
+        exclusions: eligibility.exclusions,
     })
 }
 
@@ -210,6 +195,54 @@ mod tests {
         assert!(planned
             .exclusions
             .contains(&(1, Exclusion::NonIncrementalAggregate)));
+    }
+
+    #[test]
+    fn r3_fires_on_a_streaming_join() {
+        use std::sync::Arc;
+        use streamkit::ops::{JoinMiss, StaticTable};
+        use streamkit::value::Value;
+
+        let snapshot = Arc::new(StaticTable::new(
+            vec![streamkit::schema::Field::new("peer", DataType::U32)],
+            (0u64..8).map(|k| (Value::U64(k), vec![Value::U64(k + 1)])),
+        ));
+        let plan = Query::stream("sj", schema())
+            .window_secs(10.0)
+            .join_stream(snapshot, "k", JoinMiss::Drop)
+            .group_by(&["k"])
+            .aggregate(&[(AggKind::Count, "v", "n")])
+            .build()
+            .unwrap();
+        let planned = plan_query(plan, &RuleConfig::default()).unwrap();
+        assert_eq!(planned.source_ops, 1, "prefix stops before the stream join");
+        assert!(planned.exclusions.contains(&(1, Exclusion::StreamJoin)));
+    }
+
+    #[test]
+    fn r4_fires_on_a_parallel_operator() {
+        let plan = Query::stream("q", schema())
+            .window_secs(10.0)
+            .filter_named("err", |c| c.eq(Expr::lit(0u64)))
+            .parallel(4)
+            .group_by(&["k"])
+            .aggregate(&[(AggKind::Avg, "v", "avg_v")])
+            .build()
+            .unwrap();
+        let planned = plan_query(plan.clone(), &RuleConfig::default()).unwrap();
+        assert_eq!(planned.source_ops, 1, "prefix stops at the parallel filter");
+        assert!(planned
+            .exclusions
+            .contains(&(1, Exclusion::ParallelOperator)));
+
+        // Raising the source budget re-admits the operator.
+        let wide = RuleConfig {
+            max_source_parallelism: 4,
+            ..Default::default()
+        };
+        let planned = plan_query(plan, &wide).unwrap();
+        assert_eq!(planned.source_ops, 3);
+        assert!(planned.exclusions.is_empty());
     }
 
     #[test]

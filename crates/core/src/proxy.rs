@@ -131,7 +131,8 @@ impl ControlProxy {
 
     /// Routes a whole batch: each row is routed individually (preserving
     /// deterministic error-diffusion and per-row counters), then the batch
-    /// is split once into `(forwarded, drained)` with [`Batch::select`].
+    /// is split once into `(forwarded, drained)` with
+    /// [`streamkit::batch::Batch::select`].
     /// This is the single batch-routing implementation shared by the
     /// emulated engine and the live runtime.
     pub fn split_batch(

@@ -22,11 +22,19 @@ pub enum LpsolveStatus {
 pub enum LpError {
     /// A right-hand side was negative (phase-1 not implemented; the Jarvis
     /// LP never needs it).
-    NegativeRhs { row: usize, value: f64 },
+    NegativeRhs {
+        /// Constraint row index.
+        row: usize,
+        /// The negative right-hand side.
+        value: f64,
+    },
     /// Constraint row width does not match the objective.
     ShapeMismatch {
+        /// Constraint row index.
         row: usize,
+        /// Objective width.
         expected: usize,
+        /// The row's width.
         got: usize,
     },
     /// Iteration limit exceeded (defensive; should not occur with Bland).
@@ -162,7 +170,7 @@ impl LinearProgram {
             };
             // Pivot.
             let piv = tab[leave][enter];
-            for v in tab[leave].iter_mut() {
+            for v in &mut tab[leave] {
                 *v /= piv;
             }
             // One pivot-row copy per iteration keeps the elimination loop

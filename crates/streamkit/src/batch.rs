@@ -229,7 +229,12 @@ pub enum Column {
     /// boundary. Builder paths ([`ColumnBuilder`], wire decode) enforce this
     /// with debug assertions; [`Column::str_at`] maps a violated invariant
     /// to `None` (reads as null) in release builds rather than panicking.
-    Str { offsets: Vec<u32>, data: Bytes },
+    Str {
+        /// Row boundaries into `data` (`rows + 1` entries).
+        offsets: Vec<u32>,
+        /// Concatenated UTF-8 string bytes.
+        data: Bytes,
+    },
     /// Dictionary-encoded strings: `codes[row]` indexes into `dict`. The
     /// physical fast path for low-cardinality string fields (tenant names,
     /// stat names): grouping and predicate kernels work on the codes, and

@@ -8,10 +8,17 @@ pub enum Error {
     /// A column name could not be resolved against a schema.
     UnknownColumn(String),
     /// A column index was out of bounds for the schema.
-    ColumnIndex { index: usize, width: usize },
+    ColumnIndex {
+        /// The offending index.
+        index: usize,
+        /// Schema width it was checked against.
+        width: usize,
+    },
     /// An expression or operator was applied to an incompatible type.
     TypeMismatch {
+        /// Type the operation requires.
         expected: &'static str,
+        /// Type it was given.
         got: &'static str,
     },
     /// A logical plan violated a structural requirement.

@@ -55,6 +55,11 @@ pub enum LogicalOp {
         key_col: usize,
         /// Miss policy.
         miss: JoinMiss,
+        /// True when the right side is a co-stream snapshot rather than a
+        /// static table. Execution is identical (the snapshot is joined like
+        /// a table), but the operator is *stateful across sources*, so the
+        /// planner's rule R-3 keeps it SP-only.
+        streaming: bool,
     },
 }
 
@@ -112,9 +117,31 @@ pub struct LogicalPlan {
     pub source_schema: SchemaRef,
     /// The operator chain.
     pub ops: Vec<LogicalOp>,
+    /// Requested physical instances per operator, aligned with `ops`
+    /// (1 = no intra-operator parallelism). Intermediate SPs may honour
+    /// wider hints; the planner's rule R-4 keeps such operators off the
+    /// constrained data sources.
+    pub parallel: Vec<u32>,
 }
 
 impl LogicalPlan {
+    /// Builds a plan with default parallelism (one physical instance per
+    /// operator).
+    pub fn new(name: impl Into<String>, source_schema: SchemaRef, ops: Vec<LogicalOp>) -> Self {
+        let parallel = vec![1; ops.len()];
+        LogicalPlan {
+            name: name.into(),
+            source_schema,
+            ops,
+            parallel,
+        }
+    }
+
+    /// The parallelism hint for op `index` (missing entries read as 1).
+    pub fn parallel_for(&self, index: usize) -> u32 {
+        self.parallel.get(index).copied().unwrap_or(1)
+    }
+
     /// Validates schema propagation and returns the schema at every edge:
     /// `schemas[0]` is the source schema and `schemas[i+1]` is op `i`'s
     /// output.
@@ -137,10 +164,17 @@ impl LogicalPlan {
         })
     }
 
-    /// Validates the plan: schemas propagate, and every stateful op has a
-    /// window in scope.
+    /// Validates the plan: schemas propagate, parallelism hints align with
+    /// the chain, and every stateful op has a window in scope.
     pub fn validate(&self) -> Result<()> {
         self.edge_schemas()?;
+        if self.parallel.len() != self.ops.len() {
+            return Err(Error::InvalidPlan(format!(
+                "{} parallelism hints for {} operators",
+                self.parallel.len(),
+                self.ops.len()
+            )));
+        }
         for (i, op) in self.ops.iter().enumerate() {
             if matches!(op, LogicalOp::GroupAggregate { .. }) && self.window_for(i).is_none() {
                 return Err(Error::InvalidPlan(format!(
@@ -200,10 +234,10 @@ mod tests {
     }
 
     fn plan() -> LogicalPlan {
-        LogicalPlan {
-            name: "t".into(),
-            source_schema: schema(),
-            ops: vec![
+        LogicalPlan::new(
+            "t",
+            schema(),
+            vec![
                 LogicalOp::Window { size: secs(10.0) },
                 LogicalOp::Filter {
                     predicate: Expr::col(2).eq(Expr::lit(0u64)),
@@ -214,7 +248,7 @@ mod tests {
                     emit: EmitMode::OnWindowClose,
                 },
             ],
-        }
+        )
     }
 
     #[test]
@@ -232,19 +266,27 @@ mod tests {
     fn group_without_window_is_invalid() {
         let mut p = plan();
         p.ops.remove(0);
+        p.parallel.remove(0);
         assert!(matches!(p.validate(), Err(Error::InvalidPlan(_))));
     }
 
     #[test]
     fn bad_column_reference_fails_validation() {
-        let p = LogicalPlan {
-            name: "bad".into(),
-            source_schema: schema(),
-            ops: vec![LogicalOp::Filter {
+        let p = LogicalPlan::new(
+            "bad",
+            schema(),
+            vec![LogicalOp::Filter {
                 predicate: Expr::col(9).eq(Expr::lit(0u64)),
             }],
-        };
+        );
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn misaligned_parallel_hints_fail_validation() {
+        let mut p = plan();
+        p.parallel.pop();
+        assert!(matches!(p.validate(), Err(Error::InvalidPlan(_))));
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl GroupTable {
 
     pub(crate) fn take_changed(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
         let mut out = Vec::new();
-        for (key, states, changed) in self.entries.iter_mut() {
+        for (key, states, changed) in &mut self.entries {
             if *changed {
                 out.push((key.clone(), states.clone()));
                 *changed = false;

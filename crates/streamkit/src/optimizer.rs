@@ -39,14 +39,22 @@ pub fn fold_constants(plan: &mut LogicalPlan) {
             *predicate = folded;
         }
     }
-    plan.ops.retain(|op| {
-        !matches!(
-            op,
+    // Remove always-true filters, keeping the parallelism hints aligned.
+    let mut i = 0;
+    while i < plan.ops.len() {
+        let trivially_true = matches!(
+            plan.ops[i],
             LogicalOp::Filter {
                 predicate: crate::expr::Expr::Lit(Value::Bool(true))
             }
-        )
-    });
+        );
+        if trivially_true {
+            plan.ops.remove(i);
+            plan.parallel.remove(i);
+        } else {
+            i += 1;
+        }
+    }
 }
 
 /// Tries to move each filter one position earlier; returns true if anything
@@ -78,6 +86,7 @@ pub fn push_filters_down(plan: &mut LogicalPlan) -> bool {
         match can_swap {
             Some(None) => {
                 plan.ops.swap(i - 1, i);
+                plan.parallel.swap(i - 1, i);
                 moved = true;
             }
             Some(Some(remapped)) => {
@@ -90,6 +99,8 @@ pub fn push_filters_down(plan: &mut LogicalPlan) -> bool {
                         predicate: remapped,
                     },
                 );
+                let par = plan.parallel.remove(i);
+                plan.parallel.insert(i - 1, par);
                 moved = true;
             }
             None => {}
@@ -110,6 +121,9 @@ pub fn fuse_adjacent_filters(plan: &mut LogicalPlan) -> bool {
             let LogicalOp::Filter { predicate: second } = plan.ops.remove(i + 1) else {
                 unreachable!()
             };
+            // The fused filter keeps the wider of the two hints.
+            let par = plan.parallel.remove(i + 1);
+            plan.parallel[i] = plan.parallel[i].max(par);
             let LogicalOp::Filter { predicate: first } = &mut plan.ops[i] else {
                 unreachable!()
             };
@@ -139,11 +153,7 @@ mod tests {
     }
 
     fn plan(ops: Vec<LogicalOp>) -> LogicalPlan {
-        LogicalPlan {
-            name: "t".into(),
-            source_schema: schema(),
-            ops,
-        }
+        LogicalPlan::new("t", schema(), ops)
     }
 
     #[test]
@@ -220,6 +230,27 @@ mod tests {
         let p = optimize(p);
         assert_eq!(p.ops.len(), 1);
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn rewrites_keep_parallel_hints_aligned() {
+        // A remapped filter carries its hint past the projection, and fused
+        // filters keep the wider hint.
+        let mut p = plan(vec![
+            LogicalOp::Filter {
+                predicate: Expr::col(0).gt(Expr::lit(1i64)),
+            },
+            LogicalOp::Project { cols: vec![0, 1] },
+            LogicalOp::Filter {
+                predicate: Expr::col(1).lt(Expr::lit(9i64)),
+            },
+        ]);
+        p.parallel = vec![1, 2, 3];
+        let p = optimize(p);
+        p.validate().unwrap();
+        assert_eq!(p.ops.len(), 2, "filters fuse in front of the projection");
+        assert!(matches!(p.ops[0], LogicalOp::Filter { .. }));
+        assert_eq!(p.parallel, vec![3, 2], "fused filter keeps the max hint");
     }
 
     #[test]

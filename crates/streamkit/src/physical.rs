@@ -104,6 +104,7 @@ pub fn build_pipeline(
                 table,
                 key_col,
                 miss,
+                ..
             } => Box::new(JoinOp::new(table.clone(), *key_col, *miss, input, cost)?),
         };
         ops.push(built);
@@ -210,7 +211,7 @@ mod tests {
         let direct = run_chain(&mut ops, input_batch(&plan));
         assert!(direct.is_empty(), "aggregation holds state until close");
         let mut out = Vec::new();
-        for op in ops.iter_mut() {
+        for op in &mut ops {
             op.on_watermark(secs(10.0), &mut out);
         }
         let rows: Vec<Record> = out.iter().flat_map(Batch::to_records).collect();

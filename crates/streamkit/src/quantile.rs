@@ -1,7 +1,7 @@
 //! A small mergeable quantile sketch.
 //!
 //! The paper's rule R-1 excludes exact quantiles from near-data execution but
-//! admits approximate, incrementally-updatable versions (citing [41], [42] —
+//! admits approximate, incrementally-updatable versions (citing \[41\], \[42\] —
 //! histogram-based estimation as in Prometheus). This sketch is an equi-width
 //! histogram over a configured range with linear interpolation inside a
 //! bucket: mergeable, bounded-size, and adequate for telemetry value domains

@@ -47,6 +47,7 @@ impl Query {
             source_schema: schema.clone(),
             current: Ok(schema),
             ops: Vec::new(),
+            parallel: Vec::new(),
             pending_keys: None,
         }
     }
@@ -58,6 +59,7 @@ pub struct QueryBuilder {
     source_schema: SchemaRef,
     current: Result<SchemaRef>,
     ops: Vec<LogicalOp>,
+    parallel: Vec<u32>,
     pending_keys: Option<Vec<usize>>,
 }
 
@@ -67,6 +69,7 @@ impl QueryBuilder {
             match op.output_schema(schema) {
                 Ok(next) => {
                     self.ops.push(op);
+                    self.parallel.push(1);
                     self.current = Ok(next);
                 }
                 Err(e) => self.current = Err(e),
@@ -107,7 +110,10 @@ impl QueryBuilder {
         match self.resolve(column) {
             Ok(idx) => self.filter(Expr::ContainsAny(
                 idx,
-                patterns.iter().map(|s| s.to_string()).collect(),
+                patterns
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect(),
             )),
             Err(e) => {
                 self.current = Err(e);
@@ -141,12 +147,51 @@ impl QueryBuilder {
                 table,
                 key_col,
                 miss,
+                streaming: false,
             }),
             Err(e) => {
                 self.current = Err(e);
                 self
             }
         }
+    }
+
+    /// Joins with a co-stream snapshot on the named stream column. The
+    /// snapshot executes like a table join, but the operator is a stateful
+    /// stream-stream join, so the planner's rule R-3 keeps it SP-only.
+    pub fn join_stream(
+        mut self,
+        snapshot: Arc<StaticTable>,
+        key_column: &str,
+        miss: JoinMiss,
+    ) -> Self {
+        match self.resolve(key_column) {
+            Ok(key_col) => self.push(LogicalOp::Join {
+                table: snapshot,
+                key_col,
+                miss,
+                streaming: true,
+            }),
+            Err(e) => {
+                self.current = Err(e);
+                self
+            }
+        }
+    }
+
+    /// Requests `width` physical instances for the most recently added
+    /// operator (an intra-operator parallelism hint; rule R-4 keeps such
+    /// operators off the constrained data sources).
+    pub fn parallel(mut self, width: u32) -> Self {
+        if self.current.is_ok() {
+            match self.parallel.last_mut() {
+                Some(p) => *p = width.max(1),
+                None => {
+                    self.current = Err(Error::InvalidPlan("parallel() before any operator".into()));
+                }
+            }
+        }
+        self
     }
 
     /// Starts a grouped aggregation (Listing 1's `.GroupApply(...)`); must be
@@ -206,6 +251,7 @@ impl QueryBuilder {
             name: self.name,
             source_schema: self.source_schema,
             ops: self.ops,
+            parallel: self.parallel,
         };
         plan.validate()?;
         Ok(plan)
@@ -271,6 +317,53 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, Error::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn parallel_hint_lands_on_the_last_operator() {
+        let plan = Query::stream("p", schema())
+            .window_secs(10.0)
+            .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
+            .parallel(4)
+            .group_by(&["srcIp"])
+            .aggregate(&[(AggKind::Count, "rtt", "n")])
+            .build()
+            .unwrap();
+        assert_eq!(plan.parallel, vec![1, 4, 1]);
+    }
+
+    #[test]
+    fn parallel_before_any_operator_is_rejected() {
+        let err = Query::stream("p", schema())
+            .parallel(2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn join_stream_marks_the_join_streaming() {
+        let snapshot = Arc::new(StaticTable::new(
+            vec![Field::new("torId", DataType::U32)],
+            (0u64..4).map(|ip| {
+                (
+                    crate::value::Value::U64(ip),
+                    vec![crate::value::Value::U64(ip / 2)],
+                )
+            }),
+        ));
+        let plan = Query::stream("sj", schema())
+            .window_secs(10.0)
+            .join_stream(snapshot, "srcIp", JoinMiss::Drop)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            plan.ops[1],
+            LogicalOp::Join {
+                streaming: true,
+                ..
+            }
+        ));
     }
 
     #[test]

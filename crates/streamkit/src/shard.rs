@@ -315,7 +315,7 @@ mod tests {
             assert_eq!(total, b.len());
             let mut rows: Vec<Record> = shards.iter().flat_map(Batch::to_records).collect();
             let mut expected = b.to_records();
-            let key = |r: &Record| format!("{:?}", r);
+            let key = |r: &Record| format!("{r:?}");
             rows.sort_by_key(key);
             expected.sort_by_key(key);
             assert_eq!(rows, expected);

@@ -3,7 +3,7 @@
 //! Unstructured log lines carrying per-tenant analytics-job statistics —
 //! tenant name, job running time (ms), CPU and memory utilisation — mixed
 //! with non-matching noise lines. The default rate follows the paper's
-//! derivation from [11]: 10s of PB/day over 200 K nodes ⇒ 0.62 MB/s
+//! derivation from \[11\]: 10s of PB/day over 200 K nodes ⇒ 0.62 MB/s
 //! (4.96 Mbps) per node, scaled 10× for experiments.
 
 use std::sync::Arc;
@@ -322,7 +322,10 @@ mod tests {
         let recs = g.generate_epoch(0, 0.1);
         let parse = MapFn::ParseJobStats {
             col: 0,
-            stats: STAT_NAMES.iter().map(|s| s.to_string()).collect(),
+            stats: STAT_NAMES
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
         };
         let lower = MapFn::TrimLower(0);
         let mut parsed = 0;
@@ -349,7 +352,10 @@ mod tests {
         let mut structured_gen = LogGenerator::new(LogConfig::default());
         let parse = MapFn::ParseJobStats {
             col: 0,
-            stats: STAT_NAMES.iter().map(|s| s.to_string()).collect(),
+            stats: STAT_NAMES
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
         };
         for epoch in 0..3 {
             let start = epoch * 1_000_000;

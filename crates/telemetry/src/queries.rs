@@ -76,7 +76,10 @@ pub fn log_analytics() -> LogicalPlan {
         .filter_contains_any("line", &LOG_PATTERNS)
         .map(MapFn::ParseJobStats {
             col: 0,
-            stats: STAT_NAMES.iter().map(|s| s.to_string()).collect(),
+            stats: STAT_NAMES
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
         })
         .map(MapFn::WidthBucket {
             col: 2,
@@ -137,7 +140,7 @@ mod tests {
             ..Default::default()
         });
         let mut cur = vec![g.generate_epoch_batch(0, 1.0)];
-        for op in ops.iter_mut() {
+        for op in &mut ops {
             let mut next = Vec::new();
             for b in cur {
                 op.process_batch(b, &mut next);
@@ -145,7 +148,7 @@ mod tests {
             cur = next;
         }
         let mut out = Vec::new();
-        for op in ops.iter_mut() {
+        for op in &mut ops {
             op.on_watermark(streamkit::time::secs(10.0), &mut out);
         }
         let rows: usize = out.iter().map(Batch::len).sum();

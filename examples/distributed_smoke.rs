@@ -99,9 +99,9 @@ fn report_line(label: &str, r: &RunReport) {
     println!(
         "{label:<22}: {} results, digest {}",
         r.results_emitted,
-        r.exactness
-            .as_ref()
-            .map(|d| format!("{} over {} rows", d.digest, d.rows))
-            .unwrap_or_else(|| "-".into()),
+        r.exactness.as_ref().map_or_else(
+            || "-".into(),
+            |d| format!("{} over {} rows", d.digest, d.rows)
+        ),
     );
 }

@@ -49,9 +49,8 @@ fn jarvis_is_at_least_as_fast_as_the_model_agnostic_ablation() {
     }];
     let jarvis = convergence_run(&spec, StrategyKind::Jarvis, 0.10, &events, 40);
     let agnostic = convergence_run(&spec, StrategyKind::JarvisNoLpInit, 0.10, &events, 40);
-    let first = |r: &jarvis::core::deploy::RunReport| {
-        r.episodes.first().map(|(a, b)| b - a).unwrap_or(u64::MAX)
-    };
+    let first =
+        |r: &jarvis::core::deploy::RunReport| r.episodes.first().map_or(u64::MAX, |(a, b)| b - a);
     assert!(
         first(&jarvis) <= first(&agnostic),
         "LP init must not slow convergence: jarvis {:?} vs w/o-lp {:?}",
@@ -86,8 +85,7 @@ fn join_table_growth_triggers_adaptation() {
     let tail: Vec<_> = report.trace.iter().rev().take(3).map(|t| t.state).collect();
     assert!(
         tail.contains(&jarvis::core::proxy::QueryState::Stable),
-        "query must re-stabilise after table growth: tail {:?}",
-        tail
+        "query must re-stabilise after table growth: tail {tail:?}"
     );
 }
 

@@ -51,7 +51,7 @@ fn run_full(plan: &LogicalPlan, inputs: &[Batch], keys: Keys) -> Vec<Record> {
     let mut results = Vec::new();
     for (e, input) in inputs.iter().enumerate() {
         let mut cur = vec![input.clone()];
-        for op in ops.iter_mut() {
+        for op in &mut ops {
             let mut next = Vec::new();
             for mut b in cur {
                 normalise(&mut b, keys);
@@ -101,7 +101,7 @@ fn run_partitioned(
         let mask: Vec<bool> = (0..input.len()).map(|r| r % 2 == 1).collect();
         let drained_mask: Vec<bool> = mask.iter().map(|b| !b).collect();
         let mut cur = vec![input.select(&mask)];
-        for op in local.iter_mut() {
+        for op in &mut local {
             let mut next = Vec::new();
             for mut b in cur {
                 normalise(&mut b, local_keys);
@@ -115,7 +115,7 @@ fn run_partitioned(
             }
         }
         let mut cur = vec![input.select(&drained_mask)];
-        for op in replica.iter_mut() {
+        for op in &mut replica {
             let mut next = Vec::new();
             for mut b in cur {
                 normalise(&mut b, replica_keys);

@@ -34,7 +34,7 @@ fn run_full(plan: &LogicalPlan, inputs: &[Batch]) -> Vec<Record> {
     let mut results: Vec<Record> = Vec::new();
     for (e, input) in inputs.iter().enumerate() {
         let mut cur = vec![input.clone()];
-        for op in ops.iter_mut() {
+        for op in &mut ops {
             let mut next = Vec::new();
             for b in cur {
                 op.process_batch(b, &mut next);
@@ -78,7 +78,7 @@ fn run_partitioned(plan: &LogicalPlan, inputs: &[Batch]) -> Vec<Record> {
         let mask: Vec<bool> = (0..input.len()).map(|r| r % 2 == 1).collect();
         let drained_mask: Vec<bool> = mask.iter().map(|b| !b).collect();
         let mut cur = vec![input.select(&mask)];
-        for op in local.iter_mut() {
+        for op in &mut local {
             let mut next = Vec::new();
             for b in cur {
                 op.process_batch(b, &mut next);
@@ -91,7 +91,7 @@ fn run_partitioned(plan: &LogicalPlan, inputs: &[Batch]) -> Vec<Record> {
             }
         }
         let mut cur = vec![input.select(&drained_mask)];
-        for op in replica.iter_mut() {
+        for op in &mut replica {
             let mut next = Vec::new();
             for b in cur {
                 op.process_batch(b, &mut next);

@@ -265,7 +265,7 @@ fn garbage_connections_do_not_block_admission() {
                     break;
                 }
                 Err(_) if std::time::Instant::now() < deadline => {
-                    thread::sleep(Duration::from_millis(10))
+                    thread::sleep(Duration::from_millis(10));
                 }
                 Err(e) => panic!("garbage peer cannot connect: {e}"),
             }
