@@ -1,0 +1,179 @@
+//! Fault-recovery evidence for the perf trajectory.
+//!
+//! Unlike the throughput series, this one gates on **correctness
+//! evidence**, not speed: it boots a real 2-node loopback TCP deployment,
+//! severs node 1's link at an epoch boundary via a seeded [`FaultPlan`],
+//! lets the coordinator reassign the lost shards from the last acked
+//! checkpoint plus replayed traffic, and records whether the recovered
+//! digest is bit-identical to a fault-free in-process run. Recovery
+//! timing is reported as context but never gated — wall-clock on a
+//! loopback drill is machine noise; the machine-independent facts are
+//! "an incident happened", "bytes were replayed", and "the answer did
+//! not change".
+
+use std::net::TcpListener;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use jarvis_core::calibration::Scale;
+use jarvis_core::deploy::{BackendKind, Deployment, OnNodeLoss, RunReport, TransportKind};
+use jarvis_core::experiment::ScenarioSpec;
+use jarvis_core::fault::{FaultKind, FaultPlan, FaultTrigger};
+use jarvis_core::node::{run_node, NodeConfig};
+use jarvis_core::strategy::StrategyKind;
+use serde::{Deserialize, Serialize};
+
+/// Virtual shards on the ring, matching `tests/fault_parity.rs`.
+const RING: u32 = 4;
+/// Epochs per run; the fault fires at the boundary of [`KILL_EPOCH`].
+const EPOCHS: u64 = 8;
+/// The severed node acks exactly this many epochs before the cut.
+const KILL_EPOCH: u64 = 3;
+/// Checkpoint every this many epochs (so recovery replays at most one).
+const CKPT_INTERVAL: u64 = 2;
+
+/// Result of one seeded fault-recovery drill. The CI gate checks the
+/// boolean/count evidence (`digest_match`, `complete`, `incidents`,
+/// `replay_bytes`); the timing fields are context only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRecoveryResult {
+    /// Workload identifier.
+    pub pipeline: String,
+    /// Epochs per run.
+    pub epochs: u64,
+    /// Epoch boundary at which node 1's link was severed.
+    pub kill_epoch: u64,
+    /// Checkpoint cadence in epochs.
+    pub checkpoint_interval: u64,
+    /// Node-loss incidents the coordinator reported (the drill injects 1).
+    pub incidents: usize,
+    /// Checkpoint + buffered-traffic bytes re-shipped for recovery.
+    pub replay_bytes: u64,
+    /// Heartbeat pings sent while awaiting epoch acks.
+    pub heartbeats_sent: u64,
+    /// Recovered digest is bit-identical to the fault-free in-process run.
+    pub digest_match: bool,
+    /// Every shard finished at completeness 1.0 after reassignment.
+    pub complete: bool,
+    /// Wall-clock of the faulted TCP run, seconds (context, not gated).
+    pub faulted_secs: f64,
+    /// Wall-clock of the fault-free in-process run, seconds (context).
+    pub baseline_secs: f64,
+}
+
+impl FaultRecoveryResult {
+    /// Human-readable failures of the recovery contract — empty when the
+    /// drill proved exact recovery. Absolute (not baseline-relative): a
+    /// recovery that loses data is wrong on any machine.
+    pub fn contract_failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.incidents == 0 {
+            out.push("fault_recovery: no incident reported — the drill injected no fault".into());
+        }
+        if self.replay_bytes == 0 {
+            out.push("fault_recovery: zero replay bytes — recovery re-shipped nothing".into());
+        }
+        if !self.digest_match {
+            out.push("fault_recovery: digest diverged from the fault-free run".into());
+        }
+        if !self.complete {
+            out.push("fault_recovery: a shard finished below completeness 1.0".into());
+        }
+        out
+    }
+}
+
+/// An ephemeral loopback port that is free right now.
+fn free_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    addr
+}
+
+fn in_process_run(spec: &ScenarioSpec) -> RunReport {
+    Deployment::builder()
+        .workload(spec.clone())
+        .strategy(StrategyKind::AllSp)
+        .cpu_budget(1.0)
+        .sources(2)
+        .sp_shards(RING)
+        .sp_nodes(4)
+        .backend(BackendKind::Live)
+        .collect_results(true)
+        .build()
+        .expect("valid spec")
+        .run(EPOCHS)
+        .expect("in-process run")
+}
+
+/// Runs the seeded sever-and-reassign drill once and scores the evidence.
+pub fn bench_fault_recovery() -> FaultRecoveryResult {
+    let spec = ScenarioSpec::pingmesh_s2s(Scale::X1);
+    let addr = free_addr();
+    let token = "bench-fault";
+
+    let node_handles: Vec<_> = (0..2)
+        .map(|_| {
+            let config = NodeConfig::new(&addr, token);
+            thread::spawn(move || run_node(&config))
+        })
+        .collect();
+
+    let start = Instant::now();
+    let report = Deployment::builder()
+        .workload(spec.clone())
+        .strategy(StrategyKind::AllSp)
+        .cpu_budget(1.0)
+        .sources(2)
+        .sp_shards(RING)
+        .sp_nodes(2)
+        .backend(BackendKind::Live)
+        .transport(TransportKind::Tcp)
+        .listen_addr(&addr)
+        .auth_token(token)
+        .node_timeout(Duration::from_secs(30))
+        .liveness_timeout(Duration::from_secs(10))
+        .checkpoint_interval(CKPT_INTERVAL)
+        .fault_plan(FaultPlan::single(
+            0x5eed_cafe,
+            1,
+            FaultTrigger::EpochEnd(KILL_EPOCH),
+            FaultKind::Sever,
+        ))
+        .on_node_loss(OnNodeLoss::Reassign)
+        .collect_results(true)
+        .build()
+        .expect("valid TCP deployment")
+        .run(EPOCHS)
+        .expect("run survives the node loss");
+    let faulted_secs = start.elapsed().as_secs_f64();
+    for handle in node_handles {
+        // The severed node exits with an error by design; joining is what
+        // matters so no executor thread outlives the measurement.
+        let _ = handle.join().expect("node thread");
+    }
+
+    let start = Instant::now();
+    let baseline = in_process_run(&spec);
+    let baseline_secs = start.elapsed().as_secs_f64();
+
+    FaultRecoveryResult {
+        pipeline: format!(
+            "S2SProbe 2-node SP ({RING}-shard ring), sever at epoch {KILL_EPOCH} -> reassign"
+        ),
+        epochs: EPOCHS,
+        kill_epoch: KILL_EPOCH,
+        checkpoint_interval: CKPT_INTERVAL,
+        incidents: report.incidents.len(),
+        replay_bytes: report.replay_bytes,
+        heartbeats_sent: report.heartbeats_sent,
+        digest_match: report.exactness.is_some() && report.exactness == baseline.exactness,
+        complete: report
+            .shard_stats
+            .iter()
+            .all(|s| (s.completeness - 1.0).abs() < f64::EPSILON),
+        faulted_secs,
+        baseline_secs,
+    }
+}

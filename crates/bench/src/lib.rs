@@ -5,6 +5,7 @@
 //! rows/series the paper plots, and optionally writes as JSON for
 //! EXPERIMENTS.md.
 
+pub mod faultrecovery;
 pub mod figures;
 pub mod groupagg;
 pub mod measure;
@@ -14,6 +15,7 @@ pub mod output;
 pub mod plancheck_cli;
 pub mod shardscale;
 
+pub use faultrecovery::{bench_fault_recovery, FaultRecoveryResult};
 pub use figures::*;
 pub use groupagg::{bench_group_agg, GroupAggResult};
 pub use nettransport::{bench_net_transport, NetTransportResult};

@@ -12,10 +12,12 @@
 //!
 //! `bench` is not a paper figure: it measures the str-keyed vs dict-keyed
 //! group-aggregate kernels, the sharded SP runtime's 1/2/4-shard scaling,
-//! and the multi-node SP tier's 1/2/4-node scaling, and (with `--json`)
-//! writes `BENCH_throughput.json`, the perf-trajectory artifact CI
-//! uploads. With `--check` it additionally fails (exit 1) when a measured
-//! speedup regresses more than 20% below the committed baseline.
+//! the multi-node SP tier's 1/2/4-node scaling, and the seeded
+//! fault-recovery drill, and (with `--json`) writes
+//! `BENCH_throughput.json`, the perf-trajectory artifact CI uploads. With
+//! `--check` it additionally fails (exit 1) when a measured speedup
+//! regresses more than 20% below the committed baseline, or when the
+//! fault-recovery drill fails to prove exact recovery.
 
 use jarvis_bench::output::{f2, render_ascii_chart, render_table, write_json};
 use jarvis_bench::*;
@@ -326,6 +328,7 @@ fn run_bench(json: bool, check: bool) {
         shard_scaling: bench_shard_scaling(15),
         node_scaling: bench_node_scaling(15),
         net_transport: bench_net_transport(15),
+        fault_recovery: Some(bench_fault_recovery()),
     };
     let g = &report.group_agg;
     println!("Group-aggregate kernels: str keys vs dict keys");
@@ -386,6 +389,22 @@ fn run_bench(json: bool, check: bool) {
         "  relative : {:.2}x of the in-process channel",
         t.relative_throughput
     );
+    if let Some(fr) = &report.fault_recovery {
+        println!("Fault recovery: seeded sever + reassign over loopback TCP");
+        println!("  drill    : {}", fr.pipeline);
+        println!(
+            "  evidence : {} incident(s), {} replay bytes, {} heartbeats",
+            fr.incidents, fr.replay_bytes, fr.heartbeats_sent
+        );
+        println!(
+            "  exactness: digest_match={} complete={} (target: both true)",
+            fr.digest_match, fr.complete
+        );
+        println!(
+            "  wallclock: {:.2}s faulted vs {:.2}s fault-free (context only)",
+            fr.faulted_secs, fr.baseline_secs
+        );
+    }
     maybe_json(json, "BENCH_throughput", &report);
 
     if check {

@@ -39,6 +39,11 @@ pub struct ThroughputReport {
     pub node_scaling: crate::nodescale::NodeScalingResult,
     /// Framed-TCP socket transport vs in-process channel (PR 6).
     pub net_transport: crate::nettransport::NetTransportResult,
+    /// Seeded node-loss drill: sever + reassign must keep the digest
+    /// bit-identical (PR 8). `Option` so pre-PR-8 baselines (no such
+    /// field) still load — the vendored serde reads a missing field as
+    /// `Null`, which `Option` maps to `None`.
+    pub fault_recovery: Option<crate::faultrecovery::FaultRecoveryResult>,
 }
 
 /// Allowed relative speedup regression before the CI gate fails.
@@ -79,6 +84,19 @@ impl ThroughputReport {
             self.net_transport.relative_throughput,
             baseline.net_transport.relative_throughput,
         );
+        // The fault-recovery series gates on evidence, not speed: the
+        // measured drill must prove exact recovery regardless of what the
+        // committed baseline recorded (timing is machine noise; losing
+        // data is wrong everywhere).
+        if let Some(fr) = &self.fault_recovery {
+            out.extend(fr.contract_failures());
+        } else if baseline.fault_recovery.is_some() {
+            out.push(
+                "fault_recovery: series missing from the measured report but present \
+                 in the committed baseline"
+                    .to_string(),
+            );
+        }
         out
     }
 }

@@ -1,0 +1,258 @@
+//! `jarvis-chaos-proxy` — a frame-aware TCP chaos proxy for fault drills.
+//!
+//! Sits between a `jarvis-node` executor and its coordinator and injects
+//! one scheduled fault into the **coordinator → node** direction, the one
+//! carrying shard traffic and epoch boundaries. The node dials the proxy;
+//! the proxy dials the real coordinator. Node → coordinator bytes are
+//! copied verbatim; coordinator → node bytes are re-framed so the fault
+//! lands on an exact frame boundary — the same semantics as the
+//! in-process fault schedule, so a drill against real processes and a
+//! seeded test exercise identical code paths on both peers.
+//!
+//! ```text
+//! jarvis-chaos-proxy --listen 127.0.0.1:47532 --upstream 127.0.0.1:47531 \
+//!     --fault sever --at-epoch 3 [--conn 1] [--seed 7]
+//! ```
+//!
+//! Faults: `sever` (shut the socket both ways), `drop` (discard the
+//! frame), `corrupt` (flip one body byte — CRC-detectable downstream),
+//! `delay:<ms>` (stall before forwarding). Triggers: `--at-frame <n>`
+//! (before the n-th forwarded frame, 0-based) or `--at-epoch <k>` (before
+//! the k-th `EpochEnd`, so the node acks exactly `k` epochs). `--conn`
+//! picks which accepted connection is faulted (1-based, default 1); every
+//! other connection is forwarded clean. The fault fires once.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::thread;
+use std::time::Duration;
+
+use jarvis_core::engine::transport::{encode_frame, FrameKind, FrameReader, HEADER_LEN};
+use jarvis_core::fault::{splitmix64, FaultKind, FaultTrigger};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jarvis-chaos-proxy --listen <host:port> --upstream <host:port> \
+         --fault sever|drop|corrupt|delay:<ms> (--at-frame <n> | --at-epoch <k>) \
+         [--conn <n>] [--seed <s>]"
+    );
+    std::process::exit(2);
+}
+
+struct ProxyConfig {
+    listen: String,
+    upstream: String,
+    fault: FaultKind,
+    trigger: FaultTrigger,
+    /// Which accepted connection gets the fault, 1-based.
+    conn: u64,
+    seed: u64,
+}
+
+fn parse_fault(s: &str) -> FaultKind {
+    match s {
+        "sever" => FaultKind::Sever,
+        "drop" => FaultKind::Drop,
+        "corrupt" => FaultKind::Corrupt,
+        other => match other.strip_prefix("delay:").map(str::parse::<u64>) {
+            Some(Ok(ms)) => FaultKind::Delay(ms),
+            _ => {
+                eprintln!("--fault: unknown kind {other:?}");
+                usage();
+            }
+        },
+    }
+}
+
+fn parse_args() -> ProxyConfig {
+    let mut listen = None;
+    let mut upstream = None;
+    let mut fault = None;
+    let mut trigger = None;
+    let mut conn = 1u64;
+    let mut seed = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        let parse_u64 = |flag: &str, v: String| {
+            v.parse::<u64>().unwrap_or_else(|e| {
+                eprintln!("{flag}: {e}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => listen = Some(value("--listen")),
+            "--upstream" => upstream = Some(value("--upstream")),
+            "--fault" => fault = Some(parse_fault(&value("--fault"))),
+            "--at-frame" => {
+                let n = parse_u64("--at-frame", value("--at-frame"));
+                trigger = Some(FaultTrigger::Frame(n));
+            }
+            "--at-epoch" => {
+                let k = parse_u64("--at-epoch", value("--at-epoch"));
+                trigger = Some(FaultTrigger::EpochEnd(k));
+            }
+            "--conn" => conn = parse_u64("--conn", value("--conn")),
+            "--seed" => seed = parse_u64("--seed", value("--seed")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let (Some(listen), Some(upstream), Some(fault), Some(trigger)) =
+        (listen, upstream, fault, trigger)
+    else {
+        usage()
+    };
+    ProxyConfig {
+        listen,
+        upstream,
+        fault,
+        trigger,
+        conn,
+        seed,
+    }
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let listener = match TcpListener::bind(&config.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!(
+                "jarvis-chaos-proxy: cannot listen on {}: {e}",
+                config.listen
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "jarvis-chaos-proxy: {} -> {} ({:?} at {:?} on conn {})",
+        config.listen, config.upstream, config.fault, config.trigger, config.conn
+    );
+    let mut accepted = 0u64;
+    loop {
+        let (client, peer) = match listener.accept() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("jarvis-chaos-proxy: accept failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Only relayed connections count towards `--conn`: a node dialling
+        // in before the coordinator listens must not consume the armed
+        // slot (executors retry until the coordinator is up).
+        let upstream = match TcpStream::connect(&config.upstream) {
+            Ok(u) => u,
+            Err(e) => {
+                eprintln!(
+                    "jarvis-chaos-proxy: upstream {} unreachable: {e}",
+                    config.upstream
+                );
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        accepted += 1;
+        let armed = accepted == config.conn;
+        println!(
+            "jarvis-chaos-proxy: conn {accepted} from {peer}{}",
+            if armed { " [fault armed]" } else { "" }
+        );
+        let fault = armed.then_some((config.trigger, config.fault));
+        let seed = config.seed;
+        thread::spawn(move || relay(accepted, client, upstream, fault, seed));
+    }
+}
+
+/// Runs one proxied connection: a raw node → coordinator copy plus the
+/// frame-aligned coordinator → node pump that applies the fault.
+fn relay(
+    conn: u64,
+    client: TcpStream,
+    upstream: TcpStream,
+    fault: Option<(FaultTrigger, FaultKind)>,
+    seed: u64,
+) {
+    let (Ok(client_r), Ok(upstream_r)) = (client.try_clone(), upstream.try_clone()) else {
+        eprintln!("jarvis-chaos-proxy: conn {conn}: stream clone failed");
+        return;
+    };
+    // Node → coordinator: verbatim. A failure on either side ends the
+    // relay; the peers' own liveness machinery takes it from there.
+    let uplink = thread::spawn(move || {
+        let mut from = client_r;
+        let mut to = upstream;
+        let _ = io::copy(&mut from, &mut to);
+        let _ = to.shutdown(Shutdown::Write);
+    });
+    pump_frames(conn, upstream_r, client, fault, seed);
+    let _ = uplink.join();
+}
+
+/// Forwards coordinator → node frames one at a time, applying the armed
+/// fault exactly once with the same trigger/kind semantics as the
+/// in-process writer schedule (the fault fires *before* the matched
+/// frame; `corrupt` flips a body byte so the CRC catches it downstream).
+fn pump_frames(
+    conn: u64,
+    upstream: TcpStream,
+    client: TcpStream,
+    fault: Option<(FaultTrigger, FaultKind)>,
+    seed: u64,
+) {
+    let upstream_half = upstream.try_clone();
+    let mut reader = FrameReader::new(upstream);
+    let mut out = client;
+    let mut pending = fault;
+    let mut frame_idx = 0u64;
+    let mut epoch_idx = 0u64;
+    while let Ok((kind, body)) = reader.read_frame() {
+        let is_epoch_end = kind == FrameKind::EpochEnd;
+        let fired = pending.is_some_and(|(trigger, _)| match trigger {
+            FaultTrigger::Frame(n) => n == frame_idx,
+            FaultTrigger::EpochEnd(k) => is_epoch_end && k == epoch_idx,
+        });
+        frame_idx += 1;
+        if is_epoch_end {
+            epoch_idx += 1;
+        }
+        let mut frame = encode_frame(kind, &body).to_vec();
+        if fired {
+            let (_, kind_fired) = pending.take().expect("fired implies pending");
+            println!("jarvis-chaos-proxy: conn {conn}: {kind_fired:?} on {kind:?} frame");
+            match kind_fired {
+                FaultKind::Drop => continue,
+                FaultKind::Delay(ms) => thread::sleep(Duration::from_millis(ms)),
+                FaultKind::Corrupt => {
+                    let roll = splitmix64(seed ^ frame_idx) as usize;
+                    let pos = if frame.len() > HEADER_LEN {
+                        HEADER_LEN + roll % (frame.len() - HEADER_LEN)
+                    } else {
+                        11 + roll % 4
+                    };
+                    frame[pos] ^= 0x01;
+                }
+                FaultKind::Sever => {
+                    break;
+                }
+            }
+        }
+        if out.write_all(&frame).is_err() {
+            break;
+        }
+    }
+    // Tear both sides down so the raw uplink copy unblocks too.
+    let _ = out.shutdown(Shutdown::Both);
+    if let Ok(upstream) = upstream_half {
+        let _ = upstream.shutdown(Shutdown::Both);
+    }
+}

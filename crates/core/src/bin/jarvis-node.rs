@@ -7,8 +7,13 @@
 //!
 //! ```text
 //! jarvis-node --coordinator 127.0.0.1:47531 --token secret [--node-id 1]
-//!             [--connect-timeout-secs 10]
+//!             [--connect-timeout-secs 10] [--reconnect [--max-reconnects 5]]
 //! ```
+//!
+//! With `--reconnect`, a transport failure mid-run re-dials the coordinator
+//! (capped exponential backoff, per-node jitter) and re-registers under the
+//! same node id; the coordinator re-seeds the node from its last checkpoint
+//! and replays post-checkpoint traffic, so the run's results stay exact.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -18,7 +23,8 @@ use jarvis_core::node::{run_node, NodeConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: jarvis-node --coordinator <host:port> --token <token> \
-         [--node-id <n>] [--connect-timeout-secs <s>]"
+         [--node-id <n>] [--connect-timeout-secs <s>] \
+         [--reconnect] [--max-reconnects <n>]"
     );
     std::process::exit(2);
 }
@@ -28,6 +34,8 @@ fn parse_args() -> NodeConfig {
     let mut token = None;
     let mut node_id = None;
     let mut connect_timeout = Duration::from_secs(10);
+    let mut reconnect = false;
+    let mut max_reconnects = 5u32;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -53,6 +61,14 @@ fn parse_args() -> NodeConfig {
                     usage();
                 }
             },
+            "--reconnect" => reconnect = true,
+            "--max-reconnects" => match value("--max-reconnects").parse::<u32>() {
+                Ok(n) => max_reconnects = n,
+                Err(e) => {
+                    eprintln!("--max-reconnects: {e}");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -69,6 +85,8 @@ fn parse_args() -> NodeConfig {
         token,
         node_id,
         connect_timeout,
+        reconnect,
+        max_reconnects,
     }
 }
 
@@ -77,8 +95,12 @@ fn main() -> ExitCode {
     match run_node(&config) {
         Ok(summary) => {
             println!(
-                "jarvis-node {}: {} epochs, {} shard frames, {} result rows",
-                summary.node_id, summary.epochs, summary.shard_frames, summary.result_rows
+                "jarvis-node {}: {} epochs, {} shard frames, {} result rows, {} reconnects",
+                summary.node_id,
+                summary.epochs,
+                summary.shard_frames,
+                summary.result_rows,
+                summary.reconnects
             );
             ExitCode::SUCCESS
         }

@@ -6,6 +6,20 @@
 //! checkpoint and processes the remaining data for the window; after a
 //! restart, the source resumes with its adapted load factors instead of
 //! re-converging from scratch.
+//!
+//! This module covers the **source side**. The distributed SP tier has its
+//! own epoch-aligned checkpoint path: each `jarvis-node` executor cuts a
+//! cumulative snapshot at checkpoint boundaries — every stateful operator
+//! via the non-destructive `Operator::checkpoint_state` (which, unlike
+//! [`take_state_delta`](streamkit::ops::Operator::take_state_delta), also
+//! covers final-role aggregations) plus the result rows already collected
+//! past the chain — and ships it back as `Ckpt` frames. The coordinator
+//! keeps the last acked snapshot per shard and a replay buffer of
+//! post-checkpoint traffic, which recovery re-ships to a reconnecting
+//! executor or to survivors adopting the lost shards (see
+//! [`crate::deploy::OnNodeLoss`]). The same §IV-E trade-off applies: a
+//! shorter interval spends steady-state checkpoint bytes to shrink the
+//! replay a failure has to pay for.
 
 use serde::{Deserialize, Serialize};
 use streamkit::ops::StatePartial;

@@ -140,6 +140,7 @@ impl EmulatedBackend {
                 drained_records: s.drained_records,
                 usage_us: s.usage_us,
                 wire_bytes_out: s.wire_bytes_out,
+                completeness: 1.0,
             })
             .collect();
         report.node_stats = block
@@ -187,7 +188,7 @@ impl ExecBackend for LiveBackend {
 
     fn run(&mut self, spec: &DeploymentSpec, epochs: u64) -> Result<RunReport, DeployError> {
         let mut session = LiveSession::new(spec)?;
-        session.run_epochs(epochs);
+        session.run_epochs(epochs)?;
         let mut report = RunReport::skeleton("live", spec.workload.name(), spec.strategy);
         report.epochs = session.epoch();
         report.deployed_chain = session.planned().plan.display_chain();
@@ -215,14 +216,22 @@ impl ExecBackend for LiveBackend {
             .shard_drained_records
             .iter()
             .zip(&outcome.shard_usage_us)
-            .zip(&outcome.shard_wire_bytes)
-            .map(|((&drained_records, &usage_us), &wire_bytes_out)| {
-                crate::deploy::report::ShardStat {
-                    drained_records,
-                    usage_us,
-                    wire_bytes_out,
-                }
-            })
+            .zip(
+                outcome
+                    .shard_wire_bytes
+                    .iter()
+                    .zip(&outcome.shard_completeness),
+            )
+            .map(
+                |((&drained_records, &usage_us), (&wire_bytes_out, &completeness))| {
+                    crate::deploy::report::ShardStat {
+                        drained_records,
+                        usage_us,
+                        wire_bytes_out,
+                        completeness,
+                    }
+                },
+            )
             .collect();
         report.node_stats = outcome
             .node_drained_records
@@ -237,6 +246,9 @@ impl ExecBackend for LiveBackend {
                 }
             })
             .collect();
+        report.incidents = outcome.incidents;
+        report.replay_bytes = outcome.replay_bytes;
+        report.heartbeats_sent = outcome.heartbeats_sent;
         if spec.collect_results {
             report.exactness = Some(ExactnessDigest::of_rows(&outcome.results));
         }

@@ -50,12 +50,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use backend::{ConvergenceBackend, EmulatedBackend, ExecBackend, LiveBackend};
-pub use report::{ExactnessDigest, NodeStat, RunReport, ShardStat};
+pub use report::{ExactnessDigest, FaultIncident, NodeStat, RunReport, ShardStat};
 pub use workload::{CustomWorkload, SourceAdapter};
 
 use crate::calibration;
 use crate::engine::block::NetworkModel;
 use crate::experiment::ResourceEvent;
+use crate::fault::FaultPlan;
 use crate::planner::RuleConfig;
 use crate::strategy::StrategyKind;
 
@@ -111,6 +112,38 @@ impl TransportKind {
 const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 /// Registration/collection deadline default for TCP deployments.
 const DEFAULT_NODE_TIMEOUT: Duration = Duration::from_secs(60);
+/// Default epoch-acknowledgement (liveness) deadline for TCP deployments.
+const DEFAULT_LIVENESS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What the coordinator does when a remote SP node is lost mid-run (its
+/// link breaks, or it misses the liveness deadline) and no reconnect
+/// arrives within [`DeploymentBuilder::reconnect_grace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnNodeLoss {
+    /// Fail the run with [`DeployError::NodeFailed`] (the pre-fault
+    /// behaviour; safest default).
+    #[default]
+    Fail,
+    /// Re-ship the lost shards' last acked checkpoint plus replayed
+    /// post-checkpoint traffic to surviving nodes via the consistent-hash
+    /// ring — the run completes with bit-identical results.
+    Reassign,
+    /// Carry on without the lost shards: their contribution is marked
+    /// absent via per-shard [`ShardStat::completeness`] and the run's
+    /// [`RunReport::incidents`], never silently dropped.
+    Degrade,
+}
+
+impl OnNodeLoss {
+    /// Display name (incident reports, policy tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            OnNodeLoss::Fail => "fail",
+            OnNodeLoss::Reassign => "reassign",
+            OnNodeLoss::Degrade => "degrade",
+        }
+    }
+}
 
 /// Why a builder rejected its inputs.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,6 +242,14 @@ pub enum DeployError {
         /// What happened.
         reason: String,
     },
+    /// A node registered, then its connection died before the deployment
+    /// was fully admitted (pre-`Ready`), so the run can never start.
+    NodeLost {
+        /// The node id.
+        node: u32,
+        /// What happened to the connection.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -282,6 +323,12 @@ impl fmt::Display for DeployError {
             DeployError::NodeFailed { node, reason } => {
                 write!(f, "node {node} failed: {reason}")
             }
+            DeployError::NodeLost { node, reason } => {
+                write!(
+                    f,
+                    "node {node} was lost before the deployment started: {reason}"
+                )
+            }
         }
     }
 }
@@ -339,6 +386,20 @@ pub struct DeploymentSpec {
     pub handshake_timeout: Duration,
     /// Registration and result-collection deadline (TCP transport only).
     pub node_timeout: Duration,
+    /// Policy when a remote node is lost mid-run (TCP transport only).
+    pub on_node_loss: OnNodeLoss,
+    /// Epoch-acknowledgement deadline: a node that neither acks the epoch
+    /// nor answers heartbeats within this window is declared down.
+    pub liveness_timeout: Duration,
+    /// Checkpoint every N epochs (0 disables SP-tier checkpointing; lost
+    /// shards are then replayed from epoch 0).
+    pub checkpoint_interval: u64,
+    /// How long the coordinator holds a lost node's shards for the same
+    /// node id to re-register before applying [`OnNodeLoss`]
+    /// (zero disables reconnect recovery).
+    pub reconnect_grace: Duration,
+    /// Deterministic fault-injection schedule (tests/chaos runs only).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl fmt::Debug for DeploymentSpec {
@@ -357,6 +418,10 @@ impl fmt::Debug for DeploymentSpec {
             .field("collect_results", &self.collect_results)
             .field("transport", &self.transport)
             .field("listen_addr", &self.listen_addr)
+            .field("on_node_loss", &self.on_node_loss)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("reconnect_grace", &self.reconnect_grace)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -382,6 +447,11 @@ pub struct DeploymentBuilder {
     auth_token: String,
     handshake_timeout: Duration,
     node_timeout: Duration,
+    on_node_loss: OnNodeLoss,
+    liveness_timeout: Duration,
+    checkpoint_interval: u64,
+    reconnect_grace: Duration,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DeploymentBuilder {
@@ -406,6 +476,11 @@ impl Default for DeploymentBuilder {
             auth_token: String::new(),
             handshake_timeout: DEFAULT_HANDSHAKE_TIMEOUT,
             node_timeout: DEFAULT_NODE_TIMEOUT,
+            on_node_loss: OnNodeLoss::Fail,
+            liveness_timeout: DEFAULT_LIVENESS_TIMEOUT,
+            checkpoint_interval: 0,
+            reconnect_grace: Duration::ZERO,
+            fault_plan: None,
         }
     }
 }
@@ -549,6 +624,47 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Sets the policy applied when a remote SP node is lost mid-run and no
+    /// reconnect arrives (default [`OnNodeLoss::Fail`]).
+    pub fn on_node_loss(mut self, policy: OnNodeLoss) -> Self {
+        self.on_node_loss = policy;
+        self
+    }
+
+    /// Sets the epoch-acknowledgement (liveness) deadline: how long the
+    /// coordinator waits for an epoch's `Progress` acks — sending heartbeat
+    /// pings while it waits — before declaring silent nodes down
+    /// (default 30 s).
+    pub fn liveness_timeout(mut self, timeout: Duration) -> Self {
+        self.liveness_timeout = timeout;
+        self
+    }
+
+    /// Checkpoints each remote node's shard state every `interval` epochs
+    /// (default 0 = off). Checkpoints bound how much post-checkpoint
+    /// traffic the coordinator must buffer and replay on recovery — the
+    /// §IV-E frequency-vs-traffic trade-off; without them recovery replays
+    /// from epoch 0.
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Holds a lost node's shards for the same node id to re-register
+    /// (same token, capped-backoff retry on the node side) before applying
+    /// the [`OnNodeLoss`] policy (default 0 = reconnects disabled).
+    pub fn reconnect_grace(mut self, grace: Duration) -> Self {
+        self.reconnect_grace = grace;
+        self
+    }
+
+    /// Arms a deterministic fault-injection schedule on the coordinator's
+    /// links (tests and chaos runs; default none).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validates into a bare [`DeploymentSpec`] (advanced use: driving a
     /// backend by hand, e.g. fault-injection tests stepping the emulator).
     pub fn spec(&self) -> Result<DeploymentSpec, DeployError> {
@@ -588,6 +704,8 @@ impl DeploymentBuilder {
             has_events: !self.events.is_empty(),
             remote_describable: workload.remote_workload().is_some(),
             workload: workload.name().to_string(),
+            on_node_loss: self.on_node_loss,
+            checkpointing: self.checkpoint_interval > 0,
         };
         let diagnostics = crate::plancheck::check(&planned, &self.rules, &ctx);
         if crate::plancheck::has_errors(&diagnostics) {
@@ -670,6 +788,11 @@ impl DeploymentBuilder {
             auth_token: self.auth_token.clone(),
             handshake_timeout: self.handshake_timeout,
             node_timeout: self.node_timeout,
+            on_node_loss: self.on_node_loss,
+            liveness_timeout: self.liveness_timeout,
+            checkpoint_interval: self.checkpoint_interval,
+            reconnect_grace: self.reconnect_grace,
+            fault_plan: self.fault_plan.clone(),
         })
     }
 

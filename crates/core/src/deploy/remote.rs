@@ -109,6 +109,9 @@ pub struct NodeSpec {
     pub workload: RemoteWorkload,
     /// Planner rules — must match the coordinator's for identical chains.
     pub rules: RuleConfig,
+    /// Snapshot owned-shard state every N epochs and ship it back as
+    /// `Ckpt` frames (0 disables checkpointing).
+    pub checkpoint_interval: u64,
 }
 
 /// Node → coordinator: cumulative counters after each epoch.
@@ -121,6 +124,42 @@ pub struct Progress {
     /// Input rows routed into this node's owned shards so far.
     pub drained_records: u64,
     /// Counterfactual compute charged to the owned shards so far, µs.
+    pub usage_us: f64,
+    /// Present when the node checkpointed at this epoch boundary: commits
+    /// the `Ckpt` frames that preceded this ack (per-link FIFO order).
+    pub checkpoint: Option<CheckpointAck>,
+}
+
+/// The checkpoint acknowledgement riding on a [`Progress`] message. The
+/// state itself travelled just before, as binary `Ckpt` frames (one
+/// `netwire` shard-state envelope each); this ack tells the coordinator
+/// the set is complete and which counters accompany it, so the replay
+/// buffers can be truncated to post-checkpoint traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointAck {
+    /// Epoch the snapshot covers (all state up to and including it).
+    pub epoch: u64,
+    /// Per-owned-shard counters frozen at the snapshot.
+    pub shards: Vec<ShardCounters>,
+}
+
+/// Coordinator → node: take over shards lost with a failed peer (or, on a
+/// reconnect, re-own your previous shards). Checkpoint state and replayed
+/// traffic follow as ordinary `Shard` frames on the same link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdoptMsg {
+    /// The shards to adopt, with counter bases from the last checkpoint.
+    pub shards: Vec<AdoptShard>,
+}
+
+/// One shard of an [`AdoptMsg`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdoptShard {
+    /// Ring-absolute shard index.
+    pub shard: u32,
+    /// Drained-record base carried over from the checkpoint.
+    pub drained_records: u64,
+    /// Compute-usage base carried over from the checkpoint, µs.
     pub usage_us: f64,
 }
 
@@ -173,10 +212,38 @@ mod tests {
                 table_size: 500,
             },
             rules: RuleConfig::default(),
+            checkpoint_interval: 2,
         };
         let body = to_body(&spec);
         let back: NodeSpec = from_body(&body).unwrap();
         assert_eq!(back, spec);
+
+        let ack = Progress {
+            node_id: 0,
+            epoch: 3,
+            drained_records: 10,
+            usage_us: 1.5,
+            checkpoint: Some(CheckpointAck {
+                epoch: 3,
+                shards: vec![ShardCounters {
+                    shard: 2,
+                    drained_records: 10,
+                    usage_us: 1.5,
+                }],
+            }),
+        };
+        let back: Progress = from_body(&to_body(&ack)).unwrap();
+        assert_eq!(back, ack);
+
+        let adopt = AdoptMsg {
+            shards: vec![AdoptShard {
+                shard: 3,
+                drained_records: 7,
+                usage_us: 0.25,
+            }],
+        };
+        let back: AdoptMsg = from_body(&to_body(&adopt)).unwrap();
+        assert_eq!(back, adopt);
 
         let reg = Register {
             token: "secret".into(),

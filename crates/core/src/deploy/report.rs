@@ -67,7 +67,7 @@ fn canonical_row(rec: &Record) -> String {
 }
 
 /// Per-shard drain/usage/wire counters of a sharded SP runtime.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ShardStat {
     /// Input rows routed into the shard by the key-hash partitioner.
     pub drained_records: u64,
@@ -77,6 +77,52 @@ pub struct ShardStat {
     /// Wire bytes shipped across SP nodes toward this shard (zero on a
     /// single-node SP — local shard traffic never touches a link).
     pub wire_bytes_out: u64,
+    /// Fraction of the run's epochs whose traffic this shard's results
+    /// cover. 1.0 everywhere on a fault-free run; under
+    /// [`crate::deploy::OnNodeLoss::Degrade`] a shard lost at epoch `k` of
+    /// `N` reports `k / N`.
+    pub completeness: f64,
+}
+
+// Hand-written so JSON predating the `completeness` field (the vendored
+// serde_derive has no `#[serde(default)]`) still loads as fully complete.
+impl serde::Deserialize for ShardStat {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("object", "ShardStat"))?;
+        Ok(ShardStat {
+            drained_records: serde::Deserialize::from_content(serde::content::field(
+                m,
+                "drained_records",
+            ))?,
+            usage_us: serde::Deserialize::from_content(serde::content::field(m, "usage_us"))?,
+            wire_bytes_out: serde::Deserialize::from_content(serde::content::field(
+                m,
+                "wire_bytes_out",
+            ))?,
+            completeness: match serde::content::field(m, "completeness") {
+                serde::Content::Null => 1.0,
+                other => serde::Deserialize::from_content(other)?,
+            },
+        })
+    }
+}
+
+/// One node-loss (or recovery) event of a fault-tolerant run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultIncident {
+    /// The node that was lost.
+    pub node: u32,
+    /// Coordinator epoch at which the loss was detected.
+    pub epoch: u64,
+    /// What the transport reported (typed error rendered to text).
+    pub reason: String,
+    /// How the run recovered: `"reconnected"`, `"reassigned"`,
+    /// `"degraded"`, or `"failed"`.
+    pub action: String,
+    /// Checkpoint + post-checkpoint bytes re-shipped for recovery.
+    pub replay_bytes: u64,
 }
 
 /// Per-node drain/usage/wire counters of a multi-node SP tier.
@@ -154,6 +200,12 @@ pub struct RunReport {
     /// Warning-severity diagnostics from the static plan analysis that ran
     /// at build time (errors refuse the build; see [`crate::plancheck`]).
     pub plan_warnings: Vec<crate::plancheck::Diagnostic>,
+    /// Node-loss/recovery events of the run (empty when fault-free).
+    pub incidents: Vec<FaultIncident>,
+    /// Checkpoint + buffered traffic bytes re-shipped for recovery.
+    pub replay_bytes: u64,
+    /// Heartbeat pings the coordinator sent while awaiting epoch acks.
+    pub heartbeats_sent: u64,
 }
 
 impl RunReport {
@@ -187,6 +239,9 @@ impl RunReport {
             node_stats: Vec::new(),
             converged_epochs: None,
             plan_warnings: Vec::new(),
+            incidents: Vec::new(),
+            replay_bytes: 0,
+            heartbeats_sent: 0,
         }
     }
 }
@@ -227,6 +282,30 @@ mod tests {
         let a = vec![row(1, vec![Value::U64(1)])];
         let b = vec![row(1, vec![Value::U64(2)])];
         assert_ne!(ExactnessDigest::of_rows(&a), ExactnessDigest::of_rows(&b));
+    }
+
+    #[test]
+    fn pre_fault_tolerance_shard_stats_deserialize_complete() {
+        // JSON written before the fault-tolerance fields existed must load
+        // with completeness 1.0 and empty incident accounting.
+        let old = r#"{"drained_records":5,"usage_us":1.0,"wire_bytes_out":64}"#;
+        let s: ShardStat = serde_json::from_str(old).unwrap();
+        assert!((s.completeness - 1.0).abs() < f64::EPSILON);
+        let mut r = RunReport::skeleton("live", "S2SProbe".into(), StrategyKind::Jarvis);
+        r.incidents.push(FaultIncident {
+            node: 1,
+            epoch: 4,
+            reason: "peer closed the connection".into(),
+            action: "reassigned".into(),
+            replay_bytes: 1024,
+        });
+        r.replay_bytes = 1024;
+        r.heartbeats_sent = 3;
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.incidents, r.incidents);
+        assert_eq!(back.replay_bytes, 1024);
+        assert_eq!(back.heartbeats_sent, 3);
     }
 
     #[test]

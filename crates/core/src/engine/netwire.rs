@@ -84,6 +84,53 @@ pub fn encode_shard_payload(payload: &NetPayload) -> Bytes {
     buf.freeze()
 }
 
+/// The schema-free header of a shard-payload envelope.
+///
+/// Full decoding ([`decode_shard_payload`]) needs the suffix edge schemas,
+/// which only an executing node holds. The recovery coordinator, though,
+/// only needs to *address* payloads — which shard, which pipeline slot —
+/// while treating the body as opaque bytes to re-ship verbatim. This struct
+/// is that addressing view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEnvelope {
+    /// True for a `ShardState` payload, false for a `ShardBatch`.
+    pub is_state: bool,
+    /// Ring-absolute target shard.
+    pub shard: u32,
+    /// Epoch the payload belongs to.
+    pub epoch: u64,
+    /// Originating source id.
+    pub source: u32,
+    /// Suffix pipeline stage (relative operator index).
+    pub rel: u32,
+}
+
+/// Parses just the 25-byte envelope header of a shard payload, without
+/// schemas and without touching the body. Returns `None` on anything that
+/// is not a well-formed shard envelope.
+pub fn peek_envelope(buf: &[u8]) -> Option<ShardEnvelope> {
+    if buf.len() < 25 {
+        return None;
+    }
+    let tag = buf[0];
+    if tag != TAG_SHARD_BATCH && tag != TAG_SHARD_STATE {
+        return None;
+    }
+    let len = u32::from_le_bytes([buf[21], buf[22], buf[23], buf[24]]) as usize;
+    if buf.len() != 25 + len {
+        return None;
+    }
+    Some(ShardEnvelope {
+        is_state: tag == TAG_SHARD_STATE,
+        shard: u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]),
+        epoch: u64::from_le_bytes([
+            buf[5], buf[6], buf[7], buf[8], buf[9], buf[10], buf[11], buf[12],
+        ]),
+        source: u32::from_le_bytes([buf[13], buf[14], buf[15], buf[16]]),
+        rel: u32::from_le_bytes([buf[17], buf[18], buf[19], buf[20]]),
+    })
+}
+
 /// Decodes an inter-node payload produced by [`encode_shard_payload`].
 /// `schemas[rel]` supplies the batch schema at each suffix entry stage.
 pub fn decode_shard_payload(mut buf: Bytes, schemas: &[SchemaRef]) -> Result<NetPayload, Error> {
@@ -235,6 +282,27 @@ mod tests {
             panic!("sum expected");
         };
         assert!(s.is_nan());
+    }
+
+    #[test]
+    fn peek_reads_the_envelope_without_schemas() {
+        let p = NetPayload::ShardState {
+            shard: 3,
+            epoch: 9,
+            source: 2,
+            rel: 1,
+            delta: StatePartial::Group(vec![]),
+        };
+        let wire = encode_shard_payload(&p);
+        let env = peek_envelope(&wire).unwrap();
+        assert!(env.is_state);
+        assert_eq!((env.shard, env.epoch, env.source, env.rel), (3, 9, 2, 1));
+        // Garbage and truncations peek to None, never panic.
+        assert_eq!(peek_envelope(b"short"), None);
+        assert_eq!(peek_envelope(&wire[..24]), None);
+        let mut bad_tag = wire.to_vec();
+        bad_tag[0] = 99;
+        assert_eq!(peek_envelope(&bad_tag), None);
     }
 
     #[test]

@@ -23,21 +23,26 @@
 //! `RunReport` wire accounting.
 
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::fault::{splitmix64, FaultKind, FaultTrigger, LinkFault};
 
 /// Frame magic: "JRVW" little-endian — Jarvis wire.
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"JRVW");
 
 /// Protocol version spoken by this build. Bumped on any frame- or
 /// control-message-format change; mismatched peers are rejected at the
-/// handshake instead of misdecoding mid-stream.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// handshake instead of misdecoding mid-stream. Version 2 added the
+/// fault-tolerance frames (`Ping`/`Pong`/`Ckpt`/`Adopt`) and the optional
+/// checkpoint acknowledgement on `Progress`.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Fixed frame header length in bytes.
 pub const HEADER_LEN: usize = 15;
@@ -50,6 +55,13 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 /// Frames queued per link before senders block (the same channel-shaped
 /// backpressure as the in-process node links).
 pub const LINK_QUEUE: usize = 256;
+
+/// Receive-buffer growth step. [`FrameReader`] grows the body buffer in
+/// chunks of this size as bytes actually arrive, so a forged header
+/// advertising a body near [`MAX_FRAME_LEN`] (64 MiB) can never commit the
+/// full allocation up-front — a peer must *send* the bytes to make the
+/// reader hold them.
+pub const RECV_CHUNK: usize = 64 << 10;
 
 /// What a frame carries. The numeric tags are wire-stable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +93,16 @@ pub enum FrameKind {
     NodeStats = 11,
     /// Node → coordinator: finished; last frame on the link.
     Done = 12,
+    /// Coordinator → node: liveness probe (empty body).
+    Ping = 13,
+    /// Node → coordinator: liveness reply (empty body).
+    Pong = 14,
+    /// Node → coordinator: one epoch-aligned checkpoint state payload (a
+    /// `netwire` shard-state envelope, opaque to the coordinator).
+    Ckpt = 15,
+    /// Coordinator → node: adopt shards after a peer loss (JSON
+    /// `AdoptMsg`).
+    Adopt = 16,
 }
 
 impl FrameKind {
@@ -99,6 +121,10 @@ impl FrameKind {
             10 => FrameKind::Results,
             11 => FrameKind::NodeStats,
             12 => FrameKind::Done,
+            13 => FrameKind::Ping,
+            14 => FrameKind::Pong,
+            15 => FrameKind::Ckpt,
+            16 => FrameKind::Adopt,
             _ => return None,
         })
     }
@@ -350,13 +376,23 @@ impl<R: Read> FrameReader<R> {
             });
         }
         let (kind, len, declared) = parse_header(&header)?;
-        let mut body = vec![0u8; len];
-        let got = read_full(&mut self.inner, &mut body)?;
-        if got < len {
-            return Err(TransportError::Truncated {
-                needed: HEADER_LEN + len,
-                got: HEADER_LEN + got,
-            });
+        // `parse_header` already rejected lengths past MAX_FRAME_LEN, but a
+        // forged header can still advertise up to the 64 MiB cap. Grow the
+        // buffer in RECV_CHUNK steps as bytes arrive instead of allocating
+        // the advertised length eagerly, so a hostile header costs at most
+        // one chunk before the stream runs dry (Truncated).
+        let mut body: Vec<u8> = Vec::with_capacity(len.min(RECV_CHUNK));
+        while body.len() < len {
+            let start = body.len();
+            let take = (len - start).min(RECV_CHUNK);
+            body.resize(start + take, 0);
+            let got = read_full(&mut self.inner, &mut body[start..])?;
+            if got < take {
+                return Err(TransportError::Truncated {
+                    needed: HEADER_LEN + len,
+                    got: HEADER_LEN + start + got,
+                });
+            }
         }
         let computed = crc32(&body);
         if computed != declared {
@@ -380,26 +416,89 @@ pub struct Link {
     tx: Option<Sender<Bytes>>,
     sent: Arc<AtomicU64>,
     broken: Arc<AtomicBool>,
+    last_error: Arc<Mutex<Option<TransportError>>>,
     writer: Option<JoinHandle<()>>,
 }
 
 impl Link {
     /// Spawns the writer thread over a connected stream.
     pub fn spawn(stream: TcpStream) -> Link {
+        Link::spawn_with_faults(stream, Vec::new(), 0)
+    }
+
+    /// Spawns the writer thread with a deterministic fault schedule: each
+    /// [`LinkFault`] fires at most once, *before* the frame matching its
+    /// trigger is written. `Drop` discards the frame, `Delay` stalls the
+    /// writer, `Corrupt` flips one seed-chosen byte (the CRC catches it on
+    /// the far side), and `Sever` shuts the socket down in both directions
+    /// so the peer sees an abrupt EOF — the in-process shim behind the
+    /// chaos tests and the [`crate::fault::FaultPlan`] harness.
+    pub fn spawn_with_faults(stream: TcpStream, faults: Vec<LinkFault>, seed: u64) -> Link {
         let (tx, rx) = bounded::<Bytes>(LINK_QUEUE);
         let sent = Arc::new(AtomicU64::new(0));
         let broken = Arc::new(AtomicBool::new(false));
+        let last_error: Arc<Mutex<Option<TransportError>>> = Arc::new(Mutex::new(None));
         let sent_w = Arc::clone(&sent);
         let broken_w = Arc::clone(&broken);
+        let error_w = Arc::clone(&last_error);
         let writer = std::thread::spawn(move || {
             let mut stream = stream;
+            let mut pending = faults;
             let mut dead = false;
+            let mut frame_idx: u64 = 0;
+            let mut epoch_idx: u64 = 0;
             while let Ok(frame) = rx.recv() {
                 if dead {
                     continue;
                 }
-                if stream.write_all(&frame).is_err() {
+                let is_epoch_end = frame.get(6) == Some(&(FrameKind::EpochEnd as u8));
+                let fault = pending
+                    .iter()
+                    .position(|f| match f.trigger {
+                        FaultTrigger::Frame(n) => n == frame_idx,
+                        FaultTrigger::EpochEnd(k) => is_epoch_end && k == epoch_idx,
+                    })
+                    .map(|i| pending.remove(i));
+                frame_idx += 1;
+                if is_epoch_end {
+                    epoch_idx += 1;
+                }
+                let mut frame = frame;
+                if let Some(fault) = fault {
+                    match fault.kind {
+                        FaultKind::Drop => continue,
+                        FaultKind::Delay(ms) => {
+                            std::thread::sleep(std::time::Duration::from_millis(ms));
+                        }
+                        FaultKind::Corrupt => {
+                            // Flip a body byte (or a CRC byte when the body
+                            // is empty) so the corruption is always
+                            // CRC-detectable on the far side instead of
+                            // accidentally re-framing as a different kind.
+                            let mut bytes = frame.to_vec();
+                            let roll = splitmix64(seed ^ frame_idx) as usize;
+                            let pos = if bytes.len() > HEADER_LEN {
+                                HEADER_LEN + roll % (bytes.len() - HEADER_LEN)
+                            } else {
+                                11 + roll % 4
+                            };
+                            bytes[pos] ^= 0x01;
+                            frame = Bytes::from(bytes);
+                        }
+                        FaultKind::Sever => {
+                            let _ = stream.shutdown(Shutdown::Both);
+                            broken_w.store(true, Ordering::Relaxed);
+                            *error_w.lock() = Some(TransportError::Io(
+                                "link severed by fault injection".to_string(),
+                            ));
+                            dead = true;
+                            continue;
+                        }
+                    }
+                }
+                if let Err(e) = stream.write_all(&frame) {
                     broken_w.store(true, Ordering::Relaxed);
+                    *error_w.lock() = Some(TransportError::Io(e.to_string()));
                     dead = true;
                     continue;
                 }
@@ -411,6 +510,7 @@ impl Link {
             tx: Some(tx),
             sent,
             broken,
+            last_error,
             writer: Some(writer),
         }
     }
@@ -438,6 +538,13 @@ impl Link {
     /// Whether the socket died under the writer.
     pub fn is_broken(&self) -> bool {
         self.broken.load(Ordering::Relaxed)
+    }
+
+    /// The typed error behind a raised broken flag, when one was recorded —
+    /// lets a broken writer queue surface as a reasoned `NodeDown` instead
+    /// of a bare boolean.
+    pub fn error(&self) -> Option<TransportError> {
+        self.last_error.lock().clone()
     }
 
     /// Closes the queue and joins the writer after it flushes.
@@ -540,6 +647,113 @@ mod tests {
             reader.read_frame(),
             Err(TransportError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn reader_rejects_a_forged_huge_header_before_reading_the_body() {
+        // A header advertising a body past MAX_FRAME_LEN fails typed and
+        // early, without touching the (absent) body bytes.
+        let mut forged = encode_frame(FrameKind::Shard, b"abc").to_vec();
+        forged[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new(&forged[..]);
+        assert_eq!(
+            reader.read_frame().unwrap_err(),
+            TransportError::Oversized {
+                len: u32::MAX as usize,
+                max: MAX_FRAME_LEN
+            }
+        );
+        assert_eq!(reader.bytes_received(), 0);
+    }
+
+    #[test]
+    fn reader_caps_allocation_against_an_advertised_length() {
+        // A forged header advertising a (legal) near-cap body over a stream
+        // that never delivers it must fail with Truncated after at most one
+        // RECV_CHUNK of buffer, not allocate the advertised 32 MiB.
+        let mut forged = encode_frame(FrameKind::Shard, b"tiny").to_vec();
+        let advertised = (32usize << 20) as u32;
+        forged[7..11].copy_from_slice(&advertised.to_le_bytes());
+        let mut reader = FrameReader::new(&forged[..]);
+        let err = reader.read_frame().unwrap_err();
+        match err {
+            TransportError::Truncated { needed, got } => {
+                assert_eq!(needed, HEADER_LEN + advertised as usize);
+                // Only the 4 real body bytes were ever buffered.
+                assert_eq!(got, HEADER_LEN + 4);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    fn faulty_reader_thread(
+        listener: TcpListener,
+    ) -> std::thread::JoinHandle<(Vec<(FrameKind, usize)>, TransportError)> {
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = FrameReader::new(stream);
+            let mut ok = Vec::new();
+            loop {
+                match reader.read_frame() {
+                    Ok((kind, body)) => ok.push((kind, body.len())),
+                    Err(e) => return (ok, e),
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn fault_schedule_drops_and_severs_at_the_epoch_boundary() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader_thread = faulty_reader_thread(listener);
+        // Frame 1 is dropped and the link severed just before the first
+        // EpochEnd, so the peer sees frames 0, 2, 3 then a clean EOF.
+        let faults = vec![
+            LinkFault {
+                trigger: FaultTrigger::Frame(1),
+                kind: FaultKind::Drop,
+            },
+            LinkFault {
+                trigger: FaultTrigger::EpochEnd(0),
+                kind: FaultKind::Sever,
+            },
+        ];
+        let mut link = Link::spawn_with_faults(TcpStream::connect(addr).unwrap(), faults, 7);
+        for i in 0..4u8 {
+            link.send(FrameKind::Shard, &[i; 8]);
+        }
+        link.send(FrameKind::EpochEnd, &0u64.to_le_bytes());
+        link.close();
+        let (ok, err) = reader_thread.join().unwrap();
+        assert_eq!(ok, vec![(FrameKind::Shard, 8); 3]);
+        assert_eq!(err, TransportError::Closed);
+        assert!(link.is_broken(), "sever raises the broken flag");
+        assert!(
+            matches!(link.error(), Some(TransportError::Io(ref m)) if m.contains("severed")),
+            "sever records a typed error"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_corrupts_one_byte_and_the_crc_catches_it() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader_thread = faulty_reader_thread(listener);
+        let faults = vec![LinkFault {
+            trigger: FaultTrigger::Frame(1),
+            kind: FaultKind::Corrupt,
+        }];
+        let mut link = Link::spawn_with_faults(TcpStream::connect(addr).unwrap(), faults, 42);
+        link.send(FrameKind::Shard, &[0xAB; 16]);
+        link.send(FrameKind::Shard, &[0xCD; 16]);
+        link.close();
+        let (ok, err) = reader_thread.join().unwrap();
+        assert_eq!(ok, vec![(FrameKind::Shard, 16)]);
+        assert!(
+            matches!(err, TransportError::CrcMismatch { .. }),
+            "a flipped body byte is always CRC-caught, got {err:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Deterministic fault injection for the distributed SP tier (§IV-E).
+//!
+//! A [`FaultPlan`] is a seeded, fully reproducible schedule of link faults:
+//! *which* coordinator→node link misbehaves, *when* (a frame index or an
+//! epoch boundary), and *how* ([`FaultKind`]). The plan is threaded through
+//! [`crate::deploy::DeploymentBuilder::fault_plan`] into the live session,
+//! where [`crate::engine::transport::Link::spawn_with_faults`] arms each
+//! link's writer thread with its slice of the plan. The same vocabulary
+//! drives the out-of-process `jarvis-chaos-proxy` binary, so in-process
+//! tests and CI chaos runs exercise identical failure shapes.
+//!
+//! Determinism matters more than realism here: the recovery parity suites
+//! assert *bit-identical* digests against fault-free runs, which is only a
+//! meaningful test when the fault fires at exactly the same frame every
+//! run. Randomness (the corrupt byte position, reconnect jitter) comes from
+//! [`splitmix64`] over an explicit seed — the crate deliberately has no
+//! RNG dependency.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: one multiply-xorshift round over a 64-bit state. The only
+/// randomness source in the crate — deterministic, seedable, and good
+/// enough for picking corrupt-byte offsets and backoff jitter.
+#[must_use]
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How an armed fault manifests on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The matching frame is silently discarded.
+    Drop,
+    /// The writer stalls this many milliseconds before the frame.
+    Delay(u64),
+    /// One seed-chosen body byte of the frame is flipped (CRC-detectable).
+    Corrupt,
+    /// The socket is shut down in both directions — an abrupt node loss.
+    Sever,
+}
+
+impl FaultKind {
+    /// Short label for incident reports and CLI flags.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Sever => "sever",
+        }
+    }
+}
+
+/// When an armed fault fires. Counting is per link and 0-indexed; the fault
+/// fires *before* the matching frame is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTrigger {
+    /// Before the `n`-th frame written on the link.
+    Frame(u64),
+    /// Before the `k`-th `EpochEnd` frame — i.e. the node has received all
+    /// of epoch `k`'s shard traffic but never the boundary marker, so it
+    /// acks exactly `k` epochs.
+    EpochEnd(u64),
+}
+
+/// One armed fault on one link: fires at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// When the fault fires.
+    pub trigger: FaultTrigger,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// One scheduled fault of a [`FaultPlan`], naming its target link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultAction {
+    /// The coordinator→node link (node id) the fault arms.
+    pub link: u32,
+    /// When the fault fires on that link.
+    pub trigger: FaultTrigger,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded schedule of link faults for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Seed for every derived random choice (corrupt positions, jitter).
+    pub seed: u64,
+    /// The scheduled faults, any number per link.
+    pub actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// A plan with a single action — the common chaos-test shape.
+    #[must_use]
+    pub fn single(seed: u64, link: u32, trigger: FaultTrigger, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            seed,
+            actions: vec![FaultAction {
+                link,
+                trigger,
+                kind,
+            }],
+        }
+    }
+
+    /// The faults armed on one link, in schedule order.
+    #[must_use]
+    pub fn faults_for(&self, link: u32) -> Vec<LinkFault> {
+        self.actions
+            .iter()
+            .filter(|a| a.link == link)
+            .map(|a| LinkFault {
+                trigger: a.trigger,
+                kind: a.kind,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_is_deterministic_and_mixes() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Reference value of the SplitMix64 sequence from seed 0.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn plans_slice_per_link_and_round_trip_json() {
+        let plan = FaultPlan {
+            seed: 9,
+            actions: vec![
+                FaultAction {
+                    link: 0,
+                    trigger: FaultTrigger::Frame(3),
+                    kind: FaultKind::Delay(10),
+                },
+                FaultAction {
+                    link: 1,
+                    trigger: FaultTrigger::EpochEnd(2),
+                    kind: FaultKind::Sever,
+                },
+            ],
+        };
+        assert_eq!(plan.faults_for(1).len(), 1);
+        assert_eq!(plan.faults_for(1)[0].kind, FaultKind::Sever);
+        assert!(plan.faults_for(7).is_empty());
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

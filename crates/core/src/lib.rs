@@ -28,6 +28,8 @@
 //! * [`convergence_sim`] — the §VI-C exhaustive convergence-cost simulator.
 //! * [`multiquery`] — multiple queries on one data source (§VI-F).
 //! * [`checkpoint`] — intermediate-state checkpointing (§IV-E).
+//! * [`fault`] — deterministic fault injection driving the §IV-E recovery
+//!   parity suites and the chaos-proxy CI job.
 //! * [`live`] — a threaded (crossbeam-channel) runtime running the same
 //!   pipelines under real concurrency.
 //! * [`node`] — the remote stream-processor executor behind the
@@ -39,6 +41,7 @@ pub mod convergence_sim;
 pub mod deploy;
 pub mod engine;
 pub mod experiment;
+pub mod fault;
 pub mod live;
 pub mod multiquery;
 pub mod node;

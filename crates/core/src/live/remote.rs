@@ -5,33 +5,62 @@
 //! [`TransportKind::Tcp`](crate::deploy::TransportKind): it listens on the
 //! configured endpoint, admits `jarvis-node` registrations (shared-token
 //! auth, versioned handshake), pushes each node its [`NodeSpec`] slice, and
-//! then carries the exact same [`NetPayload`] shard traffic the channel
+//! then carries the exact same `NetPayload` shard traffic the channel
 //! transport carries — untouched `netwire` envelopes inside
 //! [`FrameKind::Shard`] frames — so digests are bit-identical to the
 //! in-process run. Per-link socket byte counters (TX from the writer
 //! thread, RX from the frame reader) feed `RunReport.node_stats` with
 //! *actual* wire traffic rather than modelled sizes.
+//!
+//! # Fault tolerance
+//!
+//! The coordinator is also the failure detector and the recovery driver:
+//!
+//! - **Detection.** Every epoch boundary blocks until each live node acks
+//!   the epoch (a `Progress` frame). While waiting, the coordinator sends
+//!   `Ping` heartbeats and expects traffic back within the configured
+//!   liveness deadline; a silent node, a broken writer, or a reader error
+//!   all surface as a typed loss instead of a wedged run.
+//! - **Epoch-aligned checkpoints.** Nodes snapshot owned-shard state every
+//!   `checkpoint_interval` epochs as `Ckpt` frames (schema-free `netwire`
+//!   state envelopes the coordinator stores verbatim) committed by the ack
+//!   riding the next `Progress`. Commit truncates per-shard replay buffers
+//!   to post-checkpoint traffic, bounding recovery cost.
+//! - **Recovery.** On loss the coordinator first holds a reconnect window
+//!   (`reconnect_grace`): the same node may re-register (same token, same
+//!   id) and is re-seeded with its checkpoint plus replayed traffic. If the
+//!   window lapses the [`OnNodeLoss`] policy applies — `Reassign` ships the
+//!   lost shards to survivors via [`AdoptMsg`], `Degrade` drops them and
+//!   reports per-shard completeness, `Fail` surfaces the pre-fault error.
+//!
+//! Recovery re-ships *full* checkpoint snapshots plus every buffered
+//! post-checkpoint payload in the original per-shard order, and the merged
+//! result digest is order-independent, so a recovered run is bit-identical
+//! to a fault-free one.
 
+use std::collections::BTreeMap;
 use std::io::Write;
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::TryRecvError;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 use streamkit::record::Record;
 use streamkit::schema::SchemaRef;
+use streamkit::shard::node_of_shard;
 
 use crate::deploy::remote::{
-    from_body, to_body, Admit, NodeSpec, NodeStatsMsg, Progress, Register, Reject,
+    from_body, to_body, Admit, AdoptMsg, AdoptShard, CheckpointAck, NodeSpec, NodeStatsMsg,
+    Progress, Register, Reject, RemoteWorkload,
 };
-use crate::deploy::{DeployError, DeploymentSpec};
-use crate::engine::netwire::encode_shard_payload;
+use crate::deploy::{DeployError, DeploymentSpec, FaultIncident, OnNodeLoss};
+use crate::engine::netwire::peek_envelope;
 use crate::engine::transport::{encode_frame, FrameKind, FrameReader, Link, TransportError};
-use crate::engine::NetPayload;
+use crate::planner::RuleConfig;
 
 /// Poll interval while waiting on the nonblocking listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -43,6 +72,9 @@ const EVENT_POLL: Duration = Duration::from_millis(2);
 /// chunked node-side).
 const EVENT_QUEUE: usize = 4096;
 
+/// Heartbeat cadence while blocked on epoch acks.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(500);
+
 /// One admitted node's connection state between handshake and link spawn.
 struct AdmittedNode {
     stream: TcpStream,
@@ -52,44 +84,152 @@ struct AdmittedNode {
 }
 
 /// A frame (or failure) surfaced by a per-node reader thread.
+///
+/// `gen` is the connection generation the frame arrived on: a reconnect
+/// bumps the node's generation, so stale events from a replaced reader
+/// (e.g. the old connection's `Broken`) are dropped instead of killing the
+/// fresh link.
 enum NodeEvent {
     Frame {
         node: u32,
+        gen: u32,
         kind: FrameKind,
         body: Bytes,
     },
     Broken {
         node: u32,
+        gen: u32,
         error: String,
     },
+}
+
+/// Spawns the per-connection reader thread feeding the event channel.
+fn spawn_reader(
+    mut reader: FrameReader<TcpStream>,
+    node: u32,
+    gen: u32,
+    tx: Sender<NodeEvent>,
+) -> JoinHandle<()> {
+    thread::spawn(move || loop {
+        match reader.read_frame() {
+            Ok((kind, body)) => {
+                let done = kind == FrameKind::Done;
+                if tx
+                    .send(NodeEvent::Frame {
+                        node,
+                        gen,
+                        kind,
+                        body,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                if done {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(NodeEvent::Broken {
+                    node,
+                    gen,
+                    error: e.to_string(),
+                });
+                return;
+            }
+        }
+    })
 }
 
 /// Everything the session needs from the remote tier after `finish`.
 pub(crate) struct RemoteFinish {
     /// Merged result rows from every node (order-independent digest).
     pub results: Vec<Record>,
-    /// Final per-shard accounting, one message per node, node order.
+    /// Final per-shard accounting, one message per node, node order
+    /// (synthesized from the last checkpoint for degraded nodes).
     pub stats: Vec<NodeStatsMsg>,
-    /// Actual socket traffic per node link, TX + RX bytes.
+    /// Actual socket traffic per node link, TX + RX bytes, summed across
+    /// reconnects.
     pub node_wire_bytes: Vec<u64>,
+    /// Node losses and how each was resolved, detection order.
+    pub incidents: Vec<FaultIncident>,
+    /// Checkpoint + replay bytes re-shipped for recovery.
+    pub replay_bytes: u64,
+    /// `Ping` heartbeats the coordinator sent.
+    pub heartbeats_sent: u64,
+    /// Fraction of announced epochs each shard's results cover (1.0
+    /// everywhere unless shards were degraded away).
+    pub shard_completeness: Vec<f64>,
 }
 
 /// The coordinator's handle on a fleet of admitted `jarvis-node` executors.
 pub(crate) struct RemoteCluster {
-    links: Vec<Link>,
-    readers: Vec<JoinHandle<()>>,
+    /// Per-node writer links (`None` once retired by a loss).
+    links: Vec<Option<Link>>,
+    /// Socket clones used to force-unblock a retired link's reader.
+    streams: Vec<Option<TcpStream>>,
+    readers: Vec<Option<JoinHandle<()>>>,
+    /// Connection generation per node, bumped on reconnect.
+    gens: Vec<u32>,
+    /// RX byte counters, shared with the (current) reader and carried
+    /// across reconnects.
     rx_counters: Vec<Arc<AtomicU64>>,
+    /// Handshake bytes written synchronously, summed across reconnects.
     handshake_tx: Vec<u64>,
-    events: Receiver<NodeEvent>,
-    /// Epochs announced via `epoch_end` (each node must ack every one).
+    /// TX bytes banked from retired links.
+    retired_tx: Vec<u64>,
+    events: Mutex<Receiver<NodeEvent>>,
+    /// Kept so reconnected readers can feed the same channel.
+    ev_tx: Sender<NodeEvent>,
+    /// Kept (nonblocking) so the reconnect window can re-accept.
+    listener: TcpListener,
+    /// Epochs announced via `epoch_end`.
     epochs_sent: u64,
-    /// Per-node count of `Progress` acks seen so far.
-    progress_seen: Vec<u64>,
-    /// First transport failure observed per node, if any.
-    broken: Vec<Option<String>>,
+    /// Highest epoch acked per node (max across duplicates — recovery
+    /// re-sends `EpochEnd`, so duplicate acks are expected).
+    acked_epoch: Vec<Option<u64>>,
+    alive: Vec<bool>,
+    /// Last traffic seen per node (liveness clock).
+    last_heard: Vec<Instant>,
+    /// Current owner per ring shard; `None` once degraded away.
+    routes: Vec<Option<usize>>,
+    /// Post-checkpoint shard payloads, per shard, epoch-stamped, in ship
+    /// order (locked: the dispatcher thread appends through `&self`).
+    replay: Vec<Mutex<Vec<(u64, Bytes)>>>,
+    /// Whether replay buffering is on (any recovery path configured).
+    buffering: bool,
+    /// Last committed checkpoint state, keyed `(shard, source, rel)`,
+    /// bodies stored verbatim (schema-free).
+    ckpt_state: BTreeMap<(u32, u32, u32), Bytes>,
+    /// Counters frozen at each shard's last committed checkpoint.
+    ckpt_counters: BTreeMap<u32, ShardCountersEntry>,
+    /// `Ckpt` frames received but not yet committed by a `Progress` ack.
+    staged: Vec<Vec<Bytes>>,
+    /// Epochs covered (acked) per degraded shard, frozen at loss.
+    degraded_covered: BTreeMap<u32, u64>,
+    /// Shards degraded away per original owner node.
+    degraded_from: Vec<Vec<u32>>,
+    incidents: Vec<FaultIncident>,
+    replay_bytes: u64,
+    heartbeats_sent: u64,
+    /// True once `finish` started: a reconnector must also re-finish, and
+    /// reassignment is no longer possible (adopters may have exited).
+    finishing: bool,
+    on_node_loss: OnNodeLoss,
+    liveness_timeout: Duration,
+    reconnect_grace: Duration,
+    handshake_timeout: Duration,
     node_timeout: Duration,
+    checkpoint_interval: u64,
+    auth_token: String,
+    workload: RemoteWorkload,
+    rules: RuleConfig,
+    sources: u32,
     final_schema: SchemaRef,
 }
+
+/// Alias keeping the checkpoint-counter map readable.
+type ShardCountersEntry = crate::deploy::remote::ShardCounters;
 
 impl RemoteCluster {
     /// Binds the listen endpoint, admits `n_nodes` registrations, pushes
@@ -98,7 +238,8 @@ impl RemoteCluster {
     /// Connections that never speak the protocol (port scanners, garbage)
     /// are dropped and admission continues; protocol-level failures — wrong
     /// token, version mismatch, unusable node id — abort the deployment
-    /// with a typed error.
+    /// with a typed error, and a registered node whose connection dies
+    /// before the fleet is complete aborts with `NodeLost`.
     pub(crate) fn listen(
         spec: &DeploymentSpec,
         n_shards: usize,
@@ -132,6 +273,19 @@ impl RemoteCluster {
                     expected: n_nodes as u32,
                 });
             }
+            // A node that registered and then died leaves a slice nobody
+            // else can claim — fail admission eagerly instead of timing
+            // out.
+            for (id, slot) in admitted.iter().enumerate() {
+                if let Some(node) = slot {
+                    if let Some(reason) = peer_disconnected(&node.stream) {
+                        return Err(DeployError::NodeLost {
+                            node: id as u32,
+                            reason,
+                        });
+                    }
+                }
+            }
             let (stream, peer) = match listener.accept() {
                 Ok(pair) => pair,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -160,8 +314,11 @@ impl RemoteCluster {
         }
 
         // Every slot is filled: spawn the writer links and reader threads.
+        // The chaos plan (if any) arms the original links only; reconnected
+        // links are clean — a planned fault fires once.
         let (ev_tx, events) = bounded::<NodeEvent>(EVENT_QUEUE);
         let mut links = Vec::with_capacity(n_nodes);
+        let mut streams = Vec::with_capacity(n_nodes);
         let mut readers = Vec::with_capacity(n_nodes);
         let mut rx_counters = Vec::with_capacity(n_nodes);
         let mut handshake_tx = Vec::with_capacity(n_nodes);
@@ -169,132 +326,588 @@ impl RemoteCluster {
             let node = slot.expect("all slots admitted");
             rx_counters.push(node.reader.counter());
             handshake_tx.push(node.handshake_tx);
-            links.push(Link::spawn(node.stream));
-            let tx = ev_tx.clone();
-            let mut reader = node.reader;
-            readers.push(thread::spawn(move || loop {
-                match reader.read_frame() {
-                    Ok((kind, body)) => {
-                        let done = kind == FrameKind::Done;
-                        if tx
-                            .send(NodeEvent::Frame {
-                                node: id as u32,
-                                kind,
-                                body,
-                            })
-                            .is_err()
-                        {
-                            return;
-                        }
-                        if done {
-                            return;
-                        }
-                    }
-                    Err(e) => {
-                        let _ = tx.send(NodeEvent::Broken {
-                            node: id as u32,
-                            error: e.to_string(),
-                        });
-                        return;
-                    }
-                }
-            }));
+            let shutdown = node
+                .stream
+                .try_clone()
+                .map_err(|e| DeployError::HandshakeFailed {
+                    peer: addr.to_string(),
+                    reason: format!("clone admitted stream: {e}"),
+                })?;
+            streams.push(Some(shutdown));
+            let faults = spec
+                .fault_plan
+                .as_ref()
+                .map(|p| p.faults_for(id as u32))
+                .unwrap_or_default();
+            let seed = spec.fault_plan.as_ref().map_or(0, |p| p.seed);
+            links.push(Some(Link::spawn_with_faults(node.stream, faults, seed)));
+            readers.push(Some(spawn_reader(node.reader, id as u32, 0, ev_tx.clone())));
         }
-        drop(ev_tx);
 
+        let buffering =
+            !matches!(spec.on_node_loss, OnNodeLoss::Fail) || spec.reconnect_grace > Duration::ZERO;
         Ok(RemoteCluster {
             links,
+            streams,
             readers,
+            gens: vec![0; n_nodes],
             rx_counters,
             handshake_tx,
-            events,
+            retired_tx: vec![0; n_nodes],
+            events: Mutex::new(events),
+            ev_tx,
+            listener,
             epochs_sent: 0,
-            progress_seen: vec![0; n_nodes],
-            broken: vec![None; n_nodes],
+            acked_epoch: vec![None; n_nodes],
+            alive: vec![true; n_nodes],
+            last_heard: vec![Instant::now(); n_nodes],
+            routes: (0..n_shards)
+                .map(|s| Some(node_of_shard(s, n_shards, n_nodes)))
+                .collect(),
+            replay: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            buffering,
+            ckpt_state: BTreeMap::new(),
+            ckpt_counters: BTreeMap::new(),
+            staged: vec![Vec::new(); n_nodes],
+            degraded_covered: BTreeMap::new(),
+            degraded_from: vec![Vec::new(); n_nodes],
+            incidents: Vec::new(),
+            replay_bytes: 0,
+            heartbeats_sent: 0,
+            finishing: false,
+            on_node_loss: spec.on_node_loss,
+            liveness_timeout: spec.liveness_timeout,
+            reconnect_grace: spec.reconnect_grace,
+            handshake_timeout: spec.handshake_timeout,
             node_timeout: spec.node_timeout,
+            checkpoint_interval: spec.checkpoint_interval,
+            auth_token: spec.auth_token.clone(),
+            workload,
+            rules: spec.rules.clone(),
+            sources: spec.sources,
             final_schema,
         })
     }
 
-    /// The per-node writer links, node order (the dispatcher thread frames
-    /// shard traffic onto these directly).
-    pub(crate) fn links(&self) -> &[Link] {
-        &self.links
+    /// Ships one already-encoded shard payload to the shard's current
+    /// owner, buffering it for replay when recovery is enabled. Returns
+    /// the framed wire size, or `None` when the shard has been degraded
+    /// away (the payload is dropped, by policy).
+    pub(crate) fn route_payload(&self, shard: usize, epoch: u64, body: &Bytes) -> Option<u64> {
+        let owner = self.routes[shard]?;
+        if self.buffering {
+            self.replay[shard].lock().push((epoch, body.clone()));
+        }
+        let link = self.links[owner].as_ref()?;
+        Some(link.send(FrameKind::Shard, body))
     }
 
-    /// Ships one shard payload to its owner node. Returns the framed wire
-    /// size (what actually enters the socket, header included).
-    pub(crate) fn send_shard(&self, owner: usize, payload: &NetPayload) -> u64 {
-        let body = encode_shard_payload(payload);
-        self.links[owner].send(FrameKind::Shard, &body)
-    }
-
-    /// Announces an epoch boundary to every node and drains any progress
-    /// acks that have arrived so far (non-blocking; full reconciliation
-    /// happens in [`RemoteCluster::finish`]).
-    pub(crate) fn epoch_end(&mut self, epoch: u64) {
-        for link in &self.links {
-            link.send(FrameKind::EpochEnd, &epoch.to_le_bytes());
+    /// Announces an epoch boundary to every live node, then blocks until
+    /// each has acked it — detecting, and recovering from, node losses
+    /// while it waits.
+    pub(crate) fn epoch_end(&mut self, epoch: u64) -> Result<(), DeployError> {
+        for (i, link) in self.links.iter().enumerate() {
+            if self.alive[i] {
+                if let Some(link) = link {
+                    link.send(FrameKind::EpochEnd, &epoch.to_le_bytes());
+                }
+            }
         }
         self.epochs_sent += 1;
-        while let Ok(ev) = self.events.try_recv() {
-            self.note_epoch_event(ev);
+        // The liveness clock starts at the boundary: dispatch time (which
+        // produces no return traffic) never counts against a node.
+        self.reset_liveness();
+        self.await_acks(epoch)
+    }
+
+    /// Blocks until every live node acked `epoch`, sending heartbeats,
+    /// surfacing writer/reader failures, and enforcing the liveness
+    /// deadline on silent nodes.
+    fn await_acks(&mut self, epoch: u64) -> Result<(), DeployError> {
+        let mut next_ping = Instant::now() + HEARTBEAT_EVERY;
+        loop {
+            for (node, reason) in self.broken_links() {
+                self.handle_loss(node, epoch, &reason)?;
+            }
+            if self.acked_all(epoch) {
+                return Ok(());
+            }
+            if let Some(ev) = self.try_recv_event() {
+                self.on_midrun_event(ev, epoch)?;
+                continue;
+            }
+            let now = Instant::now();
+            let silent: Vec<u32> = (0..self.alive.len())
+                .filter(|&i| {
+                    self.alive[i]
+                        && self.acked_epoch[i].is_none_or(|a| a < epoch)
+                        && now.duration_since(self.last_heard[i]) > self.liveness_timeout
+                })
+                .map(|i| i as u32)
+                .collect();
+            for node in silent {
+                let reason = format!(
+                    "no epoch ack within the liveness deadline ({} ms)",
+                    self.liveness_timeout.as_millis()
+                );
+                self.handle_loss(node, epoch, &reason)?;
+            }
+            if now >= next_ping {
+                for (i, link) in self.links.iter().enumerate() {
+                    if self.alive[i] {
+                        if let Some(link) = link {
+                            link.send(FrameKind::Ping, &[]);
+                            self.heartbeats_sent += 1;
+                        }
+                    }
+                }
+                next_ping = now + HEARTBEAT_EVERY;
+            }
+            thread::sleep(EVENT_POLL);
         }
     }
 
-    /// Records an event observed between epochs. Only `Progress` frames are
-    /// legal here; anything else marks the node broken.
-    fn note_epoch_event(&mut self, ev: NodeEvent) {
+    /// Non-blocking event poll.
+    fn try_recv_event(&self) -> Option<NodeEvent> {
+        self.events.lock().try_recv().ok()
+    }
+
+    /// True when every live node has acked `epoch` (vacuously true when
+    /// no node is left alive — a fully degraded run still completes).
+    fn acked_all(&self, epoch: u64) -> bool {
+        self.alive
+            .iter()
+            .zip(&self.acked_epoch)
+            .all(|(alive, acked)| !alive || acked.is_some_and(|a| a >= epoch))
+    }
+
+    /// Live links whose writer thread hit a transport error.
+    fn broken_links(&self) -> Vec<(u32, String)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter_map(|(i, link)| {
+                let link = link.as_ref()?;
+                if self.alive[i] && link.is_broken() {
+                    let reason = link
+                        .error()
+                        .map_or_else(|| "writer failed".to_string(), |e| e.to_string());
+                    Some((i as u32, reason))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Restarts every live node's liveness clock (after a boundary or a
+    /// recovery stall, so time spent elsewhere is not charged to them).
+    fn reset_liveness(&mut self) {
+        let now = Instant::now();
+        for (i, heard) in self.last_heard.iter_mut().enumerate() {
+            if self.alive[i] {
+                *heard = now;
+            }
+        }
+    }
+
+    /// Processes one reader event between epochs. Only `Progress`, `Pong`,
+    /// and `Ckpt` frames are legal here; anything else is a node failure.
+    fn on_midrun_event(&mut self, ev: NodeEvent, epoch: u64) -> Result<(), DeployError> {
         match ev {
             NodeEvent::Frame {
                 node,
-                kind: FrameKind::Progress,
+                gen,
+                kind,
                 body,
-            } => match from_body::<Progress>(&body) {
-                Ok(p) if p.node_id == node => self.progress_seen[node as usize] += 1,
-                Ok(p) => {
-                    self.mark_broken(node, format!("progress claims node {}", p.node_id));
+            } => {
+                let i = node as usize;
+                if gen != self.gens[i] || !self.alive[i] {
+                    return Ok(());
                 }
-                Err(e) => self.mark_broken(node, e),
-            },
-            NodeEvent::Frame { node, kind, .. } => {
-                self.mark_broken(node, format!("unexpected {kind:?} frame mid-run"));
+                self.last_heard[i] = Instant::now();
+                match kind {
+                    FrameKind::Progress => self.on_progress(node, &body, epoch),
+                    FrameKind::Pong => Ok(()),
+                    FrameKind::Ckpt => {
+                        self.staged[i].push(body);
+                        Ok(())
+                    }
+                    other => self.handle_loss(
+                        node,
+                        epoch,
+                        &format!("unexpected {other:?} frame mid-run"),
+                    ),
+                }
             }
-            NodeEvent::Broken { node, error } => self.mark_broken(node, error),
+            NodeEvent::Broken { node, gen, error } => {
+                let i = node as usize;
+                if gen != self.gens[i] || !self.alive[i] {
+                    return Ok(());
+                }
+                self.handle_loss(node, epoch, &error)
+            }
         }
     }
 
-    fn mark_broken(&mut self, node: u32, reason: String) {
-        let slot = &mut self.broken[node as usize];
-        if slot.is_none() {
-            *slot = Some(reason);
+    /// Records a `Progress` ack (idempotent under recovery's re-sent
+    /// boundaries) and commits any checkpoint riding on it.
+    fn on_progress(&mut self, node: u32, body: &[u8], epoch: u64) -> Result<(), DeployError> {
+        let i = node as usize;
+        let p: Progress = match from_body(body) {
+            Ok(p) => p,
+            Err(e) => return self.handle_loss(node, epoch, &e),
+        };
+        if p.node_id != node {
+            return self.handle_loss(node, epoch, &format!("progress claims node {}", p.node_id));
+        }
+        self.acked_epoch[i] = Some(self.acked_epoch[i].map_or(p.epoch, |a| a.max(p.epoch)));
+        if let Some(ack) = p.checkpoint {
+            if let Err(e) = self.commit_checkpoint(i, &ack) {
+                return self.handle_loss(node, epoch, &e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits the staged `Ckpt` frames a `Progress` ack vouches for:
+    /// replaces the stored snapshot for every acked shard and truncates the
+    /// replay buffers to post-checkpoint traffic. A malformed staged frame
+    /// is a node failure — never a silent truncation.
+    fn commit_checkpoint(&mut self, node: usize, ack: &CheckpointAck) -> Result<(), String> {
+        let staged = std::mem::take(&mut self.staged[node]);
+        // Snapshots are full (cumulative), so the previous generation for
+        // these shards is dead weight — drop it before installing the new
+        // one, in case state shrank and some (source, rel) slot vanished.
+        for c in &ack.shards {
+            let stale: Vec<(u32, u32, u32)> = self
+                .ckpt_state
+                .range((c.shard, 0, 0)..=(c.shard, u32::MAX, u32::MAX))
+                .map(|(k, _)| *k)
+                .collect();
+            for k in stale {
+                self.ckpt_state.remove(&k);
+            }
+        }
+        // Both envelope kinds are legal: operator state partials, plus the
+        // already-collected output rows as a past-the-end batch. State
+        // partials use `rel` < the suffix length and the collected batch
+        // uses `rel` == the suffix length, so the keys never collide.
+        for body in staged {
+            let env = peek_envelope(&body)
+                .ok_or_else(|| "checkpoint frame is not a shard envelope".to_string())?;
+            self.ckpt_state
+                .insert((env.shard, env.source, env.rel), body);
+        }
+        for c in &ack.shards {
+            self.replay[c.shard as usize]
+                .lock()
+                .retain(|(e, _)| *e > ack.epoch);
+            self.ckpt_counters.insert(c.shard, c.clone());
+        }
+        Ok(())
+    }
+
+    /// Handles a detected node loss: retire the link, hold the reconnect
+    /// window, then apply the [`OnNodeLoss`] policy. Idempotent per node.
+    fn handle_loss(&mut self, node: u32, epoch: u64, reason: &str) -> Result<(), DeployError> {
+        let i = node as usize;
+        if !self.alive[i] {
+            return Ok(());
+        }
+        self.alive[i] = false;
+        self.staged[i].clear();
+        self.retire_link(i);
+        let lost: Vec<u32> = (0..self.routes.len())
+            .filter(|&s| self.routes[s] == Some(i))
+            .map(|s| s as u32)
+            .collect();
+
+        if self.reconnect_grace > Duration::ZERO && self.await_reconnect(i) {
+            let shipped = self.restore_shards(i, &lost, epoch);
+            self.replay_bytes += shipped;
+            self.incidents.push(FaultIncident {
+                node,
+                epoch,
+                reason: reason.to_string(),
+                action: "reconnected".to_string(),
+                replay_bytes: shipped,
+            });
+            self.reset_liveness();
+            return Ok(());
+        }
+
+        match self.on_node_loss {
+            OnNodeLoss::Fail => {
+                self.incidents.push(FaultIncident {
+                    node,
+                    epoch,
+                    reason: reason.to_string(),
+                    action: "failed".to_string(),
+                    replay_bytes: 0,
+                });
+                Err(DeployError::NodeFailed {
+                    node,
+                    reason: reason.to_string(),
+                })
+            }
+            OnNodeLoss::Reassign => {
+                if self.finishing {
+                    return Err(DeployError::NodeFailed {
+                        node,
+                        reason: format!(
+                            "{reason} (lost during result collection; \
+                             reassignment needs a running epoch loop)"
+                        ),
+                    });
+                }
+                let survivors: Vec<usize> =
+                    (0..self.links.len()).filter(|&j| self.alive[j]).collect();
+                if survivors.is_empty() {
+                    return Err(DeployError::NodeFailed {
+                        node,
+                        reason: format!("{reason} (no surviving node to reassign to)"),
+                    });
+                }
+                // Spread the lost slice over survivors with the same ring
+                // function that placed it, so re-loss stays deterministic.
+                let mut groups: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+                for &s in &lost {
+                    let t =
+                        survivors[node_of_shard(s as usize, self.routes.len(), survivors.len())];
+                    groups.entry(t).or_default().push(s);
+                }
+                let mut shipped = 0u64;
+                for (target, shards) in groups {
+                    shipped += self.restore_shards(target, &shards, epoch);
+                }
+                self.replay_bytes += shipped;
+                self.incidents.push(FaultIncident {
+                    node,
+                    epoch,
+                    reason: reason.to_string(),
+                    action: "reassigned".to_string(),
+                    replay_bytes: shipped,
+                });
+                self.reset_liveness();
+                Ok(())
+            }
+            OnNodeLoss::Degrade => {
+                let covered = self.acked_epoch[i].map_or(0, |a| a + 1);
+                for &s in &lost {
+                    self.routes[s as usize] = None;
+                    self.degraded_covered.insert(s, covered);
+                    self.replay[s as usize].lock().clear();
+                    self.degraded_from[i].push(s);
+                }
+                self.incidents.push(FaultIncident {
+                    node,
+                    epoch,
+                    reason: reason.to_string(),
+                    action: "degraded".to_string(),
+                    replay_bytes: 0,
+                });
+                self.reset_liveness();
+                Ok(())
+            }
         }
     }
 
-    /// Sends `Finish` to every node, collects results / stats / `Done` from
-    /// all of them (bounded by the node timeout), reconciles progress acks,
-    /// and returns the merged rows plus per-link socket byte totals.
-    pub(crate) fn finish(mut self) -> Result<RemoteFinish, DeployError> {
-        for link in &self.links {
+    /// Tears down a lost node's connection: force-shutdown the socket (so
+    /// a blocked reader/writer unblocks), close the link banking its TX
+    /// bytes, and detach the reader thread (it exits on its own).
+    fn retire_link(&mut self, i: usize) {
+        if let Some(stream) = self.streams[i].take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(mut link) = self.links[i].take() {
+            link.close();
+            self.retired_tx[i] += link.bytes_sent();
+        }
+        drop(self.readers[i].take());
+    }
+
+    /// Holds the reconnect window for a lost node: re-accept on the same
+    /// listener until the grace deadline, admitting only a `Register` with
+    /// the shared token and the lost node's id. Returns true on success.
+    fn await_reconnect(&mut self, node: usize) -> bool {
+        let deadline = Instant::now() + self.reconnect_grace;
+        while Instant::now() < deadline {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.readmit(stream, node) {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => thread::sleep(ACCEPT_POLL),
+            }
+        }
+        false
+    }
+
+    /// Runs the reconnect handshake on one accepted connection. Anything
+    /// that is not the lost node re-registering is rejected or dropped and
+    /// the window keeps polling.
+    fn readmit(&mut self, stream: TcpStream, node: usize) -> bool {
+        if stream.set_nonblocking(false).is_err()
+            || stream
+                .set_read_timeout(Some(self.handshake_timeout))
+                .is_err()
+        {
+            return false;
+        }
+        let _ = stream.set_nodelay(true);
+        let Ok(reader_stream) = stream.try_clone() else {
+            return false;
+        };
+        let Ok(shutdown) = stream.try_clone() else {
+            return false;
+        };
+        let mut reader =
+            FrameReader::with_counter(reader_stream, Arc::clone(&self.rx_counters[node]));
+        let Ok((kind, body)) = reader.read_frame() else {
+            return false;
+        };
+        if kind != FrameKind::Register {
+            return false;
+        }
+        let Ok(reg) = from_body::<Register>(&body) else {
+            return false;
+        };
+        if reg.token != self.auth_token || reg.node_id != Some(node as u32) {
+            let _ = write_frame(
+                &stream,
+                FrameKind::Reject,
+                &to_body(&Reject {
+                    reason: format!("reconnect window is for node {node} only"),
+                }),
+            );
+            return false;
+        }
+        let mut tx = 0u64;
+        let Ok(sent) = write_frame(
+            &stream,
+            FrameKind::Admit,
+            &to_body(&Admit {
+                node_id: node as u32,
+            }),
+        ) else {
+            return false;
+        };
+        tx += sent;
+        let Ok(sent) = write_frame(
+            &stream,
+            FrameKind::Spec,
+            &to_body(&self.node_spec(node as u32)),
+        ) else {
+            return false;
+        };
+        tx += sent;
+        if !matches!(reader.read_frame(), Ok((FrameKind::Ready, _))) {
+            return false;
+        }
+        if stream.set_read_timeout(None).is_err() {
+            return false;
+        }
+        self.handshake_tx[node] += tx;
+        self.gens[node] += 1;
+        let gen = self.gens[node];
+        self.streams[node] = Some(shutdown);
+        self.links[node] = Some(Link::spawn(stream));
+        self.readers[node] = Some(spawn_reader(reader, node as u32, gen, self.ev_tx.clone()));
+        self.alive[node] = true;
+        self.acked_epoch[node] = None;
+        self.last_heard[node] = Instant::now();
+        true
+    }
+
+    /// The spec slice pushed to a (re)admitted node.
+    fn node_spec(&self, node_id: u32) -> NodeSpec {
+        NodeSpec {
+            node_id,
+            n_nodes: self.links.len() as u32,
+            n_shards: self.routes.len() as u32,
+            sources: self.sources,
+            workload: self.workload.clone(),
+            rules: self.rules.clone(),
+            checkpoint_interval: self.checkpoint_interval,
+        }
+    }
+
+    /// Re-seeds `shards` onto `target`: an [`AdoptMsg`] with counter bases
+    /// from the last checkpoint, the stored checkpoint state, the buffered
+    /// post-checkpoint traffic in original order, then a re-sent epoch
+    /// boundary (and `Finish`, mid-collection) so the target's ack covers
+    /// the adopted work. Returns the recovery bytes shipped.
+    fn restore_shards(&mut self, target: usize, shards: &[u32], epoch: u64) -> u64 {
+        let adopt = AdoptMsg {
+            shards: shards
+                .iter()
+                .map(|&s| match self.ckpt_counters.get(&s) {
+                    Some(c) => AdoptShard {
+                        shard: s,
+                        drained_records: c.drained_records,
+                        usage_us: c.usage_us,
+                    },
+                    None => AdoptShard {
+                        shard: s,
+                        drained_records: 0,
+                        usage_us: 0.0,
+                    },
+                })
+                .collect(),
+        };
+        let link = self.links[target].as_ref().expect("restore target is live");
+        link.send(FrameKind::Adopt, &to_body(&adopt));
+        let mut shipped = 0u64;
+        for &s in shards {
+            for (_, body) in self.ckpt_state.range((s, 0, 0)..=(s, u32::MAX, u32::MAX)) {
+                shipped += link.send(FrameKind::Shard, body);
+            }
+            for (_, body) in self.replay[s as usize].lock().iter() {
+                shipped += link.send(FrameKind::Shard, body);
+            }
+        }
+        if self.epochs_sent > 0 {
+            link.send(FrameKind::EpochEnd, &epoch.to_le_bytes());
+        }
+        if self.finishing {
             link.send(FrameKind::Finish, &[]);
+        }
+        for &s in shards {
+            self.routes[s as usize] = Some(target);
+        }
+        shipped
+    }
+
+    /// Sends `Finish` to every live node, collects results / stats /
+    /// `Done` from all of them (bounded by the node timeout, recovering
+    /// from losses along the way), reconciles epoch acks, and returns the
+    /// merged rows plus per-link accounting.
+    pub(crate) fn finish(mut self) -> Result<RemoteFinish, DeployError> {
+        self.finishing = true;
+        let last_epoch = self.epochs_sent.saturating_sub(1);
+        for (i, link) in self.links.iter().enumerate() {
+            if self.alive[i] {
+                if let Some(link) = link {
+                    link.send(FrameKind::Finish, &[]);
+                }
+            }
         }
         let n = self.links.len();
         let mut done = vec![false; n];
         let mut stats: Vec<Option<NodeStatsMsg>> = vec![None; n];
-        let mut results = Vec::new();
+        // Results are kept per node so a node lost mid-collection can have
+        // its partial rows discarded and re-collected (reconnect) or
+        // dropped (degrade) without double-counting.
+        let mut results_per_node: Vec<Vec<Record>> = vec![Vec::new(); n];
         let deadline = Instant::now() + self.node_timeout;
-        while done.iter().any(|d| !d) {
-            if let Some((node, reason)) = self
-                .broken
-                .iter()
-                .enumerate()
-                .find_map(|(i, b)| b.as_ref().map(|r| (i, r.clone())))
-            {
-                return Err(DeployError::NodeFailed {
-                    node: node as u32,
-                    reason,
-                });
-            }
+        self.reset_liveness();
+        while (0..n).any(|i| self.alive[i] && !done[i]) {
+            let mut lost_now: Vec<(u32, String)> = self.broken_links();
             if Instant::now() >= deadline {
                 return Err(DeployError::NodeTimeout {
                     waited_ms: self.node_timeout.as_millis() as u64,
@@ -302,126 +915,183 @@ impl RemoteCluster {
                     expected: n as u32,
                 });
             }
-            let ev = match self.events.try_recv() {
-                Ok(ev) => ev,
-                Err(TryRecvError::Empty) => {
-                    thread::sleep(EVENT_POLL);
-                    continue;
+            let ev = if lost_now.is_empty() {
+                match self.try_recv_event() {
+                    Some(ev) => Some(ev),
+                    None => {
+                        thread::sleep(EVENT_POLL);
+                        continue;
+                    }
                 }
-                Err(TryRecvError::Disconnected) => {
-                    let node = done.iter().position(|d| !d).unwrap_or(0) as u32;
-                    return Err(DeployError::NodeFailed {
-                        node,
-                        reason: "link closed before Done".to_string(),
-                    });
-                }
+            } else {
+                None
             };
             match ev {
-                NodeEvent::Frame {
+                None => {}
+                Some(NodeEvent::Frame {
                     node,
-                    kind: FrameKind::Progress,
-                    ..
-                } => {
-                    // Epoch acks still in flight when Finish went out.
-                    self.progress_seen[node as usize] += 1;
-                }
-                NodeEvent::Frame {
-                    node,
-                    kind: FrameKind::Results,
+                    gen,
+                    kind,
                     body,
-                } => {
-                    let batch = streamkit::encode::decode_batch(self.final_schema.clone(), body)
-                        .map_err(|e| DeployError::NodeFailed {
-                            node,
-                            reason: format!("results frame undecodable: {e}"),
-                        })?;
-                    results.extend(batch.to_records());
-                }
-                NodeEvent::Frame {
-                    node,
-                    kind: FrameKind::NodeStats,
-                    body,
-                } => {
-                    let msg: NodeStatsMsg = from_body(&body)
-                        .map_err(|e| DeployError::NodeFailed { node, reason: e })?;
-                    if msg.node_id != node {
-                        return Err(DeployError::NodeFailed {
-                            node,
-                            reason: format!("stats claim node {}", msg.node_id),
-                        });
+                }) => {
+                    let i = node as usize;
+                    if gen != self.gens[i] || !self.alive[i] {
+                        continue;
                     }
-                    stats[node as usize] = Some(msg);
-                }
-                NodeEvent::Frame {
-                    node,
-                    kind: FrameKind::Done,
-                    ..
-                } => {
-                    if stats[node as usize].is_none() {
-                        return Err(DeployError::NodeFailed {
-                            node,
-                            reason: "Done before NodeStats".to_string(),
-                        });
+                    self.last_heard[i] = Instant::now();
+                    match kind {
+                        FrameKind::Progress => self.on_progress(node, &body, last_epoch)?,
+                        FrameKind::Pong => {}
+                        FrameKind::Ckpt => self.staged[i].push(body),
+                        FrameKind::Results => {
+                            let batch =
+                                streamkit::encode::decode_batch(self.final_schema.clone(), body)
+                                    .map_err(|e| DeployError::NodeFailed {
+                                        node,
+                                        reason: format!("results frame undecodable: {e}"),
+                                    })?;
+                            results_per_node[i].extend(batch.to_records());
+                        }
+                        FrameKind::NodeStats => {
+                            let msg: NodeStatsMsg = from_body(&body)
+                                .map_err(|e| DeployError::NodeFailed { node, reason: e })?;
+                            if msg.node_id != node {
+                                return Err(DeployError::NodeFailed {
+                                    node,
+                                    reason: format!("stats claim node {}", msg.node_id),
+                                });
+                            }
+                            stats[i] = Some(msg);
+                        }
+                        FrameKind::Done => {
+                            if stats[i].is_none() {
+                                return Err(DeployError::NodeFailed {
+                                    node,
+                                    reason: "Done before NodeStats".to_string(),
+                                });
+                            }
+                            done[i] = true;
+                        }
+                        other => {
+                            lost_now
+                                .push((node, format!("unexpected {other:?} frame during finish")));
+                        }
                     }
-                    done[node as usize] = true;
                 }
-                NodeEvent::Frame { node, kind, .. } => {
-                    return Err(DeployError::NodeFailed {
-                        node,
-                        reason: format!("unexpected {kind:?} frame during finish"),
-                    });
+                Some(NodeEvent::Broken { node, gen, error }) => {
+                    let i = node as usize;
+                    if gen != self.gens[i] || !self.alive[i] {
+                        continue;
+                    }
+                    lost_now.push((node, error));
                 }
-                NodeEvent::Broken { node, error } => {
+            }
+            for (node, reason) in lost_now {
+                let i = node as usize;
+                if !self.alive[i] {
+                    continue;
+                }
+                self.handle_loss(node, last_epoch, &reason)?;
+                // Whatever the node delivered so far is void: a
+                // reconnector re-finishes from its restored state, a
+                // degraded node's rows are gone by policy.
+                results_per_node[i].clear();
+                stats[i] = None;
+                done[i] = false;
+            }
+        }
+
+        // Every surviving node must have acked every announced boundary —
+        // the exactness guarantee that no epoch's traffic went missing.
+        if self.epochs_sent > 0 {
+            for i in 0..n {
+                if self.alive[i] && self.acked_epoch[i] != Some(last_epoch) {
                     return Err(DeployError::NodeFailed {
-                        node,
-                        reason: error,
+                        node: i as u32,
+                        reason: format!(
+                            "acked through epoch {:?}, expected {last_epoch}",
+                            self.acked_epoch[i]
+                        ),
                     });
                 }
             }
         }
 
-        // Every node must have acked every announced epoch boundary.
-        for (node, seen) in self.progress_seen.iter().enumerate() {
-            if *seen != self.epochs_sent {
-                return Err(DeployError::NodeFailed {
-                    node: node as u32,
-                    reason: format!("acked {seen} of {} epoch boundaries", self.epochs_sent),
-                });
+        let stats = stats
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(msg) => msg,
+                // Degraded (or reassigned-away) nodes report nothing; their
+                // last checkpointed counters stand in for the lost shards.
+                None => NodeStatsMsg {
+                    node_id: i as u32,
+                    shards: self.degraded_from[i]
+                        .iter()
+                        .filter_map(|s| self.ckpt_counters.get(s).cloned())
+                        .collect(),
+                },
+            })
+            .collect();
+
+        let n_shards = self.routes.len();
+        let mut shard_completeness = vec![1.0f64; n_shards];
+        if self.epochs_sent > 0 {
+            for (&s, &covered) in &self.degraded_covered {
+                shard_completeness[s as usize] = covered as f64 / self.epochs_sent as f64;
             }
         }
 
-        for reader in self.readers.drain(..) {
-            let _ = reader.join();
+        for i in 0..n {
+            self.retire_link(i);
         }
-        let mut node_wire_bytes = Vec::with_capacity(n);
-        for (i, link) in self.links.iter_mut().enumerate() {
-            link.close();
-            node_wire_bytes.push(
-                link.bytes_sent()
+        let node_wire_bytes = (0..n)
+            .map(|i| {
+                self.retired_tx[i]
                     + self.handshake_tx[i]
-                    + self.rx_counters[i].load(Ordering::Relaxed),
-            );
-        }
+                    + self.rx_counters[i].load(Ordering::Relaxed)
+            })
+            .collect();
         Ok(RemoteFinish {
-            results,
-            stats: stats
-                .into_iter()
-                .map(|s| s.expect("done implies stats"))
-                .collect(),
+            results: results_per_node.into_iter().flatten().collect(),
+            stats,
             node_wire_bytes,
+            incidents: std::mem::take(&mut self.incidents),
+            replay_bytes: self.replay_bytes,
+            heartbeats_sent: self.heartbeats_sent,
+            shard_completeness,
         })
     }
 }
 
 impl Drop for RemoteCluster {
     fn drop(&mut self) {
-        for link in &mut self.links {
+        for link in self.links.iter_mut().flatten() {
             link.close();
         }
         // Reader threads exit on their own once the peer sockets close;
         // detach rather than block an error path on a hung node.
-        self.readers.drain(..).for_each(drop);
+        for reader in &mut self.readers {
+            drop(reader.take());
+        }
     }
+}
+
+/// Probes an admitted-but-idle connection for death without consuming
+/// data: a zero-length peek or a hard error means the peer is gone.
+fn peer_disconnected(stream: &TcpStream) -> Option<String> {
+    if stream.set_nonblocking(true).is_err() {
+        return Some("admitted socket unusable".to_string());
+    }
+    let mut probe = [0u8; 1];
+    let verdict = match stream.peek(&mut probe) {
+        Ok(0) => Some("connection closed during admission".to_string()),
+        Ok(_) => None,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+        Err(e) => Some(format!("connection errored during admission: {e}")),
+    };
+    let _ = stream.set_nonblocking(false);
+    verdict
 }
 
 /// Runs the handshake on one accepted connection.
@@ -433,7 +1103,7 @@ fn admit(
     stream: TcpStream,
     peer: &str,
     spec: &DeploymentSpec,
-    workload: &crate::deploy::remote::RemoteWorkload,
+    workload: &RemoteWorkload,
     n_shards: usize,
     n_nodes: usize,
     admitted: &mut [Option<AdmittedNode>],
@@ -517,6 +1187,7 @@ fn admit(
         sources: spec.sources,
         workload: workload.clone(),
         rules: spec.rules.clone(),
+        checkpoint_interval: spec.checkpoint_interval,
     };
     handshake_tx += write_frame(&stream, FrameKind::Spec, &to_body(&node_spec))
         .map_err(io_fail("send Spec"))?;

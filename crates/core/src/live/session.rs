@@ -54,10 +54,9 @@ use streamkit::schema::SchemaRef;
 use streamkit::shard::{node_of_shard, shard_of_values, shards_of_node};
 
 use crate::calibration;
-use crate::deploy::{DeployError, DeploymentSpec, TransportKind};
+use crate::deploy::{DeployError, DeploymentSpec, FaultIncident, TransportKind};
 use crate::engine::block::EpochSource;
 use crate::engine::netwire::{decode_shard_payload, encode_shard_payload};
-use crate::engine::transport::{FrameKind, Link};
 use crate::engine::NetPayload;
 use crate::live::remote::RemoteCluster;
 use crate::planner::PlannedQuery;
@@ -161,8 +160,9 @@ struct NodeSet {
 enum SpTier {
     /// One [`NodeSet`] per node, executed by scoped worker threads.
     InProcess(Vec<NodeSet>),
-    /// Admitted remote executors (TCP transport).
-    Remote(RemoteCluster),
+    /// Admitted remote executors (TCP transport), boxed to keep the
+    /// in-process variant lean.
+    Remote(Box<RemoteCluster>),
 }
 
 /// Final outcome of a live session.
@@ -194,6 +194,16 @@ pub struct LiveOutcome {
     pub node_usage_us: Vec<f64>,
     /// Wire bytes each SP node (as ingress) shipped to other nodes.
     pub node_wire_bytes: Vec<u64>,
+    /// Node losses and how each was resolved (TCP tier only; empty for
+    /// in-process sessions, which cannot lose nodes).
+    pub incidents: Vec<FaultIncident>,
+    /// Checkpoint + replay bytes re-shipped for recovery.
+    pub replay_bytes: u64,
+    /// Heartbeat pings the coordinator sent while awaiting epoch acks.
+    pub heartbeats_sent: u64,
+    /// Fraction of epochs each shard's results cover (1.0 unless shards
+    /// were degraded away by [`OnNodeLoss::Degrade`](crate::deploy::OnNodeLoss)).
+    pub shard_completeness: Vec<f64>,
 }
 
 /// A threaded deployment advanced epoch by epoch.
@@ -334,12 +344,12 @@ impl LiveSession {
                     .last()
                     .expect("edge schemas cover the output edge")
                     .clone();
-                SpTier::Remote(RemoteCluster::listen(
+                SpTier::Remote(Box::new(RemoteCluster::listen(
                     spec,
                     n_shards,
                     n_nodes,
                     final_schema,
-                )?)
+                )?))
             }
         };
         Ok(LiveSession {
@@ -413,7 +423,12 @@ impl LiveSession {
     /// partitioned pipelines on real threads (source workers → dispatcher →
     /// SP node workers), then drives each source's runtime state machine
     /// with the epoch's observations.
-    pub fn run_epoch(&mut self) {
+    ///
+    /// For TCP-backed sessions the epoch boundary blocks until every live
+    /// remote node acks it, so node losses (and their recovery, per the
+    /// configured [`OnNodeLoss`](crate::deploy::OnNodeLoss) policy) surface
+    /// here as typed errors. In-process sessions cannot fail.
+    pub fn run_epoch(&mut self) -> Result<(), DeployError> {
         assert!(!self.finished, "session already finished");
         let now_us = (self.epoch as f64 * self.epoch_secs * 1e6) as i64;
         let m = self.planned.source_ops;
@@ -453,7 +468,7 @@ impl LiveSession {
                 local_nodes = Some(nodes);
                 LinkSink::Channels(node_txs)
             }
-            SpTier::Remote(cluster) => LinkSink::Remote(cluster.links()),
+            SpTier::Remote(cluster) => LinkSink::Remote(cluster),
         };
         let costs = &self.costs;
         let plan = &self.planned.plan;
@@ -581,11 +596,12 @@ impl LiveSession {
             }
         });
 
-        // Epoch boundary: announce it to remote executors (their progress
-        // acks reconcile at finish), then run counterfactual budget
-        // classification + the runtime state machine per source.
+        // Epoch boundary: block until every live remote executor acks it
+        // (failure detection + recovery live behind this call), then run
+        // counterfactual budget classification + the runtime state machine
+        // per source.
         if let SpTier::Remote(cluster) = &mut self.tier {
-            cluster.epoch_end(self.epoch);
+            cluster.epoch_end(self.epoch)?;
         }
         for worker in &mut self.workers {
             self.input_records += worker.input_records;
@@ -593,6 +609,7 @@ impl LiveSession {
             worker.end_epoch();
         }
         self.epoch += 1;
+        Ok(())
     }
 
     /// Applies resource events scheduled for the current epoch: budget
@@ -648,11 +665,12 @@ impl LiveSession {
         }
     }
 
-    /// Runs `n` epochs.
-    pub fn run_epochs(&mut self, n: u64) {
+    /// Runs `n` epochs, stopping at the first transport failure.
+    pub fn run_epochs(&mut self, n: u64) -> Result<(), DeployError> {
         for _ in 0..n {
-            self.run_epoch();
+            self.run_epoch()?;
         }
+        Ok(())
     }
 
     /// Finishes the session: ships residual partial state (routed by key
@@ -724,8 +742,12 @@ impl LiveSession {
                         rel: rel as u32,
                         delta: StatePartial::Group(part),
                     };
-                    let bytes = cluster.send_shard(node_of_shard(s, n_shards, n_nodes), &payload);
-                    self.shard_wire_bytes[s] += bytes;
+                    // Routed by the cluster's (possibly recovered) shard
+                    // map; degraded shards drop their residuals by policy.
+                    let body = encode_shard_payload(&payload);
+                    if let Some(bytes) = cluster.route_payload(s, self.epoch, &body) {
+                        self.shard_wire_bytes[s] += bytes;
+                    }
                 }
             }
         }
@@ -738,6 +760,10 @@ impl LiveSession {
         let mut node_drained_records = Vec::with_capacity(n_nodes);
         let mut node_usage_us = Vec::with_capacity(n_nodes);
         let mut node_wire_bytes = self.node_wire_bytes;
+        let mut incidents = Vec::new();
+        let mut replay_bytes = 0u64;
+        let mut heartbeats_sent = 0u64;
+        let mut shard_completeness = vec![1.0f64; n_shards];
         match self.tier {
             SpTier::InProcess(mut nodes) => {
                 for node in &mut nodes {
@@ -779,6 +805,10 @@ impl LiveSession {
                 // Actual socket traffic (TX + RX) per node link, replacing
                 // the modelled per-ingress accounting.
                 node_wire_bytes = fin.node_wire_bytes;
+                incidents = fin.incidents;
+                replay_bytes = fin.replay_bytes;
+                heartbeats_sent = fin.heartbeats_sent;
+                shard_completeness = fin.shard_completeness;
             }
         }
         Ok(LiveOutcome {
@@ -795,6 +825,10 @@ impl LiveSession {
             node_drained_records,
             node_usage_us,
             node_wire_bytes,
+            incidents,
+            replay_bytes,
+            heartbeats_sent,
+            shard_completeness,
         })
     }
 }
@@ -815,8 +849,9 @@ enum NodeMsg {
 enum LinkSink<'a> {
     /// Bounded channels into the scoped node worker threads.
     Channels(Vec<Sender<NodeMsg>>),
-    /// The admitted `jarvis-node` links (every payload is framed).
-    Remote(&'a [Link]),
+    /// The remote cluster (every payload is framed onto the shard owner's
+    /// link through the cluster's recovery-aware routing table).
+    Remote(&'a RemoteCluster),
 }
 
 /// The dispatcher's view of the per-node links: ring geometry, the sink,
@@ -859,11 +894,12 @@ impl Links<'_> {
                 };
                 node_txs[owner].send(msg).expect("node worker alive");
             }
-            LinkSink::Remote(links) => {
+            LinkSink::Remote(cluster) => {
                 let body = encode_shard_payload(&payload);
-                let bytes = links[owner].send(FrameKind::Shard, &body);
-                self.shard_wire[shard] += bytes;
-                self.node_wire[self.ingress(source)] += bytes;
+                if let Some(bytes) = cluster.route_payload(shard, self.epoch, &body) {
+                    self.shard_wire[shard] += bytes;
+                    self.node_wire[self.ingress(source)] += bytes;
+                }
             }
         }
     }
@@ -1147,9 +1183,9 @@ mod tests {
             .spec()
             .unwrap();
         let mut s = LiveSession::new(&spec).unwrap();
-        s.run_epochs(12);
+        s.run_epochs(12).unwrap();
         let before = s.load_factors(0);
-        s.run_epochs(14);
+        s.run_epochs(14).unwrap();
         let after = s.load_factors(0);
         assert!(
             after.iter().sum::<f64>() < before.iter().sum::<f64>(),
@@ -1160,7 +1196,7 @@ mod tests {
     #[test]
     fn adaptive_session_pulls_work_local() {
         let mut s = LiveSession::new(&spec(StrategyKind::Jarvis, 1.0)).unwrap();
-        s.run_epochs(12);
+        s.run_epochs(12).unwrap();
         let p = s.load_factors(0);
         assert!(
             p.iter().any(|&v| v > 0.0),
@@ -1172,7 +1208,7 @@ mod tests {
     #[test]
     fn fixed_strategy_sessions_never_move_factors() {
         let mut s = LiveSession::new(&spec(StrategyKind::AllSrc, 0.2)).unwrap();
-        s.run_epochs(6);
+        s.run_epochs(6).unwrap();
         assert_eq!(s.load_factors(0), vec![1.0, 1.0, 1.0]);
         let out = s.finish();
         assert_eq!(out.drained_records, 0, "All-Src drains nothing");
@@ -1184,10 +1220,10 @@ mod tests {
     fn adaptive_and_all_sp_results_match() {
         // Exactness across load-factor plans, now under runtime adaptation.
         let mut adaptive = LiveSession::new(&spec(StrategyKind::Jarvis, 0.6)).unwrap();
-        adaptive.run_epochs(10);
+        adaptive.run_epochs(10).unwrap();
         let a = adaptive.finish();
         let mut all_sp = LiveSession::new(&spec(StrategyKind::AllSp, 0.6)).unwrap();
-        all_sp.run_epochs(10);
+        all_sp.run_epochs(10).unwrap();
         let b = all_sp.finish();
         let digest = |rows: &[Record]| crate::deploy::ExactnessDigest::of_rows(rows);
         assert_eq!(digest(&a.results), digest(&b.results));
@@ -1210,7 +1246,7 @@ mod tests {
         let mut s = LiveSession::new(&spec).unwrap();
         assert_eq!(s.n_shards(), 4);
         assert_eq!(s.n_nodes(), 1);
-        s.run_epochs(4);
+        s.run_epochs(4).unwrap();
         let out = s.finish();
         assert_eq!(out.shard_drained_records.len(), 4);
         let busy = out.shard_drained_records.iter().filter(|&&r| r > 0).count();
@@ -1248,7 +1284,7 @@ mod tests {
         let mut s = LiveSession::new(&spec).unwrap();
         assert_eq!(s.n_shards(), 4);
         assert_eq!(s.n_nodes(), 2);
-        s.run_epochs(4);
+        s.run_epochs(4).unwrap();
         let out = s.finish();
         assert_eq!(out.node_drained_records.len(), 2);
         assert_eq!(

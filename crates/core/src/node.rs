@@ -10,7 +10,31 @@
 //! per-shard counters back, and exits. The serve loop is single-threaded:
 //! the coordinator's per-link FIFO ordering guarantees `EpochEnd` and
 //! `Finish` arrive after every data frame they follow.
+//!
+//! Fault tolerance adds three duties on top of the fault-free loop:
+//!
+//! - **Heartbeats** — every `Ping` is answered with a `Pong` immediately,
+//!   so a coordinator waiting on a slow epoch can tell "busy" from "dead".
+//! - **Checkpoints** — when [`NodeSpec::checkpoint_interval`] is non-zero,
+//!   the node snapshots every stateful suffix operator plus the rows
+//!   already collected past the chain at the matching epoch boundaries
+//!   and ships both back as `Ckpt` frames, committed by the
+//!   [`CheckpointAck`] riding on the following `Progress` (per-link
+//!   FIFO order makes the ack see exactly the frames before it).
+//! - **Adoption** — an `Adopt` frame re-keys the engine: each adopted
+//!   shard starts from a fresh pipeline seeded with the checkpoint's
+//!   counter bases; checkpoint state and replayed traffic then arrive as
+//!   ordinary `Shard` frames. The same message serves both recovery paths
+//!   (a surviving node taking over a dead peer's shards, and a
+//!   reconnecting node re-owning its previous slice).
+//!
+//! With [`NodeConfig::reconnect`] set, a transport failure mid-run tears
+//! the session down and re-dials under the same node id with capped
+//! exponential backoff — the coordinator re-admits the node under its
+//! token, re-ships spec, checkpoint, and replayed tail, and the rebuilt
+//! engine converges on bit-identical state.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
 use std::net::TcpStream;
@@ -18,16 +42,19 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use streamkit::batch::Batch;
-use streamkit::ops::AggRole;
-use streamkit::physical::build_pipeline;
+use streamkit::logical::LogicalPlan;
+use streamkit::ops::{AggRole, StatePartial};
+use streamkit::physical::{build_pipeline, CostProfile};
 use streamkit::shard::shards_of_node;
 
 use crate::deploy::remote::{
-    from_body, to_body, Admit, NodeSpec, NodeStatsMsg, Progress, Register, Reject, ShardCounters,
+    from_body, to_body, Admit, AdoptMsg, CheckpointAck, NodeSpec, NodeStatsMsg, Progress, Register,
+    Reject, ShardCounters,
 };
-use crate::engine::netwire::decode_shard_payload;
+use crate::engine::netwire::{decode_shard_payload, encode_shard_payload};
 use crate::engine::transport::{encode_frame, FrameKind, FrameReader, Link, TransportError};
 use crate::engine::NetPayload;
+use crate::fault::splitmix64;
 use crate::live::session::ShardSet;
 use crate::planner::plan_query;
 
@@ -36,6 +63,15 @@ const RESULTS_CHUNK: usize = 2048;
 
 /// Reconnect poll interval while the coordinator is not yet listening.
 const CONNECT_POLL: Duration = Duration::from_millis(50);
+
+/// First reconnect backoff step (doubles per attempt).
+const RECONNECT_BASE: Duration = Duration::from_millis(100);
+
+/// Reconnect backoff ceiling.
+const RECONNECT_CAP: Duration = Duration::from_secs(2);
+
+/// Reconnect jitter span, milliseconds (see [`reconnect_backoff`]).
+const RECONNECT_JITTER_MS: u64 = 100;
 
 /// How a node run is configured (mirrors the `jarvis-node` CLI flags).
 #[derive(Debug, Clone)]
@@ -49,16 +85,23 @@ pub struct NodeConfig {
     /// How long to keep retrying the initial connect (the coordinator may
     /// not be listening yet).
     pub connect_timeout: Duration,
+    /// Re-dial and re-register under the same node id after a mid-run
+    /// transport failure, instead of exiting with the error.
+    pub reconnect: bool,
+    /// Reconnect attempts before giving up (only with `reconnect`).
+    pub max_reconnects: u32,
 }
 
 impl NodeConfig {
-    /// A config with the default connect timeout.
+    /// A config with the default connect timeout and reconnects disabled.
     pub fn new(coordinator: impl Into<String>, token: impl Into<String>) -> NodeConfig {
         NodeConfig {
             coordinator: coordinator.into(),
             token: token.into(),
             node_id: None,
             connect_timeout: Duration::from_secs(10),
+            reconnect: false,
+            max_reconnects: 5,
         }
     }
 }
@@ -120,17 +163,79 @@ impl From<TransportError> for NodeError {
 pub struct NodeSummary {
     /// The node id the coordinator assigned.
     pub node_id: u32,
-    /// Epoch boundaries observed.
+    /// Epoch boundaries observed (a replayed boundary counts again).
     pub epochs: u64,
-    /// Shard data frames processed.
+    /// Shard data frames processed (replayed frames count again).
     pub shard_frames: u64,
     /// Result rows streamed back.
     pub result_rows: u64,
+    /// Mid-run reconnects that re-established the session.
+    pub reconnects: u32,
+}
+
+/// Counters that survive a session teardown, so a reconnect resumes the
+/// summary (and re-registers under the admitted id) instead of starting
+/// from scratch.
+struct SessionState {
+    /// The node id to re-register under (set at the first `Admit`).
+    node_id: Option<u32>,
+    /// Distinct epochs observed across all sessions. Recovery may re-send
+    /// an `EpochEnd` the node already processed (a survivor adopting
+    /// shards mid-epoch sees the current boundary twice), so this tracks
+    /// the highest boundary rather than counting frames.
+    epochs: u64,
+    /// Shard frames processed across all sessions.
+    shard_frames: u64,
 }
 
 /// Dials the coordinator, executes the assigned shard slice, and streams
-/// results back. Returns once the coordinator's `Finish` is fully answered.
+/// results back. Returns once the coordinator's `Finish` is fully
+/// answered — or, with [`NodeConfig::reconnect`], after exhausting the
+/// reconnect budget on a persistent failure.
 pub fn run_node(config: &NodeConfig) -> Result<NodeSummary, NodeError> {
+    let mut state = SessionState {
+        node_id: config.node_id,
+        epochs: 0,
+        shard_frames: 0,
+    };
+    let mut attempt = 0u32;
+    loop {
+        match run_session(config, &mut state) {
+            Ok(mut summary) => {
+                summary.reconnects = attempt;
+                return Ok(summary);
+            }
+            Err(e) => {
+                // Only link-level failures are worth re-dialling for; a
+                // rejection or build failure would just repeat.
+                let recoverable = matches!(e, NodeError::Transport(_) | NodeError::Protocol { .. });
+                if !(config.reconnect && recoverable && attempt < config.max_reconnects) {
+                    return Err(e);
+                }
+                attempt += 1;
+                thread::sleep(reconnect_backoff(attempt, state.node_id.unwrap_or(0)));
+            }
+        }
+    }
+}
+
+/// Capped exponential reconnect backoff with deterministic jitter:
+/// `100ms · 2^(attempt-1)` capped at 2 s, plus 0–100 ms of
+/// [`splitmix64`]-derived jitter so a cluster of nodes reconnecting after
+/// the same network event does not stampede the coordinator in lockstep.
+fn reconnect_backoff(attempt: u32, node_id: u32) -> Duration {
+    let base = RECONNECT_BASE
+        .checked_mul(1u32 << (attempt.saturating_sub(1)).min(16))
+        .unwrap_or(RECONNECT_CAP)
+        .min(RECONNECT_CAP);
+    let roll = splitmix64((u64::from(node_id) << 32) | u64::from(attempt));
+    base + Duration::from_millis(roll % RECONNECT_JITTER_MS)
+}
+
+/// One full coordinator session: handshake, serve loop, finish. A
+/// transport error anywhere surfaces to [`run_node`], which decides
+/// whether to re-dial.
+fn run_session(config: &NodeConfig, state: &mut SessionState) -> Result<NodeSummary, NodeError> {
     let stream = connect(config)?;
     let _ = stream.set_nodelay(true);
     let mut reader = FrameReader::new(stream.try_clone().map_err(|e| NodeError::Connect {
@@ -144,7 +249,7 @@ pub fn run_node(config: &NodeConfig) -> Result<NodeSummary, NodeError> {
         FrameKind::Register,
         &to_body(&Register {
             token: config.token.clone(),
-            node_id: config.node_id,
+            node_id: state.node_id,
         }),
     )?;
     let node_id = match reader.read_frame()? {
@@ -165,6 +270,7 @@ pub fn run_node(config: &NodeConfig) -> Result<NodeSummary, NodeError> {
             })
         }
     };
+    state.node_id = Some(node_id);
     let spec: NodeSpec = match reader.read_frame()? {
         (FrameKind::Spec, body) => {
             from_body(&body).map_err(|reason| NodeError::Protocol { reason })?
@@ -180,19 +286,50 @@ pub fn run_node(config: &NodeConfig) -> Result<NodeSummary, NodeError> {
     // Ready, then serve until Finish.
     let mut link = Link::spawn(stream);
     link.send(FrameKind::Ready, &[]);
-    let mut epochs = 0u64;
-    let mut shard_frames = 0u64;
     let result_rows;
     loop {
         let (kind, body) = reader.read_frame()?;
         match kind {
             FrameKind::Shard => {
                 engine.ingest(body)?;
-                shard_frames += 1;
+                state.shard_frames += 1;
+            }
+            FrameKind::Ping => {
+                link.send(FrameKind::Pong, &[]);
+            }
+            FrameKind::Adopt => {
+                let msg: AdoptMsg =
+                    from_body(&body).map_err(|reason| NodeError::Protocol { reason })?;
+                engine.adopt(&msg)?;
             }
             FrameKind::EpochEnd => {
                 let epoch = parse_epoch(&body)?;
-                epochs += 1;
+                state.epochs = state.epochs.max(epoch + 1);
+                let checkpoint = if spec.checkpoint_interval > 0
+                    && (epoch + 1) % spec.checkpoint_interval == 0
+                {
+                    for (shard, source, rel, delta) in engine.snapshot() {
+                        link.send(
+                            FrameKind::Ckpt,
+                            &encode_shard_payload(&NetPayload::ShardState {
+                                shard,
+                                epoch,
+                                source,
+                                rel,
+                                delta,
+                            }),
+                        );
+                    }
+                    for body in engine.collected_snapshot(epoch)? {
+                        link.send(FrameKind::Ckpt, &body);
+                    }
+                    Some(CheckpointAck {
+                        epoch,
+                        shards: engine.counters(),
+                    })
+                } else {
+                    None
+                };
                 let (drained_records, usage_us) = engine.totals();
                 link.send(
                     FrameKind::Progress,
@@ -201,6 +338,7 @@ pub fn run_node(config: &NodeConfig) -> Result<NodeSummary, NodeError> {
                         epoch,
                         drained_records,
                         usage_us,
+                        checkpoint,
                     }),
                 );
             }
@@ -229,13 +367,16 @@ pub fn run_node(config: &NodeConfig) -> Result<NodeSummary, NodeError> {
     }
     link.close();
     if link.is_broken() {
-        return Err(NodeError::Transport(TransportError::Closed));
+        return Err(NodeError::Transport(
+            link.error().unwrap_or(TransportError::Closed),
+        ));
     }
     Ok(NodeSummary {
         node_id,
-        epochs,
-        shard_frames,
+        epochs: state.epochs,
+        shard_frames: state.shard_frames,
         result_rows,
+        reconnects: 0,
     })
 }
 
@@ -274,16 +415,24 @@ fn parse_epoch(body: &[u8]) -> Result<u64, NodeError> {
 }
 
 /// The node's owned slice of the engine: shard sets plus the decode-side
-/// schemas, rebuilt locally from the [`NodeSpec`].
+/// schemas, rebuilt locally from the [`NodeSpec`]. Sets are keyed by
+/// ring-absolute shard index — ownership starts as the contiguous
+/// `shards_of_node` slice but can grow past it through adoption.
 struct NodeEngine {
-    /// Owned ring slice (`shards_of_node`).
-    owned: std::ops::Range<usize>,
-    /// One set per owned shard, indexed by `shard - owned.start`.
-    sets: Vec<ShardSet>,
+    /// Live shard sets, keyed ring-absolute.
+    sets: BTreeMap<usize, ShardSet>,
     /// Input schema of every suffix stage plus the output edge.
     suffix_schemas: Vec<streamkit::schema::SchemaRef>,
     /// The plan's output schema (what `Results` frames encode).
     final_schema: streamkit::schema::SchemaRef,
+    /// The optimised plan, kept to instantiate adopted shards' pipelines.
+    plan: LogicalPlan,
+    /// Calibrated operator costs for fresh pipelines.
+    costs: CostProfile,
+    /// First SP-side operator index (suffix starts here).
+    boundary: usize,
+    /// Replica pipelines per shard (one per data source).
+    sources: u32,
 }
 
 impl NodeEngine {
@@ -321,30 +470,105 @@ impl NodeEngine {
             spec.n_shards as usize,
             spec.n_nodes as usize,
         );
-        let sets = owned
-            .clone()
-            .map(|_| {
-                let pipelines = (0..spec.sources)
-                    .map(|_| {
-                        build_pipeline(&planned.plan, &costs, AggRole::Final)
-                            .map(|mut ops| ops.split_off(boundary))
-                    })
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(|e| build_err(&e))?;
-                Ok(ShardSet {
-                    pipelines,
-                    collected: Vec::new(),
-                    drained_records: 0,
-                    usage_us: 0.0,
-                })
-            })
-            .collect::<Result<Vec<_>, NodeError>>()?;
-        Ok(NodeEngine {
-            owned,
-            sets,
+        let mut engine = NodeEngine {
+            sets: BTreeMap::new(),
             suffix_schemas,
             final_schema,
+            plan: planned.plan,
+            costs,
+            boundary,
+            sources: spec.sources,
+        };
+        for shard in owned {
+            let set = engine.fresh_set()?;
+            engine.sets.insert(shard, set);
+        }
+        Ok(engine)
+    }
+
+    /// A zero-counter shard set with fresh pipelines (one per source).
+    fn fresh_set(&self) -> Result<ShardSet, NodeError> {
+        let pipelines = (0..self.sources)
+            .map(|_| {
+                build_pipeline(&self.plan, &self.costs, AggRole::Final)
+                    .map(|mut ops| ops.split_off(self.boundary))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| NodeError::Build {
+                reason: e.to_string(),
+            })?;
+        Ok(ShardSet {
+            pipelines,
+            collected: Vec::new(),
+            drained_records: 0,
+            usage_us: 0.0,
         })
+    }
+
+    /// Takes ownership of shards lost with a failed peer (or re-owns this
+    /// node's slice on a reconnect): each adopted shard starts from a
+    /// fresh pipeline seeded with the checkpoint's counter bases. The
+    /// checkpoint state and the replayed post-checkpoint traffic follow as
+    /// ordinary `Shard` frames on the same link.
+    fn adopt(&mut self, msg: &AdoptMsg) -> Result<(), NodeError> {
+        for a in &msg.shards {
+            let mut set = self.fresh_set()?;
+            set.drained_records = a.drained_records;
+            set.usage_us = a.usage_us;
+            self.sets.insert(a.shard as usize, set);
+        }
+        Ok(())
+    }
+
+    /// Full cumulative snapshot of every stateful suffix operator, as
+    /// `(shard, source, rel, state)`. Uses the non-destructive
+    /// [`checkpoint_state`](streamkit::ops::Operator::checkpoint_state),
+    /// which covers every role —
+    /// `take_state_delta` would skip final-role aggregations and silently
+    /// checkpoint an empty table. Each snapshot is cumulative, so the
+    /// coordinator can store checkpoints by replacement.
+    fn snapshot(&mut self) -> Vec<(u32, u32, u32, StatePartial)> {
+        let mut out = Vec::new();
+        for (&shard, set) in &self.sets {
+            for (source, pipeline) in set.pipelines.iter().enumerate() {
+                for (rel, op) in pipeline.iter().enumerate() {
+                    if let Some(delta) = op.checkpoint_state() {
+                        out.push((shard as u32, source as u32, rel as u32, delta));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The cumulative rows that already traversed a full chain, one
+    /// past-the-end `ShardBatch` envelope per non-empty shard (`rel` is
+    /// the suffix length, so restoring it routes the rows straight back
+    /// into `collected` without re-counting them as drained input). These
+    /// rows live outside operator state, so a checkpoint that omitted
+    /// them would silently drop every row emitted before the snapshot.
+    fn collected_snapshot(&self, epoch: u64) -> Result<Vec<bytes::Bytes>, NodeError> {
+        let rel = (self.suffix_schemas.len() - 1) as u32;
+        let mut out = Vec::new();
+        for (&shard, set) in &self.sets {
+            if set.collected.is_empty() {
+                continue;
+            }
+            let batch =
+                Batch::from_records(self.final_schema.clone(), &set.collected).map_err(|e| {
+                    NodeError::Build {
+                        reason: format!("collected rows do not fit the output schema: {e}"),
+                    }
+                })?;
+            out.push(encode_shard_payload(&NetPayload::ShardBatch {
+                shard: shard as u32,
+                epoch,
+                source: 0,
+                rel,
+                batch,
+            }));
+        }
+        Ok(out)
     }
 
     /// Applies one shard data frame (an untouched `netwire` envelope).
@@ -384,21 +608,23 @@ impl NodeEngine {
     }
 
     /// The set owning ring-absolute `shard`, or a protocol error if the
-    /// coordinator routed outside this node's slice.
+    /// coordinator routed outside this node's owned set.
     fn set(&mut self, shard: u32) -> Result<&mut ShardSet, NodeError> {
         let shard = shard as usize;
-        if !self.owned.contains(&shard) {
+        if !self.sets.contains_key(&shard) {
             return Err(NodeError::Protocol {
-                reason: format!("shard {shard} outside owned slice {:?}", self.owned),
+                reason: format!(
+                    "shard {shard} outside owned set {:?}",
+                    self.sets.keys().collect::<Vec<_>>()
+                ),
             });
         }
-        let start = self.owned.start;
-        Ok(&mut self.sets[shard - start])
+        Ok(self.sets.get_mut(&shard).expect("presence checked above"))
     }
 
     /// Cumulative `(drained_records, usage_us)` across owned shards.
     fn totals(&self) -> (u64, f64) {
-        self.sets.iter().fold((0, 0.0), |(d, u), set| {
+        self.sets.values().fold((0, 0.0), |(d, u), set| {
             (d + set.drained_records, u + set.usage_us)
         })
     }
@@ -406,7 +632,7 @@ impl NodeEngine {
     /// Closes every window and returns all collected result rows.
     fn drain(&mut self) -> Result<Vec<streamkit::record::Record>, NodeError> {
         let mut rows = Vec::new();
-        for set in &mut self.sets {
+        for set in self.sets.values_mut() {
             for pipeline in &mut set.pipelines {
                 set.collected
                     .extend(streamkit::physical::drain_windows_rows(
@@ -419,20 +645,23 @@ impl NodeEngine {
         Ok(rows)
     }
 
+    /// Per-shard accounting, ring order (adopted shards included).
+    fn counters(&self) -> Vec<ShardCounters> {
+        self.sets
+            .iter()
+            .map(|(&s, set)| ShardCounters {
+                shard: s as u32,
+                drained_records: set.drained_records,
+                usage_us: set.usage_us,
+            })
+            .collect()
+    }
+
     /// Final per-shard accounting, ring order.
     fn stats(&self, node_id: u32) -> NodeStatsMsg {
         NodeStatsMsg {
             node_id,
-            shards: self
-                .owned
-                .clone()
-                .zip(&self.sets)
-                .map(|(s, set)| ShardCounters {
-                    shard: s as u32,
-                    drained_records: set.drained_records,
-                    usage_us: set.usage_us,
-                })
-                .collect(),
+            shards: self.counters(),
         }
     }
 }
@@ -441,7 +670,7 @@ impl NodeEngine {
 mod tests {
     use super::*;
     use crate::calibration::Scale;
-    use crate::deploy::remote::RemoteWorkload;
+    use crate::deploy::remote::{AdoptShard, RemoteWorkload};
     use crate::planner::RuleConfig;
 
     fn spec(n_shards: u32, n_nodes: u32) -> NodeSpec {
@@ -452,15 +681,15 @@ mod tests {
             sources: 2,
             workload: RemoteWorkload::PingmeshS2S { scale: Scale::X1 },
             rules: RuleConfig::default(),
+            checkpoint_interval: 0,
         }
     }
 
     #[test]
     fn engines_rebuild_the_owned_slice() {
         let engine = NodeEngine::build(1, &spec(4, 2)).unwrap();
-        assert_eq!(engine.owned, 2..4);
-        assert_eq!(engine.sets.len(), 2);
-        assert_eq!(engine.sets[0].pipelines.len(), 2, "one chain per source");
+        assert_eq!(engine.sets.keys().copied().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(engine.sets[&2].pipelines.len(), 2, "one chain per source");
         assert!(
             !engine.suffix_schemas.is_empty(),
             "decode schemas must cover the suffix"
@@ -484,5 +713,44 @@ mod tests {
         let mut engine = NodeEngine::build(0, &spec(4, 2)).unwrap();
         assert!(engine.set(0).is_ok());
         assert!(matches!(engine.set(3), Err(NodeError::Protocol { .. })));
+    }
+
+    #[test]
+    fn adoption_grows_the_owned_set_with_counter_bases() {
+        let mut engine = NodeEngine::build(0, &spec(4, 2)).unwrap();
+        assert!(engine.set(3).is_err(), "shard 3 belongs to node 1");
+        engine
+            .adopt(&AdoptMsg {
+                shards: vec![AdoptShard {
+                    shard: 3,
+                    drained_records: 7,
+                    usage_us: 0.25,
+                }],
+            })
+            .unwrap();
+        assert!(engine.set(3).is_ok());
+        let counters = engine.counters();
+        let adopted = counters.iter().find(|c| c.shard == 3).unwrap();
+        assert_eq!(adopted.drained_records, 7);
+        assert!((adopted.usage_us - 0.25).abs() < f64::EPSILON);
+        let (drained, _) = engine.totals();
+        assert_eq!(drained, 7, "counter bases carry into the totals");
+    }
+
+    #[test]
+    fn fresh_engines_have_no_state_to_snapshot() {
+        let mut engine = NodeEngine::build(0, &spec(4, 2)).unwrap();
+        assert!(engine.snapshot().is_empty());
+    }
+
+    #[test]
+    fn reconnect_backoff_is_capped_deterministic_and_jittered() {
+        let first = reconnect_backoff(1, 3);
+        assert!(first >= RECONNECT_BASE);
+        assert!(first < RECONNECT_BASE + Duration::from_millis(RECONNECT_JITTER_MS));
+        assert_eq!(first, reconnect_backoff(1, 3), "jitter is deterministic");
+        let late = reconnect_backoff(30, 3);
+        assert!(late >= RECONNECT_CAP);
+        assert!(late < RECONNECT_CAP + Duration::from_millis(RECONNECT_JITTER_MS));
     }
 }

@@ -68,6 +68,11 @@ pub mod code {
     pub const TCP_UNDESCRIBABLE: &str = "JP303";
     /// TCP transport on a backend other than the live one.
     pub const TCP_NEEDS_LIVE: &str = "JP304";
+    /// `on_node_loss = Reassign` with a non-mergeable aggregate at the SP
+    /// tier: reassignment merges recovered state, so recovery is lossy.
+    pub const RECOVERY_LOSSY: &str = "JP401";
+    /// Checkpointing enabled on a plan with no stateful operators.
+    pub const CHECKPOINT_STATELESS: &str = "JP402";
 }
 
 /// How severe a diagnostic is.
@@ -187,6 +192,10 @@ pub struct CheckContext {
     pub remote_describable: bool,
     /// Workload name (for messages).
     pub workload: String,
+    /// Node-loss recovery policy of the deployment.
+    pub on_node_loss: crate::deploy::OnNodeLoss,
+    /// True when SP-tier epoch checkpointing is enabled.
+    pub checkpointing: bool,
 }
 
 impl CheckContext {
@@ -202,6 +211,8 @@ impl CheckContext {
             has_events: false,
             remote_describable: true,
             workload: String::new(),
+            on_node_loss: crate::deploy::OnNodeLoss::Fail,
+            checkpointing: false,
         }
     }
 
@@ -372,6 +383,7 @@ pub fn check(planned: &PlannedQuery, rules: &RuleConfig, ctx: &CheckContext) -> 
     lint_key_provenance(plan, &schemas, ctx, &mut diags);
     lint_mergeability(planned, rules, ctx, &mut diags);
     lint_deployment(plan, ctx, &mut diags);
+    lint_fault_tolerance(plan, rules, ctx, &mut diags);
 
     diags.sort_by_key(|d| (d.severity.rank(), d.op_index.unwrap_or(usize::MAX)));
     diags
@@ -642,6 +654,80 @@ fn lint_deployment(plan: &LogicalPlan, ctx: &CheckContext, diags: &mut Vec<Diagn
     }
 }
 
+/// Fault-tolerance cross-checks: JP401 (lossy Reassign recovery), JP402
+/// (checkpointing a stateless plan).
+fn lint_fault_tolerance(
+    plan: &LogicalPlan,
+    rules: &RuleConfig,
+    ctx: &CheckContext,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // JP401: Reassign recovery re-ships a lost shard's checkpointed
+    // StatePartials to a survivor and *merges* them into fresh operators.
+    // An SP-tier aggregate that is not a commutative mergeable partial
+    // makes that merge lossy — the digests would diverge after a fault.
+    if ctx.on_node_loss == crate::deploy::OnNodeLoss::Reassign {
+        let boundary = plan.shard_boundary().map(|(b, _)| b);
+        if let Some(boundary) = boundary {
+            for (i, op) in plan.ops.iter().enumerate().skip(boundary) {
+                let LogicalOp::GroupAggregate { aggs, .. } = op else {
+                    continue;
+                };
+                for spec in aggs {
+                    if rules.agg_is_incremental(&spec.kind) {
+                        continue;
+                    }
+                    diags.push(
+                        Diagnostic::new(
+                            code::RECOVERY_LOSSY,
+                            Severity::Warning,
+                            Some(i),
+                            format!(
+                                "on_node_loss = reassign with aggregate '{}', which is \
+                                 not a commutative mergeable partial under the \
+                                 configured rules: recovery merges the lost shard's \
+                                 checkpoint into a survivor, so a post-fault run may \
+                                 not be bit-identical",
+                                spec.name
+                            ),
+                        )
+                        .with_help("use a mergeable aggregate, or on_node_loss = fail/degrade"),
+                    );
+                }
+            }
+        }
+    }
+    // JP402: checkpointing snapshots stateful operators; a plan with none
+    // checkpoints nothing, every epoch, forever — a misconfiguration.
+    if ctx.checkpointing {
+        let has_stateful = plan.ops.iter().any(|op| {
+            matches!(
+                op,
+                LogicalOp::GroupAggregate { .. }
+                    | LogicalOp::Join {
+                        streaming: true,
+                        ..
+                    }
+            )
+        });
+        if !has_stateful {
+            diags.push(
+                Diagnostic::new(
+                    code::CHECKPOINT_STATELESS,
+                    Severity::Error,
+                    None,
+                    format!(
+                        "checkpointing is enabled but the chain [{}] has no stateful \
+                         operator; there is no state to snapshot or recover",
+                        plan.display_chain()
+                    ),
+                )
+                .with_help("disable checkpoint_interval or add a stateful operator"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +812,65 @@ mod tests {
             &RuleConfig::default(),
             &CheckContext::local(4, 2, StrategyKind::AllSrc),
         );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn reassign_with_non_mergeable_aggregate_warns_lossy_recovery() {
+        let plan = Query::stream("q", schema())
+            .window_secs(10.0)
+            .group_by(&["k"])
+            .aggregate(&[(
+                AggKind::ApproxQuantile {
+                    q: 0.99,
+                    lo: 0.0,
+                    hi: 1000.0,
+                },
+                "v",
+                "p99_v",
+            )])
+            .build()
+            .unwrap();
+        let rules = RuleConfig {
+            quantiles_are_exact: true,
+            ..RuleConfig::default()
+        };
+        let planned = plan_query(plan, &rules).unwrap();
+        let mut ctx = CheckContext::local(4, 2, StrategyKind::Jarvis);
+        ctx.on_node_loss = crate::deploy::OnNodeLoss::Reassign;
+        let diags = check(&planned, &rules, &ctx);
+        let warn: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == code::RECOVERY_LOSSY)
+            .collect();
+        assert_eq!(warn.len(), 1, "got {diags:?}");
+        assert_eq!(warn[0].severity, Severity::Warning);
+        // Fail and Degrade never merge recovered state — no warning.
+        ctx.on_node_loss = crate::deploy::OnNodeLoss::Degrade;
+        let diags = check(&planned, &rules, &ctx);
+        assert!(
+            diags.iter().all(|d| d.code != code::RECOVERY_LOSSY),
+            "got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn checkpointing_a_stateless_plan_is_an_error() {
+        let plan = Query::stream("flat", schema())
+            .window_secs(10.0)
+            .filter_named("err", |c| c.eq(Expr::lit(0u64)))
+            .build()
+            .unwrap();
+        let planned = plan_query(plan, &RuleConfig::default()).unwrap();
+        let mut ctx = CheckContext::local(1, 1, StrategyKind::Jarvis);
+        ctx.checkpointing = true;
+        let diags = check(&planned, &RuleConfig::default(), &ctx);
+        assert_eq!(diags.len(), 1, "got {diags:?}");
+        assert_eq!(diags[0].code, code::CHECKPOINT_STATELESS);
+        assert_eq!(diags[0].severity, Severity::Error);
+        // A stateful plan checkpoints cleanly.
+        let planned = plan_query(keyed_plan(), &RuleConfig::default()).unwrap();
+        let diags = check(&planned, &RuleConfig::default(), &ctx);
         assert!(diags.is_empty(), "got {diags:?}");
     }
 

@@ -163,6 +163,15 @@ impl GroupTable {
         self.entries.drain(..).map(|(k, s, _)| (k, s)).collect()
     }
 
+    /// Clones every live entry in insertion order, leaving the table (and
+    /// its change tracking) untouched — checkpoint snapshots.
+    pub(crate) fn snapshot_all(&self) -> Vec<(GroupKey, Vec<AggState>)> {
+        self.entries
+            .iter()
+            .map(|(k, s, _)| (k.clone(), s.clone()))
+            .collect()
+    }
+
     pub(crate) fn take_changed(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
         let mut out = Vec::new();
         for (key, states, changed) in &mut self.entries {
@@ -736,6 +745,23 @@ impl Operator for GroupAggregateOp {
         let entries = self
             .table
             .drain_all()
+            .into_iter()
+            .map(|((window_start, key), states)| GroupPartialEntry {
+                window_start,
+                key,
+                states,
+            })
+            .collect();
+        Some(StatePartial::Group(entries))
+    }
+
+    fn checkpoint_state(&self) -> Option<StatePartial> {
+        if self.table.len() == 0 {
+            return None;
+        }
+        let entries = self
+            .table
+            .snapshot_all()
             .into_iter()
             .map(|((window_start, key), states)| GroupPartialEntry {
                 window_start,

@@ -204,6 +204,15 @@ pub trait Operator: Send {
         None
     }
 
+    /// Non-destructive cumulative snapshot of the operator's state for
+    /// checkpointing. Unlike [`Operator::take_state_delta`] — which only
+    /// extracts shippable increments from partial-role operators — this
+    /// covers every stateful role and leaves the live state untouched.
+    /// `None` when the operator is stateless or holds no state.
+    fn checkpoint_state(&self) -> Option<StatePartial> {
+        None
+    }
+
     /// Merges partial state shipped from a partial-role twin.
     fn merge_state(&mut self, _state: StatePartial) {}
 

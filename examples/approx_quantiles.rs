@@ -78,7 +78,7 @@ fn main() {
         .spec()
         .expect("valid deployment");
     let mut session = LiveSession::new(&spec).expect("live session");
-    session.run_epochs(20);
+    session.run_epochs(20).expect("epochs run");
     let outcome = session.finish();
     println!("--- merged p99 estimates ---");
     for row in outcome.results.iter().take(6) {

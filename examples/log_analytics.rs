@@ -30,7 +30,7 @@ fn main() {
         .spec()
         .expect("valid deployment");
     let mut session = LiveSession::new(&spec).expect("live session");
-    session.run_epochs(12);
+    session.run_epochs(12).expect("epochs run");
     println!("streamed {} log lines", session.input_records());
     let outcome = session.finish();
     println!(

@@ -45,7 +45,7 @@ fn main() {
         .spec()
         .expect("valid deployment");
     let mut session = LiveSession::new(&spec).expect("live session");
-    session.run_epochs(30);
+    session.run_epochs(30).expect("epochs run");
     println!(
         "streamed {} probe records over 30 s",
         session.input_records()
