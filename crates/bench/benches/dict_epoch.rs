@@ -1,0 +1,59 @@
+//! Persistent cross-epoch dictionaries vs per-epoch rebuild.
+//!
+//! The LogAnalytics-style structured stream through the windowed group-by,
+//! with dictionary key columns laid out two ways over identical rows:
+//!
+//! * **rebuild**: batch-local id-0 pages every epoch (the pre-PR-9
+//!   regime, `LogConfig::persistent_dicts = false`) — key fragments are
+//!   re-encoded and rows re-hashed per batch;
+//! * **persistent**: one `StreamDict` per key stream, codes stable across
+//!   epochs, so the operator's fragment and dense-slot caches carry over.
+//!
+//! A third pair times the wire side on the same batches: encoding each
+//! epoch's shard frames with full dictionary pages vs per-link deltas.
+//! The persistent group-by is the acceptance target: ≥ 1.3× the rebuild
+//! path's rows/second. Set `BENCH_SMOKE=1` for a reduced-sample CI run.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jarvis_bench::dictepoch::{structured_epochs_with, wire_bytes};
+use jarvis_bench::groupagg::{build_group_op, GroupKeyLayout};
+use jarvis_bench::measure::run_op;
+
+fn bench_dict_epoch(c: &mut Criterion) {
+    let persistent = structured_epochs_with(true);
+    let rebuild = structured_epochs_with(false);
+    let rows: u64 = persistent.iter().map(|b| b.len() as u64).sum();
+
+    let mut group = c.benchmark_group("dict_epoch");
+    group.throughput(Throughput::Elements(rows));
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(300));
+    }
+
+    group.bench_function("loganalytics_group_by/rebuild", |b| {
+        let mut op = build_group_op(GroupKeyLayout::Dict);
+        b.iter(|| run_op(black_box(op.as_mut()), &rebuild));
+    });
+
+    group.bench_function("loganalytics_group_by/persistent", |b| {
+        let mut op = build_group_op(GroupKeyLayout::Dict);
+        b.iter(|| run_op(black_box(op.as_mut()), &persistent));
+    });
+
+    group.bench_function("shard_frames/full_pages", |b| {
+        b.iter(|| wire_bytes(black_box(&persistent), false));
+    });
+
+    group.bench_function("shard_frames/deltas", |b| {
+        b.iter(|| wire_bytes(black_box(&persistent), true));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dict_epoch);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! rows/series the paper plots, and optionally writes as JSON for
 //! EXPERIMENTS.md.
 
+pub mod dictepoch;
 pub mod faultrecovery;
 pub mod figures;
 pub mod groupagg;
@@ -15,6 +16,7 @@ pub mod output;
 pub mod plancheck_cli;
 pub mod shardscale;
 
+pub use dictepoch::{bench_dict_epoch, DictEpochResult};
 pub use faultrecovery::{bench_fault_recovery, FaultRecoveryResult};
 pub use figures::*;
 pub use groupagg::{bench_group_agg, GroupAggResult};

@@ -12,8 +12,10 @@
 //!
 //! `bench` is not a paper figure: it measures the str-keyed vs dict-keyed
 //! group-aggregate kernels, the sharded SP runtime's 1/2/4-shard scaling,
-//! the multi-node SP tier's 1/2/4-node scaling, and the seeded
-//! fault-recovery drill, and (with `--json`) writes
+//! the multi-node SP tier's 1/2/4-node scaling, the seeded fault-recovery
+//! drill, and the persistent-dictionary cross-epoch series (group-by
+//! throughput vs per-epoch rebuild plus delta vs full-page wire bytes),
+//! and (with `--json`) writes
 //! `BENCH_throughput.json`, the perf-trajectory artifact CI uploads. With
 //! `--check` it additionally fails (exit 1) when a measured speedup
 //! regresses more than 20% below the committed baseline, or when the
@@ -329,6 +331,7 @@ fn run_bench(json: bool, check: bool) {
         node_scaling: bench_node_scaling(15),
         net_transport: bench_net_transport(15),
         fault_recovery: Some(bench_fault_recovery()),
+        dict_epoch: Some(bench_dict_epoch(15)),
     };
     let g = &report.group_agg;
     println!("Group-aggregate kernels: str keys vs dict keys");
@@ -403,6 +406,24 @@ fn run_bench(json: bool, check: bool) {
         println!(
             "  wallclock: {:.2}s faulted vs {:.2}s fault-free (context only)",
             fr.faulted_secs, fr.baseline_secs
+        );
+    }
+    if let Some(de) = &report.dict_epoch {
+        println!("Persistent dictionaries: cross-epoch streams vs per-epoch rebuild");
+        println!("  pipeline : {}", de.pipeline);
+        println!("  rows/iter: {} over {} epochs", de.rows, de.epochs);
+        println!(
+            "  rebuild  : {:.0} rows/s (batch-local pages every epoch)",
+            de.rebuild_rows_per_sec
+        );
+        println!(
+            "  persist  : {:.0} rows/s (one StreamDict per key stream)",
+            de.persistent_rows_per_sec
+        );
+        println!("  speedup  : {:.2}x (target: >= 1.3x)", de.speedup);
+        println!(
+            "  wire     : {:.0} B/epoch full pages vs {:.0} B/epoch deltas ({:.2}x smaller)",
+            de.full_page_wire_bytes_per_epoch, de.delta_wire_bytes_per_epoch, de.wire_reduction
         );
     }
     maybe_json(json, "BENCH_throughput", &report);

@@ -44,6 +44,10 @@ pub struct ThroughputReport {
     /// field) still load — the vendored serde reads a missing field as
     /// `Null`, which `Option` maps to `None`.
     pub fault_recovery: Option<crate::faultrecovery::FaultRecoveryResult>,
+    /// Persistent cross-epoch dictionaries vs per-epoch rebuild:
+    /// group-by throughput and delta vs full-page wire bytes (PR 9).
+    /// `Option` for the same pre-PR baseline-loading reason.
+    pub dict_epoch: Option<crate::dictepoch::DictEpochResult>,
 }
 
 /// Allowed relative speedup regression before the CI gate fails.
@@ -84,6 +88,12 @@ impl ThroughputReport {
             self.net_transport.relative_throughput,
             baseline.net_transport.relative_throughput,
         );
+        // The dict-epoch throughput and wire-reduction halves gate like
+        // every other speedup series (ratios, machine-independent)…
+        if let (Some(de), Some(b)) = (&self.dict_epoch, &baseline.dict_epoch) {
+            check("dict_epoch", de.speedup, b.speedup);
+            check("dict_epoch wire", de.wire_reduction, b.wire_reduction);
+        }
         // The fault-recovery series gates on evidence, not speed: the
         // measured drill must prove exact recovery regardless of what the
         // committed baseline recorded (timing is machine noise; losing
@@ -93,6 +103,17 @@ impl ThroughputReport {
         } else if baseline.fault_recovery.is_some() {
             out.push(
                 "fault_recovery: series missing from the measured report but present \
+                 in the committed baseline"
+                    .to_string(),
+            );
+        }
+        // …and additionally on deterministic evidence: deltas must beat
+        // full pages in the measured run, whatever the baseline says.
+        if let Some(de) = &self.dict_epoch {
+            out.extend(de.contract_failures());
+        } else if baseline.dict_epoch.is_some() {
+            out.push(
+                "dict_epoch: series missing from the measured report but present \
                  in the committed baseline"
                     .to_string(),
             );

@@ -17,7 +17,11 @@
 //! its own envelope.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use streamkit::encode::{decode_batch, decode_group_state, encode_batch, encode_group_state};
+use streamkit::batch::{DictRegistry, DictVersions};
+use streamkit::encode::{
+    decode_batch, decode_batch_with, decode_group_state, encode_batch, encode_batch_with,
+    encode_group_state,
+};
 use streamkit::error::Error;
 use streamkit::ops::StatePartial;
 use streamkit::schema::SchemaRef;
@@ -37,6 +41,21 @@ const TAG_SHARD_STATE: u8 = 3;
 /// On the point-to-point uplink variants (`Records` / `StateDelta`), which
 /// never cross SP nodes and have no shard envelope.
 pub fn encode_shard_payload(payload: &NetPayload) -> Bytes {
+    encode_shard_payload_impl(payload, None)
+}
+
+/// Delta-aware variant of [`encode_shard_payload`]: dictionary pages of
+/// persistent-dict columns inside a `ShardBatch` body ship as deltas against
+/// `link` — the per-peer map of dictionary versions already on the wire
+/// (first contact or a post-recovery reset ships the full history). The
+/// self-contained [`encode_shard_payload`] stays the checkpoint/replay form,
+/// because the recovery coordinator re-ships bodies verbatim to receivers
+/// whose dictionary state it cannot see.
+pub fn encode_shard_payload_with(payload: &NetPayload, link: &mut DictVersions) -> Bytes {
+    encode_shard_payload_impl(payload, Some(link))
+}
+
+fn encode_shard_payload_impl(payload: &NetPayload, link: Option<&mut DictVersions>) -> Bytes {
     let (tag, shard, epoch, source, rel, body) = match payload {
         NetPayload::ShardBatch {
             shard,
@@ -50,7 +69,10 @@ pub fn encode_shard_payload(payload: &NetPayload) -> Bytes {
             *epoch,
             *source,
             *rel,
-            encode_batch(batch),
+            match link {
+                Some(link) => encode_batch_with(batch, link),
+                None => encode_batch(batch),
+            },
         ),
         NetPayload::ShardState {
             shard,
@@ -133,7 +155,28 @@ pub fn peek_envelope(buf: &[u8]) -> Option<ShardEnvelope> {
 
 /// Decodes an inter-node payload produced by [`encode_shard_payload`].
 /// `schemas[rel]` supplies the batch schema at each suffix entry stage.
-pub fn decode_shard_payload(mut buf: Bytes, schemas: &[SchemaRef]) -> Result<NetPayload, Error> {
+/// Delta dictionary pages are a typed error on this path — peers that speak
+/// deltas decode through [`decode_shard_payload_with`].
+pub fn decode_shard_payload(buf: Bytes, schemas: &[SchemaRef]) -> Result<NetPayload, Error> {
+    decode_shard_payload_impl(buf, schemas, None)
+}
+
+/// Delta-aware variant of [`decode_shard_payload`]: dictionary-delta pages
+/// inside a `ShardBatch` body resolve against (and extend) `registry`, the
+/// receiver's per-peer mirror of the sender's persistent dictionaries.
+pub fn decode_shard_payload_with(
+    buf: Bytes,
+    schemas: &[SchemaRef],
+    registry: &mut DictRegistry,
+) -> Result<NetPayload, Error> {
+    decode_shard_payload_impl(buf, schemas, Some(registry))
+}
+
+fn decode_shard_payload_impl(
+    mut buf: Bytes,
+    schemas: &[SchemaRef],
+    registry: Option<&mut DictRegistry>,
+) -> Result<NetPayload, Error> {
     if buf.remaining() < 25 {
         return Err(Error::Decode(format!(
             "shard payload underrun: {} bytes",
@@ -158,7 +201,10 @@ pub fn decode_shard_payload(mut buf: Bytes, schemas: &[SchemaRef]) -> Result<Net
                 .get(rel as usize)
                 .ok_or_else(|| Error::Decode(format!("no schema for suffix stage {rel}")))?
                 .clone();
-            let batch = decode_batch(schema, buf)?;
+            let batch = match registry {
+                Some(registry) => decode_batch_with(schema, buf, registry)?,
+                None => decode_batch(schema, buf)?,
+            };
             Ok(NetPayload::ShardBatch {
                 shard,
                 epoch,
@@ -282,6 +328,69 @@ mod tests {
             panic!("sum expected");
         };
         assert!(s.is_nan());
+    }
+
+    #[test]
+    fn delta_aware_shard_batches_shrink_after_first_contact() {
+        use streamkit::batch::{Column, StreamDict};
+
+        let schema = Schema::new(vec![
+            Field::new("tenant", DataType::Str),
+            Field::new("v", DataType::U64),
+        ]);
+        let mut stream = StreamDict::new();
+        for t in ["tenant-00", "tenant-01", "tenant-02"] {
+            stream.intern(t);
+        }
+        let dict = stream.snapshot();
+        let mk = |epoch: u64, codes: Vec<u32>| {
+            let n = codes.len();
+            NetPayload::ShardBatch {
+                shard: 1,
+                epoch,
+                source: 0,
+                rel: 0,
+                batch: Batch {
+                    schema: schema.clone(),
+                    timestamps: vec![epoch as i64; n],
+                    columns: vec![
+                        Column::Dict {
+                            codes,
+                            dict: dict.clone(),
+                        },
+                        Column::U64(vec![7; n]),
+                    ],
+                },
+            }
+        };
+        let first = mk(1, vec![0, 1, 2]);
+        let second = mk(2, vec![2, 0, 1]);
+
+        let mut link = DictVersions::new();
+        let mut registry = DictRegistry::new();
+        let wire1 = encode_shard_payload_with(&first, &mut link);
+        let wire2 = encode_shard_payload_with(&second, &mut link);
+        assert!(
+            wire2.len() < wire1.len(),
+            "synced link must ship codes only: {} !< {}",
+            wire2.len(),
+            wire1.len()
+        );
+        let back1 =
+            decode_shard_payload_with(wire1.clone(), std::slice::from_ref(&schema), &mut registry);
+        assert_eq!(back1.unwrap(), first);
+        let back2 =
+            decode_shard_payload_with(wire2.clone(), std::slice::from_ref(&schema), &mut registry);
+        assert_eq!(back2.unwrap(), second);
+
+        // The plain decode path must refuse delta pages with a typed error,
+        // not misread them.
+        assert!(decode_shard_payload(wire2, std::slice::from_ref(&schema)).is_err());
+        // And a fresh registry (post-recovery receiver) must refuse a frame
+        // whose delta assumes earlier contact.
+        let mut fresh = DictRegistry::new();
+        let resync = encode_shard_payload_with(&mk(3, vec![1]), &mut link);
+        assert!(decode_shard_payload_with(resync, &[schema], &mut fresh).is_err());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::collections::VecDeque;
 use std::ops::Range;
 
 use simnet::{CpuBudget, Node, NodeId};
-use streamkit::batch::Batch;
+use streamkit::batch::{Batch, DictVersions};
 use streamkit::ops::{absorbed_timestamps, AggRole, Operator, StatePartial};
 use streamkit::physical::{build_pipeline, CostProfile};
 use streamkit::record::Record;
@@ -111,6 +111,12 @@ struct RingCtx<'a> {
     outbox: &'a mut Vec<(NetPayload, f64)>,
     /// Wire bytes shipped toward each (remote) shard, `n_shards` wide.
     shard_wire_out: &'a mut [u64],
+    /// Persistent-dict versions already shipped toward each shard stream,
+    /// `n_shards` wide: outbound accounting charges the dictionary *delta*
+    /// (plus codes) instead of re-charging the full page per batch, exactly
+    /// what a delta-aware link ships. Reset on recovery so a re-seeded
+    /// receiver is re-charged the full history.
+    dict_sync: &'a mut [DictVersions],
 }
 
 /// Routes a batch entering at suffix stage `rel` to its shard(s): the
@@ -149,7 +155,7 @@ fn route_to_shards(
         // batch crossing here would silently corrupt the input/result
         // domain split, which is why this is a hard assert.
         assert_eq!(kind, ItemKind::Input, "result batch crossing nodes");
-        ring.shard_wire_out[shard] += batch.wire_size() as u64;
+        ring.shard_wire_out[shard] += batch.wire_size_versioned(&mut ring.dict_sync[shard]) as u64;
         ring.outbox.push((
             NetPayload::ShardBatch {
                 shard: shard as u32,
@@ -280,6 +286,9 @@ pub struct SpEngine {
     /// Wire bytes shipped toward each shard of the ring (remote targets
     /// only), `n_shards` wide.
     shard_wire_out: Vec<u64>,
+    /// Persistent-dict versions already charged toward each shard stream
+    /// (delta-aware outbound accounting), `n_shards` wide.
+    dict_sync: Vec<DictVersions>,
     /// Retained result rows (window closes and stateless-tail completions),
     /// when result collection is enabled for exactness fingerprinting.
     collected: Option<Vec<Record>>,
@@ -462,6 +471,7 @@ impl SpEngine {
             lateness_secs: calibration::LATENCY_BOUND_SECS,
             outbox: Vec::new(),
             shard_wire_out: vec![0; n_shards],
+            dict_sync: vec![DictVersions::new(); n_shards],
             collected: None,
         }
     }
@@ -472,6 +482,7 @@ impl SpEngine {
         epoch: u64,
         outbox: &'a mut Vec<(NetPayload, f64)>,
         shard_wire_out: &'a mut [u64],
+        dict_sync: &'a mut [DictVersions],
     ) -> RingCtx<'a> {
         RingCtx {
             owned: owned.clone(),
@@ -479,6 +490,18 @@ impl SpEngine {
             epoch,
             outbox,
             shard_wire_out,
+            dict_sync,
+        }
+    }
+
+    /// Forgets which dictionary versions were already charged toward every
+    /// shard stream: the next outbound batch per stream is re-charged its
+    /// full dictionary history. Recovery calls this when a receiver restarts
+    /// or shards are reassigned, mirroring the full-page re-handshake a
+    /// delta-aware link performs after losing its peer's mirror state.
+    pub fn reset_dict_sync(&mut self) {
+        for link in &mut self.dict_sync {
+            link.clear();
         }
     }
 
@@ -591,6 +614,7 @@ impl SpEngine {
             epoch_index,
             outbox,
             shard_wire_out,
+            dict_sync,
             ..
         } = self;
         match payload {
@@ -608,8 +632,14 @@ impl SpEngine {
                         kind: ItemKind::Input,
                     });
                 } else {
-                    let mut ring =
-                        Self::ring_ctx(owned, *n_shards, *epoch_index, outbox, shard_wire_out);
+                    let mut ring = Self::ring_ctx(
+                        owned,
+                        *n_shards,
+                        *epoch_index,
+                        outbox,
+                        shard_wire_out,
+                        dict_sync,
+                    );
                     route_to_shards(
                         replica,
                         source,
@@ -631,8 +661,14 @@ impl SpEngine {
                     // default merge hook ignores it.
                     replica.prefix[stage].merge_state(delta);
                 } else {
-                    let mut ring =
-                        Self::ring_ctx(owned, *n_shards, *epoch_index, outbox, shard_wire_out);
+                    let mut ring = Self::ring_ctx(
+                        owned,
+                        *n_shards,
+                        *epoch_index,
+                        outbox,
+                        shard_wire_out,
+                        dict_sync,
+                    );
                     merge_sharded(replica, source, stage - g, delta, &mut ring);
                 }
             }
@@ -718,6 +754,7 @@ impl SpEngine {
             epoch_index,
             outbox,
             shard_wire_out,
+            dict_sync,
             collected,
             results_emitted,
             epoch_secs,
@@ -754,6 +791,7 @@ impl SpEngine {
                                 *epoch_index,
                                 outbox,
                                 shard_wire_out,
+                                dict_sync,
                             );
                             route_to_shards(
                                 replica,
@@ -847,6 +885,7 @@ impl SpEngine {
             epoch_index,
             outbox,
             shard_wire_out,
+            dict_sync,
             collected,
             results_emitted,
             ..
@@ -876,6 +915,7 @@ impl SpEngine {
                                 *epoch_index,
                                 outbox,
                                 shard_wire_out,
+                                dict_sync,
                             );
                             route_to_shards(replica, source, out, 0, arrived, kind, &mut ring);
                         }
@@ -936,6 +976,7 @@ impl SpEngine {
             epoch_index,
             outbox,
             shard_wire_out,
+            dict_sync,
             collected,
             results_emitted,
             ..
@@ -962,6 +1003,7 @@ impl SpEngine {
                                 *epoch_index,
                                 outbox,
                                 shard_wire_out,
+                                dict_sync,
                             );
                             route_to_shards(
                                 replica,

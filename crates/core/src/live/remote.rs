@@ -37,6 +37,14 @@
 //! post-checkpoint payload in the original per-shard order, and the merged
 //! result digest is order-independent, so a recovered run is bit-identical
 //! to a fault-free one.
+//!
+//! Persistent dictionaries version-sync with recovery: live shard frames
+//! ship dictionary *delta* pages against per-link [`DictVersions`], while
+//! checkpoint and replay bodies stay self-contained (full pages), so they
+//! decode on any executor regardless of its mirror state. A reconnect
+//! resets the link's versions (the rebuilt engine has empty mirrors); a
+//! reassignment needs no reset, because the survivor keeps both its mirrors
+//! and its link's version state.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -49,6 +57,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use streamkit::batch::DictVersions;
 use streamkit::record::Record;
 use streamkit::schema::SchemaRef;
 use streamkit::shard::node_of_shard;
@@ -58,8 +67,9 @@ use crate::deploy::remote::{
     Progress, Register, Reject, RemoteWorkload,
 };
 use crate::deploy::{DeployError, DeploymentSpec, FaultIncident, OnNodeLoss};
-use crate::engine::netwire::peek_envelope;
+use crate::engine::netwire::{encode_shard_payload, encode_shard_payload_with, peek_envelope};
 use crate::engine::transport::{encode_frame, FrameKind, FrameReader, Link, TransportError};
+use crate::engine::NetPayload;
 use crate::planner::RuleConfig;
 
 /// Poll interval while waiting on the nonblocking listener.
@@ -195,7 +205,17 @@ pub(crate) struct RemoteCluster {
     routes: Vec<Option<usize>>,
     /// Post-checkpoint shard payloads, per shard, epoch-stamped, in ship
     /// order (locked: the dispatcher thread appends through `&self`).
+    /// Stored **self-contained** (full dictionary pages, no link state):
+    /// recovery re-ships these bodies verbatim to executors whose mirror
+    /// state is unknown — fresh after a reconnect, partial on an adopter.
     replay: Vec<Mutex<Vec<(u64, Bytes)>>>,
+    /// Sender-side persistent-dictionary versions per node link (locked:
+    /// the dispatcher thread encodes through `&self`): the highest version
+    /// of each dictionary already shipped over the link, so live shard
+    /// frames carry delta pages only. Reset when a node reconnects — the
+    /// rebuilt executor starts with empty mirrors, so the next frame
+    /// re-seeds it with full pages.
+    dict_sync: Vec<Mutex<DictVersions>>,
     /// Whether replay buffering is on (any recovery path configured).
     buffering: bool,
     /// Last committed checkpoint state, keyed `(shard, source, rel)`,
@@ -365,6 +385,9 @@ impl RemoteCluster {
                 .map(|s| Some(node_of_shard(s, n_shards, n_nodes)))
                 .collect(),
             replay: (0..n_shards).map(|_| Mutex::new(Vec::new())).collect(),
+            dict_sync: (0..n_nodes)
+                .map(|_| Mutex::new(DictVersions::new()))
+                .collect(),
             buffering,
             ckpt_state: BTreeMap::new(),
             ckpt_counters: BTreeMap::new(),
@@ -389,17 +412,28 @@ impl RemoteCluster {
         })
     }
 
-    /// Ships one already-encoded shard payload to the shard's current
-    /// owner, buffering it for replay when recovery is enabled. Returns
-    /// the framed wire size, or `None` when the shard has been degraded
-    /// away (the payload is dropped, by policy).
-    pub(crate) fn route_payload(&self, shard: usize, epoch: u64, body: &Bytes) -> Option<u64> {
+    /// Ships one shard payload to the shard's current owner, buffering it
+    /// for replay when recovery is enabled. The live frame is encoded
+    /// against the owner link's persistent-dictionary versions (delta pages
+    /// only); the replay copy is encoded self-contained, because recovery
+    /// re-ships it verbatim to an executor whose mirrors it cannot assume.
+    /// Returns the framed wire size, or `None` when the shard has been
+    /// degraded away (the payload is dropped, by policy).
+    pub(crate) fn route_payload(
+        &self,
+        shard: usize,
+        epoch: u64,
+        payload: &NetPayload,
+    ) -> Option<u64> {
         let owner = self.routes[shard]?;
         if self.buffering {
-            self.replay[shard].lock().push((epoch, body.clone()));
+            self.replay[shard]
+                .lock()
+                .push((epoch, encode_shard_payload(payload)));
         }
         let link = self.links[owner].as_ref()?;
-        Some(link.send(FrameKind::Shard, body))
+        let body = encode_shard_payload_with(payload, &mut self.dict_sync[owner].lock());
+        Some(link.send(FrameKind::Shard, &body))
     }
 
     /// Announces an epoch boundary to every live node, then blocks until
@@ -815,6 +849,11 @@ impl RemoteCluster {
         self.handshake_tx[node] += tx;
         self.gens[node] += 1;
         let gen = self.gens[node];
+        // The reconnected executor rebuilt its engine — its dictionary
+        // mirrors are empty. Resetting the link's versions makes the next
+        // live frame re-seed them with full pages (replayed checkpoint
+        // traffic is self-contained and needs no mirror state).
+        self.dict_sync[node].lock().clear();
         self.streams[node] = Some(shutdown);
         self.links[node] = Some(Link::spawn(stream));
         self.readers[node] = Some(spawn_reader(reader, node as u32, gen, self.ev_tx.clone()));

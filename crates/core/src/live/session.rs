@@ -33,9 +33,11 @@
 //! congested, one that undersubscribes with load factors left to raise
 //! classifies as idle (the same rules as the §VI-C simulator). The same
 //! counterfactual charging is recorded per shard (and rolled up per node)
-//! on the SP side; cross-node shipping is charged per target shard from the
-//! `batch::layout` wire accounting, with each source's traffic entering at
-//! its ingress node (`source % sp_nodes`). Classification itself stays
+//! on the SP side; cross-node shipping is charged per target shard at the
+//! frames' actual encoded size — delta-aware for persistent dictionary
+//! pages, which cross each link once and then resume as deltas across
+//! batches *and epochs* — with each source's traffic entering at its
+//! ingress node (`source % sp_nodes`). Classification itself stays
 //! source-side today; feeding the slowest shard's budget back into
 //! adaptation is a ROADMAP follow-on.
 //! Profile epochs measure per-operator costs and relay ratios on a scratch
@@ -46,7 +48,7 @@ use std::ops::Range;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use streamkit::batch::Batch;
+use streamkit::batch::{Batch, DictRegistry, DictVersions};
 use streamkit::ops::{AggRole, GroupPartialEntry, Operator, StatePartial};
 use streamkit::physical::build_pipeline;
 use streamkit::record::Record;
@@ -56,7 +58,7 @@ use streamkit::shard::{node_of_shard, shard_of_values, shards_of_node};
 use crate::calibration;
 use crate::deploy::{DeployError, DeploymentSpec, FaultIncident, TransportKind};
 use crate::engine::block::EpochSource;
-use crate::engine::netwire::{decode_shard_payload, encode_shard_payload};
+use crate::engine::netwire::{decode_shard_payload_with, encode_shard_payload_with};
 use crate::engine::NetPayload;
 use crate::live::remote::RemoteCluster;
 use crate::planner::PlannedQuery;
@@ -151,6 +153,10 @@ struct NodeSet {
     owned: Range<usize>,
     /// One [`ShardSet`] per owned shard, indexed by `shard - owned.start`.
     sets: Vec<ShardSet>,
+    /// Receiver-side mirrors of the dispatcher's persistent dictionaries,
+    /// keyed by sender dict id. Lives on the node (not the per-epoch worker
+    /// thread) because delta pages resume across epoch boundaries.
+    registry: DictRegistry,
 }
 
 /// Where the SP node pool lives: in-process worker threads behind bounded
@@ -233,6 +239,11 @@ pub struct LiveSession {
     shard_wire_bytes: Vec<u64>,
     /// Wire bytes each node (as ingress) shipped to other nodes.
     node_wire_bytes: Vec<u64>,
+    /// Sender-side dictionary versions per node link (in-process tier): the
+    /// highest version of each persistent dictionary already shipped over
+    /// that link, so cross-node frames carry delta pages only. Survives
+    /// epochs — that is the point of persistent dictionaries.
+    dict_sync: Vec<DictVersions>,
     costs: streamkit::physical::CostProfile,
     /// Scheduled resource changes, applied at epoch starts.
     events: Vec<crate::experiment::ResourceEvent>,
@@ -334,7 +345,11 @@ impl LiveSession {
                                 })
                             })
                             .collect::<Result<Vec<_>, DeployError>>()?;
-                        Ok(NodeSet { owned, sets })
+                        Ok(NodeSet {
+                            owned,
+                            sets,
+                            registry: DictRegistry::default(),
+                        })
                     })
                     .collect::<Result<Vec<_>, DeployError>>()?;
                 SpTier::InProcess(nodes)
@@ -365,6 +380,7 @@ impl LiveSession {
             suffix_schemas,
             shard_wire_bytes: vec![0; n_shards],
             node_wire_bytes: vec![0; n_nodes],
+            dict_sync: vec![DictVersions::new(); n_nodes],
             costs,
             events: spec.events.clone(),
             epoch: 0,
@@ -480,6 +496,7 @@ impl LiveSession {
         let sp_prefix = &mut self.sp_prefix;
         let shard_wire = &mut self.shard_wire_bytes;
         let node_wire = &mut self.node_wire_bytes;
+        let dict_sync = &mut self.dict_sync;
 
         std::thread::scope(|scope| {
             for ((source, worker), input) in self.workers.iter_mut().enumerate().zip(inputs) {
@@ -509,6 +526,7 @@ impl LiveSession {
                     epoch,
                     shard_wire,
                     node_wire,
+                    dict_sync,
                 };
                 while let Ok(msg) = rx.recv() {
                     match msg {
@@ -562,11 +580,14 @@ impl LiveSession {
             let local_nodes = local_nodes.map_or(&mut [][..], |nodes| nodes.as_mut_slice());
             for (node, nrx) in local_nodes.iter_mut().zip(node_rxs) {
                 scope.spawn(move || {
+                    let registry = &mut node.registry;
                     while let Ok(msg) = nrx.recv() {
                         let payload = match msg {
                             NodeMsg::Local(payload) => payload,
-                            NodeMsg::Wire(raw) => decode_shard_payload(raw, suffix_schemas)
-                                .expect("dispatcher sends valid payloads"),
+                            NodeMsg::Wire(raw) => {
+                                decode_shard_payload_with(raw, suffix_schemas, registry)
+                                    .expect("dispatcher sends valid payloads")
+                            }
                         };
                         match payload {
                             NetPayload::ShardBatch {
@@ -744,8 +765,7 @@ impl LiveSession {
                     };
                     // Routed by the cluster's (possibly recovered) shard
                     // map; degraded shards drop their residuals by policy.
-                    let body = encode_shard_payload(&payload);
-                    if let Some(bytes) = cluster.route_payload(s, self.epoch, &body) {
+                    if let Some(bytes) = cluster.route_payload(s, self.epoch, &payload) {
                         self.shard_wire_bytes[s] += bytes;
                     }
                 }
@@ -867,6 +887,9 @@ struct Links<'a> {
     shard_wire: &'a mut [u64],
     /// Cross-node wire bytes per sending (ingress) node.
     node_wire: &'a mut [u64],
+    /// Per-target-node dictionary versions (in-process tier): what each
+    /// node's mirror already holds, so encoded frames ship delta pages only.
+    dict_sync: &'a mut [DictVersions],
 }
 
 impl Links<'_> {
@@ -878,8 +901,10 @@ impl Links<'_> {
 
     /// Sends one payload over the owning node's link. In-process:
     /// ingress-local traffic as an in-process value, cross-node traffic
-    /// encoded and charged wire accounting. Remote: everything is framed
-    /// onto the owner's socket and charged its actual framed size.
+    /// encoded delta-aware (persistent dictionary pages ship only what the
+    /// target's mirror is missing) and charged its actual encoded size.
+    /// Remote: everything is framed onto the owner's socket and charged its
+    /// actual framed size.
     fn ship(&mut self, source: usize, shard: usize, payload: NetPayload) {
         let owner = node_of_shard(shard, self.n_shards, self.n_nodes);
         match &self.sink {
@@ -887,16 +912,16 @@ impl Links<'_> {
                 let msg = if owner == self.ingress(source) {
                     NodeMsg::Local(payload)
                 } else {
-                    let bytes = payload.wire_bytes() as u64;
+                    let wire = encode_shard_payload_with(&payload, &mut self.dict_sync[owner]);
+                    let bytes = wire.len() as u64;
                     self.shard_wire[shard] += bytes;
                     self.node_wire[self.ingress(source)] += bytes;
-                    NodeMsg::Wire(encode_shard_payload(&payload))
+                    NodeMsg::Wire(wire)
                 };
                 node_txs[owner].send(msg).expect("node worker alive");
             }
             LinkSink::Remote(cluster) => {
-                let body = encode_shard_payload(&payload);
-                if let Some(bytes) = cluster.route_payload(shard, self.epoch, &body) {
+                if let Some(bytes) = cluster.route_payload(shard, self.epoch, &payload) {
                     self.shard_wire[shard] += bytes;
                     self.node_wire[self.ingress(source)] += bytes;
                 }

@@ -41,7 +41,7 @@ use std::net::TcpStream;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use streamkit::batch::Batch;
+use streamkit::batch::{Batch, DictRegistry};
 use streamkit::logical::LogicalPlan;
 use streamkit::ops::{AggRole, StatePartial};
 use streamkit::physical::{build_pipeline, CostProfile};
@@ -51,7 +51,7 @@ use crate::deploy::remote::{
     from_body, to_body, Admit, AdoptMsg, CheckpointAck, NodeSpec, NodeStatsMsg, Progress, Register,
     Reject, ShardCounters,
 };
-use crate::engine::netwire::{decode_shard_payload, encode_shard_payload};
+use crate::engine::netwire::{decode_shard_payload_with, encode_shard_payload};
 use crate::engine::transport::{encode_frame, FrameKind, FrameReader, Link, TransportError};
 use crate::engine::NetPayload;
 use crate::fault::splitmix64;
@@ -433,6 +433,13 @@ struct NodeEngine {
     boundary: usize,
     /// Replica pipelines per shard (one per data source).
     sources: u32,
+    /// Mirrors of the coordinator's persistent dictionaries for this link,
+    /// fed by the delta pages riding live shard frames. Fresh per session:
+    /// a reconnect rebuilds the engine, and the coordinator resets its
+    /// sender-side versions to match, so the first post-reconnect frame
+    /// re-seeds the mirrors. Checkpoint/replay frames are self-contained
+    /// (full pages) and decode without mirror state.
+    registry: DictRegistry,
 }
 
 impl NodeEngine {
@@ -478,6 +485,7 @@ impl NodeEngine {
             costs,
             boundary,
             sources: spec.sources,
+            registry: DictRegistry::default(),
         };
         for shard in owned {
             let set = engine.fresh_set()?;
@@ -573,8 +581,8 @@ impl NodeEngine {
 
     /// Applies one shard data frame (an untouched `netwire` envelope).
     fn ingest(&mut self, body: bytes::Bytes) -> Result<(), NodeError> {
-        let payload =
-            decode_shard_payload(body, &self.suffix_schemas).map_err(|e| NodeError::Protocol {
+        let payload = decode_shard_payload_with(body, &self.suffix_schemas, &mut self.registry)
+            .map_err(|e| NodeError::Protocol {
                 reason: format!("undecodable shard payload: {e}"),
             })?;
         match payload {

@@ -17,7 +17,8 @@
 //!   routing of shipped partials could disagree with the boundary
 //!   partitioner (`JP101`). Keyed operators past the boundary would see
 //!   their key space partitioned by the *first* operator's keys
-//!   (`JP102`/`JP103`).
+//!   (`JP102`/`JP103`). A string key behind an opaque map additionally
+//!   falls off the code-native persistent-dictionary fast path (`JP105`).
 //! * **Mergeability** — every aggregate reachable by the `StatePartial`
 //!   ship/merge, `ShardState`, and remote `netwire` paths must be a
 //!   commutative mergeable partial (`JP201`).
@@ -36,7 +37,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use streamkit::logical::{LogicalOp, LogicalPlan};
 use streamkit::ops::MapFn;
-use streamkit::schema::SchemaRef;
+use streamkit::schema::{DataType, SchemaRef};
 
 use crate::deploy::BackendKind;
 use crate::planner::{Exclusion, PlannedQuery, RuleConfig};
@@ -56,6 +57,9 @@ pub mod code {
     pub const OPAQUE_KEY_LINEAGE: &str = "JP101";
     /// A second keyed operator past the shard boundary under `sp_shards > 1`.
     pub const RESHARD_UNSUPPORTED: &str = "JP102";
+    /// A string-typed group key behind an opaque map cannot carry a
+    /// persistent dictionary: grouping falls off the code-native fast path.
+    pub const KEY_OFF_CODE_FAST_PATH: &str = "JP105";
     /// Multiple keyed operators: the plan cannot scale out via sharding.
     pub const MULTI_KEYED_PLAN: &str = "JP103";
     /// A non-mergeable aggregate is reachable by a state-shipping path.
@@ -486,6 +490,34 @@ fn lint_key_provenance(
                      the key lineage, or keep sp_shards = 1",
                 ),
             );
+            // Perf fact on top of the routing concern: a string key that
+            // passes through an opaque closure cannot ride a persistent
+            // dictionary (custom maps rebuild rows, dropping stream pages),
+            // so `GroupAggregate` and `shard_by_key` hash its bytes per row
+            // instead of reusing cross-epoch code caches.
+            let is_str = schemas[boundary]
+                .field(key)
+                .is_ok_and(|f| f.dtype == DataType::Str);
+            if is_str {
+                diags.push(
+                    Diagnostic::new(
+                        code::KEY_OFF_CODE_FAST_PATH,
+                        Severity::Info,
+                        Some(op_index),
+                        format!(
+                            "group key '{field}' reaches the boundary through the \
+                             opaque {:?}, so it cannot carry a persistent dictionary; \
+                             grouping and shard hashing fall back to per-row byte \
+                             encoding instead of the code-native fast path",
+                            plan.ops[op_index]
+                        ),
+                    )
+                    .with_help(
+                        "produce the key with a describable map so its dictionary \
+                         stream survives to the boundary",
+                    ),
+                );
+            }
         }
     }
 

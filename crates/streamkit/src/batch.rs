@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -53,6 +54,34 @@ pub mod layout {
         }
     }
 
+    /// Header of a dictionary delta page (dictionary id, base version,
+    /// entry count, content checksum).
+    pub const DICT_DELTA_HEADER_BYTES: usize = 8 + 4 + 4 + 8;
+
+    /// Encoded size of the delta a receiver at version `base` is missing:
+    /// the delta header plus every entry of `dict` from `base` onward, each
+    /// with the usual string length prefix.
+    pub fn dict_delta_bytes(dict: &StrDict, base: u32) -> usize {
+        DICT_DELTA_HEADER_BYTES
+            + (base as usize..dict.len())
+                .map(|c| str_bytes(dict.get(c as u32).len()))
+                .sum::<usize>()
+    }
+
+    /// Total wire bytes of a dictionary column carrying `rows` codes over
+    /// `dict` toward a receiver that already mirrors the first `seen`
+    /// entries. An empty column ships nothing; an unversioned (batch-local)
+    /// dictionary re-ships its full page exactly as [`dict_bytes`].
+    pub fn dict_bytes_versioned(dict: &StrDict, rows: usize, seen: u32) -> usize {
+        if rows == 0 {
+            0
+        } else if dict.id() == 0 {
+            dict_bytes(dict, rows)
+        } else {
+            dict_delta_bytes(dict, seen.min(dict.len() as u32)) + DICT_CODE_BYTES * rows
+        }
+    }
+
     /// Per-row envelope: the 8-byte event timestamp plus the schema's
     /// serialisation overhead.
     pub fn row_envelope(schema: &Schema) -> usize {
@@ -80,10 +109,25 @@ pub mod layout {
 /// entries, UTF-8 bytes in `data`); codes are indexes into it. The
 /// dictionary is immutable once a column is built — slicing and selecting
 /// share it.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StrDict {
     offsets: Vec<u32>,
     data: Vec<u8>,
+    /// Persistent-stream identity; `0` means batch-local (codes are only
+    /// meaningful within the batch that carries the page). Non-zero ids are
+    /// handed out by [`StreamDict`], whose snapshots share one id across
+    /// batches and epochs.
+    id: u64,
+}
+
+impl PartialEq for StrDict {
+    /// Content equality only: the persistent identity is a routing hint for
+    /// caches and delta shipping, not part of the logical value — a wire
+    /// round trip that re-registers the page under a receiver-local id still
+    /// compares equal.
+    fn eq(&self, other: &StrDict) -> bool {
+        self.offsets == other.offsets && self.data == other.data
+    }
 }
 
 impl StrDict {
@@ -92,6 +136,7 @@ impl StrDict {
         StrDict {
             offsets: vec![0],
             data: Vec::new(),
+            id: 0,
         }
     }
 
@@ -135,6 +180,250 @@ impl StrDict {
     /// Iterates the entries in code order.
     pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
         (0..self.len()).map(|c| self.get(c as u32))
+    }
+
+    /// The persistent-stream identity (`0` = batch-local).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The delta a receiver at version `base` needs to mirror this page
+    /// (clamped to the page's length; empty when already synced).
+    pub fn delta_since(&self, base: u32) -> DictDelta {
+        let base = base.min(self.len() as u32);
+        DictDelta {
+            dict_id: self.id,
+            base,
+            entries: (base..self.len() as u32)
+                .map(|c| self.get(c).to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Process-wide persistent-dictionary identity allocator (`0` is reserved
+/// for batch-local pages).
+static NEXT_DICT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// FNV-1a over a byte stream — the delta checksum primitive (same constants
+/// as the shard hasher, duplicated to keep `layout`/delta self-contained).
+fn fnv1a_accum(mut h: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The appended tail of a persistent dictionary since a receiver's last
+/// synced version — what a delta page ships instead of the full page.
+///
+/// `entries` cover codes `base .. base + entries.len()` of dictionary
+/// `dict_id`; a `base` of 0 is the first-contact full page.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DictDelta {
+    /// Identity of the dictionary stream the delta extends.
+    pub dict_id: u64,
+    /// Receiver version this delta starts from (entry count already held).
+    pub base: u32,
+    /// Newly appended entries, in code order.
+    pub entries: Vec<String>,
+}
+
+impl DictDelta {
+    /// Layout-derived wire size of the delta page (header + entries).
+    pub fn wire_bytes(&self) -> usize {
+        layout::DICT_DELTA_HEADER_BYTES
+            + self
+                .entries
+                .iter()
+                .map(|e| layout::str_bytes(e.len()))
+                .sum::<usize>()
+    }
+
+    /// Content checksum carried on the wire so a corrupted delta decodes to
+    /// a typed error instead of silently poisoning the receiver's mirror.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = fnv1a_accum(FNV_OFFSET, &self.dict_id.to_le_bytes());
+        h = fnv1a_accum(h, &self.base.to_le_bytes());
+        for e in &self.entries {
+            h = fnv1a_accum(h, &(e.len() as u32).to_le_bytes());
+            h = fnv1a_accum(h, e.as_bytes());
+        }
+        h
+    }
+}
+
+/// A persistent per-stream dictionary: append-only interning whose codes
+/// stay valid across batches *and* epochs.
+///
+/// Each `StreamDict` owns a process-unique non-zero id; [`snapshot`]
+/// publishes an `Arc<StrDict>` carrying that id, re-allocated only when the
+/// dictionary has grown since the last snapshot, so consecutive batches over
+/// an unchanged dictionary share one page pointer. The version is simply the
+/// entry count — append-only means it is monotone and never remaps a code.
+///
+/// [`snapshot`]: StreamDict::snapshot
+#[derive(Debug)]
+pub struct StreamDict {
+    dict: StrDict,
+    lookup: HashMap<Box<str>, u32>,
+    snapshot: Arc<StrDict>,
+}
+
+impl Default for StreamDict {
+    fn default() -> StreamDict {
+        StreamDict::new()
+    }
+}
+
+impl Clone for StreamDict {
+    /// Forking a stream dictionary yields a *new* stream: same entries and
+    /// codes, fresh persistent id. Two writers sharing an id could diverge
+    /// and poison every id-keyed cache and receiver mirror, so identity is
+    /// never cloned.
+    fn clone(&self) -> StreamDict {
+        let mut dict = self.dict.clone();
+        dict.id = NEXT_DICT_ID.fetch_add(1, Ordering::Relaxed);
+        StreamDict {
+            snapshot: Arc::new(dict.clone()),
+            dict,
+            lookup: self.lookup.clone(),
+        }
+    }
+}
+
+impl StreamDict {
+    /// A fresh empty stream dictionary with a new process-unique id.
+    pub fn new() -> StreamDict {
+        let mut dict = StrDict::new();
+        dict.id = NEXT_DICT_ID.fetch_add(1, Ordering::Relaxed);
+        StreamDict {
+            snapshot: Arc::new(dict.clone()),
+            dict,
+            lookup: HashMap::new(),
+        }
+    }
+
+    /// The persistent identity shared by every snapshot.
+    pub fn id(&self) -> u64 {
+        self.dict.id
+    }
+
+    /// Current version = entry count (append-only, so monotone).
+    pub fn version(&self) -> u32 {
+        self.dict.len() as u32
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.dict.is_empty()
+    }
+
+    /// The entry for `code`.
+    pub fn get(&self, code: u32) -> &str {
+        self.dict.get(code)
+    }
+
+    /// The code already assigned to `s`, if any.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Interns `s`, returning its stable code (existing entries keep their
+    /// code forever; novel entries append).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        match self.lookup.get(s) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.push(s);
+                self.lookup.insert(Box::from(s), c);
+                c
+            }
+        }
+    }
+
+    /// The current snapshot page for building [`Column::Dict`] columns.
+    /// Republished (one `StrDict` clone) only when the dictionary grew since
+    /// the previous snapshot; otherwise the same `Arc` is returned.
+    pub fn snapshot(&mut self) -> Arc<StrDict> {
+        if self.snapshot.len() != self.dict.len() {
+            self.snapshot = Arc::new(self.dict.clone());
+        }
+        self.snapshot.clone()
+    }
+
+    /// The delta a receiver at version `base` needs to catch up to the
+    /// current version (empty `entries` when already synced).
+    pub fn delta_since(&self, base: u32) -> DictDelta {
+        self.dict.delta_since(base)
+    }
+
+    /// Extends a receiver-side mirror with `delta`. The delta must start
+    /// exactly at the mirror's current version — out-of-order or replayed
+    /// deltas are rejected (append-only means there is exactly one valid
+    /// next delta), keeping a desynced mirror an error instead of silent
+    /// code corruption.
+    pub fn apply_delta(&mut self, delta: &DictDelta) -> Result<()> {
+        if delta.base != self.version() {
+            return Err(Error::Decode(format!(
+                "dict delta out of order: mirror at version {}, delta base {}",
+                self.version(),
+                delta.base
+            )));
+        }
+        for e in &delta.entries {
+            let c = self.dict.push(e);
+            self.lookup.entry(Box::from(e.as_str())).or_insert(c);
+        }
+        Ok(())
+    }
+}
+
+/// Receiver-side mirrors of a peer's persistent dictionaries, keyed by the
+/// *sender's* dict id (ids are only unique within the sending process, so
+/// each link/peer gets its own registry).
+///
+/// Mirrors are themselves [`StreamDict`]s: their snapshots carry a
+/// receiver-local persistent id that stays stable across frames, so the
+/// code-native fast paths (shard hash caches, group caches) work on the
+/// receiving side too.
+#[derive(Debug, Default)]
+pub struct DictRegistry {
+    mirrors: HashMap<u64, StreamDict>,
+}
+
+impl DictRegistry {
+    /// An empty registry (a link before first contact).
+    pub fn new() -> DictRegistry {
+        DictRegistry::default()
+    }
+
+    /// Applies `delta` to the mirror for its dict id (created at version 0
+    /// on first contact — a `base` of 0 is the full-page handshake) and
+    /// returns the caught-up snapshot page.
+    pub fn apply(&mut self, delta: &DictDelta) -> Result<Arc<StrDict>> {
+        let mirror = self.mirrors.entry(delta.dict_id).or_default();
+        mirror.apply_delta(delta)?;
+        Ok(mirror.snapshot())
+    }
+
+    /// The mirrored version of `dict_id` (0 when never seen).
+    pub fn version_of(&self, dict_id: u64) -> u32 {
+        self.mirrors.get(&dict_id).map_or(0, StreamDict::version)
+    }
+
+    /// Forgets every mirror — the receiver-side reset after a recovery or
+    /// reassignment, forcing senders to re-handshake with full pages.
+    pub fn clear(&mut self) {
+        self.mirrors.clear();
     }
 }
 
@@ -557,6 +846,56 @@ impl Column {
         }
     }
 
+    /// Dictionary-encodes a string column against a persistent
+    /// [`StreamDict`], so the resulting codes are stable across batches and
+    /// epochs. Returns `None` under the same conditions as
+    /// [`Column::dict_encode`], except the cardinality bound applies to the
+    /// stream's *cumulative* cardinality (entries interned before a refusal
+    /// stay in the stream — append-only dictionaries never un-intern).
+    pub fn dict_encode_with(
+        &self,
+        stream: &mut StreamDict,
+        max_cardinality: usize,
+    ) -> Option<Column> {
+        let fits = |s: &str| s.len() <= u16::MAX as usize;
+        let (valid, values): (Option<&[bool]>, &Column) = match self {
+            Column::Str { .. } => (None, self),
+            Column::Opt { valid, values } if matches!(values.as_ref(), Column::Str { .. }) => {
+                (Some(valid), values)
+            }
+            _ => return None,
+        };
+        let rows = self.len();
+        let mut codes = Vec::with_capacity(rows);
+        for row in 0..rows {
+            if valid.is_some_and(|v| !v[row]) {
+                // Null rows carry the code-0 filler behind the validity
+                // mask, exactly as DictBuilder::push_null.
+                codes.push(0);
+                continue;
+            }
+            let s = values.str_at(row).unwrap_or("");
+            if !fits(s) {
+                return None;
+            }
+            codes.push(stream.intern(s));
+            if stream.len() > max_cardinality {
+                return None;
+            }
+        }
+        let dense = Column::Dict {
+            codes,
+            dict: stream.snapshot(),
+        };
+        Some(match valid {
+            Some(valid) => Column::Opt {
+                valid: valid.to_vec(),
+                values: Box::new(dense),
+            },
+            None => dense,
+        })
+    }
+
     /// The dictionary and codes when this is a dense dictionary column.
     pub fn as_dict(&self) -> Option<(&StrDict, &[u32])> {
         match self {
@@ -577,7 +916,30 @@ impl Column {
             col => dtype.fixed_width().unwrap_or(0) * col.len(),
         }
     }
+
+    /// Like [`Column::wire_bytes`], but persistent dictionary columns charge
+    /// only the delta past the link's last-shipped version (recorded in
+    /// `seen`, which this call advances). Batch-local pages (`id == 0`)
+    /// charge the full page per batch, as before.
+    pub fn wire_bytes_versioned(&self, dtype: DataType, seen: &mut DictVersions) -> usize {
+        match self {
+            Column::Dict { codes, dict } if dict.id() != 0 && !codes.is_empty() => {
+                let sent = seen.entry(dict.id()).or_insert(0);
+                let bytes = layout::dict_bytes_versioned(dict, codes.len(), *sent);
+                *sent = (*sent).max(dict.len() as u32);
+                bytes
+            }
+            Column::Opt { values, .. } => values.wire_bytes_versioned(dtype, seen),
+            other => other.wire_bytes(dtype),
+        }
+    }
 }
+
+/// Per-link shipped dictionary versions (dict id → entry count already on
+/// the receiver) — the sender-side state behind delta-only wire accounting
+/// and encoding. Reset it (or drop entries) to force a full page on the next
+/// ship, e.g. after a reconnect or shard reassignment.
+pub type DictVersions = HashMap<u64, u32>;
 
 fn filter_by<T: Copy>(values: &[T], mask: &[bool]) -> Vec<T> {
     values
@@ -760,6 +1122,18 @@ impl Batch {
         let mut size = self.len() * layout::row_envelope(&self.schema);
         for (field, col) in self.schema.fields().iter().zip(&self.columns) {
             size += col.wire_bytes(field.dtype);
+        }
+        size
+    }
+
+    /// Encoded size toward a receiver whose dictionary mirrors are at the
+    /// versions in `seen` (advanced by this call): persistent dictionary
+    /// columns charge codes plus the delta since the link's last ship
+    /// instead of re-charging the full page per batch/chunk.
+    pub fn wire_size_versioned(&self, seen: &mut DictVersions) -> usize {
+        let mut size = self.len() * layout::row_envelope(&self.schema);
+        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+            size += col.wire_bytes_versioned(field.dtype, seen);
         }
         size
     }
@@ -1359,6 +1733,158 @@ mod tests {
                 c.len() * layout::row_envelope(&c.schema) + layout::dict_bytes(dict, c.len())
             );
         }
+    }
+
+    #[test]
+    fn stream_dict_codes_are_stable_and_snapshots_share_pages() {
+        let mut sd = StreamDict::new();
+        assert_ne!(sd.id(), 0, "persistent dictionaries get a non-zero id");
+        assert_eq!(sd.intern("a"), 0);
+        assert_eq!(sd.intern("b"), 1);
+        assert_eq!(sd.intern("a"), 0, "codes never remap");
+        assert_eq!(sd.version(), 2);
+        let snap1 = sd.snapshot();
+        let snap2 = sd.snapshot();
+        assert!(
+            Arc::ptr_eq(&snap1, &snap2),
+            "unchanged dictionary reuses the snapshot Arc"
+        );
+        assert_eq!(snap1.id(), sd.id());
+        sd.intern("c");
+        let snap3 = sd.snapshot();
+        assert!(!Arc::ptr_eq(&snap1, &snap3), "growth republishes");
+        assert_eq!(snap3.len(), 3);
+        // Earlier snapshots stay valid for their prefix (append-only).
+        assert_eq!(snap1.get(1), "b");
+        // Two streams never share an id.
+        assert_ne!(StreamDict::new().id(), sd.id());
+    }
+
+    #[test]
+    fn dict_delta_round_trips_and_rejects_out_of_order() {
+        let mut sender = StreamDict::new();
+        sender.intern("x");
+        sender.intern("y");
+        let first = sender.delta_since(0);
+        assert_eq!(first.base, 0);
+        assert_eq!(first.entries, vec!["x".to_string(), "y".to_string()]);
+        let mut mirror = StreamDict::new();
+        mirror.apply_delta(&first).unwrap();
+        sender.intern("z");
+        let second = sender.delta_since(2);
+        assert_eq!(second.entries, vec!["z".to_string()]);
+        // Replaying the first delta (mirror already past it) is an error.
+        assert!(mirror.apply_delta(&first).is_err());
+        mirror.apply_delta(&second).unwrap();
+        assert_eq!(mirror.version(), sender.version());
+        for c in 0..sender.version() {
+            assert_eq!(mirror.get(c), sender.get(c));
+        }
+        // Skipping a delta is an error too.
+        sender.intern("w");
+        sender.intern("v");
+        let skipped = sender.delta_since(4);
+        assert!(mirror.apply_delta(&skipped).is_err());
+        // A synced mirror receives an empty delta.
+        assert!(sender.delta_since(sender.version()).entries.is_empty());
+    }
+
+    #[test]
+    fn dict_encode_with_keeps_codes_stable_across_batches() {
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        let mut stream = StreamDict::new();
+        let batch = |names: &[&str]| {
+            let recs: Vec<Record> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| Record::new(i as Ts, vec![Value::str(*n)]))
+                .collect();
+            Batch::from_records(s.clone(), &recs).unwrap()
+        };
+        let b1 = batch(&["t0", "t1", "t0"]);
+        let c1 = b1.columns[0].dict_encode_with(&mut stream, 64).unwrap();
+        let b2 = batch(&["t1", "t2"]);
+        let c2 = b2.columns[0].dict_encode_with(&mut stream, 64).unwrap();
+        let (d1, codes1) = c1.as_dict().unwrap();
+        let (d2, codes2) = c2.as_dict().unwrap();
+        assert_eq!(codes1, &[0, 1, 0]);
+        assert_eq!(codes2, &[1, 2], "t1 keeps its code in the next batch");
+        assert_eq!(d1.id(), d2.id());
+        assert_eq!((d1.len(), d2.len()), (2, 3));
+        // Nulls stay behind a validity mask, as with DictBuilder.
+        let nullable = Batch::from_records(
+            s.clone(),
+            &[
+                Record::new(0, vec![Value::Null]),
+                Record::new(1, vec![Value::str("t9")]),
+            ],
+        )
+        .unwrap();
+        let c3 = nullable.columns[0]
+            .dict_encode_with(&mut stream, 64)
+            .unwrap();
+        let Column::Opt { valid, values } = &c3 else {
+            panic!("nullable dict column expected");
+        };
+        assert_eq!(valid, &vec![false, true]);
+        assert_eq!(values.as_dict().unwrap().1, &[0, 3]);
+        // The cumulative cardinality bound refuses further novelty.
+        let wide = batch(&["w0", "w1", "w2"]);
+        assert!(wide.columns[0].dict_encode_with(&mut stream, 4).is_none());
+    }
+
+    #[test]
+    fn chunked_persistent_dict_batches_ship_the_delta_once() {
+        // The PR-3 waste: every chunk of a batch re-carried its full dict
+        // page. With a persistent dictionary the link ships the delta once;
+        // subsequent chunks (and batches) carry codes plus a bare delta
+        // header.
+        let s = Schema::new(vec![Field::new("tag", DataType::Str)]);
+        let mut stream = StreamDict::new();
+        let names: Vec<String> = (0..8).map(|i| format!("tenant-{i}")).collect();
+        let codes: Vec<u32> = (0..16).map(|i| stream.intern(&names[i % 8])).collect();
+        let batch = Batch {
+            schema: s,
+            timestamps: (0..16).collect(),
+            columns: vec![Column::Dict {
+                codes,
+                dict: stream.snapshot(),
+            }],
+        };
+        let (dict, _) = batch.columns[0].as_dict().unwrap();
+        let mut seen = DictVersions::new();
+        let chunks: Vec<Batch> = batch.chunks(6).collect();
+        assert_eq!(chunks.len(), 3);
+        let summed: usize = chunks
+            .iter()
+            .map(|c| c.wire_size_versioned(&mut seen))
+            .sum();
+        let envelope = batch.len() * layout::row_envelope(&batch.schema);
+        let entries_once = layout::dict_delta_bytes(dict, 0);
+        let bare_headers = 2 * layout::DICT_DELTA_HEADER_BYTES;
+        let codes_total = batch.len() * layout::DICT_CODE_BYTES;
+        // Page content exactly once; later chunks pay only the fixed header.
+        assert_eq!(summed, envelope + entries_once + bare_headers + codes_total);
+        assert!(
+            summed < chunks.iter().map(Batch::wire_size).sum::<usize>(),
+            "delta accounting must beat full-page-per-chunk"
+        );
+        // A fully-synced follow-up batch charges codes + bare header only.
+        assert_eq!(
+            batch.wire_size_versioned(&mut seen),
+            envelope + layout::DICT_DELTA_HEADER_BYTES + codes_total
+        );
+        // Batch-local pages (id 0) still charge the full page per batch:
+        // versioned accounting changes nothing for them.
+        let names_ref: Vec<&str> = names.iter().map(String::as_str).collect();
+        let local_codes: Vec<u32> = (0..16).map(|i| (i % 8) as u32).collect();
+        let local = Batch {
+            columns: vec![dict_col(&names_ref, &local_codes)],
+            ..batch.clone()
+        };
+        let mut fresh = DictVersions::new();
+        assert_eq!(local.wire_size_versioned(&mut fresh), local.wire_size());
+        assert!(fresh.is_empty(), "id-0 pages never enter the link state");
     }
 
     #[test]

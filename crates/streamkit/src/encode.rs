@@ -9,7 +9,7 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::agg::AggState;
-use crate::batch::{Batch, Column, StrDict};
+use crate::batch::{Batch, Column, DictDelta, DictRegistry, DictVersions, StrDict};
 use crate::error::{Error, Result};
 use crate::ops::GroupPartialEntry;
 use crate::quantile::QuantileSketch;
@@ -22,10 +22,34 @@ const MAGIC: u32 = 0x4A52_5653; // "JRVS"
 const STR_PAGE_PLAIN: u8 = 0;
 /// Page tag for a dictionary string column (dictionary page + u32 codes).
 const STR_PAGE_DICT: u8 = 1;
+/// Page tag for a persistent-dictionary delta page: dict id, base version,
+/// newly appended entries (with checksum), then u32 codes. Ships only what
+/// the receiver's mirror is missing; `base == 0` is the first-contact full
+/// page.
+const STR_PAGE_DICT_DELTA: u8 = 2;
 
 /// Encodes a batch. The receiver must know the schema (schemas are fixed per
 /// query edge, as in the paper's deployments).
+///
+/// Every dictionary column ships its full page — the frame is
+/// self-contained, decodable by [`decode_batch`] with no link state. Use
+/// [`encode_batch_with`] on established links to ship persistent-dictionary
+/// deltas instead.
 pub fn encode_batch(batch: &Batch) -> Bytes {
+    encode_batch_impl(batch, None)
+}
+
+/// Encodes a batch for a specific link, shipping persistent dictionary
+/// columns as delta pages: codes plus only the entries appended since the
+/// link's last ship (tracked and advanced in `link`; drop an entry from the
+/// map — or the whole map — to force a full re-handshake after recovery).
+/// Batch-local dictionaries (id 0) still ship full pages. Decode with
+/// [`decode_batch_with`] against the receiving end's [`DictRegistry`].
+pub fn encode_batch_with(batch: &Batch, link: &mut DictVersions) -> Bytes {
+    encode_batch_impl(batch, Some(link))
+}
+
+fn encode_batch_impl(batch: &Batch, mut link: Option<&mut DictVersions>) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + batch.wire_size());
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(batch.len() as u32);
@@ -76,25 +100,64 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
                     buf.put_slice(&data[lo..hi]);
                 }
             }
-            Column::Dict { codes, dict } => {
-                // Dictionary page once, then one fixed-width code per row —
-                // the wire shape `layout::dict_bytes` accounts for.
-                buf.put_u8(STR_PAGE_DICT);
-                buf.put_u32_le(dict.len() as u32);
-                for entry in dict.iter() {
-                    // The u16 length prefix caps entries at 64 KiB;
-                    // Column::dict_encode refuses longer values upstream.
-                    debug_assert!(
-                        entry.len() <= u16::MAX as usize,
-                        "dict entry exceeds the u16 wire length prefix"
-                    );
-                    buf.put_u16_le(entry.len() as u16);
-                    buf.put_slice(entry.as_bytes());
+            Column::Dict { codes, dict } => match link.as_deref_mut().filter(|_| dict.id() != 0) {
+                Some(link) => {
+                    // Persistent page on an established link: ship only the
+                    // delta past the receiver's mirrored version — the wire
+                    // shape `layout::dict_bytes_versioned` accounts for.
+                    let sent = link.entry(dict.id()).or_insert(0);
+                    let base = (*sent).min(dict.len() as u32);
+                    let delta = if codes.is_empty() {
+                        // An empty column ships no entries and must not
+                        // advance the mirror (accounting charges nothing).
+                        DictDelta {
+                            dict_id: dict.id(),
+                            base,
+                            entries: Vec::new(),
+                        }
+                    } else {
+                        *sent = (*sent).max(dict.len() as u32);
+                        dict.delta_since(base)
+                    };
+                    buf.put_u8(STR_PAGE_DICT_DELTA);
+                    buf.put_u64_le(delta.dict_id);
+                    buf.put_u32_le(delta.base);
+                    buf.put_u32_le(delta.entries.len() as u32);
+                    buf.put_u64_le(delta.checksum());
+                    for entry in &delta.entries {
+                        debug_assert!(
+                            entry.len() <= u16::MAX as usize,
+                            "dict entry exceeds the u16 wire length prefix"
+                        );
+                        buf.put_u16_le(entry.len() as u16);
+                        buf.put_slice(entry.as_bytes());
+                    }
+                    for c in codes {
+                        buf.put_u32_le(*c);
+                    }
                 }
-                for c in codes {
-                    buf.put_u32_le(*c);
+                None => {
+                    // Dictionary page once, then one fixed-width code per
+                    // row — the wire shape `layout::dict_bytes` accounts
+                    // for. Self-contained: checkpoint/replay frames stay on
+                    // this path even for persistent pages.
+                    buf.put_u8(STR_PAGE_DICT);
+                    buf.put_u32_le(dict.len() as u32);
+                    for entry in dict.iter() {
+                        // The u16 length prefix caps entries at 64 KiB;
+                        // Column::dict_encode refuses longer values upstream.
+                        debug_assert!(
+                            entry.len() <= u16::MAX as usize,
+                            "dict entry exceeds the u16 wire length prefix"
+                        );
+                        buf.put_u16_le(entry.len() as u16);
+                        buf.put_slice(entry.as_bytes());
+                    }
+                    for c in codes {
+                        buf.put_u32_le(*c);
+                    }
                 }
-            }
+            },
             Column::Opt { .. } => unreachable!("validity unwrapped above"),
         }
     }
@@ -102,7 +165,29 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
 }
 
 /// Decodes a batch previously produced by [`encode_batch`] for `schema`.
-pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
+/// Delta pages ([`encode_batch_with`]) are rejected with a typed error —
+/// they need the link's [`DictRegistry`] (see [`decode_batch_with`]).
+pub fn decode_batch(schema: SchemaRef, buf: Bytes) -> Result<Batch> {
+    decode_batch_impl(schema, buf, None)
+}
+
+/// Decodes a batch from a link that ships persistent-dictionary deltas
+/// ([`encode_batch_with`]), applying each delta page to `registry` (which
+/// mirrors the sender's dictionaries for this link). Out-of-order deltas,
+/// version mismatches, and checksum failures are typed decode errors.
+pub fn decode_batch_with(
+    schema: SchemaRef,
+    buf: Bytes,
+    registry: &mut DictRegistry,
+) -> Result<Batch> {
+    decode_batch_impl(schema, buf, Some(registry))
+}
+
+fn decode_batch_impl(
+    schema: SchemaRef,
+    mut buf: Bytes,
+    mut registry: Option<&mut DictRegistry>,
+) -> Result<Batch> {
     let need = |buf: &Bytes, n: usize| -> Result<()> {
         if buf.remaining() < n {
             Err(Error::Decode(format!(
@@ -214,6 +299,61 @@ pub fn decode_batch(schema: SchemaRef, mut buf: Bytes) -> Result<Batch> {
                             codes,
                             dict: Arc::new(dict),
                         }
+                    }
+                    STR_PAGE_DICT_DELTA => {
+                        let Some(registry) = registry.as_deref_mut() else {
+                            return Err(Error::Decode(
+                                "dict delta page on a schema-only decode path \
+                                 (no link registry to resolve it against)"
+                                    .into(),
+                            ));
+                        };
+                        need(&buf, 24)?;
+                        let dict_id = buf.get_u64_le();
+                        let base = buf.get_u32_le();
+                        let n_entries = buf.get_u32_le() as usize;
+                        let expected_sum = buf.get_u64_le();
+                        let mut entries = Vec::with_capacity(n_entries.min(1024));
+                        for _ in 0..n_entries {
+                            need(&buf, 2)?;
+                            let len = buf.get_u16_le() as usize;
+                            need(&buf, len)?;
+                            let entry = std::str::from_utf8(&buf.chunk()[..len])
+                                .map_err(|e| {
+                                    Error::Decode(format!("invalid UTF-8 dict entry: {e}"))
+                                })?
+                                .to_string();
+                            buf.advance(len);
+                            entries.push(entry);
+                        }
+                        let delta = DictDelta {
+                            dict_id,
+                            base,
+                            entries,
+                        };
+                        if delta.checksum() != expected_sum {
+                            return Err(Error::Decode(format!(
+                                "dict delta checksum mismatch for dict {dict_id} \
+                                 (base {base}, {n_entries} entries)"
+                            )));
+                        }
+                        // Applies the delta to this link's mirror; rejects
+                        // out-of-order / version-mismatched deltas.
+                        let dict = registry.apply(&delta)?;
+                        need(&buf, rows * 4)?;
+                        let mut codes = Vec::with_capacity(rows);
+                        let entries = dict.len();
+                        for row in 0..rows {
+                            let c = buf.get_u32_le();
+                            let null_filler = c == 0 && valid.as_ref().is_some_and(|v| !v[row]);
+                            if c as usize >= entries && !null_filler {
+                                return Err(Error::Decode(format!(
+                                    "dict code {c} out of range ({entries} mirrored entries)"
+                                )));
+                            }
+                            codes.push(c);
+                        }
+                        Column::Dict { codes, dict }
                     }
                     tag => {
                         return Err(Error::Decode(format!("unknown string page tag {tag}")));
@@ -661,6 +801,175 @@ mod tests {
         raw[n - 4] = 9;
         assert!(matches!(
             decode_batch(s, Bytes::from(raw)),
+            Err(Error::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn delta_pages_ship_once_and_round_trip_across_batches() {
+        use crate::batch::{DictVersions, StreamDict};
+        let s = Schema::new(vec![Field::new("tenant", DataType::Str)]);
+        let mut stream = StreamDict::new();
+        let make = |stream: &mut StreamDict, names: &[&str]| {
+            let codes: Vec<u32> = names.iter().map(|n| stream.intern(n)).collect();
+            Batch {
+                schema: s.clone(),
+                timestamps: (0..names.len() as i64).collect(),
+                columns: vec![Column::Dict {
+                    codes,
+                    dict: stream.snapshot(),
+                }],
+            }
+        };
+        let b1 = make(&mut stream, &["tenant-00", "tenant-01", "tenant-00"]);
+        let b2 = make(&mut stream, &["tenant-01", "tenant-02"]);
+        let mut link = DictVersions::new();
+        let w1 = encode_batch_with(&b1, &mut link);
+        let w2 = encode_batch_with(&b2, &mut link);
+        // The second frame carries only the novel entry "tenant-02".
+        let full2 = encode_batch(&b2);
+        assert!(
+            w2.len() < full2.len(),
+            "delta frame {} must beat full-page frame {}",
+            w2.len(),
+            full2.len()
+        );
+        let mut reg = crate::batch::DictRegistry::new();
+        let r1 = decode_batch_with(s.clone(), w1, &mut reg).unwrap();
+        let r2 = decode_batch_with(s.clone(), w2, &mut reg).unwrap();
+        assert_eq!(r1.to_records(), b1.to_records());
+        assert_eq!(r2.to_records(), b2.to_records());
+        // Receiver-side pages share one mirror and its persistent id.
+        let (d1, _) = r1.columns[0].as_dict().unwrap();
+        let (d2, _) = r2.columns[0].as_dict().unwrap();
+        assert_ne!(d1.id(), 0, "mirror snapshots carry a receiver-local id");
+        assert_eq!(d1.id(), d2.id());
+        assert_eq!(d2.len(), 3);
+    }
+
+    #[test]
+    fn chunked_batch_ships_its_dict_page_exactly_once() {
+        use crate::batch::{DictRegistry, DictVersions, StreamDict};
+        // The PR-3 waste: slicing one batch into N chunks re-carried the
+        // full dict page N times. With a persistent stream and a delta-aware
+        // link, the entries cross once — every later chunk ships a
+        // zero-entry delta header.
+        let s = Schema::new(vec![Field::new("tenant", DataType::Str)]);
+        let mut stream = StreamDict::new();
+        let codes: Vec<u32> = (0..60)
+            .map(|i| stream.intern(&format!("tenant-{}", i % 8)))
+            .collect();
+        let batch = Batch {
+            schema: s.clone(),
+            timestamps: (0..60).collect(),
+            columns: vec![Column::Dict {
+                codes,
+                dict: stream.snapshot(),
+            }],
+        };
+        let chunks: Vec<Batch> = batch.chunks(15).collect();
+        assert_eq!(chunks.len(), 4);
+
+        let mut link = DictVersions::new();
+        let wires: Vec<Bytes> = chunks
+            .iter()
+            .map(|c| encode_batch_with(c, &mut link))
+            .collect();
+        // After the first chunk the link has seen the whole page...
+        assert_eq!(link[&stream.id()], stream.version());
+        // ...so later chunks are codes plus an empty delta: all the same
+        // size (equal row counts), strictly below the entry-carrying first
+        // chunk and below a full-page re-ship.
+        for (chunk, wire) in chunks.iter().zip(&wires).skip(1) {
+            assert_eq!(wire.len(), wires[1].len());
+            assert!(wire.len() < wires[0].len());
+            assert!(
+                wire.len() < encode_batch(chunk).len(),
+                "a delta chunk must beat re-shipping the page"
+            );
+        }
+
+        // The receiver reassembles the rows bit-identically through one
+        // mirror.
+        let mut reg = DictRegistry::new();
+        let rows: Vec<_> = wires
+            .into_iter()
+            .flat_map(|w| {
+                decode_batch_with(s.clone(), w, &mut reg)
+                    .expect("chunks decode in order")
+                    .to_records()
+            })
+            .collect();
+        assert_eq!(rows, batch.to_records());
+    }
+
+    #[test]
+    fn delta_page_on_plain_decode_path_is_a_typed_error() {
+        use crate::batch::{DictVersions, StreamDict};
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        let mut stream = StreamDict::new();
+        let codes = vec![stream.intern("x")];
+        let batch = Batch {
+            schema: s.clone(),
+            timestamps: vec![0],
+            columns: vec![Column::Dict {
+                codes,
+                dict: stream.snapshot(),
+            }],
+        };
+        let wire = encode_batch_with(&batch, &mut DictVersions::new());
+        assert!(matches!(decode_batch(s, wire), Err(Error::Decode(_))));
+    }
+
+    #[test]
+    fn out_of_order_and_corrupt_deltas_are_typed_errors() {
+        use crate::batch::{DictRegistry, DictVersions, StreamDict};
+        let s = Schema::new(vec![Field::new("t", DataType::Str)]);
+        let mut stream = StreamDict::new();
+        let codes: Vec<u32> = ["a", "b"].iter().map(|n| stream.intern(n)).collect();
+        let b1 = Batch {
+            schema: s.clone(),
+            timestamps: vec![0, 1],
+            columns: vec![Column::Dict {
+                codes,
+                dict: stream.snapshot(),
+            }],
+        };
+        let mut link = DictVersions::new();
+        let w1 = encode_batch_with(&b1, &mut link);
+        stream.intern("c");
+        let b2 = Batch {
+            columns: vec![Column::Dict {
+                codes: vec![2, 0],
+                dict: stream.snapshot(),
+            }],
+            ..b1.clone()
+        };
+        let w2 = encode_batch_with(&b2, &mut link);
+        // Skipping the first frame: the second delta's base (2) mismatches
+        // an empty mirror.
+        let mut skipped = DictRegistry::new();
+        assert!(matches!(
+            decode_batch_with(s.clone(), w2.clone(), &mut skipped),
+            Err(Error::Decode(_))
+        ));
+        // Replaying the first frame after it already applied.
+        let mut reg = DictRegistry::new();
+        decode_batch_with(s.clone(), w1.clone(), &mut reg).unwrap();
+        assert!(matches!(
+            decode_batch_with(s.clone(), w1.clone(), &mut reg),
+            Err(Error::Decode(_))
+        ));
+        // A bit flip inside a delta entry fails the checksum instead of
+        // silently poisoning the mirror.
+        let mut raw = w1.to_vec();
+        let n = raw.len();
+        // Entries sit between the 24-byte delta header and the trailing
+        // codes; flip a bit in the entry payload region.
+        raw[n - 4 * 2 - 1] ^= 0x01;
+        let mut fresh = DictRegistry::new();
+        assert!(matches!(
+            decode_batch_with(s, Bytes::from(raw), &mut fresh),
             Err(Error::Decode(_))
         ));
     }

@@ -203,6 +203,10 @@ pub struct GroupAggregateOp {
     scratch: Vec<u8>,
     /// Per-batch row → group-slot resolution (reused across batches).
     slots: Vec<u32>,
+    /// Canonical fragments per persistent dict id, extended append-only.
+    frag_cache: HashMap<u64, KeyFrags>,
+    /// Cross-batch dense slot caches for all-persistent-dict key sets.
+    combo: ComboCache,
 }
 
 impl GroupAggregateOp {
@@ -229,6 +233,8 @@ impl GroupAggregateOp {
             cost,
             scratch: Vec::with_capacity(64),
             slots: Vec::new(),
+            frag_cache: HashMap::new(),
+            combo: ComboCache::default(),
         }
     }
 
@@ -267,6 +273,12 @@ impl GroupAggregateOp {
         self.role
     }
 
+    /// Number of live cross-batch combo caches (test observability).
+    #[cfg(test)]
+    fn cached_combo_windows(&self) -> usize {
+        self.combo.windows.len()
+    }
+
     /// Builds one result batch from finalised group rows.
     fn emit_batch(&self, rows: &[(GroupKey, Vec<AggState>)], out: &mut Vec<Batch>) {
         if rows.is_empty() {
@@ -290,24 +302,46 @@ impl GroupAggregateOp {
 }
 
 /// Canonical key fragments for one dictionary: the byte encoding of each
-/// entry, computed once per batch so every row is a bounds-free memcpy.
+/// entry, so every row is a bounds-free memcpy. Batch-local dictionaries
+/// (id 0) build these once per batch; persistent dictionaries keep one
+/// `KeyFrags` per dict id in the operator and extend it append-only as the
+/// dictionary grows, so steady-state batches skip the rebuild entirely.
 struct KeyFrags {
     arena: Vec<u8>,
     bounds: Vec<u32>,
 }
 
 impl KeyFrags {
-    fn for_dict(dict: &StrDict) -> KeyFrags {
-        let mut arena = Vec::with_capacity(dict.len() * 16);
-        let mut bounds = Vec::with_capacity(dict.len() + 1);
-        bounds.push(0u32);
-        for entry in dict.iter() {
-            arena.push(5);
-            arena.extend_from_slice(&(entry.len() as u32).to_le_bytes());
-            arena.extend_from_slice(entry.as_bytes());
-            bounds.push(arena.len() as u32);
+    fn new() -> KeyFrags {
+        KeyFrags {
+            arena: Vec::new(),
+            bounds: vec![0u32],
         }
-        KeyFrags { arena, bounds }
+    }
+
+    fn for_dict(dict: &StrDict) -> KeyFrags {
+        let mut frags = KeyFrags::new();
+        frags.extend_to(dict);
+        frags
+    }
+
+    /// Number of entries encoded so far.
+    fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Appends fragments for any dictionary entries beyond the ones already
+    /// encoded. Persistent dictionaries are append-only, so the existing
+    /// prefix stays canonical; a snapshot older than the cache is a no-op
+    /// (its codes all index the valid prefix).
+    fn extend_to(&mut self, dict: &StrDict) {
+        for entry in dict.iter().skip(self.len()) {
+            self.arena.push(5);
+            self.arena
+                .extend_from_slice(&(entry.len() as u32).to_le_bytes());
+            self.arena.extend_from_slice(entry.as_bytes());
+            self.bounds.push(self.arena.len() as u32);
+        }
     }
 
     #[inline]
@@ -323,7 +357,10 @@ impl KeyFrags {
 /// identical to the same string in a plain column (the group table persists
 /// across batches whose dictionaries may differ).
 enum KeyEnc<'a> {
-    Dict { codes: &'a [u32], frags: KeyFrags },
+    Dict {
+        codes: &'a [u32],
+        frags: &'a KeyFrags,
+    },
     Generic(&'a Column),
 }
 
@@ -451,6 +488,49 @@ fn combo_dims<'a>(key_cols: &[&'a Column]) -> Option<Vec<ComboDim<'a>>> {
 /// fall back to byte-keyed resolution (bounds memory and the per-row window
 /// scan for batches that span many windows).
 const MAX_WINDOW_CACHES: usize = 8;
+
+/// Keeps per-operator [`KeyFrags`] caches bounded: an operator normally sees
+/// one persistent dictionary per key column, so hitting this means dict ids
+/// are churning (e.g. streams being recreated) and caching stopped paying.
+const MAX_FRAG_CACHE: usize = 1024;
+
+/// Cross-batch, cross-epoch dense `(window, combined code) → slot` caches.
+///
+/// Valid only while every key column is a *persistent* dictionary (id ≠ 0):
+/// persistent codes are stable across batches and epochs, so a combined
+/// code observed in one batch names the same group in the next — a cache
+/// hit resolves group identity from codes alone, with no canonical-bytes
+/// work. The caches are dropped whenever the signature changes (different
+/// dict ids, or a dictionary grew and shifted the mixing radix) and
+/// whenever the table compacts slots (`split_closed` with closed entries,
+/// `drain_all`, `clear`), since the cached values are slot indexes. A miss
+/// always falls back to the canonical byte encoding, so mixed layouts and
+/// batch-local dictionaries stay exact.
+#[derive(Default)]
+struct ComboCache {
+    /// `(dict id, cardinality)` per key column the caches were built under.
+    dims: Vec<(u64, usize)>,
+    /// Per-window dense `combined code → slot` maps (`u32::MAX` = empty).
+    windows: Vec<(Ts, Vec<u32>)>,
+}
+
+impl ComboCache {
+    /// Returns the live window caches for this batch's signature, clearing
+    /// stale ones if the signature moved.
+    fn windows_for(&mut self, sig: Vec<(u64, usize)>) -> &mut Vec<(Ts, Vec<u32>)> {
+        if self.dims != sig {
+            self.windows.clear();
+            self.dims = sig;
+        }
+        &mut self.windows
+    }
+
+    /// Slot indexes are about to be compacted or the table emptied; every
+    /// cached resolution is invalid.
+    fn invalidate(&mut self) {
+        self.windows.clear();
+    }
+}
 
 /// Borrowed numeric view of an aggregate input column, hoisted out of the
 /// row loop so fold kernels run over contiguous slices.
@@ -612,18 +692,46 @@ impl Operator for GroupAggregateOp {
             table,
             scratch,
             slots,
+            frag_cache,
+            combo,
             ..
         } = self;
         // Hoist key/aggregate column bindings out of the row loop; dict key
-        // columns additionally precompute their per-code canonical
-        // fragments.
+        // columns additionally need their per-code canonical fragments.
+        // Persistent dictionaries (id ≠ 0) keep those in the operator and
+        // extend them append-only; batch-local pages rebuild per batch.
         let key_cols: Vec<&Column> = keys.iter().map(|&k| &batch.columns[k]).collect();
+        if frag_cache.len() > MAX_FRAG_CACHE {
+            frag_cache.clear();
+        }
+        for col in &key_cols {
+            if let Column::Dict { dict, .. } = col {
+                if dict.id() != 0 {
+                    frag_cache
+                        .entry(dict.id())
+                        .or_insert_with(KeyFrags::new)
+                        .extend_to(dict);
+                }
+            }
+        }
+        let local_frags: Vec<KeyFrags> = key_cols
+            .iter()
+            .filter_map(|c| match c {
+                Column::Dict { dict, .. } if dict.id() == 0 => Some(KeyFrags::for_dict(dict)),
+                _ => None,
+            })
+            .collect();
+        let mut next_local = local_frags.iter();
         let encs: Vec<KeyEnc> = key_cols
             .iter()
             .map(|c| match c {
                 Column::Dict { codes, dict } => KeyEnc::Dict {
                     codes,
-                    frags: KeyFrags::for_dict(dict),
+                    frags: if dict.id() != 0 {
+                        &frag_cache[&dict.id()]
+                    } else {
+                        next_local.next().expect("one local frag per id-0 dict")
+                    },
                 },
                 other => KeyEnc::Generic(other),
             })
@@ -637,8 +745,24 @@ impl Operator for GroupAggregateOp {
             // All keys are dense code-able columns (dictionaries or
             // bounded-range integers) with a small combined key space:
             // resolve through a per-window dense cache, hashing each
-            // distinct (window, key) combination only once per batch.
-            let mut caches: Vec<(Ts, Vec<u32>)> = Vec::with_capacity(2);
+            // distinct (window, key) combination only once. When every key
+            // column is a *persistent* dictionary the caches live in the
+            // operator and survive across batches and epochs (codes are
+            // stable identity); otherwise they are batch-local.
+            let persist_sig: Option<Vec<(u64, usize)>> = key_cols
+                .iter()
+                .map(|c| match c {
+                    Column::Dict { dict, .. } if dict.id() != 0 => {
+                        Some((dict.id(), dict.len().max(1)))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let mut batch_caches: Vec<(Ts, Vec<u32>)> = Vec::with_capacity(2);
+            let caches: &mut Vec<(Ts, Vec<u32>)> = match persist_sig {
+                Some(sig) => combo.windows_for(sig),
+                None => &mut batch_caches,
+            };
             for row in 0..n {
                 let ws = window.start_of(batch.timestamps[row]);
                 let mut combo = 0usize;
@@ -716,6 +840,10 @@ impl Operator for GroupAggregateOp {
             return;
         }
         let closed = self.table.split_closed(self.window, wm);
+        if !closed.is_empty() {
+            // Surviving entries shifted down: cached slot indexes are stale.
+            self.combo.invalidate();
+        }
         self.emit_batch(&closed, out);
     }
 
@@ -742,6 +870,7 @@ impl Operator for GroupAggregateOp {
         if self.role != AggRole::Partial || self.table.len() == 0 {
             return None;
         }
+        self.combo.invalidate();
         let entries = self
             .table
             .drain_all()
@@ -782,6 +911,7 @@ impl Operator for GroupAggregateOp {
 
     fn reset(&mut self) {
         self.table.clear();
+        self.combo.invalidate();
     }
 }
 
@@ -1077,6 +1207,171 @@ mod tests {
         let mut sink = Vec::new();
         g.process_batch(batch, &mut sink);
         assert_eq!(g.group_count(), 5);
+    }
+
+    #[test]
+    fn persistent_dict_keys_cache_slots_across_batches_and_epochs() {
+        // When every key column is a persistent dictionary, the dense
+        // (window, combined-code) → slot caches must survive across
+        // batches — and stay exact across dictionary growth (signature
+        // change drops the caches), window close (slot compaction drops
+        // them), and versus the byte-hash path on the decoded rows.
+        use crate::batch::{Batch, StreamDict};
+        use std::sync::Arc;
+
+        let schema = Schema::new(vec![
+            Field::new("tenant", DataType::Str),
+            Field::new("v", DataType::U32),
+        ]);
+        let mut stream = StreamDict::new();
+        for t in ["tenant-a", "tenant-b", "tenant-c"] {
+            stream.intern(t);
+        }
+        let mk_batch = |dict: Arc<StrDict>, ts: Ts, codes: Vec<u32>| {
+            let n = codes.len();
+            Batch {
+                schema: schema.clone(),
+                timestamps: vec![ts; n],
+                columns: vec![Column::Dict { codes, dict }, Column::U64(vec![1; n])],
+            }
+        };
+        let mk_op = || {
+            GroupAggregateOp::new(
+                vec![0],
+                vec![AggSpec::new(AggKind::Count, 1, "n")],
+                &schema,
+                TumblingWindow::new(secs(10.0)),
+                EmitMode::OnWindowClose,
+                AggRole::Final,
+                CostModel::fixed(1.0),
+            )
+        };
+        let mut fast = mk_op();
+        let mut slow = mk_op();
+        let mut sink = Vec::new();
+        let feed_both = |fast: &mut GroupAggregateOp,
+                         slow: &mut GroupAggregateOp,
+                         sink: &mut Vec<Batch>,
+                         b: Batch| {
+            let mut plain = b.clone();
+            plain.dict_decode();
+            fast.process_batch(b, sink);
+            slow.process_batch(plain, sink);
+        };
+
+        let snap = stream.snapshot();
+        feed_both(
+            &mut fast,
+            &mut slow,
+            &mut sink,
+            mk_batch(snap.clone(), 1, vec![0, 1, 2, 0, 1, 2]),
+        );
+        assert_eq!(
+            fast.cached_combo_windows(),
+            1,
+            "persistent dict keys must retain the combo cache across batches"
+        );
+        // Second batch, same window, same snapshot: pure cache hits.
+        feed_both(
+            &mut fast,
+            &mut slow,
+            &mut sink,
+            mk_batch(snap.clone(), 2, vec![2, 1, 0]),
+        );
+        assert_eq!(fast.group_count(), 3);
+
+        // Dictionary growth changes the mixing radix: the stale caches must
+        // be dropped, and the new code must land in its own group.
+        stream.intern("tenant-d");
+        let grown = stream.snapshot();
+        feed_both(
+            &mut fast,
+            &mut slow,
+            &mut sink,
+            mk_batch(grown.clone(), 3, vec![3, 0, 3]),
+        );
+        assert_eq!(fast.group_count(), 4);
+        assert_eq!(
+            fast.cached_combo_windows(),
+            1,
+            "rebuilt under new signature"
+        );
+
+        // A second window populates a second cache.
+        feed_both(
+            &mut fast,
+            &mut slow,
+            &mut sink,
+            mk_batch(grown.clone(), secs(10.0) + 1, vec![0, 1]),
+        );
+        assert_eq!(fast.cached_combo_windows(), 2);
+
+        // Closing the first window compacts slots: every cache must go.
+        let mut fast_out = Vec::new();
+        let mut slow_out = Vec::new();
+        fast.on_watermark(secs(10.0), &mut fast_out);
+        slow.on_watermark(secs(10.0), &mut slow_out);
+        assert_eq!(fast.cached_combo_windows(), 0);
+
+        // Post-close batches must still resolve exactly (fresh caches).
+        feed_both(
+            &mut fast,
+            &mut slow,
+            &mut sink,
+            mk_batch(grown, secs(10.0) + 2, vec![1, 2, 3]),
+        );
+        fast.on_watermark(Ts::MAX, &mut fast_out);
+        slow.on_watermark(Ts::MAX, &mut slow_out);
+        let sort = |out: &[Batch]| {
+            let mut r = rows(out);
+            r.sort_by_key(|rec| format!("{rec:?}"));
+            r
+        };
+        assert_eq!(
+            sort(&fast_out),
+            sort(&slow_out),
+            "persistent-code grouping must equal byte-hash grouping"
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn batch_local_dicts_do_not_persist_combo_caches() {
+        use crate::batch::{Batch, StrDict};
+        use std::sync::Arc;
+
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Str),
+            Field::new("v", DataType::U32),
+        ]);
+        let batch = Batch {
+            schema: schema.clone(),
+            timestamps: vec![1, 2],
+            columns: vec![
+                Column::Dict {
+                    codes: vec![0, 1],
+                    dict: Arc::new(StrDict::from_entries(["a", "b"])),
+                },
+                Column::U64(vec![1, 1]),
+            ],
+        };
+        let mut g = GroupAggregateOp::new(
+            vec![0],
+            vec![AggSpec::new(AggKind::Count, 1, "n")],
+            &schema,
+            TumblingWindow::new(secs(10.0)),
+            EmitMode::OnWindowClose,
+            AggRole::Final,
+            CostModel::fixed(1.0),
+        );
+        let mut sink = Vec::new();
+        g.process_batch(batch, &mut sink);
+        assert_eq!(g.group_count(), 2);
+        assert_eq!(
+            g.cached_combo_windows(),
+            0,
+            "id-0 dict pages are batch-local: codes are not stable identity"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use crate::batch::{Batch, Column, ColumnBuilder, DictBuilder};
+use crate::batch::{Batch, Column, ColumnBuilder, DictBuilder, StreamDict};
 use crate::error::{Error, Result};
 use crate::ops::{CostModel, OpKind, Operator};
 use crate::record::Record;
@@ -307,12 +307,26 @@ pub struct MapOp {
     f: MapFn,
     schema: SchemaRef,
     cost: CostModel,
+    /// Persistent parse-stage dictionaries (`ParseJobStats` only): the
+    /// tenant and stat-name streams live in the operator, not the batch, so
+    /// parsed columns carry codes that stay valid across batches *and*
+    /// epochs and each page is a monotone snapshot of one stream — which is
+    /// what lets the wire ship dictionary deltas instead of a full page per
+    /// frame.
+    parse_dicts: Option<(StreamDict, StreamDict)>,
 }
 
 impl MapOp {
     /// Creates a map operator; `schema` must equal `f.output_schema(input)`.
     pub fn new(f: MapFn, schema: SchemaRef, cost: CostModel) -> MapOp {
-        MapOp { f, schema, cost }
+        let parse_dicts = matches!(f, MapFn::ParseJobStats { .. })
+            .then(|| (StreamDict::new(), StreamDict::new()));
+        MapOp {
+            f,
+            schema,
+            cost,
+            parse_dicts,
+        }
     }
 
     /// The map function.
@@ -335,7 +349,13 @@ impl Operator for MapOp {
     }
 
     fn process_batch(&mut self, batch: Batch, out: &mut Vec<Batch>) {
-        if let Some(mapped) = self.f.apply_batch(&batch, &self.schema) {
+        let mapped = match (&self.f, &mut self.parse_dicts) {
+            (MapFn::ParseJobStats { col, stats }, Some((tenants, names))) => {
+                parse_job_stats_persistent(&batch, &self.schema, *col, stats, tenants, names)
+            }
+            _ => self.f.apply_batch(&batch, &self.schema),
+        };
+        if let Some(mapped) = mapped {
             out.push(mapped);
         }
     }
@@ -344,7 +364,74 @@ impl Operator for MapOp {
         self.cost.cost_us(0)
     }
 
-    fn reset(&mut self) {}
+    fn reset(&mut self) {
+        // Fresh streams (fresh dict ids) for a fresh run: receivers must
+        // never confuse a reset stream's codes with the old assignment.
+        if let Some(dicts) = &mut self.parse_dicts {
+            *dicts = (StreamDict::new(), StreamDict::new());
+        }
+    }
+}
+
+/// Column-wise [`MapFn::ParseJobStats`] against the operator's persistent
+/// stream dictionaries. Row-identical to [`MapFn::apply_batch`] — same
+/// lines kept, same strings, same values — but tenant / stat codes are
+/// interned once per stream rather than once per batch, so downstream
+/// grouping and shard hashing stay code-native across epochs.
+fn parse_job_stats_persistent(
+    batch: &Batch,
+    out_schema: &SchemaRef,
+    col: usize,
+    stats: &[String],
+    tenants: &mut StreamDict,
+    names: &mut StreamDict,
+) -> Option<Batch> {
+    if batch.is_empty() {
+        return None;
+    }
+    let source = &batch.columns[col];
+    let n = source.len();
+    let mut timestamps: Vec<Ts> = Vec::with_capacity(n);
+    let mut tenant_codes: Vec<u32> = Vec::with_capacity(n);
+    let mut name_codes: Vec<u32> = Vec::with_capacity(n);
+    let mut values = ColumnBuilder::new(DataType::F64, n);
+    for row in 0..n {
+        let Some(line) = source.str_at(row) else {
+            continue;
+        };
+        let Some(tenant) = extract_kv(line, "tenant name") else {
+            continue;
+        };
+        for stat in stats {
+            if let Some(v) = extract_kv(line, stat) {
+                if let Ok(value) = v.trim().parse::<f64>() {
+                    timestamps.push(batch.timestamps[row]);
+                    tenant_codes.push(tenants.intern(tenant.trim()));
+                    name_codes.push(names.intern(stat));
+                    values.push(&Value::F64(value)).expect("f64 builder");
+                }
+                break;
+            }
+        }
+    }
+    if timestamps.is_empty() {
+        return None;
+    }
+    Some(Batch {
+        schema: out_schema.clone(),
+        timestamps,
+        columns: vec![
+            Column::Dict {
+                codes: tenant_codes,
+                dict: tenants.snapshot(),
+            },
+            Column::Dict {
+                codes: name_codes,
+                dict: names.snapshot(),
+            },
+            values.finish(),
+        ],
+    })
 }
 
 #[cfg(test)]
@@ -437,6 +524,55 @@ mod tests {
         let mut out = Vec::new();
         op.process_batch(batch, &mut out);
         assert_eq!(out.iter().map(Batch::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn parse_op_dicts_are_persistent_across_batches() {
+        // The operator path (not the bare MapFn) interns into stream
+        // dictionaries: two epochs of lines must come back with the same
+        // dict id and stable codes, row-identical to the batch-local path.
+        let f = MapFn::ParseJobStats {
+            col: 0,
+            stats: vec!["cpu util".into()],
+        };
+        let out_schema = f.output_schema(&log_schema()).unwrap();
+        let mut op = MapOp::new(f.clone(), out_schema.clone(), CostModel::fixed(1.0));
+        let epoch = |base: i64| -> Batch {
+            let recs: Vec<Record> = (0..6)
+                .map(|i| {
+                    let t = ["acme", "zed", "ora"][i % 3];
+                    Record::new(
+                        base + i as i64,
+                        vec![Value::str(format!("tenant name={t}, cpu util={i}.5"))],
+                    )
+                })
+                .collect();
+            Batch::from_records(log_schema(), &recs).unwrap()
+        };
+        let mut out = Vec::new();
+        op.process_batch(epoch(0), &mut out);
+        op.process_batch(epoch(1_000_000), &mut out);
+        let (d0, c0) = out[0].columns[0].as_dict().unwrap();
+        let (d1, c1) = out[1].columns[0].as_dict().unwrap();
+        assert_ne!(d0.id(), 0, "parse dicts are persistent streams");
+        assert_eq!(d0.id(), d1.id(), "one stream across batches");
+        assert_eq!(d0.get(c0[0]), d1.get(c1[0]), "codes are stable identity");
+
+        // Row contents equal the stateless batch-local path.
+        for (e, batch) in out.iter().enumerate() {
+            let plain = f
+                .apply_batch(&epoch(e as i64 * 1_000_000), &out_schema)
+                .unwrap();
+            assert_eq!(batch.to_records(), plain.to_records());
+        }
+
+        // A reset starts a fresh stream: new id, so stale mirrors can never
+        // misread re-interned codes.
+        op.reset();
+        let mut fresh = Vec::new();
+        op.process_batch(epoch(0), &mut fresh);
+        let (d2, _) = fresh[0].columns[0].as_dict().unwrap();
+        assert_ne!(d2.id(), d0.id(), "reset must mint a new stream id");
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! construction at any node count, and a future join/leave rebalance ships
 //! shard state without rehashing a single key.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use crate::batch::{Batch, Column, StrDict};
 use crate::value::Value;
 
@@ -121,25 +125,71 @@ fn combine(h: u64, col_hash: u64) -> u64 {
     (h ^ col_hash).wrapping_mul(FNV_PRIME)
 }
 
-/// Hashes the canonical fragment of every dictionary entry once — the
-/// per-page hash table the dict fast path indexes by code.
-fn dict_code_hashes(dict: &StrDict) -> Vec<u64> {
-    let mut buf = Vec::with_capacity(32);
-    dict.iter()
-        .map(|entry| {
-            buf.clear();
-            buf.push(5);
-            buf.extend_from_slice(&(entry.len() as u32).to_le_bytes());
-            buf.extend_from_slice(entry.as_bytes());
-            fnv1a(&buf)
-        })
-        .collect()
+/// Hash of one dictionary entry's canonical fragment.
+fn hash_dict_entry(buf: &mut Vec<u8>, entry: &str) -> u64 {
+    buf.clear();
+    buf.push(5);
+    buf.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+    buf.extend_from_slice(entry.as_bytes());
+    fnv1a(buf)
+}
+
+thread_local! {
+    /// Per-thread code→hash tables for *persistent* dictionaries, keyed by
+    /// dict id. Codes never remap, so a table is extended incrementally as
+    /// its page grows instead of being rebuilt per batch — the code-native
+    /// hashing the persistent-dictionary registry buys.
+    static CODE_HASH_CACHE: RefCell<HashMap<u64, Arc<Vec<u64>>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Bound on distinct persistent dictionaries cached per thread; a runaway
+/// id churn (e.g. tests creating streams in a loop) resets the cache rather
+/// than growing without limit.
+const MAX_CACHED_DICTS: usize = 1024;
+
+/// Hashes the canonical fragment of every dictionary entry — the hash table
+/// the dict fast path indexes by code. Batch-local pages (id 0) compute it
+/// per page; persistent pages hit the per-dict incremental cache, hashing
+/// only entries appended since the last batch.
+fn dict_code_hashes(dict: &StrDict) -> Arc<Vec<u64>> {
+    let compute_from = |start: usize, prefix: &[u64]| {
+        let mut hashes = Vec::with_capacity(dict.len());
+        hashes.extend_from_slice(prefix);
+        let mut buf = Vec::with_capacity(32);
+        for c in start..dict.len() {
+            hashes.push(hash_dict_entry(&mut buf, dict.get(c as u32)));
+        }
+        hashes
+    };
+    if dict.id() == 0 {
+        return Arc::new(compute_from(0, &[]));
+    }
+    CODE_HASH_CACHE.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if cache.len() >= MAX_CACHED_DICTS && !cache.contains_key(&dict.id()) {
+            cache.clear();
+        }
+        let cached = cache
+            .entry(dict.id())
+            .or_insert_with(|| Arc::new(Vec::new()));
+        if cached.len() < dict.len() {
+            // Append-only pages: the cached prefix stays valid, only the
+            // new tail gets hashed. (A cache longer than this snapshot just
+            // means a newer snapshot was seen first — the prefix is shared.)
+            *cached = Arc::new(compute_from(cached.len(), cached));
+        }
+        cached.clone()
+    })
 }
 
 /// Per-batch hasher for one key column.
 enum ColHasher<'a> {
     /// Dense dictionary column: per-code hashes precomputed from the page.
-    Dict { codes: &'a [u32], hashes: Vec<u64> },
+    Dict {
+        codes: &'a [u32],
+        hashes: Arc<Vec<u64>>,
+    },
     /// Any other storage: canonical-encode the value and hash it.
     Generic(&'a Column),
 }
@@ -442,6 +492,38 @@ mod tests {
             for &s in &again {
                 let _ = node_of_shard(s, 8, n_nodes);
             }
+        }
+    }
+
+    #[test]
+    fn persistent_dict_keys_hash_identically_across_growth() {
+        use crate::batch::StreamDict;
+        let plain = batch(&[("cpu", 1), ("mem", 2), ("cpu", 3), ("io", 4)]);
+        let mut stream = StreamDict::new();
+        let enc = |stream: &mut StreamDict, b: &Batch| {
+            let mut out = b.clone();
+            out.columns[0] = out.columns[0].dict_encode_with(stream, 64).unwrap();
+            out
+        };
+        let persistent = enc(&mut stream, &plain);
+        for n in [2, 3, 8] {
+            assert_eq!(
+                shard_assignment(&plain, &[0], n),
+                shard_assignment(&persistent, &[0], n),
+                "cached code hashes must agree with canonical hashing"
+            );
+        }
+        // Growth: the cached table extends, codes past the old length hash
+        // like their plain counterparts.
+        let plain2 = batch(&[("net", 5), ("cpu", 6), ("disk", 7)]);
+        let persistent2 = enc(&mut stream, &plain2);
+        let (d2, _) = persistent2.columns[0].as_dict().unwrap();
+        assert_eq!(d2.len(), 5, "page grew");
+        for n in [2, 3, 8] {
+            assert_eq!(
+                shard_assignment(&plain2, &[0], n),
+                shard_assignment(&persistent2, &[0], n)
+            );
         }
     }
 

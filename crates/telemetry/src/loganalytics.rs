@@ -13,7 +13,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use streamkit::batch::{layout, Batch, Column, StrDict};
+use streamkit::batch::{layout, Batch, Column, StrDict, StreamDict};
 use streamkit::record::Record;
 use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 use streamkit::time::Ts;
@@ -57,6 +57,12 @@ pub struct LogConfig {
     pub bursts: AnomalySchedule,
     /// RNG seed.
     pub seed: u64,
+    /// Keep the structured stream's dictionaries across epochs (persistent
+    /// per-stream dictionaries: codes stable across batches and epochs,
+    /// dictionary pages ship as deltas). Off reproduces the historical
+    /// per-epoch rebuild, which the `dict_epoch` bench and parity tests
+    /// compare against.
+    pub persistent_dicts: bool,
 }
 
 impl Default for LogConfig {
@@ -68,6 +74,7 @@ impl Default for LogConfig {
             tenants: 200,
             bursts: AnomalySchedule::none(),
             seed: 0xF00D,
+            persistent_dicts: true,
         }
     }
 }
@@ -86,17 +93,32 @@ pub struct LogGenerator {
     rng: ChaCha8Rng,
     carry_bytes: f64,
     seq: u64,
+    /// Persistent structured-stream dictionaries (tenant names, stat
+    /// names), held across `generate_structured_epoch_batch` calls so codes
+    /// are stable identity for the whole stream.
+    tenant_dict: StreamDict,
+    stat_dict: StreamDict,
+    /// tenant id → persistent tenant-dict code (`u32::MAX` = not interned).
+    tenant_code: Vec<u32>,
 }
 
 impl LogGenerator {
     /// Creates a generator.
     pub fn new(cfg: LogConfig) -> LogGenerator {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut stat_dict = StreamDict::new();
+        for stat in STAT_NAMES {
+            stat_dict.intern(stat);
+        }
+        let tenant_code = vec![u32::MAX; cfg.tenants as usize];
         LogGenerator {
             cfg,
             rng,
             carry_bytes: 0.0,
             seq: 0,
+            tenant_dict: StreamDict::new(),
+            stat_dict,
+            tenant_code,
         }
     }
 
@@ -226,6 +248,9 @@ impl LogGenerator {
     /// per-row tenant strings are allocated; this is the workload for the
     /// group-aggregate fast path.
     pub fn generate_structured_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        if self.cfg.persistent_dicts {
+            return self.structured_epoch_persistent(epoch_start, epoch_secs);
+        }
         let mut timestamps = Vec::new();
         let mut tenant_dict = StrDict::new();
         let mut tenant_code: Vec<u32> = vec![u32::MAX; self.cfg.tenants as usize];
@@ -265,6 +290,58 @@ impl LogGenerator {
                 Column::F64(stats),
             ],
         }
+    }
+
+    /// Persistent-dict variant of the structured epoch: the tenant and stat
+    /// dictionaries live in the generator, so codes never change meaning
+    /// across epochs and each column's page is a monotone snapshot of one
+    /// stream dictionary. Stat codes equal the `STAT_NAMES` index (interned
+    /// at construction); tenant codes are first-sight interning order —
+    /// exactly what the per-epoch rebuild produces within one epoch, so row
+    /// *contents* are identical either way.
+    fn structured_epoch_persistent(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
+        let mut timestamps = Vec::new();
+        let mut tenant_dict = std::mem::take(&mut self.tenant_dict);
+        let mut tenant_code = std::mem::take(&mut self.tenant_code);
+        tenant_code.resize(self.cfg.tenants as usize, u32::MAX);
+        let mut tenant_codes: Vec<u32> = Vec::new();
+        let mut stat_codes: Vec<u32> = Vec::new();
+        let mut stats: Vec<f64> = Vec::new();
+        self.drive_epoch(epoch_start, epoch_secs, |ts, _, parts| {
+            let Some((tenant, stat_idx, value)) = parts else {
+                return;
+            };
+            let code = tenant_code[tenant as usize];
+            let code = if code == u32::MAX {
+                let c = tenant_dict.intern(&format!("tenant-{tenant}"));
+                tenant_code[tenant as usize] = c;
+                c
+            } else {
+                code
+            };
+            timestamps.push(ts);
+            tenant_codes.push(code);
+            stat_codes.push(stat_idx as u32);
+            stats.push(value);
+        });
+        let batch = Batch {
+            schema: structured_log_schema(),
+            timestamps,
+            columns: vec![
+                Column::Dict {
+                    codes: tenant_codes,
+                    dict: tenant_dict.snapshot(),
+                },
+                Column::Dict {
+                    codes: stat_codes,
+                    dict: self.stat_dict.snapshot(),
+                },
+                Column::F64(stats),
+            ],
+        };
+        self.tenant_dict = tenant_dict;
+        self.tenant_code = tenant_code;
+        batch
     }
 }
 
@@ -373,6 +450,38 @@ mod tests {
                 .iter()
                 .all(|r| matches!(r.values[2], Value::F64(_))));
         }
+    }
+
+    #[test]
+    fn persistent_structured_dicts_share_identity_across_epochs() {
+        let mut g = LogGenerator::new(LogConfig::default());
+        let b0 = g.generate_structured_epoch_batch(0, 1.0);
+        let b1 = g.generate_structured_epoch_batch(1_000_000, 1.0);
+        let Column::Dict { dict: d0, .. } = &b0.columns[0] else {
+            panic!("tenant column must be dict");
+        };
+        let Column::Dict { dict: d1, .. } = &b1.columns[0] else {
+            panic!("tenant column must be dict");
+        };
+        assert_ne!(d0.id(), 0, "persistent dicts carry a stream id");
+        assert_eq!(d0.id(), d1.id(), "same stream across epochs");
+        assert!(d1.len() >= d0.len(), "append-only growth");
+        for (i, e) in d0.iter().enumerate() {
+            assert_eq!(e, d1.get(i as u32), "codes never remapped");
+        }
+
+        // The historical per-epoch rebuild stays available and produces
+        // identical row contents (it only loses cross-epoch identity).
+        let mut rebuilt = LogGenerator::new(LogConfig {
+            persistent_dicts: false,
+            ..Default::default()
+        });
+        let c0 = rebuilt.generate_structured_epoch_batch(0, 1.0);
+        let Column::Dict { dict, .. } = &c0.columns[0] else {
+            panic!("tenant column must be dict");
+        };
+        assert_eq!(dict.id(), 0, "rebuild mode is batch-local");
+        assert_eq!(c0.to_records(), b0.to_records());
     }
 
     #[test]

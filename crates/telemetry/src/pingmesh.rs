@@ -15,7 +15,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use streamkit::batch::{Batch, Column, StrDict};
+use streamkit::batch::{Batch, Column, StrDict, StreamDict};
 use streamkit::record::Record;
 use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 use streamkit::time::Ts;
@@ -222,9 +222,78 @@ pub fn pingmesh_named_schema() -> SchemaRef {
     Schema::with_overhead(fields, pingmesh_schema().record_overhead())
 }
 
+/// Stateful named-cluster rewriter: one persistent [`StreamDict`] per
+/// cluster column, held across `name_batch` calls, so `cluster-<id>` codes
+/// are stable identity for the whole stream — every batch's page is a
+/// snapshot of the same growing dictionary, and downstream links ship page
+/// *deltas* instead of a fresh page per batch. The batch-local
+/// [`to_named_clusters`] remains for one-shot rewrites.
+#[derive(Debug, Default, Clone)]
+pub struct ClusterNamer {
+    src: StreamDict,
+    dst: StreamDict,
+    /// Cluster id → code, per column (avoids formatting the name per row).
+    src_codes: std::collections::HashMap<u64, u32>,
+    dst_codes: std::collections::HashMap<u64, u32>,
+}
+
+impl ClusterNamer {
+    /// A fresh namer with empty stream dictionaries.
+    pub fn new() -> ClusterNamer {
+        ClusterNamer::default()
+    }
+
+    /// Rewrites one batch into the named-cluster view, extending the
+    /// persistent dictionaries with any first-seen cluster ids.
+    pub fn name_batch(&mut self, batch: &Batch) -> Batch {
+        fn name_col(
+            col: &Column,
+            stream: &mut StreamDict,
+            known: &mut std::collections::HashMap<u64, u32>,
+        ) -> Column {
+            let Column::U64(ids) = col else {
+                return col.clone();
+            };
+            let codes = ids
+                .iter()
+                .map(|&id| match known.get(&id) {
+                    Some(&c) => c,
+                    None => {
+                        let c = stream.intern(&format!("cluster-{id}"));
+                        known.insert(id, c);
+                        c
+                    }
+                })
+                .collect();
+            Column::Dict {
+                codes,
+                dict: stream.snapshot(),
+            }
+        }
+        let mut columns = batch.columns.clone();
+        columns[col::SRC_CLUSTER] = name_col(
+            &columns[col::SRC_CLUSTER],
+            &mut self.src,
+            &mut self.src_codes,
+        );
+        columns[col::DST_CLUSTER] = name_col(
+            &columns[col::DST_CLUSTER],
+            &mut self.dst,
+            &mut self.dst_codes,
+        );
+        Batch {
+            schema: pingmesh_named_schema(),
+            timestamps: batch.timestamps.clone(),
+            columns,
+        }
+    }
+}
+
 /// Rewrites a generated Pingmesh batch into the named-cluster view:
 /// `srcCluster`/`dstCluster` ids become native dictionary columns of
 /// `cluster-<id>` names (cluster-level queries then group on dict keys).
+/// Batch-local: each call builds its own page; use [`ClusterNamer`] to keep
+/// codes stable across a stream.
 pub fn to_named_clusters(batch: &Batch) -> Batch {
     let name_col = |col: &Column| -> Column {
         let Column::U64(ids) = col else {
@@ -398,6 +467,35 @@ mod tests {
         assert_eq!(named.columns[col::RTT], batch.columns[col::RTT]);
         assert_eq!(named.schema, pingmesh_named_schema());
         assert!(named.wire_size() > 0);
+    }
+
+    #[test]
+    fn cluster_namer_keeps_codes_stable_across_epochs() {
+        let mut g = PingmeshGenerator::new(PingmeshConfig {
+            src_ip: 2_500,
+            ..Default::default()
+        });
+        let mut namer = ClusterNamer::new();
+        let b0 = g.generate_epoch_batch(0, 0.05);
+        let b1 = g.generate_epoch_batch(1_000_000, 0.05);
+        let n0 = namer.name_batch(&b0);
+        let n1 = namer.name_batch(&b1);
+        // Same stream dictionary across epochs: shared persistent id,
+        // append-only growth, identical prefix.
+        let (d0, _) = n0.columns[col::DST_CLUSTER].as_dict().unwrap();
+        let (d1, _) = n1.columns[col::DST_CLUSTER].as_dict().unwrap();
+        assert_ne!(d0.id(), 0);
+        assert_eq!(d0.id(), d1.id());
+        assert!(d1.len() >= d0.len());
+        for (i, e) in d0.iter().enumerate() {
+            assert_eq!(e, d1.get(i as u32));
+        }
+        // Row contents match the batch-local rewrite.
+        assert_eq!(n0.to_records(), to_named_clusters(&b0).to_records());
+        assert_eq!(n1.to_records(), to_named_clusters(&b1).to_records());
+        // Src and dst columns are distinct streams.
+        let (s0, _) = n0.columns[col::SRC_CLUSTER].as_dict().unwrap();
+        assert_ne!(s0.id(), d0.id());
     }
 
     #[test]

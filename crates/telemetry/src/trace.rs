@@ -6,7 +6,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use streamkit::batch::Batch;
+use streamkit::batch::{Batch, StreamDict};
 use streamkit::record::Record;
 use streamkit::schema::{DataType, Field, Schema, SchemaRef};
 use streamkit::time::Ts;
@@ -34,10 +34,15 @@ pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<Record>> {
     Ok(out)
 }
 
-/// Replayed string columns with at most this many distinct values per epoch
-/// batch are dictionary-encoded, so replay feeds the same columnar fast
-/// paths native generators do.
-pub const REPLAY_DICT_MAX_CARDINALITY: usize = 256;
+/// Replayed string columns whose *cumulative* distinct-value count stays at
+/// or below this bound are dictionary-encoded against a persistent
+/// per-column [`StreamDict`], so replay feeds the same columnar fast paths
+/// (and delta-only wire shipping) native generators do. Persistent
+/// interning removes the per-epoch rebuild cost that motivated the old
+/// ≤256 bound, so the default is far wider; a column that outgrows the
+/// bound degrades to plain `Str` for the rest of the replay without
+/// affecting any other column.
+pub const REPLAY_DICT_MAX_CARDINALITY: usize = 4096;
 
 /// Replays a recorded trace epoch by epoch.
 #[derive(Debug, Clone)]
@@ -46,6 +51,10 @@ pub struct ReplayGenerator {
     schema: SchemaRef,
     cursor: usize,
     dict_bound: usize,
+    /// One persistent dictionary per string column; `None` marks a column
+    /// that exceeded the cumulative bound and stays plain `Str` from then
+    /// on (per-column degrade — the other columns keep their dictionaries).
+    dicts: Vec<Option<StreamDict>>,
 }
 
 /// Infers a batch schema from replayed values (traces carry no schema). The
@@ -84,16 +93,23 @@ impl ReplayGenerator {
     /// overhead for wire accounting).
     pub fn with_schema(mut records: Vec<Record>, schema: SchemaRef) -> ReplayGenerator {
         records.sort_by_key(|r| r.ts);
+        let dicts = schema
+            .fields()
+            .iter()
+            .map(|f| (f.dtype == DataType::Str).then(StreamDict::new))
+            .collect();
         ReplayGenerator {
             records,
             schema,
             cursor: 0,
             dict_bound: REPLAY_DICT_MAX_CARDINALITY,
+            dicts,
         }
     }
 
-    /// Overrides the per-batch cardinality bound under which replayed string
-    /// columns are dictionary-encoded (0 disables dictionary encoding).
+    /// Overrides the cumulative cardinality bound under which replayed
+    /// string columns are dictionary-encoded (0 disables dictionary
+    /// encoding).
     pub fn with_dict_bound(mut self, bound: usize) -> ReplayGenerator {
         self.dict_bound = bound;
         self
@@ -118,14 +134,24 @@ impl ReplayGenerator {
     }
 
     /// Columnar view of [`ReplayGenerator::generate_epoch`]. Low-cardinality
-    /// string columns come back dictionary-encoded (see
-    /// [`REPLAY_DICT_MAX_CARDINALITY`]); rows read identically either way.
+    /// string columns come back dictionary-encoded against the replayer's
+    /// persistent per-column dictionaries (see
+    /// [`REPLAY_DICT_MAX_CARDINALITY`]) — codes are stable across epochs —
+    /// and rows read identically either way. A column whose cumulative
+    /// cardinality outgrows the bound degrades to plain `Str` for the rest
+    /// of the replay; the other columns are unaffected.
     pub fn generate_epoch_batch(&mut self, epoch_start: Ts, epoch_secs: f64) -> Batch {
         let rows = self.generate_epoch(epoch_start, epoch_secs);
         let mut batch = Batch::from_records(self.schema.clone(), &rows)
             .expect("replayed records match the trace schema");
         if self.dict_bound > 0 {
-            batch.dict_encode(self.dict_bound);
+            for (col, slot) in batch.columns.iter_mut().zip(self.dicts.iter_mut()) {
+                let Some(stream) = slot else { continue };
+                match col.dict_encode_with(stream, self.dict_bound) {
+                    Some(dense) => *col = dense,
+                    None => *slot = None,
+                }
+            }
         }
         batch
     }
@@ -192,5 +218,61 @@ mod tests {
         let mut plain = ReplayGenerator::new(records).with_dict_bound(0);
         let batch = plain.generate_epoch_batch(0, 1.0);
         assert!(matches!(batch.columns[0], Column::Str { .. }));
+    }
+
+    #[test]
+    fn replay_dicts_are_persistent_across_epochs() {
+        use streamkit::batch::Column;
+        use streamkit::value::Value;
+
+        // Two epochs sharing string values: the dictionary must be the same
+        // stream (same id, stable codes), not a fresh page per batch.
+        let records: Vec<Record> = (0..40)
+            .map(|i| {
+                Record::new(
+                    i * 100_000,
+                    vec![Value::str(["web", "db"][i as usize % 2]), Value::U64(1)],
+                )
+            })
+            .collect();
+        let mut replay = ReplayGenerator::new(records);
+        let b0 = replay.generate_epoch_batch(0, 1.0);
+        let b1 = replay.generate_epoch_batch(1_000_000, 1.0);
+        let (d0, c0) = b0.columns[0].as_dict().unwrap();
+        let (d1, c1) = b1.columns[0].as_dict().unwrap();
+        assert_ne!(d0.id(), 0, "replay dicts are persistent streams");
+        assert_eq!(d0.id(), d1.id(), "one stream across epochs");
+        assert_eq!(d0.get(c0[0]), d1.get(c1[0]), "codes stable identity");
+
+        // A column that outgrows the cumulative bound degrades alone: the
+        // low-cardinality column keeps its dictionary.
+        let wide: Vec<Record> = (0..40)
+            .map(|i| {
+                Record::new(
+                    i * 100_000,
+                    vec![
+                        Value::str(["web", "db"][i as usize % 2]),
+                        Value::Str(format!("req-{i}").into()),
+                    ],
+                )
+            })
+            .collect();
+        let mut replay = ReplayGenerator::with_schema(
+            wide,
+            Schema::new(vec![
+                Field::new("svc", DataType::Str),
+                Field::new("req", DataType::Str),
+            ]),
+        )
+        .with_dict_bound(8);
+        let b0 = replay.generate_epoch_batch(0, 1.0);
+        assert!(matches!(b0.columns[0], Column::Dict { .. }));
+        assert!(
+            matches!(b0.columns[1], Column::Str { .. }),
+            "over-bound column degrades per column, not per batch"
+        );
+        let b1 = replay.generate_epoch_batch(1_000_000, 1.0);
+        assert!(matches!(b1.columns[0], Column::Dict { .. }));
+        assert!(matches!(b1.columns[1], Column::Str { .. }));
     }
 }

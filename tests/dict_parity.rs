@@ -11,26 +11,48 @@
 //! operator fed dict keys ships state that must merge exactly into a
 //! Final-role replica fed plain strings.
 
-use jarvis::core::deploy::ExactnessDigest;
+use std::net::TcpListener;
+use std::thread;
+use std::time::Duration;
+
+use jarvis::core::calibration::Scale;
+use jarvis::core::deploy::{
+    BackendKind, Deployment, ExactnessDigest, OnNodeLoss, RunReport, TransportKind,
+};
+use jarvis::core::experiment::ScenarioSpec;
+use jarvis::core::fault::{FaultKind, FaultPlan, FaultTrigger};
+use jarvis::core::node::{run_node, NodeConfig};
+use jarvis::core::strategy::StrategyKind;
+use jarvis::streamkit::agg::AggKind;
 use jarvis::streamkit::batch::Batch;
+use jarvis::streamkit::expr::Expr;
 use jarvis::streamkit::logical::LogicalPlan;
-use jarvis::streamkit::ops::AggRole;
+use jarvis::streamkit::ops::{AggRole, EmitMode};
 use jarvis::streamkit::physical::{self, CostProfile};
+use jarvis::streamkit::query::Query;
 use jarvis::streamkit::record::Record;
 use jarvis::telemetry;
 use telemetry::loganalytics::{LogConfig, LogGenerator};
-use telemetry::pingmesh::{PingmeshConfig, PingmeshGenerator};
+use telemetry::pingmesh::{
+    pingmesh_named_schema, to_named_clusters, ClusterNamer, PingmeshConfig, PingmeshGenerator,
+};
 
 const EPOCHS: i64 = 5;
 
 /// Key-column layout reaching each `GroupAggregate` under test.
 #[derive(Clone, Copy)]
 enum Keys {
-    /// Dictionary columns flow as produced by generators and maps.
+    /// Dictionary columns flow as produced by generators and maps — with
+    /// persistent streams, codes stay valid across batches and epochs.
     Dict,
     /// Every batch is materialised back to plain string columns between
     /// stages, so grouping keys off raw bytes.
     Str,
+    /// Every batch's dictionaries are torn down and rebuilt batch-locally
+    /// between stages: the historical per-epoch page regime, where codes
+    /// mean nothing beyond one batch. The persistent-dict fast paths must
+    /// digest identically against this arm.
+    LocalDict,
 }
 
 fn normalise(batch: &mut Batch, keys: Keys) {
@@ -41,6 +63,10 @@ fn normalise(batch: &mut Batch, keys: Keys) {
             batch.dict_encode(1 << 12);
         }
         Keys::Str => batch.dict_decode(),
+        Keys::LocalDict => {
+            batch.dict_decode();
+            batch.dict_encode(1 << 12);
+        }
     }
 }
 
@@ -171,6 +197,15 @@ fn assert_dict_str_parity(name: &str, plan: &LogicalPlan, inputs: &[Batch]) {
         digest(&with_str),
         "{name}: dict-keyed and str-keyed grouping diverged"
     );
+    // Cross-epoch: persistent streams (codes stable over the whole run)
+    // must digest identically to the per-epoch regime where every stage
+    // boundary rebuilds batch-local pages.
+    let local = run_full(plan, inputs, Keys::LocalDict);
+    assert_eq!(
+        digest(&dict),
+        digest(&local),
+        "{name}: persistent-dict and per-epoch-dict grouping diverged"
+    );
 }
 
 #[test]
@@ -206,4 +241,151 @@ fn log_analytics_partitioned_mixed_layouts_merge_exactly() {
         "dict-fed partial state must merge exactly into a str-fed replica"
     );
     assert_eq!(digest(&all_str), digest(&all_dict));
+}
+
+// ---- cross-epoch: persistent streams vs per-epoch pages ----
+
+/// A cluster-level pingmesh query keyed on the named dictionary columns.
+fn cluster_probe() -> LogicalPlan {
+    Query::stream("ClusterProbe", pingmesh_named_schema())
+        .window_secs(10.0)
+        .filter_named("errCode", |c| c.eq(Expr::lit(0u64)))
+        .group_by(&["srcCluster", "dstCluster"])
+        .aggregate_emit(
+            &[
+                (AggKind::Avg, "rtt", "avg_rtt"),
+                (AggKind::Max, "rtt", "max_rtt"),
+            ],
+            EmitMode::PerEpochDelta,
+        )
+        .build()
+        .expect("ClusterProbe is well-formed")
+}
+
+/// Persistent `ClusterNamer` inputs (one dictionary per column for the
+/// whole run) must digest identically to batch-local
+/// [`to_named_clusters`] inputs (a fresh page per epoch) — grouping on
+/// stable cross-epoch codes is a layout choice, never a result change.
+#[test]
+fn cluster_query_persistent_namer_equals_batch_local_pages() {
+    let raw = pingmesh_epochs(20_000);
+    let mut namer = ClusterNamer::new();
+    let persistent: Vec<Batch> = raw.iter().map(|b| namer.name_batch(b)).collect();
+    let local: Vec<Batch> = raw.iter().map(to_named_clusters).collect();
+
+    // The namer arm really is cross-epoch: every epoch's srcCluster column
+    // shares one persistent (non-zero id) dictionary stream.
+    let src_ids: Vec<u64> = persistent
+        .iter()
+        .map(|b| b.columns[1].as_dict().expect("named col is dict").0.id())
+        .collect();
+    assert!(src_ids[0] != 0, "persistent streams carry non-zero ids");
+    assert!(
+        src_ids.iter().all(|&id| id == src_ids[0]),
+        "one stream across epochs: {src_ids:?}"
+    );
+    // …while the batch-local arm rebuilds an anonymous page per epoch.
+    assert!(local
+        .iter()
+        .all(|b| b.columns[1].as_dict().expect("named col is dict").0.id() == 0));
+
+    let plan = cluster_probe();
+    let from_stream = run_full(&plan, &persistent, Keys::Dict);
+    let from_pages = run_full(&plan, &local, Keys::Dict);
+    assert!(!from_stream.is_empty(), "cluster query must emit results");
+    assert_eq!(
+        digest(&from_stream),
+        digest(&from_pages),
+        "persistent ClusterNamer streams diverged from per-epoch pages"
+    );
+}
+
+// ---- mid-run fault: dict version state survives shard reassignment ----
+
+/// Severs node 1 of a 2-node TCP LogAnalytics run at an epoch boundary
+/// with `OnNodeLoss::Reassign`. LogAnalytics cross-node frames are
+/// persistent-dict delta pages, so recovery forces the full re-sync path:
+/// the coordinator re-seeds the survivor from the last acked checkpoint
+/// (self-contained full pages), per-link sender versions for the lost
+/// routes are discarded, and first frames after recovery must re-ship full
+/// pages before deltas resume. The digest must still be bit-identical to
+/// the fault-free run.
+#[test]
+fn reassign_mid_run_resyncs_persistent_dict_versions() {
+    const RING: u32 = 4;
+    const RUN_EPOCHS: u64 = 8;
+    const KILL_EPOCH: u64 = 3;
+
+    // An ephemeral loopback port that is free right now. `dict_parity` is
+    // its own test binary and this is its only TCP test, so the bind
+    // cannot race a sibling test.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    let token = "dict-parity";
+    let spec = ScenarioSpec::log_analytics(Scale::X1);
+
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let config = NodeConfig::new(&addr, token);
+            thread::spawn(move || run_node(&config))
+        })
+        .collect();
+    let report = Deployment::builder()
+        .workload(spec.clone())
+        .strategy(StrategyKind::AllSp)
+        .cpu_budget(1.0)
+        .sources(2)
+        .sp_shards(RING)
+        .sp_nodes(2)
+        .backend(BackendKind::Live)
+        .transport(TransportKind::Tcp)
+        .listen_addr(&addr)
+        .auth_token(token)
+        .node_timeout(Duration::from_secs(30))
+        .liveness_timeout(Duration::from_secs(10))
+        .checkpoint_interval(2)
+        .fault_plan(FaultPlan::single(
+            0x5eed_cafe,
+            1,
+            FaultTrigger::EpochEnd(KILL_EPOCH),
+            FaultKind::Sever,
+        ))
+        .on_node_loss(OnNodeLoss::Reassign)
+        .collect_results(true)
+        .build()
+        .expect("valid TCP spec")
+        .run(RUN_EPOCHS)
+        .expect("run survives the node loss");
+    let outcomes: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread"))
+        .collect();
+    assert_eq!(
+        outcomes.iter().filter(|o| o.is_err()).count(),
+        1,
+        "exactly the severed node fails: {outcomes:?}"
+    );
+    assert_eq!(report.incidents.len(), 1, "{:?}", report.incidents);
+    assert_eq!(report.incidents[0].action, "reassigned");
+    assert_eq!(report.incidents[0].epoch, KILL_EPOCH);
+
+    let baseline: RunReport = Deployment::builder()
+        .workload(spec)
+        .strategy(StrategyKind::AllSp)
+        .cpu_budget(1.0)
+        .sources(2)
+        .sp_shards(RING)
+        .sp_nodes(2)
+        .backend(BackendKind::Live)
+        .collect_results(true)
+        .build()
+        .expect("valid spec")
+        .run(RUN_EPOCHS)
+        .expect("run succeeds");
+    assert_eq!(
+        report.exactness.as_ref().expect("digest collected"),
+        baseline.exactness.as_ref().expect("digest collected"),
+        "dict re-sync after reassignment must keep results bit-identical"
+    );
 }

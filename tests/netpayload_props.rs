@@ -285,3 +285,141 @@ proptest! {
         ));
     }
 }
+
+// ---- persistent dictionary deltas (PR 9) ----
+//
+// Cross-epoch dictionary pages ship as `DictDelta` tails against a
+// receiver-side mirror. The contract: append-only growth reassembles
+// bit-identically and never remaps a code, a delta applied out of order is
+// a typed error (the mirror stays unpoisoned), and corruption anywhere in a
+// delta-aware frame is a typed error or a detectably different payload —
+// never the original frame with a silently wrong dictionary.
+
+use jarvis::core::engine::netwire::{decode_shard_payload_with, encode_shard_payload_with};
+use jarvis::streamkit::batch::{Column, DictRegistry, DictVersions, StreamDict};
+use jarvis::streamkit::error::Error;
+
+fn dict_schema() -> SchemaRef {
+    Schema::new(vec![Field::new("tenant", DataType::Str)])
+}
+
+proptest! {
+    /// Any entry stream, cut into arbitrary delta batches, reassembles on a
+    /// mirror with the same version and entry-for-entry identical codes.
+    #[test]
+    fn dict_deltas_reassemble_append_only(
+        entries in proptest::collection::vec("[a-z]{1,12}", 1..60),
+        cuts in proptest::collection::vec(1usize..8, 1..12),
+    ) {
+        let mut source = StreamDict::new();
+        let mut mirror = StreamDict::new();
+        let mut pending = entries.iter();
+        let sync = |source: &StreamDict, mirror: &mut StreamDict| {
+            let delta = source.delta_since(mirror.version());
+            assert_eq!(delta.base, mirror.version());
+            mirror.apply_delta(&delta).expect("in-order deltas apply");
+        };
+        for cut in cuts {
+            let before = source.version();
+            for e in pending.by_ref().take(cut) {
+                source.intern(e);
+            }
+            prop_assert!(source.version() >= before, "interning never shrinks");
+            sync(&source, &mut mirror);
+        }
+        for e in pending {
+            source.intern(e);
+        }
+        sync(&source, &mut mirror);
+        prop_assert_eq!(mirror.version(), source.version());
+        for code in 0..source.len() as u32 {
+            prop_assert_eq!(mirror.get(code), source.get(code), "codes are never remapped");
+        }
+    }
+
+    /// Skipping a delta (or replaying a stale one) is a version-mismatch
+    /// error, and the mirror is left exactly where it was.
+    #[test]
+    fn out_of_order_deltas_are_rejected(
+        first in proptest::collection::vec("[a-z]{1,8}", 1..10),
+        second in proptest::collection::vec("[A-Z]{1,8}", 1..10),
+    ) {
+        let mut source = StreamDict::new();
+        for e in &first {
+            source.intern(e);
+        }
+        let d1 = source.delta_since(0);
+        let base2 = source.version();
+        for e in &second {
+            source.intern(e);
+        }
+        // The [A-Z] pool is disjoint from the [a-z] first batch, so the
+        // second batch always appends at least one novel entry.
+        prop_assert!(source.version() > base2);
+        let d2 = source.delta_since(base2);
+
+        let mut mirror = StreamDict::new();
+        prop_assert!(matches!(mirror.apply_delta(&d2), Err(Error::Decode(_))));
+        prop_assert_eq!(mirror.version(), 0, "a rejected delta must not move the mirror");
+        mirror.apply_delta(&d1).unwrap();
+        prop_assert!(
+            matches!(mirror.apply_delta(&d1), Err(Error::Decode(_))),
+            "replaying a stale delta is a version mismatch, not a silent no-op"
+        );
+        prop_assert_eq!(mirror.version(), d1.entries.len() as u32);
+        mirror.apply_delta(&d2).unwrap();
+        prop_assert_eq!(mirror.version(), source.version());
+    }
+
+    /// A delta-aware ShardBatch frame round-trips through a registry, and
+    /// any single bit-flip decodes to a typed error or a payload that
+    /// differs from the original — never the original with a corrupt page.
+    #[test]
+    fn delta_frames_round_trip_and_corruption_is_detected(
+        tenants in proptest::collection::vec(0u8..12, 1..40),
+        corrupt_one in any::<bool>(),
+        at in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let mut stream = StreamDict::new();
+        let codes: Vec<u32> = tenants
+            .iter()
+            .map(|t| stream.intern(&format!("tenant-{t}")))
+            .collect();
+        let batch = Batch {
+            schema: dict_schema(),
+            timestamps: (0..tenants.len() as i64).collect(),
+            columns: vec![Column::Dict {
+                codes,
+                dict: stream.snapshot(),
+            }],
+        };
+        let payload = NetPayload::ShardBatch {
+            shard: 3,
+            epoch: 1,
+            source: 0,
+            rel: 0,
+            batch,
+        };
+        let mut link = DictVersions::new();
+        let wire = encode_shard_payload_with(&payload, &mut link);
+
+        let mut registry = DictRegistry::new();
+        if corrupt_one {
+            let mut corrupt = wire.to_vec();
+            let at = at % corrupt.len();
+            corrupt[at] ^= 1 << bit;
+            match decode_shard_payload_with(corrupt.into(), &[dict_schema()], &mut registry) {
+                Err(_) => {}
+                Ok(back) => prop_assert!(
+                    back != payload,
+                    "a bit-flip at byte {} decoded as the original frame",
+                    at
+                ),
+            }
+        } else {
+            let back = decode_shard_payload_with(wire, &[dict_schema()], &mut registry).unwrap();
+            prop_assert_eq!(back, payload);
+        }
+    }
+}

@@ -165,6 +165,34 @@ fn log_live_full_nodes_equal_single() {
     );
 }
 
+#[test]
+fn log_live_dict_pages_ship_as_deltas_not_per_frame() {
+    // LogAnalytics cross-node frames are post-parse dictionary batches.
+    // With persistent parse dicts the tenant/stat pages cross each link
+    // once (then resume as near-empty deltas), so the marginal wire cost of
+    // the second half of a run must be strictly below the first half, which
+    // paid the first-contact pages and the interning ramp. Wire charges are
+    // deterministic byte counts, so this is a stable assertion, not a
+    // timing one.
+    let spec = ScenarioSpec::log_analytics(Scale::X1);
+    let wire_of = |epochs: u64| -> u64 {
+        run(&spec, StrategyKind::AllSp, BackendKind::Live, 2, epochs)
+            .shard_stats
+            .iter()
+            .map(|s| s.wire_bytes_out)
+            .sum()
+    };
+    let half = wire_of(4);
+    let full = wire_of(8);
+    assert!(half > 0, "two-node LogAnalytics must ship shard traffic");
+    assert!(
+        full - half < half,
+        "late epochs must ride dictionary deltas: first 4 epochs {half} B, \
+         next 4 epochs {} B",
+        full - half
+    );
+}
+
 // ---- live backend: partitioned state shipping (sources pre-aggregate and
 // ship StatePartial entries, which must merge on the node owning each
 // entry's shard) ----

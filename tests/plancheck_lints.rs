@@ -204,6 +204,42 @@ fn jp101_downgrades_to_a_warning_unsharded_and_rides_the_report() {
     assert_eq!(d.severity, Severity::Warning);
 }
 
+// ---- JP105: group key off the code-native dictionary fast path ----
+
+#[test]
+fn jp105_flags_str_keys_behind_opaque_maps_as_off_the_fast_path() {
+    use jarvis::streamkit::schema::{DataType, Field, Schema};
+    let schema = Schema::new(vec![
+        Field::new("tenant", DataType::Str),
+        Field::new("v", DataType::U32),
+    ]);
+    let plan = Query::stream("opaque-str-keys", schema.clone())
+        .window_secs(10.0)
+        .map(MapFn::Custom {
+            name: "rekey",
+            schema,
+            f: Arc::new(|r: &Record| Some(r.clone())),
+        })
+        .group_by(&["tenant"])
+        .aggregate(&[(AggKind::Avg, "v", "avg_v")])
+        .build()
+        .unwrap();
+    let diags = lint(plan, 1, 1, StrategyKind::Jarvis);
+    let d = find(&diags, code::KEY_OFF_CODE_FAST_PATH);
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(d.op_index, Some(1), "anchored on the opaque map");
+    // The routing concern surfaces separately, at its own severity.
+    find(&diags, code::OPAQUE_KEY_LINEAGE);
+    // A numeric key through the same opaque map was never a dictionary
+    // candidate: JP101 fires, JP105 does not.
+    let diags = lint(opaque_key_plan(), 1, 1, StrategyKind::Jarvis);
+    find(&diags, code::OPAQUE_KEY_LINEAGE);
+    assert!(
+        diags.iter().all(|d| d.code != code::KEY_OFF_CODE_FAST_PATH),
+        "got {diags:?}"
+    );
+}
+
 // ---- JP102/JP103: keyed operators past the shard boundary ----
 
 /// S2S with a second grouped aggregation stacked on the first.
