@@ -1,0 +1,44 @@
+//! Task-per-source fan-in on the async runtime.
+//!
+//! Runs `n` source tasks — 16, 256, 2048, and 10240 — each filling
+//! wire-sized row batches and sending them over one bounded async MPSC
+//! channel to a `recv_many` dispatcher task, on a `num_cpus`-worker
+//! executor, exactly as `repro bench`'s `source_scaling` series does. The
+//! total row budget is fixed across counts, so flat wall-clock as the
+//! fan-in grows is the wakeup-amortization contract; the acceptance floor
+//! is ≥ 0.8× of the 16-source rate at ≥ 2048 sources. Set `BENCH_SMOKE=1`
+//! for a reduced-sample CI run.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jarvis_bench::sourcescale::{run_source_iter, SOURCE_COUNTS, TOTAL_ROWS};
+use jarvis_core::rt;
+
+fn bench_source_scaling(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    // The smoke run shrinks the budget, not the fan-in: spawning 10k tasks
+    // is the thing under test.
+    let total = if smoke { TOTAL_ROWS / 16 } else { TOTAL_ROWS };
+    let runtime = rt::Runtime::new(rt::effective_workers(None));
+    let handle = runtime.handle();
+
+    let mut group = c.benchmark_group("source_scaling");
+    group.throughput(Throughput::Elements(total));
+    if smoke {
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(50));
+        group.measurement_time(Duration::from_millis(300));
+    }
+
+    for n in SOURCE_COUNTS {
+        group.bench_function(format!("fan_in/{n}_sources"), |b| {
+            b.iter(|| run_source_iter(black_box(&handle), n as usize, total));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_source_scaling);
+criterion_main!(benches);

@@ -48,6 +48,10 @@ pub struct ThroughputReport {
     /// group-by throughput and delta vs full-page wire bytes (PR 9).
     /// `Option` for the same pre-PR baseline-loading reason.
     pub dict_epoch: Option<crate::dictepoch::DictEpochResult>,
+    /// Task-per-source fan-in over the async runtime at a fixed row budget:
+    /// 16/256/2048/10240 sources (PR 10). `Option` for the same pre-PR
+    /// baseline-loading reason.
+    pub source_scaling: Option<crate::sourcescale::SourceScalingResult>,
 }
 
 /// Allowed relative speedup regression before the CI gate fails.
@@ -94,6 +98,15 @@ impl ThroughputReport {
             check("dict_epoch", de.speedup, b.speedup);
             check("dict_epoch wire", de.wire_reduction, b.wire_reduction);
         }
+        // …as does the source-scaling fan-in ratio (relative throughput at
+        // the largest source count).
+        if let (Some(ss), Some(b)) = (&self.source_scaling, &baseline.source_scaling) {
+            check(
+                "source_scaling@10240",
+                ss.relative_at_max(),
+                b.relative_at_max(),
+            );
+        }
         // The fault-recovery series gates on evidence, not speed: the
         // measured drill must prove exact recovery regardless of what the
         // committed baseline recorded (timing is machine noise; losing
@@ -114,6 +127,19 @@ impl ThroughputReport {
         } else if baseline.dict_epoch.is_some() {
             out.push(
                 "dict_epoch: series missing from the measured report but present \
+                 in the committed baseline"
+                    .to_string(),
+            );
+        }
+        // The source-scaling series additionally gates on its absolute
+        // fan-in floor: ≥ 2048 sources within 0.8× of the 16-source rate,
+        // whatever the baseline says — a runtime that collapses at scale
+        // is wrong on any machine.
+        if let Some(ss) = &self.source_scaling {
+            out.extend(ss.contract_failures());
+        } else if baseline.source_scaling.is_some() {
+            out.push(
+                "source_scaling: series missing from the measured report but present \
                  in the committed baseline"
                     .to_string(),
             );

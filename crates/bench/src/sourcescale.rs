@@ -1,0 +1,239 @@
+//! Source-scaling throughput for the perf trajectory.
+//!
+//! Measures the async task runtime's fan-in fabric (PR 10): `n` source
+//! tasks — one per simulated source prefix, exactly the session's topology
+//! — each fill wire-sized row batches and send them over a bounded async
+//! MPSC channel to a dispatcher task that drains whole bursts per wakeup
+//! via `recv_many`. The **total row budget is fixed** and split evenly
+//! across sources, so the aggregate rows/second at 16, 256, 2048, and
+//! 10240 sources are directly comparable: flat throughput as the fan-in
+//! grows is exactly the wakeup-amortization contract (one scheduler wakeup
+//! per batch burst, not per record or per task). The CI gate is the
+//! machine-independent ratio: aggregate throughput at ≥ 2048 sources must
+//! stay within [`FANIN_FLOOR`] of the 16-source rate — thread-per-source
+//! dies two orders of magnitude before this (10k OS threads), which is why
+//! the series exists.
+//!
+//! A seeded single-worker deterministic executor backs the unit tests, so
+//! a task-ordering bug here reproduces exactly in CI instead of flickering
+//! under thread-schedule noise.
+
+use std::time::Instant;
+
+use jarvis_core::rt;
+use serde::{Deserialize, Serialize};
+
+use crate::measure::best_secs;
+
+/// Source counts measured (ascending; first is the baseline).
+pub const SOURCE_COUNTS: [u32; 4] = [16, 256, 2048, 10240];
+
+/// Total rows per iteration, split evenly across sources. Divisible by
+/// every entry of [`SOURCE_COUNTS`], sized so per-row work dominates task
+/// bookkeeping on any machine — a source task in the live session
+/// processes an epoch's whole input per spawn, so the budget must be large
+/// enough that the one-time spawn of 10k tasks amortizes the same way.
+pub const TOTAL_ROWS: u64 = 10240 * 4096;
+
+/// Rows per wire batch (one channel send, one amortized wakeup).
+pub const BATCH_ROWS: usize = 256;
+
+/// Minimum aggregate throughput at ≥ 2048 sources relative to the
+/// 16-source baseline (the acceptance bar: per-source rate within 0.8×).
+pub const FANIN_FLOOR: f64 = 0.8;
+
+/// Result of one source-scaling measurement: aggregate fan-in throughput
+/// over source counts at a fixed total row budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceScalingResult {
+    /// Workload identifier.
+    pub pipeline: String,
+    /// Rows pushed through the fan-in per iteration (fixed across counts).
+    pub rows: u64,
+    /// Measured iterations per source count.
+    pub iters: u32,
+    /// Executor workers the fan-in was multiplexed onto.
+    pub rt_workers: u32,
+    /// Source counts measured (ascending; first is the baseline).
+    pub sources: Vec<u32>,
+    /// Aggregate throughput per source count, rows/second.
+    pub rows_per_sec: Vec<f64>,
+    /// Throughput relative to the first (16-source) entry. The row budget
+    /// is fixed, so this is also the per-source rate ratio.
+    pub relative: Vec<f64>,
+}
+
+impl SourceScalingResult {
+    /// Relative throughput at the largest measured fan-in (the CI-gated
+    /// number).
+    pub fn relative_at_max(&self) -> f64 {
+        self.relative.last().copied().unwrap_or(1.0)
+    }
+
+    /// Human-readable failures of the fan-in contract — empty when every
+    /// count at ≥ 2048 sources holds [`FANIN_FLOOR`] of the baseline rate.
+    /// Absolute (not baseline-relative): a runtime that collapses past 2k
+    /// sources is wrong on any machine.
+    pub fn contract_failures(&self) -> Vec<String> {
+        self.sources
+            .iter()
+            .zip(&self.relative)
+            .filter(|(n, rel)| **n >= 2048 && **rel < FANIN_FLOOR)
+            .map(|(n, rel)| {
+                format!(
+                    "source_scaling: {n} sources sustain only {rel:.2}x of the \
+                     16-source rate (floor: {FANIN_FLOOR:.2}x)"
+                )
+            })
+            .collect()
+    }
+}
+
+/// `splitmix64` mixer — the per-row "prefix work" each source task does
+/// when filling a batch, and what keeps the checksum honest.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One fan-in iteration on `handle`: `n_sources` tasks each produce
+/// `total_rows / n_sources` rows in [`BATCH_ROWS`]-row batches through one
+/// bounded channel; the dispatcher task drains bursts with `recv_many`.
+/// The channel is sized to the fan-in (`max(default, n_sources)`) — the
+/// tuning `JP501` prescribes for deployments past `rt_workers × 512`
+/// sources; at the default 256 slots a 10k-source run measures parked-send
+/// round trips, not the fabric. Producers are detached, not joined: the
+/// dispatcher returns only once every sender has dropped (`recv_many`
+/// reports 0), so the row-count assertion already proves completion, and
+/// joining 10k handles from the measuring thread would time condvar
+/// ping-pong instead of the fan-in. Returns `(rows, checksum)` — rows must
+/// equal `total_rows`, and the checksum is schedule-independent (addition
+/// commutes), so any executor and any worker count must reproduce it
+/// bit-for-bit.
+pub fn run_source_iter(handle: &rt::Handle, n_sources: usize, total_rows: u64) -> (u64, u64) {
+    assert!(n_sources > 0 && total_rows.is_multiple_of(n_sources as u64));
+    let share = total_rows / n_sources as u64;
+    let cap = n_sources.max(rt::DEFAULT_CHANNEL_CAPACITY as usize);
+    let (tx, mut rx) = rt::chan::bounded::<Vec<u64>>(cap);
+    for i in 0..n_sources {
+        let tx = tx.clone();
+        drop(handle.spawn(async move {
+            let mut x = i as u64;
+            let mut sent = 0u64;
+            while sent < share {
+                let take = BATCH_ROWS.min((share - sent) as usize);
+                let mut batch = Vec::with_capacity(take);
+                for _ in 0..take {
+                    x = mix(x);
+                    batch.push(x);
+                }
+                sent += take as u64;
+                if tx.send(batch).await.is_err() {
+                    return;
+                }
+            }
+        }));
+    }
+    drop(tx);
+    let dispatcher = handle.spawn(async move {
+        let mut rows = 0u64;
+        let mut sum = 0u64;
+        let mut buf: Vec<Vec<u64>> = Vec::new();
+        while rx.recv_many(&mut buf).await > 0 {
+            for batch in buf.drain(..) {
+                rows += batch.len() as u64;
+                for v in batch {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+        }
+        (rows, sum)
+    });
+    dispatcher.join()
+}
+
+/// Measures the source-scaling series. `iters` timed iterations per source
+/// count (best-of, like every trajectory series).
+pub fn bench_source_scaling(iters: u32) -> SourceScalingResult {
+    let workers = rt::effective_workers(None);
+    let runtime = rt::Runtime::new(workers);
+    let handle = runtime.handle();
+
+    let mut rows_per_sec = Vec::with_capacity(SOURCE_COUNTS.len());
+    for &n in &SOURCE_COUNTS {
+        run_source_iter(&handle, n as usize, TOTAL_ROWS); // warm-up
+        let samples: Vec<f64> = (0..iters.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                let (rows, _sum) = run_source_iter(&handle, n as usize, TOTAL_ROWS);
+                let secs = start.elapsed().as_secs_f64();
+                assert_eq!(rows, TOTAL_ROWS, "every queued row reaches the dispatcher");
+                secs
+            })
+            .collect();
+        rows_per_sec.push(TOTAL_ROWS as f64 / best_secs(samples));
+    }
+    let base = rows_per_sec[0];
+    SourceScalingResult {
+        pipeline: format!(
+            "task-per-source fan-in over bounded MPSC ({BATCH_ROWS}-row batches, \
+             recv_many dispatcher), fixed {TOTAL_ROWS}-row budget"
+        ),
+        rows: TOTAL_ROWS,
+        iters: iters.max(1),
+        rt_workers: workers as u32,
+        sources: SOURCE_COUNTS.to_vec(),
+        rows_per_sec: rows_per_sec.clone(),
+        relative: rows_per_sec.iter().map(|r| r / base).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{mix, run_source_iter, BATCH_ROWS};
+    use jarvis_core::rt;
+
+    /// The schedule-independent checksum of `total` rows over `n` sources.
+    fn expected(n_sources: usize, total: u64) -> u64 {
+        let share = total / n_sources as u64;
+        let mut sum = 0u64;
+        for i in 0..n_sources {
+            let mut x = i as u64;
+            for _ in 0..share {
+                x = mix(x);
+                sum = sum.wrapping_add(x);
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn fan_in_accounts_for_every_row_on_the_multiworker_runtime() {
+        let runtime = rt::Runtime::new(4);
+        let total = 64 * BATCH_ROWS as u64;
+        let (rows, sum) = run_source_iter(&runtime.handle(), 64, total);
+        assert_eq!(rows, total);
+        assert_eq!(sum, expected(64, total));
+    }
+
+    /// The deterministic-scheduler mode CI relies on: a seeded
+    /// single-worker executor replays one interleaving exactly, so a
+    /// task-ordering bug in the fan-in fabric reproduces instead of
+    /// flickering. Two runs under the same seed, plus a differently-seeded
+    /// run, plus the multi-worker result above must all agree — the result
+    /// is schedule-independent by construction.
+    #[test]
+    fn deterministic_scheduler_reproduces_the_fan_in_exactly() {
+        let total = 32 * BATCH_ROWS as u64;
+        let run = |seed: u64| {
+            let runtime = rt::deterministic_runtime(seed);
+            run_source_iter(&runtime.handle(), 32, total)
+        };
+        let first = run(7);
+        assert_eq!(first, run(7), "same seed, same interleaving, same result");
+        assert_eq!(first, run(1234), "the answer is schedule-independent");
+        assert_eq!(first, (total, expected(32, total)));
+    }
+}

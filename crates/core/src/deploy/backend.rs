@@ -191,6 +191,8 @@ impl ExecBackend for LiveBackend {
         session.run_epochs(epochs)?;
         let mut report = RunReport::skeleton("live", spec.workload.name(), spec.strategy);
         report.epochs = session.epoch();
+        report.rt_workers = session.rt_workers();
+        report.channel_capacity = session.channel_capacity();
         report.deployed_chain = session.planned().plan.display_chain();
         report.source_ops = session.planned().source_ops;
         report.sp_shards = session.n_shards() as u64;

@@ -64,6 +64,14 @@ use crate::strategy::StrategyKind;
 /// pipeline overhead dwarfs any realistic SP parallelism.
 pub const MAX_SP_SHARDS: u32 = 64;
 
+/// Largest supported `rt_workers` value: beyond any real host's core count,
+/// a larger pool only adds idle parked threads.
+pub const MAX_RT_WORKERS: u32 = 1024;
+
+/// Largest supported `channel_capacity`: a wider channel than this buffers
+/// whole epochs and defeats backpressure entirely.
+pub const MAX_CHANNEL_CAPACITY: u32 = 1 << 20;
+
 /// Which built-in backend executes the deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendKind {
@@ -250,6 +258,20 @@ pub enum DeployError {
         /// What happened to the connection.
         reason: String,
     },
+    /// `rt_workers` zero or beyond [`MAX_RT_WORKERS`].
+    InvalidRtWorkers {
+        /// The rejected value.
+        got: u32,
+        /// Largest supported worker count.
+        max: u32,
+    },
+    /// `channel_capacity` zero or beyond [`MAX_CHANNEL_CAPACITY`].
+    InvalidChannelCapacity {
+        /// The rejected value.
+        got: u32,
+        /// Largest supported capacity.
+        max: u32,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -329,6 +351,12 @@ impl fmt::Display for DeployError {
                     "node {node} was lost before the deployment started: {reason}"
                 )
             }
+            DeployError::InvalidRtWorkers { got, max } => {
+                write!(f, "rt_workers must be in 1..={max}, got {got}")
+            }
+            DeployError::InvalidChannelCapacity { got, max } => {
+                write!(f, "channel_capacity must be in 1..={max}, got {got}")
+            }
         }
     }
 }
@@ -400,6 +428,12 @@ pub struct DeploymentSpec {
     pub reconnect_grace: Duration,
     /// Deterministic fault-injection schedule (tests/chaos runs only).
     pub fault_plan: Option<FaultPlan>,
+    /// Executor worker threads of the live session's task runtime
+    /// (`None` sizes to the host's available parallelism).
+    pub rt_workers: Option<u32>,
+    /// Capacity of the session's async channels (source → dispatcher and
+    /// dispatcher → node).
+    pub channel_capacity: u32,
 }
 
 impl fmt::Debug for DeploymentSpec {
@@ -421,6 +455,8 @@ impl fmt::Debug for DeploymentSpec {
             .field("on_node_loss", &self.on_node_loss)
             .field("checkpoint_interval", &self.checkpoint_interval)
             .field("reconnect_grace", &self.reconnect_grace)
+            .field("rt_workers", &self.rt_workers)
+            .field("channel_capacity", &self.channel_capacity)
             .field("fault_plan", &self.fault_plan)
             .finish()
     }
@@ -452,6 +488,8 @@ pub struct DeploymentBuilder {
     checkpoint_interval: u64,
     reconnect_grace: Duration,
     fault_plan: Option<FaultPlan>,
+    rt_workers: Option<u32>,
+    channel_capacity: u32,
 }
 
 impl Default for DeploymentBuilder {
@@ -481,6 +519,8 @@ impl Default for DeploymentBuilder {
             checkpoint_interval: 0,
             reconnect_grace: Duration::ZERO,
             fault_plan: None,
+            rt_workers: None,
+            channel_capacity: crate::rt::DEFAULT_CHANNEL_CAPACITY,
         }
     }
 }
@@ -665,6 +705,23 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Pins the live session's executor to `workers` worker threads
+    /// (default: the host's available parallelism). Validated into
+    /// `1..=`[`MAX_RT_WORKERS`].
+    pub fn rt_workers(mut self, workers: u32) -> Self {
+        self.rt_workers = Some(workers);
+        self
+    }
+
+    /// Sets the capacity of the session's async channels (source →
+    /// dispatcher and dispatcher → node; default
+    /// [`crate::rt::DEFAULT_CHANNEL_CAPACITY`]). Validated into
+    /// `1..=`[`MAX_CHANNEL_CAPACITY`].
+    pub fn channel_capacity(mut self, capacity: u32) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
+
     /// Validates into a bare [`DeploymentSpec`] (advanced use: driving a
     /// backend by hand, e.g. fault-injection tests stepping the emulator).
     pub fn spec(&self) -> Result<DeploymentSpec, DeployError> {
@@ -689,6 +746,20 @@ impl DeploymentBuilder {
                 shards: self.sp_shards,
             });
         }
+        if let Some(workers) = self.rt_workers {
+            if !(1..=MAX_RT_WORKERS).contains(&workers) {
+                return Err(DeployError::InvalidRtWorkers {
+                    got: workers,
+                    max: MAX_RT_WORKERS,
+                });
+            }
+        }
+        if !(1..=MAX_CHANNEL_CAPACITY).contains(&self.channel_capacity) {
+            return Err(DeployError::InvalidChannelCapacity {
+                got: self.channel_capacity,
+                max: MAX_CHANNEL_CAPACITY,
+            });
+        }
         // Planning validates the query and fixes the source-eligible prefix.
         let planned = crate::planner::plan_query(workload.logical_plan(), &self.rules)?;
         // Static plan analysis: key provenance across the shard boundary,
@@ -706,6 +777,9 @@ impl DeploymentBuilder {
             workload: workload.name().to_string(),
             on_node_loss: self.on_node_loss,
             checkpointing: self.checkpoint_interval > 0,
+            sources: self.sources,
+            rt_workers: crate::rt::effective_workers(self.rt_workers) as u32,
+            channel_capacity: self.channel_capacity,
         };
         let diagnostics = crate::plancheck::check(&planned, &self.rules, &ctx);
         if crate::plancheck::has_errors(&diagnostics) {
@@ -793,6 +867,8 @@ impl DeploymentBuilder {
             checkpoint_interval: self.checkpoint_interval,
             reconnect_grace: self.reconnect_grace,
             fault_plan: self.fault_plan.clone(),
+            rt_workers: self.rt_workers,
+            channel_capacity: self.channel_capacity,
         })
     }
 

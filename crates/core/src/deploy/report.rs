@@ -206,6 +206,12 @@ pub struct RunReport {
     pub replay_bytes: u64,
     /// Heartbeat pings the coordinator sent while awaiting epoch acks.
     pub heartbeats_sent: u64,
+    /// Effective executor worker threads of the session's task runtime
+    /// (0 for backends that do not run on it).
+    pub rt_workers: u32,
+    /// Effective capacity of the session's async channels (0 for backends
+    /// that do not run on them).
+    pub channel_capacity: u32,
 }
 
 impl RunReport {
@@ -242,6 +248,8 @@ impl RunReport {
             incidents: Vec::new(),
             replay_bytes: 0,
             heartbeats_sent: 0,
+            rt_workers: 0,
+            channel_capacity: 0,
         }
     }
 }

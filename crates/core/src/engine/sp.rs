@@ -100,6 +100,18 @@ impl Replica {
     fn suffix_len(&self) -> usize {
         self.shards.first().map_or(0, |s| s.stages.len())
     }
+
+    /// Whether any queue still holds work: a prefix stage queue, a shard
+    /// stage queue, or a shard's terminal slot (whose drain is itself a
+    /// processing step). Drives the active-set sweep in
+    /// [`SpEngine::process_queued`].
+    fn has_pending(&self) -> bool {
+        self.prefix_queues.iter().any(|q| !q.is_empty())
+            || self
+                .shards
+                .iter()
+                .any(|s| s.queues.iter().any(|q| !q.is_empty()))
+    }
 }
 
 /// Ring context threaded through the routing helpers: where this node sits
@@ -761,10 +773,24 @@ impl SpEngine {
             ..
         } = self;
 
+        // Active-set sweep: at 10k-source fan-in most replicas are idle in
+        // any given pass (nothing queued, or their budget share is spent),
+        // and a visit to an idle replica is a pure no-op — so each pass
+        // iterates a worklist of replicas that still hold queued items
+        // instead of rescanning every replica × stage. Processing one
+        // replica never enqueues into another (cross-replica traffic leaves
+        // via the outbox), so the set only shrinks within a call; `deliver`
+        // refills it between calls. Worklist order stays ascending, keeping
+        // completion/outbox order identical to the full scan.
+        let mut active: Vec<usize> = (0..replicas.len())
+            .filter(|&i| replicas[i].has_pending())
+            .collect();
         let mut routed: Vec<Item> = Vec::new();
         'outer: loop {
             let mut progressed = false;
-            for (source, replica) in replicas.iter_mut().enumerate() {
+            let mut still_pending: Vec<usize> = Vec::with_capacity(active.len());
+            for &source in &active {
+                let replica = &mut replicas[source];
                 // Stateless prefix.
                 let g = replica.prefix.len();
                 for stage in 0..g {
@@ -860,8 +886,12 @@ impl SpEngine {
                         progressed = true;
                     }
                 }
+                if replica.has_pending() {
+                    still_pending.push(source);
+                }
             }
-            if !progressed {
+            active = still_pending;
+            if !progressed || active.is_empty() {
                 break;
             }
         }

@@ -30,8 +30,12 @@
 //! * [`checkpoint`] — intermediate-state checkpointing (§IV-E).
 //! * [`fault`] — deterministic fault injection driving the §IV-E recovery
 //!   parity suites and the chaos-proxy CI job.
-//! * [`live`] — a threaded (crossbeam-channel) runtime running the same
-//!   pipelines under real concurrency.
+//! * [`rt`] — the cooperative task runtime (work-stealing executor,
+//!   bounded async channels, timer wheel) the live session schedules its
+//!   source / dispatcher / node tasks on.
+//! * [`live`] — the task-runtime live session running the same pipelines
+//!   under real concurrency (one task per source, 10k sources on
+//!   `num_cpus` workers).
 //! * [`node`] — the remote stream-processor executor behind the
 //!   `jarvis-node` binary (TCP transport).
 
@@ -48,6 +52,7 @@ pub mod node;
 pub mod plancheck;
 pub mod planner;
 pub mod proxy;
+pub mod rt;
 pub mod runtime;
 pub mod stepwise;
 pub mod strategy;

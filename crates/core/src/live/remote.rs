@@ -45,17 +45,29 @@
 //! resets the link's versions (the rebuilt engine has empty mirrors); a
 //! reassignment needs no reset, because the survivor keeps both its mirrors
 //! and its link's version state.
+//!
+//! # Control-plane scheduling
+//!
+//! Every coordinator wait is event-driven rather than polled. A dedicated
+//! blocking [`Acceptor`] thread owns the listener and feeds accepted
+//! connections into a channel that admission and the reconnect window
+//! drain with deadline-bounded receives; the ack and finish loops sleep on
+//! the reader-event channel bounded by the earliest armed
+//! [`DeadlineQueue`] deadline (heartbeat cadence, a silent node's liveness
+//! deadline, the overall node timeout). The coordinator thread wakes
+//! exactly when there is a frame to handle or a timer to honour — no
+//! fixed-interval `sleep` loops.
 
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use streamkit::batch::DictVersions;
 use streamkit::record::Record;
@@ -71,12 +83,18 @@ use crate::engine::netwire::{encode_shard_payload, encode_shard_payload_with, pe
 use crate::engine::transport::{encode_frame, FrameKind, FrameReader, Link, TransportError};
 use crate::engine::NetPayload;
 use crate::planner::RuleConfig;
+use crate::rt::DeadlineQueue;
 
-/// Poll interval while waiting on the nonblocking listener.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Cadence of the registered-but-dead probe during admission. Accept
+/// latency is event-driven (the acceptor thread blocks in `accept`); this
+/// timer only bounds how long an admitted node's death can go unnoticed
+/// before the fleet is complete.
+const ADMIT_PROBE: Duration = Duration::from_millis(25);
 
-/// Poll interval while draining node events against a deadline.
-const EVENT_POLL: Duration = Duration::from_millis(2);
+/// Accepts-channel depth: connections the acceptor thread has taken off
+/// the listener but nobody has examined yet. Overflow drops the
+/// connection, like an overflowing OS accept backlog would.
+const ACCEPT_QUEUE: usize = 64;
 
 /// Events-channel depth (progress frames are tiny; results frames are
 /// chunked node-side).
@@ -151,6 +169,86 @@ fn spawn_reader(
     })
 }
 
+/// Deadline keys driving the coordinator's event-driven waits: the ack
+/// and finish loops block on the events channel bounded by the earliest
+/// armed key in a [`DeadlineQueue`] instead of polling a fixed interval.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum WakeKey {
+    /// Next `Ping` heartbeat; doubles as the broken-writer scan cadence.
+    Heartbeat,
+    /// Liveness deadline for one not-yet-acked node.
+    Liveness(u32),
+}
+
+/// The blocking acceptor thread: owns the listener and feeds every
+/// accepted connection into the accepts channel, which admission and the
+/// reconnect window drain with deadline-bounded receives. Dropping the
+/// handle stops the thread by arming the flag and self-dialing the listen
+/// endpoint to unblock `accept`.
+struct Acceptor {
+    handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl Acceptor {
+    fn spawn(listener: TcpListener, addr: SocketAddr, tx: Sender<TcpStream>) -> Acceptor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match tx.try_send(stream) {
+                        // A full queue sheds the connection, exactly as an
+                        // overflowing OS accept backlog would; never block
+                        // here, so the stop dial always gets through.
+                        Ok(()) | Err(TrySendError::Full(_)) => {}
+                        Err(TrySendError::Disconnected(_)) => return,
+                    }
+                }
+                Err(_) => {
+                    if flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Transient accept failure (aborted handshake, fd
+                    // pressure): back off briefly instead of spinning.
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        });
+        Acceptor {
+            handle: Some(handle),
+            stop,
+            addr,
+        }
+    }
+
+    /// Dial target for the stop wake-up: an unspecified bind address is
+    /// reachable via loopback.
+    fn dial_addr(&self) -> SocketAddr {
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        }
+        addr
+    }
+}
+
+impl Drop for Acceptor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            // Unblock `accept` so the thread observes the flag; a failed
+            // dial means the listener already died and accept errored out.
+            let _ = TcpStream::connect(self.dial_addr());
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Everything the session needs from the remote tier after `finish`.
 pub(crate) struct RemoteFinish {
     /// Merged result rows from every node (order-independent digest).
@@ -191,8 +289,21 @@ pub(crate) struct RemoteCluster {
     events: Mutex<Receiver<NodeEvent>>,
     /// Kept so reconnected readers can feed the same channel.
     ev_tx: Sender<NodeEvent>,
-    /// Kept (nonblocking) so the reconnect window can re-accept.
-    listener: TcpListener,
+    /// Connections the acceptor thread took off the listener; the
+    /// reconnect window drains it with deadline-bounded receives.
+    /// (Locked only for `Sync`: the coordinator thread is the one user.)
+    accepts: Mutex<Receiver<TcpStream>>,
+    /// Blocking acceptor thread owning the listener; held for its drop
+    /// guard only (stops and joins the thread, releasing the port).
+    _acceptor: Acceptor,
+    /// Single-worker runtime driving every link's writer task: one thread
+    /// for the whole fleet instead of one writer thread per node.
+    /// Declared after `links` so links close (joining their tasks) while
+    /// the workers are still alive.
+    link_rt: crate::rt::Runtime,
+    /// Timer wheel backing the writer tasks' send-buffer backoff and
+    /// `Delay` fault sleeps.
+    link_timer: Arc<crate::rt::TimerWheel>,
     /// Epochs announced via `epoch_end`.
     epochs_sent: u64,
     /// Highest epoch acked per node (max across duplicates — recovery
@@ -276,17 +387,22 @@ impl RemoteCluster {
         let listener = TcpListener::bind(addr).map_err(|e| DeployError::InvalidEndpoint {
             got: format!("{addr}: bind failed: {e}"),
         })?;
-        listener
-            .set_nonblocking(true)
+        let local = listener
+            .local_addr()
             .map_err(|e| DeployError::InvalidEndpoint {
                 got: format!("{addr}: {e}"),
             })?;
+        let (accept_tx, accepts) = bounded::<TcpStream>(ACCEPT_QUEUE);
+        let acceptor = Acceptor::spawn(listener, local, accept_tx);
 
         let deadline = Instant::now() + spec.node_timeout;
         let mut admitted: Vec<Option<AdmittedNode>> = (0..n_nodes).map(|_| None).collect();
         let mut registered = 0u32;
+        let mut probe: DeadlineQueue<()> = DeadlineQueue::new();
+        probe.arm((), Instant::now() + ADMIT_PROBE);
         while (registered as usize) < n_nodes {
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(DeployError::NodeTimeout {
                     waited_ms: spec.node_timeout.as_millis() as u64,
                     registered,
@@ -295,31 +411,38 @@ impl RemoteCluster {
             }
             // A node that registered and then died leaves a slice nobody
             // else can claim — fail admission eagerly instead of timing
-            // out.
-            for (id, slot) in admitted.iter().enumerate() {
-                if let Some(node) = slot {
-                    if let Some(reason) = peer_disconnected(&node.stream) {
-                        return Err(DeployError::NodeLost {
-                            node: id as u32,
-                            reason,
-                        });
+            // out. The probe timer bounds detection; accepts themselves
+            // arrive event-driven.
+            if !probe.due(now).is_empty() {
+                for (id, slot) in admitted.iter().enumerate() {
+                    if let Some(node) = slot {
+                        if let Some(reason) = peer_disconnected(&node.stream) {
+                            return Err(DeployError::NodeLost {
+                                node: id as u32,
+                                reason,
+                            });
+                        }
                     }
                 }
+                probe.arm((), now + ADMIT_PROBE);
             }
-            let (stream, peer) = match listener.accept() {
-                Ok(pair) => pair,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    thread::sleep(ACCEPT_POLL);
-                    continue;
-                }
-                Err(e) => {
+            let wake = probe
+                .next_deadline()
+                .expect("probe timer is always re-armed")
+                .min(deadline);
+            let stream = match accepts.recv_deadline(wake) {
+                Ok(stream) => stream,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
                     return Err(DeployError::HandshakeFailed {
                         peer: addr.to_string(),
-                        reason: format!("accept failed: {e}"),
+                        reason: "acceptor thread died".to_string(),
                     })
                 }
             };
-            let peer = peer.to_string();
+            let peer = stream
+                .peer_addr()
+                .map_or_else(|_| "unknown peer".to_string(), |p| p.to_string());
             if admit(
                 stream,
                 &peer,
@@ -334,8 +457,13 @@ impl RemoteCluster {
         }
 
         // Every slot is filled: spawn the writer links and reader threads.
-        // The chaos plan (if any) arms the original links only; reconnected
+        // Writers are cooperative tasks on a dedicated single-worker
+        // runtime (one thread drives the whole fleet's sends over
+        // nonblocking sockets); readers stay blocking OS threads. The
+        // chaos plan (if any) arms the original links only; reconnected
         // links are clean — a planned fault fires once.
+        let link_rt = crate::rt::Runtime::new(1);
+        let link_timer = Arc::new(crate::rt::TimerWheel::new());
         let (ev_tx, events) = bounded::<NodeEvent>(EVENT_QUEUE);
         let mut links = Vec::with_capacity(n_nodes);
         let mut streams = Vec::with_capacity(n_nodes);
@@ -360,7 +488,13 @@ impl RemoteCluster {
                 .map(|p| p.faults_for(id as u32))
                 .unwrap_or_default();
             let seed = spec.fault_plan.as_ref().map_or(0, |p| p.seed);
-            links.push(Some(Link::spawn_with_faults(node.stream, faults, seed)));
+            links.push(Some(Link::spawn_task(
+                &link_rt.handle(),
+                &link_timer,
+                node.stream,
+                faults,
+                seed,
+            )));
             readers.push(Some(spawn_reader(node.reader, id as u32, 0, ev_tx.clone())));
         }
 
@@ -376,7 +510,10 @@ impl RemoteCluster {
             retired_tx: vec![0; n_nodes],
             events: Mutex::new(events),
             ev_tx,
-            listener,
+            accepts: Mutex::new(accepts),
+            _acceptor: acceptor,
+            link_rt,
+            link_timer,
             epochs_sent: 0,
             acked_epoch: vec![None; n_nodes],
             alive: vec![true; n_nodes],
@@ -457,8 +594,22 @@ impl RemoteCluster {
     /// Blocks until every live node acked `epoch`, sending heartbeats,
     /// surfacing writer/reader failures, and enforcing the liveness
     /// deadline on silent nodes.
+    ///
+    /// Event-driven: sleeps on the events channel bounded by the earliest
+    /// armed [`DeadlineQueue`] key — the next heartbeat or a pending
+    /// node's liveness deadline — instead of polling a fixed interval.
     fn await_acks(&mut self, epoch: u64) -> Result<(), DeployError> {
-        let mut next_ping = Instant::now() + HEARTBEAT_EVERY;
+        let mut timers: DeadlineQueue<WakeKey> = DeadlineQueue::new();
+        let now = Instant::now();
+        timers.arm(WakeKey::Heartbeat, now + HEARTBEAT_EVERY);
+        for i in 0..self.alive.len() {
+            if self.pending_ack(i, epoch) {
+                timers.arm(
+                    WakeKey::Liveness(i as u32),
+                    self.last_heard[i] + self.liveness_timeout,
+                );
+            }
+        }
         loop {
             for (node, reason) in self.broken_links() {
                 self.handle_loss(node, epoch, &reason)?;
@@ -466,44 +617,64 @@ impl RemoteCluster {
             if self.acked_all(epoch) {
                 return Ok(());
             }
-            if let Some(ev) = self.try_recv_event() {
-                self.on_midrun_event(ev, epoch)?;
-                continue;
-            }
             let now = Instant::now();
-            let silent: Vec<u32> = (0..self.alive.len())
-                .filter(|&i| {
-                    self.alive[i]
-                        && self.acked_epoch[i].is_none_or(|a| a < epoch)
-                        && now.duration_since(self.last_heard[i]) > self.liveness_timeout
-                })
-                .map(|i| i as u32)
-                .collect();
-            for node in silent {
-                let reason = format!(
-                    "no epoch ack within the liveness deadline ({} ms)",
-                    self.liveness_timeout.as_millis()
-                );
-                self.handle_loss(node, epoch, &reason)?;
-            }
-            if now >= next_ping {
-                for (i, link) in self.links.iter().enumerate() {
-                    if self.alive[i] {
-                        if let Some(link) = link {
-                            link.send(FrameKind::Ping, &[]);
-                            self.heartbeats_sent += 1;
+            for key in timers.due(now) {
+                match key {
+                    WakeKey::Heartbeat => {
+                        for (i, link) in self.links.iter().enumerate() {
+                            if self.alive[i] {
+                                if let Some(link) = link {
+                                    link.send(FrameKind::Ping, &[]);
+                                    self.heartbeats_sent += 1;
+                                }
+                            }
+                        }
+                        timers.arm(WakeKey::Heartbeat, now + HEARTBEAT_EVERY);
+                    }
+                    WakeKey::Liveness(node) => {
+                        let i = node as usize;
+                        if !self.pending_ack(i, epoch) {
+                            // Acked, lost, or degraded meanwhile: stale
+                            // timer, drop it.
+                            continue;
+                        }
+                        if now > self.last_heard[i] + self.liveness_timeout {
+                            let reason = format!(
+                                "no epoch ack within the liveness deadline ({} ms)",
+                                self.liveness_timeout.as_millis()
+                            );
+                            self.handle_loss(node, epoch, &reason)?;
+                        }
+                        // Re-arm when the node still owes an ack: traffic
+                        // moved the deadline, or a reconnect reset the
+                        // clock and the node must ack again.
+                        if self.pending_ack(i, epoch) {
+                            timers.arm(
+                                WakeKey::Liveness(node),
+                                self.last_heard[i] + self.liveness_timeout,
+                            );
                         }
                     }
                 }
-                next_ping = now + HEARTBEAT_EVERY;
             }
-            thread::sleep(EVENT_POLL);
+            if self.acked_all(epoch) {
+                return Ok(());
+            }
+            let wake = timers
+                .next_deadline()
+                .expect("the heartbeat timer stays armed");
+            let got = self.events.lock().recv_deadline(wake);
+            // On timeout/disconnect, loop around to fire due timers
+            // (`self.ev_tx` keeps the channel open, so only timeout occurs).
+            if let Ok(ev) = got {
+                self.on_midrun_event(ev, epoch)?;
+            }
         }
     }
 
-    /// Non-blocking event poll.
-    fn try_recv_event(&self) -> Option<NodeEvent> {
-        self.events.lock().try_recv().ok()
+    /// True while `node` is alive and still owes an ack for `epoch`.
+    fn pending_ack(&self, i: usize, epoch: u64) -> bool {
+        self.alive[i] && self.acked_epoch[i].is_none_or(|a| a < epoch)
     }
 
     /// True when every live node has acked `epoch` (vacuously true when
@@ -761,25 +932,23 @@ impl RemoteCluster {
         drop(self.readers[i].take());
     }
 
-    /// Holds the reconnect window for a lost node: re-accept on the same
-    /// listener until the grace deadline, admitting only a `Register` with
-    /// the shared token and the lost node's id. Returns true on success.
+    /// Holds the reconnect window for a lost node: drain the acceptor's
+    /// connection queue until the grace deadline, admitting only a
+    /// `Register` with the shared token and the lost node's id. Returns
+    /// true on success. Blocks on the accepts channel bounded by the
+    /// grace deadline — no accept polling.
     fn await_reconnect(&mut self, node: usize) -> bool {
         let deadline = Instant::now() + self.reconnect_grace;
-        while Instant::now() < deadline {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if self.readmit(stream, node) {
-                        return true;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    thread::sleep(ACCEPT_POLL);
-                }
-                Err(_) => thread::sleep(ACCEPT_POLL),
+        loop {
+            let stream = match self.accepts.lock().recv_deadline(deadline) {
+                Ok(stream) => stream,
+                // Grace lapsed (or the acceptor died): no reconnect.
+                Err(_) => return false,
+            };
+            if self.readmit(stream, node) {
+                return true;
             }
         }
-        false
     }
 
     /// Runs the reconnect handshake on one accepted connection. Anything
@@ -855,7 +1024,13 @@ impl RemoteCluster {
         // traffic is self-contained and needs no mirror state).
         self.dict_sync[node].lock().clear();
         self.streams[node] = Some(shutdown);
-        self.links[node] = Some(Link::spawn(stream));
+        self.links[node] = Some(Link::spawn_task(
+            &self.link_rt.handle(),
+            &self.link_timer,
+            stream,
+            Vec::new(),
+            0,
+        ));
         self.readers[node] = Some(spawn_reader(reader, node as u32, gen, self.ev_tx.clone()));
         self.alive[node] = true;
         self.acked_epoch[node] = None;
@@ -945,6 +1120,12 @@ impl RemoteCluster {
         let mut results_per_node: Vec<Vec<Record>> = vec![Vec::new(); n];
         let deadline = Instant::now() + self.node_timeout;
         self.reset_liveness();
+        // Collection is event-driven like `await_acks`, with a periodic
+        // broken-writer rescan (no pings are sent during finish: nodes
+        // are already streaming results, their traffic is the liveness
+        // signal).
+        let mut timers: DeadlineQueue<WakeKey> = DeadlineQueue::new();
+        timers.arm(WakeKey::Heartbeat, Instant::now() + HEARTBEAT_EVERY);
         while (0..n).any(|i| self.alive[i] && !done[i]) {
             let mut lost_now: Vec<(u32, String)> = self.broken_links();
             if Instant::now() >= deadline {
@@ -955,12 +1136,21 @@ impl RemoteCluster {
                 });
             }
             let ev = if lost_now.is_empty() {
-                match self.try_recv_event() {
-                    Some(ev) => Some(ev),
-                    None => {
-                        thread::sleep(EVENT_POLL);
-                        continue;
+                let now = Instant::now();
+                for key in timers.due(now) {
+                    if key == WakeKey::Heartbeat {
+                        timers.arm(WakeKey::Heartbeat, now + HEARTBEAT_EVERY);
                     }
+                }
+                let wake = timers
+                    .next_deadline()
+                    .expect("the rescan timer stays armed")
+                    .min(deadline);
+                match self.events.lock().recv_deadline(wake) {
+                    Ok(ev) => Some(ev),
+                    // Deadline hit: loop around to rescan broken links
+                    // and re-check the overall node timeout.
+                    Err(_) => continue,
                 }
             } else {
                 None

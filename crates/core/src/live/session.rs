@@ -1,16 +1,28 @@
-//! An epoch-driven live session: threaded, batch-first, key-sharded,
+//! An epoch-driven live session: task-scheduled, batch-first, key-sharded,
 //! multi-node execution under runtime control.
 //!
 //! [`run_partitioned`](crate::live::run_partitioned) runs one batch under
 //! *fixed* load factors. [`LiveSession`] lifts that limitation: it keeps one
-//! worker thread per data source alive across epochs, and at every epoch
+//! source worker per data source alive across epochs, and at every epoch
 //! boundary drives each source's [`JarvisRuntime`] state machine (Startup →
 //! Probe → Profile → Adapt) exactly like the emulated engine does — so
 //! adaptive strategies converge over a *really concurrent* execution while
 //! partitioned results stay exact. Sources generate columnar [`Batch`]es
 //! and the channels carry batches end-to-end.
 //!
-//! The SP side is a **dispatcher + node pool**: the router thread runs each
+//! Concurrency comes from the [`crate::rt`] cooperative task runtime, not
+//! OS threads: every epoch spawns one **task** per source, one dispatcher
+//! task, and one task per in-process SP node onto a work-stealing executor
+//! sized by the `rt_workers` knob, connected by bounded async channels
+//! sized by `channel_capacity`. Consumers drain through
+//! [`crate::rt::chan::Receiver::recv_many`], so a burst of messages costs
+//! one wakeup, not one per message — which is what lets 10k sources run on
+//! `num_cpus` worker threads (the `source_scaling` bench series gates this).
+//! Task ownership moves with the epoch: each task takes its worker or node
+//! state in and hands it back through its join handle, so no epoch state is
+//! ever shared between tasks.
+//!
+//! The SP side is a **dispatcher + node pool**: the dispatcher task runs each
 //! replica's stateless prefix, partitions every boundary batch over the
 //! fixed ring of `sp_shards` virtual shards
 //! ([`Batch::shard_by_key`]), and dispatches each sub-batch to the SP node
@@ -19,7 +31,7 @@
 //! source's ingress node cross it as **serialized**
 //! [`NetPayload::ShardBatch`] / [`NetPayload::ShardState`] bytes
 //! ([`netwire`](crate::engine::netwire)), decoded on the node's worker
-//! thread, so a remote shard pipeline is reachable through its wire form
+//! task, so a remote shard pipeline is reachable through its wire form
 //! alone (location transparency); ingress-local traffic skips the codec,
 //! exactly like PR 4's single-node path. Shipped [`StatePartial`] entries split by the
 //! shard owning their key ([`shard_of_values`]) the same way, so a group's
@@ -45,9 +57,9 @@
 //! profile-on-a-sample bias — without disturbing live operator state.
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use streamkit::batch::{Batch, DictRegistry, DictVersions};
 use streamkit::ops::{AggRole, GroupPartialEntry, Operator, StatePartial};
 use streamkit::physical::build_pipeline;
@@ -63,6 +75,7 @@ use crate::engine::NetPayload;
 use crate::live::remote::RemoteCluster;
 use crate::planner::PlannedQuery;
 use crate::proxy::{ControlProxy, QueryState};
+use crate::rt;
 use crate::runtime::JarvisRuntime;
 use crate::stepwise::ProfileEstimates;
 
@@ -164,11 +177,12 @@ struct NodeSet {
 /// TCP links. Both carry identical shard payloads, so results are
 /// bit-identical across tiers.
 enum SpTier {
-    /// One [`NodeSet`] per node, executed by scoped worker threads.
+    /// One [`NodeSet`] per node, executed by per-epoch node tasks.
     InProcess(Vec<NodeSet>),
-    /// Admitted remote executors (TCP transport), boxed to keep the
-    /// in-process variant lean.
-    Remote(Box<RemoteCluster>),
+    /// Admitted remote executors (TCP transport); `Arc` so the dispatcher
+    /// task can share the cluster's routing table for an epoch (the clone
+    /// drops when the task joins, restoring exclusive access).
+    Remote(Arc<RemoteCluster>),
 }
 
 /// Final outcome of a live session.
@@ -245,6 +259,12 @@ pub struct LiveSession {
     /// epochs — that is the point of persistent dictionaries.
     dict_sync: Vec<DictVersions>,
     costs: streamkit::physical::CostProfile,
+    /// The cooperative task runtime every epoch's source / dispatcher /
+    /// node tasks run on. Lives as long as the session, so worker threads
+    /// spawn once, not per epoch.
+    rt: rt::Runtime,
+    /// Capacity of the per-epoch async channels.
+    channel_capacity: usize,
     /// Scheduled resource changes, applied at epoch starts.
     events: Vec<crate::experiment::ResourceEvent>,
     epoch: u64,
@@ -359,7 +379,7 @@ impl LiveSession {
                     .last()
                     .expect("edge schemas cover the output edge")
                     .clone();
-                SpTier::Remote(Box::new(RemoteCluster::listen(
+                SpTier::Remote(Arc::new(RemoteCluster::listen(
                     spec,
                     n_shards,
                     n_nodes,
@@ -382,6 +402,8 @@ impl LiveSession {
             node_wire_bytes: vec![0; n_nodes],
             dict_sync: vec![DictVersions::new(); n_nodes],
             costs,
+            rt: rt::session_runtime(spec.rt_workers),
+            channel_capacity: spec.channel_capacity as usize,
             events: spec.events.clone(),
             epoch: 0,
             epoch_secs: calibration::EPOCH_SECS,
@@ -435,10 +457,28 @@ impl LiveSession {
         self.epoch
     }
 
+    /// Executor worker threads backing the session's task runtime (the
+    /// effective `rt_workers` value, after host sizing or the
+    /// `JARVIS_RT_SEED` deterministic override).
+    pub fn rt_workers(&self) -> u32 {
+        self.rt.workers() as u32
+    }
+
+    /// Effective capacity of the session's async channels.
+    pub fn channel_capacity(&self) -> u32 {
+        self.channel_capacity as u32
+    }
+
     /// Runs one epoch: generates per-source batches, executes the
-    /// partitioned pipelines on real threads (source workers → dispatcher →
-    /// SP node workers), then drives each source's runtime state machine
-    /// with the epoch's observations.
+    /// partitioned pipelines as cooperative tasks (source tasks →
+    /// dispatcher task → SP node tasks) on the session's runtime, then
+    /// drives each source's runtime state machine with the epoch's
+    /// observations.
+    ///
+    /// Each task takes its epoch state by value (the source's `Worker`,
+    /// the node's `NodeSet`, the dispatcher's prefixes + link accounting)
+    /// and returns it through its join handle, so the scheduler never
+    /// shares mutable state between tasks.
     ///
     /// For TCP-backed sessions the epoch boundary blocks until every live
     /// remote node acks it, so node losses (and their recovery, per the
@@ -463,72 +503,135 @@ impl LiveSession {
                 b
             })
             .collect();
+        // Profile epochs measure their scratch pipeline on the coordinator
+        // before the tasks spawn: the scratch run borrows the plan and cost
+        // model, which stay with the session.
+        for (worker, input) in self.workers.iter_mut().zip(&inputs) {
+            if worker.run_profile {
+                worker.profile = Some(profile_on_scratch(
+                    &self.planned.plan,
+                    &self.costs,
+                    m,
+                    input,
+                    worker.budget_us,
+                ));
+                worker.run_profile = false;
+            }
+        }
 
-        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(256);
+        let cap = self.channel_capacity;
+        let handle = self.rt.handle();
         let n_nodes = self.n_nodes;
+
         // Wire the dispatcher to the node pool. In-process: per-node bounded
-        // channels emulating network links (cross-node payloads travel as
-        // encoded wire frames, ingress-local ones as in-process values — no
-        // link crossed, no codec paid). Remote: every payload is framed onto
-        // the owner's real TCP link.
-        let mut node_rxs = Vec::new();
-        let mut local_nodes: Option<&mut Vec<NodeSet>> = None;
-        let sink = match &mut self.tier {
+        // async channels emulating network links (cross-node payloads travel
+        // as encoded wire frames, ingress-local ones as in-process values —
+        // no link crossed, no codec paid), drained by one task per node.
+        // Remote: every payload is framed onto the owner's real TCP link.
+        let (sink, node_tasks) = match &mut self.tier {
             SpTier::InProcess(nodes) => {
                 let mut node_txs = Vec::with_capacity(n_nodes);
-                for _ in 0..n_nodes {
-                    let (ntx, nrx): (Sender<NodeMsg>, Receiver<NodeMsg>) = bounded(256);
+                let mut tasks = Vec::with_capacity(n_nodes);
+                for mut node in std::mem::take(nodes) {
+                    let (ntx, mut nrx) = rt::chan::bounded::<NodeMsg>(cap);
                     node_txs.push(ntx);
-                    node_rxs.push(nrx);
+                    let suffix_schemas = self.suffix_schemas.clone();
+                    tasks.push(handle.spawn(async move {
+                        // Batch drain: one wakeup per burst of frames.
+                        let mut buf = Vec::new();
+                        loop {
+                            if nrx.recv_many(&mut buf).await == 0 {
+                                break;
+                            }
+                            for msg in buf.drain(..) {
+                                let payload = match msg {
+                                    NodeMsg::Local(payload) => payload,
+                                    NodeMsg::Wire(raw) => decode_shard_payload_with(
+                                        raw,
+                                        &suffix_schemas,
+                                        &mut node.registry,
+                                    )
+                                    .expect("dispatcher sends valid payloads"),
+                                };
+                                match payload {
+                                    NetPayload::ShardBatch {
+                                        shard,
+                                        source,
+                                        rel,
+                                        batch,
+                                        ..
+                                    } => {
+                                        let set = &mut node.sets[shard as usize - node.owned.start];
+                                        set.process(source as usize, rel as usize, batch);
+                                    }
+                                    NetPayload::ShardState {
+                                        shard,
+                                        source,
+                                        rel,
+                                        delta,
+                                        ..
+                                    } => {
+                                        let set = &mut node.sets[shard as usize - node.owned.start];
+                                        set.pipelines[source as usize][rel as usize]
+                                            .merge_state(delta);
+                                    }
+                                    _ => unreachable!("node links carry shard payloads only"),
+                                }
+                            }
+                        }
+                        node
+                    }));
                 }
-                local_nodes = Some(nodes);
-                LinkSink::Channels(node_txs)
+                (LinkSink::Channels(node_txs), tasks)
             }
-            SpTier::Remote(cluster) => LinkSink::Remote(cluster),
+            SpTier::Remote(cluster) => (LinkSink::Remote(Arc::clone(cluster)), Vec::new()),
         };
-        let costs = &self.costs;
-        let plan = &self.planned.plan;
-        let boundary = self.boundary;
-        let n_shards = self.n_shards;
-        let epoch = self.epoch;
-        let shard_keys = &self.shard_keys;
-        let suffix_schemas = &self.suffix_schemas;
-        let sp_prefix = &mut self.sp_prefix;
-        let shard_wire = &mut self.shard_wire_bytes;
-        let node_wire = &mut self.node_wire_bytes;
-        let dict_sync = &mut self.dict_sync;
 
-        std::thread::scope(|scope| {
-            for ((source, worker), input) in self.workers.iter_mut().enumerate().zip(inputs) {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    worker.begin_epoch();
-                    worker.input_records = input.len() as u64;
-                    worker.input_bytes = input.wire_size() as u64;
-                    if worker.run_profile {
-                        worker.profile =
-                            Some(profile_on_scratch(plan, costs, m, &input, worker.budget_us));
-                        worker.run_profile = false;
+        // Source tasks: each owns its worker for the epoch and returns it.
+        let (tx, mut rx) = rt::chan::bounded::<Msg>(cap);
+        let workers = std::mem::take(&mut self.workers);
+        let mut source_tasks = Vec::with_capacity(workers.len());
+        for ((source, mut worker), input) in workers.into_iter().enumerate().zip(inputs) {
+            let tx = tx.clone();
+            source_tasks.push(handle.spawn(async move {
+                worker.begin_epoch();
+                worker.input_records = input.len() as u64;
+                worker.input_bytes = input.wire_size() as u64;
+                let mut msgs = Vec::new();
+                worker.execute(source, m, input, &mut msgs);
+                for msg in msgs {
+                    if tx.send(msg).await.is_err() {
+                        break;
                     }
-                    worker.execute(source, m, input, &tx);
-                });
-            }
-            drop(tx);
+                }
+                worker
+            }));
+        }
+        drop(tx);
 
-            // The dispatcher: per-source stateless prefixes + the ring
-            // partitioner feeding the node pool (cross-node hops encoded).
-            scope.spawn(move || {
-                let mut links = Links {
-                    sink,
-                    n_nodes,
-                    shard_keys,
-                    n_shards,
-                    epoch,
-                    shard_wire,
-                    node_wire,
-                    dict_sync,
-                };
-                while let Ok(msg) = rx.recv() {
+        // The dispatcher task: per-source stateless prefixes + the ring
+        // partitioner feeding the node pool (cross-node hops encoded). It
+        // owns the prefixes, dictionary sync state, and wire counters for
+        // the epoch, and hands them back through its join handle.
+        let mut links = Links {
+            sink,
+            n_nodes,
+            shard_keys: self.shard_keys.clone(),
+            n_shards: self.n_shards,
+            epoch: self.epoch,
+            shard_wire: std::mem::take(&mut self.shard_wire_bytes),
+            node_wire: std::mem::take(&mut self.node_wire_bytes),
+            dict_sync: std::mem::take(&mut self.dict_sync),
+        };
+        let mut sp_prefix = std::mem::take(&mut self.sp_prefix);
+        let boundary = self.boundary;
+        let dispatcher = handle.spawn(async move {
+            let mut buf = Vec::new();
+            loop {
+                if rx.recv_many(&mut buf).await == 0 {
+                    break;
+                }
+                for msg in buf.drain(..) {
                     match msg {
                         Msg::Drained {
                             source,
@@ -536,7 +639,7 @@ impl LiveSession {
                             batch,
                         } => {
                             if stage >= boundary {
-                                links.dispatch_batch(source, stage - boundary, batch);
+                                links.dispatch_batch(source, stage - boundary, batch).await;
                                 continue;
                             }
                             // Stateless prefix from the entry stage to the
@@ -551,7 +654,7 @@ impl LiveSession {
                                 batches = next;
                             }
                             for b in batches {
-                                links.dispatch_batch(source, 0, b);
+                                links.dispatch_batch(source, 0, b).await;
                             }
                         }
                         Msg::State {
@@ -565,64 +668,46 @@ impl LiveSession {
                                 sp_prefix[source][stage].merge_state(delta);
                                 continue;
                             }
-                            links.dispatch_state(source, stage - boundary, delta);
+                            links.dispatch_state(source, stage - boundary, delta).await;
                         }
                     }
                 }
-                // Dispatcher done: closing the node channels stops the pool.
-                drop(links);
-            });
-
-            // The node workers (in-process tier only): each decodes its
-            // link's cross-node frames and runs the owned shard pipelines,
-            // one thread per SP node. Remote tiers have no local workers —
-            // the frames land in `jarvis-node` processes.
-            let local_nodes = local_nodes.map_or(&mut [][..], |nodes| nodes.as_mut_slice());
-            for (node, nrx) in local_nodes.iter_mut().zip(node_rxs) {
-                scope.spawn(move || {
-                    let registry = &mut node.registry;
-                    while let Ok(msg) = nrx.recv() {
-                        let payload = match msg {
-                            NodeMsg::Local(payload) => payload,
-                            NodeMsg::Wire(raw) => {
-                                decode_shard_payload_with(raw, suffix_schemas, registry)
-                                    .expect("dispatcher sends valid payloads")
-                            }
-                        };
-                        match payload {
-                            NetPayload::ShardBatch {
-                                shard,
-                                source,
-                                rel,
-                                batch,
-                                ..
-                            } => {
-                                let set = &mut node.sets[shard as usize - node.owned.start];
-                                set.process(source as usize, rel as usize, batch);
-                            }
-                            NetPayload::ShardState {
-                                shard,
-                                source,
-                                rel,
-                                delta,
-                                ..
-                            } => {
-                                let set = &mut node.sets[shard as usize - node.owned.start];
-                                set.pipelines[source as usize][rel as usize].merge_state(delta);
-                            }
-                            _ => unreachable!("node links carry shard payloads only"),
-                        }
-                    }
-                });
             }
+            // Dispatcher done: dropping the sink closes the node channels,
+            // which stops the node tasks.
+            let Links {
+                sink,
+                shard_wire,
+                node_wire,
+                dict_sync,
+                ..
+            } = links;
+            drop(sink);
+            (sp_prefix, shard_wire, node_wire, dict_sync)
         });
+
+        // Join in completion order — sources, then the dispatcher, then the
+        // node tasks — moving every task's epoch state back into the
+        // session. (On a deterministic runtime, the first join opens the
+        // scheduler gate.)
+        self.workers = source_tasks.into_iter().map(rt::JoinHandle::join).collect();
+        let (sp_prefix, shard_wire, node_wire, dict_sync) = dispatcher.join();
+        self.sp_prefix = sp_prefix;
+        self.shard_wire_bytes = shard_wire;
+        self.node_wire_bytes = node_wire;
+        self.dict_sync = dict_sync;
+        if let SpTier::InProcess(nodes) = &mut self.tier {
+            *nodes = node_tasks.into_iter().map(rt::JoinHandle::join).collect();
+        }
 
         // Epoch boundary: block until every live remote executor acks it
         // (failure detection + recovery live behind this call), then run
         // counterfactual budget classification + the runtime state machine
         // per source.
         if let SpTier::Remote(cluster) = &mut self.tier {
-            cluster.epoch_end(self.epoch)?;
+            Arc::get_mut(cluster)
+                .expect("epoch tasks joined; the dispatcher's clone is gone")
+                .epoch_end(self.epoch)?;
         }
         for worker in &mut self.workers {
             self.input_records += worker.input_records;
@@ -808,6 +893,8 @@ impl LiveSession {
                 }
             }
             SpTier::Remote(cluster) => {
+                let cluster = Arc::into_inner(cluster)
+                    .expect("epoch tasks joined; the session holds the only cluster handle");
                 let fin = cluster.finish()?;
                 results = fin.results;
                 for msg in &fin.stats {
@@ -866,64 +953,75 @@ enum NodeMsg {
 
 /// Where the dispatcher's shard payloads land: in-process node channels or
 /// the remote executors' TCP links.
-enum LinkSink<'a> {
-    /// Bounded channels into the scoped node worker threads.
-    Channels(Vec<Sender<NodeMsg>>),
+enum LinkSink {
+    /// Bounded async channels into the per-epoch node tasks.
+    Channels(Vec<rt::chan::Sender<NodeMsg>>),
     /// The remote cluster (every payload is framed onto the shard owner's
     /// link through the cluster's recovery-aware routing table).
-    Remote(&'a RemoteCluster),
+    Remote(Arc<RemoteCluster>),
 }
 
-/// The dispatcher's view of the per-node links: ring geometry, the sink,
-/// and the wire accounting charged when a payload's owning node differs
-/// from its source's ingress node.
-struct Links<'a> {
-    sink: LinkSink<'a>,
+/// The dispatcher task's view of the per-node links: ring geometry, the
+/// sink, and the wire accounting charged when a payload's owning node
+/// differs from its source's ingress node. Owned by the dispatcher task
+/// for the epoch and handed back at its join.
+struct Links {
+    sink: LinkSink,
     n_nodes: usize,
-    shard_keys: &'a [usize],
+    shard_keys: Vec<usize>,
     n_shards: usize,
     epoch: u64,
     /// Cross-node wire bytes per target shard.
-    shard_wire: &'a mut [u64],
+    shard_wire: Vec<u64>,
     /// Cross-node wire bytes per sending (ingress) node.
-    node_wire: &'a mut [u64],
+    node_wire: Vec<u64>,
     /// Per-target-node dictionary versions (in-process tier): what each
     /// node's mirror already holds, so encoded frames ship delta pages only.
-    dict_sync: &'a mut [DictVersions],
+    dict_sync: Vec<DictVersions>,
 }
 
-impl Links<'_> {
-    /// The node terminating `source`'s uplink (same placement the emulated
-    /// cluster uses).
-    fn ingress(&self, source: usize) -> usize {
-        source % self.n_nodes
-    }
-
+impl Links {
     /// Sends one payload over the owning node's link. In-process:
     /// ingress-local traffic as an in-process value, cross-node traffic
     /// encoded delta-aware (persistent dictionary pages ship only what the
     /// target's mirror is missing) and charged its actual encoded size.
     /// Remote: everything is framed onto the owner's socket and charged its
-    /// actual framed size.
-    fn ship(&mut self, source: usize, shard: usize, payload: NetPayload) {
+    /// actual framed size; the enqueue onto the link's bounded queue may
+    /// block this task's worker briefly, but the link's writer thread
+    /// drains independently of the executor, so the pool cannot deadlock.
+    async fn ship(&mut self, source: usize, shard: usize, payload: NetPayload) {
         let owner = node_of_shard(shard, self.n_shards, self.n_nodes);
-        match &self.sink {
+        // The node terminating `source`'s uplink (same placement the
+        // emulated cluster uses).
+        let ingress = source % self.n_nodes;
+        let epoch = self.epoch;
+        let Links {
+            sink,
+            shard_wire,
+            node_wire,
+            dict_sync,
+            ..
+        } = self;
+        match sink {
             LinkSink::Channels(node_txs) => {
-                let msg = if owner == self.ingress(source) {
+                let msg = if owner == ingress {
                     NodeMsg::Local(payload)
                 } else {
-                    let wire = encode_shard_payload_with(&payload, &mut self.dict_sync[owner]);
+                    let wire = encode_shard_payload_with(&payload, &mut dict_sync[owner]);
                     let bytes = wire.len() as u64;
-                    self.shard_wire[shard] += bytes;
-                    self.node_wire[self.ingress(source)] += bytes;
+                    shard_wire[shard] += bytes;
+                    node_wire[ingress] += bytes;
                     NodeMsg::Wire(wire)
                 };
-                node_txs[owner].send(msg).expect("node worker alive");
+                node_txs[owner]
+                    .send(msg)
+                    .await
+                    .expect("node task alive for the epoch");
             }
             LinkSink::Remote(cluster) => {
-                if let Some(bytes) = cluster.route_payload(shard, self.epoch, &payload) {
-                    self.shard_wire[shard] += bytes;
-                    self.node_wire[self.ingress(source)] += bytes;
+                if let Some(bytes) = cluster.route_payload(shard, epoch, &payload) {
+                    shard_wire[shard] += bytes;
+                    node_wire[ingress] += bytes;
                 }
             }
         }
@@ -932,13 +1030,13 @@ impl Links<'_> {
     /// Partitions a boundary batch over the ring and ships each non-empty
     /// part to the node owning its shard. Batches entering past the
     /// boundary (stateless suffix) and keyless plans go to shard 0.
-    fn dispatch_batch(&mut self, source: usize, rel: usize, batch: Batch) {
+    async fn dispatch_batch(&mut self, source: usize, rel: usize, batch: Batch) {
         if batch.is_empty() {
             return;
         }
         if rel == 0 && self.n_shards > 1 && !self.shard_keys.is_empty() {
             for (s, part) in batch
-                .shard_by_key(self.shard_keys, self.n_shards)
+                .shard_by_key(&self.shard_keys, self.n_shards)
                 .into_iter()
                 .enumerate()
             {
@@ -955,7 +1053,8 @@ impl Links<'_> {
                         rel: 0,
                         batch: part,
                     },
-                );
+                )
+                .await;
             }
         } else {
             self.ship(
@@ -968,13 +1067,14 @@ impl Links<'_> {
                     rel: rel as u32,
                     batch,
                 },
-            );
+            )
+            .await;
         }
     }
 
     /// Splits a state delta's group entries by key ownership and ships each
     /// shard its share.
-    fn dispatch_state(&mut self, source: usize, rel: usize, delta: StatePartial) {
+    async fn dispatch_state(&mut self, source: usize, rel: usize, delta: StatePartial) {
         let StatePartial::Group(entries) = delta;
         if self.n_shards == 1 {
             self.ship(
@@ -987,7 +1087,8 @@ impl Links<'_> {
                     rel: rel as u32,
                     delta: StatePartial::Group(entries),
                 },
-            );
+            )
+            .await;
             return;
         }
         let mut per_shard: Vec<Vec<GroupPartialEntry>> =
@@ -1007,7 +1108,8 @@ impl Links<'_> {
                         rel: rel as u32,
                         delta: StatePartial::Group(part),
                     },
-                );
+                )
+                .await;
             }
         }
     }
@@ -1023,24 +1125,30 @@ impl Worker {
         }
     }
 
-    /// Routes and executes one epoch's batch, draining to the SP channel.
-    fn execute(&mut self, source: usize, m: usize, input: Batch, tx: &Sender<Msg>) {
-        let send_chunked =
-            |stage: usize, batch: Batch, drained_records: &mut u64, drained_bytes: &mut u64| {
-                if batch.is_empty() {
-                    return;
-                }
-                *drained_records += batch.len() as u64;
-                *drained_bytes += batch.wire_size() as u64;
-                for chunk in batch.chunks(CHUNK) {
-                    tx.send(Msg::Drained {
-                        source,
-                        stage,
-                        batch: chunk,
-                    })
-                    .expect("SP dispatcher alive");
-                }
-            };
+    /// Routes and executes one epoch's batch, collecting the drained
+    /// chunks and state deltas into `out` (in the same order the threaded
+    /// path sent them); the owning source task streams `out` to the
+    /// dispatcher over the async channel afterwards, so the deep operator
+    /// code stays synchronous.
+    fn execute(&mut self, source: usize, m: usize, input: Batch, out: &mut Vec<Msg>) {
+        let send_chunked = |stage: usize,
+                            batch: Batch,
+                            drained_records: &mut u64,
+                            drained_bytes: &mut u64,
+                            out: &mut Vec<Msg>| {
+            if batch.is_empty() {
+                return;
+            }
+            *drained_records += batch.len() as u64;
+            *drained_bytes += batch.wire_size() as u64;
+            for chunk in batch.chunks(CHUNK) {
+                out.push(Msg::Drained {
+                    source,
+                    stage,
+                    batch: chunk,
+                });
+            }
+        };
 
         let mut batches = vec![input];
         for i in 0..m {
@@ -1053,6 +1161,7 @@ impl Worker {
                         drained,
                         &mut self.drained_records,
                         &mut self.drained_bytes,
+                        out,
                     );
                 }
                 if let Some(fwd) = fwd {
@@ -1070,7 +1179,13 @@ impl Worker {
         }
         // Rows that passed the whole local prefix continue at SP stage m.
         for batch in batches {
-            send_chunked(m, batch, &mut self.drained_records, &mut self.drained_bytes);
+            send_chunked(
+                m,
+                batch,
+                &mut self.drained_records,
+                &mut self.drained_bytes,
+                out,
+            );
         }
 
         // Ship partial state every epoch (exactness does not depend on the
@@ -1078,12 +1193,11 @@ impl Worker {
         for (stage, op) in self.ops.iter_mut().enumerate() {
             if let Some(delta) = op.take_state_delta() {
                 self.state_deltas += 1;
-                tx.send(Msg::State {
+                out.push(Msg::State {
                     source,
                     stage,
                     delta,
-                })
-                .expect("SP dispatcher alive");
+                });
             }
         }
     }

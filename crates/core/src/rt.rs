@@ -1,0 +1,108 @@
+//! Cooperative task runtime for the live session's massive source fan-in.
+//!
+//! This is a thin facade over the vendored [`minirt`] crate: a
+//! work-stealing multi-worker executor ([`Runtime`]), bounded async MPSC
+//! channels ([`chan`]) whose receivers drain whole bursts per wakeup, and a
+//! deadline timer wheel ([`TimerWheel`] / [`DeadlineQueue`]). The live
+//! session spawns one task per source prefix, per SP node, and for the
+//! dispatcher, so 10k sources run on `num_cpus` worker threads instead of
+//! 10k OS threads.
+//!
+//! **Wakeup-amortization contract.** Every consumer task in the session
+//! topology receives through [`chan::Receiver::recv_many`], which moves the
+//! channel's *entire* buffered backlog in one poll. A burst of `n` messages
+//! therefore costs one scheduler wakeup, not `n`, and per-record overhead
+//! stays flat as the source count grows — the property the
+//! `source_scaling` bench series gates on.
+//!
+//! **Determinism.** The schedule never affects results: the key → shard
+//! mapping, netwire codec, and dict delta protocol are all
+//! order-independent (see `tests/source_scale_parity.rs`). For debugging
+//! task-ordering bugs, [`deterministic_runtime`] (or the
+//! `JARVIS_RT_SEED` environment variable) switches to a seeded
+//! single-worker scheduler that replays one interleaving exactly.
+
+pub use minirt::chan;
+pub use minirt::exec::{block_on, yield_now, Handle, JoinHandle, Runtime};
+pub use minirt::timer::{DeadlineQueue, Sleep, TimerWheel};
+
+/// Documented fan-in bound: how many source tasks one executor worker is
+/// expected to multiplex comfortably at the default channel capacity.
+/// Deployments requesting more than `rt_workers × RT_FANIN_BOUND` sources
+/// without tuning `channel_capacity` trip the `JP501` plancheck info lint —
+/// beyond this ratio, widening the channels is what keeps source tasks from
+/// parking on backpressure between dispatcher drains.
+pub const RT_FANIN_BOUND: u32 = 512;
+
+/// Default capacity of the session's async channels (source → dispatcher
+/// and dispatcher → node), overridable via the `channel_capacity` builder
+/// knob.
+pub const DEFAULT_CHANNEL_CAPACITY: u32 = 256;
+
+/// Effective worker count for a requested `rt_workers` knob: `None` sizes
+/// to the host's available parallelism.
+pub fn effective_workers(requested: Option<u32>) -> usize {
+    match requested {
+        Some(n) => n as usize,
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Builds the session runtime for a requested worker count, honouring the
+/// `JARVIS_RT_SEED` deterministic-scheduler override (CI sets it to make
+/// task-ordering bugs reproduce instead of flickering under thread-schedule
+/// noise).
+pub fn session_runtime(requested: Option<u32>) -> Runtime {
+    if let Some(seed) = std::env::var("JARVIS_RT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return deterministic_runtime(seed);
+    }
+    Runtime::new(effective_workers(requested))
+}
+
+/// A seeded single-worker runtime replaying one task interleaving exactly.
+pub fn deterministic_runtime(seed: u64) -> Runtime {
+    Runtime::deterministic(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{chan, deterministic_runtime, effective_workers, session_runtime};
+
+    #[test]
+    fn effective_workers_defaults_to_host_parallelism() {
+        assert!(effective_workers(None) >= 1);
+        assert_eq!(effective_workers(Some(3)), 3);
+    }
+
+    #[test]
+    fn session_runtime_spawns_and_joins() {
+        let rt = session_runtime(Some(2));
+        let h = rt.spawn(async { 41 + 1 });
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn deterministic_runtime_is_single_worker() {
+        let rt = deterministic_runtime(7);
+        assert_eq!(rt.workers(), 1);
+        let (tx, mut rx) = chan::bounded::<u32>(4);
+        let prod = rt.spawn(async move {
+            for i in 0..8 {
+                tx.send(i).await.expect("receiver alive");
+            }
+        });
+        let cons = rt.spawn(async move {
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            while rx.recv_many(&mut buf).await > 0 {
+                got.append(&mut buf);
+            }
+            got
+        });
+        prod.join();
+        assert_eq!(cons.join(), (0..8).collect::<Vec<_>>());
+    }
+}

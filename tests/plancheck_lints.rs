@@ -394,6 +394,42 @@ fn jp303_tcp_with_an_undescribable_workload() {
     assert!(diags.iter().any(|d| d.code == code::TCP_UNDESCRIBABLE));
 }
 
+// ---- JP501: source fan-in past the async runtime's documented bound ----
+
+#[test]
+fn jp501_fanin_past_the_bound_with_untuned_channels() {
+    use jarvis::core::rt::{DEFAULT_CHANNEL_CAPACITY, RT_FANIN_BOUND};
+    let planned = plan_query(
+        jarvis::telemetry::queries::s2s_probe(),
+        &RuleConfig::default(),
+    )
+    .unwrap();
+    let mut ctx = CheckContext::local(1, 1, StrategyKind::Jarvis);
+    ctx.rt_workers = 4;
+    ctx.sources = 4 * RT_FANIN_BOUND + 1;
+    ctx.channel_capacity = DEFAULT_CHANNEL_CAPACITY;
+    let diags = plancheck::check(&planned, &RuleConfig::default(), &ctx);
+    let d = find(&diags, code::RT_FANIN_UNTUNED);
+    assert_eq!(d.severity, Severity::Info);
+
+    // Tuning either knob clears it: widened channels…
+    ctx.channel_capacity = 2 * DEFAULT_CHANNEL_CAPACITY;
+    let diags = plancheck::check(&planned, &RuleConfig::default(), &ctx);
+    assert!(
+        diags.iter().all(|d| d.code != code::RT_FANIN_UNTUNED),
+        "got {diags:?}"
+    );
+
+    // …or enough workers to bring the per-worker fan-in back in bounds.
+    ctx.channel_capacity = DEFAULT_CHANNEL_CAPACITY;
+    ctx.rt_workers = 5;
+    let diags = plancheck::check(&planned, &RuleConfig::default(), &ctx);
+    assert!(
+        diags.iter().all(|d| d.code != code::RT_FANIN_UNTUNED),
+        "got {diags:?}"
+    );
+}
+
 #[test]
 fn jp304_tcp_needs_the_live_backend() {
     let planned = plan_query(quantile_plan(), &RuleConfig::default()).unwrap();

@@ -59,6 +59,31 @@ pub mod channel {
                 .send(value)
                 .map_err(|mpsc::SendError(v)| SendError(v))
         }
+
+        /// Non-blocking send attempt; hands the value back on failure.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    /// Send error of the non-blocking [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The buffer is full; the value is returned.
+        Full(T),
+        /// The channel is disconnected; the value is returned.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
     }
 
     impl<T> Receiver<T> {
@@ -71,6 +96,38 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.inner.try_recv()
         }
+
+        /// Blocking receive bounded by a timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Blocking receive bounded by an absolute deadline (what the
+        /// timer-wheel-driven control planes use: wait for an event *or*
+        /// the next armed deadline, whichever comes first).
+        pub fn recv_deadline(&self, deadline: std::time::Instant) -> Result<T, RecvTimeoutError> {
+            let now = std::time::Instant::now();
+            if deadline <= now {
+                return match self.inner.try_recv() {
+                    Ok(v) => Ok(v),
+                    Err(mpsc::TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
+                    Err(mpsc::TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+                };
+            }
+            self.recv_timeout(deadline - now)
+        }
+    }
+
+    /// Receive error of the deadline/timeout-bounded receives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// All senders dropped and the buffer is empty.
+        Disconnected,
     }
 
     impl<T> IntoIterator for Receiver<T> {

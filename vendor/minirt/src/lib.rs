@@ -1,0 +1,1189 @@
+//! Minimal vendored cooperative task runtime.
+//!
+//! The workspace needs a task-per-pipeline executor for the live session's
+//! 10k-source fan-in, but the build environment has no crates registry, so
+//! this crate vendors the smallest useful subset of a tokio-style runtime —
+//! in safe, std-only Rust (the workspace forbids `unsafe`, so wakers come
+//! from [`std::task::Wake`] over `Arc`ed tasks rather than raw vtables):
+//!
+//! * [`exec`] — a multi-worker executor with per-worker run queues, a
+//!   global injector, and work stealing; [`exec::Runtime::deterministic`]
+//!   is a seeded single-worker mode that replays one task interleaving
+//!   reproducibly (CI's deterministic-scheduler mode).
+//! * [`chan`] — bounded async MPSC channels whose senders park as wakers
+//!   in the channel when the buffer is full, and whose receiver drains
+//!   every buffered message per wakeup ([`chan::Receiver::recv_many`]) so
+//!   wakeups amortize per batch, not per message.
+//! * [`timer`] — a deadline wheel driven by one shared timer thread:
+//!   async [`timer::TimerWheel::sleep_until`] for task backoff plus the
+//!   sync [`timer::DeadlineQueue`] used to bound blocking waits (heartbeat
+//!   and liveness deadlines) without fixed-interval sleep polling.
+
+pub mod exec {
+    //! Work-stealing multi-worker task executor.
+
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, Wake, Waker};
+
+    type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+    // Task lifecycle states (see `Task::state`).
+    const IDLE: u8 = 0;
+    const SCHEDULED: u8 = 1;
+    const RUNNING: u8 = 2;
+    const NOTIFIED: u8 = 3;
+    const DONE: u8 = 4;
+
+    /// One spawned task: the future plus its scheduling state.
+    struct Task {
+        /// The future, taken out while a worker polls it.
+        future: Mutex<Option<BoxFuture>>,
+        /// IDLE / SCHEDULED / RUNNING / NOTIFIED / DONE.
+        state: AtomicU8,
+        /// Scheduler shared state (queues + parking).
+        core: Arc<Core>,
+    }
+
+    impl Wake for Task {
+        fn wake(self: Arc<Self>) {
+            self.clone().wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            loop {
+                let s = self.state.load(Ordering::Acquire);
+                match s {
+                    IDLE => {
+                        if self
+                            .state
+                            .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            self.core.enqueue(Arc::clone(self));
+                            return;
+                        }
+                    }
+                    RUNNING => {
+                        if self
+                            .state
+                            .compare_exchange(
+                                RUNNING,
+                                NOTIFIED,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            // The polling worker re-enqueues after the poll.
+                            return;
+                        }
+                    }
+                    // Already queued, already notified, or finished.
+                    _ => return,
+                }
+            }
+        }
+    }
+
+    /// Scheduler shared state. Run queues are **individually locked** — a
+    /// global injector for spawns and foreign-thread wakes plus one local
+    /// per worker — so a worker's own push/pop never contends with another
+    /// worker's, and scheduler throughput scales with workers instead of
+    /// serializing every enqueue, pop, and steal on one mutex (at a
+    /// 10k-task fan-in the single-lock design spends more time queueing
+    /// than polling). Workers pop their own local first, then refill from
+    /// the injector in fair-share chunks, then steal the back half of the
+    /// first non-empty sibling.
+    struct Core {
+        /// Spawns and wakes from non-worker threads.
+        injector: Mutex<VecDeque<Arc<Task>>>,
+        /// One run queue per worker; wakes from a worker land here.
+        locals: Vec<Mutex<VecDeque<Arc<Task>>>>,
+        /// Version number of "work arrived": bumped (SeqCst) on every
+        /// enqueue and gate change. Paired with `sleepers` it forms the
+        /// Dekker-style sleep protocol: an enqueuer either observes a
+        /// sleeper (and notifies) or the would-be sleeper observes the
+        /// bumped seq (and re-scans) — never both miss.
+        seq: AtomicU64,
+        /// Workers inside `parked.wait` (SeqCst; see `seq`).
+        sleepers: AtomicUsize,
+        /// Guards only the sleep protocol; never held together with a
+        /// queue lock.
+        park: Mutex<()>,
+        /// Workers park here when every queue is empty.
+        parked: Condvar,
+        /// Tasks spawned and not yet DONE (drained-shutdown accounting).
+        live: AtomicUsize,
+        shutdown: AtomicUsize,
+        /// 0 = workers held back, 1 = running. Deterministic runtimes start
+        /// gated and open on the first `join()`, so every task of the batch
+        /// is enqueued before the seeded pop order starts consuming them —
+        /// otherwise the interleaving would race the spawning thread.
+        gate: AtomicUsize,
+        /// Seeded xorshift state; `Some` switches the (single-worker)
+        /// scheduler to deterministic random-order popping.
+        det_rng: Option<Mutex<u64>>,
+    }
+
+    std::thread_local! {
+        /// Which worker (index) the current thread is, if any: wakes from a
+        /// worker land on its own local queue; wakes from foreign threads
+        /// land on the injector.
+        static WORKER_INDEX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        let mut x = *s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *s = x;
+        x
+    }
+
+    impl Core {
+        fn enqueue(&self, task: Arc<Task>) {
+            let w = WORKER_INDEX.with(std::cell::Cell::get);
+            if w < self.locals.len() {
+                self.locals[w].lock().expect("queue lock").push_back(task);
+            } else {
+                self.injector.lock().expect("queue lock").push_back(task);
+            }
+            self.bump();
+        }
+
+        /// Publishes "work arrived" and wakes one sleeper if any. The
+        /// SeqCst pair with the sleeper's `sleepers`-then-`seq` sequence
+        /// guarantees either this thread sees the sleeper or the sleeper
+        /// sees the new seq.
+        fn bump(&self) {
+            self.seq.fetch_add(1, Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                let _g = self.park.lock().expect("park lock");
+                self.parked.notify_one();
+            }
+        }
+
+        /// Opens the start gate (deterministic runtimes) and releases every
+        /// parked worker.
+        fn open_gate(&self) {
+            if self.gate.swap(1, Ordering::AcqRel) == 0 {
+                self.seq.fetch_add(1, Ordering::SeqCst);
+                let _g = self.park.lock().expect("park lock");
+                self.parked.notify_all();
+            }
+        }
+
+        /// Pops the next runnable task for worker `w`: local queue, then an
+        /// injector chunk, then stealing. Takes at most one queue lock at a
+        /// time (the deterministic path excepted).
+        fn find(&self, w: usize) -> Option<Arc<Task>> {
+            if let Some(rng) = &self.det_rng {
+                // Deterministic mode: one worker, one merged ready list
+                // (injector entries first), seeded random pop order.
+                let mut inj = self.injector.lock().expect("queue lock");
+                let mut loc = self.locals[w].lock().expect("queue lock");
+                let total = inj.len() + loc.len();
+                if total == 0 {
+                    return None;
+                }
+                let mut s = rng.lock().expect("rng lock");
+                let pick = (xorshift(&mut s) % total as u64) as usize;
+                return Some(if pick < inj.len() {
+                    inj.remove(pick).expect("index in range")
+                } else {
+                    let i = pick - inj.len();
+                    loc.remove(i).expect("index in range")
+                });
+            }
+            if let Some(t) = self.locals[w].lock().expect("queue lock").pop_front() {
+                return Some(t);
+            }
+            // Refill from the injector in a fair-share chunk: one lock
+            // round-trip absorbs a worker's share of a spawn burst instead
+            // of re-contending once per task.
+            let mut chunk = {
+                let mut inj = self.injector.lock().expect("queue lock");
+                let grab = inj.len().div_ceil(self.locals.len()).min(64);
+                inj.drain(..grab).collect::<VecDeque<Arc<Task>>>()
+            };
+            if let Some(first) = chunk.pop_front() {
+                if !chunk.is_empty() {
+                    self.locals[w]
+                        .lock()
+                        .expect("queue lock")
+                        .append(&mut chunk);
+                }
+                return Some(first);
+            }
+            // Steal the back half of the first non-empty sibling queue.
+            let n = self.locals.len();
+            for off in 1..n {
+                let v = (w + off) % n;
+                let mut vq = self.locals[v].lock().expect("queue lock");
+                let len = vq.len();
+                if len == 0 {
+                    continue;
+                }
+                let mut stolen = vq.split_off(len / 2);
+                drop(vq);
+                let first = stolen.pop_front();
+                if !stolen.is_empty() {
+                    self.locals[w]
+                        .lock()
+                        .expect("queue lock")
+                        .append(&mut stolen);
+                }
+                return first;
+            }
+            None
+        }
+
+        /// Parks the calling worker until `seq` moves past `seen` (or
+        /// shutdown). `seen` must have been read *before* the caller's last
+        /// queue scan, so an enqueue that raced the scan is never slept
+        /// through.
+        fn sleep(&self, seen: u64) {
+            let mut g = self.park.lock().expect("park lock");
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            while self.seq.load(Ordering::SeqCst) == seen
+                && self.shutdown.load(Ordering::Acquire) == 0
+            {
+                g = self.parked.wait(g).expect("park lock");
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn worker_loop(core: &Arc<Core>, w: usize) {
+        WORKER_INDEX.with(|c| c.set(w));
+        loop {
+            if core.shutdown.load(Ordering::Acquire) != 0 {
+                return;
+            }
+            let seen = core.seq.load(Ordering::SeqCst);
+            let task = if core.gate.load(Ordering::Acquire) != 0 {
+                core.find(w)
+            } else {
+                None
+            };
+            let Some(task) = task else {
+                core.sleep(seen);
+                continue;
+            };
+            task.state.store(RUNNING, Ordering::Release);
+            let fut = task.future.lock().expect("task future lock").take();
+            let Some(mut fut) = fut else {
+                task.state.store(DONE, Ordering::Release);
+                continue;
+            };
+            let waker = Waker::from(Arc::clone(&task));
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    task.state.store(DONE, Ordering::Release);
+                    core.live.fetch_sub(1, Ordering::AcqRel);
+                }
+                Poll::Pending => {
+                    *task.future.lock().expect("task future lock") = Some(fut);
+                    // If a wake arrived mid-poll (NOTIFIED), re-enqueue.
+                    if task
+                        .state
+                        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        task.state.store(SCHEDULED, Ordering::Release);
+                        core.enqueue(Arc::clone(&task));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Where a [`JoinHandle`] picks up its task's result.
+    struct JoinState<T> {
+        slot: Mutex<Option<T>>,
+        done: Condvar,
+    }
+
+    /// Owned handle on one spawned task's result.
+    ///
+    /// [`JoinHandle::join`] blocks the *calling thread* (it is meant for the
+    /// synchronous orchestrator that spawned an epoch's tasks, not for use
+    /// inside a task).
+    pub struct JoinHandle<T> {
+        state: Arc<JoinState<T>>,
+        core: Arc<Core>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks until the task completes and returns its output. On a
+        /// gated (deterministic) runtime, the first join releases the
+        /// worker.
+        pub fn join(self) -> T {
+            self.core.open_gate();
+            let mut slot = self.state.slot.lock().expect("join lock");
+            loop {
+                if let Some(v) = slot.take() {
+                    return v;
+                }
+                slot = self.state.done.wait(slot).expect("join lock");
+            }
+        }
+    }
+
+    /// Cloneable spawning handle onto a [`Runtime`]'s scheduler.
+    #[derive(Clone)]
+    pub struct Handle {
+        core: Arc<Core>,
+    }
+
+    impl Handle {
+        /// Spawns a future as a task and returns a handle on its output.
+        pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
+        where
+            T: Send + 'static,
+            F: Future<Output = T> + Send + 'static,
+        {
+            let state = Arc::new(JoinState {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            });
+            let state_in = Arc::clone(&state);
+            let wrapped = async move {
+                let out = fut.await;
+                *state_in.slot.lock().expect("join lock") = Some(out);
+                state_in.done.notify_all();
+            };
+            self.core.live.fetch_add(1, Ordering::AcqRel);
+            let task = Arc::new(Task {
+                future: Mutex::new(Some(Box::pin(wrapped))),
+                state: AtomicU8::new(SCHEDULED),
+                core: Arc::clone(&self.core),
+            });
+            self.core.enqueue(task);
+            JoinHandle {
+                state,
+                core: Arc::clone(&self.core),
+            }
+        }
+
+        /// Tasks spawned and not yet finished.
+        pub fn live_tasks(&self) -> usize {
+            self.core.live.load(Ordering::Acquire)
+        }
+    }
+
+    /// A multi-worker executor. Dropping it shuts the workers down after
+    /// their queues drain of ready work (pending tasks are dropped).
+    pub struct Runtime {
+        handle: Handle,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    impl Runtime {
+        /// Starts `workers` worker threads (clamped to at least 1).
+        pub fn new(workers: usize) -> Runtime {
+            Runtime::build(workers.max(1), None)
+        }
+
+        /// Starts a runtime sized to the host's available parallelism.
+        pub fn for_host() -> Runtime {
+            let n = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            Runtime::new(n)
+        }
+
+        /// Deterministic mode: a single worker popping ready tasks in a
+        /// seeded pseudo-random order, so one seed replays one interleaving
+        /// exactly — task-ordering bugs reproduce in CI instead of
+        /// flickering under thread-schedule noise.
+        pub fn deterministic(seed: u64) -> Runtime {
+            Runtime::build(1, Some(seed | 1))
+        }
+
+        fn build(workers: usize, det_rng: Option<u64>) -> Runtime {
+            let core = Arc::new(Core {
+                injector: Mutex::new(VecDeque::new()),
+                locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+                seq: AtomicU64::new(0),
+                sleepers: AtomicUsize::new(0),
+                park: Mutex::new(()),
+                parked: Condvar::new(),
+                live: AtomicUsize::new(0),
+                shutdown: AtomicUsize::new(0),
+                gate: AtomicUsize::new(usize::from(det_rng.is_none())),
+                det_rng: det_rng.map(Mutex::new),
+            });
+            let threads = (0..workers)
+                .map(|w| {
+                    let core = Arc::clone(&core);
+                    std::thread::Builder::new()
+                        .name(format!("minirt-worker-{w}"))
+                        .spawn(move || worker_loop(&core, w))
+                        .expect("spawn worker thread")
+                })
+                .collect();
+            Runtime {
+                handle: Handle { core },
+                workers: threads,
+            }
+        }
+
+        /// A cloneable spawning handle.
+        pub fn handle(&self) -> Handle {
+            self.handle.clone()
+        }
+
+        /// Spawns on this runtime (see [`Handle::spawn`]).
+        pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
+        where
+            T: Send + 'static,
+            F: Future<Output = T> + Send + 'static,
+        {
+            self.handle.spawn(fut)
+        }
+
+        /// Worker threads backing this runtime.
+        pub fn workers(&self) -> usize {
+            self.workers.len()
+        }
+    }
+
+    impl Drop for Runtime {
+        fn drop(&mut self) {
+            let core = &self.handle.core;
+            core.shutdown.store(1, Ordering::Release);
+            // Notify under the park lock: a worker between its empty scan
+            // and `wait` holds the lock, so the signal can't fall in that
+            // gap and be lost.
+            {
+                let _g = core.park.lock().expect("park lock");
+                core.parked.notify_all();
+            }
+            for t in self.workers.drain(..) {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Cooperative yield: reschedules the current task behind its queue.
+    pub fn yield_now() -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Future of [`yield_now`].
+    pub struct YieldNow {
+        yielded: bool,
+    }
+
+    impl Future for YieldNow {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Waker that unparks a blocked thread (the `block_on` driver).
+    struct ThreadWaker {
+        thread: std::thread::Thread,
+        notified: std::sync::atomic::AtomicBool,
+    }
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+
+    /// Drives a future to completion on the calling thread, parking it
+    /// between polls. This is how *non-worker* threads (a coordinator
+    /// control plane, a test harness) interact with async channels and
+    /// timers; calling it from inside a runtime worker would block that
+    /// worker for the duration and is a deadlock hazard on single-worker
+    /// runtimes — don't.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        let mut fut = Box::pin(fut);
+        let state = Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+            notified: std::sync::atomic::AtomicBool::new(false),
+        });
+        let waker = Waker::from(Arc::clone(&state));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    // Park until woken; the flag closes the race where the
+                    // wake lands between the poll and the park.
+                    while !state.notified.swap(false, Ordering::AcqRel) {
+                        std::thread::park();
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod chan {
+    //! Bounded async MPSC channels with parked wakers.
+    //!
+    //! Senders that hit a full buffer park their waker *in the channel* and
+    //! resolve when the receiver frees capacity; the receiver parks its
+    //! waker when the buffer is empty. [`Receiver::recv_many`] drains every
+    //! buffered message in one wakeup, which is what amortizes scheduler
+    //! wakeups per batch instead of per message. Parked senders are released
+    //! one per freed slot — never en masse — so a 10k-producer fan-in over a
+    //! small buffer schedules O(messages) wakeups, not O(producers).
+
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receiver_alive: bool,
+        send_wakers: VecDeque<Waker>,
+        recv_waker: Option<Waker>,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+    }
+
+    /// Sending half; cloneable (MPSC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; single consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+        /// Scratch the buffer is O(1)-swapped into under the lock, so a
+        /// 10k-slot drain never holds the channel closed while it copies;
+        /// reused across `recv_many` calls to keep its allocation warm.
+        scratch: VecDeque<T>,
+    }
+
+    /// The receiver dropped; the value comes back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Refill chains a buffer drain seeds among parked senders (each chain
+    /// self-propagates via the send-side baton; see `RecvMany::poll`).
+    /// Sized to keep every plausible worker count busy.
+    const RELEASE_SEEDS: usize = 8;
+
+    /// Creates a bounded channel with capacity `cap` (clamped to ≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                cap: cap.max(1),
+                senders: 1,
+                receiver_alive: true,
+                send_wakers: VecDeque::new(),
+                recv_waker: None,
+            }),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver {
+                shared,
+                scratch: VecDeque::new(),
+            },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.state.lock().expect("channel lock");
+            s.senders -= 1;
+            if s.senders == 0 {
+                // Last producer gone: wake the receiver so it observes EOF.
+                if let Some(w) = s.recv_waker.take() {
+                    drop(s);
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.state.lock().expect("channel lock");
+            s.receiver_alive = false;
+            let wakers: Vec<Waker> = s.send_wakers.drain(..).collect();
+            drop(s);
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends one value, resolving when buffered (backpressure when the
+        /// channel is full). Errors with the value if the receiver is gone.
+        pub fn send(&self, value: T) -> Send<'_, T> {
+            Send {
+                shared: &self.shared,
+                value: Some(value),
+            }
+        }
+    }
+
+    /// Future of [`Sender::send`].
+    pub struct Send<'a, T> {
+        shared: &'a Shared<T>,
+        value: Option<T>,
+    }
+
+    impl<T> Unpin for Send<'_, T> {}
+
+    impl<T> Future for Send<'_, T> {
+        type Output = Result<(), SendError<T>>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.shared.state.lock().expect("channel lock");
+            let value = self.value.take().expect("send polled after completion");
+            if !s.receiver_alive {
+                return Poll::Ready(Err(SendError(value)));
+            }
+            if s.buf.len() < s.cap {
+                s.buf.push_back(value);
+                let waker = s.recv_waker.take();
+                drop(s);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                Poll::Ready(Ok(()))
+            } else {
+                self.value = Some(value);
+                s.send_wakers.push_back(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives one value; `None` once every sender is gone and the
+        /// buffer is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv {
+                shared: &self.shared,
+            }
+        }
+
+        /// Drains **every** buffered message into `out` in one wakeup and
+        /// returns how many arrived; 0 means the channel is closed and
+        /// empty. This is the batch-amortized receive the dispatcher and
+        /// node tasks use: one wakeup per burst, not per message.
+        pub fn recv_many<'a>(&'a mut self, out: &'a mut Vec<T>) -> RecvMany<'a, T> {
+            RecvMany { rx: self, out }
+        }
+    }
+
+    /// Future of [`Receiver::recv`].
+    pub struct Recv<'a, T> {
+        shared: &'a Shared<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.shared.state.lock().expect("channel lock");
+            if let Some(v) = s.buf.pop_front() {
+                let waker = s.send_wakers.pop_front();
+                drop(s);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                return Poll::Ready(Some(v));
+            }
+            if s.senders == 0 {
+                return Poll::Ready(None);
+            }
+            s.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    /// Future of [`Receiver::recv_many`].
+    pub struct RecvMany<'a, T> {
+        rx: &'a mut Receiver<T>,
+        out: &'a mut Vec<T>,
+    }
+
+    impl<T> Unpin for RecvMany<'_, T> {}
+
+    impl<T> Future for RecvMany<'_, T> {
+        type Output = usize;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = &mut *self;
+            let wakers = {
+                let mut s = this.rx.shared.state.lock().expect("channel lock");
+                if s.buf.is_empty() {
+                    if s.senders == 0 {
+                        return Poll::Ready(0);
+                    }
+                    s.recv_waker = Some(cx.waker().clone());
+                    return Poll::Pending;
+                }
+                // O(1) under the lock: swap the full buffer out against the
+                // drained scratch (whose warm allocation becomes the next
+                // buffer), so senders aren't shut out while a 10k-slot burst
+                // is copied.
+                std::mem::swap(&mut s.buf, &mut this.rx.scratch);
+                // The swap freed the whole buffer, but senders park *only*
+                // on a full buffer and this receiver always drains again, so
+                // liveness needs just a seed of parked senders per drain —
+                // enough to keep every worker fed. Waking one per freed slot
+                // (let alone all of them) stampedes: each woken sender
+                // pushes a whole run of items, so most of the herd re-parks
+                // without sending and wakeups track *sources* instead of
+                // *messages*. (A parked `Send` future must be re-polled when
+                // woken — sends are never abandoned mid-park.)
+                let release = RELEASE_SEEDS.min(s.send_wakers.len());
+                s.send_wakers.drain(..release).collect::<Vec<Waker>>()
+            };
+            for w in wakers {
+                w.wake();
+            }
+            let n = this.rx.scratch.len();
+            this.out.extend(this.rx.scratch.drain(..));
+            Poll::Ready(n)
+        }
+    }
+}
+
+pub mod timer {
+    //! Deadline timer wheel: one shared timer thread wakes async sleepers
+    //! and bounds synchronous waits, replacing fixed-interval sleep polling.
+
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, Waker};
+    use std::time::Instant;
+
+    struct WheelState {
+        /// Min-heap of (deadline, entry id).
+        heap: BinaryHeap<Reverse<(Instant, u64)>>,
+        /// Pending entries; fired or cancelled entries are removed.
+        entries: HashMap<u64, Waker>,
+        next_id: u64,
+        shutdown: bool,
+    }
+
+    struct WheelInner {
+        state: Mutex<WheelState>,
+        tick: Condvar,
+    }
+
+    /// A deadline wheel driven by one timer thread (stopped and joined on
+    /// drop). Share one wheel across tasks via `Arc<TimerWheel>`; the
+    /// [`Sleep`] futures it hands out keep the wheel's interior alive on
+    /// their own.
+    pub struct TimerWheel {
+        inner: Arc<WheelInner>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl TimerWheel {
+        /// Starts the wheel and its timer thread.
+        pub fn new() -> TimerWheel {
+            let inner = Arc::new(WheelInner {
+                state: Mutex::new(WheelState {
+                    heap: BinaryHeap::new(),
+                    entries: HashMap::new(),
+                    next_id: 0,
+                    shutdown: false,
+                }),
+                tick: Condvar::new(),
+            });
+            let inner_t = Arc::clone(&inner);
+            let thread = std::thread::Builder::new()
+                .name("minirt-timer".to_string())
+                .spawn(move || timer_loop(&inner_t))
+                .expect("spawn timer thread");
+            TimerWheel {
+                inner,
+                thread: Some(thread),
+            }
+        }
+
+        /// A future resolving at `deadline` (immediately if already past).
+        pub fn sleep_until(&self, deadline: Instant) -> Sleep {
+            Sleep {
+                inner: Arc::clone(&self.inner),
+                deadline,
+                id: None,
+            }
+        }
+
+        /// A future resolving after `dur`.
+        pub fn sleep(&self, dur: std::time::Duration) -> Sleep {
+            self.sleep_until(Instant::now() + dur)
+        }
+    }
+
+    impl Default for TimerWheel {
+        fn default() -> Self {
+            TimerWheel::new()
+        }
+    }
+
+    impl Drop for TimerWheel {
+        fn drop(&mut self) {
+            self.inner.state.lock().expect("timer lock").shutdown = true;
+            self.inner.tick.notify_all();
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn timer_loop(inner: &WheelInner) {
+        let mut s = inner.state.lock().expect("timer lock");
+        loop {
+            if s.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            let mut due: Vec<Waker> = Vec::new();
+            while let Some(&Reverse((deadline, id))) = s.heap.peek() {
+                if deadline > now {
+                    break;
+                }
+                s.heap.pop();
+                if let Some(w) = s.entries.remove(&id) {
+                    due.push(w);
+                }
+            }
+            if !due.is_empty() {
+                drop(s);
+                for w in due {
+                    w.wake();
+                }
+                s = inner.state.lock().expect("timer lock");
+                continue;
+            }
+            s = match s.heap.peek() {
+                Some(&Reverse((deadline, _))) => {
+                    let wait = deadline.saturating_duration_since(now);
+                    inner.tick.wait_timeout(s, wait).expect("timer lock").0
+                }
+                None => inner.tick.wait(s).expect("timer lock"),
+            };
+        }
+    }
+
+    /// Future of [`TimerWheel::sleep_until`]. Dropping it cancels the
+    /// wheel entry.
+    pub struct Sleep {
+        inner: Arc<WheelInner>,
+        deadline: Instant,
+        id: Option<u64>,
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if Instant::now() >= self.deadline {
+                if let Some(id) = self.id.take() {
+                    self.inner
+                        .state
+                        .lock()
+                        .expect("timer lock")
+                        .entries
+                        .remove(&id);
+                }
+                return Poll::Ready(());
+            }
+            let mut s = self.inner.state.lock().expect("timer lock");
+            match self.id {
+                Some(id) => {
+                    // Re-poll before the deadline: refresh the waker.
+                    s.entries.insert(id, cx.waker().clone());
+                }
+                None => {
+                    let id = s.next_id;
+                    s.next_id += 1;
+                    s.entries.insert(id, cx.waker().clone());
+                    let deadline = self.deadline;
+                    s.heap.push(Reverse((deadline, id)));
+                    drop(s);
+                    self.id = Some(id);
+                    self.inner.tick.notify_all();
+                }
+            }
+            Poll::Pending
+        }
+    }
+
+    impl Drop for Sleep {
+        fn drop(&mut self) {
+            if let Some(id) = self.id.take() {
+                self.inner
+                    .state
+                    .lock()
+                    .expect("timer lock")
+                    .entries
+                    .remove(&id);
+            }
+        }
+    }
+
+    /// A synchronous min-heap of named deadlines: the blocking control
+    /// plane asks for the earliest pending deadline and bounds its channel
+    /// receive on it, instead of sleeping a fixed poll interval.
+    pub struct DeadlineQueue<K: Ord + Clone> {
+        heap: BinaryHeap<Reverse<(Instant, K)>>,
+    }
+
+    impl<K: Ord + Clone> DeadlineQueue<K> {
+        /// An empty queue.
+        pub fn new() -> DeadlineQueue<K> {
+            DeadlineQueue {
+                heap: BinaryHeap::new(),
+            }
+        }
+
+        /// Arms (or re-arms) a deadline under `key`.
+        pub fn arm(&mut self, key: K, at: Instant) {
+            self.heap.push(Reverse((at, key)));
+        }
+
+        /// The earliest pending deadline, if any.
+        pub fn next_deadline(&self) -> Option<Instant> {
+            self.heap.peek().map(|Reverse((at, _))| *at)
+        }
+
+        /// Pops every deadline at or before `now`, returning its key.
+        pub fn due(&mut self, now: Instant) -> Vec<K> {
+            let mut fired = Vec::new();
+            while let Some(Reverse((at, _))) = self.heap.peek() {
+                if *at > now {
+                    break;
+                }
+                let Reverse((_, key)) = self.heap.pop().expect("peeked entry");
+                fired.push(key);
+            }
+            fired
+        }
+
+        /// True when no deadline is armed.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
+    }
+
+    impl<K: Ord + Clone> Default for DeadlineQueue<K> {
+        fn default() -> Self {
+            DeadlineQueue::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{chan, exec, timer};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn tasks_run_and_join_on_multiple_workers() {
+        let rt = exec::Runtime::new(4);
+        let handles: Vec<_> = (0..64u64).map(|i| rt.spawn(async move { i * i })).collect();
+        let total: u64 = handles.into_iter().map(exec::JoinHandle::join).sum();
+        assert_eq!(total, (0..64u64).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn channel_round_trips_with_backpressure() {
+        let rt = exec::Runtime::new(2);
+        let (tx, mut rx) = chan::bounded::<u64>(4);
+        let producers: Vec<_> = (0..8u64)
+            .map(|p| {
+                let tx = tx.clone();
+                rt.spawn(async move {
+                    for i in 0..100u64 {
+                        tx.send(p * 1000 + i).await.expect("receiver alive");
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumer = rt.spawn(async move {
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                let n = rx.recv_many(&mut buf).await;
+                if n == 0 {
+                    break;
+                }
+                got.append(&mut buf);
+            }
+            got
+        });
+        for p in producers {
+            p.join();
+        }
+        let mut got = consumer.join();
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..8u64)
+            .flat_map(|p| (0..100u64).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn recv_many_drains_bursts_in_one_wakeup() {
+        let rt = exec::Runtime::new(1);
+        let (tx, mut rx) = chan::bounded::<u32>(64);
+        let wakeups = Arc::new(AtomicUsize::new(0));
+        let wakeups_c = Arc::clone(&wakeups);
+        let producer = rt.spawn(async move {
+            for i in 0..32u32 {
+                tx.send(i).await.expect("receiver alive");
+            }
+        });
+        producer.join();
+        let consumer = rt.spawn(async move {
+            let mut buf = Vec::new();
+            let mut total = 0;
+            loop {
+                let n = rx.recv_many(&mut buf).await;
+                if n == 0 {
+                    break;
+                }
+                wakeups_c.fetch_add(1, Ordering::Relaxed);
+                total += n;
+                buf.clear();
+            }
+            total
+        });
+        assert_eq!(consumer.join(), 32);
+        // All 32 buffered messages arrived in one drain.
+        assert_eq!(wakeups.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn deterministic_runtime_replays_one_interleaving() {
+        fn order(seed: u64) -> Vec<u32> {
+            let rt = exec::Runtime::deterministic(seed);
+            let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0..16u32)
+                .map(|i| {
+                    let log = Arc::clone(&log);
+                    rt.spawn(async move {
+                        exec::yield_now().await;
+                        log.lock().expect("log lock").push(i);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            let v = log.lock().expect("log lock").clone();
+            v
+        }
+        let a = order(7);
+        let b = order(7);
+        assert_eq!(a, b, "same seed, same interleaving");
+        let c = order(1234);
+        assert_ne!(a, c, "different seed, different interleaving");
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "every task still ran");
+    }
+
+    #[test]
+    fn timer_wheel_wakes_sleepers_in_deadline_order() {
+        let rt = exec::Runtime::new(2);
+        let wheel = Arc::new(timer::TimerWheel::new());
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let start = Instant::now();
+        let handles: Vec<_> = [30u64, 10, 20]
+            .iter()
+            .map(|&ms| {
+                let wheel = Arc::clone(&wheel);
+                let log = Arc::clone(&log);
+                rt.spawn(async move {
+                    wheel.sleep(Duration::from_millis(ms)).await;
+                    log.lock().expect("log lock").push(ms);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert_eq!(*log.lock().expect("log lock"), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn deadline_queue_orders_and_fires() {
+        let now = Instant::now();
+        let mut q: timer::DeadlineQueue<u32> = timer::DeadlineQueue::new();
+        assert!(q.is_empty());
+        q.arm(1, now + Duration::from_millis(50));
+        q.arm(2, now + Duration::from_millis(10));
+        assert_eq!(q.next_deadline(), Some(now + Duration::from_millis(10)));
+        assert_eq!(q.due(now), Vec::<u32>::new());
+        assert_eq!(q.due(now + Duration::from_millis(20)), vec![2]);
+        assert_eq!(q.due(now + Duration::from_millis(60)), vec![1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sender_errors_when_receiver_drops() {
+        let rt = exec::Runtime::new(1);
+        let (tx, rx) = chan::bounded::<u32>(1);
+        drop(rx);
+        let h = rt.spawn(async move { tx.send(9).await });
+        assert!(h.join().is_err());
+    }
+}
